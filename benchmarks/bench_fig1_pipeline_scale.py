@@ -1,0 +1,114 @@
+"""Figure 1 — the extended Data Tamer architecture, exercised end-to-end.
+
+Figure 1 is the architecture diagram: ingest → domain parse/flatten →
+sharded store → schema integration → consolidation → cleaning/transforms →
+query.  The paper's scale claim is carried by the collection statistics
+(Tables I-III); what this benchmark adds is a corpus-size sweep of the whole
+pipeline showing per-stage timing and that throughput scales roughly linearly
+(no super-linear blow-up as the corpus grows).
+"""
+
+import time
+
+from conftest import build_tamer, write_report
+
+from repro.core.pipeline import CurationPipeline
+from repro.ingest import DictSource
+
+SWEEP = (250, 500, 1000)
+
+
+def _run_pipeline(ftables_generator, web_generator, dedup_corpus, n_documents):
+    tamer = build_tamer()
+    documents = web_generator.generate(n_documents)
+
+    pipeline = CurationPipeline()
+    pipeline.add_stage(
+        "ingest_structured",
+        lambda ctx: [
+            tamer.ingest_structured_source(DictSource(s.source_id, s.records()))
+            for s in ([_seed_source(ftables_generator)] + _sources(ftables_generator, 4))
+        ],
+    )
+    pipeline.add_stage(
+        "parse_and_store_text",
+        lambda ctx: tamer.ingest_text_documents(d.as_pair() for d in documents),
+    )
+    pipeline.add_stage(
+        "train_dedup", lambda ctx: tamer.train_dedup_model(dedup_corpus.pairs)
+    )
+    pipeline.add_stage("consolidate", lambda ctx: tamer.consolidate_curated())
+    pipeline.add_stage("query", lambda ctx: tamer.fuse_show("Matilda"))
+    pipeline.run()
+    return tamer, pipeline
+
+
+def _seed_source(generator):
+    class _Seed:
+        source_id = "global_seed"
+
+        def records(self):
+            return generator.seed_records()
+
+    return _Seed()
+
+
+def _sources(generator, n):
+    return generator.generate()[:n]
+
+
+def test_fig1_end_to_end_pipeline(benchmark, ftables_generator, web_generator, dedup_corpus):
+    tamer, pipeline = benchmark.pedantic(
+        _run_pipeline,
+        args=(ftables_generator, web_generator, dedup_corpus, 300),
+        rounds=1,
+        iterations=1,
+    )
+    timings = pipeline.timing_summary()
+
+    lines = [
+        "Figure 1 — end-to-end curation pipeline (300 web documents, 7 structured sources)",
+        f"{'stage':<24}{'seconds':>10}",
+    ]
+    for name, seconds in timings.items():
+        lines.append(f"{name:<24}{seconds:>10.3f}")
+    lines.append(f"{'TOTAL':<24}{pipeline.total_seconds:>10.3f}")
+    write_report("fig1_pipeline_stages", lines)
+
+    assert pipeline.succeeded
+    assert set(timings) == {
+        "ingest_structured", "parse_and_store_text", "train_dedup",
+        "consolidate", "query",
+    }
+    assert tamer.instance_collection.count() > 0
+    assert len(tamer.global_schema) > 5
+
+
+def test_fig1_throughput_scales_with_corpus(benchmark, web_generator):
+    """Parse+store time should grow roughly linearly with corpus size."""
+    lines = ["Figure 1 — corpus-size sweep (parse+store stage)",
+             f"{'documents':>10}{'fragments':>11}{'seconds':>9}{'docs/sec':>10}"]
+
+    def sweep():
+        rates = []
+        for n_documents in SWEEP:
+            tamer = build_tamer()
+            documents = web_generator.generate(n_documents)
+            start = time.perf_counter()
+            report = tamer.ingest_text_documents(
+                (d.as_pair() for d in documents), integrate_schema=False
+            )
+            elapsed = time.perf_counter() - start
+            rate = n_documents / elapsed if elapsed > 0 else float("inf")
+            rates.append(rate)
+            lines.append(
+                f"{n_documents:>10}{report.fragments:>11}{elapsed:>9.3f}{rate:>10.0f}"
+            )
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report("fig1_throughput_sweep", lines)
+
+    # throughput should not collapse as the corpus grows (no quadratic path):
+    # the largest corpus keeps at least a third of the smallest corpus's rate.
+    assert rates[-1] > rates[0] / 3

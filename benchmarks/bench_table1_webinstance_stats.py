@@ -1,0 +1,69 @@
+"""Table I — WEBINSTANCE collection statistics (``db.instance.stats()``).
+
+The paper reports the sharded semi-structured collection holding web-text
+fragments: 17.7 M entries in 242 distributed 2 GB extents with one index.
+This benchmark regenerates the same statistics schema at laptop scale: the
+synthetic corpus flows through the domain parser into the ``dt.instance``
+collection and ``stats()`` reports ``ns``, ``count``, ``numExtents``,
+``nindexes``, ``lastExtentSize`` and ``totalIndexSize``.
+
+Expected shape: count equals the number of extracted fragments, numExtents
+grows with corpus volume (exercised by the scale sweep assertion), nindexes
+is small (the paper reports 1; we carry the mandatory ``_id`` index plus the
+text index the top-k query needs).
+"""
+
+from conftest import WEB_DOCUMENTS, build_tamer, write_report
+
+
+def _load_instance_collection(web_generator, n_documents):
+    tamer = build_tamer()
+    documents = web_generator.generate(n_documents)
+    tamer.ingest_text_documents(
+        (doc.as_pair() for doc in documents), integrate_schema=False
+    )
+    return tamer.instance_collection
+
+
+def test_table1_webinstance_stats(benchmark, web_generator):
+    collection = benchmark.pedantic(
+        _load_instance_collection,
+        args=(web_generator, WEB_DOCUMENTS),
+        rounds=1,
+        iterations=1,
+    )
+    stats = collection.stats().as_dict()
+
+    write_report(
+        "table1_webinstance_stats",
+        [
+            "Table I — db.instance.stats() (paper: count=17,731,744, numExtents=242, nindexes=1)",
+            f"ns              : {stats['ns']}",
+            f"count           : {stats['count']}",
+            f"numExtents      : {stats['numExtents']}",
+            f"nindexes        : {stats['nindexes']}",
+            f"lastExtentSize  : {stats['lastExtentSize']}",
+            f"totalIndexSize  : {stats['totalIndexSize']}",
+            f"totalDataSize   : {stats['totalDataSize']}",
+        ],
+    )
+
+    assert stats["ns"] == "dt.instance"
+    assert stats["count"] > WEB_DOCUMENTS  # several fragments per document
+    assert stats["numExtents"] >= 1
+    assert stats["nindexes"] >= 1
+    assert stats["lastExtentSize"] > 0
+
+
+def test_table1_extents_scale_with_corpus(benchmark, web_generator):
+    """The extent count must grow with corpus volume (the paper's 242 extents
+    are purely a function of data size)."""
+    small = _load_instance_collection(web_generator, 300).stats()
+    large = benchmark.pedantic(
+        lambda: _load_instance_collection(web_generator, 1500).stats(),
+        rounds=1,
+        iterations=1,
+    )
+    assert large.count > small.count
+    assert large.num_extents >= small.num_extents
+    assert large.total_data_size > small.total_data_size

@@ -1,0 +1,51 @@
+"""Table V — query results for "Matilda" from web text alone.
+
+Before fusion the only attributes available for Matilda are the show name
+and the text fragment(s) that mention it — no theater, pricing or schedule.
+The benchmark runs the lookup against only the text-derived curated records
+and checks that exactly that sparse view comes back.
+"""
+
+from conftest import write_report
+
+from repro.query.fusion import fuse_entity_views
+
+STRUCTURED_ATTRIBUTES = (
+    "theater", "address", "performance_schedule", "cheapest_price",
+    "first_performance", "regular_price", "discount",
+)
+
+
+def _text_only_view(tamer, show_name="Matilda"):
+    views = [
+        ("webtext", doc)
+        for doc in tamer.curated_collection.find({"_source": "webtext"})
+        if doc.get("show_name") == show_name
+    ]
+    cleaned = [
+        (source, {k: v for k, v in values.items() if k not in ("_id", "_source")})
+        for source, values in views
+    ]
+    return fuse_entity_views(show_name, cleaned)
+
+
+def test_table5_text_only_matilda(benchmark, demo_tamer):
+    result = benchmark.pedantic(
+        _text_only_view, args=(demo_tamer,), rounds=3, iterations=1
+    )
+
+    lines = [
+        "Table V — Matilda from web text only (paper: SHOW_NAME + TEXT_FEED, nothing else)",
+        f"SHOW_NAME : {result.attributes.get('show_name')}",
+        f"TEXT_FEED : {str(result.attributes.get('text_feed'))[:90]}...",
+        "",
+        "Structured attributes present (should all be absent):",
+    ]
+    for attribute in STRUCTURED_ATTRIBUTES:
+        lines.append(f"  {attribute:<22}: {'present' if attribute in result.attributes else 'absent'}")
+    write_report("table5_text_only_query", lines)
+
+    assert result.attributes.get("show_name") == "Matilda"
+    assert "text_feed" in result.attributes and result.attributes["text_feed"]
+    for attribute in STRUCTURED_ATTRIBUTES:
+        assert attribute not in result.attributes

@@ -1,0 +1,67 @@
+"""Table VI — enriched query results after fusing web text with FTABLES.
+
+After schema matching and fusion the Matilda record carries the theater,
+address, performance schedule, cheapest price and first-performance date from
+the structured Fusion Tables sources *plus* the text fragment from the web —
+the paper's headline demonstration of added value.
+"""
+
+from conftest import write_report
+
+from repro.workloads.ftables import MATILDA_RECORD
+
+PAPER_ROW = {
+    "SHOW_NAME": "Matilda",
+    "THEATER": "Shubert 225 W. 44th St between 7th and 8th",
+    "PERFORMANCE": MATILDA_RECORD["performance_schedule"],
+    "CHEAPEST_PRICE": "$27",
+    "FIRST": "3/4/2013",
+}
+
+
+def test_table6_fused_matilda(benchmark, demo_tamer):
+    fused = benchmark.pedantic(
+        demo_tamer.fuse_show, args=("Matilda",), rounds=3, iterations=1
+    )
+
+    lines = [
+        "Table VI — enriched Matilda record after fusion (paper values in parentheses)",
+        f"SHOW_NAME      : {fused.attributes.get('show_name')}  (Matilda)",
+        f"THEATER        : {fused.attributes.get('theater')}  (Shubert)",
+        f"ADDRESS        : {fused.attributes.get('address')}  (225 W. 44th St between 7th and 8th)",
+        f"PERFORMANCE    : {fused.attributes.get('performance_schedule')}",
+        f"CHEAPEST_PRICE : {fused.attributes.get('cheapest_price')}  ($27)",
+        f"FIRST          : {fused.attributes.get('first_performance')}  (3/4/2013)",
+        f"TEXT_FEED      : {str(fused.attributes.get('text_feed'))[:90]}...",
+        "",
+        "Attribute provenance:",
+    ]
+    for attribute in ("theater", "cheapest_price", "first_performance", "text_feed"):
+        lines.append(f"  {attribute:<18}: {fused.provenance.get(attribute, '-')}")
+    write_report("table6_fused_query", lines)
+
+    assert fused.attributes.get("show_name") == "Matilda"
+    assert fused.attributes.get("theater") == MATILDA_RECORD["theater"]
+    assert fused.attributes.get("cheapest_price") == MATILDA_RECORD["cheapest_price"]
+    assert fused.attributes.get("first_performance") in (
+        MATILDA_RECORD["first_performance"], "2013-03-04",
+    )
+    assert fused.attributes.get("performance_schedule") == MATILDA_RECORD[
+        "performance_schedule"
+    ]
+    assert "text_feed" in fused.attributes
+    # structured attributes came from structured sources, the fragment from text
+    assert fused.provenance["theater"] != "webtext"
+    assert fused.provenance["text_feed"] == "webtext"
+
+
+def test_table6_enrichment_delta_over_table5(benchmark, demo_tamer):
+    """Fusion adds exactly the structured-only attributes to the text view."""
+    from bench_table5_text_only_query import _text_only_view
+
+    text_only = _text_only_view(demo_tamer)
+    fused = benchmark.pedantic(
+        demo_tamer.fuse_show, args=("Matilda",), rounds=3, iterations=1
+    )
+    added = set(fused.enrichment_over(text_only))
+    assert {"theater", "cheapest_price", "performance_schedule", "first_performance"} <= added

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is configured in pyproject.toml; this file only exists so that
+``pip install -e . --no-build-isolation`` (and legacy ``--no-use-pep517``
+editable installs) work in fully offline environments where the PEP 517
+editable-wheel path is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

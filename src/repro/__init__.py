@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Text and Structured Data Fusion in Data Tamer at Scale".
+
+The package implements the extended Data Tamer architecture of the ICDE 2014
+paper (Gubanov, Stonebraker, Bruckner): ingestion of structured,
+semi-structured and unstructured sources, a domain-specific text parser,
+bottom-up schema integration with expert escalation, ML-based entity
+consolidation, data cleaning and transformation, and query/fusion over the
+integrated global schema — plus the sharded document-store and workload
+substrates needed to regenerate every table and figure in the paper.
+
+Most users only need the top-level exports::
+
+    from repro import DataTamer, TamerConfig
+"""
+
+from .config import EntityConfig, ExpertConfig, SchemaConfig, StorageConfig, TamerConfig
+from .core.tamer import DataTamer, StructuredIngestReport, TextIngestReport
+from .errors import TamerError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataTamer",
+    "StructuredIngestReport",
+    "TextIngestReport",
+    "TamerConfig",
+    "StorageConfig",
+    "SchemaConfig",
+    "EntityConfig",
+    "ExpertConfig",
+    "TamerError",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Data cleaning and transformation.
+
+Data Tamer's cleaning module corrects erroneous data and its transformation
+engine rewrites values between representations ("for example to translate
+euros into dollars", per the paper).  This package provides:
+
+* :class:`ColumnProfiler` — per-column profiling and type inference over a
+  set of records (the statistics cleaning rules key off);
+* :mod:`repro.cleaning.outliers` — numeric and categorical outlier detection;
+* :class:`RuleEngine` — declarative cleaning rules (trim, null-normalise,
+  case-fold, regex fixes, custom callables) applied per record;
+* :class:`TransformEngine` — value transformations: currency conversion,
+  unit conversion, date normalisation, phone/price formatting.
+"""
+
+from .corrector import ColumnContext, CorrectionSuggestion, ValueCorrector
+from .profiler import ColumnProfile, ColumnProfiler
+from .outliers import (
+    OutlierReport,
+    categorical_outliers,
+    iqr_outliers,
+    zscore_outliers,
+)
+from .rules import CleaningRule, RuleEngine, standard_rules
+from .transforms import TransformEngine, convert_currency, normalize_date, parse_money
+
+__all__ = [
+    "ColumnContext",
+    "CorrectionSuggestion",
+    "ValueCorrector",
+    "ColumnProfile",
+    "ColumnProfiler",
+    "OutlierReport",
+    "categorical_outliers",
+    "iqr_outliers",
+    "zscore_outliers",
+    "CleaningRule",
+    "RuleEngine",
+    "standard_rules",
+    "TransformEngine",
+    "convert_currency",
+    "normalize_date",
+    "parse_money",
+]

@@ -1,0 +1,312 @@
+"""ML-assisted value correction.
+
+The paper uses its web-text classifier "for deduplication and data cleaning".
+Deduplication lives in :mod:`repro.entity`; this module is the data-cleaning
+half: a classifier that flags individual attribute values as likely erroneous
+given the rest of the column, plus simple repair suggestions.
+
+The detector featurizes each value against its column context (length and
+character-class deviation, token rarity, numeric z-score, type mismatch) and
+trains a logistic regression on labeled clean/erroneous examples.  When no
+labels are available, :meth:`ValueCorrector.fit_unsupervised` bootstraps
+labels from the rule-based outlier detectors, mirroring the paper's strategy
+of bootstrapping training data from high-precision heuristics.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CleaningError, NotFittedError
+from ..ml.linear import LogisticRegression
+from ..schema.attribute import infer_type, _type_of
+from .outliers import categorical_outliers, iqr_outliers, zscore_outliers
+
+#: Names of the per-value features, in output order.
+VALUE_FEATURE_NAMES = (
+    "length_deviation",
+    "digit_fraction_deviation",
+    "alpha_fraction_deviation",
+    "token_rarity",
+    "numeric_zscore",
+    "type_mismatch",
+    "null_like",
+)
+
+_NULL_TOKENS = {"", "na", "n/a", "null", "none", "-", "?", "unknown"}
+
+
+def _char_fractions(text: str) -> Tuple[float, float]:
+    if not text:
+        return 0.0, 0.0
+    digits = sum(ch.isdigit() for ch in text)
+    alphas = sum(ch.isalpha() for ch in text)
+    return digits / len(text), alphas / len(text)
+
+
+def _to_float(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().replace(",", "").lstrip("$")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+@dataclass
+class ColumnContext:
+    """Summary statistics of a column used to featurize individual values."""
+
+    mean_length: float
+    std_length: float
+    mean_digit_fraction: float
+    mean_alpha_fraction: float
+    token_counts: Counter
+    total_tokens: int
+    numeric_mean: Optional[float]
+    numeric_std: Optional[float]
+    majority_type: str
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any]) -> "ColumnContext":
+        """Build the context from all observed values of one column.
+
+        Centre/scale statistics use the median and MAD rather than mean and
+        standard deviation: a single gross error would otherwise inflate the
+        column's own scale and mask itself (the classic outlier-masking
+        problem).
+        """
+        texts = [str(v) for v in values if v not in (None, "")]
+        lengths = [len(t) for t in texts] or [0]
+        digit_fractions, alpha_fractions = [], []
+        tokens: Counter = Counter()
+        numerics: List[float] = []
+        for text in texts:
+            digit_fraction, alpha_fraction = _char_fractions(text)
+            digit_fractions.append(digit_fraction)
+            alpha_fractions.append(alpha_fraction)
+            tokens.update(re.findall(r"[a-z0-9]+", text.lower()))
+            numeric = _to_float(text)
+            if numeric is not None:
+                numerics.append(numeric)
+        length_median = float(np.median(lengths))
+        length_mad = float(np.median(np.abs(np.array(lengths) - length_median)))
+        numeric_median = float(np.median(numerics)) if numerics else None
+        numeric_mad = (
+            float(np.median(np.abs(np.array(numerics) - numeric_median)))
+            if numerics
+            else None
+        )
+        return cls(
+            mean_length=length_median,
+            std_length=length_mad if length_mad > 0 else 1.0,
+            mean_digit_fraction=float(np.median(digit_fractions)) if digit_fractions else 0.0,
+            mean_alpha_fraction=float(np.median(alpha_fractions)) if alpha_fractions else 0.0,
+            token_counts=tokens,
+            total_tokens=max(1, sum(tokens.values())),
+            numeric_mean=numeric_median,
+            numeric_std=(numeric_mad if numeric_mad and numeric_mad > 0 else 1.0)
+            if numerics
+            else None,
+            majority_type=infer_type(texts),
+        )
+
+    def featurize(self, value: Any) -> np.ndarray:
+        """Feature vector describing how anomalous ``value`` is in this column."""
+        text = "" if value is None else str(value)
+        length_dev = abs(len(text) - self.mean_length) / self.std_length
+        digit_fraction, alpha_fraction = _char_fractions(text)
+        digit_dev = abs(digit_fraction - self.mean_digit_fraction)
+        alpha_dev = abs(alpha_fraction - self.mean_alpha_fraction)
+        value_tokens = re.findall(r"[a-z0-9]+", text.lower())
+        if value_tokens:
+            rarity = float(
+                np.mean(
+                    [
+                        1.0 - self.token_counts.get(token, 0) / self.total_tokens
+                        for token in value_tokens
+                    ]
+                )
+            )
+        else:
+            rarity = 1.0
+        numeric = _to_float(text)
+        if numeric is not None and self.numeric_mean is not None:
+            zscore = abs(numeric - self.numeric_mean) / (self.numeric_std or 1.0)
+        else:
+            zscore = 0.0
+        type_mismatch = 0.0
+        if text and self.majority_type not in ("unknown", "string"):
+            type_mismatch = 0.0 if _type_of(text) == self.majority_type else 1.0
+        null_like = 1.0 if text.strip().lower() in _NULL_TOKENS else 0.0
+        return np.array(
+            [
+                min(length_dev, 10.0) / 10.0,
+                digit_dev,
+                alpha_dev,
+                rarity,
+                min(zscore, 10.0) / 10.0,
+                type_mismatch,
+                null_like,
+            ],
+            dtype=float,
+        )
+
+
+@dataclass(frozen=True)
+class CorrectionSuggestion:
+    """A flagged value and the repair the corrector proposes."""
+
+    column: str
+    row_index: int
+    value: Any
+    probability_erroneous: float
+    suggestion: Optional[Any]
+
+
+class ValueCorrector:
+    """Classifier-based erroneous-value detector with repair suggestions."""
+
+    def __init__(self, threshold: float = 0.5, seed: int = 0):
+        if not 0.0 <= threshold <= 1.0:
+            raise CleaningError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self._seed = seed
+        self._model: Optional[LogisticRegression] = None
+
+    # -- training ----------------------------------------------------------
+
+    def fit(
+        self,
+        columns: Dict[str, Sequence[Any]],
+        labels: Dict[str, Sequence[int]],
+    ) -> "ValueCorrector":
+        """Train from per-column values and parallel 0/1 labels (1 = erroneous)."""
+        X_rows: List[np.ndarray] = []
+        y_rows: List[int] = []
+        for column, values in columns.items():
+            column_labels = labels.get(column)
+            if column_labels is None or len(column_labels) != len(values):
+                raise CleaningError(
+                    f"labels for column {column!r} missing or misaligned"
+                )
+            context = ColumnContext.from_values(values)
+            for value, label in zip(values, column_labels):
+                X_rows.append(context.featurize(value))
+                y_rows.append(int(label))
+        if not X_rows:
+            raise CleaningError("cannot fit on an empty training set")
+        if len(set(y_rows)) < 2:
+            raise CleaningError("training set needs both clean and erroneous examples")
+        X = np.vstack(X_rows)
+        y = np.array(y_rows)
+        # Erroneous values are rare by nature; oversample the positive class so
+        # the classifier does not collapse to the base rate.
+        positives = int(y.sum())
+        negatives = len(y) - positives
+        if 0 < positives < negatives:
+            repeat = max(1, negatives // positives)
+            X = np.vstack([X, np.repeat(X[y == 1], repeat, axis=0)])
+            y = np.concatenate([y, np.ones(positives * repeat, dtype=int)])
+        self._model = LogisticRegression(
+            learning_rate=0.3, n_epochs=150, seed=self._seed
+        )
+        self._model.fit(X, y)
+        return self
+
+    def fit_unsupervised(self, columns: Dict[str, Sequence[Any]]) -> "ValueCorrector":
+        """Bootstrap labels from the rule-based outlier detectors and train.
+
+        Values flagged by the z-score / IQR / categorical detectors become
+        positive (erroneous) examples; everything else is treated as clean.
+        """
+        labels: Dict[str, List[int]] = {}
+        for column, values in columns.items():
+            flagged = set()
+            for detector in (zscore_outliers, iqr_outliers, categorical_outliers):
+                report = detector(values, column=column)
+                flagged.update(report.outlier_indices)
+            labels[column] = [1 if i in flagged else 0 for i in range(len(values))]
+        total_flagged = sum(sum(column) for column in labels.values())
+        if total_flagged == 0:
+            raise CleaningError(
+                "unsupervised bootstrap found no outliers to learn from; "
+                "provide labels via fit()"
+            )
+        return self.fit(columns, labels)
+
+    # -- scoring -----------------------------------------------------------
+
+    def score_column(self, values: Sequence[Any]) -> np.ndarray:
+        """Return P(erroneous) for every value of one column."""
+        if self._model is None:
+            raise NotFittedError("ValueCorrector")
+        context = ColumnContext.from_values(values)
+        if not len(values):
+            return np.zeros(0)
+        X = np.vstack([context.featurize(value) for value in values])
+        return self._model.predict_proba(X)
+
+    def flag_records(
+        self, records: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+    ) -> List[CorrectionSuggestion]:
+        """Flag suspicious values across a record collection.
+
+        Returns one :class:`CorrectionSuggestion` per flagged value, with the
+        column's most frequent value as the proposed repair for categorical
+        columns (and ``None`` when no safe repair exists).
+        """
+        if self._model is None:
+            raise NotFittedError("ValueCorrector")
+        by_column: Dict[str, List[Any]] = {}
+        for record in records:
+            for key, value in record.items():
+                if columns is not None and key not in columns:
+                    continue
+                by_column.setdefault(key, [])
+        for record in records:
+            for key in by_column:
+                by_column[key].append(record.get(key))
+
+        suggestions: List[CorrectionSuggestion] = []
+        for column, values in by_column.items():
+            probabilities = self.score_column(values)
+            repair = self._majority_repair(values)
+            for row_index, (value, probability) in enumerate(zip(values, probabilities)):
+                if value in (None, ""):
+                    continue
+                if probability >= self.threshold:
+                    suggestions.append(
+                        CorrectionSuggestion(
+                            column=column,
+                            row_index=row_index,
+                            value=value,
+                            probability_erroneous=float(probability),
+                            suggestion=repair if repair != value else None,
+                        )
+                    )
+        suggestions.sort(key=lambda s: s.probability_erroneous, reverse=True)
+        return suggestions
+
+    @staticmethod
+    def _majority_repair(values: Sequence[Any]) -> Optional[Any]:
+        non_null = [v for v in values if v not in (None, "")]
+        if not non_null:
+            return None
+        counter = Counter(str(v) for v in non_null)
+        most_common, count = counter.most_common(1)[0]
+        # only suggest a repair when the column is dominated by one value
+        if count / len(non_null) < 0.5:
+            return None
+        for value in non_null:
+            if str(value) == most_common:
+                return value
+        return None

@@ -1,0 +1,118 @@
+"""Outlier detection for dirty data.
+
+The paper stresses that text-derived data "is usually much dirtier than
+typical structured data"; outlier detection is the first automated cleaning
+signal.  Three detectors are provided: z-score and IQR for numeric columns,
+and a frequency-based detector for categorical columns (values that appear
+only once in a column that is otherwise heavily repeated are suspicious).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class OutlierReport:
+    """Indices and values flagged as outliers in one column."""
+
+    column: str
+    method: str
+    outlier_indices: List[int] = field(default_factory=list)
+    outlier_values: List[Any] = field(default_factory=list)
+    threshold: Optional[float] = None
+
+    @property
+    def count(self) -> int:
+        """Number of flagged values."""
+        return len(self.outlier_indices)
+
+    def fraction(self, total: int) -> float:
+        """Flagged values as a fraction of ``total`` observations."""
+        if total == 0:
+            return 0.0
+        return self.count / total
+
+
+def _numeric_pairs(values: Sequence[Any]) -> List[Tuple[int, float]]:
+    pairs: List[Tuple[int, float]] = []
+    for index, value in enumerate(values):
+        if isinstance(value, bool) or value is None or value == "":
+            continue
+        if isinstance(value, (int, float)):
+            pairs.append((index, float(value)))
+            continue
+        text = str(value).strip().replace(",", "").lstrip("$")
+        try:
+            pairs.append((index, float(text)))
+        except ValueError:
+            continue
+    return pairs
+
+
+def zscore_outliers(
+    values: Sequence[Any], column: str = "", threshold: float = 3.0
+) -> OutlierReport:
+    """Flag numeric values more than ``threshold`` standard deviations from the mean."""
+    pairs = _numeric_pairs(values)
+    report = OutlierReport(column=column, method="zscore", threshold=threshold)
+    if len(pairs) < 3:
+        return report
+    data = np.array([v for _, v in pairs])
+    mean, std = float(np.mean(data)), float(np.std(data))
+    if std == 0:
+        return report
+    for (index, value) in pairs:
+        if abs(value - mean) / std > threshold:
+            report.outlier_indices.append(index)
+            report.outlier_values.append(values[index])
+    return report
+
+
+def iqr_outliers(
+    values: Sequence[Any], column: str = "", k: float = 1.5
+) -> OutlierReport:
+    """Flag numeric values outside ``[Q1 - k*IQR, Q3 + k*IQR]``."""
+    pairs = _numeric_pairs(values)
+    report = OutlierReport(column=column, method="iqr", threshold=k)
+    if len(pairs) < 4:
+        return report
+    data = np.array([v for _, v in pairs])
+    q1, q3 = np.percentile(data, [25, 75])
+    iqr = q3 - q1
+    lower, upper = q1 - k * iqr, q3 + k * iqr
+    for (index, value) in pairs:
+        if value < lower or value > upper:
+            report.outlier_indices.append(index)
+            report.outlier_values.append(values[index])
+    return report
+
+
+def categorical_outliers(
+    values: Sequence[Any],
+    column: str = "",
+    min_frequency: int = 2,
+    max_distinct_fraction: float = 0.5,
+) -> OutlierReport:
+    """Flag rare categorical values in low-cardinality columns.
+
+    Only fires when the column looks categorical (distinct/total below
+    ``max_distinct_fraction``); a column of unique names should not have all
+    its values flagged.
+    """
+    report = OutlierReport(column=column, method="categorical", threshold=float(min_frequency))
+    non_null = [(i, str(v)) for i, v in enumerate(values) if v not in (None, "")]
+    if len(non_null) < 4:
+        return report
+    counter = Counter(v for _, v in non_null)
+    if len(counter) / len(non_null) > max_distinct_fraction:
+        return report
+    for index, value in non_null:
+        if counter[value] < min_frequency:
+            report.outlier_indices.append(index)
+            report.outlier_values.append(values[index])
+    return report

@@ -1,0 +1,117 @@
+"""Column profiling over record collections.
+
+The cleaning module needs to know, per column: how many values are null, the
+inferred type, value frequency skew and basic numeric statistics.  The schema
+package has its own lighter profile for matching; this one is richer and
+feeds outlier detection and rule selection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..schema.attribute import infer_type
+
+
+@dataclass
+class ColumnProfile:
+    """Profile of one column across a record collection."""
+
+    name: str
+    total: int
+    nulls: int
+    inferred_type: str
+    distinct: int
+    top_values: List[Tuple[str, int]] = field(default_factory=list)
+    numeric_min: Optional[float] = None
+    numeric_max: Optional[float] = None
+    numeric_mean: Optional[float] = None
+    numeric_std: Optional[float] = None
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of records with a null/empty value for this column."""
+        if self.total == 0:
+            return 0.0
+        return self.nulls / self.total
+
+    @property
+    def is_candidate_key(self) -> bool:
+        """Whether the column's values are (nearly) unique — key-like."""
+        non_null = self.total - self.nulls
+        if non_null == 0:
+            return False
+        return self.distinct / non_null >= 0.99
+
+    def as_dict(self) -> dict:
+        """Dictionary form for reports."""
+        return {
+            "name": self.name,
+            "total": self.total,
+            "nulls": self.nulls,
+            "null_fraction": self.null_fraction,
+            "type": self.inferred_type,
+            "distinct": self.distinct,
+            "top_values": self.top_values,
+            "numeric_mean": self.numeric_mean,
+            "numeric_std": self.numeric_std,
+        }
+
+
+def _numeric(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().replace(",", "").lstrip("$")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+class ColumnProfiler:
+    """Profile every column of a collection of flat records."""
+
+    def __init__(self, top_k: int = 10):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+
+    def profile_column(self, name: str, values: Sequence[Any]) -> ColumnProfile:
+        """Profile one column given all its values (including nulls)."""
+        non_null = [v for v in values if v is not None and v != ""]
+        nulls = len(values) - len(non_null)
+        counter = Counter(str(v) for v in non_null)
+        numerics = [n for n in (_numeric(v) for v in non_null) if n is not None]
+        return ColumnProfile(
+            name=name,
+            total=len(values),
+            nulls=nulls,
+            inferred_type=infer_type(non_null),
+            distinct=len(counter),
+            top_values=counter.most_common(self.top_k),
+            numeric_min=float(np.min(numerics)) if numerics else None,
+            numeric_max=float(np.max(numerics)) if numerics else None,
+            numeric_mean=float(np.mean(numerics)) if numerics else None,
+            numeric_std=float(np.std(numerics)) if numerics else None,
+        )
+
+    def profile_records(
+        self, records: Sequence[Dict[str, Any]]
+    ) -> Dict[str, ColumnProfile]:
+        """Profile every column observed across ``records``."""
+        columns: Dict[str, List[Any]] = {}
+        for record in records:
+            for key, value in record.items():
+                columns.setdefault(key, []).append(value)
+        total = len(records)
+        profiles: Dict[str, ColumnProfile] = {}
+        for name, values in columns.items():
+            padded = values + [None] * (total - len(values))
+            profiles[name] = self.profile_column(name, padded)
+        return profiles

@@ -1,0 +1,169 @@
+"""Declarative cleaning rules.
+
+A :class:`CleaningRule` rewrites a single value; a :class:`RuleEngine` applies
+a per-attribute rule set to whole records (and can be plugged into the batch
+loader as its ``transform`` hook, so cleaning happens during ingest as in
+Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import CleaningError
+
+#: Strings commonly used to denote a missing value in spreadsheets/web data.
+NULL_TOKENS = frozenset(
+    {"", "na", "n/a", "null", "none", "nil", "-", "--", "unknown", "?"}
+)
+
+
+@dataclass
+class CleaningRule:
+    """One value-level cleaning rule.
+
+    ``applies_to`` restricts the rule to specific attribute names; an empty
+    tuple means the rule applies to every attribute.
+    """
+
+    name: str
+    transform: Callable[[Any], Any]
+    applies_to: tuple = ()
+    description: str = ""
+
+    def applies(self, attribute: str) -> bool:
+        """Whether this rule should run on ``attribute``."""
+        return not self.applies_to or attribute in self.applies_to
+
+    def apply(self, value: Any) -> Any:
+        """Apply the rule to one value."""
+        return self.transform(value)
+
+
+def trim_whitespace(value: Any) -> Any:
+    """Strip leading/trailing whitespace from string values."""
+    if isinstance(value, str):
+        return value.strip()
+    return value
+
+
+def collapse_whitespace(value: Any) -> Any:
+    """Collapse internal runs of whitespace in string values."""
+    if isinstance(value, str):
+        return re.sub(r"\s+", " ", value)
+    return value
+
+
+def normalize_nulls(value: Any) -> Any:
+    """Map the usual null tokens ('N/A', '-', 'unknown', ...) to ``None``."""
+    if isinstance(value, str) and value.strip().lower() in NULL_TOKENS:
+        return None
+    return value
+
+
+def strip_surrounding_quotes(value: Any) -> Any:
+    """Remove matching surrounding quotes from string values."""
+    if isinstance(value, str) and len(value) >= 2:
+        if value[0] == value[-1] and value[0] in "\"'":
+            return value[1:-1]
+    return value
+
+
+def fix_mojibake_dashes(value: Any) -> Any:
+    """Replace common bad-encoding dash/quote artifacts with ASCII."""
+    if not isinstance(value, str):
+        return value
+    replacements = {
+        "–": "-",
+        "—": "-",
+        "‘": "'",
+        "’": "'",
+        "“": '"',
+        "”": '"',
+        " ": " ",
+    }
+    for bad, good in replacements.items():
+        value = value.replace(bad, good)
+    return value
+
+
+def titlecase_names(value: Any) -> Any:
+    """Title-case fully-upper or fully-lower proper-noun strings."""
+    if isinstance(value, str) and value and (value.isupper() or value.islower()):
+        return value.title()
+    return value
+
+
+def standard_rules() -> List[CleaningRule]:
+    """The default rule set applied by the curation pipeline."""
+    return [
+        CleaningRule("trim_whitespace", trim_whitespace,
+                     description="strip leading/trailing whitespace"),
+        CleaningRule("collapse_whitespace", collapse_whitespace,
+                     description="collapse internal whitespace runs"),
+        CleaningRule("fix_mojibake", fix_mojibake_dashes,
+                     description="replace smart quotes / long dashes"),
+        CleaningRule("strip_quotes", strip_surrounding_quotes,
+                     description="remove surrounding quotes"),
+        CleaningRule("normalize_nulls", normalize_nulls,
+                     description="map null tokens to None"),
+    ]
+
+
+class RuleEngine:
+    """Apply an ordered list of cleaning rules to records."""
+
+    def __init__(self, rules: Optional[Sequence[CleaningRule]] = None):
+        self._rules: List[CleaningRule] = list(rules) if rules is not None else standard_rules()
+        self._applied_counts: Dict[str, int] = {rule.name: 0 for rule in self._rules}
+
+    @property
+    def rules(self) -> List[CleaningRule]:
+        """The rules in application order."""
+        return list(self._rules)
+
+    @property
+    def applied_counts(self) -> Dict[str, int]:
+        """How many times each rule changed a value."""
+        return dict(self._applied_counts)
+
+    def add_rule(self, rule: CleaningRule) -> None:
+        """Append a rule to the end of the pipeline."""
+        self._rules.append(rule)
+        self._applied_counts.setdefault(rule.name, 0)
+
+    def clean_value(self, attribute: str, value: Any) -> Any:
+        """Run every applicable rule over one value."""
+        result = value
+        for rule in self._rules:
+            if not rule.applies(attribute):
+                continue
+            try:
+                new_value = rule.apply(result)
+            except Exception as exc:  # noqa: BLE001 - rule bugs must not kill ingest
+                raise CleaningError(
+                    f"rule {rule.name!r} failed on {attribute}={result!r}: {exc}"
+                ) from exc
+            if new_value != result:
+                self._applied_counts[rule.name] += 1
+            result = new_value
+        return result
+
+    def clean_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Clean every value of one record, returning a new dict."""
+        return {
+            attribute: self.clean_value(attribute, value)
+            for attribute, value in record.items()
+        }
+
+    def clean_records(
+        self, records: Iterable[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Clean an iterable of records."""
+        return [self.clean_record(record) for record in records]
+
+    def as_loader_transform(self) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+        """Return a callable usable as :meth:`BatchLoader.load`'s ``transform``."""
+        return self.clean_record

@@ -1,0 +1,223 @@
+"""The transformation engine.
+
+The paper gives currency conversion ("translate euros into dollars") as the
+canonical transformation example.  :class:`TransformEngine` registers named
+transformations and applies them per attribute; currency, unit, date, money
+and phone-number transformations are built in.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import TransformError
+
+#: Exchange rates into USD used by the built-in currency transform.  Static
+#: rates are a deliberate simplification: the engine's job is the rewrite
+#: mechanics, not FX accuracy.
+DEFAULT_RATES_TO_USD: Dict[str, float] = {
+    "USD": 1.0,
+    "EUR": 1.10,
+    "GBP": 1.27,
+    "CAD": 0.73,
+    "JPY": 0.0066,
+}
+
+#: Length conversions into meters.
+_LENGTH_TO_METERS: Dict[str, float] = {
+    "m": 1.0,
+    "meter": 1.0,
+    "meters": 1.0,
+    "km": 1000.0,
+    "mi": 1609.344,
+    "mile": 1609.344,
+    "miles": 1609.344,
+    "ft": 0.3048,
+    "feet": 0.3048,
+}
+
+_MONEY_RE = re.compile(r"^\s*([$€£])?\s*([\d,]+(?:\.\d+)?)\s*$")
+_DATE_PATTERNS = (
+    (re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$"), ("month", "day", "year")),
+    (re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{2})$"), ("month", "day", "shortyear")),
+    (re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$"), ("year", "month", "day")),
+)
+_MONTHS = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+_TEXT_DATE_RE = re.compile(
+    r"^([A-Za-z]{3,9})\.?\s+(\d{1,2}),?\s+(\d{4})$"
+)
+_PHONE_DIGITS_RE = re.compile(r"\d")
+
+
+def parse_money(value: Any) -> float:
+    """Parse ``"$27"`` / ``"960,998"`` / ``27.5`` into a float amount.
+
+    Raises :class:`TransformError` on unparseable input.
+    """
+    if isinstance(value, bool):
+        raise TransformError(f"cannot parse money from boolean {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    match = _MONEY_RE.match(str(value))
+    if not match:
+        raise TransformError(f"cannot parse money from {value!r}")
+    return float(match.group(2).replace(",", ""))
+
+
+def convert_currency(
+    amount: Any,
+    from_currency: str,
+    to_currency: str = "USD",
+    rates_to_usd: Optional[Dict[str, float]] = None,
+) -> float:
+    """Convert ``amount`` between currencies via USD.
+
+    The paper's example is euros → dollars; arbitrary pairs work as long as
+    both currencies are in the rate table.
+    """
+    rates = rates_to_usd or DEFAULT_RATES_TO_USD
+    source = from_currency.upper()
+    target = to_currency.upper()
+    if source not in rates:
+        raise TransformError(f"unknown currency: {from_currency!r}")
+    if target not in rates:
+        raise TransformError(f"unknown currency: {to_currency!r}")
+    value = parse_money(amount)
+    usd = value * rates[source]
+    return usd / rates[target]
+
+
+def convert_length(value: float, from_unit: str, to_unit: str) -> float:
+    """Convert a length between supported units (m, km, mi, ft)."""
+    source = from_unit.lower()
+    target = to_unit.lower()
+    if source not in _LENGTH_TO_METERS:
+        raise TransformError(f"unknown length unit: {from_unit!r}")
+    if target not in _LENGTH_TO_METERS:
+        raise TransformError(f"unknown length unit: {to_unit!r}")
+    meters = float(value) * _LENGTH_TO_METERS[source]
+    return meters / _LENGTH_TO_METERS[target]
+
+
+def normalize_date(value: Any) -> str:
+    """Normalize common date spellings to ISO ``YYYY-MM-DD``.
+
+    Handles ``3/4/2013``, ``2013-03-04``, ``Mar 4, 2013`` and two-digit years
+    (interpreted as 20xx).  Raises :class:`TransformError` otherwise.
+    """
+    text = str(value).strip()
+    for pattern, parts in _DATE_PATTERNS:
+        match = pattern.match(text)
+        if not match:
+            continue
+        groups = dict(zip(parts, match.groups()))
+        year = int(groups.get("year", 0))
+        if "shortyear" in groups:
+            year = 2000 + int(groups["shortyear"])
+        month = int(groups["month"])
+        day = int(groups["day"])
+        return _validated_iso(year, month, day, value)
+    match = _TEXT_DATE_RE.match(text)
+    if match:
+        month_name = match.group(1)[:3].lower()
+        if month_name not in _MONTHS:
+            raise TransformError(f"unknown month in date {value!r}")
+        return _validated_iso(
+            int(match.group(3)), _MONTHS[month_name], int(match.group(2)), value
+        )
+    raise TransformError(f"cannot parse date from {value!r}")
+
+
+def _validated_iso(year: int, month: int, day: int, original: Any) -> str:
+    if not 1 <= month <= 12 or not 1 <= day <= 31 or year < 1000:
+        raise TransformError(f"implausible date {original!r}")
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def normalize_phone(value: Any) -> str:
+    """Normalize a US phone number to ``(XXX) XXX-XXXX``."""
+    digits = "".join(_PHONE_DIGITS_RE.findall(str(value)))
+    if len(digits) == 11 and digits.startswith("1"):
+        digits = digits[1:]
+    if len(digits) != 10:
+        raise TransformError(f"cannot normalize phone number {value!r}")
+    return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+
+
+def format_price_usd(value: Any) -> str:
+    """Format a numeric amount as the ``$27`` style used in Table VI."""
+    amount = parse_money(value)
+    if amount == int(amount):
+        return f"${int(amount)}"
+    return f"${amount:.2f}"
+
+
+class TransformEngine:
+    """Registry of named transformations applied per attribute."""
+
+    def __init__(self) -> None:
+        self._transforms: Dict[str, Callable[[Any], Any]] = {}
+        self._attribute_bindings: Dict[str, str] = {}
+        self.register("normalize_date", normalize_date)
+        self.register("normalize_phone", normalize_phone)
+        self.register("format_price_usd", format_price_usd)
+        self.register("parse_money", parse_money)
+        self.register(
+            "eur_to_usd", lambda v: convert_currency(v, "EUR", "USD")
+        )
+
+    def register(self, name: str, func: Callable[[Any], Any]) -> None:
+        """Register a named transformation."""
+        if not name:
+            raise TransformError("transform name must be non-empty")
+        self._transforms[name] = func
+
+    def bind(self, attribute: str, transform_name: str) -> None:
+        """Bind an attribute to a registered transformation."""
+        if transform_name not in self._transforms:
+            raise TransformError(f"unknown transform: {transform_name!r}")
+        self._attribute_bindings[attribute] = transform_name
+
+    def transform_value(self, name: str, value: Any) -> Any:
+        """Apply the named transformation to one value."""
+        func = self._transforms.get(name)
+        if func is None:
+            raise TransformError(f"unknown transform: {name!r}")
+        return func(value)
+
+    def transform_record(
+        self, record: Dict[str, Any], strict: bool = False
+    ) -> Dict[str, Any]:
+        """Apply bound transformations to a record.
+
+        With ``strict=False`` (the default) unparseable values are left
+        unchanged — web data is dirty and a failed parse should not lose the
+        original value.
+        """
+        result = dict(record)
+        for attribute, transform_name in self._attribute_bindings.items():
+            if attribute not in result or result[attribute] in (None, ""):
+                continue
+            try:
+                result[attribute] = self.transform_value(
+                    transform_name, result[attribute]
+                )
+            except TransformError:
+                if strict:
+                    raise
+        return result
+
+    @property
+    def registered(self) -> Dict[str, Callable[[Any], Any]]:
+        """All registered transformations by name."""
+        return dict(self._transforms)
+
+    @property
+    def bindings(self) -> Dict[str, str]:
+        """Current attribute → transformation bindings."""
+        return dict(self._attribute_bindings)

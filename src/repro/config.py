@@ -1,0 +1,154 @@
+"""Configuration objects for the Data Tamer reproduction.
+
+The original Data Tamer system exposes a handful of operator-tunable knobs:
+the schema-matching acceptance threshold, the entity-consolidation match
+threshold, how aggressively to block candidate pairs, and how much work to
+send to human experts.  :class:`TamerConfig` collects those knobs in one
+immutable-by-convention dataclass that the :class:`repro.core.tamer.DataTamer`
+facade threads through every subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .errors import ConfigError
+
+
+@dataclass
+class StorageConfig:
+    """Settings for the sharded document store substrate.
+
+    The paper's deployment stores collections in 2 GB extents across a
+    MongoDB cluster.  At laptop scale we keep the same extent mechanics but
+    default to much smaller extents so the extent machinery is exercised
+    (Tables I and II report ``numExtents``) without gigabytes of RAM.
+    """
+
+    extent_size_bytes: int = 2 * 1024 * 1024
+    num_shards: int = 4
+    default_index_fields: tuple = ("_id",)
+
+    def validate(self) -> None:
+        if self.extent_size_bytes <= 0:
+            raise ConfigError("extent_size_bytes must be positive")
+        if self.num_shards <= 0:
+            raise ConfigError("num_shards must be positive")
+
+
+@dataclass
+class SchemaConfig:
+    """Settings for schema integration.
+
+    ``accept_threshold`` is the paper's user-selected score below which a
+    suggested match is escalated to an expert; ``new_attribute_threshold`` is
+    the score below which an incoming attribute is considered genuinely new
+    and proposed for addition to the global schema.
+    """
+
+    accept_threshold: float = 0.75
+    new_attribute_threshold: float = 0.35
+    matcher_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "name": 0.45,
+            "value": 0.35,
+            "type": 0.10,
+            "stats": 0.10,
+        }
+    )
+    use_expert_escalation: bool = True
+
+    def validate(self) -> None:
+        if not 0.0 <= self.accept_threshold <= 1.0:
+            raise ConfigError("accept_threshold must be in [0, 1]")
+        if not 0.0 <= self.new_attribute_threshold <= 1.0:
+            raise ConfigError("new_attribute_threshold must be in [0, 1]")
+        if self.new_attribute_threshold > self.accept_threshold:
+            raise ConfigError(
+                "new_attribute_threshold must not exceed accept_threshold"
+            )
+        if not self.matcher_weights:
+            raise ConfigError("matcher_weights must not be empty")
+        if any(w < 0 for w in self.matcher_weights.values()):
+            raise ConfigError("matcher_weights must be non-negative")
+        if sum(self.matcher_weights.values()) <= 0:
+            raise ConfigError("matcher_weights must sum to a positive value")
+
+
+@dataclass
+class EntityConfig:
+    """Settings for entity consolidation (deduplication)."""
+
+    match_threshold: float = 0.55
+    blocking_strategy: str = "token"
+    max_block_size: int = 200
+    classifier: str = "logistic"
+    crossval_folds: int = 10
+
+    def validate(self) -> None:
+        if not 0.0 <= self.match_threshold <= 1.0:
+            raise ConfigError("match_threshold must be in [0, 1]")
+        if self.blocking_strategy not in {"token", "ngram", "sorted", "none"}:
+            raise ConfigError(
+                f"unknown blocking_strategy: {self.blocking_strategy!r}"
+            )
+        if self.max_block_size <= 1:
+            raise ConfigError("max_block_size must be > 1")
+        if self.classifier not in {"logistic", "naive_bayes"}:
+            raise ConfigError(f"unknown classifier: {self.classifier!r}")
+        if self.crossval_folds < 2:
+            raise ConfigError("crossval_folds must be >= 2")
+
+
+@dataclass
+class ExpertConfig:
+    """Settings for the expert-sourcing subsystem."""
+
+    max_tasks_per_expert: int = 1000
+    min_answers_per_task: int = 1
+    default_expert_accuracy: float = 0.95
+
+    def validate(self) -> None:
+        if self.max_tasks_per_expert <= 0:
+            raise ConfigError("max_tasks_per_expert must be positive")
+        if self.min_answers_per_task <= 0:
+            raise ConfigError("min_answers_per_task must be positive")
+        if not 0.0 <= self.default_expert_accuracy <= 1.0:
+            raise ConfigError("default_expert_accuracy must be in [0, 1]")
+
+
+@dataclass
+class TamerConfig:
+    """Top-level configuration threaded through every subsystem."""
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    schema: SchemaConfig = field(default_factory=SchemaConfig)
+    entity: EntityConfig = field(default_factory=EntityConfig)
+    expert: ExpertConfig = field(default_factory=ExpertConfig)
+    seed: Optional[int] = 0
+
+    def validate(self) -> "TamerConfig":
+        """Validate every section and return ``self`` for chaining."""
+        self.storage.validate()
+        self.schema.validate()
+        self.entity.validate()
+        self.expert.validate()
+        return self
+
+    def with_seed(self, seed: int) -> "TamerConfig":
+        """Return a copy of this config with a different random seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def default(cls) -> "TamerConfig":
+        """Return a validated default configuration."""
+        return cls().validate()
+
+    @classmethod
+    def small(cls) -> "TamerConfig":
+        """A configuration sized for unit tests: tiny extents, two shards."""
+        cfg = cls(
+            storage=StorageConfig(extent_size_bytes=64 * 1024, num_shards=2),
+        )
+        return cfg.validate()

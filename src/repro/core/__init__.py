@@ -1,0 +1,26 @@
+"""The core of the reproduction: the Data Tamer facade and curation pipeline.
+
+:class:`DataTamer` is the public entry point a downstream user works with.
+It owns the storage substrates, the source catalog, the schema integrator,
+the cleaning/transformation engines and (optionally) an expert router and a
+trained dedup model, and exposes the end-to-end operations of the paper's
+Figure 1 architecture: ingest structured sources, ingest text through the
+domain parser, integrate schemas, consolidate entities and query/fuse.
+"""
+
+from .catalog import CatalogEntry, SourceCatalog
+from .pipeline import CurationPipeline, PipelineStage, StageResult
+from .report import CurationReport
+from .tamer import DataTamer, TextIngestReport, StructuredIngestReport
+
+__all__ = [
+    "CatalogEntry",
+    "SourceCatalog",
+    "CurationReport",
+    "CurationPipeline",
+    "PipelineStage",
+    "StageResult",
+    "DataTamer",
+    "TextIngestReport",
+    "StructuredIngestReport",
+]

@@ -1,0 +1,103 @@
+"""The source catalog: what has been ingested, when, and with what outcome."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import UnknownSource
+from ..ingest.connectors import SOURCE_KINDS
+
+
+@dataclass
+class CatalogEntry:
+    """Provenance record for one ingested source."""
+
+    source_id: str
+    kind: str
+    description: str = ""
+    collection: str = ""
+    records_loaded: int = 0
+    attributes: List[str] = field(default_factory=list)
+    sequence: int = 0
+
+    def as_dict(self) -> dict:
+        """Dictionary form for reports."""
+        return {
+            "source_id": self.source_id,
+            "kind": self.kind,
+            "description": self.description,
+            "collection": self.collection,
+            "records_loaded": self.records_loaded,
+            "attributes": list(self.attributes),
+            "sequence": self.sequence,
+        }
+
+
+class SourceCatalog:
+    """Registry of every source the system has ingested."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, source_id: str) -> bool:
+        return source_id in self._entries
+
+    def register(
+        self,
+        source_id: str,
+        kind: str,
+        description: str = "",
+        collection: str = "",
+        records_loaded: int = 0,
+        attributes: Optional[List[str]] = None,
+    ) -> CatalogEntry:
+        """Register (or update) a source and return its catalog entry."""
+        if kind not in SOURCE_KINDS:
+            raise ValueError(f"unknown source kind: {kind!r}")
+        existing = self._entries.get(source_id)
+        if existing is not None:
+            existing.records_loaded += records_loaded
+            if attributes:
+                for name in attributes:
+                    if name not in existing.attributes:
+                        existing.attributes.append(name)
+            return existing
+        entry = CatalogEntry(
+            source_id=source_id,
+            kind=kind,
+            description=description,
+            collection=collection,
+            records_loaded=records_loaded,
+            attributes=list(attributes or []),
+            sequence=next(self._counter),
+        )
+        self._entries[source_id] = entry
+        return entry
+
+    def entry(self, source_id: str) -> CatalogEntry:
+        """Return the catalog entry for ``source_id``."""
+        entry = self._entries.get(source_id)
+        if entry is None:
+            raise UnknownSource(source_id)
+        return entry
+
+    def entries(self, kind: Optional[str] = None) -> List[CatalogEntry]:
+        """All entries (optionally of one kind) in ingestion order."""
+        ordered = sorted(self._entries.values(), key=lambda e: e.sequence)
+        if kind is None:
+            return ordered
+        return [e for e in ordered if e.kind == kind]
+
+    def source_ids(self) -> List[str]:
+        """All source ids in ingestion order."""
+        return [e.source_id for e in self.entries()]
+
+    def total_records(self) -> int:
+        """Total records loaded across all sources."""
+        return sum(e.records_loaded for e in self._entries.values())

@@ -1,0 +1,115 @@
+"""The curation pipeline: named stages with timing and error capture.
+
+Figure 1 of the paper is a staged architecture (ingest → parse/flatten →
+store → schema integration → consolidation → cleaning/transformation →
+query).  :class:`CurationPipeline` is a small, explicit representation of
+such a staged run: each stage is a named callable over a shared context
+dictionary, stages run in order, and the pipeline records per-stage wall
+time and outcome — which is exactly what the Figure 1 scale-sweep benchmark
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import TamerError
+
+StageFunc = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class PipelineStage:
+    """One named stage of the curation pipeline."""
+
+    name: str
+    func: StageFunc
+    description: str = ""
+
+
+@dataclass
+class StageResult:
+    """Outcome of running one stage."""
+
+    name: str
+    seconds: float
+    ok: bool
+    output: Any = None
+    error: Optional[str] = None
+
+
+class CurationPipeline:
+    """Run an ordered list of stages over a shared context."""
+
+    def __init__(self, stages: Optional[List[PipelineStage]] = None):
+        self._stages: List[PipelineStage] = list(stages or [])
+        self._results: List[StageResult] = []
+
+    @property
+    def stages(self) -> List[PipelineStage]:
+        """The configured stages in execution order."""
+        return list(self._stages)
+
+    @property
+    def results(self) -> List[StageResult]:
+        """Results of the most recent run."""
+        return list(self._results)
+
+    def add_stage(
+        self, name: str, func: StageFunc, description: str = ""
+    ) -> "CurationPipeline":
+        """Append a stage; returns ``self`` for chaining."""
+        if not name:
+            raise TamerError("stage name must be non-empty")
+        self._stages.append(PipelineStage(name=name, func=func, description=description))
+        return self
+
+    def run(
+        self,
+        context: Optional[Dict[str, Any]] = None,
+        stop_on_error: bool = True,
+    ) -> Dict[str, Any]:
+        """Run all stages in order over a shared context dictionary.
+
+        Each stage receives the context and may mutate it; its return value
+        is stored under ``context[stage.name]`` as well as in the stage
+        result.  With ``stop_on_error`` (default) the first failing stage
+        aborts the run; otherwise later stages still execute.
+        """
+        context = context if context is not None else {}
+        self._results = []
+        for stage in self._stages:
+            start = time.perf_counter()
+            try:
+                output = stage.func(context)
+                elapsed = time.perf_counter() - start
+                context[stage.name] = output
+                self._results.append(
+                    StageResult(name=stage.name, seconds=elapsed, ok=True, output=output)
+                )
+            except Exception as exc:  # noqa: BLE001 - reported, optionally re-raised
+                elapsed = time.perf_counter() - start
+                self._results.append(
+                    StageResult(
+                        name=stage.name, seconds=elapsed, ok=False, error=str(exc)
+                    )
+                )
+                if stop_on_error:
+                    raise
+        return context
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Stage name → seconds for the most recent run."""
+        return {result.name: result.seconds for result in self._results}
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time of the most recent run."""
+        return sum(result.seconds for result in self._results)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every stage of the most recent run succeeded."""
+        return bool(self._results) and all(result.ok for result in self._results)

@@ -1,0 +1,119 @@
+"""Curation reports.
+
+Operators of the paper's system watch dashboards: which sources are loaded,
+how the global schema evolved, what the collections look like, how much work
+went to experts.  :class:`CurationReport` renders that state as structured
+dictionaries and as a plain-text report suitable for logs or a console.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..expert.routing import ExpertRouter
+from .tamer import DataTamer
+
+
+@dataclass
+class CurationReport:
+    """A snapshot of system state rendered for operators."""
+
+    sources: List[Dict[str, Any]]
+    global_schema: Dict[str, Any]
+    collections: Dict[str, Dict[str, Any]]
+    schema_history_length: int
+    expert: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_tamer(
+        cls, tamer: DataTamer, expert_router: Optional[ExpertRouter] = None
+    ) -> "CurationReport":
+        """Build a report from a live :class:`DataTamer` instance."""
+        expert_section = None
+        if expert_router is not None:
+            expert_section = {
+                "experts": [
+                    {
+                        "expert_id": expert.expert_id,
+                        "tasks_answered": expert.tasks_answered,
+                        "total_cost": expert.total_cost,
+                    }
+                    for expert in expert_router.experts
+                ],
+                "queue": expert_router.queue.stats(),
+                "total_cost": expert_router.total_cost,
+            }
+        return cls(
+            sources=[entry.as_dict() for entry in tamer.catalog.entries()],
+            global_schema=tamer.global_schema.summary(),
+            collections={
+                name: stats.as_dict()
+                for name, stats in tamer.collection_stats().items()
+            },
+            schema_history_length=len(tamer.global_schema.history),
+            expert=expert_section,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The full report as a nested dictionary."""
+        return {
+            "sources": self.sources,
+            "global_schema": self.global_schema,
+            "collections": self.collections,
+            "schema_history_length": self.schema_history_length,
+            "expert": self.expert,
+        }
+
+    def render_text(self) -> str:
+        """Render the report as a human-readable plain-text block."""
+        lines: List[str] = ["=== Data Tamer curation report ==="]
+        lines.append("")
+        lines.append(f"Sources ingested: {len(self.sources)}")
+        for source in self.sources:
+            lines.append(
+                f"  - {source['source_id']:<30} kind={source['kind']:<15} "
+                f"records={source['records_loaded']}"
+            )
+        lines.append("")
+        schema = self.global_schema
+        lines.append(
+            f"Global schema '{schema['name']}': {schema['attribute_count']} attributes "
+            f"({self.schema_history_length} evolution steps)"
+        )
+        for name, info in sorted(schema.get("attributes", {}).items()):
+            aliases = ", ".join(info.get("aliases", [])) or "-"
+            lines.append(
+                f"  - {name:<26} type={info.get('type', 'unknown'):<9} "
+                f"origin={info.get('origin', '-'):<22} aliases: {aliases}"
+            )
+        lines.append("")
+        lines.append("Collections:")
+        for name, stats in sorted(self.collections.items()):
+            lines.append(
+                f"  - {stats.get('ns', name):<16} count={stats.get('count', 0):<8} "
+                f"numExtents={stats.get('numExtents', 0):<5} "
+                f"nindexes={stats.get('nindexes', 0)}"
+            )
+        if self.expert is not None:
+            lines.append("")
+            lines.append(
+                f"Expert sourcing: {self.expert['queue'].get('total', 0)} tasks, "
+                f"total cost {self.expert['total_cost']:.1f}"
+            )
+            for expert in self.expert["experts"]:
+                lines.append(
+                    f"  - {expert['expert_id']:<20} answered={expert['tasks_answered']:<5} "
+                    f"cost={expert['total_cost']:.1f}"
+                )
+        return "\n".join(lines)
+
+    def attribute_count(self) -> int:
+        """Number of attributes in the global schema."""
+        return int(self.global_schema.get("attribute_count", 0))
+
+    def total_documents(self) -> int:
+        """Total documents across all collections."""
+        return sum(int(stats.get("count", 0)) for stats in self.collections.values())

@@ -1,0 +1,51 @@
+"""Entity consolidation (deduplication and record merging).
+
+Data Tamer's entity consolidation module finds records from different
+sources that describe the same real-world entity and merges them into a
+composite record.  The text extension uses an ML classifier for the pairwise
+match decision (89/90 % precision/recall in the paper).  The pipeline here is
+the classic one:
+
+1. **blocking** (:mod:`repro.entity.blocking`) — cheap grouping so only
+   plausible pairs are compared;
+2. **pairwise features** (:mod:`repro.entity.similarity`) — string, token and
+   numeric similarities between two records;
+3. **classification** (:mod:`repro.entity.dedup`) — a trained model scores
+   each candidate pair;
+4. **clustering** (:mod:`repro.entity.clustering`) — union-find over
+   above-threshold pairs yields entity clusters;
+5. **consolidation** (:mod:`repro.entity.consolidation`) — merge policies
+   produce one composite record per cluster.
+"""
+
+from .record import Record, records_from_dicts
+from .blocking import (
+    BlockingResult,
+    NGramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    full_pairs,
+)
+from .similarity import PairFeatureExtractor, pair_features
+from .clustering import UnionFind, cluster_pairs
+from .dedup import DedupModel, LabeledPair
+from .consolidation import ConsolidatedEntity, EntityConsolidator, MergePolicy
+
+__all__ = [
+    "Record",
+    "records_from_dicts",
+    "BlockingResult",
+    "NGramBlocker",
+    "SortedNeighborhoodBlocker",
+    "TokenBlocker",
+    "full_pairs",
+    "PairFeatureExtractor",
+    "pair_features",
+    "UnionFind",
+    "cluster_pairs",
+    "DedupModel",
+    "LabeledPair",
+    "ConsolidatedEntity",
+    "EntityConsolidator",
+    "MergePolicy",
+]

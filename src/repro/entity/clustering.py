@@ -1,0 +1,138 @@
+"""Clustering matched pairs into entity groups.
+
+Pairwise match decisions are turned into entity clusters with union-find
+(connected components over the "is a duplicate of" graph) — the standard
+Data Tamer consolidation step.  A transitivity guard is available: very large
+clusters produced by chains of borderline matches can be split by dropping
+their weakest links.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by rank."""
+
+    def __init__(self, elements: Optional[Iterable[Hashable]] = None):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register an element as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        if element not in self._parent:
+            raise KeyError(f"unknown element: {element!r}")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing ``a`` and ``b``; returns the new root."""
+        self.add(a)
+        self.add(b)
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """Return all sets, each as a Python set (order unspecified)."""
+        by_root: Dict[Hashable, Set[Hashable]] = defaultdict(set)
+        for element in self._parent:
+            by_root[self.find(element)].add(element)
+        return list(by_root.values())
+
+    def group_count(self) -> int:
+        """Number of disjoint sets."""
+        return len({self.find(e) for e in self._parent})
+
+
+def cluster_pairs(
+    all_ids: Sequence[str],
+    matched_pairs: Iterable[Tuple[str, str]],
+    scores: Optional[Dict[Tuple[str, str], float]] = None,
+    max_cluster_size: Optional[int] = None,
+) -> List[Set[str]]:
+    """Cluster record ids given the pairs judged to be duplicates.
+
+    Every id in ``all_ids`` appears in exactly one output cluster (singletons
+    included).  When ``max_cluster_size`` is set and ``scores`` are supplied,
+    oversized clusters are rebuilt using only their strongest links until
+    they fit — a pragmatic guard against transitive-closure chaining.
+    """
+    uf = UnionFind(all_ids)
+    pair_list = list(matched_pairs)
+    for a, b in pair_list:
+        uf.union(a, b)
+    clusters = uf.groups()
+    if max_cluster_size is None or scores is None:
+        return clusters
+
+    result: List[Set[str]] = []
+    for cluster in clusters:
+        if len(cluster) <= max_cluster_size:
+            result.append(cluster)
+            continue
+        result.extend(
+            _split_cluster(cluster, pair_list, scores, max_cluster_size)
+        )
+    return result
+
+
+def _split_cluster(
+    cluster: Set[str],
+    pairs: Sequence[Tuple[str, str]],
+    scores: Dict[Tuple[str, str], float],
+    max_cluster_size: int,
+) -> List[Set[str]]:
+    """Rebuild an oversized cluster keeping only its strongest links."""
+    internal = [
+        (a, b)
+        for a, b in pairs
+        if a in cluster and b in cluster
+    ]
+    internal.sort(key=lambda p: scores.get(p, scores.get((p[1], p[0]), 0.0)), reverse=True)
+    uf = UnionFind(cluster)
+    sizes: Dict[str, int] = {member: 1 for member in cluster}
+    for a, b in internal:
+        root_a, root_b = uf.find(a), uf.find(b)
+        if root_a == root_b:
+            continue
+        if sizes[root_a] + sizes[root_b] > max_cluster_size:
+            continue
+        new_root = uf.union(a, b)
+        merged = sizes[root_a] + sizes[root_b]
+        sizes[new_root] = merged
+    return uf.groups()

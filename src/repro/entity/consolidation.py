@@ -1,0 +1,194 @@
+"""Entity consolidation: from raw records to composite entities.
+
+This module ties the consolidation pipeline together: blocking → pairwise
+scoring with a trained :class:`~repro.entity.dedup.DedupModel` → union-find
+clustering → merging each cluster into one composite entity record under a
+configurable merge policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import EntityConfig
+from ..errors import EntityResolutionError
+from .blocking import BlockingResult, full_pairs, make_blocker
+from .clustering import cluster_pairs
+from .dedup import DedupModel
+from .record import Record
+
+
+class MergePolicy(Enum):
+    """How conflicting attribute values are resolved when merging a cluster."""
+
+    #: Keep the most frequent non-null value (ties: lexicographically first).
+    MAJORITY = "majority"
+    #: Keep the longest non-null string value (most informative).
+    LONGEST = "longest"
+    #: Keep the first non-null value encountered (source order).
+    FIRST = "first"
+
+
+@dataclass
+class ConsolidatedEntity:
+    """One composite entity produced from a cluster of duplicate records."""
+
+    entity_id: str
+    member_record_ids: List[str]
+    source_ids: List[str]
+    attributes: Dict[str, Any]
+    provenance: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of source records merged into this entity."""
+        return len(self.member_record_ids)
+
+
+@dataclass
+class ConsolidationReport:
+    """Bookkeeping from one consolidation run."""
+
+    input_records: int
+    candidate_pairs: int
+    matched_pairs: int
+    clusters: int
+    merged_entities: int
+    blocking_reduction: float
+
+    def as_dict(self) -> dict:
+        """Return the report as a dictionary (for benchmarks/EXPERIMENTS.md)."""
+        return {
+            "input_records": self.input_records,
+            "candidate_pairs": self.candidate_pairs,
+            "matched_pairs": self.matched_pairs,
+            "clusters": self.clusters,
+            "merged_entities": self.merged_entities,
+            "blocking_reduction": self.blocking_reduction,
+        }
+
+
+class EntityConsolidator:
+    """Run the full consolidation pipeline over a set of records."""
+
+    def __init__(
+        self,
+        model: DedupModel,
+        config: Optional[EntityConfig] = None,
+        key_attribute: Optional[str] = None,
+        merge_policy: MergePolicy = MergePolicy.MAJORITY,
+        max_cluster_size: Optional[int] = 50,
+    ):
+        self._model = model
+        self._config = config or EntityConfig()
+        self._config.validate()
+        self._key_attribute = key_attribute
+        self._merge_policy = merge_policy
+        self._max_cluster_size = max_cluster_size
+        self._last_report: Optional[ConsolidationReport] = None
+
+    @property
+    def last_report(self) -> Optional[ConsolidationReport]:
+        """The report from the most recent :meth:`consolidate` call."""
+        return self._last_report
+
+    def candidate_pairs(self, records: Sequence[Record]) -> BlockingResult:
+        """Run the configured blocking strategy (or exhaustive pairing)."""
+        blocker = make_blocker(
+            self._config.blocking_strategy,
+            key_attribute=self._key_attribute,
+            max_block_size=self._config.max_block_size,
+        )
+        if blocker is None:
+            result = BlockingResult(total_records=len(records))
+            result.pairs = full_pairs(records)
+            return result
+        return blocker.block(records)
+
+    def consolidate(self, records: Sequence[Record]) -> List[ConsolidatedEntity]:
+        """Deduplicate ``records`` and return composite entities.
+
+        Every input record contributes to exactly one output entity
+        (singletons pass through unmerged).
+        """
+        if not records:
+            self._last_report = ConsolidationReport(0, 0, 0, 0, 0, 0.0)
+            return []
+        by_id = {r.record_id: r for r in records}
+        if len(by_id) != len(records):
+            raise EntityResolutionError("record ids must be unique")
+
+        blocking = self.candidate_pairs(records)
+        candidate_list = sorted(blocking.pairs)
+        scores = self._model.score_pairs(by_id, candidate_list)
+        matched = [
+            pair for pair, prob in scores.items() if prob >= self._model.threshold
+        ]
+        clusters = cluster_pairs(
+            list(by_id.keys()),
+            matched,
+            scores=scores,
+            max_cluster_size=self._max_cluster_size,
+        )
+        entities = [
+            self._merge_cluster(index, cluster, by_id)
+            for index, cluster in enumerate(sorted(clusters, key=lambda c: sorted(c)[0]))
+        ]
+        self._last_report = ConsolidationReport(
+            input_records=len(records),
+            candidate_pairs=len(candidate_list),
+            matched_pairs=len(matched),
+            clusters=len(clusters),
+            merged_entities=sum(1 for e in entities if e.size > 1),
+            blocking_reduction=blocking.reduction_ratio,
+        )
+        return entities
+
+    # -- merging -----------------------------------------------------------
+
+    def _merge_cluster(
+        self, index: int, cluster: Set[str], by_id: Dict[str, Record]
+    ) -> ConsolidatedEntity:
+        member_ids = sorted(cluster)
+        members = [by_id[m] for m in member_ids]
+        attributes: Dict[str, Any] = {}
+        provenance: Dict[str, List[str]] = {}
+        all_attribute_names: List[str] = []
+        for record in members:
+            for name in record.as_dict():
+                if name not in all_attribute_names:
+                    all_attribute_names.append(name)
+        for name in all_attribute_names:
+            values: List[Tuple[str, Any]] = []
+            for record in members:
+                value = record.get(name)
+                if value not in (None, ""):
+                    values.append((record.record_id, value))
+            if not values:
+                continue
+            attributes[name] = self._resolve(values)
+            provenance[name] = [record_id for record_id, _ in values]
+        return ConsolidatedEntity(
+            entity_id=f"entity:{index}",
+            member_record_ids=member_ids,
+            source_ids=sorted({by_id[m].source_id for m in member_ids}),
+            attributes=attributes,
+            provenance=provenance,
+        )
+
+    def _resolve(self, values: List[Tuple[str, Any]]) -> Any:
+        if self._merge_policy is MergePolicy.FIRST:
+            return values[0][1]
+        if self._merge_policy is MergePolicy.LONGEST:
+            return max(values, key=lambda item: len(str(item[1])))[1]
+        # MAJORITY
+        counts: Dict[str, List[Any]] = {}
+        for _, value in values:
+            counts.setdefault(str(value), []).append(value)
+        best_key = max(
+            sorted(counts.keys()),
+            key=lambda key: len(counts[key]),
+        )
+        return counts[best_key][0]

@@ -1,0 +1,93 @@
+"""The record model used by entity consolidation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import EntityResolutionError
+from ..text.normalize import TextNormalizer
+
+_normalizer = TextNormalizer()
+
+
+@dataclass(frozen=True)
+class Record:
+    """One flat record participating in deduplication.
+
+    ``record_id`` must be unique within a consolidation run; ``source_id``
+    carries provenance; ``fields`` holds the attribute values (already in the
+    global schema's attribute names if the record went through schema
+    integration).
+    """
+
+    record_id: str
+    source_id: str
+    fields: tuple
+
+    @classmethod
+    def from_dict(
+        cls, record_id: str, source_id: str, values: Dict[str, Any]
+    ) -> "Record":
+        """Build a record from a plain dictionary of attribute values."""
+        if not record_id:
+            raise EntityResolutionError("record_id must be non-empty")
+        items = tuple(sorted((str(k), v) for k, v in values.items()))
+        return cls(record_id=record_id, source_id=source_id, fields=items)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the record's attribute values as a dictionary."""
+        return dict(self.fields)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return one attribute value (or ``default``)."""
+        return self.as_dict().get(attribute, default)
+
+    def normalized(self, attribute: str) -> str:
+        """Return an attribute value normalized for comparison."""
+        value = self.get(attribute)
+        if value is None:
+            return ""
+        return _normalizer.normalize(str(value))
+
+    def text_blob(self, attributes: Optional[Sequence[str]] = None) -> str:
+        """Concatenate (normalized) values into one comparison string.
+
+        Used for whole-record similarity and for blocking keys when no
+        specific attribute is configured.
+        """
+        values = self.as_dict()
+        if attributes is not None:
+            values = {k: values.get(k) for k in attributes}
+        parts = [
+            _normalizer.normalize(str(v))
+            for _, v in sorted(values.items())
+            if v is not None and str(v) != ""
+        ]
+        return " ".join(p for p in parts if p)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Names of the record's non-null attributes."""
+        return [k for k, v in self.fields if v is not None and v != ""]
+
+
+def records_from_dicts(
+    rows: Iterable[Dict[str, Any]],
+    source_id: str,
+    id_prefix: str = "r",
+    id_attribute: Optional[str] = None,
+) -> List[Record]:
+    """Convert plain dictionaries into :class:`Record` objects.
+
+    Record ids come from ``id_attribute`` when provided (and present), else
+    they are generated as ``{source_id}:{id_prefix}{index}``.
+    """
+    records: List[Record] = []
+    for index, row in enumerate(rows):
+        if id_attribute is not None and row.get(id_attribute) not in (None, ""):
+            record_id = f"{source_id}:{row[id_attribute]}"
+        else:
+            record_id = f"{source_id}:{id_prefix}{index}"
+        records.append(Record.from_dict(record_id, source_id, row))
+    return records

@@ -1,0 +1,31 @@
+"""Expert sourcing.
+
+Data Tamer's "unique expert-sourcing mechanism for obtaining human guidance"
+routes uncertain decisions — schema-match suggestions below the acceptance
+threshold, borderline duplicate pairs — to human domain experts and folds
+their answers back into the system.  This package simulates that loop:
+
+* :class:`ExpertTask` / :class:`TaskQueue` — the unit of work and its queue;
+* :class:`SimulatedExpert` — a noisy oracle with configurable accuracy and
+  cost, answering against generator ground truth;
+* :class:`AnswerAggregator` — majority/weighted vote over multiple answers;
+* :class:`ExpertRouter` — route tasks to experts by domain and load;
+* :func:`schema_match_oracle` — adapter producing the callable the
+  :class:`~repro.schema.integrator.SchemaIntegrator` expects.
+"""
+
+from .tasks import ExpertTask, TaskQueue, TaskStatus
+from .experts import SimulatedExpert
+from .aggregation import AggregatedAnswer, AnswerAggregator
+from .routing import ExpertRouter, schema_match_oracle
+
+__all__ = [
+    "ExpertTask",
+    "TaskQueue",
+    "TaskStatus",
+    "SimulatedExpert",
+    "AggregatedAnswer",
+    "AnswerAggregator",
+    "ExpertRouter",
+    "schema_match_oracle",
+]

@@ -1,0 +1,76 @@
+"""Aggregating multiple expert answers into one resolution.
+
+When a task is answered by more than one expert (the ``min_answers_per_task``
+knob), the answers are combined by majority vote or confidence-weighted vote.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import ExpertError
+from .tasks import ExpertTask
+
+
+@dataclass(frozen=True)
+class AggregatedAnswer:
+    """The result of aggregating one task's answers."""
+
+    answer: Any
+    support: float
+    total_weight: float
+    n_answers: int
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of the total weight behind the winning answer."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.support / self.total_weight
+
+
+class AnswerAggregator:
+    """Majority or confidence-weighted voting over expert answers."""
+
+    def __init__(self, weighted: bool = True):
+        self.weighted = weighted
+
+    def aggregate(self, task: ExpertTask) -> AggregatedAnswer:
+        """Aggregate the answers recorded on ``task`` and resolve it."""
+        if not task.answers:
+            raise ExpertError(f"task {task.task_id!r} has no answers to aggregate")
+        weights: Dict[Any, float] = defaultdict(float)
+        total = 0.0
+        for answer_record in task.answers:
+            answer = answer_record["answer"]
+            weight = float(answer_record.get("confidence", 1.0)) if self.weighted else 1.0
+            weights[_key(answer)] += weight
+            total += weight
+        best_key = max(sorted(weights.keys(), key=repr), key=lambda k: weights[k])
+        # recover the original (non-keyed) answer value
+        winner: Any = None
+        for answer_record in task.answers:
+            if _key(answer_record["answer"]) == best_key:
+                winner = answer_record["answer"]
+                break
+        result = AggregatedAnswer(
+            answer=winner,
+            support=weights[best_key],
+            total_weight=total,
+            n_answers=len(task.answers),
+        )
+        task.resolve(result.answer)
+        return result
+
+    def aggregate_many(self, tasks: List[ExpertTask]) -> List[AggregatedAnswer]:
+        """Aggregate a list of answered tasks."""
+        return [self.aggregate(task) for task in tasks if task.answers]
+
+
+def _key(answer: Any) -> Any:
+    """Make an answer hashable for vote counting."""
+    if isinstance(answer, (list, dict, set)):
+        return repr(answer)
+    return answer

@@ -1,0 +1,77 @@
+"""Simulated experts.
+
+The paper's deployment asks real domain experts; the reproduction needs a
+stand-in whose behaviour is controllable.  A :class:`SimulatedExpert` answers
+a task correctly with probability ``accuracy`` (when the task carries ground
+truth) and tracks how many questions it has been asked and the simulated cost
+incurred, which the Figure 2 benchmark aggregates into "human intervention"
+per stage of schema bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExpertError
+from .tasks import ExpertTask
+
+
+@dataclass
+class SimulatedExpert:
+    """A noisy oracle standing in for a human domain expert."""
+
+    expert_id: str
+    accuracy: float = 0.95
+    domains: Sequence[str] = ("general",)
+    cost_per_task: float = 1.0
+    seed: int = 0
+    tasks_answered: int = field(default=0, init=False)
+    total_cost: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.expert_id:
+            raise ExpertError("expert_id must be non-empty")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ExpertError("accuracy must be in [0, 1]")
+        if self.cost_per_task < 0:
+            raise ExpertError("cost_per_task must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def can_answer(self, task: ExpertTask) -> bool:
+        """Whether this expert covers the task's domain."""
+        return "general" in self.domains or task.domain in self.domains
+
+    def answer(self, task: ExpertTask) -> Any:
+        """Answer one task.
+
+        With ground truth available the expert answers correctly with
+        probability ``accuracy`` (for booleans an incorrect answer is the
+        negation; for other answers, ``None`` models "don't know").  Without
+        ground truth the expert accepts the proposal (answers ``True``),
+        modelling an expert rubber-stamping a plausible suggestion.
+        """
+        if not self.can_answer(task):
+            raise ExpertError(
+                f"expert {self.expert_id!r} does not cover domain {task.domain!r}"
+            )
+        self.tasks_answered += 1
+        self.total_cost += self.cost_per_task
+        correct = bool(self._rng.random() < self.accuracy)
+        if task.ground_truth is None:
+            result: Any = True
+        elif correct:
+            result = task.ground_truth
+        elif isinstance(task.ground_truth, bool):
+            result = not task.ground_truth
+        else:
+            result = None
+        task.record_answer(self.expert_id, result, confidence=self.accuracy)
+        return result
+
+    def reset_counters(self) -> None:
+        """Zero the per-run workload counters."""
+        self.tasks_answered = 0
+        self.total_cost = 0.0

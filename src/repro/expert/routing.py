@@ -1,0 +1,123 @@
+"""Routing tasks to experts, and the adapter used by schema integration.
+
+:class:`ExpertRouter` owns a task queue and a pool of simulated experts; it
+routes each task to the least-loaded expert covering the task's domain,
+collects the required number of answers, and aggregates them.
+
+:func:`schema_match_oracle` wraps a router into the plain callable the
+:class:`~repro.schema.integrator.SchemaIntegrator` expects, optionally wired
+to a ground-truth mapping so escalation accuracy can be measured against the
+workload generator's known attribute correspondences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..config import ExpertConfig
+from ..errors import ExpertError, NoExpertAvailable
+from .aggregation import AggregatedAnswer, AnswerAggregator
+from .experts import SimulatedExpert
+from .tasks import ExpertTask, TaskQueue
+
+
+class ExpertRouter:
+    """Route expert tasks to a pool of (simulated) experts."""
+
+    def __init__(
+        self,
+        experts: Sequence[SimulatedExpert],
+        config: Optional[ExpertConfig] = None,
+        aggregator: Optional[AnswerAggregator] = None,
+    ):
+        if not experts:
+            raise ExpertError("at least one expert is required")
+        self._experts = list(experts)
+        self._config = config or ExpertConfig()
+        self._config.validate()
+        self._aggregator = aggregator or AnswerAggregator()
+        self._queue = TaskQueue()
+
+    @property
+    def queue(self) -> TaskQueue:
+        """The underlying task queue (inspection/benchmarks)."""
+        return self._queue
+
+    @property
+    def experts(self) -> List[SimulatedExpert]:
+        """The expert pool."""
+        return list(self._experts)
+
+    @property
+    def total_cost(self) -> float:
+        """Total simulated cost across all experts."""
+        return sum(expert.total_cost for expert in self._experts)
+
+    @property
+    def total_tasks_answered(self) -> int:
+        """Total answers given across all experts."""
+        return sum(expert.tasks_answered for expert in self._experts)
+
+    def _eligible(self, task: ExpertTask) -> List[SimulatedExpert]:
+        eligible = [
+            expert
+            for expert in self._experts
+            if expert.can_answer(task)
+            and expert.tasks_answered < self._config.max_tasks_per_expert
+        ]
+        if not eligible:
+            raise NoExpertAvailable(
+                f"no expert available for domain {task.domain!r}"
+            )
+        return eligible
+
+    def ask(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        domain: str = "general",
+        ground_truth: Optional[Any] = None,
+    ) -> AggregatedAnswer:
+        """Create a task, collect answers and return the aggregated result."""
+        task = self._queue.create_task(
+            kind, payload, domain=domain, ground_truth=ground_truth
+        )
+        eligible = self._eligible(task)
+        eligible.sort(key=lambda e: (e.tasks_answered, e.expert_id))
+        needed = min(self._config.min_answers_per_task, len(eligible))
+        for expert in eligible[:needed]:
+            expert.answer(task)
+        return self._aggregator.aggregate(task)
+
+
+def schema_match_oracle(
+    router: ExpertRouter,
+    true_mapping: Optional[Dict[str, str]] = None,
+    domain: str = "schema",
+) -> Callable:
+    """Build the expert callable the schema integrator escalates to.
+
+    ``true_mapping`` maps source attribute names to the global attribute they
+    really correspond to (from the workload generator); when provided, the
+    simulated experts answer against that ground truth, so their configured
+    accuracy translates directly into escalation quality.  Without ground
+    truth the experts confirm every plausible suggestion.
+    """
+
+    def oracle(source_attribute: str, candidate: str, score) -> bool:
+        ground_truth: Optional[bool] = None
+        if true_mapping is not None:
+            ground_truth = true_mapping.get(source_attribute) == candidate
+        result = router.ask(
+            "schema_match",
+            payload={
+                "source_attribute": source_attribute,
+                "candidate": candidate,
+                "score": getattr(score, "composite", score),
+            },
+            domain=domain,
+            ground_truth=ground_truth,
+        )
+        return bool(result.answer)
+
+    return oracle

@@ -1,0 +1,130 @@
+"""Expert task model and queue."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from ..errors import ExpertError
+
+#: Kinds of questions the system asks experts.
+TASK_KINDS = ("schema_match", "duplicate_pair", "value_correction")
+
+
+class TaskStatus(Enum):
+    """Lifecycle of an expert task."""
+
+    PENDING = "pending"
+    ASSIGNED = "assigned"
+    ANSWERED = "answered"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class ExpertTask:
+    """One question for a human expert.
+
+    ``payload`` carries the kind-specific content: for a schema-match task,
+    the source attribute, the candidate global attribute and the matcher
+    score; for a duplicate-pair task, the two records; for a value-correction
+    task, the attribute, the suspicious value and context.
+    ``ground_truth`` is optional and only used by simulated experts.
+    """
+
+    task_id: str
+    kind: str
+    payload: Dict[str, Any]
+    domain: str = "general"
+    status: TaskStatus = TaskStatus.PENDING
+    ground_truth: Optional[Any] = None
+    answers: List[Dict[str, Any]] = field(default_factory=list)
+    resolution: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ExpertError(f"unknown task kind: {self.kind!r}")
+
+    def record_answer(self, expert_id: str, answer: Any, confidence: float = 1.0) -> None:
+        """Record one expert's answer."""
+        self.answers.append(
+            {"expert_id": expert_id, "answer": answer, "confidence": confidence}
+        )
+        self.status = TaskStatus.ANSWERED
+
+    def resolve(self, resolution: Any) -> None:
+        """Mark the task resolved with a final answer."""
+        self.resolution = resolution
+        self.status = TaskStatus.RESOLVED
+
+
+class TaskQueue:
+    """FIFO queue of expert tasks with id generation and status tracking."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, ExpertTask] = {}
+        self._order: List[str] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def create_task(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        domain: str = "general",
+        ground_truth: Optional[Any] = None,
+    ) -> ExpertTask:
+        """Create, enqueue and return a new task."""
+        task_id = f"task:{next(self._counter)}"
+        task = ExpertTask(
+            task_id=task_id,
+            kind=kind,
+            payload=payload,
+            domain=domain,
+            ground_truth=ground_truth,
+        )
+        self._tasks[task_id] = task
+        self._order.append(task_id)
+        return task
+
+    def get(self, task_id: str) -> ExpertTask:
+        """Return a task by id."""
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise ExpertError(f"unknown task: {task_id!r}")
+        return task
+
+    def pending(self, domain: Optional[str] = None) -> List[ExpertTask]:
+        """Return pending tasks, optionally restricted to one domain."""
+        return [
+            self._tasks[tid]
+            for tid in self._order
+            if self._tasks[tid].status == TaskStatus.PENDING
+            and (domain is None or self._tasks[tid].domain == domain)
+        ]
+
+    def next_pending(self, domain: Optional[str] = None) -> Optional[ExpertTask]:
+        """Return (and mark assigned) the oldest pending task."""
+        for task in self.pending(domain):
+            task.status = TaskStatus.ASSIGNED
+            return task
+        return None
+
+    def by_status(self, status: TaskStatus) -> List[ExpertTask]:
+        """Return all tasks with the given status."""
+        return [self._tasks[tid] for tid in self._order if self._tasks[tid].status == status]
+
+    def all_tasks(self) -> List[ExpertTask]:
+        """Return every task in creation order."""
+        return [self._tasks[tid] for tid in self._order]
+
+    def stats(self) -> Dict[str, int]:
+        """Counts by status plus the total."""
+        counts = {status.value: 0 for status in TaskStatus}
+        for task in self._tasks.values():
+            counts[task.status.value] += 1
+        counts["total"] = len(self._tasks)
+        return counts

@@ -1,0 +1,31 @@
+"""Data ingestion: connectors, hierarchical flattening, and batch loading.
+
+Figure 1 of the paper shows data ingest as the first stage of the pipeline:
+structured, semi-structured and unstructured sources are accepted, converted
+into flat records and stored in the internal store.  This package provides
+
+* :class:`DictSource`, :class:`CsvSource`, :class:`JsonLinesSource` — source
+  connectors exposing a common ``records()`` iterator plus source metadata;
+* :func:`flatten_document` / :class:`Flattener` — conversion of hierarchical
+  (nested) documents into flat records, the "flattening" step the paper
+  applies to the domain parser's output;
+* :class:`BatchLoader` — bulk loading of flattened records into document
+  collections with per-source ingest statistics.
+"""
+
+from .connectors import CsvSource, DictSource, JsonLinesSource, Source, SourceMetadata
+from .flatten import Flattener, flatten_document, unflatten_document
+from .loader import BatchLoader, IngestReport
+
+__all__ = [
+    "CsvSource",
+    "DictSource",
+    "JsonLinesSource",
+    "Source",
+    "SourceMetadata",
+    "Flattener",
+    "flatten_document",
+    "unflatten_document",
+    "BatchLoader",
+    "IngestReport",
+]

@@ -1,0 +1,183 @@
+"""Source connectors.
+
+A *source* in Data Tamer is one incoming dataset: a spreadsheet, a web
+aggregator feed, a Fusion Table, a batch of parsed text documents.  Each
+connector exposes the same small interface:
+
+* ``metadata`` — a :class:`SourceMetadata` describing the source;
+* ``records()`` — an iterator of flat ``dict`` records;
+* ``attribute_names()`` — the union of record keys (the source's local
+  schema), which is what schema integration matches against the global
+  schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..errors import IngestError
+
+#: Kinds of sources recognised by the catalog (mirrors Figure 1's inputs).
+SOURCE_KINDS = ("structured", "semi_structured", "unstructured")
+
+
+@dataclass(frozen=True)
+class SourceMetadata:
+    """Descriptive metadata for one incoming data source."""
+
+    source_id: str
+    kind: str = "structured"
+    description: str = ""
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise IngestError("source_id must be non-empty")
+        if self.kind not in SOURCE_KINDS:
+            raise IngestError(f"unknown source kind: {self.kind!r}")
+
+
+class Source:
+    """Base class for source connectors."""
+
+    def __init__(self, metadata: SourceMetadata):
+        self._metadata = metadata
+
+    @property
+    def metadata(self) -> SourceMetadata:
+        """Source metadata."""
+        return self._metadata
+
+    @property
+    def source_id(self) -> str:
+        """Shorthand for ``metadata.source_id``."""
+        return self._metadata.source_id
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Yield the source's records as flat dictionaries."""
+        raise NotImplementedError
+
+    def attribute_names(self) -> List[str]:
+        """Return the union of keys across records, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.records():
+            for key in record:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def count(self) -> int:
+        """Number of records in the source."""
+        return sum(1 for _ in self.records())
+
+
+class DictSource(Source):
+    """A source backed by an in-memory list of record dictionaries."""
+
+    def __init__(
+        self,
+        source_id: str,
+        records: Sequence[Dict[str, Any]],
+        kind: str = "structured",
+        description: str = "",
+    ):
+        super().__init__(SourceMetadata(source_id, kind=kind, description=description))
+        for record in records:
+            if not isinstance(record, dict):
+                raise IngestError("DictSource records must be dictionaries")
+        self._records = [dict(r) for r in records]
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for record in self._records:
+            yield dict(record)
+
+    def count(self) -> int:
+        return len(self._records)
+
+
+class CsvSource(Source):
+    """A source backed by CSV text or a CSV file.
+
+    Values are kept as strings; type inference happens later in the cleaning
+    profiler, matching how Data Tamer treats spreadsheet input.
+    """
+
+    def __init__(
+        self,
+        source_id: str,
+        path: Optional[Union[str, Path]] = None,
+        text: Optional[str] = None,
+        delimiter: str = ",",
+        description: str = "",
+    ):
+        super().__init__(
+            SourceMetadata(source_id, kind="structured", description=description)
+        )
+        if (path is None) == (text is None):
+            raise IngestError("provide exactly one of path or text")
+        self._path = Path(path) if path is not None else None
+        self._text = text
+        self._delimiter = delimiter
+
+    def _reader(self) -> Iterator[Dict[str, str]]:
+        if self._path is not None:
+            with open(self._path, "r", newline="", encoding="utf-8") as handle:
+                yield from csv.DictReader(handle, delimiter=self._delimiter)
+        else:
+            handle = io.StringIO(self._text)
+            yield from csv.DictReader(handle, delimiter=self._delimiter)
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for row in self._reader():
+            yield {k: v for k, v in row.items() if k is not None}
+
+
+class JsonLinesSource(Source):
+    """A source backed by newline-delimited JSON (one document per line).
+
+    Documents may be nested; ``records()`` yields them as-is, and the loader
+    flattens them.  This is the natural connector for the domain parser's
+    hierarchical output when it has been spooled to disk.
+    """
+
+    def __init__(
+        self,
+        source_id: str,
+        path: Optional[Union[str, Path]] = None,
+        text: Optional[str] = None,
+        kind: str = "semi_structured",
+        description: str = "",
+    ):
+        super().__init__(SourceMetadata(source_id, kind=kind, description=description))
+        if (path is None) == (text is None):
+            raise IngestError("provide exactly one of path or text")
+        self._path = Path(path) if path is not None else None
+        self._text = text
+
+    def _lines(self) -> Iterator[str]:
+        if self._path is not None:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                yield from handle
+        else:
+            yield from io.StringIO(self._text)
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for lineno, line in enumerate(self._lines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise IngestError(
+                    f"{self.source_id}: invalid JSON on line {lineno}: {exc}"
+                ) from exc
+            if not isinstance(document, dict):
+                raise IngestError(
+                    f"{self.source_id}: line {lineno} is not a JSON object"
+                )
+            yield document

@@ -1,0 +1,169 @@
+"""Hierarchical → flat record conversion.
+
+The paper: "By flattening here we mean the process of converting hierarchical
+data into flat records before processing by DATA TAMER."  The parser's output
+is nested (entity → attributes, mention → span); Data Tamer's schema
+integration and consolidation operate on flat attribute/value records.
+
+Flattening uses dotted paths for nested objects and bracketed indices for
+lists, e.g. ``{"entity": {"name": "Matilda"}}`` becomes
+``{"entity.name": "Matilda"}``.  :func:`unflatten_document` inverts the
+mapping, which the property tests exercise as a round-trip invariant.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import IngestError
+
+_INDEX_RE = re.compile(r"^(.*)\[(\d+)\]$")
+
+
+def flatten_document(
+    document: Dict[str, Any],
+    separator: str = ".",
+    max_depth: int = 32,
+) -> Dict[str, Any]:
+    """Flatten a nested document into a single-level dict with path keys.
+
+    Scalars are kept as-is; nested dicts contribute ``parent.child`` keys;
+    lists contribute ``parent[i]`` keys.  Empty dicts and lists flatten to
+    nothing (they carry no values).
+
+    Raises :class:`IngestError` when nesting exceeds ``max_depth`` (cycle
+    protection) or the input is not a dict.
+    """
+    if not isinstance(document, dict):
+        raise IngestError("flatten_document expects a dict")
+    flat: Dict[str, Any] = {}
+    _flatten_into(document, "", flat, separator, max_depth, 0)
+    return flat
+
+
+def _flatten_into(
+    value: Any,
+    prefix: str,
+    out: Dict[str, Any],
+    separator: str,
+    max_depth: int,
+    depth: int,
+) -> None:
+    if depth > max_depth:
+        raise IngestError(f"nesting deeper than {max_depth} levels")
+    if isinstance(value, dict):
+        for key, child in value.items():
+            key = str(key)
+            if separator in key:
+                raise IngestError(
+                    f"key {key!r} contains the separator {separator!r}"
+                )
+            path = f"{prefix}{separator}{key}" if prefix else key
+            _flatten_into(child, path, out, separator, max_depth, depth + 1)
+    elif isinstance(value, (list, tuple)):
+        for i, child in enumerate(value):
+            path = f"{prefix}[{i}]" if prefix else f"[{i}]"
+            _flatten_into(child, path, out, separator, max_depth, depth + 1)
+    else:
+        out[prefix] = value
+
+
+def unflatten_document(
+    flat: Dict[str, Any], separator: str = "."
+) -> Dict[str, Any]:
+    """Invert :func:`flatten_document`.
+
+    Round-trip guarantee: for any JSON-like document without empty
+    containers, ``unflatten_document(flatten_document(d)) == d``.
+    """
+    if not isinstance(flat, dict):
+        raise IngestError("unflatten_document expects a dict")
+    root: Dict[str, Any] = {}
+    for path, value in flat.items():
+        _insert_path(root, _parse_path(path, separator), value)
+    return _listify(root)
+
+
+def _parse_path(path: str, separator: str) -> List[Any]:
+    """Split a flat key into name and index parts, e.g. ``a.b[2].c`` → ``['a', 'b', 2, 'c']``."""
+    parts: List[Any] = []
+    for segment in path.split(separator):
+        name = segment
+        indices: List[int] = []
+        while True:
+            match = _INDEX_RE.match(name)
+            if match is None:
+                break
+            name, idx = match.group(1), int(match.group(2))
+            indices.insert(0, idx)
+        if name:
+            parts.append(name)
+        parts.extend(indices)
+    return parts
+
+
+def _insert_path(root: Dict[str, Any], parts: List[Any], value: Any) -> None:
+    node: Any = root
+    for i, part in enumerate(parts):
+        last = i == len(parts) - 1
+        if last:
+            node[part] = value
+        else:
+            nxt = parts[i + 1]
+            default: Any = {} if not isinstance(nxt, int) else {}
+            if part not in node:
+                node[part] = default
+            node = node[part]
+
+
+def _listify(node: Any) -> Any:
+    """Convert dicts whose keys are all contiguous ints starting at 0 into lists."""
+    if not isinstance(node, dict):
+        return node
+    converted = {k: _listify(v) for k, v in node.items()}
+    keys = list(converted.keys())
+    if keys and all(isinstance(k, int) for k in keys):
+        ordered = sorted(keys)
+        if ordered == list(range(len(ordered))):
+            return [converted[k] for k in ordered]
+    return converted
+
+
+class Flattener:
+    """Batch flattening with column-name bookkeeping.
+
+    Schema integration wants to know which flat attribute names a source
+    produced; the flattener records the union of keys seen.
+    """
+
+    def __init__(self, separator: str = ".", max_depth: int = 32):
+        self.separator = separator
+        self.max_depth = max_depth
+        self._seen_keys: Dict[str, int] = {}
+
+    def flatten(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Flatten one document and record its keys."""
+        flat = flatten_document(
+            document, separator=self.separator, max_depth=self.max_depth
+        )
+        for key in flat:
+            self._seen_keys[key] = self._seen_keys.get(key, 0) + 1
+        return flat
+
+    def flatten_many(self, documents: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Flatten an iterable of documents."""
+        return [self.flatten(doc) for doc in documents]
+
+    @property
+    def observed_keys(self) -> List[str]:
+        """All flat keys observed so far, most frequent first."""
+        return [
+            k for k, _ in sorted(
+                self._seen_keys.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
+    def key_frequency(self, key: str) -> int:
+        """How many flattened documents carried ``key``."""
+        return self._seen_keys.get(key, 0)

@@ -1,0 +1,44 @@
+"""Machine-learning substrate.
+
+The paper trains "a machine-learning classifier on a large-scale web-text and
+used it for deduplication and data cleaning", reporting 89 % precision / 90 %
+recall by 10-fold cross-validation.  Rather than depend on an external ML
+library, the reproduction implements the needed pieces from scratch on numpy:
+
+* :class:`TfIdfVectorizer` and :class:`HashingVectorizer` — text → sparse-ish
+  feature vectors;
+* :class:`LogisticRegression` — L2-regularised logistic regression trained by
+  mini-batch gradient descent;
+* :class:`BernoulliNaiveBayes` — the simpler baseline classifier;
+* :mod:`repro.ml.metrics` — precision / recall / F1 / accuracy / confusion;
+* :func:`cross_validate` — deterministic k-fold cross-validation.
+"""
+
+from .vectorize import HashingVectorizer, TfIdfVectorizer
+from .linear import LogisticRegression
+from .naive_bayes import BernoulliNaiveBayes
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+from .crossval import CrossValResult, cross_validate, k_fold_indices
+
+__all__ = [
+    "HashingVectorizer",
+    "TfIdfVectorizer",
+    "LogisticRegression",
+    "BernoulliNaiveBayes",
+    "ClassificationReport",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "precision",
+    "recall",
+    "CrossValResult",
+    "cross_validate",
+    "k_fold_indices",
+]

@@ -1,0 +1,146 @@
+"""L2-regularised logistic regression trained by mini-batch gradient descent.
+
+This is the classifier behind the paper's deduplication / data-cleaning
+numbers.  It is implemented directly on numpy so the reproduction has no
+external ML dependency; the optimiser is plain mini-batch SGD with an
+optional decaying learning rate, which converges comfortably on the pairwise
+similarity features the dedup model produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    learning_rate:
+        Initial SGD step size.
+    n_epochs:
+        Passes over the training data.
+    batch_size:
+        Mini-batch size; the last batch of an epoch may be smaller.
+    l2:
+        L2 regularisation strength (0 disables it).
+    decay:
+        Multiplicative learning-rate decay applied after each epoch.
+    seed:
+        Seed for shuffling and weight initialisation (deterministic fits).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_epochs: int = 50,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        decay: float = 0.99,
+        seed: int = 0,
+    ):
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        if n_epochs <= 0:
+            raise ModelError("n_epochs must be positive")
+        if batch_size <= 0:
+            raise ModelError("batch_size must be positive")
+        if l2 < 0:
+            raise ModelError("l2 must be non-negative")
+        if not 0 < decay <= 1:
+            raise ModelError("decay must be in (0, 1]")
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.decay = decay
+        self.seed = seed
+        self._weights: Optional[np.ndarray] = None
+        self._bias: float = 0.0
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Learned weight vector (available after ``fit``)."""
+        if self._weights is None:
+            raise NotFittedError("LogisticRegression")
+        return self._weights.copy()
+
+    @property
+    def bias(self) -> float:
+        """Learned intercept (available after ``fit``)."""
+        if self._weights is None:
+            raise NotFittedError("LogisticRegression")
+        return self._bias
+
+    def fit(self, X: Sequence, y: Sequence[int]) -> "LogisticRegression":
+        """Train on feature matrix ``X`` and binary labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ModelError("X must be a 2-D array")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ModelError("y must be 1-D and aligned with X rows")
+        if not np.all((y == 0) | (y == 1)):
+            raise ModelError("labels must be 0 or 1")
+        n_samples, n_features = X.shape
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(scale=0.01, size=n_features)
+        bias = 0.0
+        lr = self.learning_rate
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb, yb = X[batch], y[batch]
+                preds = _sigmoid(Xb @ weights + bias)
+                error = preds - yb
+                grad_w = Xb.T @ error / len(batch) + self.l2 * weights
+                grad_b = float(np.mean(error))
+                weights -= lr * grad_w
+                bias -= lr * grad_b
+            lr *= self.decay
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, X: Sequence) -> np.ndarray:
+        """Return P(label == 1) for each row of ``X``."""
+        if self._weights is None:
+            raise NotFittedError("LogisticRegression")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self._weights.shape[0]:
+            raise ModelError(
+                f"feature dimension mismatch: model has {self._weights.shape[0]}, "
+                f"input has {X.shape[1]}"
+            )
+        return _sigmoid(X @ self._weights + self._bias)
+
+    def predict(self, X: Sequence, threshold: float = 0.5) -> np.ndarray:
+        """Return 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def decision_function(self, X: Sequence) -> np.ndarray:
+        """Return the raw linear scores (log-odds) for each row of ``X``."""
+        if self._weights is None:
+            raise NotFittedError("LogisticRegression")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return X @ self._weights + self._bias

@@ -1,0 +1,150 @@
+"""Text vectorizers.
+
+Both vectorizers map raw strings to dense numpy feature matrices.  The TF-IDF
+vectorizer learns a vocabulary on ``fit``; the hashing vectorizer is
+stateless and is what the larger-scale benchmarks use (no vocabulary to hold
+in memory, mirroring how a web-scale deployment would vectorize).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+from ..text.tokenizer import tokenize
+
+
+class TfIdfVectorizer:
+    """Term-frequency / inverse-document-frequency vectorizer.
+
+    Parameters
+    ----------
+    max_features:
+        Keep only the ``max_features`` most frequent vocabulary terms.
+    min_df:
+        Drop terms appearing in fewer than ``min_df`` documents.
+    sublinear_tf:
+        Use ``1 + log(tf)`` instead of raw term frequency.
+    """
+
+    def __init__(
+        self,
+        max_features: Optional[int] = None,
+        min_df: int = 1,
+        sublinear_tf: bool = True,
+    ):
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        if max_features is not None and max_features < 1:
+            raise ValueError("max_features must be >= 1")
+        self.max_features = max_features
+        self.min_df = min_df
+        self.sublinear_tf = sublinear_tf
+        self._vocabulary: Optional[Dict[str, int]] = None
+        self._idf: Optional[np.ndarray] = None
+
+    @property
+    def vocabulary(self) -> Dict[str, int]:
+        """Term → column-index mapping (available after ``fit``)."""
+        if self._vocabulary is None:
+            raise NotFittedError("TfIdfVectorizer")
+        return dict(self._vocabulary)
+
+    def fit(self, documents: Sequence[str]) -> "TfIdfVectorizer":
+        """Learn the vocabulary and IDF weights from ``documents``."""
+        doc_freq: Dict[str, int] = {}
+        total_freq: Dict[str, int] = {}
+        n_docs = 0
+        for doc in documents:
+            n_docs += 1
+            terms = tokenize(doc)
+            for term in set(terms):
+                doc_freq[term] = doc_freq.get(term, 0) + 1
+            for term in terms:
+                total_freq[term] = total_freq.get(term, 0) + 1
+        candidates = [t for t, df in doc_freq.items() if df >= self.min_df]
+        candidates.sort(key=lambda t: (-total_freq[t], t))
+        if self.max_features is not None:
+            candidates = candidates[: self.max_features]
+        self._vocabulary = {term: i for i, term in enumerate(candidates)}
+        idf = np.zeros(len(candidates), dtype=float)
+        for term, index in self._vocabulary.items():
+            idf[index] = math.log((1 + n_docs) / (1 + doc_freq[term])) + 1.0
+        self._idf = idf
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorize ``documents`` into a ``(n_docs, n_terms)`` matrix."""
+        if self._vocabulary is None or self._idf is None:
+            raise NotFittedError("TfIdfVectorizer")
+        matrix = np.zeros((len(documents), len(self._vocabulary)), dtype=float)
+        for row, doc in enumerate(documents):
+            counts: Dict[int, int] = {}
+            for term in tokenize(doc):
+                index = self._vocabulary.get(term)
+                if index is not None:
+                    counts[index] = counts.get(index, 0) + 1
+            for index, count in counts.items():
+                tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+                matrix[row, index] = tf * self._idf[index]
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to ``fit(documents).transform(documents)``."""
+        return self.fit(documents).transform(documents)
+
+    @property
+    def n_features(self) -> int:
+        """Number of output feature columns."""
+        if self._vocabulary is None:
+            raise NotFittedError("TfIdfVectorizer")
+        return len(self._vocabulary)
+
+
+class HashingVectorizer:
+    """Stateless feature-hashing vectorizer.
+
+    Terms are hashed into ``n_features`` buckets with a signed hash, so no
+    vocabulary needs to be stored — the strategy a web-scale deployment uses
+    for the 173-million-entity WEBENTITIES collection.
+    """
+
+    def __init__(self, n_features: int = 1024, normalize: bool = True):
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        self.n_features = n_features
+        self.normalize = normalize
+
+    def _bucket_and_sign(self, term: str) -> tuple:
+        digest = hashlib.blake2b(term.encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "big")
+        bucket = value % self.n_features
+        sign = 1.0 if (value >> 63) & 1 == 0 else -1.0
+        return bucket, sign
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorize ``documents`` into a ``(n_docs, n_features)`` matrix."""
+        matrix = np.zeros((len(documents), self.n_features), dtype=float)
+        for row, doc in enumerate(documents):
+            for term in tokenize(doc):
+                bucket, sign = self._bucket_and_sign(term)
+                matrix[row, bucket] += sign
+        if self.normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            matrix = matrix / norms
+        return matrix
+
+    def fit(self, documents: Sequence[str]) -> "HashingVectorizer":
+        """No-op (the hashing vectorizer is stateless); returns ``self``."""
+        return self
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Equivalent to :meth:`transform` (stateless)."""
+        return self.transform(documents)

@@ -1,0 +1,27 @@
+"""Query and fusion over the integrated global schema.
+
+The payoff of the fusion architecture is the demo in the paper's Section V:
+querying the integrated schema returns the text fragment *and* the theater,
+schedule and price that only the structured sources knew (Table VI), where
+the text-only result had nothing but the fragment (Table V).
+
+* :class:`QueryEngine` — equality/predicate queries over consolidated
+  entities with per-attribute provenance;
+* :class:`FusionResult` / :func:`fuse_entity_views` — assembling the enriched
+  record for one entity across text-derived and structured-derived views;
+* :mod:`repro.query.topk` — the "top-10 most discussed" style aggregation of
+  Table IV.
+"""
+
+from .engine import QueryEngine, QueryResult
+from .fusion import FusionResult, fuse_entity_views
+from .topk import MentionCounter, top_k_discussed
+
+__all__ = [
+    "QueryEngine",
+    "QueryResult",
+    "FusionResult",
+    "fuse_entity_views",
+    "MentionCounter",
+    "top_k_discussed",
+]

@@ -1,0 +1,123 @@
+"""The query engine over consolidated entities.
+
+After ingestion, schema integration and consolidation, the system holds a set
+of composite entity records expressed in the global schema.  The query engine
+answers the demo-style questions over them: equality lookups, predicate
+filters, keyword search over text attributes, and the "lookup by show name"
+query used for Tables V and VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..entity.consolidation import ConsolidatedEntity
+from ..errors import QueryError
+from ..text.normalize import TextNormalizer
+from ..text.tokenizer import tokenize
+
+_normalizer = TextNormalizer()
+
+
+@dataclass
+class QueryResult:
+    """Entities matching a query, with convenience accessors."""
+
+    entities: List[ConsolidatedEntity] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def __iter__(self):
+        return iter(self.entities)
+
+    @property
+    def first(self) -> Optional[ConsolidatedEntity]:
+        """The first matching entity (or ``None``)."""
+        return self.entities[0] if self.entities else None
+
+    def project(self, attributes: Sequence[str]) -> List[Dict[str, Any]]:
+        """Return the selected attributes of each matching entity."""
+        return [
+            {name: entity.attributes.get(name) for name in attributes}
+            for entity in self.entities
+        ]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Return each matching entity's full attribute dictionary."""
+        return [dict(entity.attributes) for entity in self.entities]
+
+
+class QueryEngine:
+    """Query consolidated entities expressed in the global schema."""
+
+    def __init__(self, entities: Iterable[ConsolidatedEntity]):
+        self._entities: List[ConsolidatedEntity] = list(entities)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    @property
+    def entities(self) -> List[ConsolidatedEntity]:
+        """All entities known to the engine."""
+        return list(self._entities)
+
+    def add_entities(self, entities: Iterable[ConsolidatedEntity]) -> None:
+        """Register more entities (e.g. after integrating another source)."""
+        self._entities.extend(entities)
+
+    def all_attributes(self) -> List[str]:
+        """Union of attribute names across all entities, sorted."""
+        names = set()
+        for entity in self._entities:
+            names.update(entity.attributes)
+        return sorted(names)
+
+    # -- queries -----------------------------------------------------------
+
+    def find_equal(self, attribute: str, value: Any) -> QueryResult:
+        """Entities whose ``attribute`` equals ``value`` after normalization."""
+        target = _normalizer.normalize(str(value))
+        matches = [
+            entity
+            for entity in self._entities
+            if _normalizer.normalize(str(entity.attributes.get(attribute, ""))) == target
+            and entity.attributes.get(attribute) not in (None, "")
+        ]
+        return QueryResult(entities=matches)
+
+    def find_where(
+        self, predicate: Callable[[Dict[str, Any]], bool]
+    ) -> QueryResult:
+        """Entities whose attribute dictionary satisfies ``predicate``."""
+        return QueryResult(
+            entities=[e for e in self._entities if predicate(e.attributes)]
+        )
+
+    def search(self, phrase: str, attributes: Optional[Sequence[str]] = None) -> QueryResult:
+        """Keyword search: entities whose text contains every token of ``phrase``."""
+        wanted = set(tokenize(phrase))
+        if not wanted:
+            raise QueryError("search phrase has no tokens")
+        matches = []
+        for entity in self._entities:
+            haystack: List[str] = []
+            for name, value in entity.attributes.items():
+                if attributes is not None and name not in attributes:
+                    continue
+                if value not in (None, ""):
+                    haystack.extend(tokenize(str(value)))
+            if wanted.issubset(set(haystack)):
+                matches.append(entity)
+        return QueryResult(entities=matches)
+
+    def lookup_show(
+        self, show_name: str, name_attribute: str = "show_name"
+    ) -> QueryResult:
+        """The demo query: find a show by name (Tables V and VI)."""
+        result = self.find_equal(name_attribute, show_name)
+        if len(result) > 0:
+            return result
+        # fall back to keyword search over the name attribute only
+        return self.search(show_name, attributes=[name_attribute])

@@ -1,0 +1,53 @@
+"""Schema integration.
+
+Data Tamer builds the global integrated schema bottom-up: the first sources
+seed it, and every subsequent source is matched attribute-by-attribute
+against it (paper Figures 2 and 3).  This package provides
+
+* :class:`Attribute` / :class:`AttributeProfile` — the attribute model and
+  the value statistics the matchers consume;
+* :class:`GlobalSchema` — the evolving integrated schema;
+* :mod:`repro.schema.matchers` — name-based, value-based, type-based and
+  statistics-based similarity between a source attribute and a global one;
+* :class:`SchemaIntegrator` — the end-to-end matching step: score every
+  (source attribute, global attribute) pair, accept matches above the
+  operator threshold, escalate uncertain ones to experts, and propose new
+  global attributes for genuinely novel fields.
+"""
+
+from .attribute import Attribute, AttributeProfile, infer_type, profile_values
+from .global_schema import GlobalSchema
+from .mapping import AttributeMapping, MappingDecision, SourceMappingReport
+from .matchers import (
+    CompositeMatcher,
+    MatcherScore,
+    jaccard_similarity,
+    jaro_winkler,
+    levenshtein_ratio,
+    name_similarity,
+    ngram_similarity,
+    numeric_profile_similarity,
+    value_overlap_similarity,
+)
+from .integrator import SchemaIntegrator
+
+__all__ = [
+    "Attribute",
+    "AttributeProfile",
+    "infer_type",
+    "profile_values",
+    "GlobalSchema",
+    "AttributeMapping",
+    "MappingDecision",
+    "SourceMappingReport",
+    "CompositeMatcher",
+    "MatcherScore",
+    "jaccard_similarity",
+    "jaro_winkler",
+    "levenshtein_ratio",
+    "name_similarity",
+    "ngram_similarity",
+    "numeric_profile_similarity",
+    "value_overlap_similarity",
+    "SchemaIntegrator",
+]

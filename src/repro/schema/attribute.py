@@ -1,0 +1,229 @@
+"""Attribute model and value profiling.
+
+Schema matching in Data Tamer is not purely name-based: value distributions
+matter, especially for the dirty, sparsely-attributed records coming out of
+text.  :class:`AttributeProfile` captures the per-attribute statistics the
+value-based matchers use — sample values, inferred type, distinct counts,
+string-length and numeric summaries.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_DATE_RE = re.compile(
+    r"^\d{1,2}/\d{1,2}/\d{2,4}$|^\d{4}-\d{2}-\d{2}$"
+)
+_BOOL_VALUES = {"true", "false", "yes", "no", "0", "1"}
+_MONEY_RE = re.compile(r"^\$\s?\d[\d,]*(\.\d+)?$")
+
+
+def infer_type(values: Iterable[Any]) -> str:
+    """Infer a column type from a sample of values.
+
+    Returns one of ``integer``, ``float``, ``boolean``, ``date``, ``money``,
+    ``string`` or ``unknown`` (empty input).  The majority type wins; ties
+    fall back to ``string``.
+    """
+    counts: Dict[str, int] = {}
+    total = 0
+    for value in values:
+        if value is None or value == "":
+            continue
+        total += 1
+        counts[_type_of(value)] = counts.get(_type_of(value), 0) + 1
+    if total == 0:
+        return "unknown"
+    best_type, best_count = max(counts.items(), key=lambda kv: kv[1])
+    if best_count / total >= 0.6:
+        return best_type
+    return "string"
+
+
+def _type_of(value: Any) -> str:
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    text = str(value).strip()
+    lowered = text.lower()
+    if _INT_RE.match(text):
+        return "integer"
+    if _FLOAT_RE.match(text):
+        return "float"
+    if lowered in _BOOL_VALUES and lowered in {"true", "false", "yes", "no"}:
+        return "boolean"
+    if _DATE_RE.match(text):
+        return "date"
+    if _MONEY_RE.match(text):
+        return "money"
+    return "string"
+
+
+@dataclass
+class AttributeProfile:
+    """Value statistics for one attribute of one source (or of the global schema)."""
+
+    inferred_type: str = "unknown"
+    non_null_count: int = 0
+    null_count: int = 0
+    distinct_count: int = 0
+    sample_values: Tuple[Any, ...] = ()
+    mean_length: float = 0.0
+    numeric_mean: Optional[float] = None
+    numeric_std: Optional[float] = None
+    token_set: frozenset = frozenset()
+
+    @property
+    def total_count(self) -> int:
+        """Total observations including nulls."""
+        return self.non_null_count + self.null_count
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of observations that were null/empty."""
+        if self.total_count == 0:
+            return 0.0
+        return self.null_count / self.total_count
+
+    @property
+    def distinct_fraction(self) -> float:
+        """Distinct values over non-null observations (1.0 = key-like)."""
+        if self.non_null_count == 0:
+            return 0.0
+        return self.distinct_count / self.non_null_count
+
+
+def profile_values(
+    values: Sequence[Any], max_samples: int = 25, max_tokens: int = 2000
+) -> AttributeProfile:
+    """Build an :class:`AttributeProfile` from raw values."""
+    non_null = [v for v in values if v is not None and v != ""]
+    null_count = len(values) - len(non_null)
+    if not non_null:
+        return AttributeProfile(null_count=null_count)
+    distinct: Set[str] = set()
+    lengths: List[int] = []
+    numerics: List[float] = []
+    tokens: Set[str] = set()
+    for value in non_null:
+        text = str(value)
+        distinct.add(text)
+        lengths.append(len(text))
+        numeric = _to_float(value)
+        if numeric is not None:
+            numerics.append(numeric)
+        if len(tokens) < max_tokens:
+            for token in re.findall(r"[a-z0-9]+", text.lower()):
+                tokens.add(token)
+    samples = tuple(sorted(distinct)[:max_samples])
+    return AttributeProfile(
+        inferred_type=infer_type(non_null),
+        non_null_count=len(non_null),
+        null_count=null_count,
+        distinct_count=len(distinct),
+        sample_values=samples,
+        mean_length=float(np.mean(lengths)) if lengths else 0.0,
+        numeric_mean=float(np.mean(numerics)) if numerics else None,
+        numeric_std=float(np.std(numerics)) if numerics else None,
+        token_set=frozenset(tokens),
+    )
+
+
+@dataclass
+class Attribute:
+    """An attribute of the global schema (or of a source's local schema)."""
+
+    name: str
+    profile: AttributeProfile = field(default_factory=AttributeProfile)
+    description: str = ""
+    source_of_origin: str = ""
+    aliases: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def merge_profile(self, other: AttributeProfile) -> None:
+        """Fold another profile's observations into this attribute's profile.
+
+        Used when a new source maps onto an existing global attribute: the
+        global attribute's statistics should reflect all contributing
+        sources so later matches see the richer value distribution.
+        """
+        mine = self.profile
+        total_non_null = mine.non_null_count + other.non_null_count
+        if total_non_null == 0:
+            self.profile = AttributeProfile(
+                null_count=mine.null_count + other.null_count
+            )
+            return
+        combined_samples = tuple(
+            sorted(set(mine.sample_values) | set(other.sample_values))[:25]
+        )
+        weight_mine = mine.non_null_count / total_non_null
+        weight_other = other.non_null_count / total_non_null
+        numeric_mean = _weighted_optional(
+            mine.numeric_mean, other.numeric_mean, weight_mine, weight_other
+        )
+        numeric_std = _weighted_optional(
+            mine.numeric_std, other.numeric_std, weight_mine, weight_other
+        )
+        self.profile = AttributeProfile(
+            inferred_type=(
+                mine.inferred_type
+                if mine.inferred_type not in ("unknown",)
+                else other.inferred_type
+            ),
+            non_null_count=total_non_null,
+            null_count=mine.null_count + other.null_count,
+            distinct_count=max(mine.distinct_count, other.distinct_count),
+            sample_values=combined_samples,
+            mean_length=weight_mine * mine.mean_length + weight_other * other.mean_length,
+            numeric_mean=numeric_mean,
+            numeric_std=numeric_std,
+            token_set=frozenset(mine.token_set | other.token_set),
+        )
+
+    def add_alias(self, alias: str) -> None:
+        """Record a source attribute name that maps to this global attribute."""
+        if alias and alias != self.name:
+            self.aliases.add(alias)
+
+
+def _to_float(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().replace(",", "").lstrip("$")
+    try:
+        result = float(text)
+    except ValueError:
+        return None
+    if math.isnan(result) or math.isinf(result):
+        return None
+    return result
+
+
+def _weighted_optional(
+    a: Optional[float], b: Optional[float], wa: float, wb: float
+) -> Optional[float]:
+    if a is None and b is None:
+        return None
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return wa * a + wb * b

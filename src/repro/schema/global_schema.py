@@ -1,0 +1,135 @@
+"""The global integrated schema.
+
+The paper builds the global schema "from scratch by using metadata from the
+incoming sources — i.e. in a bottom-up fashion."  :class:`GlobalSchema` is
+that evolving artifact: a set of :class:`~repro.schema.attribute.Attribute`
+objects, each remembering which source introduced it, which source attribute
+names alias to it, and the merged value profile of everything mapped onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SchemaError, UnknownAttribute
+from .attribute import Attribute, AttributeProfile
+
+
+class GlobalSchema:
+    """The bottom-up, evolving integrated schema."""
+
+    def __init__(self, name: str = "global"):
+        self._name = name
+        self._attributes: Dict[str, Attribute] = {}
+        self._history: List[Tuple[str, str, str]] = []
+
+    @property
+    def name(self) -> str:
+        """Schema name (cosmetic)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, attribute_name: str) -> bool:
+        return attribute_name in self._attributes
+
+    def attribute_names(self) -> List[str]:
+        """Names of all global attributes in insertion order."""
+        return list(self._attributes)
+
+    def attributes(self) -> List[Attribute]:
+        """All global attributes in insertion order."""
+        return list(self._attributes.values())
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the global attribute called ``name``."""
+        attr = self._attributes.get(name)
+        if attr is None:
+            raise UnknownAttribute(name)
+        return attr
+
+    def add_attribute(
+        self,
+        name: str,
+        profile: Optional[AttributeProfile] = None,
+        description: str = "",
+        source_of_origin: str = "",
+    ) -> Attribute:
+        """Add a new global attribute; raises if the name is taken."""
+        if name in self._attributes:
+            raise SchemaError(f"global attribute already exists: {name!r}")
+        attribute = Attribute(
+            name=name,
+            profile=profile or AttributeProfile(),
+            description=description,
+            source_of_origin=source_of_origin,
+        )
+        self._attributes[name] = attribute
+        self._history.append((source_of_origin or "-", "add", name))
+        return attribute
+
+    def get_or_add(
+        self,
+        name: str,
+        profile: Optional[AttributeProfile] = None,
+        source_of_origin: str = "",
+    ) -> Attribute:
+        """Return the attribute called ``name``, adding it if missing."""
+        if name in self._attributes:
+            return self._attributes[name]
+        return self.add_attribute(
+            name, profile=profile, source_of_origin=source_of_origin
+        )
+
+    def record_mapping(
+        self,
+        global_name: str,
+        source_attribute: str,
+        source_id: str,
+        profile: Optional[AttributeProfile] = None,
+    ) -> Attribute:
+        """Fold a mapped source attribute into an existing global attribute.
+
+        Adds the source attribute name as an alias and merges its value
+        profile into the global attribute's profile, so later sources are
+        matched against richer statistics (the paper's point that matching
+        needs less human help as the schema matures).
+        """
+        attribute = self.attribute(global_name)
+        attribute.add_alias(source_attribute)
+        if profile is not None:
+            attribute.merge_profile(profile)
+        self._history.append((source_id, "map", f"{source_attribute}->{global_name}"))
+        return attribute
+
+    def lookup_alias(self, source_attribute: str) -> Optional[str]:
+        """Return the global attribute a source attribute name aliases, if any."""
+        if source_attribute in self._attributes:
+            return source_attribute
+        for name, attribute in self._attributes.items():
+            if source_attribute in attribute.aliases:
+                return name
+        return None
+
+    @property
+    def history(self) -> List[Tuple[str, str, str]]:
+        """Chronological ``(source_id, action, detail)`` schema-evolution log."""
+        return list(self._history)
+
+    def summary(self) -> dict:
+        """A compact description of the schema (for reports and the demo UI)."""
+        return {
+            "name": self._name,
+            "attribute_count": len(self._attributes),
+            "attributes": {
+                name: {
+                    "type": attr.profile.inferred_type,
+                    "aliases": sorted(attr.aliases),
+                    "origin": attr.source_of_origin,
+                    "non_null": attr.profile.non_null_count,
+                }
+                for name, attr in self._attributes.items()
+            },
+        }

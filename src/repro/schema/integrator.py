@@ -1,0 +1,268 @@
+"""Schema integration: matching incoming sources against the global schema.
+
+This is the code path behind the paper's Figures 2 and 3.  For every
+attribute of an incoming source the integrator
+
+1. profiles the attribute's values,
+2. scores it against every global attribute with the composite matcher,
+3. auto-accepts the best candidate if its score clears the acceptance
+   threshold the operator picked,
+4. escalates to an expert when the score is uncertain (between the
+   "new attribute" threshold and the acceptance threshold), and
+5. adds the attribute to the global schema when nothing plausible exists
+   (the "no counterpart in the global schema yet" alert in Figure 2).
+
+The expert is any callable ``(source_attribute, candidate, score) -> bool``;
+:mod:`repro.expert` provides simulated experts and an adapter, so this module
+has no dependency on the expert-sourcing package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SchemaConfig
+from ..errors import SchemaError
+from .attribute import AttributeProfile, profile_values
+from .global_schema import GlobalSchema
+from .mapping import AttributeMapping, MappingDecision, SourceMappingReport
+from .matchers import CompositeMatcher, MatcherScore, canonical_attribute_name
+
+#: Signature of the expert hook: given the source attribute name, the best
+#: candidate global attribute and its score, return True to confirm the match.
+ExpertOracle = Callable[[str, str, MatcherScore], bool]
+
+
+class SchemaIntegrator:
+    """Match incoming sources against (and grow) a global schema."""
+
+    def __init__(
+        self,
+        global_schema: Optional[GlobalSchema] = None,
+        config: Optional[SchemaConfig] = None,
+        expert: Optional[ExpertOracle] = None,
+    ):
+        self._schema = global_schema if global_schema is not None else GlobalSchema()
+        self._config = config if config is not None else SchemaConfig()
+        self._config.validate()
+        self._matcher = CompositeMatcher(self._config.matcher_weights)
+        self._expert = expert
+        self._reports: List[SourceMappingReport] = []
+
+    @property
+    def global_schema(self) -> GlobalSchema:
+        """The global schema this integrator grows."""
+        return self._schema
+
+    @property
+    def reports(self) -> List[SourceMappingReport]:
+        """Mapping reports for every source integrated so far, in order."""
+        return list(self._reports)
+
+    # -- profiling ---------------------------------------------------------
+
+    @staticmethod
+    def profile_source(
+        records: Sequence[dict],
+    ) -> Dict[str, AttributeProfile]:
+        """Profile every attribute observed across a source's records."""
+        columns: Dict[str, List] = {}
+        for record in records:
+            for key, value in record.items():
+                columns.setdefault(key, []).append(value)
+        total = len(records)
+        profiles: Dict[str, AttributeProfile] = {}
+        for key, values in columns.items():
+            padded = values + [None] * (total - len(values))
+            profiles[key] = profile_values(padded)
+        return profiles
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def initialize_from_source(
+        self, source_id: str, records: Sequence[dict]
+    ) -> SourceMappingReport:
+        """Seed an empty global schema from the first source (Figure 2's start).
+
+        Every attribute of the source becomes a global attribute.  Raises if
+        the schema is already populated — use :meth:`integrate_source` then.
+        """
+        if len(self._schema) > 0:
+            raise SchemaError(
+                "global schema is not empty; use integrate_source instead"
+            )
+        profiles = self.profile_source(records)
+        report = SourceMappingReport(source_id=source_id)
+        for name, profile in profiles.items():
+            global_name = self._add_global(source_id, name, profile)
+            report.mappings.append(
+                AttributeMapping(
+                    source_attribute=name,
+                    global_attribute=global_name,
+                    decision=MappingDecision.ADDED_TO_GLOBAL,
+                )
+            )
+        self._reports.append(report)
+        return report
+
+    # -- integration -------------------------------------------------------
+
+    def integrate_source(
+        self,
+        source_id: str,
+        records: Sequence[dict],
+        allow_new_attributes: bool = True,
+    ) -> SourceMappingReport:
+        """Match one source against the global schema and record the outcome.
+
+        If the global schema is empty this falls back to
+        :meth:`initialize_from_source` (bottom-up bootstrap).
+        """
+        if len(self._schema) == 0:
+            return self.initialize_from_source(source_id, records)
+        profiles = self.profile_source(records)
+        report = SourceMappingReport(source_id=source_id)
+        for name, profile in profiles.items():
+            mapping = self._map_attribute(
+                source_id, name, profile, allow_new_attributes
+            )
+            report.mappings.append(mapping)
+        self._reports.append(report)
+        return report
+
+    def score_against_schema(
+        self, attribute_name: str, profile: AttributeProfile
+    ) -> List[Tuple[str, MatcherScore]]:
+        """Score one source attribute against every global attribute.
+
+        Results are sorted by composite score, best first — the drop-down of
+        suggested matching targets in Figure 2.
+        """
+        scored: List[Tuple[str, MatcherScore]] = []
+        for global_attr in self._schema.attributes():
+            score = self._matcher.score(
+                attribute_name, profile, global_attr.name, global_attr.profile
+            )
+            scored.append((global_attr.name, score))
+        scored.sort(key=lambda item: item[1].composite, reverse=True)
+        return scored
+
+    # -- internals ---------------------------------------------------------
+
+    def _map_attribute(
+        self,
+        source_id: str,
+        name: str,
+        profile: AttributeProfile,
+        allow_new_attributes: bool,
+    ) -> AttributeMapping:
+        # A previously-recorded alias short-circuits matching entirely.
+        aliased = self._schema.lookup_alias(name)
+        scored = self.score_against_schema(name, profile)
+        candidates = [(gname, s.composite) for gname, s in scored[:5]]
+        if aliased is not None:
+            self._schema.record_mapping(aliased, name, source_id, profile)
+            best_score = next((s for g, s in scored if g == aliased), None)
+            return AttributeMapping(
+                source_attribute=name,
+                global_attribute=aliased,
+                decision=MappingDecision.AUTO_ACCEPT,
+                score=best_score,
+                candidates=candidates,
+            )
+
+        best_name, best_score = scored[0]
+        if best_score.composite >= self._config.accept_threshold:
+            self._schema.record_mapping(best_name, name, source_id, profile)
+            return AttributeMapping(
+                source_attribute=name,
+                global_attribute=best_name,
+                decision=MappingDecision.AUTO_ACCEPT,
+                score=best_score,
+                candidates=candidates,
+            )
+
+        if best_score.composite >= self._config.new_attribute_threshold:
+            if self._config.use_expert_escalation and self._expert is not None:
+                confirmed = bool(self._expert(name, best_name, best_score))
+                if confirmed:
+                    self._schema.record_mapping(best_name, name, source_id, profile)
+                    return AttributeMapping(
+                        source_attribute=name,
+                        global_attribute=best_name,
+                        decision=MappingDecision.EXPERT_CONFIRMED,
+                        score=best_score,
+                        candidates=candidates,
+                        expert_consulted=True,
+                    )
+                if allow_new_attributes:
+                    return AttributeMapping(
+                        source_attribute=name,
+                        global_attribute=self._add_global(source_id, name, profile),
+                        decision=MappingDecision.ADDED_TO_GLOBAL,
+                        score=best_score,
+                        candidates=candidates,
+                        expert_consulted=True,
+                    )
+                return AttributeMapping(
+                    source_attribute=name,
+                    global_attribute=None,
+                    decision=MappingDecision.EXPERT_REJECTED,
+                    score=best_score,
+                    candidates=candidates,
+                    expert_consulted=True,
+                )
+            # No expert configured: be conservative and treat the uncertain
+            # band the same as "new attribute".
+            if allow_new_attributes:
+                return AttributeMapping(
+                    source_attribute=name,
+                    global_attribute=self._add_global(source_id, name, profile),
+                    decision=MappingDecision.ADDED_TO_GLOBAL,
+                    score=best_score,
+                    candidates=candidates,
+                )
+            return AttributeMapping(
+                source_attribute=name,
+                global_attribute=None,
+                decision=MappingDecision.IGNORED,
+                score=best_score,
+                candidates=candidates,
+            )
+
+        # Below the new-attribute threshold: genuinely new field.
+        if allow_new_attributes:
+            return AttributeMapping(
+                source_attribute=name,
+                global_attribute=self._add_global(source_id, name, profile),
+                decision=MappingDecision.ADDED_TO_GLOBAL,
+                score=best_score,
+                candidates=candidates,
+            )
+        return AttributeMapping(
+            source_attribute=name,
+            global_attribute=None,
+            decision=MappingDecision.IGNORED,
+            score=best_score,
+            candidates=candidates,
+        )
+
+    def _add_global(
+        self, source_id: str, name: str, profile: AttributeProfile
+    ) -> str:
+        """Add a source attribute to the global schema under its canonical name.
+
+        If another source already introduced the same canonical name, the new
+        attribute is folded onto it as an alias instead of raising — two
+        sources calling a field ``SHOW_NAME`` and ``show name`` describe the
+        same global attribute.
+        """
+        global_name = canonical_attribute_name(name)
+        if global_name in self._schema:
+            self._schema.record_mapping(global_name, name, source_id, profile)
+            return global_name
+        attribute = self._schema.add_attribute(
+            global_name, profile=profile, source_of_origin=source_id
+        )
+        attribute.add_alias(name)
+        return global_name

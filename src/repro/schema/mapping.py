@@ -1,0 +1,110 @@
+"""Mapping decisions produced by schema integration.
+
+Figure 2 of the paper shows, for each incoming attribute, the suggested
+matching targets with scores, plus an alert for fields with no counterpart in
+the global schema and the actions available to the operator (*add to the
+global schema*, *ignore*).  These dataclasses capture exactly that decision
+space, plus the expert-escalation path for scores that land between the
+"confident match" and "confidently new" thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .matchers import MatcherScore
+
+
+class MappingDecision(Enum):
+    """What the integrator decided about one source attribute."""
+
+    #: Score above the acceptance threshold — mapped automatically.
+    AUTO_ACCEPT = "auto_accept"
+    #: Score in the uncertain band — sent to an expert, whose answer was applied.
+    EXPERT_CONFIRMED = "expert_confirmed"
+    #: Score in the uncertain band — the expert rejected the best candidate.
+    EXPERT_REJECTED = "expert_rejected"
+    #: No plausible counterpart — the attribute was added to the global schema.
+    ADDED_TO_GLOBAL = "added_to_global"
+    #: No plausible counterpart and additions disabled — attribute ignored.
+    IGNORED = "ignored"
+
+
+@dataclass
+class AttributeMapping:
+    """The outcome for one source attribute."""
+
+    source_attribute: str
+    global_attribute: Optional[str]
+    decision: MappingDecision
+    score: Optional[MatcherScore] = None
+    candidates: List[Tuple[str, float]] = field(default_factory=list)
+    #: Whether an expert was consulted for this attribute, regardless of the
+    #: final decision (an expert can reject the candidate and the attribute
+    #: still be added to the global schema).
+    expert_consulted: bool = False
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the attribute ended up mapped onto a global attribute."""
+        return self.global_attribute is not None and self.decision in (
+            MappingDecision.AUTO_ACCEPT,
+            MappingDecision.EXPERT_CONFIRMED,
+            MappingDecision.ADDED_TO_GLOBAL,
+        )
+
+
+@dataclass
+class SourceMappingReport:
+    """All mapping outcomes for one integrated source."""
+
+    source_id: str
+    mappings: List[AttributeMapping] = field(default_factory=list)
+
+    def mapping_for(self, source_attribute: str) -> Optional[AttributeMapping]:
+        """Return the mapping of one source attribute (or ``None``)."""
+        for mapping in self.mappings:
+            if mapping.source_attribute == source_attribute:
+                return mapping
+        return None
+
+    def translation(self) -> Dict[str, str]:
+        """source attribute → global attribute, for every mapped attribute."""
+        return {
+            m.source_attribute: m.global_attribute
+            for m in self.mappings
+            if m.is_mapped and m.global_attribute is not None
+        }
+
+    def count_by_decision(self) -> Dict[str, int]:
+        """Histogram of decisions (used by the Figure 2 benchmark)."""
+        counts: Dict[str, int] = {}
+        for mapping in self.mappings:
+            counts[mapping.decision.value] = counts.get(mapping.decision.value, 0) + 1
+        return counts
+
+    @property
+    def auto_accept_rate(self) -> float:
+        """Fraction of attributes mapped without human involvement."""
+        if not self.mappings:
+            return 0.0
+        auto = sum(
+            1 for m in self.mappings if m.decision == MappingDecision.AUTO_ACCEPT
+        )
+        return auto / len(self.mappings)
+
+    @property
+    def escalation_rate(self) -> float:
+        """Fraction of attributes for which an expert was consulted."""
+        if not self.mappings:
+            return 0.0
+        escalated = sum(
+            1
+            for m in self.mappings
+            if m.expert_consulted
+            or m.decision
+            in (MappingDecision.EXPERT_CONFIRMED, MappingDecision.EXPERT_REJECTED)
+        )
+        return escalated / len(self.mappings)

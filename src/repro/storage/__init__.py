@@ -1,0 +1,36 @@
+"""Storage substrates for the Data Tamer reproduction.
+
+Two storage engines back the system, mirroring the paper's architecture:
+
+* :class:`DocumentStore` — a sharded, extent-based semi-structured document
+  store standing in for the MongoDB cluster that held the ``dt.instance``
+  (WEBINSTANCE) and ``dt.entity`` (WEBENTITIES) collections.  Its
+  ``Collection.stats()`` output mirrors ``db.collection.stats()`` so the
+  paper's Tables I and II can be regenerated directly.
+* :class:`RelationalStore` — a small in-memory relational engine used as the
+  "internal RDBMS" landing zone for flattened and curated records.
+"""
+
+from .document_store import Collection, CollectionStats, DocumentStore
+from .index import HashIndex, InvertedIndex
+from .persistence import dump_collection, dump_store, load_collection, load_store
+from .relational import Column, RelationalStore, Row, Table
+from .sharding import ExtentAllocator, ShardRouter
+
+__all__ = [
+    "Collection",
+    "CollectionStats",
+    "DocumentStore",
+    "dump_collection",
+    "dump_store",
+    "load_collection",
+    "load_store",
+    "HashIndex",
+    "InvertedIndex",
+    "Column",
+    "RelationalStore",
+    "Row",
+    "Table",
+    "ExtentAllocator",
+    "ShardRouter",
+]

@@ -1,0 +1,380 @@
+"""Sharded, extent-based document store.
+
+This is the stand-in for the MongoDB cluster holding the paper's
+``dt.instance`` (WEBINSTANCE) and ``dt.entity`` (WEBENTITIES) collections.
+The store keeps everything in process memory, but preserves the mechanics the
+paper reports on:
+
+* documents are hash-sharded across a configurable number of shards;
+* each shard packs documents into fixed-capacity extents;
+* collections support multiple secondary indexes (hash and inverted);
+* :meth:`Collection.stats` returns the same fields ``db.collection.stats()``
+  prints in Tables I and II: ``ns``, ``count``, ``numExtents``, ``nindexes``,
+  ``lastExtentSize``, ``totalIndexSize``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from ..config import StorageConfig
+from ..errors import (
+    CollectionExists,
+    CollectionNotFound,
+    DocumentNotFound,
+    DuplicateDocumentId,
+    IndexError_,
+)
+from .index import HashIndex, InvertedIndex
+from .sharding import ExtentAllocator, ShardRouter
+
+
+def document_size_bytes(document: dict) -> int:
+    """Approximate serialized size of a document in bytes.
+
+    The JSON encoding is a good proxy for the BSON sizes MongoDB accounts
+    extents with, and it is deterministic, which the extent-count benchmarks
+    rely on.
+    """
+    return len(json.dumps(document, default=str, sort_keys=True).encode("utf-8"))
+
+
+@dataclass
+class CollectionStats:
+    """Statistics mirroring ``db.collection.stats()`` (paper Tables I, II)."""
+
+    ns: str
+    count: int
+    num_extents: int
+    nindexes: int
+    last_extent_size: int
+    total_index_size: int
+    total_data_size: int
+
+    def as_dict(self) -> dict:
+        """Return the stats using the paper's field names."""
+        return {
+            "ns": self.ns,
+            "count": self.count,
+            "numExtents": self.num_extents,
+            "nindexes": self.nindexes,
+            "lastExtentSize": self.last_extent_size,
+            "totalIndexSize": self.total_index_size,
+            "totalDataSize": self.total_data_size,
+        }
+
+
+class Collection:
+    """A named collection of semi-structured documents.
+
+    Documents are plain dictionaries.  Each document receives an ``_id`` on
+    insert if it does not already carry one.  The collection maintains a
+    mandatory hash index on ``_id`` plus any secondary indexes created with
+    :meth:`create_index` or :meth:`create_text_index`.
+    """
+
+    def __init__(self, namespace: str, name: str, config: StorageConfig):
+        self._namespace = namespace
+        self._name = name
+        self._config = config
+        self._documents: Dict[object, dict] = {}
+        self._router = ShardRouter(config.num_shards)
+        self._allocator = ExtentAllocator(
+            extent_size_bytes=config.extent_size_bytes,
+            num_shards=config.num_shards,
+        )
+        self._hash_indexes: Dict[str, HashIndex] = {"_id": HashIndex("_id")}
+        self._text_indexes: Dict[str, InvertedIndex] = {}
+        self._next_auto_id = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Collection name (without namespace)."""
+        return self._name
+
+    @property
+    def namespace(self) -> str:
+        """Fully-qualified ``db.collection`` namespace."""
+        return f"{self._namespace}.{self._name}"
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, document: dict) -> object:
+        """Insert one document and return its ``_id``.
+
+        Raises :class:`DuplicateDocumentId` if the document carries an
+        ``_id`` that is already present.
+        """
+        if not isinstance(document, dict):
+            raise TypeError("documents must be dictionaries")
+        doc = dict(document)
+        doc_id = doc.get("_id")
+        if doc_id is None:
+            doc_id = self._generate_id()
+            doc["_id"] = doc_id
+        if doc_id in self._documents:
+            raise DuplicateDocumentId(doc_id)
+        self._documents[doc_id] = doc
+        shard = self._router.shard_for(doc_id)
+        self._allocator.allocate(shard, document_size_bytes(doc))
+        for index in self._hash_indexes.values():
+            index.add(doc_id, doc)
+        for index in self._text_indexes.values():
+            index.add(doc_id, doc)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[dict]) -> List[object]:
+        """Insert many documents, returning their ids in order."""
+        return [self.insert(doc) for doc in documents]
+
+    def delete(self, doc_id: object) -> dict:
+        """Remove and return the document with ``doc_id``.
+
+        Extent accounting is append-only (as in the paper's deployment,
+        where deletes leave holes rather than shrinking extents), so
+        ``numExtents`` never decreases.
+        """
+        doc = self._documents.pop(doc_id, None)
+        if doc is None:
+            raise DocumentNotFound(doc_id)
+        for index in self._hash_indexes.values():
+            index.remove(doc_id)
+        for index in self._text_indexes.values():
+            index.remove(doc_id)
+        return doc
+
+    def update(self, doc_id: object, changes: dict) -> dict:
+        """Apply ``changes`` to an existing document and return the result."""
+        doc = self._documents.get(doc_id)
+        if doc is None:
+            raise DocumentNotFound(doc_id)
+        for index in self._hash_indexes.values():
+            index.remove(doc_id)
+        for index in self._text_indexes.values():
+            index.remove(doc_id)
+        doc.update(changes)
+        doc["_id"] = doc_id
+        for index in self._hash_indexes.values():
+            index.add(doc_id, doc)
+        for index in self._text_indexes.values():
+            index.add(doc_id, doc)
+        return dict(doc)
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, doc_id: object) -> dict:
+        """Return the document with ``doc_id`` (a copy)."""
+        doc = self._documents.get(doc_id)
+        if doc is None:
+            raise DocumentNotFound(doc_id)
+        return dict(doc)
+
+    def find(
+        self,
+        filter: Optional[dict] = None,
+        predicate: Optional[Callable[[dict], bool]] = None,
+        limit: Optional[int] = None,
+    ) -> List[dict]:
+        """Return documents matching an equality filter and/or predicate.
+
+        ``filter`` is a field→value equality map; indexed fields are served
+        from their index, the rest by scanning.  ``predicate`` is an arbitrary
+        callable applied after the filter.
+        """
+        candidates = self._candidates_for(filter)
+        results: List[dict] = []
+        for doc_id in candidates:
+            doc = self._documents.get(doc_id)
+            if doc is None:
+                continue
+            if filter and not all(doc.get(k) == v for k, v in filter.items()):
+                continue
+            if predicate is not None and not predicate(doc):
+                continue
+            results.append(dict(doc))
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def find_one(
+        self,
+        filter: Optional[dict] = None,
+        predicate: Optional[Callable[[dict], bool]] = None,
+    ) -> Optional[dict]:
+        """Return the first matching document or ``None``."""
+        matches = self.find(filter=filter, predicate=predicate, limit=1)
+        return matches[0] if matches else None
+
+    def scan(self) -> Iterator[dict]:
+        """Iterate over copies of every document in the collection."""
+        for doc in list(self._documents.values()):
+            yield dict(doc)
+
+    def search_text(self, field: str, phrase: str) -> List[dict]:
+        """Return documents whose text ``field`` contains every token of ``phrase``.
+
+        Requires a text index on ``field`` (see :meth:`create_text_index`).
+        """
+        index = self._text_indexes.get(field)
+        if index is None:
+            raise IndexError_(f"no text index on field {field!r}")
+        ids = index.lookup_phrase(phrase)
+        return [dict(self._documents[i]) for i in ids if i in self._documents]
+
+    def distinct(self, field: str) -> Set[object]:
+        """Return the set of distinct values of ``field`` across documents."""
+        return {doc[field] for doc in self._documents.values() if field in doc}
+
+    def count(self, filter: Optional[dict] = None) -> int:
+        """Count documents, optionally restricted by an equality filter."""
+        if not filter:
+            return len(self._documents)
+        return len(self.find(filter=filter))
+
+    # -- indexes ----------------------------------------------------------
+
+    def create_index(self, field: str) -> HashIndex:
+        """Create (or return the existing) hash index on ``field``."""
+        existing = self._hash_indexes.get(field)
+        if existing is not None:
+            return existing
+        index = HashIndex(field)
+        for doc_id, doc in self._documents.items():
+            index.add(doc_id, doc)
+        self._hash_indexes[field] = index
+        return index
+
+    def create_text_index(self, field: str) -> InvertedIndex:
+        """Create (or return the existing) inverted text index on ``field``."""
+        existing = self._text_indexes.get(field)
+        if existing is not None:
+            return existing
+        index = InvertedIndex(field)
+        for doc_id, doc in self._documents.items():
+            index.add(doc_id, doc)
+        self._text_indexes[field] = index
+        return index
+
+    def text_index(self, field: str) -> InvertedIndex:
+        """Return the text index on ``field`` (raises if absent)."""
+        index = self._text_indexes.get(field)
+        if index is None:
+            raise IndexError_(f"no text index on field {field!r}")
+        return index
+
+    def hash_index(self, field: str) -> HashIndex:
+        """Return the hash index on ``field`` (raises if absent)."""
+        index = self._hash_indexes.get(field)
+        if index is None:
+            raise IndexError_(f"no hash index on field {field!r}")
+        return index
+
+    @property
+    def index_fields(self) -> List[str]:
+        """Names of all indexed fields (hash and text)."""
+        return list(self._hash_indexes) + list(self._text_indexes)
+
+    # -- statistics -------------------------------------------------------
+
+    def stats(self) -> CollectionStats:
+        """Return collection statistics in the shape of the paper's Tables I/II."""
+        total_index_size = sum(
+            idx.size_bytes() for idx in self._hash_indexes.values()
+        ) + sum(idx.size_bytes() for idx in self._text_indexes.values())
+        return CollectionStats(
+            ns=self.namespace,
+            count=len(self._documents),
+            num_extents=self._allocator.num_extents,
+            nindexes=len(self._hash_indexes) + len(self._text_indexes),
+            last_extent_size=self._allocator.last_extent_size,
+            total_index_size=total_index_size,
+            total_data_size=self._allocator.total_used_bytes,
+        )
+
+    def shard_distribution(self) -> List[int]:
+        """Return per-shard document counts (for balance checks)."""
+        return self._router.distribution(self._documents.keys())
+
+    def extents_per_shard(self) -> List[int]:
+        """Return per-shard extent counts."""
+        return self._allocator.extents_per_shard()
+
+    # -- internals --------------------------------------------------------
+
+    def _generate_id(self) -> str:
+        while True:
+            candidate = f"{self._name}:{self._next_auto_id}"
+            self._next_auto_id += 1
+            if candidate not in self._documents:
+                return candidate
+
+    def _candidates_for(self, filter: Optional[dict]) -> Iterable[object]:
+        if filter:
+            for field, value in filter.items():
+                index = self._hash_indexes.get(field)
+                if index is not None:
+                    return index.lookup(value)
+        return list(self._documents.keys())
+
+
+class DocumentStore:
+    """A namespace of document collections (the ``dt`` database in the paper)."""
+
+    def __init__(self, namespace: str = "dt", config: Optional[StorageConfig] = None):
+        self._namespace = namespace
+        self._config = config or StorageConfig()
+        self._config.validate()
+        self._collections: Dict[str, Collection] = {}
+
+    @property
+    def namespace(self) -> str:
+        """Database namespace prefix used in collection stats."""
+        return self._namespace
+
+    def create_collection(self, name: str) -> Collection:
+        """Create a new collection; raises if the name is taken."""
+        if name in self._collections:
+            raise CollectionExists(name)
+        collection = Collection(self._namespace, name, self._config)
+        self._collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        """Return an existing collection by name."""
+        coll = self._collections.get(name)
+        if coll is None:
+            raise CollectionNotFound(name)
+        return coll
+
+    def get_or_create(self, name: str) -> Collection:
+        """Return the named collection, creating it if necessary."""
+        if name in self._collections:
+            return self._collections[name]
+        return self.create_collection(name)
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection and all its documents."""
+        if name not in self._collections:
+            raise CollectionNotFound(name)
+        del self._collections[name]
+
+    def list_collections(self) -> List[str]:
+        """Return the names of all collections, sorted."""
+        return sorted(self._collections)
+
+    def stats(self) -> Dict[str, CollectionStats]:
+        """Return statistics for every collection keyed by name."""
+        return {name: coll.stats() for name, coll in self._collections.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections

@@ -1,0 +1,151 @@
+"""Persistence for the document store.
+
+The paper's deployment keeps WEBINSTANCE/WEBENTITIES on disk in a sharded
+MongoDB; the reproduction is in-process, but long curation sessions still
+need to survive a restart.  This module serializes collections (and whole
+stores) to newline-delimited JSON with a small manifest carrying the index
+definitions, and loads them back with indexes rebuilt.
+
+Format on disk::
+
+    <directory>/
+      manifest.json            # namespace + per-collection index definitions
+      <collection>.jsonl       # one document per line
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..config import StorageConfig
+from ..errors import StorageError
+from .document_store import Collection, DocumentStore
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def dump_collection(collection: Collection, path: Union[str, Path]) -> int:
+    """Write every document of ``collection`` to a JSONL file.
+
+    Returns the number of documents written.  Documents are written in
+    insertion order; values that are not JSON-serializable are stringified
+    (the store accepts arbitrary Python scalars, the file format does not).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for document in collection.scan():
+            handle.write(json.dumps(document, default=str, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_collection(
+    collection: Collection, path: Union[str, Path], skip_invalid: bool = False
+) -> int:
+    """Load documents from a JSONL file into ``collection``.
+
+    Returns the number of documents loaded.  Raises :class:`StorageError`
+    on malformed lines unless ``skip_invalid`` is set.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such file: {path}")
+    loaded = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if skip_invalid:
+                    continue
+                raise StorageError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(document, dict):
+                if skip_invalid:
+                    continue
+                raise StorageError(f"{path}:{lineno}: not a JSON object")
+            collection.insert(document)
+            loaded += 1
+    return loaded
+
+
+def _index_manifest(collection: Collection) -> Dict[str, List[str]]:
+    """Describe the collection's secondary indexes for the manifest."""
+    hash_fields = [f for f in collection._hash_indexes if f != "_id"]  # noqa: SLF001
+    text_fields = list(collection._text_indexes)  # noqa: SLF001
+    return {"hash": hash_fields, "text": text_fields}
+
+
+def dump_store(store: DocumentStore, directory: Union[str, Path]) -> Dict[str, int]:
+    """Write every collection of ``store`` plus a manifest to ``directory``.
+
+    Returns collection name → document count written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts: Dict[str, int] = {}
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "namespace": store.namespace,
+        "collections": {},
+    }
+    for name in store.list_collections():
+        collection = store.collection(name)
+        counts[name] = dump_collection(collection, directory / f"{name}.jsonl")
+        manifest["collections"][name] = {
+            "count": counts[name],
+            "indexes": _index_manifest(collection),
+        }
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return counts
+
+
+def load_store(
+    directory: Union[str, Path],
+    config: Optional[StorageConfig] = None,
+) -> DocumentStore:
+    """Rebuild a :class:`DocumentStore` from a directory written by :func:`dump_store`.
+
+    Collections are recreated, documents reloaded, and secondary indexes
+    rebuilt from the manifest.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no manifest found in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"invalid manifest: {exc}") from exc
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported format version: {manifest.get('format_version')!r}"
+        )
+    store = DocumentStore(manifest.get("namespace", "dt"), config)
+    for name, meta in manifest.get("collections", {}).items():
+        collection = store.create_collection(name)
+        data_path = directory / f"{name}.jsonl"
+        if data_path.exists():
+            load_collection(collection, data_path)
+        indexes = meta.get("indexes", {})
+        for field in indexes.get("hash", []):
+            collection.create_index(field)
+        for field in indexes.get("text", []):
+            collection.create_text_index(field)
+        expected = meta.get("count")
+        if expected is not None and expected != len(collection):
+            raise StorageError(
+                f"collection {name!r}: manifest says {expected} documents, "
+                f"loaded {len(collection)}"
+            )
+    return store

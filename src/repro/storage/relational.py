@@ -1,0 +1,266 @@
+"""In-memory relational store.
+
+Data Tamer lands curated, flattened records in an "internal RDBMS" before
+schema integration and consolidation.  This module provides that substrate: a
+small relational engine with typed columns, equality/predicate selection,
+projection, ordering and simple aggregation.  It is deliberately minimal —
+the curation pipeline needs a well-defined landing zone with column metadata,
+not a SQL optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import TableError
+
+#: Column types recognised by the relational landing zone.
+COLUMN_TYPES = ("string", "integer", "float", "boolean", "date", "unknown")
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column in a relational table."""
+
+    name: str
+    type: str = "unknown"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TableError("column name must be non-empty")
+        if self.type not in COLUMN_TYPES:
+            raise TableError(f"unknown column type: {self.type!r}")
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` is storable in this column."""
+        if value is None:
+            return self.nullable
+        if self.type == "string":
+            return isinstance(value, str)
+        if self.type == "integer":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.type == "float":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.type == "boolean":
+            return isinstance(value, bool)
+        if self.type == "date":
+            return isinstance(value, str)
+        return True
+
+
+class Table:
+    """A relational table with a fixed set of typed columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name:
+            raise TableError("table name must be non-empty")
+        if not columns:
+            raise TableError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise TableError(f"duplicate column names in table {name!r}")
+        self._name = name
+        self._columns: Dict[str, Column] = {c.name: c for c in columns}
+        self._rows: List[Row] = []
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self._name
+
+    @property
+    def columns(self) -> List[Column]:
+        """Column definitions in declaration order."""
+        return list(self._columns.values())
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return list(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table declares a column called ``name``."""
+        return name in self._columns
+
+    def add_column(self, column: Column) -> None:
+        """Add a column; existing rows get ``None`` for it."""
+        if column.name in self._columns:
+            raise TableError(f"column {column.name!r} already exists")
+        if not column.nullable:
+            raise TableError("columns added to a populated table must be nullable")
+        self._columns[column.name] = column
+        for row in self._rows:
+            row.setdefault(column.name, None)
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, row: Row) -> int:
+        """Insert one row, returning its position.
+
+        Unknown keys raise; missing nullable columns default to ``None``;
+        type mismatches raise :class:`TableError`.
+        """
+        stored: Row = {}
+        for key in row:
+            if key not in self._columns:
+                raise TableError(
+                    f"table {self._name!r} has no column {key!r}"
+                )
+        for name, column in self._columns.items():
+            value = row.get(name)
+            if value is None and not column.nullable:
+                raise TableError(
+                    f"column {name!r} of table {self._name!r} is not nullable"
+                )
+            if not column.accepts(value):
+                raise TableError(
+                    f"value {value!r} not valid for column {name!r} ({column.type})"
+                )
+            stored[name] = value
+        self._rows.append(stored)
+        return len(self._rows) - 1
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert many rows; returns how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the number removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def update_where(
+        self, predicate: Callable[[Row], bool], changes: Row
+    ) -> int:
+        """Apply ``changes`` to rows matching ``predicate``; returns count."""
+        for key in changes:
+            if key not in self._columns:
+                raise TableError(f"table {self._name!r} has no column {key!r}")
+        updated = 0
+        for row in self._rows:
+            if predicate(row):
+                for key, value in changes.items():
+                    if not self._columns[key].accepts(value):
+                        raise TableError(
+                            f"value {value!r} not valid for column {key!r}"
+                        )
+                    row[key] = value
+                updated += 1
+        return updated
+
+    # -- reads ------------------------------------------------------------
+
+    def select(
+        self,
+        where: Optional[Callable[[Row], bool]] = None,
+        columns: Optional[Sequence[str]] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Row]:
+        """Select rows with optional predicate, projection, ordering, limit."""
+        if columns is not None:
+            for name in columns:
+                if name not in self._columns:
+                    raise TableError(
+                        f"table {self._name!r} has no column {name!r}"
+                    )
+        if order_by is not None and order_by not in self._columns:
+            raise TableError(f"table {self._name!r} has no column {order_by!r}")
+
+        rows = [dict(row) for row in self._rows if where is None or where(row)]
+        if order_by is not None:
+            rows.sort(
+                key=lambda r: (r.get(order_by) is None, r.get(order_by)),
+                reverse=descending,
+            )
+        if limit is not None:
+            rows = rows[:limit]
+        if columns is not None:
+            rows = [{name: row.get(name) for name in columns} for row in rows]
+        return rows
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over copies of every row."""
+        for row in self._rows:
+            yield dict(row)
+
+    def count(self, where: Optional[Callable[[Row], bool]] = None) -> int:
+        """Count rows, optionally restricted by a predicate."""
+        if where is None:
+            return len(self._rows)
+        return sum(1 for row in self._rows if where(row))
+
+    def distinct(self, column: str) -> List[Any]:
+        """Return distinct non-null values of ``column`` in first-seen order."""
+        if column not in self._columns:
+            raise TableError(f"table {self._name!r} has no column {column!r}")
+        seen: Dict[Any, None] = {}
+        for row in self._rows:
+            value = row.get(column)
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def aggregate(
+        self, column: str, func: Callable[[List[Any]], Any]
+    ) -> Any:
+        """Apply ``func`` to all non-null values of ``column``."""
+        values = [
+            row[column]
+            for row in self._rows
+            if column in row and row[column] is not None
+        ]
+        return func(values)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class RelationalStore:
+    """A named set of relational tables (the curated landing zone)."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        """Create a new table; raises if the name is taken."""
+        if name in self._tables:
+            raise TableError(f"table already exists: {name!r}")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return an existing table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise TableError(f"table not found: {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with ``name`` exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all its rows."""
+        if name not in self._tables:
+            raise TableError(f"table not found: {name!r}")
+        del self._tables[name]
+
+    def list_tables(self) -> List[str]:
+        """Return all table names, sorted."""
+        return sorted(self._tables)
+
+    def total_rows(self) -> int:
+        """Total rows across all tables."""
+        return sum(len(t) for t in self._tables.values())

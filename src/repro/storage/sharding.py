@@ -1,0 +1,143 @@
+"""Shard routing and extent allocation.
+
+The paper stores WEBINSTANCE in 242 distributed 2 GB extents and WEBENTITIES
+in 56; ``numExtents`` and ``lastExtentSize`` are reported in its Tables I and
+II.  This module supplies the two mechanisms that produce those numbers:
+
+* :class:`ShardRouter` deterministically assigns a document to a shard from
+  its ``_id`` (hash sharding, the default MongoDB strategy for the paper's
+  workload).
+* :class:`ExtentAllocator` packs documents into fixed-capacity extents per
+  shard and tracks the byte size of each extent so collection statistics can
+  report extent counts and the size of the most recently allocated extent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import StorageError
+
+
+def _stable_hash(value: object) -> int:
+    """Return a deterministic 64-bit hash of ``value``.
+
+    Python's builtin ``hash`` is randomized per process for strings, which
+    would make shard assignment (and therefore every extent count reported by
+    the benchmarks) non-deterministic across runs.  We hash the ``repr``
+    through blake2b instead.
+    """
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ShardRouter:
+    """Deterministically route document ids to shards."""
+
+    def __init__(self, num_shards: int):
+        if num_shards <= 0:
+            raise StorageError("num_shards must be positive")
+        self._num_shards = num_shards
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards this router distributes over."""
+        return self._num_shards
+
+    def shard_for(self, doc_id: object) -> int:
+        """Return the shard index in ``[0, num_shards)`` for ``doc_id``."""
+        return _stable_hash(doc_id) % self._num_shards
+
+    def distribution(self, doc_ids) -> List[int]:
+        """Return per-shard document counts for an iterable of ids.
+
+        Useful for checking balance in tests and benchmarks.
+        """
+        counts = [0] * self._num_shards
+        for doc_id in doc_ids:
+            counts[self.shard_for(doc_id)] += 1
+        return counts
+
+
+@dataclass
+class Extent:
+    """A fixed-capacity storage extent on one shard."""
+
+    shard: int
+    capacity_bytes: int
+    used_bytes: int = 0
+    doc_count: int = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity in this extent."""
+        return max(0, self.capacity_bytes - self.used_bytes)
+
+    def fits(self, size_bytes: int) -> bool:
+        """Whether a document of ``size_bytes`` fits in this extent."""
+        return size_bytes <= self.free_bytes
+
+    def add(self, size_bytes: int) -> None:
+        """Account for a document of ``size_bytes`` stored in this extent."""
+        self.used_bytes += size_bytes
+        self.doc_count += 1
+
+
+@dataclass
+class ExtentAllocator:
+    """Pack documents into extents, one open extent per shard.
+
+    A document larger than ``extent_size_bytes`` gets an extent of its own —
+    the same behaviour as an oversized record forcing a new allocation.
+    """
+
+    extent_size_bytes: int
+    num_shards: int
+    _extents: List[Extent] = field(default_factory=list)
+    _open: Dict[int, Extent] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.extent_size_bytes <= 0:
+            raise StorageError("extent_size_bytes must be positive")
+        if self.num_shards <= 0:
+            raise StorageError("num_shards must be positive")
+
+    def allocate(self, shard: int, size_bytes: int) -> Extent:
+        """Record storage of ``size_bytes`` on ``shard`` and return the extent used."""
+        if not 0 <= shard < self.num_shards:
+            raise StorageError(f"shard {shard} out of range")
+        if size_bytes < 0:
+            raise StorageError("size_bytes must be non-negative")
+        extent = self._open.get(shard)
+        if extent is None or not extent.fits(size_bytes):
+            extent = Extent(shard=shard, capacity_bytes=self.extent_size_bytes)
+            self._extents.append(extent)
+            self._open[shard] = extent
+        extent.add(size_bytes)
+        return extent
+
+    @property
+    def num_extents(self) -> int:
+        """Total extents allocated across all shards."""
+        return len(self._extents)
+
+    @property
+    def last_extent_size(self) -> int:
+        """Used bytes of the most recently allocated extent (0 if none)."""
+        if not self._extents:
+            return 0
+        return self._extents[-1].used_bytes
+
+    @property
+    def total_used_bytes(self) -> int:
+        """Total bytes accounted across all extents."""
+        return sum(e.used_bytes for e in self._extents)
+
+    def extents_per_shard(self) -> List[int]:
+        """Return a list of extent counts indexed by shard."""
+        counts = [0] * self.num_shards
+        for extent in self._extents:
+            counts[extent.shard] += 1
+        return counts

@@ -1,0 +1,36 @@
+"""Text processing: the domain-specific parser and its supporting pieces.
+
+The paper's architecture treats the text parser as a pluggable, user-defined
+module (Recorded Future's proprietary parser in their deployment).  This
+package provides an equivalent open implementation:
+
+* :func:`tokenize` / :class:`TextNormalizer` — tokenization and normalization;
+* :class:`Gazetteer` — per-type dictionaries of known entity surface forms;
+* :class:`DomainParser` — a gazetteer + rule based named-entity parser that
+  turns raw text documents into hierarchical entity records typed per the
+  paper's Table III, plus the source fragments they came from;
+* :class:`FragmentExtractor` — sentence/window extraction linking each entity
+  mention back to the text that mentions it (WEBINSTANCE entries).
+"""
+
+from .tokenizer import ngrams, sentences, tokenize
+from .normalize import TextNormalizer, normalize_whitespace, strip_punctuation
+from .gazetteer import Gazetteer, GazetteerEntry
+from .parser import DomainParser, EntityMention, ParsedDocument
+from .fragments import Fragment, FragmentExtractor
+
+__all__ = [
+    "ngrams",
+    "sentences",
+    "tokenize",
+    "TextNormalizer",
+    "normalize_whitespace",
+    "strip_punctuation",
+    "Gazetteer",
+    "GazetteerEntry",
+    "DomainParser",
+    "EntityMention",
+    "ParsedDocument",
+    "Fragment",
+    "FragmentExtractor",
+]

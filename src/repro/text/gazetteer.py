@@ -1,0 +1,219 @@
+"""Gazetteers: per-type dictionaries of known entity surface forms.
+
+The domain-specific parser in the paper's deployment (Recorded Future)
+recognises a fixed inventory of entity types — Table III lists the fifteen
+most frequent.  Our open parser uses gazetteers for the same inventory: a
+gazetteer maps a normalized surface form to a canonical entity name, its type
+and optional attributes, and the parser scans text for the longest matching
+surface forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .normalize import TextNormalizer
+
+#: Entity type inventory from the paper's Table III (most-frequent first).
+ENTITY_TYPES = (
+    "Person",
+    "OrgEntity",
+    "GeoEntity",
+    "URL",
+    "IndustryTerm",
+    "Position",
+    "Company",
+    "Product",
+    "Organization",
+    "Facility",
+    "City",
+    "MedicalCondition",
+    "Technology",
+    "Movie",
+    "ProvinceOrState",
+)
+
+
+@dataclass(frozen=True)
+class GazetteerEntry:
+    """One known entity: canonical name, type, and optional attributes."""
+
+    canonical: str
+    entity_type: str
+    attributes: Tuple[Tuple[str, str], ...] = ()
+
+    def attribute_dict(self) -> Dict[str, str]:
+        """Return the entry's attributes as a dictionary."""
+        return dict(self.attributes)
+
+
+class Gazetteer:
+    """A lookup table from surface forms to :class:`GazetteerEntry`.
+
+    Surface forms are normalized before storage and lookup so that
+    "Shubert Theatre", "shubert theater" and "SHUBERT THEATER." all resolve
+    to the same entry.  Multi-word surface forms are supported; the parser
+    asks for the longest match starting at each token.
+    """
+
+    def __init__(self, normalizer: Optional[TextNormalizer] = None):
+        self._normalizer = normalizer or TextNormalizer()
+        self._entries: Dict[str, GazetteerEntry] = {}
+        self._max_words = 1
+        self._by_type: Dict[str, List[GazetteerEntry]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_surface_words(self) -> int:
+        """Length (in words) of the longest surface form registered."""
+        return self._max_words
+
+    def add(
+        self,
+        surface: str,
+        canonical: Optional[str] = None,
+        entity_type: str = "OrgEntity",
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> GazetteerEntry:
+        """Register a surface form.
+
+        ``canonical`` defaults to the surface form itself.  Re-registering a
+        surface form overwrites the previous entry (last writer wins), which
+        lets a domain-specific gazetteer refine a generic one.
+        """
+        if entity_type not in ENTITY_TYPES:
+            raise ValueError(f"unknown entity type: {entity_type!r}")
+        normalized = self._normalizer.normalize(surface)
+        if not normalized:
+            raise ValueError("surface form normalizes to empty string")
+        entry = GazetteerEntry(
+            canonical=canonical or surface,
+            entity_type=entity_type,
+            attributes=tuple(sorted((attributes or {}).items())),
+        )
+        self._entries[normalized] = entry
+        self._by_type.setdefault(entity_type, []).append(entry)
+        self._max_words = max(self._max_words, len(normalized.split(" ")))
+        return entry
+
+    def add_many(
+        self, surfaces: Iterable[str], entity_type: str
+    ) -> List[GazetteerEntry]:
+        """Register many surface forms of one type (canonical = surface)."""
+        return [self.add(surface, entity_type=entity_type) for surface in surfaces]
+
+    def lookup(self, surface: str) -> Optional[GazetteerEntry]:
+        """Return the entry for a surface form, or ``None``."""
+        normalized = self._normalizer.normalize(surface)
+        return self._entries.get(normalized)
+
+    def contains(self, surface: str) -> bool:
+        """Whether a surface form is registered."""
+        return self.lookup(surface) is not None
+
+    def entries_of_type(self, entity_type: str) -> List[GazetteerEntry]:
+        """Return all entries of one entity type."""
+        return list(self._by_type.get(entity_type, []))
+
+    def types(self) -> List[str]:
+        """Return the entity types with at least one entry, sorted."""
+        return sorted(t for t, entries in self._by_type.items() if entries)
+
+    def merge(self, other: "Gazetteer") -> "Gazetteer":
+        """Merge another gazetteer into this one (other wins on conflicts)."""
+        for normalized, entry in other._entries.items():
+            self._entries[normalized] = entry
+            self._by_type.setdefault(entry.entity_type, []).append(entry)
+            self._max_words = max(self._max_words, len(normalized.split(" ")))
+        return self
+
+
+def broadway_gazetteer() -> Gazetteer:
+    """A gazetteer seeded with the Broadway-shows domain of the paper's demo.
+
+    Covers the shows appearing in Table IV, New York theaters and a handful
+    of people/places/companies so that parsed web text yields a realistic mix
+    of entity types.
+    """
+    gaz = Gazetteer()
+    shows = [
+        "The Walking Dead",
+        "Written",
+        "Mean Streets",
+        "Goodfellas",
+        "Matilda",
+        "The Wolverine",
+        "Trees Lounge",
+        "Raging Bull",
+        "Berkeley in the Sixties",
+        "Never Should Have",
+        "The Lion King",
+        "Wicked",
+        "The Phantom of the Opera",
+        "Chicago",
+        "Kinky Boots",
+        "Pippin",
+        "Once",
+        "Annie",
+        "Cinderella",
+        "Motown",
+    ]
+    gaz.add_many(shows, "Movie")
+    theaters = [
+        "Shubert Theatre",
+        "Gershwin Theatre",
+        "Majestic Theatre",
+        "Ambassador Theatre",
+        "Al Hirschfeld Theatre",
+        "Minskoff Theatre",
+        "Music Box Theatre",
+        "Imperial Theatre",
+        "Palace Theatre",
+        "Winter Garden Theatre",
+        "Broadway Theatre",
+        "Lunt-Fontanne Theatre",
+    ]
+    gaz.add_many(theaters, "Facility")
+    cities = ["New York", "London", "Chicago City", "Boston", "Los Angeles",
+              "San Francisco", "Cambridge", "Berkeley"]
+    for city in cities:
+        gaz.add(city, canonical=city.replace(" City", ""), entity_type="City")
+    people = [
+        "Michael Stonebraker",
+        "Roald Dahl",
+        "Tim Minchin",
+        "Martin Scorsese",
+        "Robert De Niro",
+        "Hugh Jackman",
+        "Steve Buscemi",
+        "Matthew Warchus",
+        "Andrew Lloyd Webber",
+        "Lin-Manuel Miranda",
+    ]
+    gaz.add_many(people, "Person")
+    companies = [
+        "Recorded Future",
+        "Google",
+        "Twitter",
+        "Facebook",
+        "Netflix",
+        "AMC",
+        "Telecharge",
+        "Ticketmaster",
+        "TKTS",
+    ]
+    gaz.add_many(companies, "Company")
+    organizations = ["Royal Shakespeare Company", "Broadway League", "Actors Equity"]
+    gaz.add_many(organizations, "Organization")
+    states = ["New York State", "California", "Massachusetts", "Illinois"]
+    gaz.add_many(states, "ProvinceOrState")
+    technologies = ["IMAX", "Dolby Atmos", "LED lighting"]
+    gaz.add_many(technologies, "Technology")
+    positions = ["director", "producer", "choreographer", "composer", "playwright"]
+    gaz.add_many(positions, "Position")
+    industry_terms = ["box office", "previews", "matinee", "gross", "revival"]
+    gaz.add_many(industry_terms, "IndustryTerm")
+    return gaz

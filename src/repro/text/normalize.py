@@ -1,0 +1,121 @@
+"""Text normalization used before matching, deduplication and indexing.
+
+Web text is much dirtier than structured data (the paper calls this out
+explicitly in Section II); normalization narrows the surface-form variation
+the downstream matchers have to absorb.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import Dict, Iterable, List, Optional
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_HTML_TAG_RE = re.compile(r"<[^>]+>")
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+
+#: Common abbreviations expanded during company / venue name normalization.
+DEFAULT_ABBREVIATIONS: Dict[str, str] = {
+    "inc": "incorporated",
+    "corp": "corporation",
+    "co": "company",
+    "ltd": "limited",
+    "llc": "llc",
+    "st": "street",
+    "ave": "avenue",
+    "blvd": "boulevard",
+    "thtr": "theater",
+    "theatre": "theater",
+    "intl": "international",
+    "dept": "department",
+    "univ": "university",
+    "&": "and",
+}
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def strip_punctuation(text: str) -> str:
+    """Remove punctuation characters, keeping word characters and spaces."""
+    return _PUNCT_RE.sub(" ", text)
+
+
+def strip_accents(text: str) -> str:
+    """Remove diacritics (``café`` → ``cafe``)."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def strip_html(text: str) -> str:
+    """Remove HTML tags (web fragments frequently carry markup)."""
+    return _HTML_TAG_RE.sub(" ", text)
+
+
+def strip_urls(text: str) -> str:
+    """Remove URLs from free text."""
+    return _URL_RE.sub(" ", text)
+
+
+class TextNormalizer:
+    """Configurable normalization pipeline for names and free text.
+
+    The default pipeline lowercases, strips accents/HTML/URLs/punctuation,
+    expands common abbreviations and collapses whitespace — the preprocessing
+    the paper describes as "machine learning text data cleaning and
+    pre-processing".
+    """
+
+    def __init__(
+        self,
+        lowercase: bool = True,
+        remove_accents: bool = True,
+        remove_html: bool = True,
+        remove_urls: bool = True,
+        remove_punctuation: bool = True,
+        abbreviations: Optional[Dict[str, str]] = None,
+    ):
+        self.lowercase = lowercase
+        self.remove_accents = remove_accents
+        self.remove_html = remove_html
+        self.remove_urls = remove_urls
+        self.remove_punctuation = remove_punctuation
+        self.abbreviations = (
+            dict(DEFAULT_ABBREVIATIONS) if abbreviations is None else dict(abbreviations)
+        )
+
+    def normalize(self, text: str) -> str:
+        """Run the configured pipeline over ``text`` and return the result."""
+        if text is None:
+            return ""
+        result = str(text)
+        if self.remove_html:
+            result = strip_html(result)
+        if self.remove_urls:
+            result = strip_urls(result)
+        if self.remove_accents:
+            result = strip_accents(result)
+        if self.lowercase:
+            result = result.lower()
+        if self.remove_punctuation:
+            result = strip_punctuation(result)
+        result = normalize_whitespace(result)
+        if self.abbreviations:
+            result = self._expand_abbreviations(result)
+        return result
+
+    def normalize_many(self, texts: Iterable[str]) -> List[str]:
+        """Normalize an iterable of texts, preserving order."""
+        return [self.normalize(t) for t in texts]
+
+    def _expand_abbreviations(self, text: str) -> str:
+        words = text.split(" ")
+        expanded = [self.abbreviations.get(w, w) for w in words if w]
+        return " ".join(expanded)
+
+    def __call__(self, text: str) -> str:
+        return self.normalize(text)

@@ -1,0 +1,250 @@
+"""The domain-specific parser: raw text → hierarchical entity documents.
+
+In the paper this module is Recorded Future's proprietary parser, shown as a
+user-defined box in Figure 1.  Our open implementation combines:
+
+* **gazetteer matching** — longest-match lookup of known surface forms
+  (shows, theaters, people, companies, places, ...);
+* **pattern rules** — regular expressions for URLs, money amounts, dates and
+  capitalised name sequences (a fallback for people/organizations not in the
+  gazetteer).
+
+Its output has the same shape the paper describes: for each input document a
+hierarchical :class:`ParsedDocument` holding typed entity mentions (which
+populate WEBENTITIES after flattening) plus the text fragments the mentions
+came from (which populate WEBINSTANCE).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ParserError
+from .fragments import Fragment, FragmentExtractor
+from .gazetteer import ENTITY_TYPES, Gazetteer
+from .normalize import TextNormalizer
+from .tokenizer import word_spans
+
+_URL_RE = re.compile(r"https?://[^\s]+|www\.[^\s]+")
+_MONEY_RE = re.compile(r"\$\s?\d[\d,]*(?:\.\d+)?")
+_DATE_RE = re.compile(
+    r"\b\d{1,2}/\d{1,2}/\d{2,4}\b|\b(?:Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec)[a-z]*\.? \d{1,2}, \d{4}\b"
+)
+_CAPSEQ_RE = re.compile(r"\b(?:[A-Z][a-z]+(?:\s+[A-Z][a-z]+){1,3})\b")
+
+
+@dataclass(frozen=True)
+class EntityMention:
+    """A single typed entity mention located in a document."""
+
+    canonical: str
+    entity_type: str
+    surface: str
+    char_start: int
+    char_end: int
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def as_hierarchical(self) -> dict:
+        """Render the mention as a hierarchical (nested) entity document."""
+        return {
+            "entity": {
+                "name": self.canonical,
+                "type": self.entity_type,
+                "attributes": dict(self.attributes),
+            },
+            "mention": {
+                "surface": self.surface,
+                "span": {"start": self.char_start, "end": self.char_end},
+            },
+        }
+
+
+@dataclass
+class ParsedDocument:
+    """Parser output for one input document."""
+
+    source_id: str
+    mentions: List[EntityMention]
+    fragments: List[Fragment]
+
+    def entities_by_type(self) -> Dict[str, List[EntityMention]]:
+        """Group mentions by entity type."""
+        grouped: Dict[str, List[EntityMention]] = {}
+        for mention in self.mentions:
+            grouped.setdefault(mention.entity_type, []).append(mention)
+        return grouped
+
+    def entity_documents(self) -> List[dict]:
+        """Hierarchical entity documents (WEBENTITIES content before flattening)."""
+        docs = []
+        for mention in self.mentions:
+            doc = mention.as_hierarchical()
+            doc["source_id"] = self.source_id
+            docs.append(doc)
+        return docs
+
+    def fragment_documents(self) -> List[dict]:
+        """Flat fragment documents (WEBINSTANCE content)."""
+        return [frag.as_document() for frag in self.fragments]
+
+
+class DomainParser:
+    """Gazetteer + rule based named-entity parser.
+
+    Parameters
+    ----------
+    gazetteer:
+        Known surface forms; longest match wins.  Without a gazetteer only
+        the pattern rules fire.
+    enable_pattern_rules:
+        Whether to run the URL / money / date / capitalised-sequence rules.
+    fragment_extractor:
+        Controls how much context each fragment keeps around a mention.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Optional[Gazetteer] = None,
+        enable_pattern_rules: bool = True,
+        fragment_extractor: Optional[FragmentExtractor] = None,
+    ):
+        self._gazetteer = gazetteer
+        self._enable_pattern_rules = enable_pattern_rules
+        self._fragments = fragment_extractor or FragmentExtractor()
+        self._normalizer = TextNormalizer()
+
+    @property
+    def gazetteer(self) -> Optional[Gazetteer]:
+        """The gazetteer backing this parser (may be ``None``)."""
+        return self._gazetteer
+
+    def parse(self, text: str, source_id: str = "doc") -> ParsedDocument:
+        """Parse one document and return its mentions and fragments."""
+        if text is None:
+            raise ParserError("cannot parse None")
+        text = str(text)
+        mentions: List[EntityMention] = []
+        occupied: List[Tuple[int, int]] = []
+
+        if self._gazetteer is not None and len(self._gazetteer) > 0:
+            for mention in self._gazetteer_mentions(text):
+                mentions.append(mention)
+                occupied.append((mention.char_start, mention.char_end))
+
+        if self._enable_pattern_rules:
+            for mention in self._pattern_mentions(text):
+                if not _overlaps(occupied, mention.char_start, mention.char_end):
+                    mentions.append(mention)
+                    occupied.append((mention.char_start, mention.char_end))
+
+        mentions.sort(key=lambda m: (m.char_start, m.char_end))
+        fragment_specs = [
+            (m.canonical, m.entity_type, m.char_start, m.char_end) for m in mentions
+        ]
+        fragments = self._fragments.extract(text, source_id, fragment_specs)
+        return ParsedDocument(source_id=source_id, mentions=mentions, fragments=fragments)
+
+    def parse_many(
+        self, documents: Iterable[Tuple[str, str]]
+    ) -> List[ParsedDocument]:
+        """Parse ``(source_id, text)`` pairs and return their parses."""
+        return [self.parse(text, source_id) for source_id, text in documents]
+
+    # -- gazetteer matching ------------------------------------------------
+
+    def _gazetteer_mentions(self, text: str) -> List[EntityMention]:
+        spans = word_spans(text)
+        max_words = self._gazetteer.max_surface_words
+        mentions: List[EntityMention] = []
+        i = 0
+        while i < len(spans):
+            matched = None
+            # longest match first
+            for length in range(min(max_words, len(spans) - i), 0, -1):
+                start = spans[i][0]
+                end = spans[i + length - 1][1]
+                surface = text[start:end]
+                entry = self._gazetteer.lookup(surface)
+                if entry is not None:
+                    matched = (entry, surface, start, end, length)
+                    break
+            if matched is not None:
+                entry, surface, start, end, length = matched
+                mentions.append(
+                    EntityMention(
+                        canonical=entry.canonical,
+                        entity_type=entry.entity_type,
+                        surface=surface,
+                        char_start=start,
+                        char_end=end,
+                        attributes=entry.attribute_dict(),
+                    )
+                )
+                i += length
+            else:
+                i += 1
+        return mentions
+
+    # -- pattern rules -------------------------------------------------------
+
+    def _pattern_mentions(self, text: str) -> List[EntityMention]:
+        mentions: List[EntityMention] = []
+        for match in _URL_RE.finditer(text):
+            mentions.append(
+                EntityMention(
+                    canonical=match.group(0).rstrip(".,;"),
+                    entity_type="URL",
+                    surface=match.group(0),
+                    char_start=match.start(),
+                    char_end=match.end(),
+                )
+            )
+        for match in _MONEY_RE.finditer(text):
+            mentions.append(
+                EntityMention(
+                    canonical=match.group(0).replace(" ", ""),
+                    entity_type="IndustryTerm",
+                    surface=match.group(0),
+                    char_start=match.start(),
+                    char_end=match.end(),
+                    attributes={"kind": "money"},
+                )
+            )
+        for match in _DATE_RE.finditer(text):
+            mentions.append(
+                EntityMention(
+                    canonical=match.group(0),
+                    entity_type="IndustryTerm",
+                    surface=match.group(0),
+                    char_start=match.start(),
+                    char_end=match.end(),
+                    attributes={"kind": "date"},
+                )
+            )
+        for match in _CAPSEQ_RE.finditer(text):
+            surface = match.group(0)
+            if match.start() == 0:
+                # Sentence-initial capitalised sequences are too noisy a
+                # signal for person detection; skip them.
+                continue
+            mentions.append(
+                EntityMention(
+                    canonical=surface,
+                    entity_type="Person",
+                    surface=surface,
+                    char_start=match.start(),
+                    char_end=match.end(),
+                    attributes={"kind": "capitalized_sequence"},
+                )
+            )
+        return mentions
+
+
+def _overlaps(occupied: Sequence[Tuple[int, int]], start: int, end: int) -> bool:
+    """Whether ``[start, end)`` overlaps any occupied span."""
+    for s, e in occupied:
+        if start < e and s < end:
+            return True
+    return False

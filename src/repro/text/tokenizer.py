@@ -1,0 +1,69 @@
+"""Tokenization primitives shared by indexes, matchers and the parser."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+_WORD_RE = re.compile(r"\S+")
+
+#: Common English stop words dropped by frequency-style analyses (Table IV's
+#: "most discussed" ranking ignores them when counting mentions).
+STOP_WORDS = frozenset(
+    """
+    a an and are as at be but by for from has have in is it its of on or that
+    the this to was were will with which
+    """.split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase and split ``text`` into alphanumeric tokens.
+
+    >>> tokenize("The Walking Dead, grossed $960,998!")
+    ['the', 'walking', 'dead', 'grossed', '960', '998']
+    """
+    if not text:
+        return []
+    return _TOKEN_RE.findall(text.lower())
+
+
+def tokenize_no_stopwords(text: str) -> List[str]:
+    """Tokenize and drop common stop words."""
+    return [t for t in tokenize(text) if t not in STOP_WORDS]
+
+
+def ngrams(text: str, n: int = 3) -> List[str]:
+    """Return character ``n``-grams of the lowercased, squashed text.
+
+    Character n-grams drive the fuzzy attribute-name matcher and one of the
+    blocking strategies.
+
+    >>> ngrams("abcd", 2)
+    ['ab', 'bc', 'cd']
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    squashed = re.sub(r"\s+", " ", text.lower()).strip()
+    if len(squashed) < n:
+        return [squashed] if squashed else []
+    return [squashed[i : i + n] for i in range(len(squashed) - n + 1)]
+
+
+def sentences(text: str) -> List[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    A lightweight splitter is enough: the parser only needs sentence-sized
+    fragments to attach entity mentions to, not linguistic precision.
+    """
+    if not text:
+        return []
+    parts = _SENTENCE_RE.split(text.strip())
+    return [p.strip() for p in parts if p.strip()]
+
+
+def word_spans(text: str) -> List[tuple]:
+    """Return ``(start, end, word)`` spans of whitespace-delimited words."""
+    return [(m.start(), m.end(), m.group(0)) for m in _WORD_RE.finditer(text)]

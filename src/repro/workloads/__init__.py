@@ -1,0 +1,38 @@
+"""Synthetic workload generators.
+
+The paper's datasets are not publicly available (≈1 TB of Recorded Future web
+text; 20 Google Fusion Tables about Broadway shows), so the reproduction
+generates equivalents with the same statistical shape — see the substitution
+table in DESIGN.md.  All generators are seeded and deterministic.
+
+* :mod:`repro.workloads.webinstance` — raw web-text documents (news, blog,
+  tweet styles) mentioning shows/people/places with a heavy-tailed mention
+  distribution; this is what the domain parser ingests to build WEBINSTANCE.
+* :mod:`repro.workloads.webentities` — typed entity documents following the
+  paper's Table III type mixture; used to populate WEBENTITIES directly when
+  a benchmark does not need the parsing step.
+* :mod:`repro.workloads.ftables` — the 20 structured Broadway-show sources
+  (schedules, theaters, prices, discounts) with heterogeneous attribute
+  naming and known ground-truth attribute correspondences.
+* :mod:`repro.workloads.dedup_corpus` — labeled duplicate / non-duplicate
+  record pairs with realistic dirt (typos, abbreviations, dropped fields)
+  for training and cross-validating the dedup classifier.
+"""
+
+from .seeds import make_rng
+from .webinstance import WebInstanceGenerator, WebTextDocument
+from .webentities import TABLE3_TYPE_COUNTS, WebEntitiesGenerator
+from .ftables import FTablesGenerator, FusionTableSource, GROUND_TRUTH_GLOBAL_SCHEMA
+from .dedup_corpus import DedupCorpusGenerator
+
+__all__ = [
+    "make_rng",
+    "WebInstanceGenerator",
+    "WebTextDocument",
+    "TABLE3_TYPE_COUNTS",
+    "WebEntitiesGenerator",
+    "FTablesGenerator",
+    "FusionTableSource",
+    "GROUND_TRUTH_GLOBAL_SCHEMA",
+    "DedupCorpusGenerator",
+]

@@ -1,0 +1,224 @@
+"""Labeled duplicate-pair corpus for training and evaluating the dedup classifier.
+
+The paper reports 89 % precision / 90 % recall by 10-fold cross-validation
+"on several different types of entities from the web-text dataset".  The
+generator produces labeled pairs over the same entity types: for each base
+entity it emits one or more *dirty variants* (typos, dropped words,
+abbreviations, case changes, missing attributes), and positive pairs are
+(base, variant) or (variant, variant) of the same entity while negative pairs
+join different entities — including "hard" negatives that share a token, so
+the task is not trivially separable and the classifier lands in the paper's
+accuracy regime rather than at 100 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..entity.dedup import LabeledPair
+from ..entity.record import Record
+from .seeds import make_rng
+from .webentities import WebEntitiesGenerator
+
+_ABBREVIATIONS = {
+    "incorporated": "inc",
+    "corporation": "corp",
+    "company": "co",
+    "theatre": "theater",
+    "street": "st",
+    "international": "intl",
+}
+
+
+@dataclass
+class DedupCorpus:
+    """Labeled pairs plus the records and entity assignments behind them."""
+
+    pairs: List[LabeledPair]
+    records: List[Record]
+    entity_of_record: Dict[str, int]
+
+    @property
+    def positive_count(self) -> int:
+        """Number of duplicate (positive) pairs."""
+        return sum(1 for p in self.pairs if p.is_duplicate)
+
+    @property
+    def negative_count(self) -> int:
+        """Number of non-duplicate (negative) pairs."""
+        return len(self.pairs) - self.positive_count
+
+    def true_pairs(self) -> List[Tuple[str, str]]:
+        """Record-id pairs that are true duplicates (for blocking recall)."""
+        return [
+            (p.record_a.record_id, p.record_b.record_id)
+            for p in self.pairs
+            if p.is_duplicate
+        ]
+
+
+class DedupCorpusGenerator:
+    """Generate a labeled dedup corpus over Table III entity types."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        noise_level: float = 0.28,
+        entity_types: Optional[Sequence[str]] = None,
+    ):
+        if not 0.0 <= noise_level <= 1.0:
+            raise ValueError("noise_level must be in [0, 1]")
+        self._seed = seed
+        self._noise = noise_level
+        self._entity_types = list(entity_types) if entity_types else None
+
+    def generate(
+        self,
+        n_entities: int = 200,
+        variants_per_entity: int = 2,
+        negatives_per_positive: float = 1.0,
+    ) -> DedupCorpus:
+        """Generate the corpus.
+
+        ``n_entities`` base entities are drawn from the Table III mixture,
+        each expanded into ``variants_per_entity`` dirty variants.  Positive
+        pairs link records of the same entity; negatives link different
+        entities, half of them "hard" (sharing a surname/word).
+        """
+        rng = make_rng(self._seed, "dedup_corpus")
+        entity_gen = WebEntitiesGenerator(seed=self._seed)
+        base_entities = entity_gen.generate(n_entities * 3)
+        if self._entity_types is not None:
+            base_entities = [
+                e for e in base_entities if e.entity_type in self._entity_types
+            ]
+        base_entities = base_entities[:n_entities]
+
+        records: List[Record] = []
+        entity_of_record: Dict[str, int] = {}
+        records_by_entity: Dict[int, List[Record]] = {}
+        for entity_index, entity in enumerate(base_entities):
+            base_values = {
+                "name": entity.name,
+                "type": entity.entity_type,
+            }
+            base_values.update(dict(entity.attributes))
+            group: List[Record] = []
+            base_record = Record.from_dict(
+                f"base:{entity_index}", "webentities", base_values
+            )
+            group.append(base_record)
+            for variant_index in range(variants_per_entity):
+                noisy = self._perturb(rng, base_values)
+                group.append(
+                    Record.from_dict(
+                        f"var:{entity_index}:{variant_index}", "webtext", noisy
+                    )
+                )
+            for record in group:
+                records.append(record)
+                entity_of_record[record.record_id] = entity_index
+            records_by_entity[entity_index] = group
+
+        pairs: List[LabeledPair] = []
+        for entity_index, group in records_by_entity.items():
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    pairs.append(LabeledPair(group[i], group[j], True))
+        n_negatives = int(round(len(pairs) * negatives_per_positive))
+        pairs.extend(
+            self._negative_pairs(rng, records_by_entity, n_negatives)
+        )
+        order = rng.permutation(len(pairs))
+        pairs = [pairs[int(i)] for i in order]
+        return DedupCorpus(
+            pairs=pairs, records=records, entity_of_record=entity_of_record
+        )
+
+    # -- perturbation -------------------------------------------------------
+
+    def _perturb(self, rng, values: Dict[str, object]) -> Dict[str, object]:
+        noisy: Dict[str, object] = {}
+        for key, value in values.items():
+            if key == "type" or not isinstance(value, str) or not value:
+                # the entity type is a structural label, not a dirty value
+                noisy[key] = value
+                continue
+            text = value
+            if float(rng.random()) < self._noise:
+                text = self._typo(rng, text)
+            if float(rng.random()) < self._noise * 0.8:
+                text = self._abbreviate(text)
+            if float(rng.random()) < self._noise * 0.6:
+                text = text.upper() if float(rng.random()) < 0.5 else text.lower()
+            if key != "name" and float(rng.random()) < self._noise * 0.5:
+                # drop a secondary attribute entirely (text records are sparse)
+                continue
+            noisy[key] = text
+        noisy.setdefault("name", values.get("name"))
+        return noisy
+
+    def _typo(self, rng, text: str) -> str:
+        if len(text) < 4:
+            return text
+        operation = int(rng.integers(0, 3))
+        position = int(rng.integers(1, len(text) - 1))
+        if operation == 0:  # delete a character
+            return text[:position] + text[position + 1 :]
+        if operation == 1:  # swap adjacent characters
+            chars = list(text)
+            chars[position - 1], chars[position] = chars[position], chars[position - 1]
+            return "".join(chars)
+        # duplicate a character
+        return text[:position] + text[position] + text[position:]
+
+    def _abbreviate(self, text: str) -> str:
+        lowered = text.lower()
+        for long_form, short_form in _ABBREVIATIONS.items():
+            if long_form in lowered:
+                return lowered.replace(long_form, short_form)
+        words = text.split()
+        if len(words) > 2:
+            return " ".join(words[:-1])
+        return text
+
+    # -- negatives ----------------------------------------------------------
+
+    def _negative_pairs(
+        self,
+        rng,
+        records_by_entity: Dict[int, List[Record]],
+        n_negatives: int,
+    ) -> List[LabeledPair]:
+        entity_ids = list(records_by_entity)
+        if len(entity_ids) < 2:
+            return []
+        by_token: Dict[str, List[int]] = {}
+        for entity_index, group in records_by_entity.items():
+            name = str(group[0].get("name", ""))
+            for token in name.lower().split():
+                by_token.setdefault(token, []).append(entity_index)
+        negatives: List[LabeledPair] = []
+        attempts = 0
+        while len(negatives) < n_negatives and attempts < n_negatives * 20:
+            attempts += 1
+            use_hard = float(rng.random()) < 0.5
+            first = second = None
+            if use_hard:
+                shared = [t for t, members in by_token.items() if len(set(members)) >= 2]
+                if shared:
+                    token = shared[int(rng.integers(0, len(shared)))]
+                    candidates = sorted(set(by_token[token]))
+                    first, second = candidates[0], candidates[1]
+            if first is None or second is None or first == second:
+                first, second = rng.choice(entity_ids, size=2, replace=False).tolist()
+                first, second = int(first), int(second)
+            group_a = records_by_entity[first]
+            group_b = records_by_entity[second]
+            record_a = group_a[int(rng.integers(0, len(group_a)))]
+            record_b = group_b[int(rng.integers(0, len(group_b)))]
+            negatives.append(LabeledPair(record_a, record_b, False))
+        return negatives

@@ -1,0 +1,297 @@
+"""Synthetic Google Fusion Tables sources (the paper's FTABLES dataset).
+
+The paper uses "20 structured data sources found using Google Fusion Tables
+having Broadway shows schedules, theater locations, and discounts", each with
+5-20 attributes and 10-100 rows.  The generator reproduces that: 20 sources
+drawn from three archetypes (schedules, theater locations, discount/price
+lists), each with its own attribute-naming convention so schema matching has
+real heterogeneity to resolve, plus per-source dirt (case changes, stray
+whitespace, null tokens).
+
+Ground truth is exposed two ways:
+
+* :data:`GROUND_TRUTH_GLOBAL_SCHEMA` — the canonical global attribute names;
+* :meth:`FTablesGenerator.true_mapping_for` — the source-attribute → global
+  attribute correspondence for each generated source (used to score the
+  integrator and to drive simulated experts).
+
+The demo show "Matilda" is guaranteed to appear with the values from the
+paper's Table VI (Shubert theater, $27 cheapest price, first performance
+3/4/2013) so the Table V/VI benchmarks can reproduce the published record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .seeds import make_rng
+
+#: Canonical global attribute names for the Broadway-shows domain.
+GROUND_TRUTH_GLOBAL_SCHEMA = (
+    "show_name",
+    "theater",
+    "address",
+    "performance_schedule",
+    "cheapest_price",
+    "regular_price",
+    "discount",
+    "first_performance",
+    "closing_date",
+    "runtime_minutes",
+    "genre",
+    "rating",
+    "box_office_gross",
+    "capacity",
+    "neighborhood",
+)
+
+#: The Matilda record the paper's Table VI reports after fusion.
+MATILDA_RECORD: Dict[str, str] = {
+    "show_name": "Matilda",
+    "theater": "Shubert",
+    "address": "225 W. 44th St between 7th and 8th",
+    "performance_schedule": (
+        "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at 2pm Sun at 3pm"
+    ),
+    "cheapest_price": "$27",
+    "first_performance": "3/4/2013",
+}
+
+_SHOWS = (
+    "Matilda", "The Lion King", "Wicked", "The Phantom of the Opera",
+    "Chicago", "Kinky Boots", "Pippin", "Once", "Annie", "Cinderella",
+    "Motown", "Jersey Boys", "Mamma Mia", "Newsies", "Rock of Ages",
+    "Spider-Man Turn Off the Dark", "The Book of Mormon", "Lucky Guy",
+    "Vanya and Sonia", "The Nance",
+)
+_THEATERS = (
+    ("Shubert", "225 W. 44th St between 7th and 8th", "Midtown"),
+    ("Gershwin", "222 W. 51st St", "Midtown West"),
+    ("Majestic", "245 W. 44th St", "Theater District"),
+    ("Ambassador", "219 W. 49th St", "Midtown"),
+    ("Al Hirschfeld", "302 W. 45th St", "Hell's Kitchen"),
+    ("Minskoff", "200 W. 45th St", "Times Square"),
+    ("Music Box", "239 W. 45th St", "Theater District"),
+    ("Imperial", "249 W. 45th St", "Theater District"),
+    ("Palace", "1564 Broadway", "Times Square"),
+    ("Winter Garden", "1634 Broadway", "Midtown"),
+    ("Broadway", "1681 Broadway", "Midtown West"),
+    ("Lunt-Fontanne", "205 W. 46th St", "Theater District"),
+)
+_SCHEDULES = (
+    "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at 2pm Sun at 3pm",
+    "Mon-Sat at 8pm Wed and Sat at 2pm",
+    "Tues-Fri at 7:30pm Sat at 8pm Sun at 3pm",
+    "Wed-Sun at 7pm matinees Sat-Sun at 2pm",
+    "Tues-Thurs at 7pm Fri-Sat at 8pm Sun at 3pm",
+)
+_GENRES = ("Musical", "Play", "Revival", "Comedy", "Drama")
+
+#: Three source archetypes, each with its own attribute-name dialect.  The
+#: mapping is archetype attribute name → canonical global attribute.
+_ARCHETYPES: Dict[str, Dict[str, str]] = {
+    "schedule": {
+        "Show": "show_name",
+        "Venue": "theater",
+        "Performance Times": "performance_schedule",
+        "Opening Night": "first_performance",
+        "Final Performance": "closing_date",
+        "Running Time": "runtime_minutes",
+        "Category": "genre",
+    },
+    "theater_locations": {
+        "SHOW_NAME": "show_name",
+        "THEATER": "theater",
+        "ADDRESS": "address",
+        "NEIGHBORHOOD": "neighborhood",
+        "SEATING_CAPACITY": "capacity",
+        "PERFORMANCE": "performance_schedule",
+        "FIRST": "first_performance",
+    },
+    "discounts": {
+        "title": "show_name",
+        "venue_name": "theater",
+        "lowest_price": "cheapest_price",
+        "full_price": "regular_price",
+        "pct_off": "discount",
+        "audience_rating": "rating",
+        "weekly_gross": "box_office_gross",
+    },
+}
+
+
+@dataclass
+class FusionTableSource:
+    """One generated structured source."""
+
+    source_id: str
+    archetype: str
+    attribute_mapping: Dict[str, str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Local (source) attribute names."""
+        return list(self.attribute_mapping)
+
+    def records(self) -> List[Dict[str, object]]:
+        """The source's rows (copies)."""
+        return [dict(row) for row in self.rows]
+
+
+class FTablesGenerator:
+    """Generate the 20 FTABLES-like structured sources."""
+
+    def __init__(self, seed: int = 0, n_sources: int = 20, dirty: bool = True):
+        if n_sources < 1:
+            raise ValueError("n_sources must be >= 1")
+        self._seed = seed
+        self._n_sources = n_sources
+        self._dirty = dirty
+
+    @property
+    def global_attributes(self) -> Tuple[str, ...]:
+        """The canonical global attribute names this domain fuses into."""
+        return GROUND_TRUTH_GLOBAL_SCHEMA
+
+    def seed_records(self) -> List[Dict[str, str]]:
+        """Records in canonical global-attribute names for schema initialization.
+
+        The paper's Figure 2 shows an explicit "Global Schema Initialization"
+        stage; ingesting these few canonical records first seeds the global
+        schema with the canonical attribute names (``show_name``, ``theater``,
+        ``cheapest_price``, ...) so every later source — structured or text —
+        maps onto them.  The Matilda demo record is included.
+        """
+        rng = make_rng(self._seed, "ftables-seed")
+        records: List[Dict[str, str]] = [dict(MATILDA_RECORD)]
+        for show_index in range(1, 6):
+            show = _SHOWS[show_index]
+            theater, address, neighborhood = _THEATERS[show_index % len(_THEATERS)]
+            records.append(
+                {
+                    "show_name": show,
+                    "theater": theater,
+                    "address": address,
+                    "neighborhood": neighborhood,
+                    "performance_schedule": _SCHEDULES[
+                        int(rng.integers(0, len(_SCHEDULES)))
+                    ],
+                    "cheapest_price": f"${int(rng.integers(25, 90))}",
+                    "regular_price": f"${int(rng.integers(90, 250))}",
+                    "discount": f"{int(rng.integers(10, 60))}%",
+                    "first_performance": f"{int(rng.integers(1, 13))}/{int(rng.integers(1, 29))}/2013",
+                    "genre": _GENRES[int(rng.integers(0, len(_GENRES)))],
+                }
+            )
+        return records
+
+    def generate(self) -> List[FusionTableSource]:
+        """Generate all sources."""
+        rng = make_rng(self._seed, "ftables")
+        archetype_names = list(_ARCHETYPES)
+        sources: List[FusionTableSource] = []
+        for index in range(self._n_sources):
+            archetype = archetype_names[index % len(archetype_names)]
+            mapping = dict(_ARCHETYPES[archetype])
+            source = FusionTableSource(
+                source_id=f"ftable:{index:02d}:{archetype}",
+                archetype=archetype,
+                attribute_mapping=mapping,
+            )
+            n_rows = int(rng.integers(10, 101))
+            show_indices = rng.permutation(len(_SHOWS))[: min(n_rows, len(_SHOWS))]
+            for row_index in range(n_rows):
+                show = _SHOWS[int(show_indices[row_index % len(show_indices)])]
+                row = self._make_row(rng, archetype, mapping, show)
+                source.rows.append(row)
+            # Guarantee the Matilda demo record appears in at least one source
+            # of each archetype (the first of each).
+            if index < len(archetype_names):
+                source.rows[0] = self._matilda_row(archetype, mapping)
+            sources.append(source)
+        return sources
+
+    def true_mapping_for(self, source: FusionTableSource) -> Dict[str, str]:
+        """source attribute name → canonical global attribute name."""
+        return dict(source.attribute_mapping)
+
+    def true_mapping_all(self) -> Dict[str, str]:
+        """Union of all archetypes' attribute correspondences."""
+        combined: Dict[str, str] = {}
+        for mapping in _ARCHETYPES.values():
+            combined.update(mapping)
+        return combined
+
+    # -- row construction ---------------------------------------------------
+
+    def _make_row(
+        self,
+        rng,
+        archetype: str,
+        mapping: Dict[str, str],
+        show: str,
+    ) -> Dict[str, object]:
+        theater, address, neighborhood = _THEATERS[int(rng.integers(0, len(_THEATERS)))]
+        values: Dict[str, object] = {
+            "show_name": show,
+            "theater": theater,
+            "address": address,
+            "neighborhood": neighborhood,
+            "performance_schedule": _SCHEDULES[int(rng.integers(0, len(_SCHEDULES)))],
+            "first_performance": f"{int(rng.integers(1, 13))}/{int(rng.integers(1, 29))}/2013",
+            "closing_date": f"{int(rng.integers(1, 13))}/{int(rng.integers(1, 29))}/2014",
+            "runtime_minutes": int(rng.integers(90, 181)),
+            "genre": _GENRES[int(rng.integers(0, len(_GENRES)))],
+            "cheapest_price": f"${int(rng.integers(25, 90))}",
+            "regular_price": f"${int(rng.integers(90, 250))}",
+            "discount": f"{int(rng.integers(10, 60))}%",
+            "rating": round(float(rng.uniform(2.5, 5.0)), 1),
+            "box_office_gross": f"{int(rng.integers(200, 2000)) * 1000:,}",
+            "capacity": int(rng.integers(500, 1900)),
+        }
+        row = {
+            local: values[canonical] for local, canonical in mapping.items()
+        }
+        if self._dirty:
+            row = self._add_dirt(rng, row)
+        return row
+
+    def _matilda_row(self, archetype: str, mapping: Dict[str, str]) -> Dict[str, object]:
+        defaults = {
+            "show_name": MATILDA_RECORD["show_name"],
+            "theater": MATILDA_RECORD["theater"],
+            "address": MATILDA_RECORD["address"],
+            "neighborhood": "Theater District",
+            "performance_schedule": MATILDA_RECORD["performance_schedule"],
+            "first_performance": MATILDA_RECORD["first_performance"],
+            "closing_date": "1/4/2015",
+            "runtime_minutes": 160,
+            "genre": "Musical",
+            "cheapest_price": MATILDA_RECORD["cheapest_price"],
+            "regular_price": "$137",
+            "discount": "40%",
+            "rating": 4.8,
+            "box_office_gross": "960,998",
+            "capacity": 1460,
+        }
+        return {local: defaults[canonical] for local, canonical in mapping.items()}
+
+    def _add_dirt(self, rng, row: Dict[str, object]) -> Dict[str, object]:
+        dirty: Dict[str, object] = {}
+        for key, value in row.items():
+            roll = float(rng.random())
+            if isinstance(value, str):
+                if roll < 0.05:
+                    value = ""
+                elif roll < 0.10:
+                    value = f"  {value} "
+                elif roll < 0.13:
+                    value = value.upper()
+                elif roll < 0.15:
+                    value = "N/A"
+            elif roll < 0.04:
+                value = None
+            dirty[key] = value
+        return dirty

@@ -1,0 +1,47 @@
+"""Deterministic random-number helpers shared by all workload generators."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def make_rng(seed: Optional[int] = 0, label: str = "") -> np.random.Generator:
+    """Create a numpy Generator from a seed and an optional label.
+
+    The label is mixed into the seed so that two generators created from the
+    same base seed but for different purposes ("webinstance" vs "ftables")
+    produce independent streams while staying reproducible.
+    """
+    if seed is None:
+        seed = 0
+    if label:
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=4).digest()
+        seed = (int(seed) * 1_000_003 + int.from_bytes(digest, "big")) % (2**63)
+    return np.random.default_rng(seed)
+
+
+def weighted_choice(
+    rng: np.random.Generator, items: Sequence[T], weights: Sequence[float]
+) -> T:
+    """Pick one item with the given (unnormalized) weights."""
+    weights = np.asarray(weights, dtype=float)
+    probabilities = weights / weights.sum()
+    index = int(rng.choice(len(items), p=probabilities))
+    return items[index]
+
+
+def zipf_weights(n: int, exponent: float = 1.1) -> np.ndarray:
+    """Heavy-tailed (Zipf-like) weights for ``n`` ranked items.
+
+    Web mention frequencies are heavy-tailed — a few shows dominate the
+    conversation (the premise behind the paper's Table IV ranking).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=float)
+    return 1.0 / np.power(ranks, exponent)

@@ -1,0 +1,185 @@
+"""Synthetic WEBENTITIES generator following the paper's Table III type mixture.
+
+Table III reports entity counts by type for the paper's 173-million-entity
+collection (Person 38.9 M, OrgEntity 33.5 M, ... ProvinceOrState 0.2 M).  The
+generator reproduces that *mixture* at a configurable scale: asking for
+100 000 entities yields the same proportions the paper reports, so the
+Table III benchmark regenerates the histogram shape directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .seeds import make_rng
+
+#: Entity counts by type from the paper's Table III (entries shown there).
+TABLE3_TYPE_COUNTS: Dict[str, int] = {
+    "Person": 38_867_351,
+    "OrgEntity": 33_529_169,
+    "GeoEntity": 11_964_810,
+    "URL": 11_194_592,
+    "IndustryTerm": 9_101_781,
+    "Position": 8_938_934,
+    "Company": 8_846_692,
+    "Product": 8_800_019,
+    "Organization": 6_301_459,
+    "Facility": 4_081_458,
+    "City": 3_621_317,
+    "MedicalCondition": 1_313_487,
+    "Technology": 940_349,
+    "Movie": 260_230,
+    "ProvinceOrState": 223_243,
+}
+
+_FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+)
+_LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+)
+_ORG_WORDS = (
+    "Global", "United", "National", "Metro", "Apex", "Summit", "Pioneer",
+    "Atlantic", "Pacific", "Northern", "Vertex", "Quantum", "Sterling",
+)
+_ORG_SUFFIXES = ("Group", "Holdings", "Partners", "Labs", "Systems", "Media",
+                 "Industries", "Ventures", "Council", "Institute")
+_PLACES = (
+    "Springfield", "Riverton", "Lakeside", "Fairview", "Georgetown",
+    "Clinton", "Madison", "Franklin", "Greenville", "Bristol", "Salem",
+    "Ashland", "Milton", "Dover", "Hudson",
+)
+_PRODUCTS = ("Phone", "Tablet", "Drive", "Router", "Camera", "Watch",
+             "Speaker", "Monitor", "Sensor", "Console")
+_POSITIONS = ("CEO", "CTO", "CFO", "Director", "Manager", "Analyst",
+              "Producer", "Editor", "Engineer", "Consultant")
+_INDUSTRY_TERMS = ("box office", "market share", "quarterly earnings",
+                   "supply chain", "user growth", "streaming revenue",
+                   "subscription model", "advertising spend")
+_CONDITIONS = ("influenza", "diabetes", "hypertension", "asthma", "migraine",
+               "arthritis", "anemia", "bronchitis")
+_TECHNOLOGIES = ("machine learning", "solar panel", "lithium battery",
+                 "cloud computing", "5G", "blockchain", "CRISPR")
+_MOVIES = ("The Walking Dead", "Matilda", "Goodfellas", "Raging Bull",
+           "Mean Streets", "The Wolverine", "Wicked", "Chicago",
+           "Kinky Boots", "Once")
+_STATES = ("California", "New York", "Texas", "Florida", "Illinois",
+           "Massachusetts", "Washington", "Oregon", "Ohio", "Georgia")
+
+
+@dataclass(frozen=True)
+class GeneratedEntity:
+    """One synthetic typed entity."""
+
+    entity_id: str
+    entity_type: str
+    name: str
+    attributes: Tuple[Tuple[str, str], ...] = ()
+
+    def as_document(self) -> dict:
+        """Render the entity as a WEBENTITIES-style document."""
+        doc = {
+            "entity_id": self.entity_id,
+            "type": self.entity_type,
+            "name": self.name,
+        }
+        doc.update(dict(self.attributes))
+        return doc
+
+
+class WebEntitiesGenerator:
+    """Generate typed entities in the paper's Table III proportions."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        type_counts: Optional[Dict[str, int]] = None,
+    ):
+        self._seed = seed
+        self._type_counts = dict(type_counts or TABLE3_TYPE_COUNTS)
+        total = sum(self._type_counts.values())
+        self._types = list(self._type_counts)
+        self._probabilities = np.array(
+            [self._type_counts[t] / total for t in self._types]
+        )
+
+    @property
+    def type_probabilities(self) -> Dict[str, float]:
+        """The type mixture the generator draws from."""
+        return dict(zip(self._types, self._probabilities.tolist()))
+
+    def expected_counts(self, n_entities: int) -> Dict[str, int]:
+        """Expected per-type counts at a given scale (rounded)."""
+        return {
+            entity_type: int(round(prob * n_entities))
+            for entity_type, prob in self.type_probabilities.items()
+        }
+
+    def generate(self, n_entities: int) -> List[GeneratedEntity]:
+        """Generate ``n_entities`` entities."""
+        return list(self.iter_entities(n_entities))
+
+    def iter_entities(self, n_entities: int) -> Iterator[GeneratedEntity]:
+        """Yield entities lazily for large scales."""
+        rng = make_rng(self._seed, "webentities")
+        type_indices = rng.choice(
+            len(self._types), size=n_entities, p=self._probabilities
+        )
+        for index in range(n_entities):
+            entity_type = self._types[int(type_indices[index])]
+            name, attributes = self._make_entity(rng, entity_type)
+            yield GeneratedEntity(
+                entity_id=f"ent:{index}",
+                entity_type=entity_type,
+                name=name,
+                attributes=attributes,
+            )
+
+    def _make_entity(
+        self, rng: np.random.Generator, entity_type: str
+    ) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        pick = lambda seq: seq[int(rng.integers(0, len(seq)))]  # noqa: E731
+        if entity_type == "Person":
+            name = f"{pick(_FIRST_NAMES)} {pick(_LAST_NAMES)}"
+            return name, (("position", pick(_POSITIONS)),)
+        if entity_type in ("OrgEntity", "Organization", "Company"):
+            name = f"{pick(_ORG_WORDS)} {pick(_ORG_SUFFIXES)}"
+            return name, (("headquarters", pick(_PLACES)),)
+        if entity_type in ("GeoEntity", "City"):
+            return pick(_PLACES), (("state", pick(_STATES)),)
+        if entity_type == "URL":
+            host = pick(_ORG_WORDS).lower()
+            return f"http://www.{host}{int(rng.integers(1, 999))}.com", ()
+        if entity_type == "IndustryTerm":
+            return pick(_INDUSTRY_TERMS), ()
+        if entity_type == "Position":
+            return pick(_POSITIONS), ()
+        if entity_type == "Product":
+            return f"{pick(_ORG_WORDS)} {pick(_PRODUCTS)}", ()
+        if entity_type == "Facility":
+            return f"{pick(_PLACES)} {pick(('Arena', 'Stadium', 'Theatre', 'Hall'))}", ()
+        if entity_type == "MedicalCondition":
+            return pick(_CONDITIONS), ()
+        if entity_type == "Technology":
+            return pick(_TECHNOLOGIES), ()
+        if entity_type == "Movie":
+            return pick(_MOVIES), ()
+        if entity_type == "ProvinceOrState":
+            return pick(_STATES), ()
+        return f"entity {int(rng.integers(0, 10_000))}", ()
+
+    def type_histogram(self, entities: Sequence[GeneratedEntity]) -> Dict[str, int]:
+        """Count generated entities by type (the Table III histogram)."""
+        histogram: Dict[str, int] = {}
+        for entity in entities:
+            histogram[entity.entity_type] = histogram.get(entity.entity_type, 0) + 1
+        return dict(
+            sorted(histogram.items(), key=lambda item: item[1], reverse=True)
+        )

@@ -1,0 +1,162 @@
+"""Synthetic web-text corpus generator (stands in for the Recorded Future crawl).
+
+Each generated :class:`WebTextDocument` is a short news/blog/tweet-style text
+mentioning one or more entities from the Broadway-shows domain gazetteer.
+Show popularity follows a Zipf distribution over a fixed ranking, so the
+"most discussed" query (paper Table IV) has a stable, heavy-tailed answer
+that the benchmark can check against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..text.gazetteer import Gazetteer, broadway_gazetteer
+from .seeds import make_rng, zipf_weights
+
+#: Show popularity ranking used for ground truth; mirrors the paper's Table IV
+#: ordering so the regenerated top-10 list looks like the published one.
+DEFAULT_SHOW_RANKING = (
+    "The Walking Dead",
+    "Written",
+    "Mean Streets",
+    "Goodfellas",
+    "Matilda",
+    "The Wolverine",
+    "Trees Lounge",
+    "Raging Bull",
+    "Berkeley in the Sixties",
+    "Never Should Have",
+    "The Lion King",
+    "Wicked",
+    "The Phantom of the Opera",
+    "Chicago",
+    "Kinky Boots",
+    "Pippin",
+    "Once",
+    "Annie",
+    "Cinderella",
+    "Motown",
+)
+
+_NEWS_TEMPLATES = (
+    "{show}, which began previews on Tuesday, grossed {gross}, or {pct} percent of the maximum at the {theater}.",
+    "Critics at the {theater} praised {show} after its opening night, with {person} calling it a triumph.",
+    "{show} an award-winning import from London, grossed {gross}, or {pct} percent of the maximum.",
+    "Box office receipts for {show} climbed again this week, reaching {gross} according to the Broadway League.",
+    "The revival of {show} at the {theater} extended its run after strong matinee sales in New York.",
+)
+
+_BLOG_TEMPLATES = (
+    "Just saw {show} at the {theater} last night - absolutely worth the ticket price. {person} was incredible.",
+    "My honest review of {show}: the staging is bold, the score soars, and the {theater} has never looked better.",
+    "Is {show} overhyped? After two viewings I still think {person} carries the whole production.",
+    "Cheap seats for {show} are getting hard to find; TKTS had nothing under {price} this weekend.",
+)
+
+_TWEET_TEMPLATES = (
+    "{show} tonight at the {theater}!!! #broadway",
+    "can't stop thinking about {show}... {person} deserves every award",
+    "rush tickets for {show} were only {price} this morning",
+    "{show} grossed {gross} last week?! wild",
+)
+
+_STYLES = ("news", "blog", "tweet")
+_STYLE_TEMPLATES = {
+    "news": _NEWS_TEMPLATES,
+    "blog": _BLOG_TEMPLATES,
+    "tweet": _TWEET_TEMPLATES,
+}
+
+
+@dataclass(frozen=True)
+class WebTextDocument:
+    """One raw web-text document produced by the generator."""
+
+    doc_id: str
+    style: str
+    text: str
+    mentioned_shows: Tuple[str, ...]
+
+    def as_pair(self) -> Tuple[str, str]:
+        """Return ``(doc_id, text)`` as the domain parser expects."""
+        return self.doc_id, self.text
+
+
+class WebInstanceGenerator:
+    """Generate a seeded corpus of web-text documents."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        gazetteer: Optional[Gazetteer] = None,
+        show_ranking: Sequence[str] = DEFAULT_SHOW_RANKING,
+        zipf_exponent: float = 1.1,
+    ):
+        self._seed = seed
+        self._gazetteer = gazetteer or broadway_gazetteer()
+        self._shows = list(show_ranking)
+        self._weights = zipf_weights(len(self._shows), zipf_exponent)
+        self._theaters = [
+            entry.canonical for entry in self._gazetteer.entries_of_type("Facility")
+        ] or ["Shubert Theatre"]
+        self._people = [
+            entry.canonical for entry in self._gazetteer.entries_of_type("Person")
+        ] or ["Tim Minchin"]
+
+    @property
+    def gazetteer(self) -> Gazetteer:
+        """The gazetteer the generated text draws entities from."""
+        return self._gazetteer
+
+    @property
+    def show_ranking(self) -> List[str]:
+        """Shows in ground-truth popularity order (most discussed first)."""
+        return list(self._shows)
+
+    def expected_top_shows(self, k: int = 10) -> List[str]:
+        """Ground-truth top-``k`` most-discussed shows."""
+        return self._shows[:k]
+
+    def generate(self, n_documents: int) -> List[WebTextDocument]:
+        """Generate ``n_documents`` web-text documents."""
+        return list(self.iter_documents(n_documents))
+
+    def iter_documents(self, n_documents: int) -> Iterator[WebTextDocument]:
+        """Yield ``n_documents`` documents lazily (large corpora)."""
+        rng = make_rng(self._seed, "webinstance")
+        probabilities = self._weights / self._weights.sum()
+        for index in range(n_documents):
+            style = _STYLES[int(rng.integers(0, len(_STYLES)))]
+            template = _STYLE_TEMPLATES[style][
+                int(rng.integers(0, len(_STYLE_TEMPLATES[style])))
+            ]
+            show = self._shows[int(rng.choice(len(self._shows), p=probabilities))]
+            theater = self._theaters[int(rng.integers(0, len(self._theaters)))]
+            person = self._people[int(rng.integers(0, len(self._people)))]
+            gross = f"{int(rng.integers(100, 2000)) * 1000:,}"
+            pct = int(rng.integers(40, 100))
+            price = f"${int(rng.integers(20, 150))}"
+            text = template.format(
+                show=show,
+                theater=theater,
+                person=person,
+                gross=gross,
+                pct=pct,
+                price=price,
+            )
+            yield WebTextDocument(
+                doc_id=f"web:{index}",
+                style=style,
+                text=text,
+                mentioned_shows=(show,),
+            )
+
+    def mention_counts(self, documents: Sequence[WebTextDocument]) -> Dict[str, int]:
+        """Ground-truth mention counts by show for a generated corpus."""
+        counts: Dict[str, int] = {}
+        for doc in documents:
+            for show in doc.mentioned_shows:
+                counts[show] = counts.get(show, 0) + 1
+        return counts

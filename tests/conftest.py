@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataTamer, TamerConfig
+from repro.config import EntityConfig, SchemaConfig, StorageConfig
+from repro.ingest import DictSource
+from repro.storage import DocumentStore
+from repro.text import DomainParser
+from repro.text.gazetteer import broadway_gazetteer
+from repro.workloads import (
+    DedupCorpusGenerator,
+    FTablesGenerator,
+    WebEntitiesGenerator,
+    WebInstanceGenerator,
+)
+
+
+@pytest.fixture
+def small_config() -> TamerConfig:
+    """A validated test-sized configuration (tiny extents, two shards)."""
+    return TamerConfig.small()
+
+
+@pytest.fixture
+def storage_config() -> StorageConfig:
+    """A small storage configuration for direct store tests."""
+    return StorageConfig(extent_size_bytes=16 * 1024, num_shards=2)
+
+
+@pytest.fixture
+def document_store(storage_config) -> DocumentStore:
+    """An empty document store."""
+    return DocumentStore("dt", storage_config)
+
+
+@pytest.fixture
+def gazetteer():
+    """The Broadway-domain gazetteer used by the demo scenario."""
+    return broadway_gazetteer()
+
+
+@pytest.fixture
+def parser(gazetteer) -> DomainParser:
+    """A domain parser backed by the Broadway gazetteer."""
+    return DomainParser(gazetteer)
+
+
+@pytest.fixture
+def ftables() -> FTablesGenerator:
+    """A deterministic FTABLES generator (20 sources)."""
+    return FTablesGenerator(seed=7, n_sources=20)
+
+
+@pytest.fixture
+def ftables_sources(ftables):
+    """The generated FTABLES sources."""
+    return ftables.generate()
+
+
+@pytest.fixture
+def web_corpus():
+    """A small deterministic web-text corpus (150 documents)."""
+    return WebInstanceGenerator(seed=11).generate(150)
+
+
+@pytest.fixture
+def dedup_corpus():
+    """A small labeled dedup corpus (fast to featurize)."""
+    return DedupCorpusGenerator(seed=13).generate(
+        n_entities=60, variants_per_entity=2
+    )
+
+
+@pytest.fixture
+def tamer(small_config, parser) -> DataTamer:
+    """A DataTamer instance with the text parser registered."""
+    instance = DataTamer(small_config)
+    instance.register_text_parser(parser)
+    return instance
+
+
+@pytest.fixture
+def populated_tamer(tamer, ftables, web_corpus) -> DataTamer:
+    """A DataTamer loaded with seed records, 6 structured sources and web text."""
+    tamer.ingest_structured_records("global_seed", tamer_seed_records(ftables))
+    for source in ftables.generate()[:6]:
+        tamer.ingest_structured_source(
+            DictSource(source.source_id, source.records())
+        )
+    tamer.ingest_text_documents(doc.as_pair() for doc in web_corpus)
+    return tamer
+
+
+def tamer_seed_records(ftables: FTablesGenerator):
+    """Helper: canonical seed records from the FTABLES generator."""
+    return ftables.seed_records()

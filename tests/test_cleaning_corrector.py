@@ -1,0 +1,136 @@
+"""Tests for repro.cleaning.corrector (ML-assisted value correction)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.corrector import (
+    VALUE_FEATURE_NAMES,
+    ColumnContext,
+    ValueCorrector,
+)
+from repro.errors import CleaningError, NotFittedError
+
+PRICES = ["$27", "$30", "$29", "$31", "$28", "$9999", "$27", "$30", "$26", "$32"]
+GENRES = ["Musical"] * 10 + ["Play"] * 6 + ["xq9!#"]
+
+
+class TestColumnContext:
+    def test_featurize_length_matches_names(self):
+        context = ColumnContext.from_values(PRICES)
+        assert context.featurize("$27").shape == (len(VALUE_FEATURE_NAMES),)
+
+    def test_features_bounded(self):
+        context = ColumnContext.from_values(PRICES)
+        for value in PRICES + [None, "", "garbage!!"]:
+            features = context.featurize(value)
+            assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_outlier_value_more_anomalous_than_typical(self):
+        context = ColumnContext.from_values(PRICES)
+        typical = context.featurize("$29")
+        outlier = context.featurize("$9999")
+        assert outlier.sum() > typical.sum()
+
+    def test_robust_to_masking(self):
+        # the gross error must not hide itself by inflating the column scale
+        context = ColumnContext.from_values(PRICES)
+        named = dict(zip(VALUE_FEATURE_NAMES, context.featurize("$9999")))
+        assert named["numeric_zscore"] > 0.5
+
+    def test_type_mismatch_feature(self):
+        context = ColumnContext.from_values(["10", "20", "30", "40"])
+        named = dict(zip(VALUE_FEATURE_NAMES, context.featurize("hello")))
+        assert named["type_mismatch"] == 1.0
+
+    def test_null_like_feature(self):
+        context = ColumnContext.from_values(["a", "b", "c"])
+        named = dict(zip(VALUE_FEATURE_NAMES, context.featurize("N/A")))
+        assert named["null_like"] == 1.0
+
+
+class TestValueCorrectorSupervised:
+    def _labels(self):
+        return {
+            "price": [0, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+            "genre": [0] * 16 + [1],
+        }
+
+    def test_fit_and_score(self):
+        corrector = ValueCorrector().fit(
+            {"price": PRICES, "genre": GENRES}, self._labels()
+        )
+        scores = corrector.score_column(PRICES)
+        assert scores[5] == max(scores)
+
+    def test_flag_records(self):
+        corrector = ValueCorrector(threshold=0.5).fit(
+            {"price": PRICES, "genre": GENRES}, self._labels()
+        )
+        records = [{"price": p} for p in PRICES]
+        flags = corrector.flag_records(records, columns=["price"])
+        assert [f.value for f in flags] == ["$9999"]
+        assert flags[0].row_index == 5
+
+    def test_repair_suggestion_for_dominant_category(self):
+        corrector = ValueCorrector(threshold=0.5).fit(
+            {"price": PRICES, "genre": GENRES}, self._labels()
+        )
+        records = [{"genre": g} for g in GENRES]
+        flags = corrector.flag_records(records, columns=["genre"])
+        assert flags, "the junk genre should be flagged"
+        assert flags[0].value == "xq9!#"
+        assert flags[0].suggestion == "Musical"
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(CleaningError):
+            ValueCorrector().fit({"price": PRICES}, {"price": [0, 1]})
+
+    def test_single_class_rejected(self):
+        with pytest.raises(CleaningError):
+            ValueCorrector().fit({"price": PRICES}, {"price": [0] * len(PRICES)})
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(CleaningError):
+            ValueCorrector().fit({}, {})
+
+    def test_invalid_threshold(self):
+        with pytest.raises(CleaningError):
+            ValueCorrector(threshold=2.0)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ValueCorrector().score_column(PRICES)
+        with pytest.raises(NotFittedError):
+            ValueCorrector().flag_records([{"a": 1}])
+
+
+class TestValueCorrectorUnsupervised:
+    def test_bootstrap_flags_gross_numeric_error(self):
+        corrector = ValueCorrector(threshold=0.5).fit_unsupervised(
+            {"price": PRICES, "genre": GENRES}
+        )
+        flags = corrector.flag_records([{"price": p} for p in PRICES], columns=["price"])
+        assert [f.value for f in flags] == ["$9999"]
+
+    def test_bootstrap_without_outliers_rejected(self):
+        with pytest.raises(CleaningError):
+            ValueCorrector().fit_unsupervised({"constant": ["x"] * 20})
+
+    def test_null_values_never_flagged(self):
+        corrector = ValueCorrector(threshold=0.1).fit_unsupervised(
+            {"price": PRICES + [None, ""]}
+        )
+        flags = corrector.flag_records(
+            [{"price": p} for p in PRICES + [None, ""]], columns=["price"]
+        )
+        assert all(f.value not in (None, "") for f in flags)
+
+    def test_flags_sorted_by_probability(self):
+        corrector = ValueCorrector(threshold=0.3).fit_unsupervised(
+            {"price": PRICES, "genre": GENRES}
+        )
+        flags = corrector.flag_records(
+            [{"price": p, "genre": g} for p, g in zip(PRICES, GENRES)]
+        )
+        probabilities = [f.probability_erroneous for f in flags]
+        assert probabilities == sorted(probabilities, reverse=True)

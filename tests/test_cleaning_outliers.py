@@ -1,0 +1,76 @@
+"""Tests for repro.cleaning.outliers."""
+
+from repro.cleaning.outliers import categorical_outliers, iqr_outliers, zscore_outliers
+
+
+class TestZScoreOutliers:
+    def test_flags_extreme_value(self):
+        values = [10.0] * 20 + [10.5] * 20 + [9.5] * 20 + [1000.0]
+        report = zscore_outliers(values, column="price")
+        assert 60 in report.outlier_indices
+        assert report.outlier_values == [1000.0]
+
+    def test_no_outliers_in_uniform_data(self):
+        assert zscore_outliers([5.0] * 50).count == 0
+
+    def test_ignores_non_numeric_values(self):
+        values = ["a", "b", 10.0, 11.0, 10.5, 9999.0]
+        report = zscore_outliers(values, threshold=1.5)
+        assert all(isinstance(values[i], float) for i in report.outlier_indices)
+
+    def test_too_few_values_no_flagging(self):
+        assert zscore_outliers([1.0, 100.0]).count == 0
+
+    def test_money_strings_parsed(self):
+        values = ["$10", "$11", "$12", "$10", "$11", "$12", "$10", "$9000"]
+        report = zscore_outliers(values, threshold=2.0)
+        assert report.count == 1
+
+    def test_fraction(self):
+        report = zscore_outliers([10.0] * 10)
+        assert report.fraction(10) == 0.0
+        assert report.fraction(0) == 0.0
+
+
+class TestIqrOutliers:
+    def test_flags_extreme_value(self):
+        values = list(range(1, 21)) + [500]
+        report = iqr_outliers(values, column="seats")
+        assert report.count == 1
+        assert report.outlier_values == [500]
+
+    def test_no_outliers_in_linear_data(self):
+        assert iqr_outliers(list(range(100))).count == 0
+
+    def test_too_few_values(self):
+        assert iqr_outliers([1, 2, 300]).count == 0
+
+    def test_k_controls_sensitivity(self):
+        values = list(range(20)) + [40]
+        strict = iqr_outliers(values, k=0.5)
+        loose = iqr_outliers(values, k=3.0)
+        assert strict.count >= loose.count
+
+
+class TestCategoricalOutliers:
+    def test_flags_rare_category(self):
+        values = ["Musical"] * 10 + ["Play"] * 8 + ["Opera"]
+        report = categorical_outliers(values, column="genre")
+        assert report.outlier_values == ["Opera"]
+
+    def test_high_cardinality_column_not_flagged(self):
+        values = [f"unique-{i}" for i in range(30)]
+        assert categorical_outliers(values).count == 0
+
+    def test_ignores_nulls(self):
+        values = ["a"] * 10 + [None] * 5 + ["b"]
+        report = categorical_outliers(values)
+        assert report.outlier_values == ["b"]
+
+    def test_too_few_values(self):
+        assert categorical_outliers(["a", "b"]).count == 0
+
+    def test_min_frequency_threshold(self):
+        values = ["a"] * 10 + ["b"] * 2
+        assert categorical_outliers(values, min_frequency=2).count == 0
+        assert categorical_outliers(values, min_frequency=3).count == 2

@@ -1,0 +1,65 @@
+"""Tests for repro.cleaning.profiler."""
+
+import pytest
+
+from repro.cleaning.profiler import ColumnProfiler
+
+
+class TestColumnProfiler:
+    def test_profile_column_counts(self):
+        profiler = ColumnProfiler()
+        profile = profiler.profile_column("price", ["$27", "$89", None, ""])
+        assert profile.total == 4
+        assert profile.nulls == 2
+        assert profile.null_fraction == 0.5
+        assert profile.distinct == 2
+
+    def test_numeric_summaries(self):
+        profiler = ColumnProfiler()
+        profile = profiler.profile_column("seats", [100, 200, 300])
+        assert profile.numeric_min == 100
+        assert profile.numeric_max == 300
+        assert profile.numeric_mean == pytest.approx(200)
+        assert profile.numeric_std > 0
+
+    def test_money_strings_are_numeric(self):
+        profile = ColumnProfiler().profile_column("p", ["$10", "$30"])
+        assert profile.numeric_mean == pytest.approx(20)
+
+    def test_non_numeric_column_has_no_numeric_stats(self):
+        profile = ColumnProfiler().profile_column("name", ["Matilda", "Wicked"])
+        assert profile.numeric_mean is None
+
+    def test_top_values_ordering_and_cap(self):
+        values = ["a"] * 5 + ["b"] * 3 + ["c"]
+        profile = ColumnProfiler(top_k=2).profile_column("x", values)
+        assert profile.top_values == [("a", 5), ("b", 3)]
+
+    def test_candidate_key_detection(self):
+        unique = ColumnProfiler().profile_column("id", [f"id{i}" for i in range(100)])
+        repeated = ColumnProfiler().profile_column("genre", ["Musical"] * 100)
+        assert unique.is_candidate_key
+        assert not repeated.is_candidate_key
+
+    def test_all_null_column_not_key(self):
+        profile = ColumnProfiler().profile_column("x", [None, None])
+        assert not profile.is_candidate_key
+        assert profile.inferred_type == "unknown"
+
+    def test_profile_records_covers_sparse_columns(self):
+        profiler = ColumnProfiler()
+        profiles = profiler.profile_records(
+            [{"a": 1, "b": "x"}, {"a": 2}, {"a": 3, "c": "y"}]
+        )
+        assert set(profiles) == {"a", "b", "c"}
+        assert profiles["b"].total == 3
+        assert profiles["b"].nulls == 2
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            ColumnProfiler(top_k=0)
+
+    def test_as_dict_keys(self):
+        profile = ColumnProfiler().profile_column("x", [1, 2])
+        keys = set(profile.as_dict())
+        assert {"name", "total", "nulls", "type", "distinct"} <= keys

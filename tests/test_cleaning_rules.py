@@ -1,0 +1,113 @@
+"""Tests for repro.cleaning.rules."""
+
+import pytest
+
+from repro.cleaning.rules import (
+    CleaningRule,
+    RuleEngine,
+    collapse_whitespace,
+    fix_mojibake_dashes,
+    normalize_nulls,
+    standard_rules,
+    strip_surrounding_quotes,
+    titlecase_names,
+    trim_whitespace,
+)
+from repro.errors import CleaningError
+
+
+class TestRuleFunctions:
+    def test_trim_whitespace(self):
+        assert trim_whitespace("  x  ") == "x"
+        assert trim_whitespace(5) == 5
+
+    def test_collapse_whitespace(self):
+        assert collapse_whitespace("a   b\t c") == "a b c"
+
+    def test_normalize_nulls(self):
+        for token in ("", "N/A", "null", "-", "unknown", "?"):
+            assert normalize_nulls(token) is None
+        assert normalize_nulls("Matilda") == "Matilda"
+        assert normalize_nulls(0) == 0
+
+    def test_strip_surrounding_quotes(self):
+        assert strip_surrounding_quotes('"Matilda"') == "Matilda"
+        assert strip_surrounding_quotes("'x'") == "x"
+        assert strip_surrounding_quotes('"unbalanced') == '"unbalanced'
+
+    def test_fix_mojibake(self):
+        assert fix_mojibake_dashes("7pm – 9pm") == "7pm - 9pm"
+        assert fix_mojibake_dashes("it’s") == "it's"
+
+    def test_titlecase_names(self):
+        assert titlecase_names("MATILDA") == "Matilda"
+        assert titlecase_names("matilda") == "Matilda"
+        assert titlecase_names("McDonald") == "McDonald"  # mixed case untouched
+
+
+class TestCleaningRule:
+    def test_applies_to_restriction(self):
+        rule = CleaningRule("upper", str.upper, applies_to=("name",))
+        assert rule.applies("name")
+        assert not rule.applies("price")
+
+    def test_empty_applies_to_means_everything(self):
+        rule = CleaningRule("upper", str.upper)
+        assert rule.applies("anything")
+
+
+class TestRuleEngine:
+    def test_standard_rules_clean_dirty_record(self):
+        engine = RuleEngine()
+        cleaned = engine.clean_record(
+            {"name": "  Matilda  ", "price": "N/A", "venue": '"Shubert"'}
+        )
+        assert cleaned == {"name": "Matilda", "price": None, "venue": "Shubert"}
+
+    def test_applied_counts_increment(self):
+        engine = RuleEngine()
+        engine.clean_record({"a": "  x  "})
+        assert engine.applied_counts["trim_whitespace"] == 1
+
+    def test_add_custom_rule(self):
+        engine = RuleEngine(rules=[])
+        engine.add_rule(CleaningRule("upper", lambda v: v.upper() if isinstance(v, str) else v))
+        assert engine.clean_value("x", "abc") == "ABC"
+
+    def test_rule_restricted_to_attribute(self):
+        rule = CleaningRule(
+            "strip_dollar",
+            lambda v: v.lstrip("$") if isinstance(v, str) else v,
+            applies_to=("price",),
+        )
+        engine = RuleEngine(rules=[rule])
+        record = engine.clean_record({"price": "$27", "name": "$weird"})
+        assert record == {"price": "27", "name": "$weird"}
+
+    def test_failing_rule_raises_cleaning_error(self):
+        engine = RuleEngine(rules=[CleaningRule("bad", lambda v: 1 / 0)])
+        with pytest.raises(CleaningError):
+            engine.clean_value("x", "anything")
+
+    def test_clean_records_batch(self):
+        engine = RuleEngine()
+        out = engine.clean_records([{"a": " x "}, {"a": "n/a"}])
+        assert out == [{"a": "x"}, {"a": None}]
+
+    def test_as_loader_transform(self, document_store):
+        from repro.ingest.connectors import DictSource
+        from repro.ingest.loader import BatchLoader
+
+        collection = document_store.create_collection("c")
+        engine = RuleEngine()
+        BatchLoader().load(
+            DictSource("s", [{"name": "  Matilda  "}]),
+            collection,
+            transform=engine.as_loader_transform(),
+        )
+        assert collection.find_one()["name"] == "Matilda"
+
+    def test_standard_rules_are_ordered_and_named(self):
+        names = [rule.name for rule in standard_rules()]
+        assert names.index("trim_whitespace") < names.index("normalize_nulls")
+        assert len(names) == len(set(names))

@@ -1,0 +1,161 @@
+"""Tests for repro.cleaning.transforms."""
+
+import pytest
+
+from repro.cleaning.transforms import (
+    TransformEngine,
+    convert_currency,
+    convert_length,
+    format_price_usd,
+    normalize_date,
+    normalize_phone,
+    parse_money,
+)
+from repro.errors import TransformError
+
+
+class TestParseMoney:
+    def test_dollar_strings(self):
+        assert parse_money("$27") == 27.0
+        assert parse_money("$1,250.50") == 1250.50
+        assert parse_money("960,998") == 960998.0
+
+    def test_numbers_pass_through(self):
+        assert parse_money(42) == 42.0
+        assert parse_money(42.5) == 42.5
+
+    def test_invalid_input(self):
+        with pytest.raises(TransformError):
+            parse_money("twenty seven")
+        with pytest.raises(TransformError):
+            parse_money(True)
+
+
+class TestConvertCurrency:
+    def test_euro_to_dollar_paper_example(self):
+        usd = convert_currency(100, "EUR", "USD")
+        assert usd == pytest.approx(110.0)
+
+    def test_round_trip(self):
+        eur = convert_currency(110, "USD", "EUR")
+        assert eur == pytest.approx(100.0)
+
+    def test_same_currency_identity(self):
+        assert convert_currency("$50", "USD", "USD") == pytest.approx(50.0)
+
+    def test_unknown_currency(self):
+        with pytest.raises(TransformError):
+            convert_currency(10, "XYZ")
+        with pytest.raises(TransformError):
+            convert_currency(10, "USD", "XYZ")
+
+    def test_custom_rates(self):
+        assert convert_currency(2, "ABC", "USD", rates_to_usd={"ABC": 3.0, "USD": 1.0}) == 6.0
+
+
+class TestConvertLength:
+    def test_miles_to_km(self):
+        assert convert_length(1, "mi", "km") == pytest.approx(1.609344)
+
+    def test_feet_to_meters(self):
+        assert convert_length(10, "ft", "m") == pytest.approx(3.048)
+
+    def test_unknown_unit(self):
+        with pytest.raises(TransformError):
+            convert_length(1, "furlong", "m")
+
+
+class TestNormalizeDate:
+    def test_slash_format_paper_value(self):
+        assert normalize_date("3/4/2013") == "2013-03-04"
+
+    def test_iso_passthrough(self):
+        assert normalize_date("2013-03-04") == "2013-03-04"
+
+    def test_two_digit_year(self):
+        assert normalize_date("3/4/13") == "2013-03-04"
+
+    def test_textual_month(self):
+        assert normalize_date("Mar 4, 2013") == "2013-03-04"
+        assert normalize_date("March 4, 2013") == "2013-03-04"
+
+    def test_implausible_date_rejected(self):
+        with pytest.raises(TransformError):
+            normalize_date("13/45/2013")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TransformError):
+            normalize_date("sometime soon")
+
+
+class TestNormalizePhone:
+    def test_formats(self):
+        assert normalize_phone("212-555-0123") == "(212) 555-0123"
+        assert normalize_phone("(212) 555 0123") == "(212) 555-0123"
+        assert normalize_phone("1-212-555-0123") == "(212) 555-0123"
+
+    def test_invalid_length(self):
+        with pytest.raises(TransformError):
+            normalize_phone("12345")
+
+
+class TestFormatPrice:
+    def test_integer_amount(self):
+        assert format_price_usd(27) == "$27"
+        assert format_price_usd("27.00") == "$27"
+
+    def test_fractional_amount(self):
+        assert format_price_usd(27.5) == "$27.50"
+
+
+class TestTransformEngine:
+    def test_builtin_transforms_registered(self):
+        engine = TransformEngine()
+        assert {"normalize_date", "eur_to_usd", "format_price_usd"} <= set(engine.registered)
+
+    def test_bind_and_transform_record(self):
+        engine = TransformEngine()
+        engine.bind("first_performance", "normalize_date")
+        record = engine.transform_record({"first_performance": "3/4/2013", "x": 1})
+        assert record["first_performance"] == "2013-03-04"
+        assert record["x"] == 1
+
+    def test_unparseable_value_left_unchanged_by_default(self):
+        engine = TransformEngine()
+        engine.bind("first_performance", "normalize_date")
+        record = engine.transform_record({"first_performance": "TBD"})
+        assert record["first_performance"] == "TBD"
+
+    def test_strict_mode_raises(self):
+        engine = TransformEngine()
+        engine.bind("first_performance", "normalize_date")
+        with pytest.raises(TransformError):
+            engine.transform_record({"first_performance": "TBD"}, strict=True)
+
+    def test_bind_unknown_transform_rejected(self):
+        with pytest.raises(TransformError):
+            TransformEngine().bind("x", "does_not_exist")
+
+    def test_register_custom_transform(self):
+        engine = TransformEngine()
+        engine.register("double", lambda v: v * 2)
+        engine.bind("n", "double")
+        assert engine.transform_record({"n": 4})["n"] == 8
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(TransformError):
+            TransformEngine().register("", lambda v: v)
+
+    def test_null_values_skipped(self):
+        engine = TransformEngine()
+        engine.bind("d", "normalize_date")
+        assert engine.transform_record({"d": None}) == {"d": None}
+
+    def test_transform_value_unknown_name(self):
+        with pytest.raises(TransformError):
+            TransformEngine().transform_value("nope", 1)
+
+    def test_bindings_exposed(self):
+        engine = TransformEngine()
+        engine.bind("p", "parse_money")
+        assert engine.bindings == {"p": "parse_money"}

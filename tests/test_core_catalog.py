@@ -1,0 +1,58 @@
+"""Tests for repro.core.catalog."""
+
+import pytest
+
+from repro.core.catalog import SourceCatalog
+from repro.errors import UnknownSource
+
+
+class TestSourceCatalog:
+    def test_register_and_entry(self):
+        catalog = SourceCatalog()
+        catalog.register("s1", kind="structured", records_loaded=10)
+        entry = catalog.entry("s1")
+        assert entry.records_loaded == 10
+        assert "s1" in catalog
+        assert len(catalog) == 1
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(UnknownSource):
+            SourceCatalog().entry("missing")
+
+    def test_reregistration_accumulates(self):
+        catalog = SourceCatalog()
+        catalog.register("s1", kind="structured", records_loaded=5, attributes=["a"])
+        catalog.register("s1", kind="structured", records_loaded=7, attributes=["a", "b"])
+        entry = catalog.entry("s1")
+        assert entry.records_loaded == 12
+        assert entry.attributes == ["a", "b"]
+        assert len(catalog) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SourceCatalog().register("s", kind="mystery")
+
+    def test_entries_in_ingestion_order(self):
+        catalog = SourceCatalog()
+        for name in ("c", "a", "b"):
+            catalog.register(name, kind="structured")
+        assert catalog.source_ids() == ["c", "a", "b"]
+
+    def test_entries_filtered_by_kind(self):
+        catalog = SourceCatalog()
+        catalog.register("s1", kind="structured")
+        catalog.register("t1", kind="unstructured")
+        assert [e.source_id for e in catalog.entries(kind="unstructured")] == ["t1"]
+
+    def test_total_records(self):
+        catalog = SourceCatalog()
+        catalog.register("a", kind="structured", records_loaded=3)
+        catalog.register("b", kind="unstructured", records_loaded=4)
+        assert catalog.total_records() == 7
+
+    def test_as_dict(self):
+        catalog = SourceCatalog()
+        catalog.register("a", kind="structured", description="d", collection="c")
+        entry_dict = catalog.entry("a").as_dict()
+        assert entry_dict["description"] == "d"
+        assert entry_dict["collection"] == "c"

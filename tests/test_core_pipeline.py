@@ -1,0 +1,67 @@
+"""Tests for repro.core.pipeline."""
+
+import pytest
+
+from repro.core.pipeline import CurationPipeline
+from repro.errors import TamerError
+
+
+class TestCurationPipeline:
+    def test_stages_run_in_order_and_share_context(self):
+        pipeline = CurationPipeline()
+        pipeline.add_stage("ingest", lambda ctx: 10)
+        pipeline.add_stage("integrate", lambda ctx: ctx["ingest"] + 5)
+        context = pipeline.run()
+        assert context["ingest"] == 10
+        assert context["integrate"] == 15
+
+    def test_results_record_timing_and_success(self):
+        pipeline = CurationPipeline().add_stage("a", lambda ctx: 1)
+        pipeline.run()
+        result = pipeline.results[0]
+        assert result.ok
+        assert result.seconds >= 0
+        assert pipeline.succeeded
+        assert pipeline.total_seconds >= 0
+
+    def test_stop_on_error_raises_and_records(self):
+        pipeline = CurationPipeline()
+        pipeline.add_stage("bad", lambda ctx: 1 / 0)
+        pipeline.add_stage("never", lambda ctx: 1)
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run()
+        assert not pipeline.succeeded
+        assert len(pipeline.results) == 1
+        assert pipeline.results[0].error is not None
+
+    def test_continue_on_error(self):
+        pipeline = CurationPipeline()
+        pipeline.add_stage("bad", lambda ctx: 1 / 0)
+        pipeline.add_stage("after", lambda ctx: "ran")
+        context = pipeline.run(stop_on_error=False)
+        assert context["after"] == "ran"
+        assert not pipeline.succeeded
+        assert len(pipeline.results) == 2
+
+    def test_initial_context_passed_through(self):
+        pipeline = CurationPipeline().add_stage("use", lambda ctx: ctx["n"] * 2)
+        context = pipeline.run({"n": 21})
+        assert context["use"] == 42
+
+    def test_empty_stage_name_rejected(self):
+        with pytest.raises(TamerError):
+            CurationPipeline().add_stage("", lambda ctx: 1)
+
+    def test_timing_summary_keys(self):
+        pipeline = CurationPipeline()
+        pipeline.add_stage("x", lambda ctx: 1)
+        pipeline.add_stage("y", lambda ctx: 2)
+        pipeline.run()
+        assert set(pipeline.timing_summary()) == {"x", "y"}
+
+    def test_chaining_add_stage(self):
+        pipeline = CurationPipeline().add_stage("a", lambda c: 1).add_stage("b", lambda c: 2)
+        assert [s.name for s in pipeline.stages] == ["a", "b"]
+
+    def test_succeeded_false_before_any_run(self):
+        assert not CurationPipeline().succeeded

@@ -1,0 +1,44 @@
+"""Tests for repro.core.report."""
+
+from repro.core.report import CurationReport
+from repro.expert.experts import SimulatedExpert
+from repro.expert.routing import ExpertRouter
+
+
+class TestCurationReport:
+    def test_from_tamer_counts(self, populated_tamer):
+        report = CurationReport.from_tamer(populated_tamer)
+        assert report.attribute_count() == len(populated_tamer.global_schema)
+        assert report.total_documents() == sum(
+            s.count for s in populated_tamer.collection_stats().values()
+        )
+        assert len(report.sources) == len(populated_tamer.catalog)
+        assert report.expert is None
+
+    def test_render_text_mentions_sources_and_collections(self, populated_tamer):
+        text = CurationReport.from_tamer(populated_tamer).render_text()
+        assert "curation report" in text
+        assert "dt.instance" in text
+        assert "global_seed" in text
+        assert "Global schema" in text
+
+    def test_as_dict_keys(self, populated_tamer):
+        data = CurationReport.from_tamer(populated_tamer).as_dict()
+        assert set(data) == {
+            "sources", "global_schema", "collections",
+            "schema_history_length", "expert",
+        }
+
+    def test_expert_section(self, tamer):
+        router = ExpertRouter([SimulatedExpert("e1", accuracy=1.0, seed=0)])
+        router.ask("schema_match", {"q": 1}, ground_truth=True)
+        report = CurationReport.from_tamer(tamer, expert_router=router)
+        assert report.expert is not None
+        assert report.expert["experts"][0]["tasks_answered"] == 1
+        assert "Expert sourcing" in report.render_text()
+
+    def test_empty_tamer_report(self, tamer):
+        report = CurationReport.from_tamer(tamer)
+        assert report.attribute_count() == 0
+        assert report.total_documents() == 0
+        assert "Sources ingested: 0" in report.render_text()

@@ -1,0 +1,232 @@
+"""Tests for the DataTamer facade (repro.core.tamer)."""
+
+import pytest
+
+from repro import DataTamer, TamerConfig
+from repro.core.tamer import CURATED_COLLECTION, ENTITY_COLLECTION, INSTANCE_COLLECTION
+from repro.errors import TamerError
+from repro.expert.experts import SimulatedExpert
+from repro.expert.routing import ExpertRouter
+from repro.ingest import DictSource
+
+
+STRUCTURED_RECORDS = [
+    {"show_name": "Matilda", "theater": "Shubert", "cheapest_price": "$27",
+     "first_performance": "3/4/2013"},
+    {"show_name": "Wicked", "theater": "Gershwin", "cheapest_price": "$89",
+     "first_performance": "10/8/2003"},
+    {"show_name": "Chicago", "theater": "Ambassador", "cheapest_price": "$49",
+     "first_performance": "11/14/1996"},
+]
+
+VARIANT_RECORDS = [
+    {"SHOW_NAME": "Matilda", "THEATER": "Shubert", "LOWEST_PRICE": "$29"},
+    {"SHOW_NAME": "Once", "THEATER": "Jacobs", "LOWEST_PRICE": "$35"},
+]
+
+
+class TestConstruction:
+    def test_default_collections_exist(self, tamer):
+        names = tamer.store.list_collections()
+        assert {INSTANCE_COLLECTION, ENTITY_COLLECTION, CURATED_COLLECTION} <= set(names)
+
+    def test_entity_collection_has_extra_indexes(self, tamer):
+        stats = tamer.entity_collection.stats()
+        assert stats.nindexes >= 4  # _id + name/type/source_id
+
+    def test_invalid_config_rejected_at_construction(self):
+        from repro.config import EntityConfig
+
+        bad = TamerConfig(entity=EntityConfig(match_threshold=3.0))
+        with pytest.raises(Exception):
+            DataTamer(bad)
+
+
+class TestStructuredIngestion:
+    def test_ingest_bootstraps_global_schema(self, tamer):
+        report = tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        assert report.curated_records == 3
+        assert "show_name" in tamer.global_schema
+        assert tamer.curated_collection.count() == 3
+
+    def test_second_source_maps_onto_existing_schema(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        report = tamer.ingest_structured_source(
+            DictSource("variant", VARIANT_RECORDS)
+        )
+        assert report.mapped_attributes["SHOW_NAME"] == "show_name"
+        assert report.mapped_attributes["THEATER"] == "theater"
+
+    def test_curated_records_use_global_names(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        tamer.ingest_structured_source(DictSource("variant", VARIANT_RECORDS))
+        once = tamer.curated_collection.find({"show_name": "Once"})
+        assert once and once[0]["_source"] == "variant"
+
+    def test_cleaning_applied_during_ingest(self, tamer):
+        dirty = [{"show_name": "  Matilda  ", "theater": "N/A"}]
+        tamer.ingest_structured_records("dirty", dirty)
+        doc = tamer.curated_collection.find_one({"show_name": "Matilda"})
+        assert doc is not None
+        assert "theater" not in doc or doc["theater"] is None
+
+    def test_catalog_updated(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        entry = tamer.catalog.entry("seed")
+        assert entry.kind == "structured"
+        assert entry.records_loaded == 3
+
+    def test_summary_shape(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        summary = tamer.summary()
+        assert {"sources", "global_schema", "collections"} == set(summary)
+        assert summary["global_schema"]["attribute_count"] >= 4
+
+
+class TestTextIngestion:
+    def test_requires_registered_parser(self, small_config):
+        tamer = DataTamer(small_config)
+        with pytest.raises(TamerError):
+            tamer.ingest_text_documents([("d1", "Matilda was great")])
+
+    def test_fragments_and_entities_stored(self, tamer):
+        report = tamer.ingest_text_documents(
+            [("d1", "Matilda grossed 960,998 at the Shubert Theatre.")]
+        )
+        assert report.documents == 1
+        assert report.fragments >= 2
+        assert tamer.instance_collection.count() == report.fragments
+        assert tamer.entity_collection.count() == report.entities
+
+    def test_entity_documents_are_flattened(self, tamer):
+        tamer.ingest_text_documents([("d1", "Matilda was wonderful tonight")])
+        doc = tamer.entity_collection.find_one({"entity.name": "Matilda"})
+        assert doc is not None
+        assert doc["entity.type"] == "Movie"
+
+    def test_movie_mentions_reach_curated_collection(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        tamer.ingest_text_documents([("d1", "Matilda grossed well this week.")])
+        text_records = tamer.curated_collection.find({"_source": "webtext"})
+        assert any(r.get("show_name") == "Matilda" for r in text_records)
+        assert any("text_feed" in r for r in text_records)
+
+    def test_schema_integration_can_be_skipped(self, tamer):
+        report = tamer.ingest_text_documents(
+            [("d1", "Matilda was great")], integrate_schema=False
+        )
+        assert report.mapping is None
+        assert tamer.curated_collection.count() == 0
+
+    def test_text_source_registered_as_unstructured(self, tamer):
+        tamer.ingest_text_documents([("d1", "Matilda was great")])
+        assert tamer.catalog.entry("webtext").kind == "unstructured"
+
+
+class TestResolveAttribute:
+    def test_exact_and_alias_and_canonical(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        tamer.ingest_structured_source(DictSource("variant", VARIANT_RECORDS))
+        assert tamer.resolve_attribute("show_name") == "show_name"
+        assert tamer.resolve_attribute("SHOW_NAME") == "show_name"
+        assert tamer.resolve_attribute("Show Name") == "show_name"
+
+    def test_fuzzy_fallback(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        assert tamer.resolve_attribute("cheapest price ($)") == "cheapest_price"
+
+    def test_unknown_attribute_returns_canonical_form(self, tamer):
+        assert tamer.resolve_attribute("Totally Unknown") == "totally_unknown"
+
+
+class TestDedupAndQuery:
+    def _prepare(self, tamer, dedup_corpus):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        tamer.ingest_structured_source(DictSource("variant", VARIANT_RECORDS))
+        tamer.ingest_text_documents(
+            [("d1", "Matilda an award-winning import from London, grossed 960,998.")]
+        )
+        tamer.train_dedup_model(dedup_corpus.pairs)
+
+    def test_consolidate_requires_model(self, tamer):
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        with pytest.raises(TamerError):
+            tamer.consolidate_curated()
+
+    def test_train_dedup_model(self, tamer, dedup_corpus):
+        model = tamer.train_dedup_model(dedup_corpus.pairs)
+        assert tamer.dedup_model is model
+
+    def test_consolidation_covers_all_curated_records(self, tamer, dedup_corpus):
+        self._prepare(tamer, dedup_corpus)
+        entities = tamer.consolidate_curated()
+        total_members = sum(e.size for e in entities)
+        assert total_members == tamer.curated_collection.count()
+
+    def test_query_engine_lookup(self, tamer, dedup_corpus):
+        self._prepare(tamer, dedup_corpus)
+        engine = tamer.build_query_engine()
+        result = engine.lookup_show("Matilda", name_attribute="show_name")
+        assert len(result) >= 1
+
+    def test_top_discussed_shows(self, tamer):
+        tamer.ingest_text_documents(
+            [("d1", "Matilda was great."), ("d2", "Matilda again."), ("d3", "Wicked too.")]
+        )
+        ranking = tamer.top_discussed_shows(k=2)
+        assert ranking[0].entity == "Matilda"
+        assert ranking[0].mentions == 2
+
+    def test_fuse_show_combines_text_and_structured(self, tamer, dedup_corpus):
+        self._prepare(tamer, dedup_corpus)
+        fused = tamer.fuse_show("Matilda")
+        assert fused.attributes["theater"] == "Shubert"
+        assert "text_feed" in fused.attributes
+        assert fused.provenance["theater"] != "webtext"
+
+    def test_fuse_show_prefers_structured_on_conflict(self, tamer, dedup_corpus):
+        self._prepare(tamer, dedup_corpus)
+        fused = tamer.fuse_show("Matilda", prefer_structured=True)
+        # cheapest price came from a structured source, not the web text
+        assert fused.provenance.get("cheapest_price", "").startswith(("seed", "variant"))
+
+    def test_fuse_unknown_show_is_empty(self, tamer, dedup_corpus):
+        self._prepare(tamer, dedup_corpus)
+        assert tamer.fuse_show("Hamilton").attribute_count() == 0
+
+
+class TestExpertIntegration:
+    def test_expert_router_consulted_for_uncertain_matches(self, small_config, parser):
+        from repro.config import SchemaConfig
+
+        config = TamerConfig(
+            storage=small_config.storage,
+            schema=SchemaConfig(
+                accept_threshold=0.97,
+                new_attribute_threshold=0.2,
+                matcher_weights={"name": 1.0},
+            ),
+        )
+        router = ExpertRouter([SimulatedExpert("e", accuracy=1.0, seed=0)])
+        tamer = DataTamer(
+            config,
+            expert_router=router,
+            true_schema_mapping={"SHOW_TITLE": "show_name"},
+        )
+        tamer.register_text_parser(parser)
+        tamer.ingest_structured_records("seed", STRUCTURED_RECORDS)
+        report = tamer.ingest_structured_source(
+            DictSource("odd", [{"SHOW_TITLE": "Matilda"}])
+        )
+        assert router.total_tasks_answered >= 1
+        assert report.mapped_attributes.get("SHOW_TITLE") == "show_name"
+
+
+class TestCollectionStats:
+    def test_stats_report_paper_fields(self, tamer):
+        tamer.ingest_text_documents([("d1", "Matilda was great.")])
+        stats = tamer.collection_stats()
+        instance = stats[INSTANCE_COLLECTION].as_dict()
+        assert instance["ns"] == "dt.instance"
+        assert instance["count"] >= 1
+        assert instance["nindexes"] >= 2  # _id + text index

@@ -1,0 +1,130 @@
+"""Tests for repro.entity.blocking."""
+
+import pytest
+
+from repro.entity.blocking import (
+    NGramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    full_pairs,
+    make_blocker,
+)
+from repro.entity.record import Record
+from repro.errors import EntityResolutionError
+
+
+def _records(names):
+    return [
+        Record.from_dict(f"r{i}", "s", {"name": name}) for i, name in enumerate(names)
+    ]
+
+
+NAMES = [
+    "Matilda the Musical",
+    "Matilda",
+    "Wicked",
+    "Wicked the Untold Story",
+    "Chicago",
+    "Once",
+]
+
+
+class TestFullPairs:
+    def test_counts(self):
+        records = _records(NAMES)
+        pairs = full_pairs(records)
+        assert len(pairs) == len(NAMES) * (len(NAMES) - 1) // 2
+
+    def test_pairs_are_canonical_order(self):
+        pairs = full_pairs(_records(["a", "b"]))
+        assert all(a <= b for a, b in pairs)
+
+
+class TestTokenBlocker:
+    def test_shared_token_records_paired(self):
+        result = TokenBlocker(key_attribute="name").block(_records(NAMES))
+        assert ("r0", "r1") in result.pairs  # both contain "matilda"
+        assert ("r2", "r3") in result.pairs  # both contain "wicked"
+
+    def test_disjoint_records_not_paired(self):
+        result = TokenBlocker(key_attribute="name").block(_records(NAMES))
+        assert ("r4", "r5") not in result.pairs
+
+    def test_reduction_ratio_positive(self):
+        result = TokenBlocker(key_attribute="name").block(_records(NAMES))
+        assert 0.0 < result.reduction_ratio <= 1.0
+        assert result.candidate_count < result.full_pair_count
+
+    def test_pair_completeness(self):
+        result = TokenBlocker(key_attribute="name").block(_records(NAMES))
+        assert result.pair_completeness([("r0", "r1")]) == 1.0
+        assert result.pair_completeness([("r4", "r5")]) == 0.0
+        assert result.pair_completeness([]) == 1.0
+
+    def test_oversized_blocks_dropped(self):
+        records = _records(["common token"] * 20)
+        result = TokenBlocker(key_attribute="name", max_block_size=5).block(records)
+        assert result.pairs == set()
+
+    def test_min_token_length_filters_short_tokens(self):
+        records = _records(["a x", "a y"])
+        result = TokenBlocker(key_attribute="name", min_token_length=2).block(records)
+        assert result.pairs == set()
+
+    def test_whole_record_blob_used_without_key(self):
+        records = [
+            Record.from_dict("r0", "s", {"a": "Matilda", "b": "ignored"}),
+            Record.from_dict("r1", "s", {"c": "matilda show"}),
+        ]
+        result = TokenBlocker().block(records)
+        assert ("r0", "r1") in result.pairs
+
+    def test_invalid_max_block_size(self):
+        with pytest.raises(EntityResolutionError):
+            TokenBlocker(max_block_size=1)
+
+
+class TestNGramBlocker:
+    def test_typos_still_blocked_together(self):
+        records = _records(["Shubert Theatre", "Shubert Theatr", "Palace"])
+        result = NGramBlocker(key_attribute="name", n=4).block(records)
+        assert ("r0", "r1") in result.pairs
+
+    def test_invalid_n(self):
+        with pytest.raises(EntityResolutionError):
+            NGramBlocker(n=1)
+
+    def test_blocks_recorded(self):
+        result = NGramBlocker(key_attribute="name").block(_records(NAMES))
+        assert result.blocks  # at least one surviving block
+
+
+class TestSortedNeighborhoodBlocker:
+    def test_window_pairs_neighbors(self):
+        records = _records(["aaa", "aab", "zzz"])
+        result = SortedNeighborhoodBlocker(key_attribute="name", window=2).block(records)
+        assert ("r0", "r1") in result.pairs
+        assert ("r0", "r2") not in result.pairs
+
+    def test_window_of_full_length_pairs_everything(self):
+        records = _records(NAMES)
+        result = SortedNeighborhoodBlocker(
+            key_attribute="name", window=len(NAMES)
+        ).block(records)
+        assert result.candidate_count == result.full_pair_count
+
+    def test_invalid_window(self):
+        with pytest.raises(EntityResolutionError):
+            SortedNeighborhoodBlocker(window=1)
+
+
+class TestMakeBlocker:
+    def test_factory_strategies(self):
+        assert isinstance(make_blocker("token"), TokenBlocker)
+        assert isinstance(make_blocker("ngram"), NGramBlocker)
+        assert isinstance(make_blocker("sorted"), SortedNeighborhoodBlocker)
+        assert make_blocker("none") is None
+
+    def test_unknown_strategy(self):
+        with pytest.raises(EntityResolutionError):
+            make_blocker("magic")

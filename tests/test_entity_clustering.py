@@ -1,0 +1,105 @@
+"""Tests for repro.entity.clustering."""
+
+import pytest
+
+from repro.entity.clustering import UnionFind, cluster_pairs
+
+
+class TestUnionFind:
+    def test_initial_elements_are_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.group_count() == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+
+    def test_transitive_connection(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert uf.group_count() == 1
+
+    def test_union_adds_unknown_elements(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert "x" in uf and "y" in uf
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("missing")
+
+    def test_connected_with_unknown_is_false(self):
+        uf = UnionFind(["a"])
+        assert not uf.connected("a", "unknown")
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+
+    def test_groups_partition_all_elements(self):
+        uf = UnionFind(range(10))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        groups = uf.groups()
+        flattened = sorted(x for group in groups for x in group)
+        assert flattened == list(range(10))
+        assert uf.group_count() == len(groups) == 7
+
+    def test_union_same_set_is_noop(self):
+        uf = UnionFind(["a", "b"])
+        uf.union("a", "b")
+        root = uf.find("a")
+        assert uf.union("a", "b") == root
+
+
+class TestClusterPairs:
+    def test_singletons_preserved(self):
+        clusters = cluster_pairs(["a", "b", "c"], [])
+        assert len(clusters) == 3
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_matched_pairs_merge(self):
+        clusters = cluster_pairs(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [2, 2]
+
+    def test_transitive_chain_merges(self):
+        clusters = cluster_pairs(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert len(clusters) == 1
+        assert clusters[0] == {"a", "b", "c"}
+
+    def test_every_id_appears_exactly_once(self):
+        ids = [f"r{i}" for i in range(20)]
+        pairs = [("r0", "r1"), ("r1", "r2"), ("r5", "r6")]
+        clusters = cluster_pairs(ids, pairs)
+        seen = sorted(x for cluster in clusters for x in cluster)
+        assert seen == sorted(ids)
+
+    def test_max_cluster_size_splits_weak_links(self):
+        ids = [f"r{i}" for i in range(6)]
+        pairs = [(f"r{i}", f"r{i+1}") for i in range(5)]
+        scores = {pair: 1.0 - 0.1 * i for i, pair in enumerate(pairs)}
+        clusters = cluster_pairs(ids, pairs, scores=scores, max_cluster_size=3)
+        assert all(len(c) <= 3 for c in clusters)
+        seen = sorted(x for cluster in clusters for x in cluster)
+        assert seen == sorted(ids)
+
+    def test_max_cluster_size_without_scores_is_ignored(self):
+        ids = ["a", "b", "c", "d"]
+        pairs = [("a", "b"), ("b", "c"), ("c", "d")]
+        clusters = cluster_pairs(ids, pairs, scores=None, max_cluster_size=2)
+        assert len(clusters) == 1
+
+    def test_small_clusters_untouched_by_size_guard(self):
+        ids = ["a", "b", "c"]
+        pairs = [("a", "b")]
+        clusters = cluster_pairs(ids, pairs, scores={("a", "b"): 0.9}, max_cluster_size=5)
+        assert {"a", "b"} in clusters

@@ -1,0 +1,133 @@
+"""Tests for repro.entity.dedup."""
+
+import numpy as np
+import pytest
+
+from repro.config import EntityConfig
+from repro.entity.dedup import DedupModel, LabeledPair
+from repro.entity.record import Record
+from repro.errors import ModelError, NotFittedError
+
+
+def _record(rid, name, extra=None):
+    values = {"name": name}
+    values.update(extra or {})
+    return Record.from_dict(rid, "s", values)
+
+
+def _training_pairs():
+    pairs = []
+    shows = ["Matilda", "Wicked", "Chicago", "Once", "Pippin", "Annie",
+             "Kinky Boots", "Newsies", "Motown", "Cinderella"]
+    for i, show in enumerate(shows):
+        base = _record(f"b{i}", show, {"theater": f"Theater {i}", "price": 20 + i})
+        variant = _record(f"v{i}", show.lower() + " show", {"price": 20 + i})
+        pairs.append(LabeledPair(base, variant, True))
+    for i in range(len(shows) - 1):
+        a = _record(f"x{i}", shows[i], {"price": 20 + i})
+        b = _record(f"y{i}", shows[i + 1], {"price": 80 + i})
+        pairs.append(LabeledPair(a, b, False))
+    return pairs
+
+
+class TestDedupModelTraining:
+    def test_fit_and_predict_duplicates(self):
+        model = DedupModel().fit(_training_pairs())
+        assert model.predict_records(
+            _record("p", "Matilda", {"price": 25}),
+            _record("q", "matilda show", {"price": 25}),
+        )
+
+    def test_predicts_non_duplicates(self):
+        model = DedupModel().fit(_training_pairs())
+        assert not model.predict_records(
+            _record("p", "Matilda", {"price": 25}),
+            _record("q", "Something Entirely Different", {"price": 900}),
+        )
+
+    def test_probability_in_unit_interval(self):
+        model = DedupModel().fit(_training_pairs())
+        prob = model.predict_proba_records(
+            _record("p", "Matilda"), _record("q", "Wicked")
+        )
+        assert 0.0 <= prob <= 1.0
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ModelError):
+            DedupModel().fit([])
+
+    def test_single_class_training_set_rejected(self):
+        pairs = [
+            LabeledPair(_record("a", "X"), _record("b", "X"), True),
+            LabeledPair(_record("c", "Y"), _record("d", "Y"), True),
+        ]
+        with pytest.raises(ModelError):
+            DedupModel().fit(pairs)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DedupModel().predict_records(_record("a", "X"), _record("b", "X"))
+
+    def test_naive_bayes_backend(self):
+        config = EntityConfig(classifier="naive_bayes")
+        model = DedupModel(config=config).fit(_training_pairs())
+        prob = model.predict_proba_records(
+            _record("p", "Matilda"), _record("q", "matilda show")
+        )
+        assert 0.0 <= prob <= 1.0
+
+    def test_threshold_comes_from_config(self):
+        model = DedupModel(config=EntityConfig(match_threshold=0.9))
+        assert model.threshold == 0.9
+
+
+class TestFeaturize:
+    def test_shapes(self):
+        model = DedupModel()
+        X, y = model.featurize(_training_pairs())
+        assert X.shape[0] == y.shape[0] == len(_training_pairs())
+        assert X.shape[1] == len(model.feature_names)
+
+    def test_empty_input(self):
+        X, y = DedupModel().featurize([])
+        assert X.shape[0] == 0 and y.shape[0] == 0
+
+    def test_labels_binary(self):
+        _, y = DedupModel().featurize(_training_pairs())
+        assert set(np.unique(y)) <= {0, 1}
+
+
+class TestScorePairs:
+    def test_scores_keyed_by_pair(self):
+        model = DedupModel().fit(_training_pairs())
+        records = {
+            "a": _record("a", "Matilda"),
+            "b": _record("b", "matilda show"),
+            "c": _record("c", "Wicked"),
+        }
+        scores = model.score_pairs(records, [("a", "b"), ("a", "c")])
+        assert set(scores) == {("a", "b"), ("a", "c")}
+        assert scores[("a", "b")] > scores[("a", "c")]
+
+    def test_empty_candidates(self):
+        model = DedupModel().fit(_training_pairs())
+        assert model.score_pairs({}, []) == {}
+
+
+class TestCrossValidation:
+    def test_cross_validate_returns_folds(self, dedup_corpus):
+        model = DedupModel()
+        result = model.cross_validate(dedup_corpus.pairs, n_folds=4)
+        assert len(result.fold_reports) == 4
+
+    def test_cross_validate_uses_config_folds(self, dedup_corpus):
+        model = DedupModel(config=EntityConfig(crossval_folds=3))
+        result = model.cross_validate(dedup_corpus.pairs)
+        assert len(result.fold_reports) == 3
+
+    def test_cross_validation_quality_on_corpus(self, dedup_corpus):
+        result = DedupModel().cross_validate(dedup_corpus.pairs, n_folds=5)
+        # the paper reports 89/90; the small test corpus should at least be
+        # clearly better than chance
+        assert result.mean_precision > 0.75
+        assert result.mean_recall > 0.75

@@ -1,0 +1,68 @@
+"""Tests for repro.entity.record."""
+
+import pytest
+
+from repro.entity.record import Record, records_from_dicts
+from repro.errors import EntityResolutionError
+
+
+class TestRecord:
+    def test_from_dict_and_back(self):
+        record = Record.from_dict("r1", "s1", {"name": "Matilda", "price": 27})
+        assert record.as_dict() == {"name": "Matilda", "price": 27}
+        assert record.record_id == "r1"
+        assert record.source_id == "s1"
+
+    def test_requires_record_id(self):
+        with pytest.raises(EntityResolutionError):
+            Record.from_dict("", "s", {"a": 1})
+
+    def test_get_with_default(self):
+        record = Record.from_dict("r1", "s1", {"name": "Matilda"})
+        assert record.get("name") == "Matilda"
+        assert record.get("missing", "x") == "x"
+
+    def test_normalized(self):
+        record = Record.from_dict("r1", "s1", {"name": "  The SHUBERT Theatre "})
+        assert record.normalized("name") == "the shubert theater"
+        assert record.normalized("missing") == ""
+
+    def test_text_blob_joins_values(self):
+        record = Record.from_dict("r1", "s1", {"name": "Matilda", "venue": "Shubert"})
+        blob = record.text_blob()
+        assert "matilda" in blob and "shubert" in blob
+
+    def test_text_blob_restricted_to_attributes(self):
+        record = Record.from_dict("r1", "s1", {"name": "Matilda", "venue": "Shubert"})
+        assert "shubert" not in record.text_blob(["name"])
+
+    def test_text_blob_skips_nulls(self):
+        record = Record.from_dict("r1", "s1", {"name": "Matilda", "x": None, "y": ""})
+        assert record.text_blob() == "matilda"
+
+    def test_attribute_names_excludes_nulls(self):
+        record = Record.from_dict("r1", "s1", {"a": 1, "b": None, "c": ""})
+        assert record.attribute_names == ["a"]
+
+    def test_hashable_and_frozen(self):
+        record = Record.from_dict("r1", "s1", {"a": 1})
+        assert hash(record)
+        with pytest.raises(AttributeError):
+            record.record_id = "other"
+
+
+class TestRecordsFromDicts:
+    def test_generated_ids_are_unique(self):
+        records = records_from_dicts([{"a": 1}, {"a": 2}], "src")
+        assert len({r.record_id for r in records}) == 2
+        assert all(r.source_id == "src" for r in records)
+
+    def test_id_attribute_used_when_present(self):
+        records = records_from_dicts(
+            [{"key": "k1", "a": 1}, {"a": 2}], "src", id_attribute="key"
+        )
+        assert records[0].record_id == "src:k1"
+        assert records[1].record_id.startswith("src:r")
+
+    def test_empty_input(self):
+        assert records_from_dicts([], "src") == []

@@ -1,0 +1,103 @@
+"""Tests for repro.entity.similarity."""
+
+import numpy as np
+import pytest
+
+from repro.entity.record import Record
+from repro.entity.similarity import FEATURE_NAMES, PairFeatureExtractor, pair_features
+
+
+def _record(rid, values):
+    return Record.from_dict(rid, "s", values)
+
+
+class TestPairFeatures:
+    def test_vector_length_matches_names(self):
+        a = _record("a", {"name": "Matilda"})
+        b = _record("b", {"name": "Matilda"})
+        assert pair_features(a, b).shape == (len(FEATURE_NAMES),)
+
+    def test_identical_records_score_high(self):
+        values = {"name": "Matilda", "theater": "Shubert", "price": 27}
+        features = pair_features(_record("a", values), _record("b", values))
+        named = dict(zip(FEATURE_NAMES, features))
+        assert named["token_jaccard"] == 1.0
+        assert named["exact_match_fraction"] == 1.0
+        assert named["numeric_closeness"] == 1.0
+        assert named["length_ratio"] == 1.0
+
+    def test_disjoint_records_score_low(self):
+        a = _record("a", {"name": "Matilda", "price": 27})
+        b = _record("b", {"name": "Completely Different", "price": 9000})
+        named = dict(zip(FEATURE_NAMES, pair_features(a, b)))
+        assert named["token_jaccard"] == 0.0
+        assert named["exact_match_fraction"] == 0.0
+        assert named["numeric_closeness"] < 0.1
+
+    def test_features_bounded_unit_interval(self):
+        a = _record("a", {"name": "Matilda", "x": "short"})
+        b = _record("b", {"name": "matilda the musical", "y": "something else"})
+        features = pair_features(a, b)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_symmetric(self):
+        a = _record("a", {"name": "Matilda", "price": 27})
+        b = _record("b", {"name": "Matilda musical", "price": 29})
+        assert np.allclose(pair_features(a, b), pair_features(b, a))
+
+    def test_shared_attr_ratio_reflects_sparsity(self):
+        structured = _record("a", {"name": "Matilda", "theater": "Shubert", "price": 27})
+        sparse = _record("b", {"name": "Matilda"})
+        named = dict(zip(FEATURE_NAMES, pair_features(structured, sparse)))
+        assert named["shared_attr_ratio"] == pytest.approx(1 / 3)
+
+    def test_compare_attributes_restriction(self):
+        a = _record("a", {"name": "Matilda", "noise": "xxxx"})
+        b = _record("b", {"name": "Matilda", "noise": "yyyy"})
+        unrestricted = dict(zip(FEATURE_NAMES, pair_features(a, b)))
+        restricted = dict(zip(FEATURE_NAMES, pair_features(a, b, ["name"])))
+        assert restricted["token_jaccard"] == 1.0
+        assert unrestricted["token_jaccard"] < 1.0
+
+    def test_both_empty_records(self):
+        a = _record("a", {})
+        b = _record("b", {})
+        features = pair_features(a, b)
+        assert np.all(np.isfinite(features))
+
+    def test_typo_still_scores_reasonably(self):
+        a = _record("a", {"name": "Shubert Theatre"})
+        b = _record("b", {"name": "Shubert Theatr"})
+        named = dict(zip(FEATURE_NAMES, pair_features(a, b)))
+        assert named["max_string_similarity"] > 0.85
+
+
+class TestPairFeatureExtractor:
+    def _extractor(self):
+        records = [
+            _record("a", {"name": "Matilda", "price": 27}),
+            _record("b", {"name": "Matilda the Musical", "price": 27}),
+            _record("c", {"name": "Wicked", "price": 89}),
+        ]
+        return PairFeatureExtractor(records)
+
+    def test_lookup_by_id(self):
+        extractor = self._extractor()
+        assert extractor.record("a").get("name") == "Matilda"
+
+    def test_features_for_pairs_matrix_shape(self):
+        extractor = self._extractor()
+        X = extractor.features_for_pairs([("a", "b"), ("a", "c")])
+        assert X.shape == (2, len(FEATURE_NAMES))
+
+    def test_empty_pairs(self):
+        extractor = self._extractor()
+        assert extractor.features_for_pairs([]).shape == (0, len(FEATURE_NAMES))
+
+    def test_duplicate_ids_rejected(self):
+        records = [_record("a", {}), _record("a", {})]
+        with pytest.raises(ValueError):
+            PairFeatureExtractor(records)
+
+    def test_feature_names_exposed(self):
+        assert self._extractor().feature_names == FEATURE_NAMES

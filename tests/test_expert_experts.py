@@ -1,0 +1,128 @@
+"""Tests for repro.expert.experts and aggregation."""
+
+import pytest
+
+from repro.errors import ExpertError
+from repro.expert.aggregation import AnswerAggregator
+from repro.expert.experts import SimulatedExpert
+from repro.expert.tasks import ExpertTask, TaskQueue
+
+
+def _task(ground_truth=True, domain="general"):
+    return ExpertTask(
+        task_id="t", kind="schema_match", payload={}, domain=domain,
+        ground_truth=ground_truth,
+    )
+
+
+class TestSimulatedExpert:
+    def test_perfect_expert_always_correct(self):
+        expert = SimulatedExpert("e", accuracy=1.0, seed=1)
+        assert all(expert.answer(_task(True)) is True for _ in range(20))
+
+    def test_zero_accuracy_expert_always_wrong(self):
+        expert = SimulatedExpert("e", accuracy=0.0, seed=1)
+        assert all(expert.answer(_task(True)) is False for _ in range(20))
+
+    def test_accuracy_roughly_respected(self):
+        expert = SimulatedExpert("e", accuracy=0.7, seed=3)
+        answers = [expert.answer(_task(True)) for _ in range(300)]
+        correct = sum(1 for a in answers if a is True)
+        assert 0.6 < correct / 300 < 0.8
+
+    def test_no_ground_truth_confirms_proposal(self):
+        expert = SimulatedExpert("e", accuracy=0.5, seed=1)
+        assert expert.answer(_task(ground_truth=None)) is True
+
+    def test_non_boolean_ground_truth_wrong_answer_is_none(self):
+        expert = SimulatedExpert("e", accuracy=0.0, seed=1)
+        assert expert.answer(_task(ground_truth="show_name")) is None
+
+    def test_counters_and_cost(self):
+        expert = SimulatedExpert("e", accuracy=1.0, cost_per_task=2.5, seed=0)
+        expert.answer(_task())
+        expert.answer(_task())
+        assert expert.tasks_answered == 2
+        assert expert.total_cost == 5.0
+        expert.reset_counters()
+        assert expert.tasks_answered == 0
+
+    def test_domain_restriction(self):
+        expert = SimulatedExpert("e", domains=("schema",), seed=0)
+        assert expert.can_answer(_task(domain="schema"))
+        assert not expert.can_answer(_task(domain="dedup"))
+        with pytest.raises(ExpertError):
+            expert.answer(_task(domain="dedup"))
+
+    def test_general_domain_covers_everything(self):
+        expert = SimulatedExpert("e", domains=("general",), seed=0)
+        assert expert.can_answer(_task(domain="anything"))
+
+    def test_answer_recorded_on_task(self):
+        expert = SimulatedExpert("e", accuracy=1.0, seed=0)
+        task = _task()
+        expert.answer(task)
+        assert task.answers[0]["expert_id"] == "e"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExpertError):
+            SimulatedExpert("")
+        with pytest.raises(ExpertError):
+            SimulatedExpert("e", accuracy=1.5)
+        with pytest.raises(ExpertError):
+            SimulatedExpert("e", cost_per_task=-1)
+
+    def test_deterministic_given_seed(self):
+        a = SimulatedExpert("e", accuracy=0.5, seed=9)
+        b = SimulatedExpert("e", accuracy=0.5, seed=9)
+        assert [a.answer(_task()) for _ in range(10)] == [
+            b.answer(_task()) for _ in range(10)
+        ]
+
+
+class TestAnswerAggregator:
+    def _answered_task(self, answers):
+        task = _task()
+        for expert_id, answer, confidence in answers:
+            task.record_answer(expert_id, answer, confidence)
+        return task
+
+    def test_majority_vote(self):
+        task = self._answered_task(
+            [("a", True, 1.0), ("b", True, 1.0), ("c", False, 1.0)]
+        )
+        result = AnswerAggregator(weighted=False).aggregate(task)
+        assert result.answer is True
+        assert result.n_answers == 3
+        assert result.agreement == pytest.approx(2 / 3)
+
+    def test_weighted_vote_can_flip_majority(self):
+        task = self._answered_task(
+            [("a", True, 0.3), ("b", True, 0.3), ("c", False, 0.99)]
+        )
+        unweighted = AnswerAggregator(weighted=False).aggregate(
+            self._answered_task([("a", True, 0.3), ("b", True, 0.3), ("c", False, 0.99)])
+        )
+        weighted = AnswerAggregator(weighted=True).aggregate(task)
+        assert unweighted.answer is True
+        assert weighted.answer is False
+
+    def test_aggregate_resolves_task(self):
+        task = self._answered_task([("a", True, 1.0)])
+        AnswerAggregator().aggregate(task)
+        assert task.resolution is True
+
+    def test_no_answers_rejected(self):
+        with pytest.raises(ExpertError):
+            AnswerAggregator().aggregate(_task())
+
+    def test_aggregate_many_skips_unanswered(self):
+        answered = self._answered_task([("a", True, 1.0)])
+        unanswered = _task()
+        results = AnswerAggregator().aggregate_many([answered, unanswered])
+        assert len(results) == 1
+
+    def test_non_hashable_answers_supported(self):
+        task = self._answered_task([("a", {"map": "x"}, 1.0), ("b", {"map": "x"}, 1.0)])
+        result = AnswerAggregator().aggregate(task)
+        assert result.answer == {"map": "x"}

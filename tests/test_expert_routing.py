@@ -1,0 +1,88 @@
+"""Tests for repro.expert.routing."""
+
+import pytest
+
+from repro.config import ExpertConfig
+from repro.errors import ExpertError, NoExpertAvailable
+from repro.expert.experts import SimulatedExpert
+from repro.expert.routing import ExpertRouter, schema_match_oracle
+from repro.schema.matchers import MatcherScore
+
+
+def _score(composite=0.6):
+    return MatcherScore(name=0.6, value=0.5, type=1.0, stats=0.5, composite=composite)
+
+
+class TestExpertRouter:
+    def test_requires_experts(self):
+        with pytest.raises(ExpertError):
+            ExpertRouter([])
+
+    def test_ask_returns_aggregated_answer(self):
+        router = ExpertRouter([SimulatedExpert("e1", accuracy=1.0, seed=0)])
+        result = router.ask("schema_match", {"q": 1}, ground_truth=True)
+        assert result.answer is True
+        assert len(router.queue) == 1
+
+    def test_routes_to_least_loaded_expert(self):
+        a = SimulatedExpert("a", accuracy=1.0, seed=0)
+        b = SimulatedExpert("b", accuracy=1.0, seed=0)
+        router = ExpertRouter([a, b])
+        for _ in range(4):
+            router.ask("schema_match", {}, ground_truth=True)
+        assert a.tasks_answered == 2 and b.tasks_answered == 2
+
+    def test_min_answers_collects_multiple(self):
+        experts = [SimulatedExpert(f"e{i}", accuracy=1.0, seed=i) for i in range(3)]
+        router = ExpertRouter(experts, config=ExpertConfig(min_answers_per_task=3))
+        router.ask("schema_match", {}, ground_truth=True)
+        assert router.total_tasks_answered == 3
+
+    def test_domain_routing(self):
+        schema_expert = SimulatedExpert("s", domains=("schema",), accuracy=1.0, seed=0)
+        router = ExpertRouter([schema_expert])
+        router.ask("schema_match", {}, domain="schema", ground_truth=True)
+        with pytest.raises(NoExpertAvailable):
+            router.ask("duplicate_pair", {}, domain="dedup", ground_truth=True)
+
+    def test_expert_budget_exhaustion(self):
+        expert = SimulatedExpert("e", accuracy=1.0, seed=0)
+        router = ExpertRouter([expert], config=ExpertConfig(max_tasks_per_expert=2))
+        router.ask("schema_match", {}, ground_truth=True)
+        router.ask("schema_match", {}, ground_truth=True)
+        with pytest.raises(NoExpertAvailable):
+            router.ask("schema_match", {}, ground_truth=True)
+
+    def test_total_cost(self):
+        router = ExpertRouter(
+            [SimulatedExpert("e", accuracy=1.0, cost_per_task=3.0, seed=0)]
+        )
+        router.ask("schema_match", {}, ground_truth=True)
+        assert router.total_cost == 3.0
+
+
+class TestSchemaMatchOracle:
+    def test_oracle_with_ground_truth_mapping(self):
+        router = ExpertRouter([SimulatedExpert("e", accuracy=1.0, seed=0)])
+        oracle = schema_match_oracle(router, true_mapping={"SHOW": "show_name"})
+        assert oracle("SHOW", "show_name", _score()) is True
+        assert oracle("SHOW", "theater", _score()) is False
+
+    def test_oracle_without_ground_truth_confirms(self):
+        router = ExpertRouter([SimulatedExpert("e", accuracy=0.5, seed=0)])
+        oracle = schema_match_oracle(router)
+        assert oracle("SHOW", "show_name", _score()) is True
+
+    def test_oracle_records_tasks_in_queue(self):
+        router = ExpertRouter([SimulatedExpert("e", accuracy=1.0, seed=0)])
+        oracle = schema_match_oracle(router, true_mapping={"A": "a"})
+        oracle("A", "a", _score())
+        assert router.queue.stats()["total"] == 1
+        task = router.queue.all_tasks()[0]
+        assert task.payload["source_attribute"] == "A"
+        assert task.payload["candidate"] == "a"
+
+    def test_oracle_accepts_plain_float_score(self):
+        router = ExpertRouter([SimulatedExpert("e", accuracy=1.0, seed=0)])
+        oracle = schema_match_oracle(router)
+        assert oracle("A", "a", 0.5) in (True, False)

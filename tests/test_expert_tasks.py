@@ -1,0 +1,77 @@
+"""Tests for repro.expert.tasks."""
+
+import pytest
+
+from repro.errors import ExpertError
+from repro.expert.tasks import ExpertTask, TaskQueue, TaskStatus
+
+
+class TestExpertTask:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExpertError):
+            ExpertTask(task_id="t", kind="mystery", payload={})
+
+    def test_record_answer_moves_to_answered(self):
+        task = ExpertTask(task_id="t", kind="schema_match", payload={})
+        task.record_answer("e1", True, confidence=0.9)
+        assert task.status == TaskStatus.ANSWERED
+        assert task.answers[0]["expert_id"] == "e1"
+
+    def test_resolve(self):
+        task = ExpertTask(task_id="t", kind="duplicate_pair", payload={})
+        task.resolve(False)
+        assert task.status == TaskStatus.RESOLVED
+        assert task.resolution is False
+
+
+class TestTaskQueue:
+    def test_create_task_assigns_unique_ids(self):
+        queue = TaskQueue()
+        a = queue.create_task("schema_match", {})
+        b = queue.create_task("schema_match", {})
+        assert a.task_id != b.task_id
+        assert len(queue) == 2
+
+    def test_get(self):
+        queue = TaskQueue()
+        task = queue.create_task("schema_match", {"x": 1})
+        assert queue.get(task.task_id).payload == {"x": 1}
+        with pytest.raises(ExpertError):
+            queue.get("missing")
+
+    def test_pending_filters_by_domain(self):
+        queue = TaskQueue()
+        queue.create_task("schema_match", {}, domain="schema")
+        queue.create_task("duplicate_pair", {}, domain="dedup")
+        assert len(queue.pending()) == 2
+        assert len(queue.pending("schema")) == 1
+
+    def test_next_pending_marks_assigned(self):
+        queue = TaskQueue()
+        created = queue.create_task("schema_match", {})
+        task = queue.next_pending()
+        assert task is created
+        assert task.status == TaskStatus.ASSIGNED
+        assert queue.next_pending() is None
+
+    def test_by_status(self):
+        queue = TaskQueue()
+        task = queue.create_task("schema_match", {})
+        task.record_answer("e", True)
+        assert queue.by_status(TaskStatus.ANSWERED) == [task]
+        assert queue.by_status(TaskStatus.PENDING) == []
+
+    def test_stats(self):
+        queue = TaskQueue()
+        queue.create_task("schema_match", {})
+        task = queue.create_task("schema_match", {})
+        task.record_answer("e", True)
+        stats = queue.stats()
+        assert stats["total"] == 2
+        assert stats["pending"] == 1
+        assert stats["answered"] == 1
+
+    def test_all_tasks_in_creation_order(self):
+        queue = TaskQueue()
+        ids = [queue.create_task("schema_match", {}).task_id for _ in range(3)]
+        assert [t.task_id for t in queue.all_tasks()] == ids

@@ -1,0 +1,112 @@
+"""Tests for repro.ingest.connectors."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest.connectors import (
+    CsvSource,
+    DictSource,
+    JsonLinesSource,
+    SourceMetadata,
+)
+
+
+class TestSourceMetadata:
+    def test_requires_source_id(self):
+        with pytest.raises(IngestError):
+            SourceMetadata("")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(IngestError):
+            SourceMetadata("s", kind="mystery")
+
+    def test_valid(self):
+        meta = SourceMetadata("s1", kind="unstructured", description="web text")
+        assert meta.kind == "unstructured"
+
+
+class TestDictSource:
+    def test_records_are_copies(self):
+        rows = [{"a": 1}]
+        source = DictSource("s", rows)
+        fetched = next(source.records())
+        fetched["a"] = 99
+        assert next(source.records())["a"] == 1
+
+    def test_count(self):
+        assert DictSource("s", [{"a": 1}, {"a": 2}]).count() == 2
+
+    def test_attribute_names_union_in_order(self):
+        source = DictSource("s", [{"a": 1}, {"b": 2, "a": 3}])
+        assert source.attribute_names() == ["a", "b"]
+
+    def test_rejects_non_dict_rows(self):
+        with pytest.raises(IngestError):
+            DictSource("s", [("a", 1)])
+
+    def test_metadata_defaults(self):
+        source = DictSource("s", [])
+        assert source.metadata.kind == "structured"
+        assert source.source_id == "s"
+
+
+class TestCsvSource:
+    CSV_TEXT = "Show,Venue,Price\nMatilda,Shubert,$27\nWicked,Gershwin,$89\n"
+
+    def test_parses_inline_text(self):
+        source = CsvSource("csv1", text=self.CSV_TEXT)
+        rows = list(source.records())
+        assert rows[0] == {"Show": "Matilda", "Venue": "Shubert", "Price": "$27"}
+        assert source.count() == 2
+
+    def test_attribute_names(self):
+        source = CsvSource("csv1", text=self.CSV_TEXT)
+        assert source.attribute_names() == ["Show", "Venue", "Price"]
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "shows.csv"
+        path.write_text(self.CSV_TEXT, encoding="utf-8")
+        source = CsvSource("csv1", path=path)
+        assert source.count() == 2
+
+    def test_requires_exactly_one_input(self, tmp_path):
+        with pytest.raises(IngestError):
+            CsvSource("c")
+        with pytest.raises(IngestError):
+            CsvSource("c", path=tmp_path / "x.csv", text="a,b\n1,2\n")
+
+    def test_custom_delimiter(self):
+        source = CsvSource("c", text="a;b\n1;2\n", delimiter=";")
+        assert list(source.records()) == [{"a": "1", "b": "2"}]
+
+
+class TestJsonLinesSource:
+    JSONL = '{"entity": {"name": "Matilda"}}\n\n{"entity": {"name": "Wicked"}}\n'
+
+    def test_parses_inline_text_and_skips_blank_lines(self):
+        source = JsonLinesSource("j", text=self.JSONL)
+        rows = list(source.records())
+        assert len(rows) == 2
+        assert rows[0]["entity"]["name"] == "Matilda"
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "entities.jsonl"
+        path.write_text(self.JSONL, encoding="utf-8")
+        assert JsonLinesSource("j", path=path).count() == 2
+
+    def test_invalid_json_raises_with_line_number(self):
+        source = JsonLinesSource("j", text='{"ok": 1}\nnot json\n')
+        with pytest.raises(IngestError, match="line 2"):
+            list(source.records())
+
+    def test_non_object_line_rejected(self):
+        source = JsonLinesSource("j", text="[1, 2, 3]\n")
+        with pytest.raises(IngestError):
+            list(source.records())
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(IngestError):
+            JsonLinesSource("j")
+
+    def test_default_kind_is_semi_structured(self):
+        assert JsonLinesSource("j", text="{}").metadata.kind == "semi_structured"

@@ -1,0 +1,98 @@
+"""Tests for repro.ingest.flatten."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest.flatten import Flattener, flatten_document, unflatten_document
+
+
+class TestFlattenDocument:
+    def test_flat_document_unchanged(self):
+        doc = {"a": 1, "b": "x"}
+        assert flatten_document(doc) == doc
+
+    def test_nested_dict_uses_dotted_path(self):
+        assert flatten_document({"entity": {"name": "Matilda"}}) == {
+            "entity.name": "Matilda"
+        }
+
+    def test_deeply_nested(self):
+        doc = {"a": {"b": {"c": {"d": 5}}}}
+        assert flatten_document(doc) == {"a.b.c.d": 5}
+
+    def test_list_uses_bracket_indices(self):
+        assert flatten_document({"tags": ["x", "y"]}) == {
+            "tags[0]": "x",
+            "tags[1]": "y",
+        }
+
+    def test_list_of_dicts(self):
+        doc = {"mentions": [{"s": 1}, {"s": 2}]}
+        assert flatten_document(doc) == {"mentions[0].s": 1, "mentions[1].s": 2}
+
+    def test_parser_output_shape(self):
+        doc = {
+            "entity": {"name": "Matilda", "type": "Movie", "attributes": {}},
+            "mention": {"span": {"start": 3, "end": 10}},
+        }
+        flat = flatten_document(doc)
+        assert flat["entity.name"] == "Matilda"
+        assert flat["mention.span.start"] == 3
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(IngestError):
+            flatten_document(["a"])
+
+    def test_key_containing_separator_rejected(self):
+        with pytest.raises(IngestError):
+            flatten_document({"a.b": 1})
+
+    def test_custom_separator(self):
+        assert flatten_document({"a": {"b": 1}}, separator="/") == {"a/b": 1}
+
+    def test_max_depth_enforced(self):
+        doc = {"a": {"b": {"c": {"d": 1}}}}
+        with pytest.raises(IngestError):
+            flatten_document(doc, max_depth=2)
+
+    def test_none_values_preserved(self):
+        assert flatten_document({"a": None}) == {"a": None}
+
+
+class TestUnflatten:
+    def test_roundtrip_nested(self):
+        doc = {
+            "entity": {"name": "Matilda", "type": "Movie"},
+            "mention": {"span": {"start": 3, "end": 10}},
+            "score": 0.9,
+        }
+        assert unflatten_document(flatten_document(doc)) == doc
+
+    def test_roundtrip_lists(self):
+        doc = {"tags": ["a", "b", "c"], "nested": [{"x": 1}, {"x": 2}]}
+        assert unflatten_document(flatten_document(doc)) == doc
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(IngestError):
+            unflatten_document("nope")
+
+    def test_plain_keys(self):
+        assert unflatten_document({"a": 1}) == {"a": 1}
+
+
+class TestFlattener:
+    def test_tracks_observed_keys(self):
+        flattener = Flattener()
+        flattener.flatten({"a": {"b": 1}})
+        flattener.flatten({"a": {"b": 2}, "c": 3})
+        assert flattener.key_frequency("a.b") == 2
+        assert flattener.key_frequency("c") == 1
+        assert flattener.observed_keys[0] == "a.b"
+
+    def test_flatten_many(self):
+        flattener = Flattener()
+        out = flattener.flatten_many([{"a": 1}, {"b": {"c": 2}}])
+        assert out == [{"a": 1}, {"b.c": 2}]
+
+    def test_unknown_key_frequency_zero(self):
+        assert Flattener().key_frequency("missing") == 0

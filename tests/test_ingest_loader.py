@@ -1,0 +1,98 @@
+"""Tests for repro.ingest.loader."""
+
+import pytest
+
+from repro.ingest.connectors import DictSource, JsonLinesSource
+from repro.ingest.loader import BatchLoader
+
+
+@pytest.fixture
+def collection(document_store):
+    return document_store.create_collection("landing")
+
+
+class TestBatchLoader:
+    def test_loads_all_records(self, collection):
+        source = DictSource("s", [{"a": i} for i in range(5)])
+        report = BatchLoader().load(source, collection)
+        assert report.records_read == 5
+        assert report.records_loaded == 5
+        assert len(collection) == 5
+
+    def test_stamps_provenance(self, collection):
+        source = DictSource("mysource", [{"a": 1}])
+        BatchLoader().load(source, collection)
+        doc = collection.find_one()
+        assert doc["_source"] == "mysource"
+
+    def test_flattens_nested_records(self, collection):
+        source = JsonLinesSource("j", text='{"entity": {"name": "Matilda"}}\n')
+        BatchLoader().load(source, collection)
+        doc = collection.find_one()
+        assert doc["entity.name"] == "Matilda"
+
+    def test_transform_applied(self, collection):
+        source = DictSource("s", [{"a": 1}])
+        report = BatchLoader().load(
+            source, collection, transform=lambda r: {**r, "b": r["a"] * 2}
+        )
+        assert report.records_loaded == 1
+        assert collection.find_one()["b"] == 2
+
+    def test_transform_returning_none_skips_record(self, collection):
+        source = DictSource("s", [{"a": 1}, {"a": 2}])
+        report = BatchLoader().load(
+            source, collection, transform=lambda r: r if r["a"] == 2 else None
+        )
+        assert report.records_loaded == 1
+        assert report.records_failed == 1
+
+    def test_failing_records_do_not_abort_load(self, collection):
+        def explode_on_two(record):
+            if record["a"] == 2:
+                raise ValueError("boom")
+            return record
+
+        source = DictSource("s", [{"a": 1}, {"a": 2}, {"a": 3}])
+        report = BatchLoader().load(source, collection, transform=explode_on_two)
+        assert report.records_loaded == 2
+        assert report.records_failed == 1
+        assert report.errors and "boom" in report.errors[0]
+
+    def test_limit(self, collection):
+        source = DictSource("s", [{"a": i} for i in range(10)])
+        report = BatchLoader().load(source, collection, limit=3)
+        assert report.records_read == 3
+        assert len(collection) == 3
+
+    def test_attributes_seen_excludes_provenance(self, collection):
+        source = DictSource("s", [{"a": 1, "b": 2}])
+        report = BatchLoader().load(source, collection)
+        assert set(report.attributes_seen) == {"a", "b"}
+
+    def test_success_rate(self, collection):
+        source = DictSource("s", [{"a": 1}, {"a": 2}])
+        report = BatchLoader().load(
+            source, collection, transform=lambda r: r if r["a"] == 1 else None
+        )
+        assert report.success_rate == 0.5
+
+    def test_empty_source_success_rate_is_one(self, collection):
+        report = BatchLoader().load(DictSource("s", []), collection)
+        assert report.success_rate == 1.0
+
+    def test_load_many(self, collection):
+        sources = [DictSource(f"s{i}", [{"a": i}]) for i in range(3)]
+        reports = BatchLoader().load_many(sources, collection)
+        assert len(reports) == 3
+        assert len(collection) == 3
+
+    def test_max_errors_caps_error_list(self, collection):
+        def always_fail(record):
+            raise ValueError("nope")
+
+        source = DictSource("s", [{"a": i} for i in range(10)])
+        loader = BatchLoader(max_errors=3)
+        report = loader.load(source, collection, transform=always_fail)
+        assert report.records_failed == 10
+        assert len(report.errors) == 3

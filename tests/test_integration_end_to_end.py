@@ -1,0 +1,158 @@
+"""Integration tests: the full pipeline over generated workloads."""
+
+import pytest
+
+from repro import DataTamer
+from repro.ingest import DictSource
+from repro.workloads import DedupCorpusGenerator, FTablesGenerator, WebInstanceGenerator
+from repro.workloads.ftables import GROUND_TRUTH_GLOBAL_SCHEMA
+
+
+class TestFullPipeline:
+    def test_structured_sources_converge_to_compact_schema(self, tamer, ftables):
+        tamer.ingest_structured_records("global_seed", ftables.seed_records())
+        sources = ftables.generate()
+        local_attribute_count = 0
+        for source in sources[:9]:
+            local_attribute_count += len(source.attribute_names)
+            tamer.ingest_structured_source(DictSource(source.source_id, source.records()))
+        # Without experts the schema keeps a few uncertain attributes as new,
+        # but it must still be far more compact than the union of local schemas.
+        assert len(tamer.global_schema) < local_attribute_count / 2
+        assert len(tamer.global_schema) <= len(GROUND_TRUTH_GLOBAL_SCHEMA) + 10
+
+    def test_expert_sourcing_tightens_schema_convergence(self, small_config, parser, ftables):
+        from repro.expert.experts import SimulatedExpert
+        from repro.expert.routing import ExpertRouter
+
+        def build(expert_router=None, true_mapping=None):
+            tamer = DataTamer(
+                small_config,
+                expert_router=expert_router,
+                true_schema_mapping=true_mapping,
+            )
+            tamer.register_text_parser(parser)
+            tamer.ingest_structured_records("global_seed", ftables.seed_records())
+            for source in ftables.generate()[:9]:
+                tamer.ingest_structured_source(
+                    DictSource(source.source_id, source.records())
+                )
+            return tamer
+
+        without_expert = build()
+        router = ExpertRouter([SimulatedExpert("e", accuracy=1.0, seed=0)])
+        with_expert = build(router, ftables.true_mapping_all())
+        assert router.total_tasks_answered > 0
+        assert len(with_expert.global_schema) < len(without_expert.global_schema)
+
+    def test_auto_accept_rate_rises_as_schema_matures(self, tamer, ftables):
+        tamer.ingest_structured_records("global_seed", ftables.seed_records())
+        sources = ftables.generate()
+        reports = [
+            tamer.ingest_structured_source(DictSource(s.source_id, s.records()))
+            for s in sources[:12]
+        ]
+        early = [r.mapping.auto_accept_rate for r in reports[:3]]
+        late = [r.mapping.auto_accept_rate for r in reports[-3:]]
+        assert sum(late) / 3 >= sum(early) / 3
+
+    def test_text_and_structured_fusion_enriches_result(self, populated_tamer, dedup_corpus):
+        tamer = populated_tamer
+        tamer.train_dedup_model(dedup_corpus.pairs)
+        text_views = [
+            (source, values)
+            for source, values in [
+                (doc.get("_source"), doc)
+                for doc in tamer.curated_collection.scan()
+            ]
+            if source == "webtext" and values.get("show_name") == "Matilda"
+        ]
+        fused = tamer.fuse_show("Matilda")
+        # the fused record carries structured-only attributes that no text view has
+        text_attrs = set()
+        for _, values in text_views:
+            text_attrs.update(k for k, v in values.items() if v not in (None, ""))
+        structured_extra = set(fused.attributes) - text_attrs
+        assert "theater" in structured_extra or "performance_schedule" in structured_extra
+
+    def test_collection_shape_matches_paper_tables(self, populated_tamer):
+        stats = populated_tamer.collection_stats()
+        instance = stats["instance"]
+        entity = stats["entity"]
+        # WEBENTITIES carries at least as many entries as WEBINSTANCE and more indexes
+        assert entity.count >= instance.count
+        assert entity.nindexes > instance.nindexes
+
+    def test_top_discussed_ranking_matches_generator_ground_truth(self, tamer):
+        generator = WebInstanceGenerator(seed=21)
+        docs = generator.generate(600)
+        tamer.ingest_text_documents(
+            (d.as_pair() for d in docs), integrate_schema=False
+        )
+        ranking = [m.entity for m in tamer.top_discussed_shows(k=5)]
+        assert set(ranking) <= set(generator.expected_top_shows(8))
+        assert ranking[0] == generator.expected_top_shows(1)[0]
+
+    def test_dedup_crossval_in_paper_regime(self):
+        corpus = DedupCorpusGenerator(seed=42).generate(n_entities=120)
+        from repro.entity.dedup import DedupModel
+
+        result = DedupModel().cross_validate(corpus.pairs, n_folds=10)
+        assert result.mean_precision > 0.8
+        assert result.mean_recall > 0.8
+
+
+class TestDemoScenario:
+    """The paper's Section V demo: top-10 query, then Matilda drill-down."""
+
+    @pytest.fixture()
+    def demo(self, tamer):
+        ftables = FTablesGenerator(seed=31, n_sources=9)
+        tamer.ingest_structured_records("global_seed", ftables.seed_records())
+        for source in ftables.generate():
+            tamer.ingest_structured_source(DictSource(source.source_id, source.records()))
+        corpus = WebInstanceGenerator(seed=32).generate(400)
+        tamer.ingest_text_documents(d.as_pair() for d in corpus)
+        dedup = DedupCorpusGenerator(seed=33).generate(n_entities=80)
+        tamer.train_dedup_model(dedup.pairs)
+        return tamer
+
+    def test_table4_top10_contains_matilda(self, demo):
+        ranking = [m.entity for m in demo.top_discussed_shows(k=10)]
+        assert len(ranking) == 10
+        assert "Matilda" in ranking
+
+    def test_table5_text_only_view_lacks_structured_attributes(self, demo):
+        text_views = [
+            doc for doc in demo.curated_collection.find({"_source": "webtext"})
+            if doc.get("show_name") == "Matilda"
+        ]
+        assert text_views, "web text must mention Matilda"
+        for view in text_views:
+            assert "text_feed" in view
+            assert "theater" not in view
+            assert "cheapest_price" not in view
+
+    def test_table6_fused_view_has_paper_attributes(self, demo):
+        fused = demo.fuse_show("Matilda")
+        for attribute in ("show_name", "theater", "performance_schedule",
+                          "cheapest_price", "first_performance", "text_feed"):
+            assert attribute in fused.attributes, attribute
+        assert fused.attributes["theater"] == "Shubert"
+        assert fused.attributes["cheapest_price"] == "$27"
+
+    def test_fusion_enrichment_delta(self, demo):
+        from repro.query.fusion import fuse_entity_views
+
+        text_only = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", doc)
+                for doc in demo.curated_collection.find({"_source": "webtext"})
+                if doc.get("show_name") == "Matilda"
+            ],
+        )
+        fused = demo.fuse_show("Matilda")
+        added = fused.enrichment_over(text_only)
+        assert "theater" in added
+        assert "cheapest_price" in added

@@ -1,0 +1,109 @@
+"""Tests for repro.ml.crossval."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.crossval import CrossValResult, cross_validate, k_fold_indices
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import ClassificationReport
+
+
+class TestKFoldIndices:
+    def test_every_sample_in_exactly_one_test_fold(self):
+        splits = k_fold_indices(53, 10, seed=1)
+        test_union = np.concatenate([test for _, test in splits])
+        assert sorted(test_union.tolist()) == list(range(53))
+
+    def test_train_and_test_disjoint(self):
+        for train, test in k_fold_indices(40, 5):
+            assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_number_of_folds(self):
+        assert len(k_fold_indices(30, 10)) == 10
+
+    def test_deterministic_with_seed(self):
+        a = k_fold_indices(30, 3, seed=5)
+        b = k_fold_indices(30, 3, seed=5)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_no_shuffle_keeps_order(self):
+        splits = k_fold_indices(10, 2, shuffle=False)
+        assert splits[0][1].tolist() == [0, 1, 2, 3, 4]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            k_fold_indices(10, 1)
+        with pytest.raises(ModelError):
+            k_fold_indices(3, 5)
+
+
+class TestCrossValidate:
+    def _data(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        return X, y
+
+    def test_returns_one_report_per_fold(self):
+        X, y = self._data()
+        result = cross_validate(
+            lambda: LogisticRegression(n_epochs=20), X, y, n_folds=5
+        )
+        assert len(result.fold_reports) == 5
+        assert all(isinstance(r, ClassificationReport) for r in result.fold_reports)
+
+    def test_learnable_problem_scores_well(self):
+        X, y = self._data()
+        result = cross_validate(
+            lambda: LogisticRegression(n_epochs=50), X, y, n_folds=5
+        )
+        assert result.mean_f1 > 0.85
+
+    def test_as_dict_keys(self):
+        X, y = self._data(n=60)
+        result = cross_validate(
+            lambda: LogisticRegression(n_epochs=5), X, y, n_folds=3
+        )
+        assert set(result.as_dict()) == {
+            "folds", "precision", "recall", "f1", "accuracy",
+        }
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ModelError):
+            cross_validate(
+                lambda: LogisticRegression(), np.zeros((5, 2)), np.zeros(4), n_folds=2
+            )
+
+    def test_works_with_models_lacking_threshold_kwarg(self):
+        class ThresholdlessModel:
+            def fit(self, X, y):
+                self._majority = int(round(float(np.mean(y))))
+                return self
+
+            def predict(self, X):
+                return np.full(len(X), self._majority)
+
+        X, y = self._data(n=40)
+        result = cross_validate(lambda: ThresholdlessModel(), X, y, n_folds=4)
+        assert len(result.fold_reports) == 4
+
+    def test_deterministic(self):
+        X, y = self._data(n=80)
+        r1 = cross_validate(lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4)
+        r2 = cross_validate(lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4)
+        assert r1.as_dict() == r2.as_dict()
+
+
+class TestCrossValResult:
+    def test_means_average_over_folds(self):
+        result = CrossValResult(
+            fold_reports=[
+                ClassificationReport(1.0, 0.5, 0.66, 0.75, 2, 2),
+                ClassificationReport(0.5, 1.0, 0.66, 0.75, 2, 2),
+            ]
+        )
+        assert result.mean_precision == pytest.approx(0.75)
+        assert result.mean_recall == pytest.approx(0.75)
+        assert result.mean_accuracy == pytest.approx(0.75)

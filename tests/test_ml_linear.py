@@ -1,0 +1,117 @@
+"""Tests for repro.ml.linear (logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.linear import LogisticRegression, _sigmoid
+
+
+def _separable_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=-1.0, scale=0.5, size=(n // 2, 2))
+    X1 = rng.normal(loc=+1.0, scale=0.5, size=(n // 2, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestSigmoid:
+    def test_bounds(self):
+        z = np.array([-1000.0, -1.0, 0.0, 1.0, 1000.0])
+        out = _sigmoid(z)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_no_overflow_warning(self):
+        with np.errstate(over="raise"):
+            _sigmoid(np.array([-1e6, 1e6]))
+
+
+class TestFit:
+    def test_learns_separable_data(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=30, seed=0).fit(X, y)
+        accuracy = float(np.mean(model.predict(X) == y))
+        assert accuracy > 0.95
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable_data()
+        m1 = LogisticRegression(seed=7).fit(X, y)
+        m2 = LogisticRegression(seed=7).fit(X, y)
+        assert np.allclose(m1.weights, m2.weights)
+        assert m1.bias == pytest.approx(m2.bias)
+
+    def test_different_seed_different_weights(self):
+        X, y = _separable_data()
+        m1 = LogisticRegression(seed=1).fit(X, y)
+        m2 = LogisticRegression(seed=2).fit(X, y)
+        assert not np.allclose(m1.weights, m2.weights)
+
+    def test_rejects_bad_shapes(self):
+        model = LogisticRegression()
+        with pytest.raises(ModelError):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(n_epochs=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(batch_size=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ModelError):
+            LogisticRegression(decay=0)
+
+
+class TestPredict:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            _ = LogisticRegression().weights
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=10).fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+
+    def test_threshold_changes_predictions(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=10).fit(X, y)
+        low = model.predict(X, threshold=0.01).sum()
+        high = model.predict(X, threshold=0.99).sum()
+        assert low >= high
+
+    def test_single_row_input(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=10).fit(X, y)
+        assert model.predict_proba(X[0]).shape == (1,)
+
+    def test_dimension_mismatch_rejected(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=5).fit(X, y)
+        with pytest.raises(ModelError):
+            model.predict_proba(np.zeros((2, 5)))
+
+    def test_decision_function_sign_matches_prediction(self):
+        X, y = _separable_data()
+        model = LogisticRegression(n_epochs=20).fit(X, y)
+        scores = model.decision_function(X)
+        preds = model.predict(X)
+        assert np.all((scores >= 0) == (preds == 1))
+
+    def test_l2_regularization_shrinks_weights(self):
+        X, y = _separable_data()
+        loose = LogisticRegression(l2=0.0, n_epochs=50, seed=0).fit(X, y)
+        tight = LogisticRegression(l2=1.0, n_epochs=50, seed=0).fit(X, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)

@@ -1,0 +1,81 @@
+"""Tests for repro.ml.metrics."""
+
+import pytest
+
+from repro.ml.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 0, 1, 1]
+        assert confusion_matrix(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 0], [1])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision([1, 0, 1], [1, 0, 1]) == 1.0
+        assert recall([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_known_values(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        assert precision([1, 1], [0, 0]) == 0.0
+
+    def test_no_actual_positives(self):
+        assert recall([0, 0], [1, 0]) == 0.0
+
+    def test_precision_ignores_missed_positives(self):
+        # one confident correct prediction: precision 1, recall low
+        y_true = [1, 1, 1, 1]
+        y_pred = [1, 0, 0, 0]
+        assert precision(y_true, y_pred) == 1.0
+        assert recall(y_true, y_pred) == 0.25
+
+
+class TestF1Accuracy:
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p, r = precision(y_true, y_pred), recall(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_nothing_right(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_accuracy_empty(self):
+        assert accuracy([], []) == 0.0
+
+
+class TestClassificationReport:
+    def test_from_predictions(self):
+        report = ClassificationReport.from_predictions([1, 1, 0, 0], [1, 0, 0, 0])
+        assert report.support_positive == 2
+        assert report.support_negative == 2
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+
+    def test_as_dict_keys(self):
+        report = ClassificationReport.from_predictions([1, 0], [1, 0])
+        assert set(report.as_dict()) == {
+            "precision", "recall", "f1", "accuracy",
+            "support_positive", "support_negative",
+        }

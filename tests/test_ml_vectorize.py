@@ -1,0 +1,108 @@
+"""Tests for repro.ml.vectorize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.vectorize import HashingVectorizer, TfIdfVectorizer
+
+DOCS = [
+    "matilda grossed strongly at the shubert",
+    "wicked grossed well at the gershwin",
+    "the walking dead is a television show",
+    "matilda is an award winning import from london",
+]
+
+
+class TestTfIdfVectorizer:
+    def test_fit_builds_vocabulary(self):
+        vec = TfIdfVectorizer().fit(DOCS)
+        assert "matilda" in vec.vocabulary
+        assert vec.n_features == len(vec.vocabulary)
+
+    def test_transform_shape(self):
+        vec = TfIdfVectorizer().fit(DOCS)
+        X = vec.transform(DOCS)
+        assert X.shape == (len(DOCS), vec.n_features)
+
+    def test_rows_are_l2_normalized(self):
+        X = TfIdfVectorizer().fit_transform(DOCS)
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_unknown_terms_ignored_at_transform(self):
+        vec = TfIdfVectorizer().fit(DOCS)
+        X = vec.transform(["zzz qqq completely unseen"])
+        assert np.allclose(X, 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfIdfVectorizer().transform(DOCS)
+        with pytest.raises(NotFittedError):
+            _ = TfIdfVectorizer().vocabulary
+
+    def test_max_features_caps_vocabulary(self):
+        vec = TfIdfVectorizer(max_features=3).fit(DOCS)
+        assert vec.n_features == 3
+
+    def test_min_df_drops_rare_terms(self):
+        vec = TfIdfVectorizer(min_df=2).fit(DOCS)
+        assert "matilda" in vec.vocabulary  # appears in 2 documents
+        assert "television" not in vec.vocabulary  # appears once
+
+    def test_similar_documents_have_higher_cosine(self):
+        vec = TfIdfVectorizer().fit(DOCS)
+        X = vec.transform(
+            [
+                "matilda grossed strongly",
+                "matilda grossed very strongly indeed",
+                "completely unrelated sentence about databases",
+            ]
+        )
+        sim_close = float(X[0] @ X[1])
+        sim_far = float(X[0] @ X[2])
+        assert sim_close > sim_far
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer(min_df=0)
+        with pytest.raises(ValueError):
+            TfIdfVectorizer(max_features=0)
+
+    def test_deterministic(self):
+        X1 = TfIdfVectorizer().fit_transform(DOCS)
+        X2 = TfIdfVectorizer().fit_transform(DOCS)
+        assert np.allclose(X1, X2)
+
+
+class TestHashingVectorizer:
+    def test_shape(self):
+        X = HashingVectorizer(n_features=64).transform(DOCS)
+        assert X.shape == (len(DOCS), 64)
+
+    def test_stateless_fit_is_noop(self):
+        vec = HashingVectorizer(n_features=32)
+        assert vec.fit(DOCS) is vec
+        assert np.allclose(vec.fit_transform(DOCS), vec.transform(DOCS))
+
+    def test_deterministic_across_instances(self):
+        X1 = HashingVectorizer(n_features=128).transform(DOCS)
+        X2 = HashingVectorizer(n_features=128).transform(DOCS)
+        assert np.allclose(X1, X2)
+
+    def test_normalization(self):
+        X = HashingVectorizer(n_features=128).transform(DOCS)
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_without_normalization_counts_tokens(self):
+        X = HashingVectorizer(n_features=8, normalize=False).transform(["a a a"])
+        assert abs(X).sum() == pytest.approx(3.0)
+
+    def test_empty_document_is_zero_vector(self):
+        X = HashingVectorizer(n_features=16).transform([""])
+        assert np.allclose(X, 0.0)
+
+    def test_invalid_n_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(n_features=0)

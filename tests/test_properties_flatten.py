@@ -1,0 +1,61 @@
+"""Property-based tests for hierarchical flattening (round-trip invariant)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest.flatten import flatten_document, unflatten_document
+
+# Keys must not contain the separator or look like list indices.
+_keys = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=8)
+_scalars = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=string.printable, max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+
+def _documents(max_depth=3):
+    return st.recursive(
+        _scalars,
+        lambda children: st.one_of(
+            st.dictionaries(_keys, children, min_size=1, max_size=4),
+            st.lists(children, min_size=1, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+_nonempty_docs = st.dictionaries(_keys, _documents(), min_size=1, max_size=5)
+
+
+@given(_nonempty_docs)
+@settings(max_examples=120, deadline=None)
+def test_flatten_unflatten_roundtrip(document):
+    """unflatten(flatten(d)) == d for documents without empty containers."""
+    flat = flatten_document(document)
+    assert unflatten_document(flat) == document
+
+
+@given(_nonempty_docs)
+@settings(max_examples=120, deadline=None)
+def test_flatten_produces_only_scalars(document):
+    flat = flatten_document(document)
+    for value in flat.values():
+        assert not isinstance(value, (dict, list, tuple))
+
+
+@given(_nonempty_docs)
+@settings(max_examples=80, deadline=None)
+def test_flatten_is_deterministic(document):
+    assert flatten_document(document) == flatten_document(document)
+
+
+@given(st.dictionaries(_keys, _scalars, min_size=1, max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_flat_documents_are_fixed_points(document):
+    """Already-flat documents are unchanged by flattening."""
+    assert flatten_document(document) == document

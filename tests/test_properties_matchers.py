@@ -1,0 +1,77 @@
+"""Property-based tests for string/set similarity measures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.matchers import (
+    jaccard_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_ratio,
+    name_similarity,
+    ngram_similarity,
+)
+
+_words = st.text(alphabet=string.ascii_lowercase + "_ ", max_size=15)
+_sets = st.sets(st.integers(min_value=0, max_value=50), max_size=15)
+
+
+@given(_words, _words)
+@settings(max_examples=200, deadline=None)
+def test_levenshtein_symmetry_and_bounds(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+    assert 0.0 <= levenshtein_ratio(a, b) <= 1.0
+
+
+@given(_words)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_identity(a):
+    assert levenshtein_distance(a, a) == 0
+    assert levenshtein_ratio(a, a) == 1.0
+
+
+@given(_words, _words, _words)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+@given(_words, _words)
+@settings(max_examples=200, deadline=None)
+def test_jaro_winkler_bounds_and_symmetry(a, b):
+    score = jaro_winkler(a, b)
+    assert 0.0 <= score <= 1.0 + 1e-9
+    assert abs(score - jaro_winkler(b, a)) < 1e-9
+
+
+@given(_words, _words)
+@settings(max_examples=200, deadline=None)
+def test_ngram_similarity_bounds(a, b):
+    assert 0.0 <= ngram_similarity(a, b) <= 1.0
+
+
+@given(_sets, _sets)
+@settings(max_examples=200, deadline=None)
+def test_jaccard_bounds_symmetry_identity(a, b):
+    score = jaccard_similarity(a, b)
+    assert 0.0 <= score <= 1.0
+    assert score == jaccard_similarity(b, a)
+    assert jaccard_similarity(a, a) == 1.0
+
+
+@given(_words, _words)
+@settings(max_examples=200, deadline=None)
+def test_name_similarity_bounds_and_symmetry(a, b):
+    score = name_similarity(a, b)
+    assert 0.0 <= score <= 1.0 + 1e-9
+    assert abs(score - name_similarity(b, a)) < 1e-9
+
+
+@given(_words)
+@settings(max_examples=100, deadline=None)
+def test_name_similarity_identity(a):
+    assert name_similarity(a, a) == 1.0

@@ -1,0 +1,93 @@
+"""Property-based tests for the ML substrate and pairwise features."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entity.record import Record
+from repro.entity.similarity import pair_features
+from repro.ml.metrics import accuracy, f1_score, precision, recall
+from repro.ml.vectorize import HashingVectorizer, TfIdfVectorizer
+
+_labels = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=60)
+_texts = st.lists(
+    st.text(alphabet=string.ascii_lowercase + " ", min_size=0, max_size=40),
+    min_size=1,
+    max_size=15,
+)
+_field_values = st.dictionaries(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    st.one_of(
+        st.text(alphabet=string.ascii_letters + " ", max_size=20),
+        st.integers(min_value=-100, max_value=100),
+        st.none(),
+    ),
+    max_size=6,
+)
+
+
+@given(_labels)
+@settings(max_examples=150, deadline=None)
+def test_metrics_bounded_and_perfect_on_self(y):
+    y_pred = list(y)
+    assert precision(y, y_pred) in (0.0, 1.0)
+    assert accuracy(y, y_pred) == 1.0
+    if any(label == 1 for label in y):
+        assert recall(y, y_pred) == 1.0
+        assert f1_score(y, y_pred) == 1.0
+
+
+@given(_labels, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_metrics_bounded_for_random_predictions(y, rng):
+    y_pred = [rng.randint(0, 1) for _ in y]
+    for metric in (precision, recall, f1_score, accuracy):
+        assert 0.0 <= metric(y, y_pred) <= 1.0
+
+
+@given(_texts)
+@settings(max_examples=60, deadline=None)
+def test_tfidf_rows_normalized(texts):
+    vectorizer = TfIdfVectorizer()
+    X = vectorizer.fit_transform(texts)
+    norms = np.linalg.norm(X, axis=1)
+    assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0))
+
+
+@given(_texts, st.integers(min_value=1, max_value=256))
+@settings(max_examples=60, deadline=None)
+def test_hashing_vectorizer_shape_and_finiteness(texts, n_features):
+    X = HashingVectorizer(n_features=n_features).transform(texts)
+    assert X.shape == (len(texts), n_features)
+    assert np.all(np.isfinite(X))
+
+
+@given(_field_values, _field_values)
+@settings(max_examples=120, deadline=None)
+def test_pair_features_bounded_and_symmetric(values_a, values_b):
+    a = Record.from_dict("a", "s", values_a)
+    b = Record.from_dict("b", "s", values_b)
+    fab = pair_features(a, b)
+    fba = pair_features(b, a)
+    assert np.all(fab >= 0.0) and np.all(fab <= 1.0 + 1e-9)
+    assert np.allclose(fab, fba)
+
+
+@given(_field_values)
+@settings(max_examples=80, deadline=None)
+def test_pair_features_identity_record(values):
+    record_a = Record.from_dict("a", "s", values)
+    record_b = Record.from_dict("b", "s", values)
+    features = pair_features(record_a, record_b)
+    non_null = {k: v for k, v in values.items() if v not in (None, "")}
+    if non_null:
+        named = dict(zip(
+            ("token_jaccard", "token_cosine", "shared_attr_ratio",
+             "exact_match_fraction", "mean_string_similarity",
+             "max_string_similarity", "numeric_closeness", "length_ratio"),
+            features,
+        ))
+        assert named["shared_attr_ratio"] == 1.0
+        assert named["length_ratio"] == 1.0

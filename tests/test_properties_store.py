@@ -1,0 +1,80 @@
+"""Property-based tests for the document store and extent accounting."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StorageConfig
+from repro.storage.document_store import DocumentStore
+from repro.storage.sharding import ExtentAllocator, ShardRouter
+
+_field_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=string.ascii_letters + " ", max_size=30),
+    st.booleans(),
+)
+_documents = st.lists(
+    st.dictionaries(_field_names, _values, max_size=5), min_size=1, max_size=30
+)
+
+
+def _store():
+    return DocumentStore(
+        "dt", StorageConfig(extent_size_bytes=4 * 1024, num_shards=3)
+    )
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_count_matches_inserted_documents(documents):
+    collection = _store().create_collection("c")
+    collection.insert_many(documents)
+    stats = collection.stats()
+    assert stats.count == len(documents)
+    assert len(list(collection.scan())) == len(documents)
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_shard_distribution_sums_to_count(documents):
+    collection = _store().create_collection("c")
+    collection.insert_many(documents)
+    assert sum(collection.shard_distribution()) == len(documents)
+    assert sum(collection.extents_per_shard()) == collection.stats().num_extents
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_every_inserted_document_is_retrievable(documents):
+    collection = _store().create_collection("c")
+    ids = collection.insert_many(documents)
+    for doc_id, original in zip(ids, documents):
+        stored = collection.get(doc_id)
+        for key, value in original.items():
+            assert stored[key] == value
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2000), min_size=1, max_size=200),
+    st.integers(min_value=100, max_value=5000),
+)
+@settings(max_examples=60, deadline=None)
+def test_extent_accounting_conserves_bytes(sizes, extent_size):
+    allocator = ExtentAllocator(extent_size_bytes=extent_size, num_shards=2)
+    for i, size in enumerate(sizes):
+        allocator.allocate(i % 2, size)
+    assert allocator.total_used_bytes == sum(sizes)
+    assert allocator.num_extents >= 1
+
+
+@given(st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_shard_router_is_total_and_stable(ids, num_shards):
+    router = ShardRouter(num_shards)
+    first = [router.shard_for(i) for i in ids]
+    second = [router.shard_for(i) for i in ids]
+    assert first == second
+    assert all(0 <= shard < num_shards for shard in first)

@@ -1,0 +1,68 @@
+"""Property-based tests for union-find and clustering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entity.clustering import UnionFind, cluster_pairs
+
+_elements = st.integers(min_value=0, max_value=30)
+_pairs = st.lists(st.tuples(_elements, _elements), max_size=40)
+
+
+@given(_pairs)
+@settings(max_examples=150, deadline=None)
+def test_groups_partition_all_elements(pairs):
+    uf = UnionFind(range(31))
+    for a, b in pairs:
+        uf.union(a, b)
+    groups = uf.groups()
+    seen = sorted(x for group in groups for x in group)
+    assert seen == list(range(31))
+
+
+@given(_pairs)
+@settings(max_examples=150, deadline=None)
+def test_connectivity_is_symmetric_and_transitive(pairs):
+    uf = UnionFind(range(31))
+    for a, b in pairs:
+        uf.union(a, b)
+    for a, b in pairs:
+        assert uf.connected(a, b)
+        assert uf.connected(b, a)
+    # transitivity spot-check via roots: same root <=> connected
+    for a, b in pairs[:10]:
+        assert (uf.find(a) == uf.find(b)) == uf.connected(a, b)
+
+
+@given(_pairs)
+@settings(max_examples=100, deadline=None)
+def test_group_count_decreases_monotonically(pairs):
+    uf = UnionFind(range(31))
+    previous = uf.group_count()
+    for a, b in pairs:
+        uf.union(a, b)
+        current = uf.group_count()
+        assert current <= previous
+        previous = current
+
+
+@given(_pairs)
+@settings(max_examples=100, deadline=None)
+def test_cluster_pairs_covers_every_id_once(pairs):
+    ids = [str(i) for i in range(31)]
+    str_pairs = [(str(a), str(b)) for a, b in pairs if a != b]
+    clusters = cluster_pairs(ids, str_pairs)
+    seen = sorted(x for cluster in clusters for x in cluster)
+    assert seen == sorted(ids)
+
+
+@given(_pairs, st.integers(min_value=2, max_value=6))
+@settings(max_examples=100, deadline=None)
+def test_max_cluster_size_respected(pairs, max_size):
+    ids = [str(i) for i in range(31)]
+    str_pairs = [(str(a), str(b)) for a, b in pairs if a != b]
+    scores = {pair: 0.5 for pair in str_pairs}
+    clusters = cluster_pairs(ids, str_pairs, scores=scores, max_cluster_size=max_size)
+    assert all(len(cluster) <= max_size for cluster in clusters)
+    seen = sorted(x for cluster in clusters for x in cluster)
+    assert seen == sorted(ids)

@@ -1,0 +1,92 @@
+"""Tests for repro.query.engine."""
+
+import pytest
+
+from repro.entity.consolidation import ConsolidatedEntity
+from repro.errors import QueryError
+from repro.query.engine import QueryEngine
+
+
+def _entity(eid, attributes):
+    return ConsolidatedEntity(
+        entity_id=eid,
+        member_record_ids=[eid],
+        source_ids=["s"],
+        attributes=attributes,
+    )
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine(
+        [
+            _entity("e1", {"show_name": "Matilda", "theater": "Shubert",
+                           "cheapest_price": "$27"}),
+            _entity("e2", {"show_name": "Wicked", "theater": "Gershwin",
+                           "cheapest_price": "$89"}),
+            _entity("e3", {"show_name": "The Walking Dead",
+                           "text_feed": "heavily discussed on the web"}),
+        ]
+    )
+
+
+class TestQueryEngine:
+    def test_len_and_entities(self, engine):
+        assert len(engine) == 3
+        assert len(engine.entities) == 3
+
+    def test_find_equal_normalizes(self, engine):
+        assert engine.find_equal("show_name", "MATILDA").first.attributes["theater"] == "Shubert"
+        assert len(engine.find_equal("show_name", "matilda ")) == 1
+
+    def test_find_equal_no_match(self, engine):
+        result = engine.find_equal("show_name", "Hamilton")
+        assert len(result) == 0
+        assert result.first is None
+
+    def test_find_equal_ignores_missing_attribute(self, engine):
+        assert len(engine.find_equal("text_feed", "")) == 0
+
+    def test_find_where_predicate(self, engine):
+        result = engine.find_where(lambda attrs: "theater" in attrs)
+        assert len(result) == 2
+
+    def test_search_requires_all_tokens(self, engine):
+        assert len(engine.search("walking dead")) == 1
+        assert len(engine.search("walking nonexistent")) == 0
+
+    def test_search_restricted_to_attributes(self, engine):
+        assert len(engine.search("discussed", attributes=["show_name"])) == 0
+        assert len(engine.search("discussed", attributes=["text_feed"])) == 1
+
+    def test_search_empty_phrase_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.search("!!!")
+
+    def test_lookup_show_exact(self, engine):
+        result = engine.lookup_show("Matilda", name_attribute="show_name")
+        assert len(result) == 1
+
+    def test_lookup_show_falls_back_to_keyword(self, engine):
+        result = engine.lookup_show("Walking Dead", name_attribute="show_name")
+        assert len(result) == 1
+
+    def test_project(self, engine):
+        rows = engine.find_where(lambda a: True).project(["show_name"])
+        assert all(set(r) == {"show_name"} for r in rows)
+
+    def test_as_dicts(self, engine):
+        dicts = engine.find_equal("show_name", "Matilda").as_dicts()
+        assert dicts[0]["cheapest_price"] == "$27"
+
+    def test_all_attributes_union(self, engine):
+        assert "text_feed" in engine.all_attributes()
+        assert "theater" in engine.all_attributes()
+
+    def test_add_entities(self, engine):
+        engine.add_entities([_entity("e4", {"show_name": "Once"})])
+        assert len(engine) == 4
+
+    def test_iteration(self, engine):
+        result = engine.find_where(lambda a: True)
+        assert len(list(result)) == 3

@@ -1,0 +1,82 @@
+"""Tests for repro.query.fusion."""
+
+from repro.query.fusion import FusionResult, fuse_entity_views
+
+
+class TestFuseEntityViews:
+    def test_merges_attributes_from_all_views(self):
+        result = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", {"show_name": "Matilda", "text_feed": "fragment..."}),
+                ("ftable:00", {"show_name": "Matilda", "theater": "Shubert",
+                               "cheapest_price": "$27"}),
+            ],
+        )
+        assert set(result.attributes) == {
+            "show_name", "text_feed", "theater", "cheapest_price",
+        }
+        assert result.contributing_sources == ["webtext", "ftable:00"]
+
+    def test_preferred_source_wins_conflicts(self):
+        result = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", {"theater": "unknown venue"}),
+                ("ftable:00", {"theater": "Shubert"}),
+            ],
+            prefer_sources=["ftable:00"],
+        )
+        assert result.attributes["theater"] == "Shubert"
+        assert result.provenance["theater"] == "ftable:00"
+
+    def test_without_preference_first_view_wins(self):
+        result = fuse_entity_views(
+            "Matilda",
+            [("a", {"theater": "First"}), ("b", {"theater": "Second"})],
+        )
+        assert result.attributes["theater"] == "First"
+
+    def test_null_values_do_not_overwrite(self):
+        result = fuse_entity_views(
+            "Matilda",
+            [("a", {"theater": "Shubert"}), ("b", {"theater": None, "price": ""})],
+        )
+        assert result.attributes == {"theater": "Shubert"}
+
+    def test_enrichment_over_baseline_is_table6_delta(self):
+        text_only = fuse_entity_views(
+            "Matilda", [("webtext", {"show_name": "Matilda", "text_feed": "..."})]
+        )
+        fused = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", {"show_name": "Matilda", "text_feed": "..."}),
+                ("ftable", {"theater": "Shubert", "performance_schedule": "Tues 7pm",
+                            "cheapest_price": "$27", "first_performance": "3/4/2013"}),
+            ],
+        )
+        added = fused.enrichment_over(text_only)
+        assert added == [
+            "cheapest_price", "first_performance", "performance_schedule", "theater",
+        ]
+
+    def test_attributes_from_source(self):
+        result = fuse_entity_views(
+            "x",
+            [("a", {"p": 1}), ("b", {"q": 2, "r": 3})],
+        )
+        assert result.attributes_from("b") == ["q", "r"]
+
+    def test_empty_views(self):
+        result = fuse_entity_views("x", [])
+        assert result.attribute_count() == 0
+        assert result.as_dict() == {}
+
+    def test_preference_ranking_among_unlisted_sources(self):
+        result = fuse_entity_views(
+            "x",
+            [("unlisted1", {"a": 1}), ("unlisted2", {"a": 2})],
+            prefer_sources=["preferred-but-absent"],
+        )
+        assert result.attributes["a"] == 1

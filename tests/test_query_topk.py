@@ -1,0 +1,67 @@
+"""Tests for repro.query.topk."""
+
+import pytest
+
+from repro.query.topk import MentionCounter, top_k_discussed
+
+
+def _fragment(entity, entity_type="Movie"):
+    return {"entity": entity, "entity_type": entity_type, "text_feed": "..."}
+
+
+class TestMentionCounter:
+    def test_counts_mentions(self):
+        counter = MentionCounter()
+        counter.add_fragments([_fragment("Matilda")] * 3 + [_fragment("Wicked")])
+        assert counter.count_for("Matilda") == 3
+        assert counter.count_for("Wicked") == 1
+        assert counter.count_for("Absent") == 0
+
+    def test_top_ordering(self):
+        counter = MentionCounter()
+        counter.add_fragments(
+            [_fragment("A")] * 5 + [_fragment("B")] * 3 + [_fragment("C")] * 1
+        )
+        top = counter.top(2)
+        assert [m.entity for m in top] == ["A", "B"]
+        assert top[0].mentions == 5
+
+    def test_type_filter(self):
+        counter = MentionCounter()
+        counter.add_fragments(
+            [_fragment("Matilda", "Movie")] * 2 + [_fragment("Shubert", "Facility")] * 5
+        )
+        top = counter.top(10, entity_types=["Movie"])
+        assert [m.entity for m in top] == ["Matilda"]
+
+    def test_fragments_without_entity_ignored(self):
+        counter = MentionCounter()
+        counter.add_fragment({"text_feed": "no entity field"})
+        assert counter.top(5) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MentionCounter().top(0)
+
+    def test_unknown_type_label(self):
+        counter = MentionCounter()
+        counter.add_fragment({"entity": "X"})
+        assert counter.top(1)[0].entity_type == "unknown"
+
+
+class TestTopKDiscussed:
+    def test_against_collection(self, document_store):
+        collection = document_store.create_collection("instance")
+        collection.insert_many(
+            [_fragment("Matilda")] * 4
+            + [_fragment("The Walking Dead")] * 7
+            + [_fragment("Shubert", "Facility")] * 10
+        )
+        ranking = top_k_discussed(collection, k=2, entity_types=("Movie",))
+        assert [m.entity for m in ranking] == ["The Walking Dead", "Matilda"]
+        assert ranking[0].mentions == 7
+
+    def test_k_limits_results(self, document_store):
+        collection = document_store.create_collection("instance")
+        collection.insert_many([_fragment(f"Show {i}") for i in range(20)])
+        assert len(top_k_discussed(collection, k=10)) == 10

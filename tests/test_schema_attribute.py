@@ -1,0 +1,134 @@
+"""Tests for repro.schema.attribute."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.attribute import (
+    Attribute,
+    AttributeProfile,
+    infer_type,
+    profile_values,
+)
+
+
+class TestInferType:
+    def test_integers(self):
+        assert infer_type([1, 2, 3]) == "integer"
+        assert infer_type(["1", "2", "30"]) == "integer"
+
+    def test_floats(self):
+        assert infer_type([1.5, 2.5]) == "float"
+        assert infer_type(["1.5", "2.25"]) == "float"
+
+    def test_booleans(self):
+        assert infer_type([True, False, True]) == "boolean"
+        assert infer_type(["true", "false"]) == "boolean"
+
+    def test_dates(self):
+        assert infer_type(["3/4/2013", "12/25/2014"]) == "date"
+        assert infer_type(["2013-03-04", "2014-12-25"]) == "date"
+
+    def test_money(self):
+        assert infer_type(["$27", "$1,250.50"]) == "money"
+
+    def test_strings(self):
+        assert infer_type(["Matilda", "Wicked"]) == "string"
+
+    def test_mixed_falls_back_to_string(self):
+        assert infer_type(["1", "Matilda", "x", "y", "z"]) == "string"
+
+    def test_majority_wins(self):
+        assert infer_type(["1", "2", "3", "4", "oops"]) == "integer"
+
+    def test_empty_is_unknown(self):
+        assert infer_type([]) == "unknown"
+        assert infer_type([None, ""]) == "unknown"
+
+
+class TestProfileValues:
+    def test_counts(self):
+        profile = profile_values(["a", "b", "a", None, ""])
+        assert profile.non_null_count == 3
+        assert profile.null_count == 2
+        assert profile.distinct_count == 2
+        assert profile.total_count == 5
+
+    def test_null_fraction(self):
+        profile = profile_values(["a", None])
+        assert profile.null_fraction == 0.5
+
+    def test_distinct_fraction_key_like(self):
+        profile = profile_values([f"id{i}" for i in range(50)])
+        assert profile.distinct_fraction == 1.0
+
+    def test_numeric_summaries(self):
+        profile = profile_values([10, 20, 30])
+        assert profile.numeric_mean == pytest.approx(20.0)
+        assert profile.numeric_std == pytest.approx(8.1649, rel=1e-3)
+
+    def test_money_strings_count_as_numeric(self):
+        profile = profile_values(["$27", "$33"])
+        assert profile.numeric_mean == pytest.approx(30.0)
+
+    def test_token_set_built_from_values(self):
+        profile = profile_values(["Matilda Show", "Wicked Show"])
+        assert {"matilda", "wicked", "show"} <= set(profile.token_set)
+
+    def test_sample_values_capped(self):
+        profile = profile_values([f"v{i}" for i in range(100)], max_samples=10)
+        assert len(profile.sample_values) == 10
+
+    def test_empty_profile(self):
+        profile = profile_values([None, None])
+        assert profile.inferred_type == "unknown"
+        assert profile.non_null_count == 0
+        assert profile.null_fraction == 1.0
+        assert profile.distinct_fraction == 0.0
+
+    def test_mean_length(self):
+        profile = profile_values(["ab", "abcd"])
+        assert profile.mean_length == pytest.approx(3.0)
+
+
+class TestAttribute:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_add_alias_skips_self_and_empty(self):
+        attr = Attribute("show_name")
+        attr.add_alias("show_name")
+        attr.add_alias("")
+        attr.add_alias("SHOW")
+        assert attr.aliases == {"SHOW"}
+
+    def test_merge_profile_accumulates_counts(self):
+        attr = Attribute("price", profile=profile_values(["$10", "$20"]))
+        attr.merge_profile(profile_values(["$30", "$40", "$50"]))
+        assert attr.profile.non_null_count == 5
+
+    def test_merge_profile_unions_tokens(self):
+        attr = Attribute("name", profile=profile_values(["Matilda"]))
+        attr.merge_profile(profile_values(["Wicked"]))
+        assert {"matilda", "wicked"} <= set(attr.profile.token_set)
+
+    def test_merge_profile_weighted_numeric_mean(self):
+        attr = Attribute("n", profile=profile_values([10.0]))
+        attr.merge_profile(profile_values([20.0, 20.0, 20.0]))
+        assert attr.profile.numeric_mean == pytest.approx(17.5)
+
+    def test_merge_profile_keeps_known_type(self):
+        attr = Attribute("n", profile=profile_values([1, 2]))
+        attr.merge_profile(profile_values([]))
+        assert attr.profile.inferred_type == "integer"
+
+    def test_merge_into_empty_profile_adopts_other(self):
+        attr = Attribute("n")
+        attr.merge_profile(profile_values(["$10"]))
+        assert attr.profile.inferred_type == "money"
+
+    def test_merge_two_empty_profiles(self):
+        attr = Attribute("n", profile=profile_values([None]))
+        attr.merge_profile(profile_values([None, None]))
+        assert attr.profile.non_null_count == 0
+        assert attr.profile.null_count == 3

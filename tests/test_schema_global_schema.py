@@ -1,0 +1,77 @@
+"""Tests for repro.schema.global_schema."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttribute
+from repro.schema.attribute import profile_values
+from repro.schema.global_schema import GlobalSchema
+
+
+class TestGlobalSchema:
+    def test_starts_empty(self):
+        schema = GlobalSchema()
+        assert len(schema) == 0
+        assert schema.attribute_names() == []
+
+    def test_add_attribute(self):
+        schema = GlobalSchema()
+        schema.add_attribute("show_name", source_of_origin="seed")
+        assert "show_name" in schema
+        assert schema.attribute("show_name").source_of_origin == "seed"
+
+    def test_duplicate_add_rejected(self):
+        schema = GlobalSchema()
+        schema.add_attribute("x")
+        with pytest.raises(SchemaError):
+            schema.add_attribute("x")
+
+    def test_get_or_add_idempotent(self):
+        schema = GlobalSchema()
+        first = schema.get_or_add("x")
+        second = schema.get_or_add("x")
+        assert first is second
+        assert len(schema) == 1
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttribute):
+            GlobalSchema().attribute("absent")
+
+    def test_record_mapping_adds_alias_and_merges_profile(self):
+        schema = GlobalSchema()
+        schema.add_attribute("show_name", profile=profile_values(["Matilda"]))
+        schema.record_mapping(
+            "show_name", "SHOW", "src2", profile=profile_values(["Wicked"])
+        )
+        attr = schema.attribute("show_name")
+        assert "SHOW" in attr.aliases
+        assert attr.profile.non_null_count == 2
+
+    def test_lookup_alias(self):
+        schema = GlobalSchema()
+        schema.add_attribute("show_name")
+        schema.record_mapping("show_name", "SHOW", "src2")
+        assert schema.lookup_alias("SHOW") == "show_name"
+        assert schema.lookup_alias("show_name") == "show_name"
+        assert schema.lookup_alias("unrelated") is None
+
+    def test_history_records_adds_and_maps(self):
+        schema = GlobalSchema()
+        schema.add_attribute("a", source_of_origin="s1")
+        schema.record_mapping("a", "A", "s2")
+        actions = [action for _, action, _ in schema.history]
+        assert actions == ["add", "map"]
+
+    def test_attribute_names_in_insertion_order(self):
+        schema = GlobalSchema()
+        for name in ("c", "a", "b"):
+            schema.add_attribute(name)
+        assert schema.attribute_names() == ["c", "a", "b"]
+
+    def test_summary_shape(self):
+        schema = GlobalSchema("demo")
+        schema.add_attribute("x", profile=profile_values([1, 2]), source_of_origin="s1")
+        summary = schema.summary()
+        assert summary["name"] == "demo"
+        assert summary["attribute_count"] == 1
+        assert summary["attributes"]["x"]["type"] == "integer"
+        assert summary["attributes"]["x"]["origin"] == "s1"

@@ -1,0 +1,191 @@
+"""Tests for repro.schema.integrator."""
+
+import pytest
+
+from repro.config import SchemaConfig
+from repro.errors import SchemaError
+from repro.schema.global_schema import GlobalSchema
+from repro.schema.integrator import SchemaIntegrator
+from repro.schema.mapping import MappingDecision
+
+
+SEED_RECORDS = [
+    {"show_name": "Matilda", "theater": "Shubert", "cheapest_price": "$27"},
+    {"show_name": "Wicked", "theater": "Gershwin", "cheapest_price": "$89"},
+    {"show_name": "Chicago", "theater": "Ambassador", "cheapest_price": "$49"},
+]
+
+VARIANT_RECORDS = [
+    {"SHOW_NAME": "Matilda", "THEATER": "Shubert", "LOWEST_PRICE": "$27"},
+    {"SHOW_NAME": "Once", "THEATER": "Jacobs", "LOWEST_PRICE": "$35"},
+]
+
+UNRELATED_RECORDS = [
+    {"patient_id": "p1", "diagnosis": "influenza", "dosage_mg": 50},
+    {"patient_id": "p2", "diagnosis": "asthma", "dosage_mg": 20},
+]
+
+
+class TestBootstrap:
+    def test_initialize_from_source_seeds_schema(self):
+        integrator = SchemaIntegrator()
+        report = integrator.initialize_from_source("seed", SEED_RECORDS)
+        assert len(integrator.global_schema) == 3
+        assert all(
+            m.decision == MappingDecision.ADDED_TO_GLOBAL for m in report.mappings
+        )
+
+    def test_initialize_uses_canonical_names(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", VARIANT_RECORDS)
+        assert "show_name" in integrator.global_schema
+        assert "lowest_price" in integrator.global_schema
+
+    def test_initialize_twice_rejected(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        with pytest.raises(SchemaError):
+            integrator.initialize_from_source("seed2", SEED_RECORDS)
+
+    def test_integrate_on_empty_schema_bootstraps(self):
+        integrator = SchemaIntegrator()
+        integrator.integrate_source("first", SEED_RECORDS)
+        assert len(integrator.global_schema) == 3
+
+
+class TestIntegration:
+    def test_naming_variants_map_onto_existing_attributes(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source("variant", VARIANT_RECORDS)
+        translation = report.translation()
+        assert translation["SHOW_NAME"] == "show_name"
+        assert translation["THEATER"] == "theater"
+
+    def test_unrelated_attributes_added_as_new(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source("medical", UNRELATED_RECORDS)
+        added = [
+            m for m in report.mappings
+            if m.decision == MappingDecision.ADDED_TO_GLOBAL
+        ]
+        assert len(added) == 3
+        assert "diagnosis" in integrator.global_schema
+
+    def test_new_attributes_can_be_disallowed(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source(
+            "medical", UNRELATED_RECORDS, allow_new_attributes=False
+        )
+        assert all(
+            m.decision in (MappingDecision.IGNORED, MappingDecision.AUTO_ACCEPT)
+            for m in report.mappings
+        )
+        assert "diagnosis" not in integrator.global_schema
+
+    def test_alias_short_circuits_matching(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        integrator.integrate_source("variant", VARIANT_RECORDS)
+        # the second time the same local names arrive, they are known aliases
+        report = integrator.integrate_source("variant2", VARIANT_RECORDS)
+        mapping = report.mapping_for("SHOW_NAME")
+        assert mapping.decision == MappingDecision.AUTO_ACCEPT
+        assert mapping.global_attribute == "show_name"
+
+    def test_candidates_are_sorted_best_first(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source("variant", VARIANT_RECORDS)
+        for mapping in report.mappings:
+            scores = [score for _, score in mapping.candidates]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_reports_accumulate(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        integrator.integrate_source("a", VARIANT_RECORDS)
+        integrator.integrate_source("b", UNRELATED_RECORDS)
+        assert [r.source_id for r in integrator.reports] == ["seed", "a", "b"]
+
+    def test_score_against_schema_sorted(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        profiles = integrator.profile_source(VARIANT_RECORDS)
+        scored = integrator.score_against_schema("SHOW_NAME", profiles["SHOW_NAME"])
+        assert scored[0][0] == "show_name"
+        composites = [s.composite for _, s in scored]
+        assert composites == sorted(composites, reverse=True)
+
+
+class TestExpertEscalation:
+    def _uncertain_config(self):
+        # thresholds arranged so the variant names fall into the expert band
+        return SchemaConfig(
+            accept_threshold=0.97, new_attribute_threshold=0.2,
+            matcher_weights={"name": 1.0},
+        )
+
+    def test_expert_confirmation_maps_attribute(self):
+        calls = []
+
+        def expert(source_attr, candidate, score):
+            calls.append((source_attr, candidate))
+            return True
+
+        integrator = SchemaIntegrator(config=self._uncertain_config(), expert=expert)
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source("variant", [{"THE_SHOW": "Matilda"}])
+        mapping = report.mapping_for("THE_SHOW")
+        assert calls, "expert should have been consulted"
+        assert mapping.decision == MappingDecision.EXPERT_CONFIRMED
+
+    def test_expert_rejection_adds_new_attribute(self):
+        integrator = SchemaIntegrator(
+            config=self._uncertain_config(), expert=lambda *a: False
+        )
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source("variant", [{"THE_SHOW": "Matilda"}])
+        mapping = report.mapping_for("THE_SHOW")
+        assert mapping.decision == MappingDecision.ADDED_TO_GLOBAL
+        assert "the_show" in integrator.global_schema
+
+    def test_expert_rejection_without_new_attributes_allowed(self):
+        integrator = SchemaIntegrator(
+            config=self._uncertain_config(), expert=lambda *a: False
+        )
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        report = integrator.integrate_source(
+            "variant", [{"THE_SHOW": "Matilda"}], allow_new_attributes=False
+        )
+        assert report.mapping_for("THE_SHOW").decision == MappingDecision.EXPERT_REJECTED
+
+    def test_escalation_disabled_skips_expert(self):
+        calls = []
+        config = SchemaConfig(
+            accept_threshold=0.97,
+            new_attribute_threshold=0.2,
+            matcher_weights={"name": 1.0},
+            use_expert_escalation=False,
+        )
+        integrator = SchemaIntegrator(
+            config=config, expert=lambda *a: calls.append(a) or True
+        )
+        integrator.initialize_from_source("seed", SEED_RECORDS)
+        integrator.integrate_source("variant", [{"THE_SHOW": "Matilda"}])
+        assert calls == []
+
+
+class TestCanonicalCollisions:
+    def test_same_canonical_name_from_two_sources_becomes_alias(self):
+        integrator = SchemaIntegrator()
+        integrator.initialize_from_source("seed", UNRELATED_RECORDS)
+        # "Patient ID" canonicalizes to patient_id which already exists
+        report = integrator.integrate_source(
+            "other", [{"Patient ID": "p3", "blood_type": "A"}]
+        )
+        assert "patient_id" in integrator.global_schema
+        assert len([n for n in integrator.global_schema.attribute_names()
+                    if "patient" in n]) == 1

@@ -1,0 +1,63 @@
+"""Tests for repro.schema.mapping."""
+
+from repro.schema.mapping import (
+    AttributeMapping,
+    MappingDecision,
+    SourceMappingReport,
+)
+
+
+def _mapping(attr, target, decision):
+    return AttributeMapping(
+        source_attribute=attr, global_attribute=target, decision=decision
+    )
+
+
+class TestAttributeMapping:
+    def test_is_mapped_for_positive_decisions(self):
+        assert _mapping("a", "x", MappingDecision.AUTO_ACCEPT).is_mapped
+        assert _mapping("a", "x", MappingDecision.EXPERT_CONFIRMED).is_mapped
+        assert _mapping("a", "a", MappingDecision.ADDED_TO_GLOBAL).is_mapped
+
+    def test_not_mapped_for_negative_decisions(self):
+        assert not _mapping("a", None, MappingDecision.IGNORED).is_mapped
+        assert not _mapping("a", None, MappingDecision.EXPERT_REJECTED).is_mapped
+
+
+class TestSourceMappingReport:
+    def _report(self):
+        return SourceMappingReport(
+            source_id="s",
+            mappings=[
+                _mapping("a", "x", MappingDecision.AUTO_ACCEPT),
+                _mapping("b", "y", MappingDecision.EXPERT_CONFIRMED),
+                _mapping("c", None, MappingDecision.EXPERT_REJECTED),
+                _mapping("d", "d", MappingDecision.ADDED_TO_GLOBAL),
+            ],
+        )
+
+    def test_translation_only_includes_mapped(self):
+        assert self._report().translation() == {"a": "x", "b": "y", "d": "d"}
+
+    def test_mapping_for(self):
+        report = self._report()
+        assert report.mapping_for("a").global_attribute == "x"
+        assert report.mapping_for("zzz") is None
+
+    def test_count_by_decision(self):
+        counts = self._report().count_by_decision()
+        assert counts["auto_accept"] == 1
+        assert counts["expert_confirmed"] == 1
+        assert counts["expert_rejected"] == 1
+        assert counts["added_to_global"] == 1
+
+    def test_auto_accept_rate(self):
+        assert self._report().auto_accept_rate == 0.25
+
+    def test_escalation_rate_counts_both_expert_outcomes(self):
+        assert self._report().escalation_rate == 0.5
+
+    def test_empty_report_rates(self):
+        empty = SourceMappingReport(source_id="s")
+        assert empty.auto_accept_rate == 0.0
+        assert empty.escalation_rate == 0.0

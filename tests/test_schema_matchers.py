@@ -1,0 +1,185 @@
+"""Tests for repro.schema.matchers."""
+
+import pytest
+
+from repro.schema.attribute import profile_values
+from repro.schema.matchers import (
+    CompositeMatcher,
+    canonical_attribute_name,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_ratio,
+    name_similarity,
+    ngram_similarity,
+    normalize_attribute_name,
+    numeric_profile_similarity,
+    type_compatibility,
+    value_overlap_similarity,
+)
+
+
+class TestNormalizeAttributeName:
+    def test_snake_case(self):
+        assert normalize_attribute_name("SHOW_NAME") == "show name"
+
+    def test_camel_case(self):
+        assert normalize_attribute_name("showName") == "show name"
+        assert normalize_attribute_name("cheapestPrice2") == "cheapest price2"
+
+    def test_dashes_and_dots(self):
+        assert normalize_attribute_name("show-name.full") == "show name full"
+
+    def test_none(self):
+        assert normalize_attribute_name(None) == ""
+
+    def test_canonical_form(self):
+        assert canonical_attribute_name("SHOW_NAME") == "show_name"
+        assert canonical_attribute_name("Performance Times") == "performance_times"
+        assert canonical_attribute_name("showName") == "show_name"
+
+
+class TestLevenshtein:
+    def test_distance_known_values(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_ratio_bounds(self):
+        assert levenshtein_ratio("abc", "abc") == 1.0
+        assert levenshtein_ratio("abc", "xyz") == 0.0
+        assert 0 < levenshtein_ratio("theater", "theatre") < 1
+
+    def test_ratio_empty_strings(self):
+        assert levenshtein_ratio("", "") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("abc", "abc") == 1.0
+        assert jaro_winkler("abc", "abc") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_known_pair(self):
+        # classic example: MARTHA / MARHTA
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("theater", "theatre")
+        winkler = jaro_winkler("theater", "theatre")
+        assert winkler >= plain
+
+    def test_symmetry(self):
+        assert jaro_winkler("show", "shows") == pytest.approx(
+            jaro_winkler("shows", "show")
+        )
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({1}, set()) == 0.0
+
+    def test_ngram_similarity(self):
+        assert ngram_similarity("theater", "theater") == 1.0
+        assert ngram_similarity("theater", "theatre") > 0.3
+        assert ngram_similarity("abc", "xyz") == 0.0
+
+
+class TestNameSimilarity:
+    def test_identical_names(self):
+        assert name_similarity("show_name", "show_name") == 1.0
+
+    def test_convention_variants_score_high(self):
+        assert name_similarity("SHOW_NAME", "showName") == 1.0
+        assert name_similarity("Performance Times", "performance_times") == 1.0
+
+    def test_synonym_like_partial_overlap(self):
+        assert name_similarity("show_name", "show") > 0.4
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("cheapest_price", "neighborhood") < 0.5
+
+    def test_empty_names(self):
+        assert name_similarity("", "") == 1.0
+        assert name_similarity("x", "") == 0.0
+
+
+class TestProfileSimilarities:
+    def test_value_overlap_detects_shared_domain(self):
+        shows_a = profile_values(["Matilda", "Wicked", "Chicago"])
+        shows_b = profile_values(["Matilda", "Once", "Wicked"])
+        prices = profile_values(["$27", "$89", "$120"])
+        assert value_overlap_similarity(shows_a, shows_b) > value_overlap_similarity(
+            shows_a, prices
+        )
+
+    def test_value_overlap_empty_profiles(self):
+        empty = profile_values([])
+        assert value_overlap_similarity(empty, empty) == 0.0
+
+    def test_type_compatibility(self):
+        ints = profile_values([1, 2, 3])
+        floats = profile_values([1.5, 2.5])
+        strings = profile_values(["a", "b"])
+        unknown = profile_values([])
+        assert type_compatibility(ints, ints) == 1.0
+        assert type_compatibility(ints, floats) == pytest.approx(0.7)
+        assert type_compatibility(ints, strings) == 0.0
+        assert type_compatibility(ints, unknown) == 0.5
+
+    def test_numeric_profile_similarity(self):
+        a = profile_values([100, 110, 90])
+        b = profile_values([105, 95, 100])
+        c = profile_values([10000, 9000])
+        assert numeric_profile_similarity(a, b) > numeric_profile_similarity(a, c)
+
+    def test_numeric_profile_falls_back_to_length(self):
+        a = profile_values(["abcd", "efgh"])
+        b = profile_values(["ijkl", "mnop"])
+        assert numeric_profile_similarity(a, b) == 1.0
+
+
+class TestCompositeMatcher:
+    def test_score_fields_present(self):
+        matcher = CompositeMatcher()
+        score = matcher.score(
+            "SHOW_NAME", profile_values(["Matilda"]),
+            "show_name", profile_values(["Matilda", "Wicked"]),
+        )
+        assert set(score.as_dict()) == {"name", "value", "type", "stats", "composite"}
+        assert 0.0 <= score.composite <= 1.0
+
+    def test_same_attribute_scores_near_one(self):
+        matcher = CompositeMatcher()
+        profile = profile_values(["Matilda", "Wicked", "Chicago"])
+        score = matcher.score("show_name", profile, "show_name", profile)
+        assert score.composite > 0.9
+
+    def test_unrelated_attributes_score_low(self):
+        matcher = CompositeMatcher()
+        score = matcher.score(
+            "cheapest_price", profile_values(["$27", "$89"]),
+            "neighborhood", profile_values(["Midtown", "Chelsea"]),
+        )
+        assert score.composite < 0.5
+
+    def test_weights_are_normalized(self):
+        matcher = CompositeMatcher({"name": 2.0, "value": 2.0})
+        assert sum(matcher.weights.values()) == pytest.approx(1.0)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMatcher({"name": 0.0})
+
+    def test_name_weight_dominates_when_configured(self):
+        name_only = CompositeMatcher({"name": 1.0})
+        score = name_only.score(
+            "show_name", profile_values(["a"]), "show_name", profile_values(["zzz"])
+        )
+        assert score.composite == pytest.approx(score.name)

@@ -1,0 +1,257 @@
+"""Tests for repro.storage.document_store."""
+
+import pytest
+
+from repro.config import StorageConfig
+from repro.errors import (
+    CollectionExists,
+    CollectionNotFound,
+    DocumentNotFound,
+    DuplicateDocumentId,
+    IndexError_,
+)
+from repro.storage.document_store import Collection, DocumentStore, document_size_bytes
+
+
+@pytest.fixture
+def collection(storage_config) -> Collection:
+    return DocumentStore("dt", storage_config).create_collection("instance")
+
+
+class TestDocumentSize:
+    def test_deterministic(self):
+        doc = {"a": 1, "b": "text"}
+        assert document_size_bytes(doc) == document_size_bytes(dict(doc))
+
+    def test_larger_documents_are_larger(self):
+        assert document_size_bytes({"a": "x" * 100}) > document_size_bytes({"a": "x"})
+
+
+class TestInsert:
+    def test_insert_assigns_id(self, collection):
+        doc_id = collection.insert({"text": "hello"})
+        assert doc_id is not None
+        assert doc_id in collection
+
+    def test_insert_preserves_explicit_id(self, collection):
+        doc_id = collection.insert({"_id": "custom", "x": 1})
+        assert doc_id == "custom"
+        assert collection.get("custom")["x"] == 1
+
+    def test_duplicate_id_rejected(self, collection):
+        collection.insert({"_id": "a"})
+        with pytest.raises(DuplicateDocumentId):
+            collection.insert({"_id": "a"})
+
+    def test_non_dict_rejected(self, collection):
+        with pytest.raises(TypeError):
+            collection.insert(["not", "a", "dict"])
+
+    def test_insert_many_returns_ids_in_order(self, collection):
+        ids = collection.insert_many([{"n": i} for i in range(5)])
+        assert len(ids) == 5
+        assert [collection.get(i)["n"] for i in ids] == list(range(5))
+
+    def test_insert_does_not_mutate_caller_dict(self, collection):
+        original = {"x": 1}
+        collection.insert(original)
+        assert "_id" not in original
+
+
+class TestReads:
+    def test_get_returns_copy(self, collection):
+        doc_id = collection.insert({"x": 1})
+        fetched = collection.get(doc_id)
+        fetched["x"] = 999
+        assert collection.get(doc_id)["x"] == 1
+
+    def test_get_missing_raises(self, collection):
+        with pytest.raises(DocumentNotFound):
+            collection.get("missing")
+
+    def test_find_with_equality_filter(self, collection):
+        collection.insert_many(
+            [{"type": "Movie", "n": i} for i in range(3)]
+            + [{"type": "Person", "n": 9}]
+        )
+        movies = collection.find({"type": "Movie"})
+        assert len(movies) == 3
+
+    def test_find_uses_index_when_available(self, collection):
+        collection.create_index("type")
+        collection.insert_many([{"type": t} for t in ("A", "B", "A")])
+        assert len(collection.find({"type": "A"})) == 2
+
+    def test_find_with_predicate(self, collection):
+        collection.insert_many([{"n": i} for i in range(10)])
+        big = collection.find(predicate=lambda d: d["n"] >= 7)
+        assert len(big) == 3
+
+    def test_find_with_limit(self, collection):
+        collection.insert_many([{"n": i} for i in range(10)])
+        assert len(collection.find(limit=4)) == 4
+
+    def test_find_one(self, collection):
+        collection.insert({"type": "Movie", "name": "Matilda"})
+        assert collection.find_one({"type": "Movie"})["name"] == "Matilda"
+        assert collection.find_one({"type": "Nothing"}) is None
+
+    def test_scan_yields_all(self, collection):
+        collection.insert_many([{"n": i} for i in range(7)])
+        assert len(list(collection.scan())) == 7
+
+    def test_distinct(self, collection):
+        collection.insert_many([{"t": "a"}, {"t": "b"}, {"t": "a"}])
+        assert collection.distinct("t") == {"a", "b"}
+
+    def test_count_with_filter(self, collection):
+        collection.insert_many([{"t": "a"}, {"t": "b"}, {"t": "a"}])
+        assert collection.count() == 3
+        assert collection.count({"t": "a"}) == 2
+
+
+class TestUpdateDelete:
+    def test_update_changes_value_and_keeps_id(self, collection):
+        doc_id = collection.insert({"x": 1})
+        updated = collection.update(doc_id, {"x": 2, "y": 3})
+        assert updated["x"] == 2 and updated["y"] == 3
+        assert updated["_id"] == doc_id
+
+    def test_update_missing_raises(self, collection):
+        with pytest.raises(DocumentNotFound):
+            collection.update("nope", {"x": 1})
+
+    def test_update_refreshes_indexes(self, collection):
+        collection.create_index("type")
+        doc_id = collection.insert({"type": "A"})
+        collection.update(doc_id, {"type": "B"})
+        assert collection.find({"type": "A"}) == []
+        assert len(collection.find({"type": "B"})) == 1
+
+    def test_delete_removes_document(self, collection):
+        doc_id = collection.insert({"x": 1})
+        collection.delete(doc_id)
+        assert doc_id not in collection
+        with pytest.raises(DocumentNotFound):
+            collection.get(doc_id)
+
+    def test_delete_missing_raises(self, collection):
+        with pytest.raises(DocumentNotFound):
+            collection.delete("nope")
+
+    def test_delete_removes_from_index(self, collection):
+        collection.create_index("type")
+        doc_id = collection.insert({"type": "A"})
+        collection.delete(doc_id)
+        assert collection.find({"type": "A"}) == []
+
+
+class TestIndexes:
+    def test_create_index_backfills(self, collection):
+        collection.insert_many([{"type": "A"}, {"type": "B"}])
+        collection.create_index("type")
+        assert len(collection.find({"type": "A"})) == 1
+
+    def test_create_index_idempotent(self, collection):
+        first = collection.create_index("type")
+        second = collection.create_index("type")
+        assert first is second
+
+    def test_text_index_backfills_and_searches(self, collection):
+        collection.insert({"text_feed": "Matilda grossed 960,998 this week"})
+        collection.create_text_index("text_feed")
+        hits = collection.search_text("text_feed", "Matilda grossed")
+        assert len(hits) == 1
+
+    def test_search_text_without_index_raises(self, collection):
+        with pytest.raises(IndexError_):
+            collection.search_text("text_feed", "anything")
+
+    def test_index_fields_lists_all(self, collection):
+        collection.create_index("type")
+        collection.create_text_index("text_feed")
+        assert set(collection.index_fields) >= {"_id", "type", "text_feed"}
+
+    def test_hash_index_accessor_raises_when_missing(self, collection):
+        with pytest.raises(IndexError_):
+            collection.hash_index("nothing")
+
+
+class TestStats:
+    def test_stats_fields_match_paper_tables(self, collection):
+        collection.insert_many([{"text": "x" * 100} for _ in range(50)])
+        stats = collection.stats().as_dict()
+        for field in ("ns", "count", "numExtents", "nindexes", "lastExtentSize", "totalIndexSize"):
+            assert field in stats
+        assert stats["ns"] == "dt.instance"
+        assert stats["count"] == 50
+        assert stats["numExtents"] >= 1
+        assert stats["nindexes"] >= 1
+
+    def test_more_documents_more_extents(self, storage_config):
+        store = DocumentStore("dt", storage_config)
+        small = store.create_collection("small")
+        large = store.create_collection("large")
+        payload = {"text": "y" * 500}
+        small.insert_many([dict(payload) for _ in range(20)])
+        large.insert_many([dict(payload) for _ in range(200)])
+        assert large.stats().num_extents > small.stats().num_extents
+
+    def test_nindexes_counts_text_indexes(self, collection):
+        base = collection.stats().nindexes
+        collection.create_text_index("text_feed")
+        assert collection.stats().nindexes == base + 1
+
+    def test_shard_distribution_sums_to_count(self, collection):
+        collection.insert_many([{"n": i} for i in range(40)])
+        assert sum(collection.shard_distribution()) == 40
+
+    def test_extents_per_shard_matches_total(self, collection):
+        collection.insert_many([{"text": "z" * 400} for _ in range(60)])
+        stats = collection.stats()
+        assert sum(collection.extents_per_shard()) == stats.num_extents
+
+
+class TestDocumentStore:
+    def test_create_and_get(self, document_store):
+        created = document_store.create_collection("instance")
+        assert document_store.collection("instance") is created
+
+    def test_duplicate_create_rejected(self, document_store):
+        document_store.create_collection("x")
+        with pytest.raises(CollectionExists):
+            document_store.create_collection("x")
+
+    def test_missing_collection_raises(self, document_store):
+        with pytest.raises(CollectionNotFound):
+            document_store.collection("absent")
+
+    def test_get_or_create(self, document_store):
+        first = document_store.get_or_create("a")
+        second = document_store.get_or_create("a")
+        assert first is second
+
+    def test_drop_collection(self, document_store):
+        document_store.create_collection("a")
+        document_store.drop_collection("a")
+        assert "a" not in document_store
+        with pytest.raises(CollectionNotFound):
+            document_store.drop_collection("a")
+
+    def test_list_collections_sorted(self, document_store):
+        for name in ("zeta", "alpha", "mid"):
+            document_store.create_collection(name)
+        assert document_store.list_collections() == ["alpha", "mid", "zeta"]
+
+    def test_stats_covers_all_collections(self, document_store):
+        document_store.create_collection("a").insert({"x": 1})
+        document_store.create_collection("b")
+        stats = document_store.stats()
+        assert set(stats) == {"a", "b"}
+        assert stats["a"].count == 1
+        assert stats["b"].count == 0
+
+    def test_namespace_prefix(self, storage_config):
+        store = DocumentStore("mydb", storage_config)
+        coll = store.create_collection("c")
+        assert coll.namespace == "mydb.c"

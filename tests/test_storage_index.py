@@ -1,0 +1,132 @@
+"""Tests for repro.storage.index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.storage.index import HashIndex, InvertedIndex
+
+
+class TestHashIndex:
+    def test_requires_field_name(self):
+        with pytest.raises(IndexError_):
+            HashIndex("")
+
+    def test_add_and_lookup(self):
+        index = HashIndex("type")
+        index.add(1, {"type": "Movie"})
+        index.add(2, {"type": "Movie"})
+        index.add(3, {"type": "Person"})
+        assert index.lookup("Movie") == [1, 2]
+        assert index.lookup("Person") == [3]
+
+    def test_lookup_missing_value_returns_empty(self):
+        index = HashIndex("type")
+        assert index.lookup("nothing") == []
+
+    def test_document_without_field_is_skipped(self):
+        index = HashIndex("type")
+        index.add(1, {"name": "x"})
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = HashIndex("type")
+        index.add(1, {"type": "Movie"})
+        index.remove(1)
+        assert index.lookup("Movie") == []
+        assert len(index) == 0
+
+    def test_remove_unknown_is_noop(self):
+        index = HashIndex("type")
+        index.remove(99)
+
+    def test_list_values_are_made_hashable(self):
+        index = HashIndex("tags")
+        index.add(1, {"tags": ["a", "b"]})
+        assert index.lookup(["a", "b"]) == [1]
+
+    def test_dict_values_are_made_hashable(self):
+        index = HashIndex("span")
+        index.add(1, {"span": {"start": 0, "end": 5}})
+        assert index.lookup({"start": 0, "end": 5}) == [1]
+
+    def test_values_lists_distinct(self):
+        index = HashIndex("type")
+        index.add(1, {"type": "A"})
+        index.add(2, {"type": "A"})
+        index.add(3, {"type": "B"})
+        assert sorted(index.values()) == ["A", "B"]
+
+    def test_size_bytes_positive_when_populated(self):
+        index = HashIndex("type")
+        index.add(1, {"type": "Movie"})
+        assert index.size_bytes() > 0
+
+
+class TestInvertedIndex:
+    def test_requires_field_name(self):
+        with pytest.raises(IndexError_):
+            InvertedIndex("")
+
+    def test_lookup_is_case_insensitive(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "Matilda grossed strongly"})
+        assert index.lookup("MATILDA") == {1}
+
+    def test_lookup_all_requires_every_term(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "Matilda at the Shubert"})
+        index.add(2, {"text": "Matilda in London"})
+        assert index.lookup_all(["matilda", "shubert"]) == {1}
+        assert index.lookup_all(["matilda"]) == {1, 2}
+
+    def test_lookup_all_disjoint_terms_empty(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "only one thing"})
+        assert index.lookup_all(["only", "absent"]) == set()
+
+    def test_lookup_phrase_tokenizes(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "The Walking Dead is discussed"})
+        assert index.lookup_phrase("Walking Dead") == {1}
+
+    def test_term_frequency_counts_occurrences(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "show show show"})
+        index.add(2, {"text": "show"})
+        assert index.term_frequency("show") == 4
+
+    def test_document_frequency_counts_documents(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "show show"})
+        index.add(2, {"text": "show"})
+        assert index.document_frequency("show") == 2
+
+    def test_remove_drops_terms(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "matilda"})
+        index.remove(1)
+        assert index.lookup("matilda") == set()
+        assert index.term_frequency("matilda") == 0
+
+    def test_missing_field_skipped(self):
+        index = InvertedIndex("text")
+        index.add(1, {"other": "value"})
+        assert len(index) == 0
+
+    def test_top_terms_ordering(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "aaa bbb aaa aaa bbb ccc"})
+        top = index.top_terms(2)
+        assert top[0] == ("aaa", 3)
+        assert top[1] == ("bbb", 2)
+
+    def test_empty_term_lookup(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "something"})
+        assert index.lookup("!!!") == set()
+        assert index.term_frequency("") == 0
+
+    def test_size_bytes_positive_when_populated(self):
+        index = InvertedIndex("text")
+        index.add(1, {"text": "a few words here"})
+        assert index.size_bytes() > 0

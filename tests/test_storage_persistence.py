@@ -1,0 +1,121 @@
+"""Tests for repro.storage.persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.document_store import DocumentStore
+from repro.storage.persistence import (
+    dump_collection,
+    dump_store,
+    load_collection,
+    load_store,
+)
+
+
+@pytest.fixture
+def populated_store(storage_config):
+    store = DocumentStore("dt", storage_config)
+    instance = store.create_collection("instance")
+    instance.insert_many(
+        [{"text_feed": f"fragment {i}", "entity": "Matilda"} for i in range(25)]
+    )
+    instance.create_text_index("text_feed")
+    entity = store.create_collection("entity")
+    entity.insert_many([{"entity.name": "Matilda", "entity.type": "Movie"}])
+    entity.create_index("entity.type")
+    return store
+
+
+class TestDumpLoadCollection:
+    def test_roundtrip_counts_and_content(self, populated_store, tmp_path, storage_config):
+        path = tmp_path / "instance.jsonl"
+        written = dump_collection(populated_store.collection("instance"), path)
+        assert written == 25
+
+        target = DocumentStore("dt", storage_config).create_collection("instance")
+        loaded = load_collection(target, path)
+        assert loaded == 25
+        assert target.count() == 25
+        doc = target.find_one({"entity": "Matilda"})
+        assert doc is not None and doc["text_feed"].startswith("fragment")
+
+    def test_load_missing_file(self, document_store, tmp_path):
+        collection = document_store.create_collection("c")
+        with pytest.raises(StorageError):
+            load_collection(collection, tmp_path / "nope.jsonl")
+
+    def test_load_invalid_json_raises(self, document_store, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        collection = document_store.create_collection("c")
+        with pytest.raises(StorageError, match="invalid JSON"):
+            load_collection(collection, path)
+
+    def test_load_skip_invalid(self, document_store, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n[1,2]\n{"ok": 2}\n', encoding="utf-8")
+        collection = document_store.create_collection("c")
+        assert load_collection(collection, path, skip_invalid=True) == 2
+
+    def test_non_serializable_values_stringified(self, document_store, tmp_path):
+        collection = document_store.create_collection("c")
+        collection.insert({"value": {1, 2, 3}})
+        path = tmp_path / "c.jsonl"
+        dump_collection(collection, path)
+        line = json.loads(path.read_text().strip())
+        assert isinstance(line["value"], str)
+
+
+class TestDumpLoadStore:
+    def test_roundtrip_preserves_collections_and_indexes(self, populated_store, tmp_path):
+        counts = dump_store(populated_store, tmp_path / "dump")
+        assert counts == {"instance": 25, "entity": 1}
+
+        restored = load_store(tmp_path / "dump")
+        assert restored.namespace == "dt"
+        assert set(restored.list_collections()) == {"instance", "entity"}
+        assert restored.collection("instance").count() == 25
+        # text index rebuilt and usable
+        hits = restored.collection("instance").search_text("text_feed", "fragment 3")
+        assert hits
+        # hash index rebuilt
+        assert restored.collection("entity").find({"entity.type": "Movie"})
+
+    def test_manifest_written(self, populated_store, tmp_path):
+        dump_store(populated_store, tmp_path / "dump")
+        manifest = json.loads((tmp_path / "dump" / "manifest.json").read_text())
+        assert manifest["namespace"] == "dt"
+        assert manifest["collections"]["instance"]["count"] == 25
+        assert "text_feed" in manifest["collections"]["instance"]["indexes"]["text"]
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_store(tmp_path)
+
+    def test_load_bad_format_version(self, populated_store, tmp_path):
+        dump_store(populated_store, tmp_path / "dump")
+        manifest_path = tmp_path / "dump" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="format version"):
+            load_store(tmp_path / "dump")
+
+    def test_count_mismatch_detected(self, populated_store, tmp_path):
+        dump_store(populated_store, tmp_path / "dump")
+        # truncate the data file to force a mismatch
+        data_path = tmp_path / "dump" / "instance.jsonl"
+        lines = data_path.read_text().splitlines()
+        data_path.write_text("\n".join(lines[:10]) + "\n")
+        with pytest.raises(StorageError, match="manifest says"):
+            load_store(tmp_path / "dump")
+
+    def test_stats_survive_roundtrip_shape(self, populated_store, tmp_path):
+        dump_store(populated_store, tmp_path / "dump")
+        restored = load_store(tmp_path / "dump")
+        original = populated_store.collection("instance").stats()
+        loaded = restored.collection("instance").stats()
+        assert loaded.count == original.count
+        assert loaded.nindexes == original.nindexes

@@ -1,0 +1,206 @@
+"""Tests for repro.storage.relational."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.storage.relational import Column, RelationalStore, Table
+
+
+@pytest.fixture
+def shows_table() -> Table:
+    table = Table(
+        "shows",
+        [
+            Column("name", "string", nullable=False),
+            Column("price", "float"),
+            Column("seats", "integer"),
+            Column("open", "boolean"),
+        ],
+    )
+    table.insert_many(
+        [
+            {"name": "Matilda", "price": 27.0, "seats": 1460, "open": True},
+            {"name": "Wicked", "price": 89.0, "seats": 1900, "open": True},
+            {"name": "Once", "price": 45.5, "seats": 1100, "open": False},
+        ]
+    )
+    return table
+
+
+class TestColumn:
+    def test_rejects_empty_name(self):
+        with pytest.raises(TableError):
+            Column("", "string")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TableError):
+            Column("x", "blob")
+
+    def test_accepts_by_type(self):
+        assert Column("x", "integer").accepts(5)
+        assert not Column("x", "integer").accepts(5.5)
+        assert not Column("x", "integer").accepts(True)
+        assert Column("x", "float").accepts(5)
+        assert Column("x", "boolean").accepts(False)
+        assert Column("x", "string").accepts("text")
+        assert not Column("x", "string").accepts(3)
+
+    def test_nullability(self):
+        assert Column("x", "string", nullable=True).accepts(None)
+        assert not Column("x", "string", nullable=False).accepts(None)
+
+
+class TestTableBasics:
+    def test_requires_columns(self):
+        with pytest.raises(TableError):
+            Table("t", [])
+
+    def test_rejects_duplicate_column_names(self):
+        with pytest.raises(TableError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_insert_unknown_column_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.insert({"name": "X", "bogus": 1})
+
+    def test_insert_missing_not_nullable_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.insert({"price": 10.0})
+
+    def test_insert_type_mismatch_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.insert({"name": "X", "seats": "many"})
+
+    def test_missing_nullable_defaults_to_none(self, shows_table):
+        shows_table.insert({"name": "Pippin"})
+        row = shows_table.select(where=lambda r: r["name"] == "Pippin")[0]
+        assert row["price"] is None
+
+    def test_len_counts_rows(self, shows_table):
+        assert len(shows_table) == 3
+
+    def test_add_column_backfills_none(self, shows_table):
+        shows_table.add_column(Column("genre", "string"))
+        assert all(row["genre"] is None for row in shows_table.scan())
+
+    def test_add_column_duplicate_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.add_column(Column("name", "string"))
+
+    def test_add_column_not_nullable_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.add_column(Column("genre", "string", nullable=False))
+
+
+class TestSelect:
+    def test_select_all(self, shows_table):
+        assert len(shows_table.select()) == 3
+
+    def test_select_where(self, shows_table):
+        cheap = shows_table.select(where=lambda r: r["price"] < 50)
+        assert {r["name"] for r in cheap} == {"Matilda", "Once"}
+
+    def test_select_projection(self, shows_table):
+        rows = shows_table.select(columns=["name"])
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_select_projection_unknown_column(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.select(columns=["bogus"])
+
+    def test_select_order_by(self, shows_table):
+        rows = shows_table.select(order_by="price")
+        assert [r["name"] for r in rows] == ["Matilda", "Once", "Wicked"]
+
+    def test_select_order_by_descending(self, shows_table):
+        rows = shows_table.select(order_by="price", descending=True)
+        assert rows[0]["name"] == "Wicked"
+
+    def test_select_order_by_unknown_column(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.select(order_by="bogus")
+
+    def test_select_limit(self, shows_table):
+        assert len(shows_table.select(limit=2)) == 2
+
+    def test_select_returns_copies(self, shows_table):
+        row = shows_table.select()[0]
+        row["name"] = "tampered"
+        assert "tampered" not in {r["name"] for r in shows_table.scan()}
+
+    def test_order_by_pushes_nulls_last(self, shows_table):
+        shows_table.insert({"name": "NoPrice"})
+        rows = shows_table.select(order_by="price")
+        assert rows[-1]["name"] == "NoPrice"
+
+
+class TestMutations:
+    def test_update_where(self, shows_table):
+        changed = shows_table.update_where(
+            lambda r: r["name"] == "Matilda", {"price": 30.0}
+        )
+        assert changed == 1
+        assert shows_table.select(where=lambda r: r["name"] == "Matilda")[0]["price"] == 30.0
+
+    def test_update_unknown_column_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.update_where(lambda r: True, {"bogus": 1})
+
+    def test_update_type_mismatch_rejected(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.update_where(lambda r: True, {"seats": "lots"})
+
+    def test_delete_where(self, shows_table):
+        removed = shows_table.delete_where(lambda r: not r["open"])
+        assert removed == 1
+        assert len(shows_table) == 2
+
+
+class TestAggregation:
+    def test_count_with_predicate(self, shows_table):
+        assert shows_table.count(lambda r: r["open"]) == 2
+
+    def test_distinct_preserves_first_seen_order(self, shows_table):
+        shows_table.insert({"name": "Matilda", "price": 99.0})
+        assert shows_table.distinct("name") == ["Matilda", "Wicked", "Once"]
+
+    def test_distinct_unknown_column(self, shows_table):
+        with pytest.raises(TableError):
+            shows_table.distinct("bogus")
+
+    def test_aggregate(self, shows_table):
+        assert shows_table.aggregate("seats", sum) == 1460 + 1900 + 1100
+        assert shows_table.aggregate("price", min) == 27.0
+
+
+class TestRelationalStore:
+    def test_create_and_get(self):
+        store = RelationalStore()
+        table = store.create_table("t", [Column("a")])
+        assert store.table("t") is table
+        assert store.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        store = RelationalStore()
+        store.create_table("t", [Column("a")])
+        with pytest.raises(TableError):
+            store.create_table("t", [Column("a")])
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableError):
+            RelationalStore().table("none")
+
+    def test_drop_table(self):
+        store = RelationalStore()
+        store.create_table("t", [Column("a")])
+        store.drop_table("t")
+        assert not store.has_table("t")
+
+    def test_list_tables_and_total_rows(self):
+        store = RelationalStore()
+        store.create_table("b", [Column("x", "integer")]).insert({"x": 1})
+        store.create_table("a", [Column("x", "integer")]).insert_many(
+            [{"x": 1}, {"x": 2}]
+        )
+        assert store.list_tables() == ["a", "b"]
+        assert store.total_rows() == 3

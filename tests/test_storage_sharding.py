@@ -1,0 +1,122 @@
+"""Tests for repro.storage.sharding."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.sharding import Extent, ExtentAllocator, ShardRouter, _stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert _stable_hash("abc") == _stable_hash("abc")
+
+    def test_different_values_differ(self):
+        assert _stable_hash("abc") != _stable_hash("abd")
+
+    def test_handles_non_strings(self):
+        assert isinstance(_stable_hash(("a", 1)), int)
+
+
+class TestShardRouter:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(StorageError):
+            ShardRouter(0)
+
+    def test_shard_in_range(self):
+        router = ShardRouter(4)
+        for i in range(100):
+            assert 0 <= router.shard_for(f"doc{i}") < 4
+
+    def test_same_id_same_shard(self):
+        router = ShardRouter(8)
+        assert router.shard_for("x") == router.shard_for("x")
+
+    def test_distribution_counts_all_ids(self):
+        router = ShardRouter(4)
+        ids = [f"doc{i}" for i in range(200)]
+        dist = router.distribution(ids)
+        assert sum(dist) == 200
+        assert len(dist) == 4
+
+    def test_distribution_is_reasonably_balanced(self):
+        router = ShardRouter(4)
+        dist = router.distribution(f"doc{i}" for i in range(2000))
+        # hash sharding should keep every shard within 2x of the mean
+        assert min(dist) > 2000 / 4 / 2
+        assert max(dist) < 2000 / 4 * 2
+
+    def test_single_shard_gets_everything(self):
+        router = ShardRouter(1)
+        assert router.distribution(range(50)) == [50]
+
+
+class TestExtent:
+    def test_fits_and_add(self):
+        extent = Extent(shard=0, capacity_bytes=100)
+        assert extent.fits(100)
+        extent.add(60)
+        assert extent.free_bytes == 40
+        assert not extent.fits(41)
+        assert extent.doc_count == 1
+
+
+class TestExtentAllocator:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(StorageError):
+            ExtentAllocator(extent_size_bytes=0, num_shards=1)
+        with pytest.raises(StorageError):
+            ExtentAllocator(extent_size_bytes=10, num_shards=0)
+
+    def test_allocates_first_extent_lazily(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=2)
+        assert alloc.num_extents == 0
+        alloc.allocate(0, 10)
+        assert alloc.num_extents == 1
+
+    def test_new_extent_when_full(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=1)
+        alloc.allocate(0, 60)
+        alloc.allocate(0, 60)  # does not fit in the first extent
+        assert alloc.num_extents == 2
+
+    def test_oversized_document_gets_own_extent(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=1)
+        alloc.allocate(0, 250)
+        assert alloc.num_extents == 1
+        assert alloc.last_extent_size == 250
+
+    def test_extents_are_per_shard(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=2)
+        alloc.allocate(0, 50)
+        alloc.allocate(1, 50)
+        assert alloc.num_extents == 2
+        assert alloc.extents_per_shard() == [1, 1]
+
+    def test_last_extent_size_tracks_most_recent(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=1)
+        alloc.allocate(0, 30)
+        assert alloc.last_extent_size == 30
+        alloc.allocate(0, 30)
+        assert alloc.last_extent_size == 60
+
+    def test_total_used_bytes(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=2)
+        alloc.allocate(0, 40)
+        alloc.allocate(1, 25)
+        assert alloc.total_used_bytes == 65
+
+    def test_shard_out_of_range_rejected(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=2)
+        with pytest.raises(StorageError):
+            alloc.allocate(5, 10)
+
+    def test_negative_size_rejected(self):
+        alloc = ExtentAllocator(extent_size_bytes=100, num_shards=2)
+        with pytest.raises(StorageError):
+            alloc.allocate(0, -1)
+
+    def test_extent_count_grows_linearly_with_volume(self):
+        alloc = ExtentAllocator(extent_size_bytes=1000, num_shards=1)
+        for _ in range(100):
+            alloc.allocate(0, 100)
+        assert alloc.num_extents == 10

@@ -1,0 +1,80 @@
+"""Tests for repro.text.fragments."""
+
+import pytest
+
+from repro.text.fragments import Fragment, FragmentExtractor
+
+
+TEXT = (
+    "The season opened quietly. Matilda grossed 960,998 this week. "
+    "Critics were surprised. Other shows struggled badly."
+)
+
+
+def _mention(text, needle, canonical="Matilda", entity_type="Movie"):
+    start = text.index(needle)
+    return (canonical, entity_type, start, start + len(needle))
+
+
+class TestFragmentExtractor:
+    def test_fragment_contains_mention_sentence(self):
+        extractor = FragmentExtractor(context_sentences=0)
+        frags = extractor.extract(TEXT, "doc1", [_mention(TEXT, "Matilda")])
+        assert len(frags) == 1
+        assert "Matilda grossed" in frags[0].text
+        assert "season opened" not in frags[0].text
+
+    def test_context_sentences_extend_window(self):
+        extractor = FragmentExtractor(context_sentences=1)
+        frags = extractor.extract(TEXT, "doc1", [_mention(TEXT, "Matilda")])
+        assert "season opened" in frags[0].text
+        assert "Critics were surprised" in frags[0].text
+
+    def test_one_fragment_per_mention(self):
+        extractor = FragmentExtractor()
+        mentions = [_mention(TEXT, "Matilda"), _mention(TEXT, "Critics", "Critics", "Person")]
+        frags = extractor.extract(TEXT, "doc1", mentions)
+        assert len(frags) == 2
+
+    def test_fragment_records_source_and_entity(self):
+        extractor = FragmentExtractor()
+        frag = extractor.extract(TEXT, "docX", [_mention(TEXT, "Matilda")])[0]
+        assert frag.source_id == "docX"
+        assert frag.entity_canonical == "Matilda"
+        assert frag.entity_type == "Movie"
+
+    def test_max_fragment_chars_truncates(self):
+        extractor = FragmentExtractor(context_sentences=0, max_fragment_chars=20)
+        frags = extractor.extract(TEXT, "doc1", [_mention(TEXT, "Matilda")])
+        assert len(frags[0].text) <= 24  # 20 + ellipsis
+        assert frags[0].text.endswith("...")
+
+    def test_empty_inputs(self):
+        extractor = FragmentExtractor()
+        assert extractor.extract("", "d", [_mention(TEXT, "Matilda")]) == []
+        assert extractor.extract(TEXT, "d", []) == []
+
+    def test_text_without_terminal_punctuation(self):
+        text = "Matilda is playing downtown"
+        extractor = FragmentExtractor()
+        frags = extractor.extract(text, "d", [_mention(text, "Matilda")])
+        assert frags[0].text == text
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FragmentExtractor(context_sentences=-1)
+        with pytest.raises(ValueError):
+            FragmentExtractor(max_fragment_chars=0)
+
+    def test_as_document_shape(self):
+        extractor = FragmentExtractor()
+        frag = extractor.extract(TEXT, "doc1", [_mention(TEXT, "Matilda")])[0]
+        doc = frag.as_document()
+        assert set(doc) == {
+            "text_feed", "source_id", "entity", "entity_type", "char_start", "char_end",
+        }
+
+    def test_char_span_points_into_original_text(self):
+        extractor = FragmentExtractor(context_sentences=0)
+        frag = extractor.extract(TEXT, "doc1", [_mention(TEXT, "Matilda")])[0]
+        assert TEXT[frag.char_start:frag.char_end].strip() == frag.text

@@ -1,0 +1,111 @@
+"""Tests for repro.text.gazetteer."""
+
+import pytest
+
+from repro.text.gazetteer import ENTITY_TYPES, Gazetteer, broadway_gazetteer
+
+
+class TestGazetteer:
+    def test_add_and_lookup(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        entry = gaz.lookup("Matilda")
+        assert entry is not None
+        assert entry.canonical == "Matilda"
+        assert entry.entity_type == "Movie"
+
+    def test_lookup_is_normalization_insensitive(self):
+        gaz = Gazetteer()
+        gaz.add("Shubert Theatre", entity_type="Facility")
+        assert gaz.lookup("SHUBERT THEATER.") is not None
+        assert gaz.lookup("  shubert   theatre ") is not None
+
+    def test_unknown_entity_type_rejected(self):
+        gaz = Gazetteer()
+        with pytest.raises(ValueError):
+            gaz.add("x", entity_type="Dinosaur")
+
+    def test_empty_surface_rejected(self):
+        gaz = Gazetteer()
+        with pytest.raises(ValueError):
+            gaz.add("...", entity_type="Movie")
+
+    def test_canonical_defaults_to_surface(self):
+        gaz = Gazetteer()
+        entry = gaz.add("Wicked", entity_type="Movie")
+        assert entry.canonical == "Wicked"
+
+    def test_custom_canonical(self):
+        gaz = Gazetteer()
+        entry = gaz.add("NYC", canonical="New York", entity_type="City")
+        assert gaz.lookup("nyc").canonical == "New York"
+        assert entry.entity_type == "City"
+
+    def test_attributes_roundtrip(self):
+        gaz = Gazetteer()
+        gaz.add("Shubert", entity_type="Facility", attributes={"city": "New York"})
+        assert gaz.lookup("Shubert").attribute_dict() == {"city": "New York"}
+
+    def test_last_writer_wins(self):
+        gaz = Gazetteer()
+        gaz.add("Chicago", entity_type="Movie")
+        gaz.add("Chicago", entity_type="City")
+        assert gaz.lookup("Chicago").entity_type == "City"
+
+    def test_add_many(self):
+        gaz = Gazetteer()
+        gaz.add_many(["A Show", "B Show"], "Movie")
+        assert len(gaz) == 2
+
+    def test_contains(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        assert gaz.contains("matilda")
+        assert not gaz.contains("unknown")
+
+    def test_max_surface_words_tracks_longest(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        assert gaz.max_surface_words == 1
+        gaz.add("The Phantom of the Opera", entity_type="Movie")
+        assert gaz.max_surface_words == 5
+
+    def test_entries_of_type(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        gaz.add("Shubert", entity_type="Facility")
+        assert len(gaz.entries_of_type("Movie")) == 1
+        assert gaz.entries_of_type("Person") == []
+
+    def test_types_lists_populated_types(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        assert gaz.types() == ["Movie"]
+
+    def test_merge(self):
+        base = Gazetteer()
+        base.add("Matilda", entity_type="Movie")
+        other = Gazetteer()
+        other.add("Wicked", entity_type="Movie")
+        base.merge(other)
+        assert base.contains("Wicked") and base.contains("Matilda")
+
+
+class TestBroadwayGazetteer:
+    def test_covers_table4_shows(self):
+        gaz = broadway_gazetteer()
+        for show in ("Matilda", "The Walking Dead", "Goodfellas", "Raging Bull"):
+            entry = gaz.lookup(show)
+            assert entry is not None and entry.entity_type == "Movie"
+
+    def test_covers_multiple_entity_types(self):
+        gaz = broadway_gazetteer()
+        assert {"Movie", "Facility", "Person", "Company", "City"} <= set(gaz.types())
+
+    def test_all_types_are_valid(self):
+        gaz = broadway_gazetteer()
+        assert set(gaz.types()) <= set(ENTITY_TYPES)
+
+    def test_theater_lookup(self):
+        gaz = broadway_gazetteer()
+        assert gaz.lookup("Shubert Theatre").entity_type == "Facility"

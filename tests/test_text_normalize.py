@@ -1,0 +1,80 @@
+"""Tests for repro.text.normalize."""
+
+from repro.text.normalize import (
+    TextNormalizer,
+    normalize_whitespace,
+    strip_accents,
+    strip_html,
+    strip_punctuation,
+    strip_urls,
+)
+
+
+class TestHelpers:
+    def test_normalize_whitespace(self):
+        assert normalize_whitespace("  a   b \t c \n") == "a b c"
+
+    def test_strip_punctuation(self):
+        assert strip_punctuation("a,b.c!").replace(" ", "") == "abc"
+
+    def test_strip_accents(self):
+        assert strip_accents("café résumé") == "cafe resume"
+
+    def test_strip_html(self):
+        assert "bold" in strip_html("<b>bold</b> text")
+        assert "<b>" not in strip_html("<b>bold</b> text")
+
+    def test_strip_urls(self):
+        cleaned = strip_urls("see http://example.com/page and www.other.org now")
+        assert "http" not in cleaned and "www" not in cleaned
+
+
+class TestTextNormalizer:
+    def test_default_pipeline(self):
+        normalizer = TextNormalizer()
+        assert normalizer.normalize("  The Shubert THEATRE, Inc. ") == (
+            "the shubert theater incorporated"
+        )
+
+    def test_handles_none(self):
+        assert TextNormalizer().normalize(None) == ""
+
+    def test_handles_non_string(self):
+        assert TextNormalizer().normalize(27) == "27"
+
+    def test_abbreviation_expansion(self):
+        normalizer = TextNormalizer()
+        assert normalizer.normalize("44th St") == "44th street"
+        assert normalizer.normalize("Acme Corp") == "acme corporation"
+
+    def test_custom_abbreviations(self):
+        normalizer = TextNormalizer(abbreviations={"bway": "broadway"})
+        assert normalizer.normalize("bway shows") == "broadway shows"
+        # defaults are replaced, not merged
+        assert normalizer.normalize("Acme Corp") == "acme corp"
+
+    def test_disable_lowercase(self):
+        normalizer = TextNormalizer(lowercase=False, abbreviations={})
+        assert normalizer.normalize("Matilda Show") == "Matilda Show"
+
+    def test_disable_punctuation_removal(self):
+        normalizer = TextNormalizer(remove_punctuation=False, abbreviations={})
+        assert "," in normalizer.normalize("a, b")
+
+    def test_html_and_urls_removed(self):
+        normalizer = TextNormalizer()
+        result = normalizer.normalize("<p>Visit http://tickets.example.com today</p>")
+        assert "http" not in result and "<p>" not in result
+
+    def test_callable_interface(self):
+        normalizer = TextNormalizer()
+        assert normalizer("ABC") == normalizer.normalize("ABC")
+
+    def test_normalize_many_preserves_order(self):
+        normalizer = TextNormalizer()
+        assert normalizer.normalize_many(["A", "B"]) == ["a", "b"]
+
+    def test_idempotent(self):
+        normalizer = TextNormalizer()
+        once = normalizer.normalize("The Shubert Theatre, Inc.")
+        assert normalizer.normalize(once) == once

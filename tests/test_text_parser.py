@@ -1,0 +1,150 @@
+"""Tests for repro.text.parser (the domain-specific parser)."""
+
+import pytest
+
+from repro.errors import ParserError
+from repro.text.gazetteer import Gazetteer
+from repro.text.parser import DomainParser, EntityMention
+
+
+class TestGazetteerMatching:
+    def test_finds_single_word_entity(self, parser):
+        parsed = parser.parse("Everyone is talking about Matilda this season.")
+        shows = [m for m in parsed.mentions if m.entity_type == "Movie"]
+        assert any(m.canonical == "Matilda" for m in shows)
+
+    def test_finds_multiword_entity_longest_match(self, parser):
+        parsed = parser.parse("Tickets for The Walking Dead are sold out.")
+        movies = [m for m in parsed.mentions if m.entity_type == "Movie"]
+        assert any(m.canonical == "The Walking Dead" for m in movies)
+
+    def test_mention_span_points_at_surface(self, parser):
+        text = "I loved Matilda a lot"
+        parsed = parser.parse(text)
+        mention = next(m for m in parsed.mentions if m.canonical == "Matilda")
+        assert text[mention.char_start:mention.char_end].startswith("Matilda")
+
+    def test_case_and_punctuation_insensitive(self, parser):
+        parsed = parser.parse("matilda, obviously, is great")
+        assert any(m.canonical == "Matilda" for m in parsed.mentions)
+
+    def test_multiple_entity_types_in_one_text(self, parser):
+        parsed = parser.parse(
+            "Matilda at the Shubert Theatre impressed Michael Stonebraker."
+        )
+        types = {m.entity_type for m in parsed.mentions}
+        assert {"Movie", "Facility", "Person"} <= types
+
+    def test_no_gazetteer_still_parses_with_rules(self):
+        parser = DomainParser(gazetteer=None)
+        parsed = parser.parse("Visit http://example.com for $25 tickets")
+        types = {m.entity_type for m in parsed.mentions}
+        assert "URL" in types
+
+
+class TestPatternRules:
+    def test_url_rule(self, parser):
+        parsed = parser.parse("Read more at http://broadway.example.com/matilda today")
+        urls = [m for m in parsed.mentions if m.entity_type == "URL"]
+        assert len(urls) == 1
+
+    def test_money_rule(self, parser):
+        parsed = parser.parse("Tickets from $27 this weekend")
+        money = [
+            m for m in parsed.mentions
+            if m.attributes.get("kind") == "money"
+        ]
+        assert len(money) == 1
+        assert money[0].canonical == "$27"
+
+    def test_date_rule(self, parser):
+        parsed = parser.parse("Previews started 3/4/2013 downtown")
+        dates = [m for m in parsed.mentions if m.attributes.get("kind") == "date"]
+        assert len(dates) == 1
+
+    def test_capitalized_sequence_rule_skips_sentence_start(self):
+        parser = DomainParser(gazetteer=None)
+        parsed = parser.parse("Great Acting wins awards")
+        persons = [m for m in parsed.mentions if m.entity_type == "Person"]
+        assert persons == []
+
+    def test_capitalized_sequence_detects_names(self):
+        parser = DomainParser(gazetteer=None)
+        parsed = parser.parse("the director praised Jane Doe after the show")
+        persons = [m for m in parsed.mentions if m.entity_type == "Person"]
+        assert any(m.canonical == "Jane Doe" for m in persons)
+
+    def test_rules_can_be_disabled(self):
+        gaz = Gazetteer()
+        gaz.add("Matilda", entity_type="Movie")
+        parser = DomainParser(gazetteer=gaz, enable_pattern_rules=False)
+        parsed = parser.parse("Matilda tickets from $27 at http://x.com")
+        types = {m.entity_type for m in parsed.mentions}
+        assert types == {"Movie"}
+
+    def test_gazetteer_mention_not_duplicated_by_rules(self, parser):
+        parsed = parser.parse("a chat with Michael Stonebraker yesterday")
+        stonebraker = [
+            m for m in parsed.mentions if m.canonical == "Michael Stonebraker"
+        ]
+        assert len(stonebraker) == 1
+
+
+class TestParsedDocument:
+    def test_mentions_sorted_by_position(self, parser):
+        parsed = parser.parse("Goodfellas then Matilda then Wicked")
+        starts = [m.char_start for m in parsed.mentions]
+        assert starts == sorted(starts)
+
+    def test_entities_by_type_groups(self, parser):
+        parsed = parser.parse("Matilda at the Shubert Theatre")
+        grouped = parsed.entities_by_type()
+        assert "Movie" in grouped and "Facility" in grouped
+
+    def test_entity_documents_are_hierarchical(self, parser):
+        parsed = parser.parse("Matilda was great", source_id="doc7")
+        docs = parsed.entity_documents()
+        assert docs
+        assert docs[0]["entity"]["name"] == "Matilda"
+        assert docs[0]["mention"]["span"]["start"] >= 0
+        assert docs[0]["source_id"] == "doc7"
+
+    def test_fragment_documents_reference_entity(self, parser):
+        parsed = parser.parse("Matilda was great. A second sentence.", source_id="doc7")
+        frags = parsed.fragment_documents()
+        assert frags[0]["entity"] == "Matilda"
+        assert "Matilda" in frags[0]["text_feed"]
+
+    def test_one_fragment_per_mention(self, parser):
+        parsed = parser.parse("Matilda and Wicked and Goodfellas")
+        assert len(parsed.fragments) == len(parsed.mentions)
+
+
+class TestErrors:
+    def test_none_input_raises(self, parser):
+        with pytest.raises(ParserError):
+            parser.parse(None)
+
+    def test_empty_text_yields_no_mentions(self, parser):
+        parsed = parser.parse("")
+        assert parsed.mentions == [] and parsed.fragments == []
+
+    def test_parse_many(self, parser):
+        results = parser.parse_many([("a", "Matilda rocks"), ("b", "Wicked rules")])
+        assert [r.source_id for r in results] == ["a", "b"]
+
+
+class TestEntityMention:
+    def test_as_hierarchical_shape(self):
+        mention = EntityMention(
+            canonical="Matilda",
+            entity_type="Movie",
+            surface="matilda",
+            char_start=3,
+            char_end=10,
+            attributes={"origin": "London"},
+        )
+        doc = mention.as_hierarchical()
+        assert doc["entity"]["type"] == "Movie"
+        assert doc["entity"]["attributes"]["origin"] == "London"
+        assert doc["mention"]["span"] == {"start": 3, "end": 10}

@@ -1,0 +1,91 @@
+"""Tests for repro.text.tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import (
+    ngrams,
+    sentences,
+    tokenize,
+    tokenize_no_stopwords,
+    word_spans,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Matilda SHOW") == ["matilda", "show"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("grossed $960,998, or 93 percent") == [
+            "grossed", "960", "998", "or", "93", "percent",
+        ]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize(None) == []
+
+    def test_keeps_apostrophes_inside_words(self):
+        assert tokenize("Hell's Kitchen") == ["hell's", "kitchen"]
+
+    def test_numbers_kept(self):
+        assert tokenize("room 101") == ["room", "101"]
+
+
+class TestStopwords:
+    def test_drops_common_words(self):
+        assert tokenize_no_stopwords("the show is great") == ["show", "great"]
+
+    def test_keeps_content_words(self):
+        tokens = tokenize_no_stopwords("Matilda at the Shubert")
+        assert "matilda" in tokens and "shubert" in tokens and "the" not in tokens
+
+
+class TestNgrams:
+    def test_basic(self):
+        assert ngrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_shorter_than_n(self):
+        assert ngrams("ab", 3) == ["ab"]
+
+    def test_empty(self):
+        assert ngrams("", 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_whitespace_collapsed(self):
+        assert ngrams("a  b", 3) == ["a b"]
+
+    def test_count(self):
+        assert len(ngrams("abcdefgh", 3)) == 6
+
+
+class TestSentences:
+    def test_splits_on_terminal_punctuation(self):
+        result = sentences("First sentence. Second one! Third?")
+        assert len(result) == 3
+        assert result[0] == "First sentence."
+
+    def test_single_sentence_unsplit(self):
+        assert sentences("No terminal punctuation here") == [
+            "No terminal punctuation here"
+        ]
+
+    def test_empty(self):
+        assert sentences("") == []
+        assert sentences("   ") == []
+
+
+class TestWordSpans:
+    def test_spans_cover_words(self):
+        text = "Matilda at Shubert"
+        spans = word_spans(text)
+        assert [text[s:e] for s, e, _ in spans] == ["Matilda", "at", "Shubert"]
+
+    def test_span_words_match(self):
+        spans = word_spans("a bb ccc")
+        assert [w for _, _, w in spans] == ["a", "bb", "ccc"]
+
+    def test_empty(self):
+        assert word_spans("") == []

@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.dedup_corpus."""
+
+import pytest
+
+from repro.workloads.dedup_corpus import DedupCorpusGenerator
+
+
+class TestDedupCorpusGenerator:
+    def test_pair_counts_balanced_by_default(self, dedup_corpus):
+        assert dedup_corpus.positive_count > 0
+        assert dedup_corpus.negative_count == pytest.approx(
+            dedup_corpus.positive_count, rel=0.05
+        )
+
+    def test_deterministic(self):
+        a = DedupCorpusGenerator(seed=1).generate(n_entities=30)
+        b = DedupCorpusGenerator(seed=1).generate(n_entities=30)
+        assert [p.is_duplicate for p in a.pairs] == [p.is_duplicate for p in b.pairs]
+        assert [p.record_a.record_id for p in a.pairs] == [
+            p.record_a.record_id for p in b.pairs
+        ]
+
+    def test_positive_pairs_share_entity(self, dedup_corpus):
+        for pair in dedup_corpus.pairs:
+            entity_a = dedup_corpus.entity_of_record[pair.record_a.record_id]
+            entity_b = dedup_corpus.entity_of_record[pair.record_b.record_id]
+            if pair.is_duplicate:
+                assert entity_a == entity_b
+            else:
+                assert entity_a != entity_b
+
+    def test_variants_per_entity_controls_group_size(self):
+        corpus = DedupCorpusGenerator(seed=2).generate(
+            n_entities=10, variants_per_entity=3
+        )
+        # each entity contributes base + 3 variants = 4 records
+        assert len(corpus.records) == 40
+
+    def test_negatives_per_positive_ratio(self):
+        corpus = DedupCorpusGenerator(seed=3).generate(
+            n_entities=30, negatives_per_positive=2.0
+        )
+        assert corpus.negative_count == pytest.approx(2 * corpus.positive_count, rel=0.05)
+
+    def test_true_pairs_are_positives(self, dedup_corpus):
+        true_pairs = dedup_corpus.true_pairs()
+        assert len(true_pairs) == dedup_corpus.positive_count
+
+    def test_noise_zero_produces_identical_names(self):
+        corpus = DedupCorpusGenerator(seed=4, noise_level=0.0).generate(n_entities=10)
+        for pair in corpus.pairs:
+            if pair.is_duplicate:
+                assert (
+                    str(pair.record_a.get("name")).lower()
+                    == str(pair.record_b.get("name")).lower()
+                )
+
+    def test_noise_produces_variation(self):
+        corpus = DedupCorpusGenerator(seed=5, noise_level=0.8).generate(n_entities=40)
+        differing = sum(
+            1
+            for pair in corpus.pairs
+            if pair.is_duplicate
+            and pair.record_a.get("name") != pair.record_b.get("name")
+        )
+        assert differing > 0
+
+    def test_entity_type_restriction(self):
+        corpus = DedupCorpusGenerator(
+            seed=6, entity_types=["Person"]
+        ).generate(n_entities=20)
+        assert all(r.get("type") == "Person" for r in corpus.records if r.get("type"))
+
+    def test_invalid_noise_level(self):
+        with pytest.raises(ValueError):
+            DedupCorpusGenerator(noise_level=1.5)
+
+    def test_classifier_reaches_paper_regime_on_larger_corpus(self):
+        from repro.entity.dedup import DedupModel
+
+        corpus = DedupCorpusGenerator(seed=7).generate(n_entities=150)
+        result = DedupModel().cross_validate(corpus.pairs, n_folds=10)
+        assert result.mean_precision > 0.82
+        assert result.mean_recall > 0.82

@@ -1,0 +1,89 @@
+"""Tests for repro.workloads.ftables."""
+
+import pytest
+
+from repro.workloads.ftables import (
+    GROUND_TRUTH_GLOBAL_SCHEMA,
+    MATILDA_RECORD,
+    FTablesGenerator,
+)
+
+
+class TestFTablesGenerator:
+    def test_generates_twenty_sources_by_default(self):
+        assert len(FTablesGenerator(seed=1).generate()) == 20
+
+    def test_source_sizes_match_paper_statistics(self):
+        # "5-20 different attributes and 10-100 rows"
+        for source in FTablesGenerator(seed=2).generate():
+            assert 5 <= len(source.attribute_names) <= 20
+            assert 10 <= len(source.rows) <= 100
+
+    def test_deterministic(self):
+        a = FTablesGenerator(seed=3).generate()
+        b = FTablesGenerator(seed=3).generate()
+        assert [s.source_id for s in a] == [s.source_id for s in b]
+        assert a[5].rows == b[5].rows
+
+    def test_archetypes_rotate(self):
+        sources = FTablesGenerator(seed=4).generate()
+        archetypes = {s.archetype for s in sources}
+        assert archetypes == {"schedule", "theater_locations", "discounts"}
+
+    def test_attribute_naming_is_heterogeneous(self):
+        sources = FTablesGenerator(seed=5).generate()
+        schedule = next(s for s in sources if s.archetype == "schedule")
+        locations = next(s for s in sources if s.archetype == "theater_locations")
+        assert set(schedule.attribute_names).isdisjoint(locations.attribute_names)
+
+    def test_true_mapping_targets_are_canonical(self):
+        generator = FTablesGenerator(seed=6)
+        for source in generator.generate():
+            mapping = generator.true_mapping_for(source)
+            assert set(mapping.values()) <= set(GROUND_TRUTH_GLOBAL_SCHEMA)
+
+    def test_true_mapping_all_union(self):
+        combined = FTablesGenerator(seed=0).true_mapping_all()
+        assert combined["SHOW_NAME"] == "show_name"
+        assert combined["lowest_price"] == "cheapest_price"
+
+    def test_matilda_demo_record_present(self):
+        sources = FTablesGenerator(seed=7).generate()
+        found_theater = False
+        for source in sources:
+            mapping = source.attribute_mapping
+            reverse = {v: k for k, v in mapping.items()}
+            if "theater" not in reverse or "show_name" not in reverse:
+                continue
+            for row in source.rows:
+                if row.get(reverse["show_name"]) == "Matilda" and row.get(
+                    reverse["theater"]
+                ) == MATILDA_RECORD["theater"]:
+                    found_theater = True
+        assert found_theater
+
+    def test_dirty_flag_injects_dirt(self):
+        clean = FTablesGenerator(seed=8, dirty=False).generate()
+        values = [
+            str(v)
+            for source in clean
+            for row in source.rows
+            for v in row.values()
+        ]
+        assert "N/A" not in values
+
+    def test_records_returns_copies(self):
+        source = FTablesGenerator(seed=9).generate()[0]
+        records = source.records()
+        records[0].clear()
+        assert source.rows[0]
+
+    def test_seed_records_use_canonical_names(self):
+        records = FTablesGenerator(seed=10).seed_records()
+        assert records[0]["show_name"] == "Matilda"
+        for record in records:
+            assert set(record) <= set(GROUND_TRUTH_GLOBAL_SCHEMA)
+
+    def test_invalid_n_sources(self):
+        with pytest.raises(ValueError):
+            FTablesGenerator(n_sources=0)

@@ -1,0 +1,55 @@
+"""Tests for repro.workloads.seeds (deterministic RNG helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.seeds import make_rng, weighted_choice, zipf_weights
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5, "label")
+        b = make_rng(5, "label")
+        assert a.integers(0, 1000, size=10).tolist() == b.integers(0, 1000, size=10).tolist()
+
+    def test_different_labels_different_streams(self):
+        a = make_rng(5, "webinstance")
+        b = make_rng(5, "ftables")
+        assert a.integers(0, 1000, size=10).tolist() != b.integers(0, 1000, size=10).tolist()
+
+    def test_none_seed_defaults_to_zero(self):
+        a = make_rng(None, "x")
+        b = make_rng(0, "x")
+        assert a.integers(0, 1000, size=5).tolist() == b.integers(0, 1000, size=5).tolist()
+
+
+class TestWeightedChoice:
+    def test_respects_zero_weights(self):
+        rng = make_rng(1)
+        picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_heavier_item_picked_more_often(self):
+        rng = make_rng(2)
+        picks = [weighted_choice(rng, ["a", "b"], [9.0, 1.0]) for _ in range(500)]
+        assert picks.count("a") > picks.count("b") * 3
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20)
+        assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+
+    def test_length_and_positivity(self):
+        weights = zipf_weights(7)
+        assert len(weights) == 7
+        assert np.all(weights > 0)
+
+    def test_exponent_controls_skew(self):
+        flat = zipf_weights(10, exponent=0.5)
+        steep = zipf_weights(10, exponent=2.0)
+        assert steep[0] / steep[-1] > flat[0] / flat[-1]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)

@@ -1,0 +1,68 @@
+"""Tests for repro.workloads.webentities."""
+
+import pytest
+
+from repro.text.gazetteer import ENTITY_TYPES
+from repro.workloads.webentities import TABLE3_TYPE_COUNTS, WebEntitiesGenerator
+
+
+class TestTable3Counts:
+    def test_matches_paper_totals(self):
+        assert TABLE3_TYPE_COUNTS["Person"] == 38_867_351
+        assert TABLE3_TYPE_COUNTS["ProvinceOrState"] == 223_243
+        assert len(TABLE3_TYPE_COUNTS) == 15
+
+    def test_types_are_known_entity_types(self):
+        assert set(TABLE3_TYPE_COUNTS) == set(ENTITY_TYPES)
+
+
+class TestWebEntitiesGenerator:
+    def test_generates_requested_count(self):
+        assert len(WebEntitiesGenerator(seed=1).generate(500)) == 500
+
+    def test_deterministic(self):
+        a = WebEntitiesGenerator(seed=2).generate(100)
+        b = WebEntitiesGenerator(seed=2).generate(100)
+        assert [e.name for e in a] == [e.name for e in b]
+
+    def test_entity_ids_unique(self):
+        entities = WebEntitiesGenerator(seed=3).generate(300)
+        assert len({e.entity_id for e in entities}) == 300
+
+    def test_type_mixture_follows_table3(self):
+        generator = WebEntitiesGenerator(seed=4)
+        entities = generator.generate(20_000)
+        histogram = generator.type_histogram(entities)
+        total = sum(histogram.values())
+        person_share = histogram["Person"] / total
+        movie_share = histogram.get("Movie", 0) / total
+        expected_person = TABLE3_TYPE_COUNTS["Person"] / sum(TABLE3_TYPE_COUNTS.values())
+        assert person_share == pytest.approx(expected_person, abs=0.02)
+        assert movie_share < 0.01
+        # the ordering of the two dominant types matches the paper
+        ranked = list(histogram)
+        assert ranked[0] == "Person"
+        assert ranked[1] == "OrgEntity"
+
+    def test_expected_counts_sum_close_to_n(self):
+        generator = WebEntitiesGenerator(seed=0)
+        expected = generator.expected_counts(10_000)
+        assert abs(sum(expected.values()) - 10_000) < 20
+
+    def test_as_document_shape(self):
+        entity = WebEntitiesGenerator(seed=5).generate(1)[0]
+        doc = entity.as_document()
+        assert {"entity_id", "type", "name"} <= set(doc)
+
+    def test_custom_type_counts(self):
+        generator = WebEntitiesGenerator(seed=6, type_counts={"Movie": 1, "Person": 1})
+        entities = generator.generate(100)
+        assert {e.entity_type for e in entities} <= {"Movie", "Person"}
+
+    def test_probabilities_sum_to_one(self):
+        probs = WebEntitiesGenerator(seed=0).type_probabilities
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_entities_have_names(self):
+        entities = WebEntitiesGenerator(seed=7).generate(200)
+        assert all(e.name for e in entities)

@@ -1,0 +1,74 @@
+"""Tests for repro.workloads.webinstance."""
+
+from collections import Counter
+
+from repro.workloads.webinstance import DEFAULT_SHOW_RANKING, WebInstanceGenerator
+
+
+class TestWebInstanceGenerator:
+    def test_generates_requested_count(self):
+        docs = WebInstanceGenerator(seed=1).generate(50)
+        assert len(docs) == 50
+
+    def test_deterministic_given_seed(self):
+        a = WebInstanceGenerator(seed=5).generate(30)
+        b = WebInstanceGenerator(seed=5).generate(30)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_different_seeds_differ(self):
+        a = WebInstanceGenerator(seed=1).generate(30)
+        b = WebInstanceGenerator(seed=2).generate(30)
+        assert [d.text for d in a] != [d.text for d in b]
+
+    def test_documents_mention_their_show(self):
+        docs = WebInstanceGenerator(seed=3).generate(40)
+        for doc in docs:
+            assert doc.mentioned_shows[0] in doc.text
+
+    def test_styles_are_mixed(self):
+        docs = WebInstanceGenerator(seed=4).generate(200)
+        styles = {d.style for d in docs}
+        assert styles == {"news", "blog", "tweet"}
+
+    def test_popularity_is_heavy_tailed(self):
+        generator = WebInstanceGenerator(seed=6)
+        docs = generator.generate(2000)
+        counts = Counter(show for d in docs for show in d.mentioned_shows)
+        ranking = generator.show_ranking
+        # the most popular show should be mentioned far more than a tail show
+        assert counts[ranking[0]] > 5 * max(1, counts.get(ranking[-1], 1))
+
+    def test_ground_truth_ranking_roughly_matches_observed(self):
+        generator = WebInstanceGenerator(seed=7)
+        docs = generator.generate(3000)
+        counts = generator.mention_counts(docs)
+        observed_top3 = [s for s, _ in Counter(counts).most_common(3)]
+        assert set(observed_top3) <= set(generator.expected_top_shows(5))
+
+    def test_expected_top_shows_prefix_of_ranking(self):
+        generator = WebInstanceGenerator(seed=0)
+        assert generator.expected_top_shows(3) == list(DEFAULT_SHOW_RANKING[:3])
+
+    def test_doc_ids_unique(self):
+        docs = WebInstanceGenerator(seed=8).generate(100)
+        assert len({d.doc_id for d in docs}) == 100
+
+    def test_as_pair(self):
+        doc = WebInstanceGenerator(seed=9).generate(1)[0]
+        doc_id, text = doc.as_pair()
+        assert doc_id == doc.doc_id and text == doc.text
+
+    def test_iter_documents_lazy_matches_generate(self):
+        generator = WebInstanceGenerator(seed=10)
+        eager = [d.text for d in generator.generate(20)]
+        lazy = [d.text for d in generator.iter_documents(20)]
+        assert eager == lazy
+
+    def test_parser_finds_shows_in_generated_text(self, parser):
+        docs = WebInstanceGenerator(seed=11).generate(30)
+        found_movies = 0
+        for doc in docs:
+            parsed = parser.parse(doc.text, doc.doc_id)
+            if any(m.entity_type == "Movie" for m in parsed.mentions):
+                found_movies += 1
+        assert found_movies >= 25  # nearly every document mentions a show
