@@ -9,6 +9,7 @@ behind each experiment.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 from typing import Iterable, List
@@ -33,12 +34,26 @@ from repro.workloads import (  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Global scale multiplier.  ``BENCH_SCALE=0.05`` shrinks every corpus to a
+#: smoke-test size (used by tests/test_bench_smoke.py so the whole benchmark
+#: suite can run on every CI push without silently rotting).
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, floor: int = 1) -> int:
+    """Scale a corpus size by ``BENCH_SCALE``, never below ``floor``."""
+    return max(floor, int(n * BENCH_SCALE))
+
+
 #: Scale used for the text corpus in the benchmarks.  The paper's corpus is
 #: ~1 TB / 17.7 M fragments; this laptop-scale run keeps the same pipeline
 #: and statistics schema at a size that completes in seconds.
-WEB_DOCUMENTS = 1500
-ENTITY_SAMPLE = 30_000
-DEDUP_ENTITIES = 150
+WEB_DOCUMENTS = scaled(1500, floor=60)
+# floors keep the statistical assertions meaningful at smoke scale: the
+# type-histogram ranking needs a few thousand samples and 10-fold cross
+# validation needs enough labeled pairs per fold to hit the paper's regime
+ENTITY_SAMPLE = scaled(30_000, floor=6000)
+DEDUP_ENTITIES = scaled(150, floor=80)
 
 
 def write_report(name: str, lines: Iterable[str]) -> List[str]:

@@ -13,11 +13,19 @@ Most users only need the top-level exports::
     from repro import DataTamer, TamerConfig
 """
 
-from .config import EntityConfig, ExpertConfig, SchemaConfig, StorageConfig, TamerConfig
+from .config import (
+    EntityConfig,
+    ExecConfig,
+    ExpertConfig,
+    SchemaConfig,
+    StorageConfig,
+    TamerConfig,
+)
 from .core.tamer import DataTamer, StructuredIngestReport, TextIngestReport
 from .errors import TamerError
+from .exec import BatchScorer, ShardedExecutor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DataTamer",
@@ -27,7 +35,10 @@ __all__ = [
     "StorageConfig",
     "SchemaConfig",
     "EntityConfig",
+    "ExecConfig",
     "ExpertConfig",
+    "BatchScorer",
+    "ShardedExecutor",
     "TamerError",
     "__version__",
 ]

@@ -102,6 +102,32 @@ class EntityConfig:
 
 
 @dataclass
+class ExecConfig:
+    """Settings for the parallel sharded execution engine.
+
+    ``parallelism`` is the worker count used when a stage fans out over
+    shards (1 disables fan-out entirely); ``batch_size`` bounds how many
+    candidate pairs are featurized per scoring batch; ``backend`` picks the
+    pool flavour — ``thread`` (default; cheap startup, shares the token
+    cache), ``process`` (true CPU parallelism for the pure-Python hot
+    paths), or ``serial`` (run shard functions inline even when
+    ``parallelism`` > 1, useful for debugging).
+    """
+
+    parallelism: int = 1
+    batch_size: int = 256
+    backend: str = "thread"
+
+    def validate(self) -> None:
+        if self.parallelism < 1:
+            raise ConfigError("parallelism must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.backend not in {"serial", "thread", "process"}:
+            raise ConfigError(f"unknown exec backend: {self.backend!r}")
+
+
+@dataclass
 class ExpertConfig:
     """Settings for the expert-sourcing subsystem."""
 
@@ -126,6 +152,7 @@ class TamerConfig:
     schema: SchemaConfig = field(default_factory=SchemaConfig)
     entity: EntityConfig = field(default_factory=EntityConfig)
     expert: ExpertConfig = field(default_factory=ExpertConfig)
+    execution: ExecConfig = field(default_factory=ExecConfig)
     seed: Optional[int] = 0
 
     def validate(self) -> "TamerConfig":
@@ -134,6 +161,7 @@ class TamerConfig:
         self.schema.validate()
         self.entity.validate()
         self.expert.validate()
+        self.execution.validate()
         return self
 
     def with_seed(self, seed: int) -> "TamerConfig":
@@ -152,3 +180,26 @@ class TamerConfig:
             storage=StorageConfig(extent_size_bytes=64 * 1024, num_shards=2),
         )
         return cfg.validate()
+
+    @classmethod
+    def parallel(
+        cls, workers: int, batch_size: int = 256, backend: str = "thread"
+    ) -> "TamerConfig":
+        """A default configuration with the parallel execution engine enabled."""
+        cfg = cls(
+            execution=ExecConfig(
+                parallelism=workers, batch_size=batch_size, backend=backend
+            ),
+        )
+        return cfg.validate()
+
+    def with_parallelism(
+        self, workers: int, batch_size: Optional[int] = None
+    ) -> "TamerConfig":
+        """Return a copy of this config with different execution knobs."""
+        execution = replace(
+            self.execution,
+            parallelism=workers,
+            batch_size=batch_size if batch_size is not None else self.execution.batch_size,
+        )
+        return replace(self, execution=execution).validate()

@@ -9,7 +9,7 @@ domain parser, integrate schemas, consolidate entities and query/fuse.
 """
 
 from .catalog import CatalogEntry, SourceCatalog
-from .pipeline import CurationPipeline, PipelineStage, StageResult
+from .pipeline import CurationPipeline, ParallelStage, PipelineStage, StageResult
 from .report import CurationReport
 from .tamer import DataTamer, TextIngestReport, StructuredIngestReport
 
@@ -18,6 +18,7 @@ __all__ = [
     "SourceCatalog",
     "CurationReport",
     "CurationPipeline",
+    "ParallelStage",
     "PipelineStage",
     "StageResult",
     "DataTamer",

@@ -7,15 +7,25 @@ such a staged run: each stage is a named callable over a shared context
 dictionary, stages run in order, and the pipeline records per-stage wall
 time and outcome — which is exactly what the Figure 1 scale-sweep benchmark
 reports.
+
+Stages come in two flavours:
+
+* :class:`PipelineStage` — one callable, run inline.
+* :class:`ParallelStage` — a fan-out/fan-in stage: ``fan_out`` splits the
+  work into partitions, a :class:`~repro.exec.executor.ShardedExecutor`
+  maps ``worker`` over the partitions (threads, processes or inline), and
+  ``fan_in`` merges the per-shard results in stable shard order.  Per-shard
+  wall times are captured in :attr:`StageResult.shard_seconds`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..errors import TamerError
+from ..exec.executor import ShardedExecutor
 
 StageFunc = Callable[[Dict[str, Any]], Any]
 
@@ -30,6 +40,25 @@ class PipelineStage:
 
 
 @dataclass
+class ParallelStage:
+    """A fan-out/fan-in stage executed over shard partitions.
+
+    ``fan_out(context)`` returns a list of partitions; ``worker(partition)``
+    processes one partition (it must not mutate the shared context — with the
+    process backend it runs in another interpreter); ``fan_in(context,
+    results)`` merges the per-shard results, which always arrive ordered by
+    shard index.  When ``fan_in`` is omitted the ordered result list itself
+    becomes the stage output.
+    """
+
+    name: str
+    fan_out: Callable[[Dict[str, Any]], List[Any]]
+    worker: Callable[[Any], Any]
+    fan_in: Optional[Callable[[Dict[str, Any], List[Any]], Any]] = None
+    description: str = ""
+
+
+@dataclass
 class StageResult:
     """Outcome of running one stage."""
 
@@ -38,17 +67,24 @@ class StageResult:
     ok: bool
     output: Any = None
     error: Optional[str] = None
+    #: Per-shard wall times (empty for sequential stages).
+    shard_seconds: List[float] = field(default_factory=list)
 
 
 class CurationPipeline:
     """Run an ordered list of stages over a shared context."""
 
-    def __init__(self, stages: Optional[List[PipelineStage]] = None):
-        self._stages: List[PipelineStage] = list(stages or [])
+    def __init__(
+        self,
+        stages: Optional[List[Union[PipelineStage, ParallelStage]]] = None,
+        executor: Optional[ShardedExecutor] = None,
+    ):
+        self._stages: List[Union[PipelineStage, ParallelStage]] = list(stages or [])
         self._results: List[StageResult] = []
+        self._executor = executor if executor is not None else ShardedExecutor()
 
     @property
-    def stages(self) -> List[PipelineStage]:
+    def stages(self) -> List[Union[PipelineStage, ParallelStage]]:
         """The configured stages in execution order."""
         return list(self._stages)
 
@@ -57,14 +93,53 @@ class CurationPipeline:
         """Results of the most recent run."""
         return list(self._results)
 
+    @property
+    def executor(self) -> ShardedExecutor:
+        """The executor used for :class:`ParallelStage` fan-outs."""
+        return self._executor
+
     def add_stage(
         self, name: str, func: StageFunc, description: str = ""
     ) -> "CurationPipeline":
-        """Append a stage; returns ``self`` for chaining."""
+        """Append a sequential stage; returns ``self`` for chaining."""
         if not name:
             raise TamerError("stage name must be non-empty")
         self._stages.append(PipelineStage(name=name, func=func, description=description))
         return self
+
+    def add_parallel_stage(
+        self,
+        name: str,
+        fan_out: Callable[[Dict[str, Any]], List[Any]],
+        worker: Callable[[Any], Any],
+        fan_in: Optional[Callable[[Dict[str, Any], List[Any]], Any]] = None,
+        description: str = "",
+    ) -> "CurationPipeline":
+        """Append a fan-out/fan-in stage; returns ``self`` for chaining."""
+        if not name:
+            raise TamerError("stage name must be non-empty")
+        self._stages.append(
+            ParallelStage(
+                name=name,
+                fan_out=fan_out,
+                worker=worker,
+                fan_in=fan_in,
+                description=description,
+            )
+        )
+        return self
+
+    def _run_parallel(
+        self, stage: ParallelStage, context: Dict[str, Any]
+    ) -> tuple:
+        partitions = stage.fan_out(context)
+        results = self._executor.map_shards(stage.worker, partitions)
+        shard_seconds = [t.seconds for t in self._executor.last_shard_timings]
+        if stage.fan_in is not None:
+            output = stage.fan_in(context, results)
+        else:
+            output = results
+        return output, shard_seconds
 
     def run(
         self,
@@ -76,24 +151,41 @@ class CurationPipeline:
         Each stage receives the context and may mutate it; its return value
         is stored under ``context[stage.name]`` as well as in the stage
         result.  With ``stop_on_error`` (default) the first failing stage
-        aborts the run; otherwise later stages still execute.
+        aborts the run; otherwise later stages still execute.  A failing
+        stage never leaves a ``context[stage.name]`` entry behind — not even
+        one written by a previous run over the same context dictionary.
         """
         context = context if context is not None else {}
         self._results = []
         for stage in self._stages:
             start = time.perf_counter()
+            shard_seconds: List[float] = []
             try:
-                output = stage.func(context)
+                if isinstance(stage, ParallelStage):
+                    output, shard_seconds = self._run_parallel(stage, context)
+                else:
+                    output = stage.func(context)
                 elapsed = time.perf_counter() - start
                 context[stage.name] = output
                 self._results.append(
-                    StageResult(name=stage.name, seconds=elapsed, ok=True, output=output)
+                    StageResult(
+                        name=stage.name,
+                        seconds=elapsed,
+                        ok=True,
+                        output=output,
+                        shard_seconds=shard_seconds,
+                    )
                 )
             except Exception as exc:  # noqa: BLE001 - reported, optionally re-raised
                 elapsed = time.perf_counter() - start
+                context.pop(stage.name, None)
                 self._results.append(
                     StageResult(
-                        name=stage.name, seconds=elapsed, ok=False, error=str(exc)
+                        name=stage.name,
+                        seconds=elapsed,
+                        ok=False,
+                        error=str(exc),
+                        shard_seconds=shard_seconds,
                     )
                 )
                 if stop_on_error:
@@ -103,6 +195,13 @@ class CurationPipeline:
     def timing_summary(self) -> Dict[str, float]:
         """Stage name → seconds for the most recent run."""
         return {result.name: result.seconds for result in self._results}
+
+    def shard_timing_summary(self) -> Dict[str, List[float]]:
+        """Stage name → per-shard seconds for the most recent run.
+
+        Sequential stages map to an empty list.
+        """
+        return {result.name: list(result.shard_seconds) for result in self._results}
 
     @property
     def total_seconds(self) -> float:

@@ -34,6 +34,7 @@ from ..entity.consolidation import ConsolidatedEntity, EntityConsolidator, Merge
 from ..entity.dedup import DedupModel, LabeledPair
 from ..entity.record import Record, records_from_dicts
 from ..errors import TamerError
+from ..exec.executor import ShardedExecutor
 from ..expert.routing import ExpertRouter, schema_match_oracle
 from ..ingest.connectors import DictSource, Source
 from ..ingest.flatten import Flattener
@@ -88,8 +89,16 @@ class DataTamer:
         config: Optional[TamerConfig] = None,
         expert_router: Optional[ExpertRouter] = None,
         true_schema_mapping: Optional[Dict[str, str]] = None,
+        parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ):
         self.config = (config or TamerConfig.default()).validate()
+        if parallelism is not None or batch_size is not None:
+            self.config = self.config.with_parallelism(
+                parallelism if parallelism is not None else self.config.execution.parallelism,
+                batch_size=batch_size,
+            )
+        self._executor = ShardedExecutor(self.config.execution)
         self.store = DocumentStore("dt", self.config.storage)
         self.relational = RelationalStore()
         self.catalog = SourceCatalog()
@@ -149,6 +158,30 @@ class DataTamer:
     def register_text_parser(self, parser: DomainParser) -> None:
         """Register the user-defined domain parser (Figure 1's pluggable box)."""
         self._parser = parser
+
+    # -- execution knobs -----------------------------------------------------
+
+    @property
+    def executor(self) -> ShardedExecutor:
+        """The sharded executor threaded through consolidation and query."""
+        return self._executor
+
+    @property
+    def parallelism(self) -> int:
+        """Configured worker count (1 = sequential)."""
+        return self._executor.parallelism
+
+    @property
+    def batch_size(self) -> int:
+        """Configured pair-scoring batch size."""
+        return self._executor.batch_size
+
+    def set_parallelism(
+        self, workers: int, batch_size: Optional[int] = None
+    ) -> None:
+        """Reconfigure the execution engine (e.g. to A/B parallel vs serial)."""
+        self.config = self.config.with_parallelism(workers, batch_size=batch_size)
+        self._executor = ShardedExecutor(self.config.execution)
 
     # -- structured ingestion ------------------------------------------------
 
@@ -376,6 +409,7 @@ class DataTamer:
             config=self.config.entity,
             key_attribute=resolved_key,
             merge_policy=merge_policy,
+            executor=self._executor,
         )
         return consolidator.consolidate(records)
 
@@ -390,7 +424,7 @@ class DataTamer:
         entities = self.consolidate_curated(
             key_attribute=key_attribute, merge_policy=merge_policy
         )
-        return QueryEngine(entities)
+        return QueryEngine(entities, executor=self._executor)
 
     def top_discussed_shows(self, k: int = 10) -> List[MentionCount]:
         """The Table IV query: most discussed shows in the text collection."""

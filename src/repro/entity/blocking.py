@@ -14,12 +14,21 @@ provided (all used in the blocking ablation benchmark):
 
 Every blocker returns a :class:`BlockingResult` with the candidate pairs plus
 the reduction-ratio bookkeeping the benchmarks report.
+
+Each blocker's ``block`` method accepts an optional
+:class:`~repro.exec.executor.ShardedExecutor`; when given, the expensive
+per-record key extraction (tokenization, n-gramming, sort-key normalization)
+fans out over deterministic record shards, while block assembly and pair
+emission — which depend on global order — stay centralized.  Records carry
+their original input index through the fan-out, so the merged result is
+bit-identical to the sequential one.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import EntityResolutionError
@@ -27,6 +36,33 @@ from ..text.tokenizer import ngrams, tokenize
 from .record import Record
 
 Pair = Tuple[str, str]
+
+
+def _shard_record_keys(blocker, part):
+    """Per-shard key extraction for block-based blockers (picklable)."""
+    return [
+        (index, record.record_id, list(blocker.keys_for(record)))
+        for index, record in part
+    ]
+
+
+def _shard_sort_keys(blocker, part):
+    """Per-shard sort-key extraction for sorted-neighborhood (picklable)."""
+    return [(index, blocker._sort_key(record)) for index, record in part]
+
+
+def _fan_out_indexed(executor, worker, records):
+    """Fan ``worker`` out over shard partitions of (index, record) items.
+
+    Returns the per-record results reassembled in original input order, so
+    downstream block assembly sees exactly the sequential iteration order.
+    """
+    indexed = list(enumerate(records))
+    partitions = executor.partition(indexed, key=lambda item: item[1].record_id)
+    shard_results = executor.map_shards(worker, partitions)
+    merged = [entry for result in shard_results for entry in result]
+    merged.sort(key=lambda entry: entry[0])
+    return merged
 
 
 def _ordered(a: str, b: str) -> Pair:
@@ -92,17 +128,35 @@ class _BaseBlocker:
         """Return the blocking keys for one record (subclasses implement)."""
         raise NotImplementedError
 
-    def block(self, records: Sequence[Record]) -> BlockingResult:
+    def block(
+        self, records: Sequence[Record], executor=None
+    ) -> BlockingResult:
         """Group records by key and emit all within-block pairs.
 
         Blocks larger than ``max_block_size`` are dropped: giant blocks come
         from uninformative keys (stop-word tokens, common n-grams) and would
         reintroduce the quadratic blow-up blocking exists to avoid.
+
+        With a parallel ``executor``, key extraction fans out over record
+        shards; the keyed records are merged back into input order before
+        blocks are assembled, so the result matches the sequential path
+        exactly.
         """
+        if executor is not None and executor.fans_out:
+            keyed = _fan_out_indexed(
+                executor, partial(_shard_record_keys, self), records
+            )
+        else:
+            # stream one record at a time: no point holding every key list
+            # in memory on the sequential path
+            keyed = (
+                (index, record.record_id, self.keys_for(record))
+                for index, record in enumerate(records)
+            )
         blocks: Dict[str, List[str]] = defaultdict(list)
-        for record in records:
-            for key in set(self.keys_for(record)):
-                blocks[key].append(record.record_id)
+        for _, record_id, keys in keyed:
+            for key in set(keys):
+                blocks[key].append(record_id)
         result = BlockingResult(total_records=len(records))
         kept_blocks: Dict[str, List[str]] = {}
         for key, members in blocks.items():
@@ -178,9 +232,23 @@ class SortedNeighborhoodBlocker:
             return record.normalized(self.key_attribute)
         return record.text_blob()
 
-    def block(self, records: Sequence[Record]) -> BlockingResult:
-        """Sort records and emit pairs within the sliding window."""
-        ordered = sorted(records, key=self._sort_key)
+    def block(
+        self, records: Sequence[Record], executor=None
+    ) -> BlockingResult:
+        """Sort records and emit pairs within the sliding window.
+
+        With a parallel ``executor``, sort keys are computed per shard; the
+        final sort happens centrally on ``(key, input index)``, which is
+        exactly the stable ordering of the sequential path.
+        """
+        if executor is not None and executor.fans_out:
+            keyed = _fan_out_indexed(
+                executor, partial(_shard_sort_keys, self), records
+            )
+            order = sorted(keyed, key=lambda entry: (entry[1], entry[0]))
+            ordered = [records[index] for index, _ in order]
+        else:
+            ordered = sorted(records, key=self._sort_key)
         result = BlockingResult(total_records=len(records))
         for i in range(len(ordered)):
             for j in range(i + 1, min(i + self.window, len(ordered))):

@@ -4,16 +4,26 @@ This module ties the consolidation pipeline together: blocking → pairwise
 scoring with a trained :class:`~repro.entity.dedup.DedupModel` → union-find
 clustering → merging each cluster into one composite entity record under a
 configurable merge policy.
+
+When a :class:`~repro.exec.executor.ShardedExecutor` is supplied, the three
+expensive phases fan out: blocking-key extraction over record shards,
+pairwise scoring over bounded chunks (through
+:class:`~repro.exec.batch.BatchScorer`, which also caches tokenization), and
+cluster merging over cluster chunks.  Union-find clustering stays sequential
+— it is cheap and order-sensitive.  All parallel paths are bit-identical to
+the sequential ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..config import EntityConfig
 from ..errors import EntityResolutionError
+from ..exec.executor import ShardedExecutor, ShardPayload
 from .blocking import BlockingResult, full_pairs, make_blocker
 from .clustering import cluster_pairs
 from .dedup import DedupModel
@@ -70,6 +80,71 @@ class ConsolidationReport:
         }
 
 
+def _resolve_value(merge_policy: "MergePolicy", values: List[Tuple[str, Any]]) -> Any:
+    """Pick one value from ``(record_id, value)`` pairs under a merge policy."""
+    if merge_policy is MergePolicy.FIRST:
+        return values[0][1]
+    if merge_policy is MergePolicy.LONGEST:
+        return max(values, key=lambda item: len(str(item[1])))[1]
+    # MAJORITY
+    counts: Dict[str, List[Any]] = {}
+    for _, value in values:
+        counts.setdefault(str(value), []).append(value)
+    best_key = max(
+        sorted(counts.keys()),
+        key=lambda key: len(counts[key]),
+    )
+    return counts[best_key][0]
+
+
+def _merge_one_cluster(
+    merge_policy: "MergePolicy",
+    index: int,
+    cluster: Set[str],
+    by_id: Dict[str, Record],
+) -> "ConsolidatedEntity":
+    """Merge one duplicate cluster into a composite entity."""
+    member_ids = sorted(cluster)
+    members = [by_id[m] for m in member_ids]
+    attributes: Dict[str, Any] = {}
+    provenance: Dict[str, List[str]] = {}
+    all_attribute_names: List[str] = []
+    for record in members:
+        for name in record.as_dict():
+            if name not in all_attribute_names:
+                all_attribute_names.append(name)
+    for name in all_attribute_names:
+        values: List[Tuple[str, Any]] = []
+        for record in members:
+            value = record.get(name)
+            if value not in (None, ""):
+                values.append((record.record_id, value))
+        if not values:
+            continue
+        attributes[name] = _resolve_value(merge_policy, values)
+        provenance[name] = [record_id for record_id, _ in values]
+    return ConsolidatedEntity(
+        entity_id=f"entity:{index}",
+        member_record_ids=member_ids,
+        source_ids=sorted({by_id[m].source_id for m in member_ids}),
+        attributes=attributes,
+        provenance=provenance,
+    )
+
+
+def _merge_cluster_chunk(merge_policy, payload):
+    """Merge one chunk of (index, cluster) items (module-level: picklable).
+
+    The payload's context is a record lookup restricted to what this chunk
+    needs when the process backend is in play, so pickling stays bounded.
+    """
+    by_id, chunk = payload.context, payload.items
+    return [
+        _merge_one_cluster(merge_policy, index, cluster, by_id)
+        for index, cluster in chunk
+    ]
+
+
 class EntityConsolidator:
     """Run the full consolidation pipeline over a set of records."""
 
@@ -80,6 +155,7 @@ class EntityConsolidator:
         key_attribute: Optional[str] = None,
         merge_policy: MergePolicy = MergePolicy.MAJORITY,
         max_cluster_size: Optional[int] = 50,
+        executor: Optional[ShardedExecutor] = None,
     ):
         self._model = model
         self._config = config or EntityConfig()
@@ -87,7 +163,13 @@ class EntityConsolidator:
         self._key_attribute = key_attribute
         self._merge_policy = merge_policy
         self._max_cluster_size = max_cluster_size
+        self._executor = executor
         self._last_report: Optional[ConsolidationReport] = None
+
+    @property
+    def executor(self) -> Optional[ShardedExecutor]:
+        """The executor used for sharded fan-out (``None`` = sequential)."""
+        return self._executor
 
     @property
     def last_report(self) -> Optional[ConsolidationReport]:
@@ -105,7 +187,7 @@ class EntityConsolidator:
             result = BlockingResult(total_records=len(records))
             result.pairs = full_pairs(records)
             return result
-        return blocker.block(records)
+        return blocker.block(records, executor=self._executor)
 
     def consolidate(self, records: Sequence[Record]) -> List[ConsolidatedEntity]:
         """Deduplicate ``records`` and return composite entities.
@@ -122,7 +204,7 @@ class EntityConsolidator:
 
         blocking = self.candidate_pairs(records)
         candidate_list = sorted(blocking.pairs)
-        scores = self._model.score_pairs(by_id, candidate_list)
+        scores = self._score_pairs(by_id, candidate_list)
         matched = [
             pair for pair, prob in scores.items() if prob >= self._model.threshold
         ]
@@ -132,10 +214,10 @@ class EntityConsolidator:
             scores=scores,
             max_cluster_size=self._max_cluster_size,
         )
-        entities = [
-            self._merge_cluster(index, cluster, by_id)
-            for index, cluster in enumerate(sorted(clusters, key=lambda c: sorted(c)[0]))
-        ]
+        ordered_clusters = list(
+            enumerate(sorted(clusters, key=lambda c: sorted(c)[0]))
+        )
+        entities = self._merge_clusters(ordered_clusters, by_id)
         self._last_report = ConsolidationReport(
             input_records=len(records),
             candidate_pairs=len(candidate_list),
@@ -146,49 +228,61 @@ class EntityConsolidator:
         )
         return entities
 
+    # -- scoring -----------------------------------------------------------
+
+    def _score_pairs(
+        self, by_id: Dict[str, Record], candidate_list: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], float]:
+        """Score candidates, batched (and possibly parallel) when configured.
+
+        The batched path reassembles the full feature matrix before the
+        classifier runs, so its probabilities are exactly the sequential
+        ones.
+        """
+        if self._executor is None or not self._executor.fans_out:
+            return self._model.score_pairs(by_id, candidate_list)
+        # Imported here, not at module level: exec.batch depends on
+        # entity.similarity, so a module-level import would be circular.
+        from ..exec.batch import BatchScorer
+
+        scorer = BatchScorer(self._model, executor=self._executor)
+        return scorer.score_pairs(by_id, candidate_list)
+
     # -- merging -----------------------------------------------------------
 
-    def _merge_cluster(
-        self, index: int, cluster: Set[str], by_id: Dict[str, Record]
-    ) -> ConsolidatedEntity:
-        member_ids = sorted(cluster)
-        members = [by_id[m] for m in member_ids]
-        attributes: Dict[str, Any] = {}
-        provenance: Dict[str, List[str]] = {}
-        all_attribute_names: List[str] = []
-        for record in members:
-            for name in record.as_dict():
-                if name not in all_attribute_names:
-                    all_attribute_names.append(name)
-        for name in all_attribute_names:
-            values: List[Tuple[str, Any]] = []
-            for record in members:
-                value = record.get(name)
-                if value not in (None, ""):
-                    values.append((record.record_id, value))
-            if not values:
-                continue
-            attributes[name] = self._resolve(values)
-            provenance[name] = [record_id for record_id, _ in values]
-        return ConsolidatedEntity(
-            entity_id=f"entity:{index}",
-            member_record_ids=member_ids,
-            source_ids=sorted({by_id[m].source_id for m in member_ids}),
-            attributes=attributes,
-            provenance=provenance,
-        )
+    def _merge_clusters(
+        self,
+        ordered_clusters: List[Tuple[int, Set[str]]],
+        by_id: Dict[str, Record],
+    ) -> List[ConsolidatedEntity]:
+        """Merge clusters into entities, fanning out over chunks if parallel.
 
-    def _resolve(self, values: List[Tuple[str, Any]]) -> Any:
-        if self._merge_policy is MergePolicy.FIRST:
-            return values[0][1]
-        if self._merge_policy is MergePolicy.LONGEST:
-            return max(values, key=lambda item: len(str(item[1])))[1]
-        # MAJORITY
-        counts: Dict[str, List[Any]] = {}
-        for _, value in values:
-            counts.setdefault(str(value), []).append(value)
-        best_key = max(
-            sorted(counts.keys()),
-            key=lambda key: len(counts[key]),
-        )
-        return counts[best_key][0]
+        Each cluster merge is independent; chunk results are concatenated in
+        chunk order, so the entity list matches the sequential one exactly.
+        """
+        if self._executor is None or not self._executor.fans_out:
+            return [
+                _merge_one_cluster(self._merge_policy, index, cluster, by_id)
+                for index, cluster in ordered_clusters
+            ]
+        chunks = self._executor.chunk(ordered_clusters)
+        if self._executor.backend == "process":
+            # bound each pickled payload to the records its clusters touch
+            payloads = [
+                ShardPayload(
+                    context={
+                        record_id: by_id[record_id]
+                        for _, cluster in chunk
+                        for record_id in cluster
+                    },
+                    items=tuple(chunk),
+                )
+                for chunk in chunks
+            ]
+        else:
+            payloads = [
+                ShardPayload(context=by_id, items=tuple(chunk)) for chunk in chunks
+            ]
+        worker = partial(_merge_cluster_chunk, self._merge_policy)
+        chunk_results = self._executor.map_shards(worker, payloads)
+        return [entity for chunk in chunk_results for entity in chunk]

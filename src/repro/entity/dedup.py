@@ -68,6 +68,19 @@ class DedupModel:
         return FEATURE_NAMES
 
     @property
+    def compare_attributes(self) -> Optional[List[str]]:
+        """The attribute restriction applied to every pairwise comparison.
+
+        Batch scorers must honour this to stay equivalent to
+        :meth:`score_pairs`.
+        """
+        return (
+            list(self._compare_attributes)
+            if self._compare_attributes is not None
+            else None
+        )
+
+    @property
     def threshold(self) -> float:
         """Probability threshold above which a pair is declared a duplicate."""
         return self._config.match_threshold

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,20 +69,24 @@ def pair_features(
     record_a: Record,
     record_b: Record,
     compare_attributes: Optional[Sequence[str]] = None,
+    tokenizer: Callable[[str], List[str]] = tokenize,
 ) -> np.ndarray:
     """Compute the feature vector for one record pair.
 
     ``compare_attributes`` restricts per-attribute comparisons to a fixed
     attribute list (useful when the global schema is known); by default the
     intersection of the two records' populated attributes is used.
+    ``tokenizer`` must behave exactly like :func:`tokenize` — the batch
+    scorer passes an LRU-cached version so records that appear in many
+    candidate pairs are only tokenized once.
     """
     dict_a = record_a.as_dict()
     dict_b = record_b.as_dict()
 
     blob_a = record_a.text_blob(compare_attributes)
     blob_b = record_b.text_blob(compare_attributes)
-    tokens_a = tokenize(blob_a)
-    tokens_b = tokenize(blob_b)
+    tokens_a = tokenizer(blob_a)
+    tokens_b = tokenizer(blob_b)
 
     token_jaccard = jaccard_similarity(set(tokens_a), set(tokens_b))
     token_cosine = _token_cosine(tokens_a, tokens_b)
@@ -155,6 +159,7 @@ class PairFeatureExtractor:
         self,
         records: Sequence[Record],
         compare_attributes: Optional[Sequence[str]] = None,
+        tokenizer: Callable[[str], List[str]] = tokenize,
     ):
         self._by_id: Dict[str, Record] = {r.record_id: r for r in records}
         if len(self._by_id) != len(records):
@@ -162,6 +167,7 @@ class PairFeatureExtractor:
         self._compare_attributes = (
             list(compare_attributes) if compare_attributes is not None else None
         )
+        self._tokenizer = tokenizer
 
     @property
     def feature_names(self) -> Tuple[str, ...]:
@@ -175,7 +181,10 @@ class PairFeatureExtractor:
     def features_for_pair(self, id_a: str, id_b: str) -> np.ndarray:
         """Feature vector for one pair of record ids."""
         return pair_features(
-            self._by_id[id_a], self._by_id[id_b], self._compare_attributes
+            self._by_id[id_a],
+            self._by_id[id_b],
+            self._compare_attributes,
+            tokenizer=self._tokenizer,
         )
 
     def features_for_pairs(

@@ -1,0 +1,26 @@
+"""Parallel sharded execution engine.
+
+The paper's deployment spreads WEBINSTANCE/WEBENTITIES over sharded 2 GB
+extents and curates them with distributed workers; this package is the
+laptop-scale analogue.  :class:`ShardedExecutor` deterministically partitions
+work items over shards (reusing the storage layer's
+:class:`~repro.storage.sharding.ShardRouter`) and fans each shard out to a
+configurable thread/process pool with a stable-ordered merge, so every
+parallel code path in the system is bit-identical to its sequential
+counterpart.  :class:`BatchScorer` chunks candidate-pair scoring and caches
+normalized tokenization so repeated attribute values are tokenized once, not
+once per pair.
+"""
+
+from .executor import ShardedExecutor, ShardPayload, ShardTiming
+from .batch import BatchScorer, cached_tokenize, clear_token_cache, token_cache_info
+
+__all__ = [
+    "BatchScorer",
+    "ShardedExecutor",
+    "ShardPayload",
+    "ShardTiming",
+    "cached_tokenize",
+    "clear_token_cache",
+    "token_cache_info",
+]

@@ -1,0 +1,154 @@
+"""Batched candidate-pair scoring with a cached tokenization layer.
+
+Pairwise featurization re-tokenizes each record's text blob for every pair
+it appears in; with blocking a record typically appears in many pairs, so
+the same strings are tokenized over and over.  :func:`cached_tokenize` is an
+LRU-cached, bit-identical replacement for
+:func:`repro.text.tokenizer.tokenize` (tokenize is pure, so caching cannot
+change results).  :class:`BatchScorer` featurizes candidate pairs in
+bounded-size chunks — optionally fanned out through a
+:class:`~repro.exec.executor.ShardedExecutor` — then classifies the full
+feature matrix in one call, which makes its scores exactly those of
+:meth:`repro.entity.dedup.DedupModel.score_pairs`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache, partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..entity.similarity import FEATURE_NAMES, pair_features
+from ..text.tokenizer import tokenize
+from .executor import ShardedExecutor, ShardPayload
+
+_TOKEN_CACHE_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=_TOKEN_CACHE_SIZE)
+def _token_tuple(text: str) -> Tuple[str, ...]:
+    return tuple(tokenize(text))
+
+
+def cached_tokenize(text: str) -> List[str]:
+    """LRU-cached :func:`~repro.text.tokenizer.tokenize` (same output)."""
+    return list(_token_tuple(text))
+
+
+def token_cache_info():
+    """Hit/miss statistics of the shared token cache."""
+    return _token_tuple.cache_info()
+
+
+def clear_token_cache() -> None:
+    """Drop all cached tokenizations (mainly for tests and benchmarks)."""
+    _token_tuple.cache_clear()
+
+
+def _featurize_payload(compare_attributes, payload):
+    """Feature matrix for one (records, pairs) payload (module-level: picklable).
+
+    With the process backend the payload carries only the records its pairs
+    reference, so each chunk pickles a bounded slice of the corpus rather
+    than the whole record dictionary.
+    """
+    records_by_id, chunk = payload.context, payload.items
+    if not chunk:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
+    return np.vstack(
+        [
+            pair_features(
+                records_by_id[a],
+                records_by_id[b],
+                compare_attributes,
+                tokenizer=cached_tokenize,
+            )
+            for a, b in chunk
+        ]
+    )
+
+
+class BatchScorer:
+    """Score candidate pairs in chunks, equivalently to sequential scoring."""
+
+    def __init__(
+        self,
+        model,
+        executor: Optional[ShardedExecutor] = None,
+        batch_size: Optional[int] = None,
+        compare_attributes: Optional[Sequence[str]] = None,
+    ):
+        self._model = model
+        self._executor = executor if executor is not None else ShardedExecutor()
+        self._batch_size = (
+            batch_size if batch_size is not None else self._executor.batch_size
+        )
+        if compare_attributes is None:
+            # inherit the model's restriction — scoring with a different
+            # attribute set than DedupModel.score_pairs would silently break
+            # the sequential-equivalence guarantee
+            compare_attributes = getattr(model, "compare_attributes", None)
+        self._compare_attributes = (
+            list(compare_attributes) if compare_attributes is not None else None
+        )
+
+    @property
+    def batch_size(self) -> int:
+        """Number of pairs featurized per chunk."""
+        return self._batch_size
+
+    def featurize_pairs(
+        self,
+        records_by_id: Dict[str, object],
+        candidate_pairs: Sequence[Tuple[str, str]],
+    ) -> np.ndarray:
+        """Feature matrix for ``candidate_pairs``, one row per pair in order."""
+        pairs = list(candidate_pairs)
+        if not pairs:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
+        chunks = self._executor.chunk(pairs, self._batch_size)
+        if self._executor.backend == "process":
+            # ship each chunk only the records it references so the pickled
+            # payload stays bounded by batch_size, not corpus size
+            payloads = []
+            for chunk in chunks:
+                wanted = {record_id for pair in chunk for record_id in pair}
+                payloads.append(
+                    ShardPayload(
+                        context={
+                            record_id: records_by_id[record_id]
+                            for record_id in wanted
+                        },
+                        items=tuple(chunk),
+                    )
+                )
+        else:
+            # threads/serial share memory — no copy needed
+            payloads = [
+                ShardPayload(context=records_by_id, items=tuple(chunk))
+                for chunk in chunks
+            ]
+        worker = partial(_featurize_payload, self._compare_attributes)
+        matrices = self._executor.map_shards(worker, payloads)
+        return np.vstack(matrices)
+
+    def score_pairs(
+        self,
+        records_by_id: Dict[str, object],
+        candidate_pairs: Sequence[Tuple[str, str]],
+    ) -> Dict[Tuple[str, str], float]:
+        """Pair → duplicate probability, identical to the sequential scorer.
+
+        Featurization happens per chunk (possibly in parallel); the
+        classifier then sees the reassembled full matrix in one call, so the
+        probabilities match :meth:`DedupModel.score_pairs` bit for bit.
+        """
+        pairs = list(candidate_pairs)
+        if not pairs:
+            return {}
+        X = self.featurize_pairs(records_by_id, pairs)
+        probabilities = self._model.predict_proba_features(X)
+        return {
+            pair: float(prob) for pair, prob in zip(pairs, probabilities)
+        }

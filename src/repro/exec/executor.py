@@ -1,0 +1,195 @@
+"""The sharded fan-out/fan-in executor.
+
+Design rules that make parallel runs equivalent to sequential ones:
+
+* **Deterministic partitioning.**  Items are routed to shards by hashing a
+  caller-supplied key through :class:`~repro.storage.sharding.ShardRouter`
+  (blake2b, never Python's randomized ``hash``), so the same inputs land on
+  the same shards in every run and every process.
+* **Stable merge order.**  Results are always returned indexed by shard (or
+  chunk) position, never by completion order.
+* **Order-preserving shards.**  Within a shard, items keep their relative
+  input order, so callers that need the exact sequential order can carry the
+  original index through the fan-out and sort on it when merging.
+
+Workers passed to :meth:`ShardedExecutor.map_shards` should be module-level
+functions (or :func:`functools.partial` of them) when the ``process`` backend
+is in play — closures do not pickle.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from ..config import ExecConfig
+from ..errors import TamerError
+from ..storage.sharding import ShardRouter
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall time and item count for one shard (or chunk) of a fan-out."""
+
+    shard: int
+    seconds: float
+    items: int
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """Shared context plus the items of one shard/chunk.
+
+    Workers that need more than the item list (e.g. a record lookup) receive
+    one of these; ``len()`` reports the item count so
+    :class:`ShardTiming.items` stays meaningful.
+    """
+
+    context: Any
+    items: tuple
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _timed_call(func: Callable[[Any], Any], index: int, part: Any):
+    """Run ``func(part)`` and capture its wall time (module-level: picklable)."""
+    start = time.perf_counter()
+    result = func(part)
+    elapsed = time.perf_counter() - start
+    size = len(part) if hasattr(part, "__len__") else 1
+    return ShardTiming(shard=index, seconds=elapsed, items=size), result
+
+
+class ShardedExecutor:
+    """Partition work deterministically and fan it out to a worker pool."""
+
+    def __init__(
+        self,
+        config: Optional[ExecConfig] = None,
+        *,
+        parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        backend: Optional[str] = None,
+    ):
+        base = config or ExecConfig()
+        self._config = ExecConfig(
+            parallelism=parallelism if parallelism is not None else base.parallelism,
+            batch_size=batch_size if batch_size is not None else base.batch_size,
+            backend=backend if backend is not None else base.backend,
+        )
+        self._config.validate()
+        self._last_timings: List[ShardTiming] = []
+
+    @property
+    def config(self) -> ExecConfig:
+        """The validated execution configuration."""
+        return self._config
+
+    @property
+    def parallelism(self) -> int:
+        """Configured worker count (1 means sequential)."""
+        return self._config.parallelism
+
+    @property
+    def batch_size(self) -> int:
+        """Configured scoring batch size."""
+        return self._config.batch_size
+
+    @property
+    def backend(self) -> str:
+        """Pool flavour: ``serial``, ``thread`` or ``process``."""
+        return self._config.backend
+
+    @property
+    def fans_out(self) -> bool:
+        """Whether sharded fan-out code paths should run at all.
+
+        True whenever more than one worker is configured — including the
+        ``serial`` backend, which executes the very same shard functions
+        inline (the debugging mode).  With one worker the plain sequential
+        code paths run instead.
+        """
+        return self._config.parallelism > 1
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether fan-outs actually use a pool."""
+        return self._config.parallelism > 1 and self._config.backend != "serial"
+
+    @property
+    def last_shard_timings(self) -> List[ShardTiming]:
+        """Per-shard timings of the most recent ``map_shards``/``map_chunks``."""
+        return list(self._last_timings)
+
+    # -- partitioning --------------------------------------------------------
+
+    def partition(
+        self,
+        items: Sequence[T],
+        key: Callable[[T], object],
+        num_shards: Optional[int] = None,
+    ) -> List[List[T]]:
+        """Split ``items`` into shards by hashing ``key(item)``.
+
+        Empty shards are kept so shard indices are stable regardless of the
+        data; relative item order within a shard follows input order.
+        """
+        n = num_shards if num_shards is not None else max(1, self.parallelism)
+        if n < 1:
+            raise TamerError("num_shards must be >= 1")
+        router = ShardRouter(n)
+        parts: List[List[T]] = [[] for _ in range(n)]
+        for item in items:
+            parts[router.shard_for(key(item))].append(item)
+        return parts
+
+    def chunk(
+        self, items: Sequence[T], batch_size: Optional[int] = None
+    ) -> List[List[T]]:
+        """Split ``items`` into contiguous chunks of at most ``batch_size``."""
+        size = batch_size if batch_size is not None else self.batch_size
+        if size < 1:
+            raise TamerError("batch_size must be >= 1")
+        return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+    # -- fan-out -------------------------------------------------------------
+
+    def map_shards(
+        self, func: Callable[[List[T]], Any], partitions: Sequence[List[T]]
+    ) -> List[Any]:
+        """Apply ``func`` to every partition; results ordered by shard index.
+
+        Per-shard wall times are recorded in :attr:`last_shard_timings`.
+        """
+        # reset first so a raising worker leaves no stale timings behind
+        self._last_timings = []
+        calls = [partial(_timed_call, func, index) for index in range(len(partitions))]
+        if not self.is_parallel or len(partitions) <= 1:
+            timed = [call(part) for call, part in zip(calls, partitions)]
+        else:
+            pool_cls = (
+                ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
+            )
+            workers = min(self.parallelism, len(partitions))
+            with pool_cls(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(call, part) for call, part in zip(calls, partitions)
+                ]
+                timed = [future.result() for future in futures]
+        self._last_timings = [timing for timing, _ in timed]
+        return [result for _, result in timed]
+
+    def map_chunks(
+        self,
+        func: Callable[[List[T]], Any],
+        items: Sequence[T],
+        batch_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Chunk ``items`` and apply ``func`` per chunk, preserving order."""
+        return self.map_shards(func, self.chunk(items, batch_size))

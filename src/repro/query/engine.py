@@ -10,14 +10,40 @@ query used for Tables V and VI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..entity.consolidation import ConsolidatedEntity
 from ..errors import QueryError
+from ..exec.executor import ShardedExecutor
 from ..text.normalize import TextNormalizer
 from ..text.tokenizer import tokenize
 
 _normalizer = TextNormalizer()
+
+
+def _entity_matches_search(
+    entity: ConsolidatedEntity,
+    wanted: frozenset,
+    attributes: Optional[Sequence[str]],
+) -> bool:
+    """Whether an entity's (selected) text contains every wanted token."""
+    haystack: List[str] = []
+    for name, value in entity.attributes.items():
+        if attributes is not None and name not in attributes:
+            continue
+        if value not in (None, ""):
+            haystack.extend(tokenize(str(value)))
+    return wanted.issubset(set(haystack))
+
+
+def _search_shard(wanted, attributes, part):
+    """Evaluate the search predicate over one shard (picklable worker)."""
+    return [
+        index
+        for index, entity in part
+        if _entity_matches_search(entity, wanted, attributes)
+    ]
 
 
 @dataclass
@@ -52,8 +78,13 @@ class QueryResult:
 class QueryEngine:
     """Query consolidated entities expressed in the global schema."""
 
-    def __init__(self, entities: Iterable[ConsolidatedEntity]):
+    def __init__(
+        self,
+        entities: Iterable[ConsolidatedEntity],
+        executor: Optional[ShardedExecutor] = None,
+    ):
         self._entities: List[ConsolidatedEntity] = list(entities)
+        self._executor = executor
 
     def __len__(self) -> int:
         return len(self._entities)
@@ -96,20 +127,33 @@ class QueryEngine:
         )
 
     def search(self, phrase: str, attributes: Optional[Sequence[str]] = None) -> QueryResult:
-        """Keyword search: entities whose text contains every token of ``phrase``."""
-        wanted = set(tokenize(phrase))
+        """Keyword search: entities whose text contains every token of ``phrase``.
+
+        With a parallel executor the tokenize-heavy predicate fans out over
+        deterministic entity shards; matches are merged back into engine
+        order, so results are identical to the sequential scan.
+        """
+        wanted = frozenset(tokenize(phrase))
         if not wanted:
             raise QueryError("search phrase has no tokens")
-        matches = []
-        for entity in self._entities:
-            haystack: List[str] = []
-            for name, value in entity.attributes.items():
-                if attributes is not None and name not in attributes:
-                    continue
-                if value not in (None, ""):
-                    haystack.extend(tokenize(str(value)))
-            if wanted.issubset(set(haystack)):
-                matches.append(entity)
+        attribute_list = list(attributes) if attributes is not None else None
+        if self._executor is not None and self._executor.fans_out:
+            indexed = list(enumerate(self._entities))
+            partitions = self._executor.partition(
+                indexed, key=lambda item: item[1].entity_id
+            )
+            worker = partial(_search_shard, wanted, attribute_list)
+            shard_hits = self._executor.map_shards(worker, partitions)
+            hit_indices = sorted(
+                index for hits in shard_hits for index in hits
+            )
+            matches = [self._entities[index] for index in hit_indices]
+        else:
+            matches = [
+                entity
+                for entity in self._entities
+                if _entity_matches_search(entity, wanted, attribute_list)
+            ]
         return QueryResult(entities=matches)
 
     def lookup_show(

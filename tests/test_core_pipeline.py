@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.core.pipeline import CurationPipeline
+from repro.config import ExecConfig
+from repro.core.pipeline import CurationPipeline, ParallelStage
 from repro.errors import TamerError
+from repro.exec import ShardedExecutor
 
 
 class TestCurationPipeline:
@@ -65,3 +67,105 @@ class TestCurationPipeline:
 
     def test_succeeded_false_before_any_run(self):
         assert not CurationPipeline().succeeded
+
+    def test_failing_stage_does_not_leave_stale_context_entry(self):
+        """Regression: a stage failing on run 2 must clear its run-1 output.
+
+        The pipeline used to leave ``context[stage.name]`` from a previous
+        run over the same context dictionary when the stage later failed
+        with ``stop_on_error=False``; downstream stages then silently
+        consumed the stale value.
+        """
+        flag = {"fail": False}
+
+        def sometimes(ctx):
+            if flag["fail"]:
+                raise ValueError("boom")
+            return "fresh"
+
+        pipeline = CurationPipeline().add_stage("flaky", sometimes)
+        context = {}
+        pipeline.run(context)
+        assert context["flaky"] == "fresh"
+
+        flag["fail"] = True
+        pipeline.run(context, stop_on_error=False)
+        assert "flaky" not in context
+        assert not pipeline.succeeded
+
+    def test_failing_stage_clears_context_with_stop_on_error(self):
+        pipeline = CurationPipeline().add_stage("flaky", lambda ctx: 1 / ctx["d"])
+        context = {"d": 1}
+        pipeline.run(context)
+        assert context["flaky"] == 1.0
+        context["d"] = 0
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run(context)
+        assert "flaky" not in context
+
+
+class TestParallelStage:
+    def _executor(self, workers=4):
+        return ShardedExecutor(ExecConfig(parallelism=workers))
+
+    def test_fan_out_worker_fan_in(self):
+        pipeline = CurationPipeline(executor=self._executor())
+        pipeline.add_stage("numbers", lambda ctx: list(range(100)))
+        pipeline.add_parallel_stage(
+            "square_sum",
+            fan_out=lambda ctx: pipeline.executor.partition(
+                ctx["numbers"], key=lambda n: n
+            ),
+            worker=lambda part: sum(n * n for n in part),
+            fan_in=lambda ctx, results: sum(results),
+        )
+        context = pipeline.run()
+        assert context["square_sum"] == sum(n * n for n in range(100))
+
+    def test_default_fan_in_returns_ordered_results(self):
+        pipeline = CurationPipeline(executor=self._executor())
+        pipeline.add_parallel_stage(
+            "lengths",
+            fan_out=lambda ctx: [[1], [2, 2], [3, 3, 3]],
+            worker=len,
+        )
+        context = pipeline.run()
+        assert context["lengths"] == [1, 2, 3]
+
+    def test_shard_seconds_captured_in_stage_result(self):
+        pipeline = CurationPipeline(executor=self._executor())
+        pipeline.add_stage("seq", lambda ctx: 1)
+        pipeline.add_parallel_stage(
+            "par",
+            fan_out=lambda ctx: [[1], [2], [3]],
+            worker=sum,
+        )
+        pipeline.run()
+        by_name = {r.name: r for r in pipeline.results}
+        assert by_name["seq"].shard_seconds == []
+        assert len(by_name["par"].shard_seconds) == 3
+        assert all(s >= 0 for s in by_name["par"].shard_seconds)
+        assert pipeline.shard_timing_summary()["par"] == by_name["par"].shard_seconds
+
+    def test_parallel_stage_failure_recorded(self):
+        pipeline = CurationPipeline(executor=self._executor())
+        pipeline.add_parallel_stage(
+            "bad",
+            fan_out=lambda ctx: [[1], [0]],
+            worker=lambda part: 1 // part[0],
+        )
+        with pytest.raises(ZeroDivisionError):
+            pipeline.run()
+        assert not pipeline.succeeded
+        assert pipeline.results[0].error is not None
+
+    def test_parallel_stage_listed_in_stages(self):
+        pipeline = CurationPipeline()
+        pipeline.add_parallel_stage(
+            "p", fan_out=lambda ctx: [], worker=lambda part: part
+        )
+        assert isinstance(pipeline.stages[0], ParallelStage)
+        with pytest.raises(TamerError):
+            pipeline.add_parallel_stage(
+                "", fan_out=lambda ctx: [], worker=lambda part: part
+            )

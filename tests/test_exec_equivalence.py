@@ -1,0 +1,261 @@
+"""Parallel/sequential equivalence properties of the execution engine.
+
+Every parallel code path in the system is designed to be *bit-identical* to
+its sequential counterpart: deterministic shard routing, order-preserving
+fan-out, and stable merges.  These tests enforce that property over seeded
+random corpora for 1, 2 and 8 workers — blocking, pairwise scoring,
+consolidation and keyword search all produce exactly the sequential result.
+"""
+
+import random
+
+import pytest
+
+from repro import DataTamer, TamerConfig
+from repro.config import ExecConfig
+from repro.entity.blocking import (
+    NGramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+)
+from repro.entity.consolidation import EntityConsolidator
+from repro.entity.dedup import DedupModel
+from repro.entity.record import Record
+from repro.exec import BatchScorer, ShardedExecutor
+from repro.query.engine import QueryEngine
+from repro.workloads import DedupCorpusGenerator
+
+WORKER_COUNTS = (1, 2, 8)
+SEEDS = (0, 1, 2)
+
+_WORDS = (
+    "matilda", "chicago", "wicked", "pippin", "cinderella", "annie",
+    "broadway", "theater", "musical", "tickets", "show", "evening",
+    "matinee", "orchestra", "balcony", "premiere",
+)
+
+
+def random_records(seed: int, n: int = 80):
+    """A seeded random corpus with overlapping tokens and sparse attributes."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        fields = {
+            "show_name": " ".join(rng.sample(_WORDS, rng.randint(1, 3))),
+            "city": rng.choice(["new york", "boston", "chicago", "london"]),
+            "price": rng.randint(20, 200),
+            "venue": rng.choice(_WORDS),
+        }
+        # sparse records: drop attributes at random so attribute-overlap
+        # features and blocking keys vary across the corpus
+        for attr in ("city", "price", "venue"):
+            if rng.random() < 0.35:
+                del fields[attr]
+        records.append(Record.from_dict(f"r{i}", f"src{i % 4}", fields))
+    return records
+
+
+def executor_for(workers: int, batch_size: int = 17) -> ShardedExecutor:
+    """A thread-pool executor with a deliberately odd batch size."""
+    return ShardedExecutor(
+        ExecConfig(parallelism=workers, batch_size=batch_size)
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DedupCorpusGenerator(seed=29).generate(
+        n_entities=50, variants_per_entity=2
+    )
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    return DedupModel(seed=0).fit(corpus.pairs)
+
+
+class TestBlockingEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_token_blocker(self, workers, seed):
+        records = random_records(seed)
+        blocker = TokenBlocker(max_block_size=40)
+        sequential = blocker.block(records)
+        parallel = blocker.block(records, executor=executor_for(workers))
+        assert parallel.pairs == sequential.pairs
+        assert parallel.blocks == sequential.blocks
+        assert parallel.total_records == sequential.total_records
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ngram_blocker(self, workers, seed):
+        records = random_records(seed)
+        blocker = NGramBlocker(key_attribute="show_name", n=3, max_block_size=40)
+        sequential = blocker.block(records)
+        parallel = blocker.block(records, executor=executor_for(workers))
+        assert parallel.pairs == sequential.pairs
+        assert parallel.blocks == sequential.blocks
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sorted_neighborhood_blocker(self, workers, seed):
+        records = random_records(seed)
+        blocker = SortedNeighborhoodBlocker(key_attribute="show_name", window=4)
+        sequential = blocker.block(records)
+        parallel = blocker.block(records, executor=executor_for(workers))
+        assert parallel.pairs == sequential.pairs
+        # the sorted order itself must be reproduced exactly, ties included
+        assert parallel.blocks == sequential.blocks
+
+
+class TestScoringEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_batch_scorer_matches_sequential_scores(self, corpus, model, workers):
+        records = corpus.records
+        by_id = {r.record_id: r for r in records}
+        candidates = sorted(TokenBlocker(max_block_size=60).block(records).pairs)
+        assert candidates, "corpus must produce candidate pairs"
+
+        sequential = model.score_pairs(by_id, candidates)
+        scorer = BatchScorer(model, executor=executor_for(workers))
+        parallel = scorer.score_pairs(by_id, candidates)
+
+        # exact float equality: the batched path must reassemble the very
+        # same feature matrix before the classifier sees it
+        assert parallel == sequential
+
+    def test_compare_attributes_restriction_is_inherited(self, corpus):
+        """Regression: a model's compare_attributes must flow into BatchScorer.
+
+        BatchScorer used to default to no attribute restriction, silently
+        scoring (and consolidating) differently from the sequential path for
+        models built with ``compare_attributes``.
+        """
+        restricted = DedupModel(compare_attributes=["name"], seed=0).fit(
+            corpus.pairs
+        )
+        records = corpus.records
+        by_id = {r.record_id: r for r in records}
+        candidates = sorted(TokenBlocker(max_block_size=60).block(records).pairs)
+
+        sequential = restricted.score_pairs(by_id, candidates)
+        scorer = BatchScorer(restricted, executor=executor_for(4))
+        assert scorer.score_pairs(by_id, candidates) == sequential
+
+        seq_entities = EntityConsolidator(model=restricted).consolidate(records)
+        par_entities = EntityConsolidator(
+            model=restricted, executor=executor_for(4)
+        ).consolidate(records)
+        assert par_entities == seq_entities
+
+    def test_batch_size_one_still_identical(self, corpus, model):
+        records = corpus.records[:20]
+        by_id = {r.record_id: r for r in records}
+        candidates = sorted(TokenBlocker(max_block_size=60).block(records).pairs)
+        sequential = model.score_pairs(by_id, candidates)
+        scorer = BatchScorer(model, executor=executor_for(4), batch_size=1)
+        assert scorer.score_pairs(by_id, candidates) == sequential
+
+
+class TestConsolidationEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_entities_identical(self, corpus, model, workers):
+        records = corpus.records
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        parallel = EntityConsolidator(
+            model=model, executor=executor_for(workers)
+        ).consolidate(records)
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_entities_identical_on_random_corpora(self, model, seed):
+        records = random_records(seed, n=60)
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        parallel = EntityConsolidator(
+            model=model, executor=executor_for(8)
+        ).consolidate(records)
+        assert parallel == sequential
+
+    def test_reports_identical(self, corpus, model):
+        records = corpus.records
+        seq = EntityConsolidator(model=model)
+        seq.consolidate(records)
+        par = EntityConsolidator(model=model, executor=executor_for(8))
+        par.consolidate(records)
+        assert par.last_report.as_dict() == seq.last_report.as_dict()
+
+    def test_serial_backend_runs_fan_out_inline_identically(self, corpus, model):
+        """backend='serial' must execute the shard functions (inline) and
+        still match the sequential path — the documented debugging mode."""
+        records = corpus.records[:40]
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        executor = ShardedExecutor(
+            ExecConfig(parallelism=4, batch_size=32, backend="serial")
+        )
+        assert executor.fans_out and not executor.is_parallel
+        parallel = EntityConsolidator(
+            model=model, executor=executor
+        ).consolidate(records)
+        assert parallel == sequential
+        # the fan-out really ran: per-shard timings were recorded
+        assert executor.last_shard_timings
+
+    def test_process_backend_identical(self, corpus, model):
+        records = corpus.records[:40]
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        executor = ShardedExecutor(
+            ExecConfig(parallelism=2, batch_size=64, backend="process")
+        )
+        parallel = EntityConsolidator(
+            model=model, executor=executor
+        ).consolidate(records)
+        assert parallel == sequential
+
+
+class TestFacadeEquivalence:
+    def test_datatamer_parallel_knobs_do_not_change_results(self, model):
+        """The facade's parallelism knob must not change consolidation."""
+        rows = [
+            {"name": "Matilda", "theater": "Shubert", "price": 87},
+            {"name": "Matilda the Musical", "theater": "Shubert"},
+            {"name": "Chicago", "theater": "Ambassador", "price": 75},
+            {"name": "Wicked", "theater": "Gershwin"},
+            {"name": "Wicked ", "price": 99},
+        ]
+
+        def consolidate(parallelism):
+            tamer = DataTamer(TamerConfig.small(), parallelism=parallelism)
+            tamer.ingest_structured_records("playbill", rows[:3])
+            tamer.ingest_structured_records("ticketmaster", rows[3:])
+            tamer.set_dedup_model(model)
+            return tamer.consolidate_curated(key_attribute="name")
+
+        sequential = consolidate(1)
+        parallel = consolidate(4)
+        assert parallel == sequential
+
+    def test_set_parallelism_rebuilds_executor(self):
+        tamer = DataTamer(TamerConfig.small())
+        assert tamer.parallelism == 1
+        tamer.set_parallelism(4, batch_size=64)
+        assert tamer.parallelism == 4
+        assert tamer.batch_size == 64
+        assert tamer.executor.is_parallel
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_search_results_identical(self, corpus, model, workers):
+        entities = EntityConsolidator(model=model).consolidate(corpus.records)
+        sequential = QueryEngine(entities)
+        parallel = QueryEngine(entities, executor=executor_for(workers))
+        # phrases drawn from the data (some hits) plus a guaranteed miss
+        names = [str(e.attributes.get("name", "")) for e in entities[:5]]
+        phrases = [n.split()[0] for n in names if n] + ["zzz no match"]
+        for phrase in phrases:
+            seq_result = sequential.search(phrase)
+            par_result = parallel.search(phrase)
+            assert [e.entity_id for e in par_result] == [
+                e.entity_id for e in seq_result
+            ]
+            assert par_result.as_dicts() == seq_result.as_dicts()
