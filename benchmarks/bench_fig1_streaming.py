@@ -1,0 +1,125 @@
+"""Figure 1 (streaming) — full re-curation vs incremental delta curation.
+
+The paper's system curates collections that grow continuously; this
+benchmark quantifies what the incremental engine buys over re-running the
+whole batch pipeline when a small delta lands.  For each delta size it
+applies fresh records to a streaming-curated collection and times
+
+* **incremental** — ``StreamingTamer.refresh()``: changelog drain, delta
+  blocking, delta featurization, incremental union/split, memoized merges;
+* **batch** — a from-scratch ``EntityConsolidator`` run over the whole
+  collection (the pre-streaming behaviour).
+
+The two outputs are asserted bit-identical before any timing is reported —
+the speedup is never bought with a different answer.  Results land in
+``benchmarks/results/fig1_streaming_compare.txt``; corpus sizes honour
+``BENCH_SCALE``.
+"""
+
+import time
+
+from conftest import build_tamer, scaled, write_report
+
+from repro.config import StreamConfig
+from repro.workloads import DedupCorpusGenerator
+
+#: Initial curated-collection size (records).
+BASE_RECORDS = scaled(600, floor=40)
+#: Delta sizes to compare (records per applied delta).
+DELTA_SIZES = tuple(
+    sorted({scaled(n, floor=1) for n in (2, 8, 32, 128)})
+)
+
+
+def _record_pool(n_needed: int):
+    """Deterministic pool of dedup-style records (duplicates included)."""
+    pool = []
+    n_entities = 100
+    while True:
+        corpus = DedupCorpusGenerator(seed=201).generate(
+            n_entities=n_entities, variants_per_entity=3
+        )
+        pool = corpus.records
+        if len(pool) >= n_needed:
+            return pool
+        n_entities *= 2
+
+
+def _streaming_tamer(dedup_corpus, base_records):
+    tamer = build_tamer()
+    tamer.config.stream = StreamConfig(max_batch_size=512, rebuild_threshold=0)
+    tamer.train_dedup_model(dedup_corpus.pairs)
+    for record in base_records:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="stream"))
+    stream = tamer.start_stream(key_attribute="name")
+    stream.refresh()  # bootstrap curation outside the timed region
+    return tamer, stream
+
+
+def _compare_streaming(dedup_corpus, base_count, delta_sizes):
+    """Rows of (delta, corpus, incremental_s, batch_s, speedup)."""
+    pool = _record_pool(base_count + sum(delta_sizes))
+    tamer, stream = _streaming_tamer(dedup_corpus, pool[:base_count])
+    cursor = base_count
+    rows = []
+    for delta in delta_sizes:
+        for record in pool[cursor : cursor + delta]:
+            tamer.curated_collection.insert(
+                dict(record.as_dict(), _source="stream")
+            )
+        cursor += delta
+
+        start = time.perf_counter()
+        incremental = stream.refresh()
+        incremental_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch = stream.batch_reference()
+        batch_s = time.perf_counter() - start
+
+        assert incremental == batch, "incremental and batch outputs diverged"
+        rows.append(
+            (
+                delta,
+                stream.curator.record_count,
+                incremental_s,
+                batch_s,
+                batch_s / incremental_s if incremental_s > 0 else float("inf"),
+            )
+        )
+    return rows
+
+
+def test_fig1_streaming_compare(benchmark, dedup_corpus):
+    rows = benchmark.pedantic(
+        _compare_streaming,
+        args=(dedup_corpus, BASE_RECORDS, DELTA_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 1 (streaming) — incremental delta curation vs full batch "
+        f"re-curation ({BASE_RECORDS} base records)",
+        f"{'delta':>8}{'corpus':>10}{'incr_s':>12}{'batch_s':>12}{'speedup':>10}",
+    ]
+    for delta, corpus, incr_s, batch_s, speedup in rows:
+        lines.append(
+            f"{delta:>8}{corpus:>10}{incr_s:>12.4f}{batch_s:>12.4f}{speedup:>9.1f}x"
+        )
+    write_report("fig1_streaming_compare", lines)
+    assert len(rows) == len(DELTA_SIZES)
+
+
+def test_streaming_refresh_is_incremental(dedup_corpus):
+    """The refresh after a small delta touches only delta-sized work."""
+    pool = _record_pool(BASE_RECORDS + 4)
+    tamer, stream = _streaming_tamer(dedup_corpus, pool[:BASE_RECORDS])
+    baseline = stream.curator.last_stats
+    for record in pool[BASE_RECORDS : BASE_RECORDS + 4]:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="stream"))
+    stream.refresh()
+    stats = stream.curator.last_stats
+    # featurization (the hot path) is bounded by the delta's blocks, far
+    # below the full candidate set the bootstrap had to score
+    assert stats.pairs_featurized < max(baseline.candidate_pairs, 1)
+    assert stats.merges_reused > 0

@@ -19,13 +19,15 @@ from .config import (
     ExpertConfig,
     SchemaConfig,
     StorageConfig,
+    StreamConfig,
     TamerConfig,
 )
 from .core.tamer import DataTamer, StructuredIngestReport, TextIngestReport
 from .errors import TamerError
 from .exec import BatchScorer, ShardedExecutor
+from .stream import StreamingTamer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DataTamer",
@@ -37,8 +39,10 @@ __all__ = [
     "EntityConfig",
     "ExecConfig",
     "ExpertConfig",
+    "StreamConfig",
     "BatchScorer",
     "ShardedExecutor",
+    "StreamingTamer",
     "TamerError",
     "__version__",
 ]

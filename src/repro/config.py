@@ -128,6 +128,34 @@ class ExecConfig:
 
 
 @dataclass
+class StreamConfig:
+    """Settings for the incremental streaming curation engine.
+
+    ``max_batch_size`` bounds how many changelog events one micro-batch may
+    carry; ``flush_interval`` is how long (seconds, measured from when the
+    scheduler first observes them) pending events may wait before a flush
+    is due even though the batch is not full (0 means every poll flushes);
+    ``rebuild_threshold`` is the number of applied
+    events after which the engine discards its incremental state and falls
+    back to a full from-scratch rebuild (0 disables the fallback — the
+    incremental path is exactly equivalent, so the rebuild is hygiene, not
+    correctness).
+    """
+
+    max_batch_size: int = 256
+    flush_interval: float = 0.0
+    rebuild_threshold: int = 10_000
+
+    def validate(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.flush_interval < 0:
+            raise ConfigError("flush_interval must be >= 0")
+        if self.rebuild_threshold < 0:
+            raise ConfigError("rebuild_threshold must be >= 0")
+
+
+@dataclass
 class ExpertConfig:
     """Settings for the expert-sourcing subsystem."""
 
@@ -153,6 +181,7 @@ class TamerConfig:
     entity: EntityConfig = field(default_factory=EntityConfig)
     expert: ExpertConfig = field(default_factory=ExpertConfig)
     execution: ExecConfig = field(default_factory=ExecConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
     seed: Optional[int] = 0
 
     def validate(self) -> "TamerConfig":
@@ -162,6 +191,7 @@ class TamerConfig:
         self.entity.validate()
         self.expert.validate()
         self.execution.validate()
+        self.stream.validate()
         return self
 
     def with_seed(self, seed: int) -> "TamerConfig":

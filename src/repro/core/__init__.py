@@ -9,7 +9,13 @@ domain parser, integrate schemas, consolidate entities and query/fuse.
 """
 
 from .catalog import CatalogEntry, SourceCatalog
-from .pipeline import CurationPipeline, ParallelStage, PipelineStage, StageResult
+from .pipeline import (
+    CurationPipeline,
+    ParallelStage,
+    PipelineStage,
+    StageResult,
+    StreamingStage,
+)
 from .report import CurationReport
 from .tamer import DataTamer, TextIngestReport, StructuredIngestReport
 
@@ -21,6 +27,7 @@ __all__ = [
     "ParallelStage",
     "PipelineStage",
     "StageResult",
+    "StreamingStage",
     "DataTamer",
     "TextIngestReport",
     "StructuredIngestReport",

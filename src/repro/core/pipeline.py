@@ -8,7 +8,7 @@ dictionary, stages run in order, and the pipeline records per-stage wall
 time and outcome — which is exactly what the Figure 1 scale-sweep benchmark
 reports.
 
-Stages come in two flavours:
+Stages come in three flavours:
 
 * :class:`PipelineStage` — one callable, run inline.
 * :class:`ParallelStage` — a fan-out/fan-in stage: ``fan_out`` splits the
@@ -16,6 +16,9 @@ Stages come in two flavours:
   maps ``worker`` over the partitions (threads, processes or inline), and
   ``fan_in`` merges the per-shard results in stable shard order.  Per-shard
   wall times are captured in :attr:`StageResult.shard_seconds`.
+* :class:`StreamingStage` — a micro-batch stage: ``source`` yields delta
+  batches (e.g. a scheduler drain), ``apply`` processes each in order, and
+  per-batch wall times land in :attr:`StageResult.shard_seconds`.
 """
 
 from __future__ import annotations
@@ -59,6 +62,26 @@ class ParallelStage:
 
 
 @dataclass
+class StreamingStage:
+    """A micro-batch stage: apply a function per batch from a source.
+
+    ``source(context)`` returns an iterable of micro-batches (typically a
+    :meth:`~repro.stream.scheduler.MicroBatchScheduler.drain`);
+    ``apply(context, batch)`` processes one batch and its wall time is
+    recorded per batch; ``finalize(context, outputs)`` merges the per-batch
+    outputs (defaults to the output list itself).  Unlike
+    :class:`ParallelStage`, batches run strictly in order — deltas are
+    causally dependent.
+    """
+
+    name: str
+    source: Callable[[Dict[str, Any]], Any]
+    apply: Callable[[Dict[str, Any], Any], Any]
+    finalize: Optional[Callable[[Dict[str, Any], List[Any]], Any]] = None
+    description: str = ""
+
+
+@dataclass
 class StageResult:
     """Outcome of running one stage."""
 
@@ -67,7 +90,8 @@ class StageResult:
     ok: bool
     output: Any = None
     error: Optional[str] = None
-    #: Per-shard wall times (empty for sequential stages).
+    #: Per-shard wall times (per-batch for streaming stages; empty for
+    #: sequential stages).
     shard_seconds: List[float] = field(default_factory=list)
 
 
@@ -76,15 +100,19 @@ class CurationPipeline:
 
     def __init__(
         self,
-        stages: Optional[List[Union[PipelineStage, ParallelStage]]] = None,
+        stages: Optional[
+            List[Union[PipelineStage, ParallelStage, StreamingStage]]
+        ] = None,
         executor: Optional[ShardedExecutor] = None,
     ):
-        self._stages: List[Union[PipelineStage, ParallelStage]] = list(stages or [])
+        self._stages: List[Union[PipelineStage, ParallelStage, StreamingStage]] = list(
+            stages or []
+        )
         self._results: List[StageResult] = []
         self._executor = executor if executor is not None else ShardedExecutor()
 
     @property
-    def stages(self) -> List[Union[PipelineStage, ParallelStage]]:
+    def stages(self) -> List[Union[PipelineStage, ParallelStage, StreamingStage]]:
         """The configured stages in execution order."""
         return list(self._stages)
 
@@ -129,6 +157,43 @@ class CurationPipeline:
         )
         return self
 
+    def add_streaming_stage(
+        self,
+        name: str,
+        source: Callable[[Dict[str, Any]], Any],
+        apply: Callable[[Dict[str, Any], Any], Any],
+        finalize: Optional[Callable[[Dict[str, Any], List[Any]], Any]] = None,
+        description: str = "",
+    ) -> "CurationPipeline":
+        """Append a micro-batch streaming stage; returns ``self``."""
+        if not name:
+            raise TamerError("stage name must be non-empty")
+        self._stages.append(
+            StreamingStage(
+                name=name,
+                source=source,
+                apply=apply,
+                finalize=finalize,
+                description=description,
+            )
+        )
+        return self
+
+    def _run_streaming(
+        self, stage: StreamingStage, context: Dict[str, Any]
+    ) -> tuple:
+        outputs: List[Any] = []
+        batch_seconds: List[float] = []
+        for batch in stage.source(context):
+            start = time.perf_counter()
+            outputs.append(stage.apply(context, batch))
+            batch_seconds.append(time.perf_counter() - start)
+        if stage.finalize is not None:
+            output = stage.finalize(context, outputs)
+        else:
+            output = outputs
+        return output, batch_seconds
+
     def _run_parallel(
         self, stage: ParallelStage, context: Dict[str, Any]
     ) -> tuple:
@@ -163,6 +228,8 @@ class CurationPipeline:
             try:
                 if isinstance(stage, ParallelStage):
                     output, shard_seconds = self._run_parallel(stage, context)
+                elif isinstance(stage, StreamingStage):
+                    output, shard_seconds = self._run_streaming(stage, context)
                 else:
                     output = stage.func(context)
                 elapsed = time.perf_counter() - start

@@ -47,6 +47,7 @@ from ..schema.integrator import SchemaIntegrator
 from ..schema.mapping import SourceMappingReport
 from ..storage.document_store import Collection, CollectionStats, DocumentStore
 from ..storage.relational import RelationalStore
+from ..stream.engine import DeltaApplyReport, StreamingTamer
 from ..text.parser import DomainParser, ParsedDocument
 from .catalog import SourceCatalog
 
@@ -109,6 +110,7 @@ class DataTamer:
         self._parser: Optional[DomainParser] = None
         self._dedup_model: Optional[DedupModel] = None
         self._expert_router = expert_router
+        self._stream: Optional[StreamingTamer] = None
 
         expert_callable = None
         if expert_router is not None and self.config.schema.use_expert_escalation:
@@ -412,6 +414,63 @@ class DataTamer:
             executor=self._executor,
         )
         return consolidator.consolidate(records)
+
+    # -- streaming curation ----------------------------------------------------
+
+    @property
+    def stream(self) -> Optional[StreamingTamer]:
+        """The active streaming curation engine (``None`` until started)."""
+        return self._stream
+
+    def start_stream(
+        self,
+        key_attribute: str = "show_name",
+        merge_policy: MergePolicy = MergePolicy.MAJORITY,
+    ) -> StreamingTamer:
+        """Start incremental curation of the curated collection.
+
+        Bootstraps a :class:`~repro.stream.engine.StreamingTamer` from the
+        collection's current contents and tails every subsequent write
+        through the change-data-capture hook.  Requires a trained dedup
+        model.  Restarting replaces (and detaches) any previous stream.
+
+        Note the streaming view keys records by their stable document
+        ``_id`` (so a record's identity survives writes), where the batch
+        :meth:`consolidate_curated` assigns positional ids per run.
+        """
+        if self._dedup_model is None:
+            raise TamerError("no dedup model; call train_dedup_model first")
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = StreamingTamer(
+            self.curated_collection,
+            self._dedup_model,
+            entity_config=self.config.entity,
+            stream_config=self.config.stream,
+            executor=self._executor,
+            key_attribute=self.resolve_attribute(key_attribute),
+            merge_policy=merge_policy,
+        )
+        return self._stream
+
+    def stop_stream(self) -> None:
+        """Detach the streaming engine from the curated collection."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def _require_stream(self) -> StreamingTamer:
+        if self._stream is None or self._stream.closed:
+            raise TamerError("no active stream; call start_stream first")
+        return self._stream
+
+    def apply_delta(self) -> DeltaApplyReport:
+        """Drain pending curated-collection changes into the streaming state."""
+        return self._require_stream().apply_delta()
+
+    def refresh(self) -> List[ConsolidatedEntity]:
+        """Apply pending deltas and return the streaming curated entities."""
+        return self._require_stream().refresh()
 
     # -- query / fusion --------------------------------------------------------
 

@@ -20,6 +20,7 @@ the classic one:
 
 from .record import Record, records_from_dicts
 from .blocking import (
+    BlockIndex,
     BlockingResult,
     NGramBlocker,
     SortedNeighborhoodBlocker,
@@ -27,13 +28,19 @@ from .blocking import (
     full_pairs,
 )
 from .similarity import PairFeatureExtractor, pair_features
-from .clustering import UnionFind, cluster_pairs
+from .clustering import IncrementalClusters, UnionFind, cluster_pairs
 from .dedup import DedupModel, LabeledPair
-from .consolidation import ConsolidatedEntity, EntityConsolidator, MergePolicy
+from .consolidation import (
+    ConsolidatedEntity,
+    EntityConsolidator,
+    MergePolicy,
+    merge_clusters,
+)
 
 __all__ = [
     "Record",
     "records_from_dicts",
+    "BlockIndex",
     "BlockingResult",
     "NGramBlocker",
     "SortedNeighborhoodBlocker",
@@ -41,6 +48,7 @@ __all__ = [
     "full_pairs",
     "PairFeatureExtractor",
     "pair_features",
+    "IncrementalClusters",
     "UnionFind",
     "cluster_pairs",
     "DedupModel",
@@ -48,4 +56,5 @@ __all__ = [
     "ConsolidatedEntity",
     "EntityConsolidator",
     "MergePolicy",
+    "merge_clusters",
 ]

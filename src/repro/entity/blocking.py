@@ -261,6 +261,152 @@ class SortedNeighborhoodBlocker:
         return result
 
 
+class BlockIndex:
+    """Incrementally-maintained blocking state for the streaming engine.
+
+    Mirrors exactly the candidate-pair set :meth:`_BaseBlocker.block`
+    produces over the current record population: each blocking key owns a
+    member set, a key contributes its within-block pairs only while its
+    block size is in ``[2, max_block_size]``, and a per-pair support count
+    tracks how many valid blocks contribute each pair.  Applying a delta
+    touches only the keys of the changed records, so the cost of an update
+    is bounded by the affected block sizes rather than the corpus size.
+
+    ``apply`` returns the exact ``(added, removed)`` candidate-pair diff, so
+    downstream scoring and clustering can stay incremental too.
+    """
+
+    @staticmethod
+    def supports(blocker) -> bool:
+        """Whether a blocker can be maintained incrementally.
+
+        True for the block-based strategies (token, n-gram); the
+        sorted-neighborhood window and the no-blocking baseline depend on
+        global order and are re-derived per refresh instead.
+        """
+        return isinstance(blocker, _BaseBlocker)
+
+    def __init__(self, blocker: _BaseBlocker, executor=None):
+        if not isinstance(blocker, _BaseBlocker):
+            raise EntityResolutionError(
+                "BlockIndex requires a block-based blocker (token or ngram)"
+            )
+        self._blocker = blocker
+        self._executor = executor
+        self._keys_of: Dict[str, Tuple[str, ...]] = {}
+        self._members: Dict[str, Set[str]] = {}
+        self._support: Dict[Pair, int] = {}
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._keys_of
+
+    def __len__(self) -> int:
+        return len(self._keys_of)
+
+    @property
+    def candidate_pairs(self) -> Set[Pair]:
+        """The current candidate-pair set (a fresh set)."""
+        return set(self._support)
+
+    @property
+    def block_count(self) -> int:
+        """Number of live blocking keys (of any size)."""
+        return len(self._members)
+
+    def _extract_keys(self, records: Sequence[Record]) -> List[Tuple[str, ...]]:
+        """Blocking keys per record, fanned out over shards when parallel."""
+        if (
+            self._executor is not None
+            and self._executor.fans_out
+            and len(records) > 1
+        ):
+            keyed = _fan_out_indexed(
+                self._executor, partial(_shard_record_keys, self._blocker), records
+            )
+            return [tuple(sorted(set(keys))) for _, _, keys in keyed]
+        return [
+            tuple(sorted(set(self._blocker.keys_for(record))))
+            for record in records
+        ]
+
+    def _block_pairs(self, key: str) -> Set[Pair]:
+        """The pairs a key currently contributes (empty outside [2, max])."""
+        members = self._members.get(key, ())
+        if len(members) < 2 or len(members) > self._blocker.max_block_size:
+            return set()
+        ordered = sorted(members)
+        return {
+            _ordered(ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        }
+
+    def apply(
+        self, upserts: Sequence[Record], deletes: Sequence[str]
+    ) -> Tuple[Set[Pair], Set[Pair]]:
+        """Apply a record delta; returns ``(added_pairs, removed_pairs)``.
+
+        ``upserts`` may contain records already present (their old keys are
+        retired first); ``deletes`` may name unknown ids (ignored).  The
+        candidate-pair set after the call is exactly what a from-scratch
+        ``blocker.block()`` over the new population would produce.
+        """
+        affected: Set[str] = set()
+        removals: List[str] = []
+        for record_id in deletes:
+            if record_id in self._keys_of:
+                removals.append(record_id)
+        for record in upserts:
+            if record.record_id in self._keys_of:
+                removals.append(record.record_id)
+        removals = list(dict.fromkeys(removals))
+        for record_id in removals:
+            affected.update(self._keys_of[record_id])
+        new_keys = self._extract_keys(list(upserts))
+        for keys in new_keys:
+            affected.update(keys)
+
+        # snapshot the contributions of every affected key, then rewrite
+        # memberships and diff the contributions through the support counts
+        before: Dict[str, Set[Pair]] = {
+            key: self._block_pairs(key) for key in affected
+        }
+        for record_id in removals:
+            for key in self._keys_of.pop(record_id):
+                members = self._members.get(key)
+                if members is not None:
+                    members.discard(record_id)
+                    if not members:
+                        del self._members[key]
+        for record, keys in zip(upserts, new_keys):
+            self._keys_of[record.record_id] = keys
+            for key in keys:
+                self._members.setdefault(key, set()).add(record.record_id)
+
+        touched: Dict[Pair, int] = {}
+        for key in affected:
+            after = self._block_pairs(key)
+            old = before[key]
+            for pair in old - after:
+                touched.setdefault(pair, self._support.get(pair, 0))
+                self._support[pair] = self._support.get(pair, 0) - 1
+            for pair in after - old:
+                touched.setdefault(pair, self._support.get(pair, 0))
+                self._support[pair] = self._support.get(pair, 0) + 1
+
+        added: Set[Pair] = set()
+        removed: Set[Pair] = set()
+        for pair, initial in touched.items():
+            final = self._support.get(pair, 0)
+            if final <= 0:
+                self._support.pop(pair, None)
+                if initial > 0:
+                    removed.add(pair)
+            elif initial <= 0:
+                added.add(pair)
+        return added, removed
+
+
 def make_blocker(strategy: str, key_attribute: Optional[str] = None, max_block_size: int = 200):
     """Factory used by the consolidator to honour ``EntityConfig.blocking_strategy``."""
     if strategy == "token":

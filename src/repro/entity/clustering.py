@@ -79,6 +79,137 @@ class UnionFind:
         return len({self.find(e) for e in self._parent})
 
 
+class IncrementalClusters:
+    """Dynamic connected components over matched-pair edges.
+
+    The streaming curation engine's clustering state: nodes are record ids,
+    edges are above-threshold match decisions.  Edge additions union the two
+    components eagerly (smaller into larger); edge and node removals mark
+    the affected component *dirty*, and dirty components are lazily split
+    back into true connected components (a BFS bounded by the component
+    size) the next time :meth:`components` is read.  The resulting
+    partition is always exactly the connected components of the current
+    edge set — the same partition a from-scratch :class:`UnionFind` pass
+    over the same edges produces.
+    """
+
+    def __init__(self, nodes: Optional[Iterable[Hashable]] = None):
+        self._adjacency: Dict[Hashable, Set[Hashable]] = {}
+        self._component_of: Dict[Hashable, int] = {}
+        self._members: Dict[int, Set[Hashable]] = {}
+        self._dirty: Set[int] = set()
+        self._next_component = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of live edges."""
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def add_node(self, node: Hashable) -> None:
+        """Register a node as its own singleton component (idempotent)."""
+        if node in self._adjacency:
+            return
+        self._adjacency[node] = set()
+        component = self._next_component
+        self._next_component += 1
+        self._component_of[node] = component
+        self._members[component] = {node}
+
+    def remove_node(self, node: Hashable) -> None:
+        """Drop a node and all its edges; the remainder may split."""
+        neighbors = self._adjacency.pop(node, None)
+        if neighbors is None:
+            return
+        for neighbor in neighbors:
+            self._adjacency[neighbor].discard(node)
+        component = self._component_of.pop(node)
+        members = self._members[component]
+        members.discard(node)
+        if members:
+            # the survivors may no longer be connected to each other
+            self._dirty.add(component)
+        else:
+            del self._members[component]
+            self._dirty.discard(component)
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        """Add a matched edge, unioning the two components.
+
+        Self-loops are ignored (a node is always connected to itself).
+        """
+        self.add_node(a)
+        self.add_node(b)
+        if a == b:
+            return
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        comp_a, comp_b = self._component_of[a], self._component_of[b]
+        if comp_a == comp_b:
+            return
+        if len(self._members[comp_a]) < len(self._members[comp_b]):
+            comp_a, comp_b = comp_b, comp_a
+        absorbed = self._members.pop(comp_b)
+        for node in absorbed:
+            self._component_of[node] = comp_a
+        self._members[comp_a] |= absorbed
+        if comp_b in self._dirty:
+            # an unsettled split folds into the surviving component
+            self._dirty.discard(comp_b)
+            self._dirty.add(comp_a)
+
+    def remove_edge(self, a: Hashable, b: Hashable) -> None:
+        """Drop a matched edge; the component may split (resolved lazily)."""
+        if a not in self._adjacency or b not in self._adjacency[a]:
+            return
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._dirty.add(self._component_of[a])
+
+    def _settle(self) -> None:
+        """Split every dirty component back into true connected components."""
+        for component in list(self._dirty):
+            members = self._members.pop(component, None)
+            if members is None:
+                continue
+            unvisited = set(members)
+            while unvisited:
+                start = unvisited.pop()
+                reached = {start}
+                frontier = [start]
+                while frontier:
+                    node = frontier.pop()
+                    for neighbor in self._adjacency[node]:
+                        if neighbor not in reached:
+                            reached.add(neighbor)
+                            frontier.append(neighbor)
+                unvisited -= reached
+                fresh = self._next_component
+                self._next_component += 1
+                self._members[fresh] = reached
+                for node in reached:
+                    self._component_of[node] = fresh
+        self._dirty.clear()
+
+    def components(self) -> List[Set[Hashable]]:
+        """Return the current connected components (each a fresh set)."""
+        self._settle()
+        return [set(members) for members in self._members.values()]
+
+    def component_of(self, node: Hashable) -> Set[Hashable]:
+        """Return the component containing ``node`` (a fresh set)."""
+        self._settle()
+        return set(self._members[self._component_of[node]])
+
+
 def cluster_pairs(
     all_ids: Sequence[str],
     matched_pairs: Iterable[Tuple[str, str]],

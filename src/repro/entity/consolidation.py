@@ -145,6 +145,48 @@ def _merge_cluster_chunk(merge_policy, payload):
     ]
 
 
+def merge_clusters(
+    ordered_clusters: List[Tuple[int, Set[str]]],
+    by_id: Dict[str, Record],
+    merge_policy: MergePolicy,
+    executor: Optional[ShardedExecutor] = None,
+) -> List[ConsolidatedEntity]:
+    """Merge ``(index, cluster)`` items into entities, fanning out if parallel.
+
+    This is the merge phase of :meth:`EntityConsolidator.consolidate`,
+    exposed at module level so the streaming delta curator can re-merge
+    individual clusters with exactly the batch semantics.  Each cluster
+    merge is independent; chunk results are concatenated in chunk order, so
+    the entity list matches the sequential one exactly.
+    """
+    if executor is None or not executor.fans_out:
+        return [
+            _merge_one_cluster(merge_policy, index, cluster, by_id)
+            for index, cluster in ordered_clusters
+        ]
+    chunks = executor.chunk(ordered_clusters)
+    if executor.backend == "process":
+        # bound each pickled payload to the records its clusters touch
+        payloads = [
+            ShardPayload(
+                context={
+                    record_id: by_id[record_id]
+                    for _, cluster in chunk
+                    for record_id in cluster
+                },
+                items=tuple(chunk),
+            )
+            for chunk in chunks
+        ]
+    else:
+        payloads = [
+            ShardPayload(context=by_id, items=tuple(chunk)) for chunk in chunks
+        ]
+    worker = partial(_merge_cluster_chunk, merge_policy)
+    chunk_results = executor.map_shards(worker, payloads)
+    return [entity for chunk in chunk_results for entity in chunk]
+
+
 class EntityConsolidator:
     """Run the full consolidation pipeline over a set of records."""
 
@@ -257,32 +299,9 @@ class EntityConsolidator:
     ) -> List[ConsolidatedEntity]:
         """Merge clusters into entities, fanning out over chunks if parallel.
 
-        Each cluster merge is independent; chunk results are concatenated in
-        chunk order, so the entity list matches the sequential one exactly.
+        Delegates to the module-level :func:`merge_clusters`, which the
+        streaming delta curator shares.
         """
-        if self._executor is None or not self._executor.fans_out:
-            return [
-                _merge_one_cluster(self._merge_policy, index, cluster, by_id)
-                for index, cluster in ordered_clusters
-            ]
-        chunks = self._executor.chunk(ordered_clusters)
-        if self._executor.backend == "process":
-            # bound each pickled payload to the records its clusters touch
-            payloads = [
-                ShardPayload(
-                    context={
-                        record_id: by_id[record_id]
-                        for _, cluster in chunk
-                        for record_id in cluster
-                    },
-                    items=tuple(chunk),
-                )
-                for chunk in chunks
-            ]
-        else:
-            payloads = [
-                ShardPayload(context=by_id, items=tuple(chunk)) for chunk in chunks
-            ]
-        worker = partial(_merge_cluster_chunk, self._merge_policy)
-        chunk_results = self._executor.map_shards(worker, payloads)
-        return [entity for chunk in chunk_results for entity in chunk]
+        return merge_clusters(
+            ordered_clusters, by_id, self._merge_policy, executor=self._executor
+        )

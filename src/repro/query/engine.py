@@ -82,9 +82,11 @@ class QueryEngine:
         self,
         entities: Iterable[ConsolidatedEntity],
         executor: Optional[ShardedExecutor] = None,
+        watermark: Optional[int] = None,
     ):
         self._entities: List[ConsolidatedEntity] = list(entities)
         self._executor = executor
+        self._watermark = watermark
 
     def __len__(self) -> int:
         return len(self._entities)
@@ -93,6 +95,31 @@ class QueryEngine:
     def entities(self) -> List[ConsolidatedEntity]:
         """All entities known to the engine."""
         return list(self._entities)
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Changelog watermark the entity view was built at (``None`` when
+        the engine is not derived from a streaming curation run)."""
+        return self._watermark
+
+    def is_stale(self, watermark: Optional[int]) -> bool:
+        """Whether the entity view lags the given changelog watermark.
+
+        An engine without a watermark never reports stale (its entities
+        were supplied directly, not derived from a stream).
+        """
+        if self._watermark is None or watermark is None:
+            return False
+        return self._watermark < watermark
+
+    def replace_entities(
+        self,
+        entities: Iterable[ConsolidatedEntity],
+        watermark: Optional[int] = None,
+    ) -> None:
+        """Swap in a freshly curated entity view (streaming invalidation)."""
+        self._entities = list(entities)
+        self._watermark = watermark
 
     def add_entities(self, entities: Iterable[ConsolidatedEntity]) -> None:
         """Register more entities (e.g. after integrating another source)."""

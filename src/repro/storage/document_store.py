@@ -88,6 +88,7 @@ class Collection:
         self._hash_indexes: Dict[str, HashIndex] = {"_id": HashIndex("_id")}
         self._text_indexes: Dict[str, InvertedIndex] = {}
         self._next_auto_id = 0
+        self._listeners: List[Callable[[str, object, Optional[dict]], None]] = []
 
     # -- identity ---------------------------------------------------------
 
@@ -106,6 +107,33 @@ class Collection:
 
     def __contains__(self, doc_id: object) -> bool:
         return doc_id in self._documents
+
+    # -- change notification ----------------------------------------------
+
+    def add_change_listener(
+        self, listener: Callable[[str, object, Optional[dict]], None]
+    ) -> Callable[[], None]:
+        """Subscribe to write events; returns an unsubscribe callable.
+
+        The listener is invoked *after* every successful write as
+        ``listener(op, doc_id, document)`` where ``op`` is ``"insert"``,
+        ``"update"`` or ``"delete"`` and ``document`` is a copy of the
+        post-image (``None`` for deletes).  This is the change-data-capture
+        hook the streaming curation engine tails.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, op: str, doc_id: object, document: Optional[dict]) -> None:
+        for listener in list(self._listeners):
+            listener(op, doc_id, dict(document) if document is not None else None)
 
     # -- writes -----------------------------------------------------------
 
@@ -131,11 +159,44 @@ class Collection:
             index.add(doc_id, doc)
         for index in self._text_indexes.values():
             index.add(doc_id, doc)
+        self._notify("insert", doc_id, doc)
         return doc_id
 
     def insert_many(self, documents: Iterable[dict]) -> List[object]:
         """Insert many documents, returning their ids in order."""
         return [self.insert(doc) for doc in documents]
+
+    def upsert(self, doc_id: object, document: dict) -> object:
+        """Insert ``document`` under ``doc_id``, or replace it wholesale.
+
+        Unlike :meth:`update` (which merges a partial change set into the
+        existing document), ``upsert`` replaces the entire document; any
+        previous fields not present in ``document`` are gone.  Emits an
+        ``insert`` change event when the id was absent and an ``update``
+        event when an existing document was replaced.
+        """
+        if not isinstance(document, dict):
+            raise TypeError("documents must be dictionaries")
+        if doc_id is None:
+            raise TypeError("upsert requires an explicit doc_id")
+        doc = dict(document)
+        doc["_id"] = doc_id
+        existing = self._documents.get(doc_id)
+        if existing is None:
+            return self.insert(doc)
+        for index in self._hash_indexes.values():
+            index.remove(doc_id)
+        for index in self._text_indexes.values():
+            index.remove(doc_id)
+        # replacement rewrites in place: no new extent space, matching the
+        # accounting of :meth:`update`
+        self._documents[doc_id] = doc
+        for index in self._hash_indexes.values():
+            index.add(doc_id, doc)
+        for index in self._text_indexes.values():
+            index.add(doc_id, doc)
+        self._notify("update", doc_id, doc)
+        return doc_id
 
     def delete(self, doc_id: object) -> dict:
         """Remove and return the document with ``doc_id``.
@@ -151,6 +212,7 @@ class Collection:
             index.remove(doc_id)
         for index in self._text_indexes.values():
             index.remove(doc_id)
+        self._notify("delete", doc_id, None)
         return doc
 
     def update(self, doc_id: object, changes: dict) -> dict:
@@ -168,6 +230,7 @@ class Collection:
             index.add(doc_id, doc)
         for index in self._text_indexes.values():
             index.add(doc_id, doc)
+        self._notify("update", doc_id, doc)
         return dict(doc)
 
     # -- reads ------------------------------------------------------------

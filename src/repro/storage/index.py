@@ -18,6 +18,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..errors import IndexError_
 from ..text.tokenizer import tokenize
 
+#: Sentinel distinguishing "doc not indexed" from an indexed value of None.
+_MISSING = object()
+
 
 class HashIndex:
     """Exact-match secondary index on a single document field.
@@ -47,9 +50,14 @@ class HashIndex:
         self._doc_values[doc_id] = value
 
     def remove(self, doc_id: object) -> None:
-        """Drop ``doc_id`` from the index (no-op if absent)."""
-        value = self._doc_values.pop(doc_id, None)
-        if value is None:
+        """Drop ``doc_id`` from the index (no-op if absent).
+
+        ``None`` is a legitimate indexed value, so absence is tracked with a
+        sentinel — otherwise a document whose indexed field is ``None`` would
+        leave a stale posting behind on every remove/update cycle.
+        """
+        value = self._doc_values.pop(doc_id, _MISSING)
+        if value is _MISSING:
             return
         postings = self._entries.get(value)
         if postings:

@@ -1,0 +1,41 @@
+"""Incremental streaming curation.
+
+Full-batch re-curation is wasteful when records trickle in continuously —
+the paper's deployment curates collections that grow by the hour.  This
+package keeps the curated state fresh as writes stream in:
+
+* :mod:`repro.stream.changelog` — change-data-capture: every write to a
+  tailed collection becomes a :class:`ChangeEvent` with a monotonic
+  sequence number; watermarks mark how far consumers have applied.
+* :mod:`repro.stream.scheduler` — :class:`MicroBatchScheduler` drains the
+  changelog into bounded, per-document-coalesced :class:`DeltaBatch`\\ es,
+  fanning coalescing out over the sharded executor.
+* :mod:`repro.stream.delta_curation` — :class:`DeltaCurator` performs
+  incremental entity resolution: blocking keys for delta records only,
+  pairwise scores only against affected blocks, cluster maintenance via
+  incremental union/split — provably bit-identical to a from-scratch
+  batch run.
+* :mod:`repro.stream.engine` — :class:`StreamingTamer`, the facade the
+  :class:`~repro.core.tamer.DataTamer` exposes through ``start_stream()``
+  / ``apply_delta()`` / ``refresh()``, with watermark-aware query-engine
+  invalidation.
+"""
+
+from .changelog import ChangeEvent, Changelog, tail_collection
+from .delta_curation import DeltaCurator, RefreshStats, record_from_document
+from .engine import DeltaApplyReport, StreamingTamer
+from .scheduler import DeltaBatch, MicroBatchScheduler, coalesce_events
+
+__all__ = [
+    "ChangeEvent",
+    "Changelog",
+    "tail_collection",
+    "DeltaBatch",
+    "MicroBatchScheduler",
+    "coalesce_events",
+    "DeltaCurator",
+    "RefreshStats",
+    "record_from_document",
+    "DeltaApplyReport",
+    "StreamingTamer",
+]

@@ -1,0 +1,141 @@
+"""Change-data-capture for document collections.
+
+The paper's deployment curates collections that are written continuously;
+re-running the whole curation pipeline per write is out of the question.
+The :class:`Changelog` is the bridge between the storage layer and the
+incremental curation engine: every insert/update/delete on a tailed
+:class:`~repro.storage.document_store.Collection` is recorded as a
+:class:`ChangeEvent` with a monotonically increasing sequence number.
+
+Watermark semantics
+-------------------
+
+* ``changelog.watermark`` — the sequence number of the newest recorded
+  event (0 when nothing has ever been recorded).
+* a *consumer watermark* ``w`` means "every event with ``seq <= w`` has
+  been applied"; :meth:`Changelog.read_since` hands back the events above
+  a consumer watermark in sequence order.
+* :meth:`Changelog.prune` drops events at or below the lowest consumer
+  watermark so the log stays bounded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from ..errors import TamerError
+
+#: The three change operations a collection emits.
+OPS = ("insert", "update", "delete")
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One recorded write: operation, document id and post-image.
+
+    ``document`` is a copy of the document *after* the write (``None`` for
+    deletes).  ``seq`` is unique and monotonically increasing within one
+    changelog.
+    """
+
+    seq: int
+    op: str
+    doc_id: object
+    document: Optional[dict]
+
+
+class Changelog:
+    """An append-only, in-memory log of collection change events."""
+
+    def __init__(self):
+        self._events: Deque[ChangeEvent] = deque()
+        self._next_seq = 1
+        self._pruned_through = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def watermark(self) -> int:
+        """Sequence number of the newest event ever recorded (0 if none)."""
+        return self._next_seq - 1
+
+    @property
+    def oldest_seq(self) -> Optional[int]:
+        """Sequence number of the oldest retained event (``None`` if empty)."""
+        return self._events[0].seq if self._events else None
+
+    def record(self, op: str, doc_id: object, document: Optional[dict]) -> ChangeEvent:
+        """Append one event; the signature matches the collection hook.
+
+        The changelog takes ownership of ``document`` — collection hooks
+        already hand every listener its own copy, so copying again here
+        would double the per-write cost.  Direct callers must not mutate
+        the dictionary after recording it.
+        """
+        if op not in OPS:
+            raise TamerError(f"unknown change op: {op!r}")
+        event = ChangeEvent(
+            seq=self._next_seq,
+            op=op,
+            doc_id=doc_id,
+            document=document,
+        )
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    def read_since(
+        self, watermark: int, limit: Optional[int] = None
+    ) -> List[ChangeEvent]:
+        """Events with ``seq > watermark`` in sequence order (up to ``limit``).
+
+        Raises if events above ``watermark`` have already been pruned — a
+        consumer that falls behind the prune horizon has lost data and must
+        rebuild from the collection instead.  The check holds even when the
+        log is empty (everything pruned): a stale consumer must never be
+        handed a silent empty read.
+        """
+        if watermark < self._pruned_through:
+            raise TamerError(
+                f"changelog pruned through seq {self._pruned_through}, "
+                f"past consumer watermark {watermark}"
+            )
+        out: List[ChangeEvent] = []
+        for event in self._events:
+            if event.seq <= watermark:
+                continue
+            out.append(event)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def pending(self, watermark: int) -> int:
+        """Number of retained events above a consumer watermark."""
+        return sum(1 for event in self._events if event.seq > watermark)
+
+    def prune(self, watermark: int) -> int:
+        """Drop events with ``seq <= watermark``; returns how many went."""
+        dropped = 0
+        while self._events and self._events[0].seq <= watermark:
+            self._events.popleft()
+            dropped += 1
+        self._pruned_through = max(
+            self._pruned_through, min(watermark, self.watermark)
+        )
+        return dropped
+
+
+def tail_collection(
+    collection, changelog: Optional[Changelog] = None
+) -> tuple:
+    """Attach a changelog to a collection's change hook.
+
+    Returns ``(changelog, unsubscribe)``.  Every subsequent write to the
+    collection lands in the changelog; call ``unsubscribe()`` to detach.
+    """
+    log = changelog if changelog is not None else Changelog()
+    unsubscribe: Callable[[], None] = collection.add_change_listener(log.record)
+    return log, unsubscribe

@@ -1,0 +1,236 @@
+"""The streaming curation facade.
+
+:class:`StreamingTamer` wires the whole incremental stack together for one
+collection: a :class:`~repro.stream.changelog.Changelog` tails the
+collection's change hook, a
+:class:`~repro.stream.scheduler.MicroBatchScheduler` drains it into
+bounded delta batches, a
+:class:`~repro.stream.delta_curation.DeltaCurator` keeps the consolidated
+entities fresh, and a watermark-stamped
+:class:`~repro.query.engine.QueryEngine` is rebuilt only when curation has
+advanced past the engine's watermark.
+
+Typical use, through the :class:`~repro.core.tamer.DataTamer` facade::
+
+    tamer.train_dedup_model(pairs)
+    stream = tamer.start_stream()          # bootstraps from curated data
+    tamer.curated_collection.insert({...}) # writes flow into the changelog
+    entities = tamer.refresh()             # incremental delta curation
+    engine = stream.query_engine()         # watermark-aware invalidation
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..config import EntityConfig, StreamConfig
+from ..entity.consolidation import ConsolidatedEntity, MergePolicy
+from ..entity.dedup import DedupModel
+from ..errors import TamerError
+from ..query.engine import QueryEngine
+from .changelog import Changelog, tail_collection
+from .delta_curation import DeltaCurator
+from .scheduler import MicroBatchScheduler
+
+
+@dataclass(frozen=True)
+class DeltaApplyReport:
+    """Outcome of one :meth:`StreamingTamer.apply_delta` call."""
+
+    batches: int
+    raw_events: int
+    watermark: int
+    rebuilt: bool
+
+
+class StreamingTamer:
+    """Keep one collection's consolidated-entity view fresh incrementally."""
+
+    def __init__(
+        self,
+        collection,
+        model: DedupModel,
+        entity_config: Optional[EntityConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+        executor=None,
+        key_attribute: Optional[str] = None,
+        merge_policy: MergePolicy = MergePolicy.MAJORITY,
+        max_cluster_size: Optional[int] = 50,
+        source_id: str = "curated",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._collection = collection
+        self._executor = executor
+        self._stream_config = stream_config or StreamConfig()
+        self._stream_config.validate()
+        self._changelog, self._unsubscribe = tail_collection(collection)
+        try:
+            self._scheduler = MicroBatchScheduler(
+                self._changelog,
+                config=self._stream_config,
+                executor=executor,
+                clock=clock,
+            )
+            self._curator = DeltaCurator(
+                model,
+                config=entity_config,
+                key_attribute=key_attribute,
+                merge_policy=merge_policy,
+                max_cluster_size=max_cluster_size,
+                executor=executor,
+                source_id=source_id,
+            )
+            self._curator.bootstrap(collection.scan())
+        except BaseException:
+            # never leak the change listener on a failed bootstrap
+            self._unsubscribe()
+            raise
+        self._applied_watermark = self._scheduler.watermark
+        self._events_since_rebuild = 0
+        self._rebuild_count = 0
+        self._engine: Optional[QueryEngine] = None
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def changelog(self) -> Changelog:
+        """The changelog tailing the collection."""
+        return self._changelog
+
+    @property
+    def scheduler(self) -> MicroBatchScheduler:
+        """The micro-batch scheduler draining the changelog."""
+        return self._scheduler
+
+    @property
+    def curator(self) -> DeltaCurator:
+        """The incremental curation state machine."""
+        return self._curator
+
+    @property
+    def watermark(self) -> int:
+        """Changelog watermark through which curation state is current."""
+        return self._applied_watermark
+
+    @property
+    def pending_events(self) -> int:
+        """Recorded events not yet applied to the curated state."""
+        return self._scheduler.pending()
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the full-rebuild fallback has fired."""
+        return self._rebuild_count
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has been detached from the collection."""
+        return self._closed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the collection's change hook (idempotent)."""
+        if not self._closed:
+            self._unsubscribe()
+            self._closed = True
+
+    def __enter__(self) -> "StreamingTamer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TamerError("streaming engine is closed")
+
+    # -- curation ----------------------------------------------------------
+
+    def apply_delta(self) -> DeltaApplyReport:
+        """Drain all pending micro-batches into the curated state.
+
+        When the applied-event count crosses
+        ``StreamConfig.rebuild_threshold``, the incremental state is
+        discarded and rebuilt from the collection (the periodic fallback —
+        the incremental path is exactly equivalent, so this is hygiene
+        against unbounded cache drift, not a correctness valve).
+        """
+        self._ensure_open()
+        batches = 0
+        raw_events = 0
+        for batch in self._scheduler.drain():
+            self._curator.apply_events(batch.events)
+            batches += 1
+            raw_events += batch.raw_event_count
+            self._applied_watermark = batch.high_watermark
+        rebuilt = False
+        self._events_since_rebuild += raw_events
+        threshold = self._stream_config.rebuild_threshold
+        if threshold and self._events_since_rebuild >= threshold:
+            self._curator.rebuild(self._collection.scan())
+            self._events_since_rebuild = 0
+            self._rebuild_count += 1
+            rebuilt = True
+        return DeltaApplyReport(
+            batches=batches,
+            raw_events=raw_events,
+            watermark=self._applied_watermark,
+            rebuilt=rebuilt,
+        )
+
+    def poll(self) -> Optional[DeltaApplyReport]:
+        """Apply pending deltas only when the scheduler says a flush is due
+        (full batch pending, or pending events older than the flush
+        interval); returns ``None`` when not due."""
+        self._ensure_open()
+        if not self._scheduler.due():
+            return None
+        return self.apply_delta()
+
+    def refresh(self) -> List[ConsolidatedEntity]:
+        """Apply pending deltas and return the curated entities."""
+        self.apply_delta()
+        return self._curator.entities()
+
+    def full_rebuild(self) -> List[ConsolidatedEntity]:
+        """Force the full-rebuild fallback now and return its entities."""
+        self._ensure_open()
+        self.apply_delta()
+        self._curator.rebuild(self._collection.scan())
+        self._events_since_rebuild = 0
+        self._rebuild_count += 1
+        return self._curator.entities()
+
+    def batch_reference(self) -> List[ConsolidatedEntity]:
+        """A from-scratch batch consolidation over the current records.
+
+        The equivalence oracle: always bit-identical to :meth:`refresh`.
+        """
+        self.apply_delta()
+        return self._curator.batch_reference()
+
+    # -- query -------------------------------------------------------------
+
+    def query_engine(self) -> QueryEngine:
+        """A query engine over the current entities.
+
+        The engine is stamped with the applied watermark and cached;
+        further writes advance the changelog, and the next call refreshes
+        curation and swaps the new entity view in.  Holders of the engine
+        can check :meth:`QueryEngine.is_stale` against
+        :attr:`StreamingTamer.watermark` themselves.
+        """
+        entities = self.refresh()
+        if self._engine is None:
+            self._engine = QueryEngine(
+                entities, executor=self._executor, watermark=self._applied_watermark
+            )
+        elif self._engine.watermark != self._applied_watermark:
+            self._engine.replace_entities(
+                entities, watermark=self._applied_watermark
+            )
+        return self._engine

@@ -37,7 +37,8 @@ def _load_module(path: Path, name: str):
 
 
 def test_all_benchmark_modules_discovered():
-    assert len(BENCH_MODULES) >= 11, BENCH_MODULES
+    assert len(BENCH_MODULES) >= 12, BENCH_MODULES
+    assert "bench_fig1_streaming.py" in BENCH_MODULES
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)
@@ -96,6 +97,39 @@ def test_benchmark_suite_runs_at_tiny_scale(tmp_path):
         f"benchmark smoke run failed\n--- stdout ---\n{result.stdout[-4000:]}"
         f"\n--- stderr ---\n{result.stderr[-4000:]}"
     )
+
+
+def test_fig1_streaming_compare_entry_point():
+    """The streaming comparison stays wired up (tiny in-process run).
+
+    Beyond importing, this exercises the batch-vs-incremental comparison —
+    which asserts bit-identical outputs internally — at a toy scale.
+    """
+    from repro.workloads import DedupCorpusGenerator
+
+    saved = sys.modules.get("conftest")
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        sys.modules["conftest"] = _load_module(
+            BENCHMARKS_DIR / "conftest.py", "conftest"
+        )
+        streaming = _load_module(
+            BENCHMARKS_DIR / "bench_fig1_streaming.py", "bench_fig1_streaming_smoke"
+        )
+        corpus = DedupCorpusGenerator(seed=103).generate(
+            n_entities=60, variants_per_entity=2
+        )
+        rows = streaming._compare_streaming(corpus, 25, [1, 4])
+        assert len(rows) == 2
+        for delta, corpus_size, incr_s, batch_s, _speedup in rows:
+            assert corpus_size >= 25 + delta
+            assert incr_s > 0 and batch_s > 0
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+        if saved is not None:
+            sys.modules["conftest"] = saved
+        else:
+            sys.modules.pop("conftest", None)
 
 
 def test_fig1_compare_mode_entry_point():

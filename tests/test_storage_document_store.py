@@ -255,3 +255,130 @@ class TestDocumentStore:
         store = DocumentStore("mydb", storage_config)
         coll = store.create_collection("c")
         assert coll.namespace == "mydb.c"
+
+
+class TestUpsert:
+    def test_upsert_inserts_when_absent(self, collection):
+        collection.upsert("a", {"x": 1})
+        assert collection.get("a") == {"_id": "a", "x": 1}
+        assert len(collection) == 1
+
+    def test_upsert_replaces_wholesale(self, collection):
+        collection.upsert("a", {"x": 1, "y": 2})
+        collection.upsert("a", {"x": 3})
+        doc = collection.get("a")
+        assert doc == {"_id": "a", "x": 3}
+        assert "y" not in doc
+
+    def test_upsert_overrides_embedded_id(self, collection):
+        collection.upsert("a", {"_id": "other", "x": 1})
+        assert collection.get("a")["_id"] == "a"
+        assert "other" not in collection
+
+    def test_upsert_requires_dict_and_id(self, collection):
+        with pytest.raises(TypeError):
+            collection.upsert("a", ["nope"])
+        with pytest.raises(TypeError):
+            collection.upsert(None, {"x": 1})
+
+    def test_upsert_does_not_mutate_caller_dict(self, collection):
+        original = {"x": 1}
+        collection.upsert("a", original)
+        assert original == {"x": 1}
+
+    def test_upsert_emits_insert_then_update_events(self, collection):
+        events = []
+        collection.add_change_listener(
+            lambda op, doc_id, doc: events.append((op, doc_id))
+        )
+        collection.upsert("a", {"x": 1})
+        collection.upsert("a", {"x": 2})
+        assert events == [("insert", "a"), ("update", "a")]
+
+
+class TestIndexConsistencyUnderWrites:
+    """Regression: remove()/re-add cycles must never leave stale postings."""
+
+    @pytest.fixture
+    def indexed(self, collection) -> Collection:
+        collection.create_index("category")
+        collection.create_text_index("text")
+        return collection
+
+    def test_repeated_update_keeps_hash_index_exact(self, indexed):
+        doc_id = indexed.insert({"category": "a", "text": "one two"})
+        for i in range(20):
+            indexed.update(doc_id, {"category": f"cat{i % 3}"})
+        index = indexed.hash_index("category")
+        assert len(index) == 1
+        assert index.lookup("cat1") == [doc_id]
+        assert index.lookup("a") == []
+        for value in ("cat0", "cat2"):
+            assert index.lookup(value) == []
+
+    def test_repeated_upsert_keeps_indexes_exact(self, indexed):
+        for i in range(20):
+            indexed.upsert("doc", {"category": f"c{i % 2}", "text": f"word{i % 2}"})
+        assert indexed.hash_index("category").lookup("c1") == ["doc"]
+        assert indexed.hash_index("category").lookup("c0") == []
+        assert indexed.search_text("text", "word1") == [indexed.get("doc")]
+        assert indexed.search_text("text", "word0") == []
+
+    def test_none_valued_field_update_cycle_leaves_no_stale_posting(self, indexed):
+        """A document whose indexed field is None used to leave its posting
+        behind on remove, growing without bound under repeated update."""
+        doc_id = indexed.insert({"category": None, "text": "x"})
+        for _ in range(5):
+            indexed.update(doc_id, {"category": None})
+        index = indexed.hash_index("category")
+        assert index.lookup(None) == [doc_id]
+        indexed.delete(doc_id)
+        assert index.lookup(None) == []
+        assert len(index) == 0
+
+    def test_delete_after_update_clears_all_indexes(self, indexed):
+        doc_id = indexed.insert({"category": "a", "text": "hello world"})
+        indexed.update(doc_id, {"category": "b", "text": "other words"})
+        indexed.delete(doc_id)
+        assert indexed.hash_index("category").lookup("a") == []
+        assert indexed.hash_index("category").lookup("b") == []
+        assert indexed.text_index("text").lookup("hello") == set()
+        assert indexed.text_index("text").lookup("other") == set()
+
+    def test_update_removing_text_field_drops_terms(self, indexed):
+        doc_id = indexed.insert({"text": "alpha beta"})
+        indexed.upsert(doc_id, {"category": "a"})
+        assert indexed.text_index("text").lookup("alpha") == set()
+        assert indexed.search_text("text", "beta") == []
+
+
+class TestChangeListeners:
+    def test_listener_sees_post_images(self, collection):
+        events = []
+        collection.add_change_listener(
+            lambda op, doc_id, doc: events.append((op, doc_id, doc))
+        )
+        doc_id = collection.insert({"x": 1})
+        collection.update(doc_id, {"x": 2})
+        collection.delete(doc_id)
+        assert [op for op, _, _ in events] == ["insert", "update", "delete"]
+        assert events[0][2]["x"] == 1
+        assert events[1][2]["x"] == 2
+        assert events[2][2] is None
+
+    def test_listener_document_is_a_copy(self, collection):
+        seen = []
+        collection.add_change_listener(lambda op, doc_id, doc: seen.append(doc))
+        doc_id = collection.insert({"x": 1})
+        seen[0]["x"] = 99
+        assert collection.get(doc_id)["x"] == 1
+
+    def test_unsubscribe_is_idempotent(self, collection):
+        events = []
+        unsubscribe = collection.add_change_listener(
+            lambda op, doc_id, doc: events.append(op)
+        )
+        unsubscribe()
+        unsubscribe()
+        collection.insert({"x": 1})
+        assert events == []

@@ -130,3 +130,23 @@ class TestInvertedIndex:
         index = InvertedIndex("text")
         index.add(1, {"text": "a few words here"})
         assert index.size_bytes() > 0
+
+
+class TestNoneValueRegression:
+    """remove() must treat an indexed value of None as a real value."""
+
+    def test_hash_index_remove_none_valued_doc(self):
+        index = HashIndex("field")
+        index.add(1, {"field": None})
+        assert index.lookup(None) == [1]
+        index.remove(1)
+        assert index.lookup(None) == []
+        assert len(index) == 0
+
+    def test_hash_index_none_add_remove_cycle_stays_bounded(self):
+        index = HashIndex("field")
+        for _ in range(10):
+            index.add(1, {"field": None})
+            index.remove(1)
+        assert index.lookup(None) == []
+        assert index.size_bytes() == 0

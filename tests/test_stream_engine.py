@@ -1,0 +1,616 @@
+"""Unit tests for the streaming curation components.
+
+Covers the changelog (sequence numbers, watermarks, pruning), micro-batch
+scheduling (bounds, coalescing, flush policy), the incremental blocking and
+clustering structures against their batch counterparts, the pipeline's
+streaming stage, and the facade's lifecycle/invalidation behavior.
+"""
+
+import random
+
+import pytest
+
+from repro import DataTamer, StreamConfig, TamerConfig
+from repro.config import EntityConfig
+from repro.core.pipeline import CurationPipeline
+from repro.entity.blocking import BlockIndex, TokenBlocker
+from repro.entity.clustering import IncrementalClusters, UnionFind
+from repro.entity.record import Record
+from repro.errors import ConfigError, TamerError
+from repro.storage import DocumentStore
+from repro.stream import (
+    Changelog,
+    DeltaBatch,
+    MicroBatchScheduler,
+    coalesce_events,
+    record_from_document,
+    tail_collection,
+)
+from repro.stream.changelog import ChangeEvent
+from repro.workloads import DedupCorpusGenerator
+
+
+@pytest.fixture
+def collection(document_store):
+    return document_store.create_collection("events")
+
+
+# -- changelog ------------------------------------------------------------
+
+
+def test_changelog_sequence_is_monotonic_and_watermarked(collection):
+    log, _ = tail_collection(collection)
+    assert log.watermark == 0
+    a = collection.insert({"x": 1})
+    collection.update(a, {"x": 2})
+    collection.delete(a)
+    events = log.read_since(0)
+    assert [e.seq for e in events] == [1, 2, 3]
+    assert [e.op for e in events] == ["insert", "update", "delete"]
+    assert log.watermark == 3
+    assert events[0].document["x"] == 1
+    assert events[1].document["x"] == 2
+    assert events[2].document is None
+
+
+def test_changelog_post_images_are_copies(collection):
+    log, _ = tail_collection(collection)
+    doc_id = collection.insert({"x": 1})
+    log.read_since(0)[0].document["x"] = 99
+    assert collection.get(doc_id)["x"] == 1
+
+
+def test_changelog_read_since_and_prune(collection):
+    log, _ = tail_collection(collection)
+    for i in range(5):
+        collection.insert({"i": i})
+    assert log.pending(2) == 3
+    assert [e.seq for e in log.read_since(3)] == [4, 5]
+    assert [e.seq for e in log.read_since(0, limit=2)] == [1, 2]
+    assert log.prune(3) == 3
+    assert log.oldest_seq == 4
+    # reading at/above the prune horizon is fine, below it is data loss
+    assert [e.seq for e in log.read_since(3)] == [4, 5]
+    with pytest.raises(TamerError):
+        log.read_since(1)
+
+
+def test_changelog_rejects_unknown_op():
+    with pytest.raises(TamerError):
+        Changelog().record("merge", "x", {})
+
+
+def test_unsubscribe_detaches_listener(collection):
+    log, unsubscribe = tail_collection(collection)
+    collection.insert({"x": 1})
+    unsubscribe()
+    collection.insert({"x": 2})
+    assert len(log) == 1
+
+
+# -- coalescing -----------------------------------------------------------
+
+
+def _ev(seq, op, doc_id, doc=None):
+    return ChangeEvent(seq=seq, op=op, doc_id=doc_id, document=doc)
+
+
+def test_coalesce_insert_then_updates_is_one_insert():
+    events = [
+        _ev(1, "insert", "a", {"_id": "a", "v": 1}),
+        _ev(2, "update", "a", {"_id": "a", "v": 2}),
+        _ev(3, "update", "a", {"_id": "a", "v": 3}),
+    ]
+    (net,) = coalesce_events(events)
+    assert net.op == "insert"
+    assert net.document["v"] == 3
+    assert net.seq == 1  # position determined by the insert
+
+
+def test_coalesce_trailing_delete_wins():
+    events = [
+        _ev(1, "insert", "a", {"_id": "a"}),
+        _ev(2, "delete", "a", None),
+    ]
+    (net,) = coalesce_events(events)
+    assert net.op == "delete"
+
+
+def test_coalesce_delete_reinsert_keeps_reinsert_position():
+    events = [
+        _ev(1, "delete", "a", None),
+        _ev(2, "insert", "b", {"_id": "b"}),
+        _ev(3, "insert", "a", {"_id": "a", "v": 9}),
+        _ev(4, "update", "b", {"_id": "b", "v": 1}),
+    ]
+    net = coalesce_events(events)
+    # one event per doc, ordered by position-determining seq: b's insert
+    # (seq 2) precedes a's re-insert (seq 3)
+    assert [(e.doc_id, e.op, e.seq) for e in net] == [
+        ("b", "insert", 2),
+        ("a", "insert", 3),
+    ]
+
+
+def test_coalesce_update_only_keeps_last_content():
+    events = [
+        _ev(4, "update", "a", {"_id": "a", "v": 1}),
+        _ev(7, "update", "a", {"_id": "a", "v": 2}),
+    ]
+    (net,) = coalesce_events(events)
+    assert (net.op, net.seq, net.document["v"]) == ("update", 7, 2)
+
+
+# -- scheduler ------------------------------------------------------------
+
+
+def test_scheduler_bounds_batches_and_advances_watermark(collection):
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(log, StreamConfig(max_batch_size=4))
+    for i in range(10):
+        collection.insert({"i": i})
+    batches = list(scheduler.drain())
+    assert [b.raw_event_count for b in batches] == [4, 4, 2]
+    assert [b.high_watermark for b in batches] == [4, 8, 10]
+    assert scheduler.watermark == 10
+    assert scheduler.pending() == 0
+    assert len(log) == 0  # drained prefix pruned
+    assert scheduler.next_batch() is None
+
+
+def test_scheduler_coalesces_within_a_batch(collection):
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(log, StreamConfig(max_batch_size=64))
+    doc_id = collection.insert({"v": 1})
+    collection.update(doc_id, {"v": 2})
+    collection.update(doc_id, {"v": 3})
+    batch = scheduler.next_batch()
+    assert isinstance(batch, DeltaBatch)
+    assert len(batch) == 1 and batch.raw_event_count == 3
+    assert batch.events[0].op == "insert"
+    assert batch.events[0].document["v"] == 3
+
+
+def test_scheduler_due_honors_flush_interval(collection):
+    log, _ = tail_collection(collection)
+    now = [0.0]
+    scheduler = MicroBatchScheduler(
+        log,
+        StreamConfig(max_batch_size=100, flush_interval=5.0),
+        clock=lambda: now[0],
+    )
+    assert not scheduler.due()  # nothing pending
+    collection.insert({"v": 1})
+    assert not scheduler.due()  # pending but young
+    now[0] = 6.0
+    assert scheduler.due()  # pending and old
+    scheduler.commit(scheduler.next_batch())
+    assert not scheduler.due()
+    # age is measured from first observation of the NEW pending events,
+    # not from the last flush
+    now[0] = 100.0
+    collection.insert({"v": 2})
+    assert not scheduler.due()
+    now[0] = 104.9
+    assert not scheduler.due()
+    now[0] = 105.0
+    assert scheduler.due()
+
+
+def test_scheduler_due_on_full_batch_regardless_of_age(collection):
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(
+        log,
+        StreamConfig(max_batch_size=2, flush_interval=1e9),
+        clock=lambda: 0.0,
+    )
+    collection.insert({"v": 1})
+    assert not scheduler.due()
+    collection.insert({"v": 2})
+    assert scheduler.due()
+
+
+# -- incremental blocking --------------------------------------------------
+
+
+def _records(rng, n, start=0):
+    words = ("alpha", "beta", "gamma", "delta", "omega", "sigma")
+    out = []
+    for i in range(start, start + n):
+        out.append(
+            Record.from_dict(
+                f"r{i}",
+                "src",
+                {"show_name": " ".join(rng.sample(words, rng.randint(1, 3)))},
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_block_index_tracks_batch_blocker_exactly(seed):
+    rng = random.Random(seed)
+    blocker = TokenBlocker(key_attribute="show_name", max_block_size=6)
+    index = BlockIndex(TokenBlocker(key_attribute="show_name", max_block_size=6))
+    population = {}
+    next_id = [0]
+
+    def batch_pairs():
+        return blocker.block(list(population.values())).pairs
+
+    for _ in range(60):
+        op = rng.random()
+        if op < 0.5 or len(population) < 4:
+            (record,) = _records(rng, 1, start=next_id[0])
+            next_id[0] += 1
+            population[record.record_id] = record
+            index.apply([record], [])
+        elif op < 0.75:
+            record_id = rng.choice(list(population))
+            (replacement,) = _records(rng, 1, start=next_id[0])
+            replacement = Record.from_dict(
+                record_id, "src", replacement.as_dict()
+            )
+            population[record_id] = replacement
+            index.apply([replacement], [])
+        else:
+            record_id = rng.choice(list(population))
+            del population[record_id]
+            index.apply([], [record_id])
+        assert index.candidate_pairs == batch_pairs()
+
+
+def test_block_index_diff_reports_added_and_removed():
+    blocker = TokenBlocker(key_attribute="show_name")
+    index = BlockIndex(blocker)
+    a = Record.from_dict("a", "s", {"show_name": "wicked"})
+    b = Record.from_dict("b", "s", {"show_name": "wicked"})
+    added, removed = index.apply([a, b], [])
+    assert added == {("a", "b")} and removed == set()
+    added, removed = index.apply(
+        [Record.from_dict("b", "s", {"show_name": "matilda"})], []
+    )
+    assert added == set() and removed == {("a", "b")}
+
+
+def test_block_index_requires_block_based_blocker():
+    from repro.entity.blocking import SortedNeighborhoodBlocker
+    from repro.errors import EntityResolutionError
+
+    assert not BlockIndex.supports(SortedNeighborhoodBlocker())
+    assert not BlockIndex.supports(None)
+    with pytest.raises(EntityResolutionError):
+        BlockIndex(SortedNeighborhoodBlocker())
+
+
+def test_block_index_oversized_block_contributes_nothing():
+    index = BlockIndex(TokenBlocker(key_attribute="show_name", max_block_size=3))
+    records = [
+        Record.from_dict(f"r{i}", "s", {"show_name": "wicked"}) for i in range(3)
+    ]
+    index.apply(records, [])
+    assert len(index.candidate_pairs) == 3
+    # the fourth member pushes the block over max_block_size: all pairs go
+    extra = Record.from_dict("r3", "s", {"show_name": "wicked"})
+    added, removed = index.apply([extra], [])
+    assert index.candidate_pairs == set()
+    assert len(removed) == 3 and added == set()
+
+
+# -- incremental clustering ------------------------------------------------
+
+
+def _reference_components(nodes, edges):
+    uf = UnionFind(nodes)
+    for a, b in edges:
+        uf.union(a, b)
+    return sorted(tuple(sorted(group)) for group in uf.groups())
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_incremental_clusters_match_union_find(seed):
+    rng = random.Random(seed)
+    clusters = IncrementalClusters()
+    nodes = set()
+    edges = set()
+    next_node = [0]
+    for _ in range(120):
+        op = rng.random()
+        if op < 0.3 or len(nodes) < 4:
+            node = f"n{next_node[0]}"
+            next_node[0] += 1
+            nodes.add(node)
+            clusters.add_node(node)
+        elif op < 0.6:
+            a, b = rng.sample(sorted(nodes), 2)
+            edges.add((min(a, b), max(a, b)))
+            clusters.add_edge(a, b)
+        elif op < 0.8 and edges:
+            edge = rng.choice(sorted(edges))
+            edges.discard(edge)
+            clusters.remove_edge(*edge)
+        else:
+            node = rng.choice(sorted(nodes))
+            nodes.discard(node)
+            edges = {e for e in edges if node not in e}
+            clusters.remove_node(node)
+        got = sorted(tuple(sorted(c)) for c in clusters.components())
+        assert got == _reference_components(nodes, edges)
+        assert len(clusters) == len(nodes)
+
+
+def test_incremental_clusters_split_on_edge_removal():
+    clusters = IncrementalClusters()
+    clusters.add_edge("a", "b")
+    clusters.add_edge("b", "c")
+    assert clusters.component_of("a") == {"a", "b", "c"}
+    clusters.remove_edge("b", "c")
+    assert clusters.component_of("a") == {"a", "b"}
+    assert clusters.component_of("c") == {"c"}
+
+
+def test_incremental_clusters_node_removal_splits_bridge():
+    clusters = IncrementalClusters()
+    clusters.add_edge("a", "b")
+    clusters.add_edge("b", "c")
+    clusters.remove_node("b")
+    assert sorted(map(sorted, clusters.components())) == [["a"], ["c"]]
+    assert clusters.edge_count == 0
+
+
+# -- record conversion ----------------------------------------------------
+
+
+def test_record_from_document_uses_stable_id():
+    record = record_from_document({"_id": "curated:7", "show_name": "wicked"})
+    assert record.record_id == "curated:7"
+    assert record.source_id == "curated"
+    assert record.as_dict() == {"show_name": "wicked"}
+
+
+def test_record_from_document_requires_id():
+    from repro.errors import EntityResolutionError
+
+    with pytest.raises(EntityResolutionError):
+        record_from_document({"show_name": "wicked"})
+
+
+# -- streaming pipeline stage ----------------------------------------------
+
+
+def test_streaming_stage_applies_batches_in_order():
+    pipeline = CurationPipeline()
+    seen = []
+    pipeline.add_streaming_stage(
+        "drain",
+        source=lambda ctx: [[1, 2], [3], [4, 5]],
+        apply=lambda ctx, batch: seen.extend(batch) or sum(batch),
+        finalize=lambda ctx, outputs: sum(outputs),
+    )
+    context = pipeline.run()
+    assert seen == [1, 2, 3, 4, 5]
+    assert context["drain"] == 15
+    (result,) = pipeline.results
+    assert result.ok and len(result.shard_seconds) == 3
+
+
+def test_streaming_stage_without_finalize_returns_outputs():
+    pipeline = CurationPipeline()
+    pipeline.add_streaming_stage(
+        "drain", source=lambda ctx: [[1], [2]], apply=lambda ctx, b: b[0] * 10
+    )
+    context = pipeline.run()
+    assert context["drain"] == [10, 20]
+
+
+def test_streaming_stage_drains_scheduler(document_store):
+    collection = document_store.create_collection("stream")
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(log, StreamConfig(max_batch_size=2))
+    for i in range(5):
+        collection.insert({"i": i})
+    pipeline = CurationPipeline()
+    pipeline.add_streaming_stage(
+        "apply_deltas",
+        source=lambda ctx: scheduler.drain(),
+        apply=lambda ctx, batch: batch.raw_event_count,
+        finalize=lambda ctx, outputs: sum(outputs),
+    )
+    context = pipeline.run()
+    assert context["apply_deltas"] == 5
+    assert scheduler.pending() == 0
+
+
+# -- facade lifecycle ------------------------------------------------------
+
+
+def _streaming_tamer():
+    config = TamerConfig.small()
+    config.entity = EntityConfig(blocking_strategy="token")
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=40, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    for record in corpus.records[:20]:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="s"))
+    return tamer
+
+
+def test_start_stream_requires_model():
+    tamer = DataTamer(TamerConfig.small())
+    with pytest.raises(TamerError):
+        tamer.start_stream()
+
+
+def test_facade_requires_started_stream():
+    tamer = _streaming_tamer()
+    with pytest.raises(TamerError):
+        tamer.apply_delta()
+    with pytest.raises(TamerError):
+        tamer.refresh()
+
+
+def test_stream_facade_round_trip():
+    tamer = _streaming_tamer()
+    stream = tamer.start_stream()
+    assert tamer.stream is stream
+    baseline = tamer.refresh()
+    assert stream.pending_events == 0
+    tamer.curated_collection.insert({"name": "brand new show", "_source": "s"})
+    assert stream.pending_events == 1
+    report = tamer.apply_delta()
+    assert report.raw_events == 1 and report.batches == 1
+    refreshed = tamer.refresh()
+    assert len(refreshed) == len(baseline) + 1
+    assert refreshed == stream.batch_reference()
+
+
+def test_stream_close_detaches_and_blocks_use():
+    tamer = _streaming_tamer()
+    stream = tamer.start_stream()
+    tamer.stop_stream()
+    assert stream.closed and tamer.stream is None
+    # writes to the collection no longer reach the detached changelog
+    tamer.curated_collection.insert({"name": "x", "_source": "s"})
+    assert len(stream.changelog) == 0
+    with pytest.raises(TamerError):
+        stream.refresh()
+    with pytest.raises(TamerError):
+        tamer.apply_delta()
+
+
+def test_restarting_stream_replaces_previous():
+    tamer = _streaming_tamer()
+    first = tamer.start_stream()
+    second = tamer.start_stream()
+    assert first.closed and not second.closed
+    tamer.curated_collection.insert({"name": "y", "_source": "s"})
+    assert second.pending_events == 1
+
+
+def test_query_engine_watermark_invalidation():
+    tamer = _streaming_tamer()
+    stream = tamer.start_stream()
+    engine = stream.query_engine()
+    assert engine.watermark == stream.watermark
+    assert stream.query_engine() is engine  # no writes: cached
+    tamer.curated_collection.insert({"name": "fresh arrival", "_source": "s"})
+    assert engine.is_stale(stream.changelog.watermark)
+    refreshed = stream.query_engine()
+    assert refreshed is engine  # swapped in place
+    assert not engine.is_stale(stream.watermark)
+    assert engine.watermark == stream.watermark
+    assert len(engine.search("fresh arrival")) == 1
+
+
+def test_poll_respects_flush_policy():
+    config = TamerConfig.small()
+    config.stream = StreamConfig(max_batch_size=3, flush_interval=1e9)
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=40, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    stream = tamer.start_stream()
+    tamer.curated_collection.insert({"name": "a", "_source": "s"})
+    assert stream.poll() is None  # batch not full, interval huge
+    tamer.curated_collection.insert({"name": "b", "_source": "s"})
+    tamer.curated_collection.insert({"name": "c", "_source": "s"})
+    report = stream.poll()
+    assert report is not None and report.raw_events == 3
+
+
+def test_stream_config_validation():
+    with pytest.raises(ConfigError):
+        StreamConfig(max_batch_size=0).validate()
+    with pytest.raises(ConfigError):
+        StreamConfig(flush_interval=-1).validate()
+    with pytest.raises(ConfigError):
+        StreamConfig(rebuild_threshold=-1).validate()
+    StreamConfig().validate()
+
+
+# -- review regressions ----------------------------------------------------
+
+
+def test_changelog_stale_read_raises_even_when_fully_pruned(collection):
+    """A consumer behind the prune horizon must never get a silent empty
+    read — even when pruning emptied the log entirely."""
+    log, _ = tail_collection(collection)
+    for i in range(5):
+        collection.insert({"i": i})
+    log.prune(5)
+    assert len(log) == 0
+    with pytest.raises(TamerError):
+        log.read_since(3)
+    assert log.read_since(5) == []  # caught-up consumer is fine
+
+
+def test_failed_bootstrap_does_not_leak_listener(collection):
+    from repro.stream import StreamingTamer
+
+    config = TamerConfig.small()
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=40, variants_per_entity=2
+    )
+    tamer = DataTamer(config)
+    tamer.train_dedup_model(corpus.pairs)
+    collection.insert({"_id": "", "name": "bad"})  # empty _id: bootstrap dies
+    from repro.errors import EntityResolutionError
+
+    with pytest.raises(EntityResolutionError):
+        StreamingTamer(collection, tamer.dedup_model)
+    before = len(collection._listeners)
+    collection.insert({"name": "after"})
+    assert len(collection._listeners) == before == 0
+
+
+def test_upsert_replacement_accounting_matches_update(document_store):
+    a = document_store.create_collection("a")
+    b = document_store.create_collection("b")
+    a.insert({"_id": "x", "v": 0})
+    b.insert({"_id": "x", "v": 0})
+    for i in range(50):
+        a.upsert("x", {"v": i})
+        b.update("x", {"v": i})
+    assert a.stats().total_data_size == b.stats().total_data_size
+    assert a.stats().num_extents == b.stats().num_extents
+
+
+def test_uncommitted_batch_is_redelivered(collection):
+    """A consumer whose apply fails must not lose the batch's events:
+    next_batch is a peek, and only commit consumes."""
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(log, StreamConfig(max_batch_size=10))
+    for i in range(3):
+        collection.insert({"i": i})
+    first = scheduler.next_batch()
+    again = scheduler.next_batch()  # not committed: same events redelivered
+    assert [e.seq for e in again.events] == [e.seq for e in first.events]
+    assert scheduler.pending() == 3
+    scheduler.commit(first)
+    assert scheduler.pending() == 0
+    assert scheduler.next_batch() is None
+
+
+def test_failed_apply_leaves_events_pending(collection):
+    """drain() commits a batch only after the consumer finished it."""
+    log, _ = tail_collection(collection)
+    scheduler = MicroBatchScheduler(log, StreamConfig(max_batch_size=10))
+    for i in range(2):
+        collection.insert({"i": i})
+    with pytest.raises(RuntimeError):
+        for batch in scheduler.drain():
+            raise RuntimeError("apply blew up")
+    assert scheduler.pending() == 2  # nothing was lost
+    assert sum(b.raw_event_count for b in scheduler.drain()) == 2
+    assert scheduler.pending() == 0
+
+
+def test_incremental_clusters_ignore_self_loops():
+    clusters = IncrementalClusters()
+    clusters.add_edge("x", "x")
+    assert clusters.edge_count == 0
+    clusters.remove_node("x")  # must not raise
+    assert len(clusters) == 0

@@ -1,0 +1,231 @@
+"""Streaming/batch equivalence: the incremental curation contract.
+
+The incremental engine's whole value rests on one property: after any
+sequence of insert/update/delete events, the streaming curated state is
+*bit-for-bit* what a from-scratch batch consolidation over the same
+collection produces.  These tests drive seeded random event sequences
+through a :class:`StreamingTamer` and compare the incremental entities
+against the batch oracle at several checkpoints — across blocking
+strategies, merge policies, worker counts and the full-rebuild fallback.
+"""
+
+import random
+
+import pytest
+
+from repro import DataTamer, StreamConfig, TamerConfig
+from repro.config import EntityConfig
+from repro.entity.consolidation import MergePolicy
+from repro.workloads import DedupCorpusGenerator
+
+SEEDS = (0, 1, 2)
+
+_WORDS = (
+    "matilda", "chicago", "wicked", "pippin", "cinderella", "annie",
+    "broadway", "theater", "musical", "tickets", "show", "evening",
+    "matinee", "orchestra", "balcony", "premiere",
+)
+_CITIES = ("new york", "boston", "chicago", "london")
+
+
+def _random_doc(rng: random.Random) -> dict:
+    doc = {
+        "show_name": " ".join(rng.sample(_WORDS, rng.randint(1, 3))),
+        "city": rng.choice(_CITIES),
+        "price": rng.randint(20, 200),
+        "venue": rng.choice(_WORDS),
+        "_source": rng.choice(("src0", "src1", "src2")),
+    }
+    for attr in ("city", "price", "venue"):
+        if rng.random() < 0.3:
+            del doc[attr]
+    return doc
+
+
+def _mutate(rng: random.Random, doc: dict) -> dict:
+    changed = {k: v for k, v in doc.items() if k != "_id"}
+    choice = rng.random()
+    if choice < 0.4:
+        changed["show_name"] = " ".join(rng.sample(_WORDS, rng.randint(1, 3)))
+    elif choice < 0.7:
+        changed["price"] = rng.randint(20, 200)
+    else:
+        changed["city"] = rng.choice(_CITIES)
+    return changed
+
+
+def _build_tamer(entity: EntityConfig, workers: int = 1) -> DataTamer:
+    config = TamerConfig.small()
+    config.entity = entity
+    config.stream = StreamConfig(max_batch_size=16, rebuild_threshold=0)
+    tamer = DataTamer(config.validate())
+    if workers > 1:
+        tamer.set_parallelism(workers)
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=60, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    return tamer
+
+
+def _drive_and_check(tamer: DataTamer, seed: int, steps: int = 36, checkpoint: int = 9):
+    """Apply a random event sequence, asserting equivalence per checkpoint."""
+    rng = random.Random(seed)
+    for _ in range(30):
+        tamer.curated_collection.insert(_random_doc(rng))
+    stream = tamer.start_stream()
+    assert stream.refresh() == stream.batch_reference()
+
+    collection = tamer.curated_collection
+    for step in range(1, steps + 1):
+        live = [doc["_id"] for doc in collection.scan()]
+        op = rng.random()
+        if op < 0.45 or len(live) < 10:
+            collection.insert(_random_doc(rng))
+        elif op < 0.75:
+            doc_id = rng.choice(live)
+            collection.upsert(doc_id, _mutate(rng, collection.get(doc_id)))
+        else:
+            collection.delete(rng.choice(live))
+        if step % checkpoint == 0:
+            incremental = stream.refresh()
+            batch = stream.batch_reference()
+            assert incremental == batch
+            assert [e.member_record_ids for e in incremental] == [
+                e.member_record_ids for e in batch
+            ]
+    return stream
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streaming_matches_batch_token_blocking(seed):
+    tamer = _build_tamer(EntityConfig(blocking_strategy="token"))
+    _drive_and_check(tamer, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streaming_matches_batch_ngram_blocking(seed):
+    tamer = _build_tamer(EntityConfig(blocking_strategy="ngram"))
+    _drive_and_check(tamer, seed, steps=18, checkpoint=9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streaming_matches_batch_sorted_neighborhood(seed):
+    """Order-sensitive strategy: the record mirror must track insertion
+    order through delete + re-insert cycles exactly."""
+    tamer = _build_tamer(EntityConfig(blocking_strategy="sorted"))
+    _drive_and_check(tamer, seed)
+
+
+def test_streaming_matches_batch_no_blocking():
+    tamer = _build_tamer(EntityConfig(blocking_strategy="none"))
+    _drive_and_check(tamer, seed=3, steps=18, checkpoint=6)
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_streaming_matches_batch_parallel(workers):
+    """The incremental path stays equivalent when fan-out is enabled."""
+    tamer = _build_tamer(EntityConfig(blocking_strategy="token"), workers=workers)
+    _drive_and_check(tamer, seed=1, steps=18, checkpoint=9)
+
+
+def test_streaming_matches_batch_longest_merge_policy():
+    tamer = _build_tamer(EntityConfig(blocking_strategy="token"))
+    rng = random.Random(7)
+    for _ in range(25):
+        tamer.curated_collection.insert(_random_doc(rng))
+    stream = tamer.start_stream(merge_policy=MergePolicy.LONGEST)
+    for _ in range(10):
+        tamer.curated_collection.insert(_random_doc(rng))
+    assert stream.refresh() == stream.batch_reference()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_full_rebuild_fallback_matches_incremental(seed):
+    """The periodic rebuild fallback lands on the exact incremental state."""
+    tamer = _build_tamer(EntityConfig(blocking_strategy="token"))
+    stream = _drive_and_check(tamer, seed, steps=18, checkpoint=9)
+    incremental = stream.refresh()
+    rebuilt = stream.full_rebuild()
+    assert rebuilt == incremental
+    assert stream.rebuild_count == 1
+
+
+def test_rebuild_threshold_auto_fires_and_stays_equivalent():
+    config = TamerConfig.small()
+    config.stream = StreamConfig(max_batch_size=8, rebuild_threshold=20)
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=60, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    rng = random.Random(11)
+    for _ in range(20):
+        tamer.curated_collection.insert(_random_doc(rng))
+    stream = tamer.start_stream()
+    for _ in range(25):
+        tamer.curated_collection.insert(_random_doc(rng))
+    report = tamer.apply_delta()
+    assert report.rebuilt
+    assert stream.rebuild_count == 1
+    assert stream.refresh() == stream.batch_reference()
+
+
+@pytest.mark.parametrize("strategy", ("token", "sorted"))
+@pytest.mark.parametrize("seed", (0, 1))
+def test_split_path_and_same_id_reinsertion(strategy, seed):
+    """Hostile case: tiny max_cluster_size forces the oversized-cluster
+    split (score-ordered, tie-sensitive) on nearly every refresh, and
+    documents are deleted and re-inserted under the SAME id (position moves
+    to the collection's end, which order-sensitive blocking observes)."""
+    from repro.stream.engine import StreamingTamer
+
+    config = TamerConfig.small()
+    config.entity = EntityConfig(blocking_strategy=strategy)
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=60, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    collection = tamer.curated_collection
+    rng = random.Random(seed)
+    names = (
+        "wicked show", "wicked shows", "the wicked show", "wicked",
+        "wicked showtime",
+    )
+
+    def _doc():
+        return {
+            "show_name": rng.choice(names),
+            "price": rng.randint(1, 5),
+            "_source": "s",
+        }
+
+    for _ in range(20):
+        collection.insert(_doc())
+    stream = StreamingTamer(
+        collection,
+        tamer.dedup_model,
+        entity_config=config.entity,
+        stream_config=StreamConfig(max_batch_size=7, rebuild_threshold=0),
+        key_attribute="show_name",
+        max_cluster_size=3,
+    )
+    assert stream.refresh() == stream.batch_reference()
+    for step in range(24):
+        live = [doc["_id"] for doc in collection.scan()]
+        op = rng.random()
+        if op < 0.35 or len(live) < 8:
+            collection.insert(_doc())
+        elif op < 0.6:
+            victim = rng.choice(live)
+            doc = collection.get(victim)
+            collection.delete(victim)
+            doc["show_name"] = rng.choice(names)
+            collection.insert(doc)  # same _id, new position at the end
+        elif op < 0.85:
+            collection.update(rng.choice(live), {"show_name": rng.choice(names)})
+        else:
+            collection.delete(rng.choice(live))
+        if step % 6 == 5:
+            assert stream.refresh() == stream.batch_reference()
