@@ -18,7 +18,7 @@ the speedup is never bought with a different answer.  Results land in
 
 import time
 
-from conftest import build_tamer, scaled, write_report
+from conftest import build_tamer, scaled, write_json, write_report
 
 from repro.config import StreamConfig
 from repro.workloads import DedupCorpusGenerator
@@ -107,6 +107,22 @@ def test_fig1_streaming_compare(benchmark, dedup_corpus):
             f"{delta:>8}{corpus:>10}{incr_s:>12.4f}{batch_s:>12.4f}{speedup:>9.1f}x"
         )
     write_report("fig1_streaming_compare", lines)
+    write_json(
+        "fig1_streaming_compare",
+        {
+            "base_records": BASE_RECORDS,
+            "rows": [
+                {
+                    "delta": delta,
+                    "corpus": corpus,
+                    "incremental_seconds": incr_s,
+                    "batch_seconds": batch_s,
+                    "speedup": speedup,
+                }
+                for delta, corpus, incr_s, batch_s, speedup in rows
+            ],
+        },
+    )
     assert len(rows) == len(DELTA_SIZES)
 
 

@@ -9,6 +9,7 @@ behind each experiment.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -66,6 +67,24 @@ def write_report(name: str, lines: Iterable[str]) -> List[str]:
     for line in rendered:
         print(line)
     return rendered
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable result next to the human-readable ``.txt``.
+
+    Every payload is stamped with the ``BENCH_SCALE`` it ran at, so the
+    perf trajectory tracked across PRs (``benchmarks/results/*.json``) is
+    comparable run over run.  Keys are sorted so diffs stay stable.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamped = {"benchmark": name, "bench_scale": BENCH_SCALE}
+    stamped.update(payload)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(stamped, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"[json] {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

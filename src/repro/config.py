@@ -78,13 +78,23 @@ class SchemaConfig:
 
 @dataclass
 class EntityConfig:
-    """Settings for entity consolidation (deduplication)."""
+    """Settings for entity consolidation (deduplication).
+
+    ``candidate_filtering`` enables the provable candidate-pair filter
+    (:class:`repro.entity.kernel.CandidateFilter`): blocked pairs whose
+    linear classifier score provably cannot reach ``match_threshold`` are
+    pruned before feature extraction.  The filter never changes the matched
+    pairs — and therefore never changes clusters or entities — it only
+    skips scoring work; it silently deactivates for non-linear classifiers
+    (naive Bayes).
+    """
 
     match_threshold: float = 0.55
     blocking_strategy: str = "token"
     max_block_size: int = 200
     classifier: str = "logistic"
     crossval_folds: int = 10
+    candidate_filtering: bool = True
 
     def validate(self) -> None:
         if not 0.0 <= self.match_threshold <= 1.0:

@@ -25,8 +25,10 @@ from .blocking import (
     NGramBlocker,
     SortedNeighborhoodBlocker,
     TokenBlocker,
+    full_pair_count,
     full_pairs,
 )
+from .kernel import CandidateFilter, ScoringKernel, TokenVocabulary
 from .similarity import PairFeatureExtractor, pair_features
 from .clustering import IncrementalClusters, UnionFind, cluster_pairs
 from .dedup import DedupModel, LabeledPair
@@ -45,7 +47,11 @@ __all__ = [
     "NGramBlocker",
     "SortedNeighborhoodBlocker",
     "TokenBlocker",
+    "full_pair_count",
     "full_pairs",
+    "CandidateFilter",
+    "ScoringKernel",
+    "TokenVocabulary",
     "PairFeatureExtractor",
     "pair_features",
     "IncrementalClusters",

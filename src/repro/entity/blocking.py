@@ -70,6 +70,26 @@ def _ordered(a: str, b: str) -> Pair:
     return (a, b) if a <= b else (b, a)
 
 
+def full_pair_count(n_records: int) -> int:
+    """``n*(n-1)/2`` — the exhaustive pair count, without materializing it."""
+    return n_records * (n_records - 1) // 2
+
+
+def apply_pair_filter(result: "BlockingResult", pair_filter) -> "BlockingResult":
+    """Apply a ``pairs -> (survivors, pruned_count)`` filter to a result.
+
+    Used to run the provable candidate filter (:class:`repro.entity.kernel
+    .CandidateFilter`) as part of blocking, so hopeless pairs never reach
+    feature extraction.  ``None`` is a no-op.
+    """
+    if pair_filter is None or not result.pairs:
+        return result
+    survivors, pruned_count = pair_filter(result.pairs)
+    result.pairs = survivors
+    result.pruned_pairs += pruned_count
+    return result
+
+
 def full_pairs(records: Sequence[Record]) -> Set[Pair]:
     """Every unordered pair of distinct records (the no-blocking baseline)."""
     pairs: Set[Pair] = set()
@@ -82,22 +102,34 @@ def full_pairs(records: Sequence[Record]) -> Set[Pair]:
 
 @dataclass
 class BlockingResult:
-    """Candidate pairs plus the bookkeeping needed to evaluate a blocker."""
+    """Candidate pairs plus the bookkeeping needed to evaluate a blocker.
+
+    ``pruned_pairs`` counts candidates dropped by an optional post-blocking
+    ``pair_filter`` (see :class:`repro.entity.kernel.CandidateFilter`);
+    ``emitted_count`` is the pre-filter candidate count.  Counts against the
+    exhaustive baseline are computed arithmetically — ``full_pairs()`` is
+    never materialized just to be counted.
+    """
 
     pairs: Set[Pair] = field(default_factory=set)
     blocks: Dict[str, List[str]] = field(default_factory=dict)
     total_records: int = 0
+    pruned_pairs: int = 0
 
     @property
     def candidate_count(self) -> int:
-        """Number of candidate pairs produced."""
+        """Number of candidate pairs produced (after any filtering)."""
         return len(self.pairs)
+
+    @property
+    def emitted_count(self) -> int:
+        """Candidate pairs the blocker emitted before filtering."""
+        return len(self.pairs) + self.pruned_pairs
 
     @property
     def full_pair_count(self) -> int:
         """Number of pairs an exhaustive comparison would score."""
-        n = self.total_records
-        return n * (n - 1) // 2
+        return full_pair_count(self.total_records)
 
     @property
     def reduction_ratio(self) -> float:
@@ -129,7 +161,7 @@ class _BaseBlocker:
         raise NotImplementedError
 
     def block(
-        self, records: Sequence[Record], executor=None
+        self, records: Sequence[Record], executor=None, pair_filter=None
     ) -> BlockingResult:
         """Group records by key and emit all within-block pairs.
 
@@ -140,7 +172,8 @@ class _BaseBlocker:
         With a parallel ``executor``, key extraction fans out over record
         shards; the keyed records are merged back into input order before
         blocks are assembled, so the result matches the sequential path
-        exactly.
+        exactly.  ``pair_filter`` (a ``pairs -> (survivors, pruned_count)``
+        callable) prunes emitted pairs centrally, after block assembly.
         """
         if executor is not None and executor.fans_out:
             keyed = _fan_out_indexed(
@@ -167,11 +200,20 @@ class _BaseBlocker:
                 for j in range(i + 1, len(members)):
                     result.pairs.add(_ordered(members[i], members[j]))
         result.blocks = kept_blocks
-        return result
+        return apply_pair_filter(result, pair_filter)
 
 
 class TokenBlocker(_BaseBlocker):
-    """Block on the tokens of a key attribute (or of the whole record)."""
+    """Block on the tokens of a key attribute (or of the whole record).
+
+    ``token_source`` (set transiently by the consolidator / streaming
+    curator on sequential paths) lets whole-record blocking reuse the
+    scoring kernel's interned per-record tokenization instead of running
+    the tokenizer a second time.  It is deliberately *not* honoured when a
+    ``key_attribute`` restricts the blocking key — the kernel interns the
+    full comparison blob, not single attributes — and it must not be set
+    when the blocker is pickled into process workers.
+    """
 
     def __init__(
         self,
@@ -182,15 +224,29 @@ class TokenBlocker(_BaseBlocker):
         super().__init__(max_block_size=max_block_size)
         self.key_attribute = key_attribute
         self.min_token_length = min_token_length
+        self.token_source = None
 
     def keys_for(self, record: Record) -> Iterable[str]:
         if self.key_attribute is not None:
             text = str(record.get(self.key_attribute, "") or "")
+            tokens = tokenize(text)
+        elif self.token_source is not None:
+            # distinct tokens from the shared vocabulary: `block` applies
+            # set() to the keys anyway, so this is equivalent to tokenize()
+            tokens = self.token_source(record)
         else:
-            text = record.text_blob()
+            tokens = tokenize(record.text_blob())
         return [
-            token for token in tokenize(text) if len(token) >= self.min_token_length
+            token for token in tokens if len(token) >= self.min_token_length
         ]
+
+    def __getstate__(self):
+        # never ship the kernel-backed token source to process workers: it
+        # drags the whole interned corpus through pickle, and workers
+        # re-tokenize identically anyway
+        state = dict(self.__dict__)
+        state["token_source"] = None
+        return state
 
 
 class NGramBlocker(_BaseBlocker):
@@ -233,13 +289,15 @@ class SortedNeighborhoodBlocker:
         return record.text_blob()
 
     def block(
-        self, records: Sequence[Record], executor=None
+        self, records: Sequence[Record], executor=None, pair_filter=None
     ) -> BlockingResult:
         """Sort records and emit pairs within the sliding window.
 
         With a parallel ``executor``, sort keys are computed per shard; the
         final sort happens centrally on ``(key, input index)``, which is
-        exactly the stable ordering of the sequential path.
+        exactly the stable ordering of the sequential path.  ``pair_filter``
+        prunes emitted pairs centrally, exactly as in
+        :meth:`_BaseBlocker.block`.
         """
         if executor is not None and executor.fans_out:
             keyed = _fan_out_indexed(
@@ -258,7 +316,7 @@ class SortedNeighborhoodBlocker:
         result.blocks = {
             "sorted_neighborhood": [r.record_id for r in ordered]
         }
-        return result
+        return apply_pair_filter(result, pair_filter)
 
 
 class BlockIndex:

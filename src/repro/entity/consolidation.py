@@ -24,9 +24,16 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from ..config import EntityConfig
 from ..errors import EntityResolutionError
 from ..exec.executor import ShardedExecutor, ShardPayload
-from .blocking import BlockingResult, full_pairs, make_blocker
+from .blocking import (
+    BlockingResult,
+    TokenBlocker,
+    apply_pair_filter,
+    full_pairs,
+    make_blocker,
+)
 from .clustering import cluster_pairs
 from .dedup import DedupModel
+from .kernel import CandidateFilter, ScoringKernel
 from .record import Record
 
 
@@ -59,7 +66,13 @@ class ConsolidatedEntity:
 
 @dataclass
 class ConsolidationReport:
-    """Bookkeeping from one consolidation run."""
+    """Bookkeeping from one consolidation run.
+
+    ``candidate_pairs`` counts what blocking emitted; ``pruned_pairs``
+    counts how many of those the provable candidate filter discarded before
+    feature extraction (``candidate_pairs - pruned_pairs`` pairs were
+    actually scored).
+    """
 
     input_records: int
     candidate_pairs: int
@@ -67,6 +80,7 @@ class ConsolidationReport:
     clusters: int
     merged_entities: int
     blocking_reduction: float
+    pruned_pairs: int = 0
 
     def as_dict(self) -> dict:
         """Return the report as a dictionary (for benchmarks/EXPERIMENTS.md)."""
@@ -77,6 +91,7 @@ class ConsolidationReport:
             "clusters": self.clusters,
             "merged_entities": self.merged_entities,
             "blocking_reduction": self.blocking_reduction,
+            "pruned_pairs": self.pruned_pairs,
         }
 
 
@@ -218,8 +233,16 @@ class EntityConsolidator:
         """The report from the most recent :meth:`consolidate` call."""
         return self._last_report
 
-    def candidate_pairs(self, records: Sequence[Record]) -> BlockingResult:
-        """Run the configured blocking strategy (or exhaustive pairing)."""
+    def candidate_pairs(
+        self, records: Sequence[Record], pair_filter=None, kernel=None
+    ) -> BlockingResult:
+        """Run the configured blocking strategy (or exhaustive pairing).
+
+        ``pair_filter`` prunes emitted pairs that provably cannot match (see
+        :class:`~repro.entity.kernel.CandidateFilter`); ``kernel`` lets the
+        whole-record token blocker reuse the scoring kernel's interned
+        tokenization on sequential runs.
+        """
         blocker = make_blocker(
             self._config.blocking_strategy,
             key_attribute=self._key_attribute,
@@ -228,8 +251,24 @@ class EntityConsolidator:
         if blocker is None:
             result = BlockingResult(total_records=len(records))
             result.pairs = full_pairs(records)
-            return result
-        return blocker.block(records, executor=self._executor)
+            return apply_pair_filter(result, pair_filter)
+        fans_out = self._executor is not None and self._executor.fans_out
+        share_tokens = (
+            kernel is not None
+            and not fans_out
+            and isinstance(blocker, TokenBlocker)
+            and blocker.key_attribute is None
+            and kernel.compare_attributes is None
+        )
+        if share_tokens:
+            blocker.token_source = kernel.unique_tokens_for
+        try:
+            return blocker.block(
+                records, executor=self._executor, pair_filter=pair_filter
+            )
+        finally:
+            if share_tokens:
+                blocker.token_source = None
 
     def consolidate(self, records: Sequence[Record]) -> List[ConsolidatedEntity]:
         """Deduplicate ``records`` and return composite entities.
@@ -244,9 +283,19 @@ class EntityConsolidator:
         if len(by_id) != len(records):
             raise EntityResolutionError("record ids must be unique")
 
-        blocking = self.candidate_pairs(records)
+        kernel = ScoringKernel(
+            compare_attributes=getattr(self._model, "compare_attributes", None)
+        )
+        pair_filter = None
+        if self._config.candidate_filtering:
+            candidate_filter = CandidateFilter.from_model(self._model)
+            if candidate_filter is not None:
+                pair_filter = candidate_filter.as_pair_filter(kernel, by_id)
+        blocking = self.candidate_pairs(
+            records, pair_filter=pair_filter, kernel=kernel
+        )
         candidate_list = sorted(blocking.pairs)
-        scores = self._score_pairs(by_id, candidate_list)
+        scores = self._score_pairs(by_id, candidate_list, kernel=kernel)
         matched = [
             pair for pair, prob in scores.items() if prob >= self._model.threshold
         ]
@@ -262,32 +311,37 @@ class EntityConsolidator:
         entities = self._merge_clusters(ordered_clusters, by_id)
         self._last_report = ConsolidationReport(
             input_records=len(records),
-            candidate_pairs=len(candidate_list),
+            candidate_pairs=blocking.emitted_count,
             matched_pairs=len(matched),
             clusters=len(clusters),
             merged_entities=sum(1 for e in entities if e.size > 1),
             blocking_reduction=blocking.reduction_ratio,
+            pruned_pairs=blocking.pruned_pairs,
         )
         return entities
 
     # -- scoring -----------------------------------------------------------
 
     def _score_pairs(
-        self, by_id: Dict[str, Record], candidate_list: Sequence[Tuple[str, str]]
+        self,
+        by_id: Dict[str, Record],
+        candidate_list: Sequence[Tuple[str, str]],
+        kernel: Optional[ScoringKernel] = None,
     ) -> Dict[Tuple[str, str], float]:
         """Score candidates, batched (and possibly parallel) when configured.
 
         The batched path reassembles the full feature matrix before the
         classifier runs, so its probabilities are exactly the sequential
-        ones.
+        ones.  The shared ``kernel`` carries interned record data from the
+        blocking/filtering phases into scoring.
         """
         if self._executor is None or not self._executor.fans_out:
-            return self._model.score_pairs(by_id, candidate_list)
+            return self._model.score_pairs(by_id, candidate_list, kernel=kernel)
         # Imported here, not at module level: exec.batch depends on
         # entity.similarity, so a module-level import would be circular.
         from ..exec.batch import BatchScorer
 
-        scorer = BatchScorer(self._model, executor=self._executor)
+        scorer = BatchScorer(self._model, executor=self._executor, kernel=kernel)
         return scorer.score_pairs(by_id, candidate_list)
 
     # -- merging -----------------------------------------------------------

@@ -12,6 +12,7 @@ cross-validation protocol the paper reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +23,7 @@ from ..errors import ModelError, NotFittedError
 from ..ml.crossval import CrossValResult, cross_validate
 from ..ml.linear import LogisticRegression
 from ..ml.naive_bayes import BernoulliNaiveBayes
+from .kernel import ScoringKernel
 from .record import Record
 from .similarity import FEATURE_NAMES, pair_features
 
@@ -86,17 +88,20 @@ class DedupModel:
         return self._config.match_threshold
 
     def featurize(self, pairs: Sequence[LabeledPair]) -> Tuple[np.ndarray, np.ndarray]:
-        """Turn labeled pairs into a feature matrix and a label vector."""
+        """Turn labeled pairs into a feature matrix and a label vector.
+
+        Runs on the vectorized kernel (bit-identical to per-pair
+        :func:`pair_features` calls), so each distinct record is tokenized
+        and normalized once even when it appears in many labeled pairs.
+        """
         if not pairs:
             return (
                 np.zeros((0, len(FEATURE_NAMES)), dtype=float),
                 np.zeros(0, dtype=int),
             )
-        X = np.vstack(
-            [
-                pair_features(p.record_a, p.record_b, self._compare_attributes)
-                for p in pairs
-            ]
+        kernel = ScoringKernel(compare_attributes=self._compare_attributes)
+        X = kernel.features_for_record_pairs(
+            [(p.record_a, p.record_b) for p in pairs]
         )
         y = np.array([1 if p.is_duplicate else 0 for p in pairs], dtype=int)
         return X, y
@@ -133,24 +138,46 @@ class DedupModel:
         self,
         records_by_id: Dict[str, Record],
         candidate_pairs: Sequence[Tuple[str, str]],
+        kernel: Optional[ScoringKernel] = None,
     ) -> Dict[Tuple[str, str], float]:
-        """Score candidate id pairs, returning pair → duplicate probability."""
+        """Score candidate id pairs, returning pair → duplicate probability.
+
+        Featurization runs on the vectorized kernel (bit-identical to the
+        scalar :func:`pair_features` loop it replaced).  Callers that already
+        hold a kernel over these records — the consolidator, the streaming
+        curator — pass it in so per-record interning is not repeated.
+        """
         if self._classifier is None:
             raise NotFittedError("DedupModel")
         if not candidate_pairs:
             return {}
-        X = np.vstack(
-            [
-                pair_features(
-                    records_by_id[a], records_by_id[b], self._compare_attributes
-                )
-                for a, b in candidate_pairs
-            ]
-        )
+        if kernel is None:
+            kernel = ScoringKernel(compare_attributes=self._compare_attributes)
+        X = kernel.features_for_pairs(records_by_id, list(candidate_pairs))
         probabilities = self._classifier.predict_proba(X)
         return {
             pair: float(prob) for pair, prob in zip(candidate_pairs, probabilities)
         }
+
+    def linear_decision(self) -> Optional[Tuple[np.ndarray, float, float]]:
+        """``(weights, bias, z_required)`` of the fitted linear classifier.
+
+        ``z_required`` is the log-odds the linear score must reach for a
+        pair to be declared a duplicate (``sigmoid(z) >= threshold``).
+        Returns ``None`` when the classifier is not linear (naive Bayes) or
+        not fitted — candidate filtering is only sound against a linear
+        decision function.
+        """
+        if not isinstance(self._classifier, LogisticRegression):
+            return None
+        threshold = self.threshold
+        if threshold <= 0.0:
+            z_required = float("-inf")
+        elif threshold >= 1.0:
+            z_required = float("inf")
+        else:
+            z_required = math.log(threshold / (1.0 - threshold))
+        return self._classifier.weights, self._classifier.bias, z_required
 
     def cross_validate(
         self,

@@ -1,0 +1,836 @@
+"""Vectorized pair-scoring kernel over an interned token vocabulary.
+
+The scalar reference implementation, :func:`repro.entity.similarity
+.pair_features`, re-does all of its expensive work once **per candidate
+pair**: it re-tokenizes both records' text blobs, rebuilds ``Counter``
+objects for the cosine, re-normalizes every attribute value through the full
+:class:`~repro.text.normalize.TextNormalizer` pipeline, and runs pure-Python
+Jaro-Winkler / Levenshtein per shared attribute.  Blocking puts each record
+in many candidate pairs, so the same strings are processed over and over —
+the constant factor, not the asymptotics, is what limits throughput.
+
+This module makes the pipeline columnar:
+
+* :class:`TokenVocabulary` interns tokens (and normalized attribute values)
+  to dense integer ids, so token multisets become sorted ``int64`` arrays
+  and value equality becomes integer comparison;
+* :class:`ScoringKernel` stores each record's token-id array, counts, norm,
+  attribute set and normalized/numeric values **exactly once**, then
+  computes ``token_jaccard`` / ``token_cosine`` / ``length_ratio`` for a
+  whole block of pairs with numpy array ops (a single sort over the
+  concatenated per-pair token streams finds every intersection), and
+  memoizes the string-edit similarity per unique *value* pair instead of
+  per record pair;
+* :class:`CandidateFilter` prunes candidate pairs that **provably** cannot
+  reach the classifier's match threshold, using PPJoin-style length/prefix
+  filters on the token sets plus a sound per-pair upper bound on the linear
+  decision score, so the expensive string-edit features are never computed
+  for hopeless pairs.
+
+Equivalence guarantee
+---------------------
+
+``ScoringKernel.features_for_pairs`` is **bit-for-bit identical** to calling
+:func:`pair_features` per pair.  The load-bearing details:
+
+* every division/sqrt happens on exactly the same operands in the same
+  order (integer intersections are exact in float64, ``np.sqrt`` and
+  ``math.sqrt`` are both correctly rounded);
+* the per-attribute loops iterate the same ``attrs_a & attrs_b`` set —
+  built from identically-constructed per-record sets — so the
+  ``np.mean`` summation order of the string/numeric similarity lists is
+  the scalar one;
+* memoized string-edit scores are the exact floats
+  ``max(levenshtein_ratio(a, b), jaro_winkler(a, b))`` returns (equal
+  values short-circuit to the same ``1.0`` both functions produce).
+
+``CandidateFilter`` never prunes a pair the classifier would label a match
+at its configured threshold: the linear score of a pruned pair is bounded
+above by a provable margin below the decision boundary (the cheap features
+are computed exactly; only the two string-edit features are replaced by
+sound length-derived upper/lower bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from ..schema.matchers import jaro_winkler, levenshtein_ratio
+from ..text.tokenizer import tokenize
+from .record import Record
+from .similarity import FEATURE_NAMES, _to_float
+
+Pair = Tuple[str, str]
+
+#: Safety margin (in log-odds) under the decision boundary required before a
+#: pair is pruned.  Covers the few-ulp difference between the kernel's
+#: feature-by-feature bound accumulation and the classifier's BLAS dot
+#: product; many orders of magnitude larger than any float64 rounding slop.
+_PRUNE_MARGIN = 1e-9
+
+#: Bound on the string-sim memo before it is dropped and restarted (keeps a
+#: long-lived streaming kernel from growing without limit).
+_MEMO_LIMIT = 1 << 20
+
+
+class TokenVocabulary:
+    """Interning table mapping strings to dense integer ids.
+
+    Used for both tokens and normalized attribute values.  Ids are assigned
+    in first-seen order and never change; every similarity in the kernel is
+    id-order independent, so batch and streaming kernels agree even though
+    they intern in different orders.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._strings: List[str] = []
+        self._lex_ranks: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._ids
+
+    def intern(self, text: str) -> int:
+        """Return the id for ``text``, assigning a fresh one if unseen."""
+        interned = self._ids.get(text)
+        if interned is None:
+            interned = len(self._strings)
+            self._ids[text] = interned
+            self._strings.append(text)
+            self._lex_ranks = None
+        return interned
+
+    def string(self, interned: int) -> str:
+        """The string behind an id."""
+        return self._strings[interned]
+
+    def lex_ranks(self) -> np.ndarray:
+        """Rank of every id under lexicographic string order.
+
+        The *relation* between two strings is intrinsic, so prefix-filter
+        decisions made against this order agree between kernels that
+        interned the same strings in different orders (and between calls as
+        the vocabulary grows).
+        """
+        if self._lex_ranks is None or len(self._lex_ranks) != len(self._strings):
+            order = sorted(range(len(self._strings)), key=self._strings.__getitem__)
+            ranks = np.empty(len(order), dtype=np.int64)
+            ranks[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(order), dtype=np.int64
+            )
+            self._lex_ranks = ranks
+        return self._lex_ranks
+
+
+class RecordTokenData:
+    """Everything the kernel needs about one record, computed once.
+
+    ``uids``/``counts`` are the sorted unique token ids of the record's text
+    blob with their multiplicities; ``norm``/``sq_sum`` back the cosine;
+    ``attrs`` is the populated-attribute set built exactly like the scalar
+    path builds it (so set-intersection iteration order matches); and
+    ``attr_table`` maps each populated attribute to its interned normalized
+    value id, normalized length and numeric interpretation.
+    """
+
+    __slots__ = (
+        "record",
+        "uids",
+        "counts",
+        "n_tokens",
+        "n_distinct",
+        "sq_sum",
+        "norm",
+        "blob_len",
+        "attrs",
+        "attr_table",
+    )
+
+    def __init__(
+        self,
+        record: Record,
+        uids: np.ndarray,
+        counts: np.ndarray,
+        n_tokens: int,
+        sq_sum: int,
+        blob_len: int,
+        attrs: Set[str],
+        attr_table: Dict[str, Tuple[int, int, Optional[float]]],
+    ):
+        self.record = record
+        self.uids = uids
+        self.counts = counts
+        self.n_tokens = n_tokens
+        self.n_distinct = int(uids.shape[0])
+        self.sq_sum = sq_sum
+        # bit-identical to the scalar path's math.sqrt over the same int
+        self.norm = math.sqrt(sq_sum)
+        self.blob_len = blob_len
+        self.attrs = attrs
+        self.attr_table = attr_table
+
+
+class ScoringKernel:
+    """Columnar pair featurization over interned per-record data.
+
+    One kernel instance owns a :class:`TokenVocabulary` (tokens), a value
+    interning table (normalized attribute values), the per-record data
+    cache, and the string-edit memo.  It is cheap to build and grows lazily:
+    records are interned on first use and re-interned automatically when a
+    record id reappears with different content (streaming updates).
+    """
+
+    def __init__(
+        self,
+        compare_attributes: Optional[Sequence[str]] = None,
+        tokenizer: Callable[[str], List[str]] = tokenize,
+    ):
+        self._compare_attributes = (
+            list(compare_attributes) if compare_attributes is not None else None
+        )
+        self._tokenizer = tokenizer
+        self.vocabulary = TokenVocabulary()
+        self._values = TokenVocabulary()
+        self._cache: Dict[str, RecordTokenData] = {}
+        self._string_sim_memo: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def compare_attributes(self) -> Optional[List[str]]:
+        """The attribute restriction every featurization applies."""
+        return (
+            list(self._compare_attributes)
+            if self._compare_attributes is not None
+            else None
+        )
+
+    @property
+    def cached_records(self) -> int:
+        """Number of records currently interned."""
+        return len(self._cache)
+
+    @property
+    def memo_size(self) -> int:
+        """Number of memoized unique string-edit value pairs."""
+        return len(self._string_sim_memo)
+
+    # -- interning -----------------------------------------------------------
+
+    def intern(self, record: Record) -> RecordTokenData:
+        """Per-record data for ``record``, computed once and cached.
+
+        The cache is keyed by record id and validated against the record's
+        content, so streaming updates (same id, new fields) re-intern
+        transparently.
+        """
+        cached = self._cache.get(record.record_id)
+        if cached is not None and (cached.record is record or cached.record == record):
+            return cached
+        data = self._build(record)
+        self._cache[record.record_id] = data
+        return data
+
+    def discard(self, record_id: str) -> None:
+        """Drop a record's interned data (streaming deletes)."""
+        self._cache.pop(record_id, None)
+
+    def intern_all(self, records: Iterable[Record]) -> None:
+        """Intern many records up front.
+
+        Thread-backend fan-outs call this before sharing the kernel across
+        worker threads: afterwards workers only *read* record data (the
+        string-sim memo is still written, but concurrent writes of an
+        identical value are benign under the GIL).
+        """
+        for record in records:
+            self.intern(record)
+
+    def unique_tokens_for(self, record: Record) -> List[str]:
+        """The record's distinct blob tokens, decoded from the vocabulary.
+
+        Lets blockers reuse the interned tokenization instead of running the
+        tokenizer again.  Only meaningful when the kernel has no
+        ``compare_attributes`` restriction (the blob is the whole record,
+        exactly what ``TokenBlocker`` tokenizes).
+        """
+        data = self.intern(record)
+        return [self.vocabulary.string(int(uid)) for uid in data.uids]
+
+    def _build(self, record: Record) -> RecordTokenData:
+        dict_r = record.as_dict()
+        blob = record.text_blob(self._compare_attributes)
+        tokens = self._tokenizer(blob)
+        counter = Counter(tokens)
+        n_distinct = len(counter)
+        uids = np.empty(n_distinct, dtype=np.int64)
+        raw_counts = np.empty(n_distinct, dtype=np.int64)
+        for slot, (token, count) in enumerate(counter.items()):
+            uids[slot] = self.vocabulary.intern(token)
+            raw_counts[slot] = count
+        order = np.argsort(uids)
+        uids = uids[order]
+        counts = raw_counts[order]
+        sq_sum = int(np.dot(counts, counts)) if n_distinct else 0
+
+        # the attribute set must be built exactly like the scalar path does
+        # (same insertion sequence), so `attrs_a & attrs_b` iterates shared
+        # attributes in the scalar order and the np.mean summation order of
+        # the similarity lists matches bit for bit
+        attrs = {k for k, v in dict_r.items() if v not in (None, "")}
+        if self._compare_attributes is not None:
+            attrs &= set(self._compare_attributes)
+        attr_table: Dict[str, Tuple[int, int, Optional[float]]] = {}
+        for attr in attrs:
+            value = dict_r.get(attr)
+            normalized = record.normalized(attr)
+            attr_table[attr] = (
+                self._values.intern(normalized),
+                len(normalized),
+                _to_float(value),
+            )
+        return RecordTokenData(
+            record=record,
+            uids=uids,
+            counts=counts,
+            n_tokens=len(tokens),
+            sq_sum=sq_sum,
+            blob_len=len(blob),
+            attrs=attrs,
+            attr_table=attr_table,
+        )
+
+    # -- string-edit memo ----------------------------------------------------
+
+    def _string_sim(self, vid_a: int, vid_b: int) -> float:
+        """``max(levenshtein_ratio, jaro_winkler)`` memoized per value pair.
+
+        Equal ids short-circuit to 1.0 — exactly what both string measures
+        return for equal strings, so the shortcut is bit-identical.
+        """
+        if vid_a == vid_b:
+            return 1.0
+        key = (vid_a, vid_b)
+        memo = self._string_sim_memo
+        cached = memo.get(key)
+        if cached is None:
+            value_a = self._values.string(vid_a)
+            value_b = self._values.string(vid_b)
+            cached = max(
+                levenshtein_ratio(value_a, value_b), jaro_winkler(value_a, value_b)
+            )
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
+        return cached
+
+    # -- columnar token features ---------------------------------------------
+
+    def _token_columns(
+        self,
+        data_a: Sequence[RecordTokenData],
+        data_b: Sequence[RecordTokenData],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(jaccard, cosine, intersection, distinct-pair-min) per pair.
+
+        One stable sort over the concatenated per-pair token streams finds
+        every intersection: within one pair each side's ids are unique, so a
+        token shared by both sides appears exactly twice, adjacently, in the
+        sorted stream.  All intersection counts and count-products are small
+        integers — exact in float64 — so the final divisions see exactly the
+        operands the scalar path divides.
+        """
+        n_pairs = len(data_a)
+        if n_pairs == 0:
+            empty = np.zeros(0, dtype=float)
+            return empty, empty, empty.astype(np.int64), empty.astype(np.int64)
+        distinct_a = np.fromiter(
+            (d.n_distinct for d in data_a), dtype=np.int64, count=n_pairs
+        )
+        distinct_b = np.fromiter(
+            (d.n_distinct for d in data_b), dtype=np.int64, count=n_pairs
+        )
+        arrays: List[np.ndarray] = [d.uids for d in data_a]
+        arrays.extend(d.uids for d in data_b)
+        count_arrays: List[np.ndarray] = [d.counts for d in data_a]
+        count_arrays.extend(d.counts for d in data_b)
+        sizes = np.concatenate([distinct_a, distinct_b])
+        pair_index = np.repeat(
+            np.concatenate([np.arange(n_pairs), np.arange(n_pairs)]), sizes
+        )
+        tokens = (
+            np.concatenate(arrays) if arrays else np.zeros(0, dtype=np.int64)
+        )
+        counts = (
+            np.concatenate(count_arrays)
+            if count_arrays
+            else np.zeros(0, dtype=np.int64)
+        )
+        if tokens.shape[0]:
+            vocab_size = np.int64(len(self.vocabulary))
+            keys = pair_index * vocab_size + tokens
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            sorted_counts = counts[order]
+            duplicate = sorted_keys[1:] == sorted_keys[:-1]
+            dup_pairs = pair_index[order][1:][duplicate]
+            intersection = np.bincount(dup_pairs, minlength=n_pairs).astype(np.int64)
+            products = (sorted_counts[1:] * sorted_counts[:-1])[duplicate]
+            dot = np.bincount(
+                dup_pairs, weights=products.astype(np.float64), minlength=n_pairs
+            )
+        else:
+            intersection = np.zeros(n_pairs, dtype=np.int64)
+            dot = np.zeros(n_pairs, dtype=np.float64)
+
+        union = distinct_a + distinct_b - intersection
+        jaccard = np.empty(n_pairs, dtype=np.float64)
+        nonempty_union = union > 0
+        # jaccard_similarity's empty-set convention: both empty -> 1.0
+        jaccard[~nonempty_union] = 1.0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            jaccard[nonempty_union] = (
+                intersection[nonempty_union] / union[nonempty_union]
+            )
+
+        norms_a = np.fromiter((d.norm for d in data_a), dtype=np.float64, count=n_pairs)
+        norms_b = np.fromiter((d.norm for d in data_b), dtype=np.float64, count=n_pairs)
+        tokens_a = np.fromiter(
+            (d.n_tokens for d in data_a), dtype=np.int64, count=n_pairs
+        )
+        tokens_b = np.fromiter(
+            (d.n_tokens for d in data_b), dtype=np.int64, count=n_pairs
+        )
+        cosine = np.zeros(n_pairs, dtype=np.float64)
+        populated = (tokens_a > 0) & (tokens_b > 0)
+        # same op order as the scalar path: dot / (norm_a * norm_b)
+        cosine[populated] = dot[populated] / (norms_a[populated] * norms_b[populated])
+
+        return jaccard, cosine, intersection, np.minimum(distinct_a, distinct_b)
+
+    @staticmethod
+    def _length_ratio_column(
+        data_a: Sequence[RecordTokenData], data_b: Sequence[RecordTokenData]
+    ) -> np.ndarray:
+        n_pairs = len(data_a)
+        len_a = np.fromiter((d.blob_len for d in data_a), dtype=np.int64, count=n_pairs)
+        len_b = np.fromiter((d.blob_len for d in data_b), dtype=np.int64, count=n_pairs)
+        low = np.minimum(len_a, len_b)
+        high = np.maximum(len_a, len_b)
+        ratio = np.empty(n_pairs, dtype=np.float64)
+        both_zero = high == 0
+        one_zero = (low == 0) & ~both_zero
+        rest = ~both_zero & ~one_zero
+        ratio[both_zero] = 1.0
+        ratio[one_zero] = 0.0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio[rest] = low[rest] / high[rest]
+        return ratio
+
+    # -- per-pair attribute features ------------------------------------------
+
+    def _attribute_features(
+        self, data_a: RecordTokenData, data_b: RecordTokenData
+    ) -> Tuple[float, float, float, float, float]:
+        """(shared_ratio, exact_fraction, mean_sim, max_sim, numeric) for one pair.
+
+        Mirrors the scalar per-attribute loop exactly, but over interned
+        data: value equality is id comparison, string-edit scores come from
+        the memo, numeric conversions were hoisted to interning time.
+        """
+        attrs_a, attrs_b = data_a.attrs, data_b.attrs
+        shared = attrs_a & attrs_b
+        union_size = len(attrs_a) + len(attrs_b) - len(shared)
+        shared_ratio = len(shared) / union_size if union_size else 0.0
+
+        exact_matches = 0
+        string_sims: List[float] = []
+        numeric_sims: List[float] = []
+        table_a, table_b = data_a.attr_table, data_b.attr_table
+        for attr in shared:
+            vid_a, len_a, num_a = table_a[attr]
+            vid_b, len_b, num_b = table_b[attr]
+            if len_a and vid_a == vid_b:
+                exact_matches += 1
+            if len_a and len_b:
+                string_sims.append(self._string_sim(vid_a, vid_b))
+            if num_a is not None and num_b is not None:
+                denom = max(abs(num_a), abs(num_b))
+                numeric_sims.append(
+                    1.0 if denom == 0 else max(0.0, 1.0 - abs(num_a - num_b) / denom)
+                )
+        exact_fraction = exact_matches / len(shared) if shared else 0.0
+        mean_sim = float(np.mean(string_sims)) if string_sims else 0.0
+        max_sim = float(np.max(string_sims)) if string_sims else 0.0
+        numeric = float(np.mean(numeric_sims)) if numeric_sims else 0.0
+        return shared_ratio, exact_fraction, mean_sim, max_sim, numeric
+
+    # -- public featurization --------------------------------------------------
+
+    def features_for_record_pairs(
+        self, pairs: Sequence[Tuple[Record, Record]]
+    ) -> np.ndarray:
+        """Feature matrix for record-object pairs (one row per pair)."""
+        data_a = [self.intern(a) for a, _ in pairs]
+        data_b = [self.intern(b) for _, b in pairs]
+        return self._assemble(data_a, data_b)
+
+    def features_for_pairs(
+        self,
+        records_by_id: Dict[str, Record],
+        pairs: Sequence[Pair],
+    ) -> np.ndarray:
+        """Feature matrix for record-id pairs (one row per pair, in order)."""
+        data_a = [self.intern(records_by_id[a]) for a, _ in pairs]
+        data_b = [self.intern(records_by_id[b]) for _, b in pairs]
+        return self._assemble(data_a, data_b)
+
+    def _assemble(
+        self,
+        data_a: Sequence[RecordTokenData],
+        data_b: Sequence[RecordTokenData],
+    ) -> np.ndarray:
+        n_pairs = len(data_a)
+        out = np.zeros((n_pairs, len(FEATURE_NAMES)), dtype=float)
+        if n_pairs == 0:
+            return out
+        jaccard, cosine, _, _ = self._token_columns(data_a, data_b)
+        out[:, 0] = jaccard
+        out[:, 1] = cosine
+        out[:, 7] = self._length_ratio_column(data_a, data_b)
+        for row, (da, db) in enumerate(zip(data_a, data_b)):
+            shared, exact, mean_sim, max_sim, numeric = self._attribute_features(
+                da, db
+            )
+            out[row, 2] = shared
+            out[row, 3] = exact
+            out[row, 4] = mean_sim
+            out[row, 5] = max_sim
+            out[row, 6] = numeric
+        return out
+
+
+# -- candidate filtering ------------------------------------------------------
+
+
+def _filter_attribute_features(
+    data_a: RecordTokenData, data_b: RecordTokenData
+) -> Tuple[float, float, float, float, float, float, float]:
+    """One cheap pass over the shared attributes for the candidate filter.
+
+    Returns ``(shared_ratio, exact_fraction, numeric_closeness, mean_lb,
+    mean_ub, max_lb, max_ub)``: the first three are the *exact* feature
+    values (no edit distances involved), the last four bound the two
+    string-edit features soundly:
+
+    * equal value ids pin the similarity to exactly 1.0;
+    * unequal values admit ``levenshtein_ratio <= 1 - max(1, |la-lb|)/max``
+      (edit distance is at least the length difference, and at least 1 for
+      distinct strings) and ``jaro_winkler <= 0.4 + 0.6*(2 + min/max)/3``
+      (matches are bounded by the shorter string, the Winkler prefix boost
+      is capped at 4 characters).
+
+    Both bounds are monotone consequences of the implementations in
+    :mod:`repro.schema.matchers`; correctly-rounded float division keeps the
+    monotonicity, and the caller adds a margin before pruning.
+    """
+    attrs_a, attrs_b = data_a.attrs, data_b.attrs
+    shared = attrs_a & attrs_b
+    union_size = len(attrs_a) + len(attrs_b) - len(shared)
+    shared_ratio = len(shared) / union_size if union_size else 0.0
+
+    bounds: List[float] = []
+    numeric_sims: List[float] = []
+    n_equal = 0
+    exact_matches = 0
+    table_a, table_b = data_a.attr_table, data_b.attr_table
+    for attr in shared:
+        vid_a, len_a, num_a = table_a[attr]
+        vid_b, len_b, num_b = table_b[attr]
+        if len_a and vid_a == vid_b:
+            exact_matches += 1
+        if num_a is not None and num_b is not None:
+            denom = max(abs(num_a), abs(num_b))
+            numeric_sims.append(
+                1.0 if denom == 0 else max(0.0, 1.0 - abs(num_a - num_b) / denom)
+            )
+        if not (len_a and len_b):
+            continue
+        if vid_a == vid_b:
+            n_equal += 1
+            bounds.append(1.0)
+            continue
+        longest = len_a if len_a >= len_b else len_b
+        shortest = len_a + len_b - longest
+        lev_ub = 1.0 - max(1, longest - shortest) / longest
+        jw_ub = 0.4 + 0.6 * (2.0 + shortest / longest) / 3.0
+        ub = lev_ub if lev_ub >= jw_ub else jw_ub
+        bounds.append(ub if ub <= 1.0 else 1.0)
+    exact_fraction = exact_matches / len(shared) if shared else 0.0
+    numeric = float(np.mean(numeric_sims)) if numeric_sims else 0.0
+    if not bounds:
+        return shared_ratio, exact_fraction, numeric, 0.0, 0.0, 0.0, 0.0
+    mean_ub = float(np.mean(bounds))
+    mean_lb = n_equal / len(bounds)
+    max_ub = max(bounds)
+    max_lb = 1.0 if n_equal else 0.0
+    return shared_ratio, exact_fraction, numeric, mean_lb, mean_ub, max_lb, max_ub
+
+
+class FilterStats:
+    """Bookkeeping from one :meth:`CandidateFilter.split` call."""
+
+    __slots__ = ("examined", "pruned_by_prefix", "pruned_by_bound")
+
+    def __init__(self) -> None:
+        self.examined = 0
+        self.pruned_by_prefix = 0
+        self.pruned_by_bound = 0
+
+    @property
+    def pruned(self) -> int:
+        """Total pairs pruned."""
+        return self.pruned_by_prefix + self.pruned_by_bound
+
+    def as_dict(self) -> dict:
+        """The stats as a plain dictionary (for benchmarks/reports)."""
+        return {
+            "examined": self.examined,
+            "pruned_by_prefix": self.pruned_by_prefix,
+            "pruned_by_bound": self.pruned_by_bound,
+            "pruned": self.pruned,
+        }
+
+
+class CandidateFilter:
+    """Prune candidate pairs that provably cannot match.
+
+    Built from a *linear* pairwise classifier (weights ``w``, bias ``b``)
+    and its probability threshold ``tau``: a pair is a match iff its linear
+    score ``z = w.x + b`` reaches ``z_req = logit(tau)``.  Two sound filters
+    are applied, cheapest first:
+
+    1. **Length + prefix filters (PPJoin-style).**  When the weights imply a
+       minimum ``token_jaccard`` ``t*`` below which no pair can match (every
+       other feature at its maximum), a pair whose distinct-token counts
+       satisfy ``min/max < t*`` is pruned outright, and surviving pairs must
+       share a token within their lexicographic-order prefixes of length
+       ``d - ceil(t*.d) + 1``.
+    2. **Linear score bound.**  ``z`` is bounded above using the *exact*
+       values of the six cheap features (token, attribute-overlap, numeric
+       and length features — the kernel computes them columnar anyway) and
+       sound interval bounds for the two string-edit features; pairs whose
+       bound stays below ``z_req`` by :data:`_PRUNE_MARGIN` are pruned.
+
+    Pruned pairs are exactly pairs the classifier would score below its
+    threshold, so the matched-pair set — and everything downstream
+    (clusters, entities, end-to-end recall) — is bit-identical with the
+    filter on or off.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        bias: float,
+        z_required: float,
+    ):
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(FEATURE_NAMES),):
+            raise ValueError(
+                f"expected {len(FEATURE_NAMES)} feature weights, got {weights.shape}"
+            )
+        self._weights = weights
+        self._bias = float(bias)
+        self._z_required = float(z_required)
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        self._i_jac = index["token_jaccard"]
+        self._i_cos = index["token_cosine"]
+        self._i_shared = index["shared_attr_ratio"]
+        self._i_exact = index["exact_match_fraction"]
+        self._i_mean = index["mean_string_similarity"]
+        self._i_max = index["max_string_similarity"]
+        self._i_num = index["numeric_closeness"]
+        self._i_len = index["length_ratio"]
+        self._min_jaccard = self._derive_min_jaccard()
+
+    @classmethod
+    def from_model(cls, model) -> Optional["CandidateFilter"]:
+        """Build a filter from a fitted model, or ``None`` if unsupported.
+
+        The model must expose ``linear_decision()`` returning
+        ``(weights, bias, z_required)`` (``None`` for non-linear
+        classifiers such as naive Bayes, where no sound cheap bound on the
+        decision score exists).
+        """
+        linear_decision = getattr(model, "linear_decision", None)
+        if linear_decision is None:
+            return None
+        decision = linear_decision()
+        if decision is None:
+            return None
+        weights, bias, z_required = decision
+        if not math.isfinite(z_required):
+            # threshold 0 (everything matches) or 1 (float rounding can
+            # still produce probability 1.0): no sound pruning exists
+            return None
+        return cls(weights, bias, z_required)
+
+    @property
+    def min_token_jaccard(self) -> float:
+        """The derived necessary ``token_jaccard`` (``<= 0`` disables the
+        length/prefix filters)."""
+        return self._min_jaccard
+
+    def _derive_min_jaccard(self) -> float:
+        """Smallest ``token_jaccard`` compatible with reaching the threshold
+        when every other feature sits at its most favourable value."""
+        w_jac = self._weights[self._i_jac]
+        if w_jac <= 0:
+            return float("-inf")
+        slack = self._z_required - _PRUNE_MARGIN - self._bias
+        for i, w in enumerate(self._weights):
+            if i == self._i_jac:
+                continue
+            if w > 0:
+                slack -= w  # feature at its maximum, 1.0
+        return slack / w_jac
+
+    # -- length + prefix filters ----------------------------------------------
+
+    def _prefix_survivors(
+        self,
+        kernel: ScoringKernel,
+        data_a: List[RecordTokenData],
+        data_b: List[RecordTokenData],
+        stats: FilterStats,
+    ) -> Tuple[List[int], List[int]]:
+        """(surviving, pruned) pair indices under the length/prefix filters."""
+        threshold = self._min_jaccard
+        if threshold <= 0.0:
+            return list(range(len(data_a))), []
+        survivors: List[int] = []
+        rejected: List[int] = []
+        ranks = kernel.vocabulary.lex_ranks()
+        prefix_cache: Dict[int, Set[int]] = {}
+
+        def prefix_of(data: RecordTokenData) -> Set[int]:
+            cached = prefix_cache.get(id(data))
+            if cached is None:
+                n_distinct = data.n_distinct
+                keep = n_distinct - math.ceil(threshold * n_distinct) + 1
+                ordered = data.uids[np.argsort(ranks[data.uids], kind="stable")]
+                cached = set(int(uid) for uid in ordered[:keep])
+                prefix_cache[id(data)] = cached
+            return cached
+
+        for row, (da, db) in enumerate(zip(data_a, data_b)):
+            low = min(da.n_distinct, db.n_distinct)
+            high = max(da.n_distinct, db.n_distinct)
+            if high == 0:
+                # both token sets empty: jaccard is exactly 1.0 by convention
+                if threshold > 1.0:
+                    stats.pruned_by_prefix += 1
+                    rejected.append(row)
+                    continue
+                survivors.append(row)
+                continue
+            if low / high < threshold:
+                stats.pruned_by_prefix += 1
+                rejected.append(row)
+                continue
+            if not prefix_of(da) & prefix_of(db):
+                stats.pruned_by_prefix += 1
+                rejected.append(row)
+                continue
+            survivors.append(row)
+        return survivors, rejected
+
+    # -- the linear score bound -------------------------------------------------
+
+    def split(
+        self,
+        kernel: ScoringKernel,
+        records_by_id: Dict[str, Record],
+        pairs: Sequence[Pair],
+    ) -> Tuple[List[Pair], Set[Pair], FilterStats]:
+        """Partition ``pairs`` into (survivors, pruned, stats).
+
+        Survivors keep their input order.  Every pruned pair provably scores
+        below the classifier threshold.
+        """
+        pairs = list(pairs)
+        stats = FilterStats()
+        stats.examined = len(pairs)
+        if not pairs:
+            return [], set(), stats
+        data_a = [kernel.intern(records_by_id[a]) for a, _ in pairs]
+        data_b = [kernel.intern(records_by_id[b]) for _, b in pairs]
+
+        candidate_rows, rejected_rows = self._prefix_survivors(
+            kernel, data_a, data_b, stats
+        )
+        pruned: Set[Pair] = {pairs[row] for row in rejected_rows}
+        if not candidate_rows:
+            return [], pruned, stats
+
+        sub_a = [data_a[row] for row in candidate_rows]
+        sub_b = [data_b[row] for row in candidate_rows]
+        jaccard, cosine, _, _ = kernel._token_columns(sub_a, sub_b)
+        length_ratio = kernel._length_ratio_column(sub_a, sub_b)
+
+        w = self._weights
+        z_cut = self._z_required - _PRUNE_MARGIN
+        survivors: List[Pair] = []
+        for slot, row in enumerate(candidate_rows):
+            da, db = data_a[row], data_b[row]
+            (
+                shared,
+                exact,
+                numeric,
+                mean_lb,
+                mean_ub,
+                max_lb,
+                max_ub,
+            ) = _filter_attribute_features(da, db)
+            z = (
+                self._bias
+                + w[self._i_jac] * float(jaccard[slot])
+                + w[self._i_cos] * float(cosine[slot])
+                + w[self._i_shared] * shared
+                + w[self._i_exact] * exact
+                + w[self._i_mean] * (mean_ub if w[self._i_mean] > 0 else mean_lb)
+                + w[self._i_max] * (max_ub if w[self._i_max] > 0 else max_lb)
+                + w[self._i_num] * numeric
+                + w[self._i_len] * float(length_ratio[slot])
+            )
+            if z < z_cut:
+                stats.pruned_by_bound += 1
+                pruned.add(pairs[row])
+            else:
+                survivors.append(pairs[row])
+        return survivors, pruned, stats
+
+    def as_pair_filter(
+        self, kernel: ScoringKernel, records_by_id: Dict[str, Record]
+    ) -> Callable[[Set[Pair]], Tuple[Set[Pair], int]]:
+        """A ``pairs -> (survivor_set, pruned_count)`` callable for blockers."""
+
+        def pair_filter(pairs: Set[Pair]) -> Tuple[Set[Pair], int]:
+            survivors, pruned, _ = self.split(kernel, records_by_id, sorted(pairs))
+            return set(survivors), len(pruned)
+
+        return pair_filter

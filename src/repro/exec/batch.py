@@ -1,15 +1,24 @@
-"""Batched candidate-pair scoring with a cached tokenization layer.
+"""Batched candidate-pair scoring on the vectorized kernel.
 
-Pairwise featurization re-tokenizes each record's text blob for every pair
-it appears in; with blocking a record typically appears in many pairs, so
-the same strings are tokenized over and over.  :func:`cached_tokenize` is an
-LRU-cached, bit-identical replacement for
-:func:`repro.text.tokenizer.tokenize` (tokenize is pure, so caching cannot
-change results).  :class:`BatchScorer` featurizes candidate pairs in
-bounded-size chunks — optionally fanned out through a
-:class:`~repro.exec.executor.ShardedExecutor` — then classifies the full
-feature matrix in one call, which makes its scores exactly those of
-:meth:`repro.entity.dedup.DedupModel.score_pairs`.
+Pairwise featurization used to re-tokenize each record's text blob for every
+pair it appears in; the :class:`~repro.entity.kernel.ScoringKernel` replaces
+that with interned per-record token/attribute data computed once.
+:class:`BatchScorer` featurizes candidate pairs in bounded-size chunks —
+optionally fanned out through a :class:`~repro.exec.executor.ShardedExecutor`
+— then classifies the full feature matrix in one call, which makes its
+scores exactly those of :meth:`repro.entity.dedup.DedupModel.score_pairs`.
+
+:func:`cached_tokenize` — the LRU-cached, bit-identical replacement for
+:func:`repro.text.tokenizer.tokenize` — remains the kernel's default
+tokenizer here, so the *blob → tokens* step is shared even across scorer
+(and kernel) instances within a process.
+
+Backend notes: the ``thread``/``serial`` backends share one kernel (records
+are interned up front, so worker threads only read per-record data; the
+string-sim memo takes benign same-value writes under the GIL).  The
+``process`` backend ships each chunk the records it references and rebuilds
+a chunk-local kernel in the worker — results are identical either way
+because the kernel is a pure function of (records, pairs).
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..entity.similarity import FEATURE_NAMES, pair_features
+from ..entity.kernel import ScoringKernel
+from ..entity.similarity import FEATURE_NAMES
 from ..text.tokenizer import tokenize
 from .executor import ShardedExecutor, ShardPayload
 
@@ -46,27 +56,29 @@ def clear_token_cache() -> None:
     _token_tuple.cache_clear()
 
 
-def _featurize_payload(compare_attributes, payload):
-    """Feature matrix for one (records, pairs) payload (module-level: picklable).
+def _featurize_shared_kernel(kernel, payload):
+    """Feature matrix for one chunk against the shared (pre-interned) kernel."""
+    records_by_id, chunk = payload.context, payload.items
+    if not chunk:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
+    return kernel.features_for_pairs(records_by_id, list(chunk))
 
-    With the process backend the payload carries only the records its pairs
-    reference, so each chunk pickles a bounded slice of the corpus rather
-    than the whole record dictionary.
+
+def _featurize_fresh_kernel(compare_attributes, payload):
+    """Feature matrix for one chunk via a worker-local kernel (picklable).
+
+    Used by the process backend: the payload carries only the records its
+    pairs reference, the worker interns them into a fresh kernel.  The
+    kernel is a pure function of its inputs, so the rows are bit-identical
+    to the shared-kernel path.
     """
     records_by_id, chunk = payload.context, payload.items
     if not chunk:
         return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
-    return np.vstack(
-        [
-            pair_features(
-                records_by_id[a],
-                records_by_id[b],
-                compare_attributes,
-                tokenizer=cached_tokenize,
-            )
-            for a, b in chunk
-        ]
+    kernel = ScoringKernel(
+        compare_attributes=compare_attributes, tokenizer=cached_tokenize
     )
+    return kernel.features_for_pairs(records_by_id, list(chunk))
 
 
 class BatchScorer:
@@ -78,6 +90,7 @@ class BatchScorer:
         executor: Optional[ShardedExecutor] = None,
         batch_size: Optional[int] = None,
         compare_attributes: Optional[Sequence[str]] = None,
+        kernel: Optional[ScoringKernel] = None,
     ):
         self._model = model
         self._executor = executor if executor is not None else ShardedExecutor()
@@ -92,11 +105,29 @@ class BatchScorer:
         self._compare_attributes = (
             list(compare_attributes) if compare_attributes is not None else None
         )
+        # a caller-supplied kernel (the streaming curator's, the
+        # consolidator's) carries its interned records across calls; its
+        # attribute restriction is authoritative for the thread/serial
+        # path, so the process path must featurize under the same one —
+        # otherwise scores would silently depend on the backend
+        if kernel is not None:
+            self._kernel = kernel
+            self._compare_attributes = kernel.compare_attributes
+        else:
+            self._kernel = ScoringKernel(
+                compare_attributes=self._compare_attributes,
+                tokenizer=cached_tokenize,
+            )
 
     @property
     def batch_size(self) -> int:
         """Number of pairs featurized per chunk."""
         return self._batch_size
+
+    @property
+    def kernel(self) -> ScoringKernel:
+        """The scoring kernel holding the interned per-record cache."""
+        return self._kernel
 
     def featurize_pairs(
         self,
@@ -123,13 +154,17 @@ class BatchScorer:
                         items=tuple(chunk),
                     )
                 )
+            worker = partial(_featurize_fresh_kernel, self._compare_attributes)
         else:
-            # threads/serial share memory — no copy needed
+            # threads/serial share the kernel — intern every referenced
+            # record up front so worker threads never mutate shared state
+            wanted = {record_id for pair in pairs for record_id in pair}
+            self._kernel.intern_all(records_by_id[record_id] for record_id in wanted)
             payloads = [
                 ShardPayload(context=records_by_id, items=tuple(chunk))
                 for chunk in chunks
             ]
-        worker = partial(_featurize_payload, self._compare_attributes)
+            worker = partial(_featurize_shared_kernel, self._kernel)
         matrices = self._executor.map_shards(worker, payloads)
         return np.vstack(matrices)
 

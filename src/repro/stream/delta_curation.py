@@ -9,8 +9,13 @@ rather than the corpus:
   support counts (block-based strategies) or a cheap full re-block
   ("sorted"/"none", where pair enumeration is not the bottleneck);
 * pairwise similarity features are computed only for new or invalidated
-  pairs (through the :class:`~repro.exec.batch.BatchScorer` fan-out path)
-  and cached per pair;
+  pairs (through the :class:`~repro.exec.batch.BatchScorer` fan-out path,
+  backed by a persistent :class:`~repro.entity.kernel.ScoringKernel` that
+  interns each record's tokens and normalized values once per version) and
+  cached per pair; pairs the
+  :class:`~repro.entity.kernel.CandidateFilter` proves unmatchable are
+  never featurized at all (and are re-examined when either record
+  changes);
 * match decisions feed an
   :class:`~repro.entity.clustering.IncrementalClusters` union/split
   structure, so clusters are updated in place;
@@ -49,8 +54,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..config import EntityConfig
-from ..entity.blocking import BlockIndex, full_pairs, make_blocker
+from ..entity.blocking import BlockIndex, TokenBlocker, full_pairs, make_blocker
 from ..entity.clustering import IncrementalClusters, cluster_pairs
+from ..entity.kernel import CandidateFilter, ScoringKernel
 from ..entity.consolidation import (
     ConsolidatedEntity,
     EntityConsolidator,
@@ -92,6 +98,7 @@ class RefreshStats:
     clusters: int
     merges_reused: int
     merges_computed: int
+    pairs_pruned: int = 0
 
     def as_dict(self) -> dict:
         """Return the stats as a dictionary (for benchmarks and reports)."""
@@ -103,6 +110,7 @@ class RefreshStats:
             "clusters": self.clusters,
             "merges_reused": self.merges_reused,
             "merges_computed": self.merges_computed,
+            "pairs_pruned": self.pairs_pruned,
         }
 
 
@@ -127,11 +135,15 @@ class DeltaCurator:
         self._max_cluster_size = max_cluster_size
         self._executor = executor
         self._source_id = source_id
-        self._scorer = BatchScorer(model, executor=executor)
         self._blocker = make_blocker(
             self._config.blocking_strategy,
             key_attribute=key_attribute,
             max_block_size=self._config.max_block_size,
+        )
+        self._filter = (
+            CandidateFilter.from_model(model)
+            if self._config.candidate_filtering
+            else None
         )
         self._reset_state()
 
@@ -140,6 +152,23 @@ class DeltaCurator:
         self._records: Dict[str, Record] = {}
         self._versions: Dict[str, int] = {}
         self._version_clock = 0
+        # the interned token/attribute corpus is incremental state too:
+        # rebuild it with the rest so stale record data never survives
+        self._kernel = ScoringKernel(
+            compare_attributes=getattr(self._model, "compare_attributes", None)
+        )
+        self._scorer = BatchScorer(
+            self._model, executor=self._executor, kernel=self._kernel
+        )
+        fans_out = self._executor is not None and self._executor.fans_out
+        if (
+            isinstance(self._blocker, TokenBlocker)
+            and self._blocker.key_attribute is None
+            and self._kernel.compare_attributes is None
+            and not fans_out
+        ):
+            # share the interned tokenization with blocking-key extraction
+            self._blocker.token_source = self._kernel.unique_tokens_for
         self._block_index = (
             BlockIndex(self._blocker, executor=self._executor)
             if BlockIndex.supports(self._blocker)
@@ -147,6 +176,7 @@ class DeltaCurator:
         )
         self._pairs_stale = False
         self._candidates: Set[Pair] = set()
+        self._pruned: Set[Pair] = set()
         self._features: Dict[Pair, np.ndarray] = {}
         self._pairs_by_record: Dict[str, Set[Pair]] = defaultdict(set)
         self._scores: Dict[Pair, float] = {}
@@ -180,6 +210,16 @@ class DeltaCurator:
         """Whether blocking is maintained incrementally (vs re-blocked)."""
         return self._block_index is not None
 
+    @property
+    def pruned_count(self) -> int:
+        """Candidate pairs currently excluded by the provable filter."""
+        return len(self._pruned)
+
+    @property
+    def kernel(self) -> ScoringKernel:
+        """The scoring kernel holding this curator's interned corpus."""
+        return self._kernel
+
     # -- candidate bookkeeping --------------------------------------------
 
     def _add_candidate(self, pair: Pair) -> None:
@@ -190,6 +230,7 @@ class DeltaCurator:
     def _drop_candidate(self, pair: Pair) -> None:
         self._candidates.discard(pair)
         self._features.pop(pair, None)
+        self._pruned.discard(pair)
         for record_id in pair:
             pairs = self._pairs_by_record.get(record_id)
             if pairs is not None:
@@ -246,11 +287,15 @@ class DeltaCurator:
             self._pairs_stale = True
 
         # surviving pairs that touch a changed record must be re-featurized
+        # — and re-run through the candidate filter, whose decision depends
+        # on the records' current content
         for record_id in changed_ids:
             for pair in self._pairs_by_record.get(record_id, ()):
                 self._features.pop(pair, None)
+                self._pruned.discard(pair)
 
         for record_id in deleted_ids:
+            self._kernel.discard(record_id)
             self._clusters.remove_node(record_id)
         for record in upserts:
             self._clusters.add_node(record.record_id)
@@ -292,9 +337,23 @@ class DeltaCurator:
                 self._add_candidate(pair)
             self._pairs_stale = False
 
-        missing = sorted(
-            pair for pair in self._candidates if pair not in self._features
+        pending = sorted(
+            pair
+            for pair in self._candidates
+            if pair not in self._features and pair not in self._pruned
         )
+        if pending and self._filter is not None:
+            # the filter's per-pair decision depends only on the two
+            # records' current content, so deciding pairs incrementally
+            # (here) and all at once (the batch path) yields the same
+            # survivor set — pruned pairs are re-examined whenever either
+            # record changes (see apply_events)
+            missing, pruned_now, _ = self._filter.split(
+                self._kernel, self._records, pending
+            )
+            self._pruned |= pruned_now
+        else:
+            missing = pending
         if missing:
             matrix = self._scorer.featurize_pairs(self._records, missing)
             for pair, row in zip(missing, matrix):
@@ -305,8 +364,10 @@ class DeltaCurator:
         # features) of cheap numpy work (featurization above is the hot
         # path), and a single full-matrix call is the same guarantee
         # BatchScorer gives that probabilities cannot drift from the batch
-        # path through shape-dependent BLAS summation.
-        candidates = sorted(self._candidates)
+        # path through shape-dependent BLAS summation.  Provably-pruned
+        # pairs are excluded exactly as the batch path excludes them before
+        # scoring.
+        candidates = sorted(self._candidates - self._pruned)
         threshold = self._model.threshold
         scores: Dict[Pair, float] = {}
         matched: List[Pair] = []
@@ -384,12 +445,13 @@ class DeltaCurator:
         self._dirty = False
         self._last_stats = RefreshStats(
             records=len(self._records),
-            candidate_pairs=len(candidates),
+            candidate_pairs=len(self._candidates),
             pairs_featurized=len(missing),
             matched_pairs=len(matched),
             clusters=len(ordered),
             merges_reused=reused,
             merges_computed=len(to_merge),
+            pairs_pruned=len(self._pruned),
         )
 
     # -- batch oracle ------------------------------------------------------

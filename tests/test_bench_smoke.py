@@ -152,3 +152,37 @@ def test_fig1_compare_mode_entry_point():
             sys.modules["conftest"] = saved
         else:
             sys.modules.pop("conftest", None)
+
+
+def test_fig1_compare_kernel_entry_point():
+    """The --compare-kernel mode stays wired up (tiny in-process run).
+
+    Beyond importing, this exercises the scalar-vs-vectorized comparison —
+    which asserts bit-identical scores and an unchanged matched-pair set
+    internally — at a toy scale.
+    """
+    saved = sys.modules.get("conftest")
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        sys.modules["conftest"] = _load_module(
+            BENCHMARKS_DIR / "conftest.py", "conftest"
+        )
+        fig1 = _load_module(
+            BENCHMARKS_DIR / "bench_fig1_pipeline_scale.py",
+            "bench_fig1_kernel_smoke",
+        )
+        rows = fig1._compare_kernel_scoring([15])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["scalar_seconds"] > 0 and row["kernel_seconds"] > 0
+        assert row["candidate_pairs"] > 0
+        assert row["match_completeness_preserved"] is True
+        assert (
+            row["pruned_pairs"] + row["matched_pairs"] <= row["candidate_pairs"]
+        )
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+        if saved is not None:
+            sys.modules["conftest"] = saved
+        else:
+            sys.modules.pop("conftest", None)
