@@ -45,7 +45,14 @@ import time
 
 import numpy as np
 
-from conftest import DEDUP_ENTITIES, build_tamer, scaled, write_json, write_report
+from conftest import (
+    DEDUP_ENTITIES,
+    build_tamer,
+    scaled,
+    scaled_sweep,
+    write_json,
+    write_report,
+)
 
 from repro.config import ExecConfig
 from repro.core.pipeline import CurationPipeline
@@ -59,11 +66,13 @@ from repro.exec.batch import clear_token_cache
 from repro.ingest import DictSource
 from repro.workloads import DedupCorpusGenerator
 
-SWEEP = tuple(scaled(n, floor=15) for n in (250, 500, 1000))
+SWEEP = scaled_sweep((250, 500, 1000), floor=15)
 PIPELINE_DOCUMENTS = scaled(300, floor=20)
 
 #: Dedup-corpus entity counts for the --compare consolidation sweep.
-COMPARE_SCALES = tuple(scaled(n, floor=10) for n in (100, 200, 400))
+#: scaled_sweep drops floor-induced duplicates so every row is a distinct
+#: corpus size even at smoke scale.
+COMPARE_SCALES = scaled_sweep((100, 200, 400), floor=10)
 
 
 def _run_pipeline(ftables_generator, web_generator, dedup_corpus, n_documents):
@@ -228,12 +237,20 @@ def test_fig1_parallel_consolidation_matches_sequential(benchmark):
         iterations=1,
     )
     # distinct name: never clobber an operator's real --compare results
+    note = (
+        "note: 2 thread workers under one GIL on a small corpus — pool "
+        "overhead can exceed the parallel win, so sub-1x speedup here is "
+        "expected and not a regression; the speedup claim lives in "
+        "fig1_parallel_compare (--compare, process backend, full scale)"
+    )
     write_report(
-        "fig1_parallel_compare_smoke", _render_compare(rows, 2, "thread", 256)
+        "fig1_parallel_compare_smoke",
+        _render_compare(rows, 2, "thread", 256) + [note],
     )
     write_json(
         "fig1_parallel_compare_smoke",
         {
+            "note": note,
             "workers": 2,
             "backend": "thread",
             "batch_size": 256,

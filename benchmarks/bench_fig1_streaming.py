@@ -18,17 +18,16 @@ the speedup is never bought with a different answer.  Results land in
 
 import time
 
-from conftest import build_tamer, scaled, write_json, write_report
+from conftest import build_tamer, scaled, scaled_sweep, write_json, write_report
 
 from repro.config import StreamConfig
 from repro.workloads import DedupCorpusGenerator
 
 #: Initial curated-collection size (records).
 BASE_RECORDS = scaled(600, floor=40)
-#: Delta sizes to compare (records per applied delta).
-DELTA_SIZES = tuple(
-    sorted({scaled(n, floor=1) for n in (2, 8, 32, 128)})
-)
+#: Delta sizes to compare (records per applied delta); floor-induced
+#: duplicates are dropped at smoke scale.
+DELTA_SIZES = scaled_sweep((2, 8, 32, 128), floor=1)
 
 
 def _record_pool(n_needed: int):

@@ -46,6 +46,22 @@ def scaled(n: int, floor: int = 1) -> int:
     return max(floor, int(n * BENCH_SCALE))
 
 
+def scaled_sweep(sizes, floor: int = 1) -> tuple:
+    """Scale a size sweep, dropping duplicates introduced by the floor.
+
+    At smoke scale, ``int(n * BENCH_SCALE)`` can floor several sweep points
+    to the same corpus size; a sweep that measures the same point twice
+    exercises no scaling behaviour, so collisions are collapsed (first
+    occurrence wins, ascending order preserved).
+    """
+    out = []
+    for n in sizes:
+        size = scaled(n, floor)
+        if size not in out:
+            out.append(size)
+    return tuple(out)
+
+
 #: Scale used for the text corpus in the benchmarks.  The paper's corpus is
 #: ~1 TB / 17.7 M fragments; this laptop-scale run keeps the same pipeline
 #: and statistics schema at a size that completes in seconds.
@@ -57,9 +73,24 @@ ENTITY_SAMPLE = scaled(30_000, floor=6000)
 DEDUP_ENTITIES = scaled(150, floor=80)
 
 
+def result_name(name: str) -> str:
+    """The file stem a result is written under at the current scale.
+
+    The suffix-less files in ``benchmarks/results/`` are the tracked
+    full-scale record (see docs/performance.md); a run at any other
+    ``BENCH_SCALE`` gets a ``_smoke`` suffix so smoke runs — including the
+    tier-1 ``tests/test_bench_smoke.py`` subprocess — can never overwrite
+    full-scale results.  ``*_smoke`` outputs are gitignored.
+    """
+    if BENCH_SCALE != 1.0 and not name.endswith("_smoke"):
+        return f"{name}_smoke"
+    return name
+
+
 def write_report(name: str, lines: Iterable[str]) -> List[str]:
     """Write a regenerated table/figure to the results directory and stdout."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    name = result_name(name)
     rendered = list(lines)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text("\n".join(rendered) + "\n", encoding="utf-8")
@@ -77,6 +108,7 @@ def write_json(name: str, payload: dict) -> Path:
     comparable run over run.  Keys are sorted so diffs stay stable.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    name = result_name(name)
     stamped = {"benchmark": name, "bench_scale": BENCH_SCALE}
     stamped.update(payload)
     path = RESULTS_DIR / f"{name}.json"

@@ -133,11 +133,16 @@ class BlockingResult:
 
     @property
     def reduction_ratio(self) -> float:
-        """1 - candidates/full: how much work blocking saved."""
+        """1 - emitted/full: how much work *blocking alone* saved.
+
+        Uses the pre-filter ``emitted_count`` so the ratio measures the
+        blocker, not the candidate filter — filter savings are reported
+        separately as ``pruned_pairs``.
+        """
         full = self.full_pair_count
         if full == 0:
             return 0.0
-        return 1.0 - self.candidate_count / full
+        return 1.0 - self.emitted_count / full
 
     def pair_completeness(self, true_pairs: Iterable[Pair]) -> float:
         """Fraction of known duplicate pairs that survive blocking (recall)."""
