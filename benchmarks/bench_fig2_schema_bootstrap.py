@@ -10,7 +10,7 @@ escalation rate and the running size of the global schema — the escalation
 series should fall (and the auto-accept series rise) as sources accumulate.
 """
 
-from conftest import build_tamer, write_report
+from conftest import write_report
 
 from repro import DataTamer, TamerConfig
 from repro.config import SchemaConfig

@@ -73,7 +73,9 @@ def test_fig3_match_scores_for_incoming_source(benchmark, ftables_generator):
     sweep_lines = [f"{'threshold':>10}{'auto-matched':>14}{'escalated/new':>15}"]
     for threshold in (0.5, 0.6, 0.7, 0.75, 0.8, 0.9):
         auto = sum(
-            1 for candidates in scored.values() if candidates[0][1].composite >= threshold
+            1
+            for candidates in scored.values()
+            if candidates[0][1].composite >= threshold
         )
         sweep_lines.append(
             f"{threshold:>10.2f}{auto:>14}{len(scored) - auto:>15}"

@@ -42,7 +42,10 @@ def test_table5_text_only_matilda(benchmark, demo_tamer):
         "Structured attributes present (should all be absent):",
     ]
     for attribute in STRUCTURED_ATTRIBUTES:
-        lines.append(f"  {attribute:<22}: {'present' if attribute in result.attributes else 'absent'}")
+        lines.append(
+            f"  {attribute:<22}: "
+            f"{'present' if attribute in result.attributes else 'absent'}"
+        )
     write_report("table5_text_only_query", lines)
 
     assert result.attributes.get("show_name") == "Matilda"

@@ -64,4 +64,9 @@ def test_table6_enrichment_delta_over_table5(benchmark, demo_tamer):
         demo_tamer.fuse_show, args=("Matilda",), rounds=3, iterations=1
     )
     added = set(fused.enrichment_over(text_only))
-    assert {"theater", "cheapest_price", "performance_schedule", "first_performance"} <= added
+    assert {
+        "theater",
+        "cheapest_price",
+        "performance_schedule",
+        "first_performance",
+    } <= added

@@ -55,7 +55,7 @@ def main() -> None:
         if doc.get("show_name") == "Matilda"
     ]
     fragment = text_only[0]["text_feed"] if text_only else "(no fragment found)"
-    print(f"  SHOW_NAME : Matilda")
+    print("  SHOW_NAME : Matilda")
     print(f"  TEXT_FEED : {fragment[:90]}...")
     print("  (no theater, schedule or price available yet)")
 
@@ -65,7 +65,9 @@ def main() -> None:
     reports = []
     for source in ftables.generate():
         reports.append(
-            tamer.ingest_structured_source(DictSource(source.source_id, source.records()))
+            tamer.ingest_structured_source(
+                DictSource(source.source_id, source.records())
+            )
         )
     auto_rates = [round(r.mapping.auto_accept_rate, 2) for r in reports]
     print(f"\n[schema] {len(reports)} structured sources integrated; "
@@ -98,8 +100,10 @@ def main() -> None:
     print("\nCollection statistics (Tables I/II shape):")
     for name, stats in tamer.collection_stats().items():
         row = stats.as_dict()
-        print(f"  dt.{name:<10} count={row['count']:<7} numExtents={row['numExtents']:<4} "
-              f"nindexes={row['nindexes']}")
+        print(
+            f"  dt.{name:<10} count={row['count']:<7} "
+            f"numExtents={row['numExtents']:<4} nindexes={row['nindexes']}"
+        )
 
 
 if __name__ == "__main__":

@@ -108,8 +108,12 @@ class ColumnContext:
         return cls(
             mean_length=length_median,
             std_length=length_mad if length_mad > 0 else 1.0,
-            mean_digit_fraction=float(np.median(digit_fractions)) if digit_fractions else 0.0,
-            mean_alpha_fraction=float(np.median(alpha_fractions)) if alpha_fractions else 0.0,
+            mean_digit_fraction=(
+                float(np.median(digit_fractions)) if digit_fractions else 0.0
+            ),
+            mean_alpha_fraction=(
+                float(np.median(alpha_fractions)) if alpha_fractions else 0.0
+            ),
             token_counts=tokens,
             total_tokens=max(1, sum(tokens.values())),
             numeric_mean=numeric_median,
@@ -280,7 +284,9 @@ class ValueCorrector:
         for column, values in by_column.items():
             probabilities = self.score_column(values)
             repair = self._majority_repair(values)
-            for row_index, (value, probability) in enumerate(zip(values, probabilities)):
+            for row_index, (value, probability) in enumerate(
+                zip(values, probabilities)
+            ):
                 if value in (None, ""):
                     continue
                 if probability >= self.threshold:

@@ -104,7 +104,9 @@ def categorical_outliers(
     ``max_distinct_fraction``); a column of unique names should not have all
     its values flagged.
     """
-    report = OutlierReport(column=column, method="categorical", threshold=float(min_frequency))
+    report = OutlierReport(
+        column=column, method="categorical", threshold=float(min_frequency)
+    )
     non_null = [(i, str(v)) for i, v in enumerate(values) if v not in (None, "")]
     if len(non_null) < 4:
         return report

@@ -9,7 +9,7 @@ Figure 1 of the paper).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import CleaningError
@@ -116,7 +116,9 @@ class RuleEngine:
     """Apply an ordered list of cleaning rules to records."""
 
     def __init__(self, rules: Optional[Sequence[CleaningRule]] = None):
-        self._rules: List[CleaningRule] = list(rules) if rules is not None else standard_rules()
+        self._rules: List[CleaningRule] = (
+            list(rules) if rules is not None else standard_rules()
+        )
         self._applied_counts: Dict[str, int] = {rule.name: 0 for rule in self._rules}
 
     @property

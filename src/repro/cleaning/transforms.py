@@ -9,7 +9,6 @@ and phone-number transformations are built in.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import TransformError

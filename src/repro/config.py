@@ -122,11 +122,25 @@ class ExecConfig:
     cache), ``process`` (true CPU parallelism for the pure-Python hot
     paths), or ``serial`` (run shard functions inline even when
     ``parallelism`` > 1, useful for debugging).
+
+    The remaining knobs only apply to the ``process`` backend.  ``pool``
+    selects ``"persistent"`` (default: long-lived workers shared by every
+    fan-out of a session — see :class:`repro.exec.pool
+    .PersistentWorkerPool`) or ``"ephemeral"`` (a fresh pool per fan-out,
+    the pre-pool behaviour).  ``warm_state`` lets pair scoring ship each
+    record to the persistent workers once and send only pair ids afterwards
+    (deltas on streaming updates), instead of embedding records in every
+    chunk payload.  ``pool_idle_timeout`` stops idle persistent workers
+    after that many seconds (0 keeps them until the executor is closed);
+    restarting re-syncs the warm state automatically.
     """
 
     parallelism: int = 1
     batch_size: int = 256
     backend: str = "thread"
+    pool: str = "persistent"
+    warm_state: bool = True
+    pool_idle_timeout: float = 300.0
 
     def validate(self) -> None:
         if self.parallelism < 1:
@@ -135,6 +149,10 @@ class ExecConfig:
             raise ConfigError("batch_size must be >= 1")
         if self.backend not in {"serial", "thread", "process"}:
             raise ConfigError(f"unknown exec backend: {self.backend!r}")
+        if self.pool not in {"persistent", "ephemeral"}:
+            raise ConfigError(f"unknown exec pool flavour: {self.pool!r}")
+        if self.pool_idle_timeout < 0:
+            raise ConfigError("pool_idle_timeout must be >= 0")
 
 
 @dataclass
@@ -223,12 +241,21 @@ class TamerConfig:
 
     @classmethod
     def parallel(
-        cls, workers: int, batch_size: int = 256, backend: str = "thread"
+        cls,
+        workers: int,
+        batch_size: int = 256,
+        backend: str = "thread",
+        pool: str = "persistent",
+        warm_state: bool = True,
     ) -> "TamerConfig":
         """A default configuration with the parallel execution engine enabled."""
         cfg = cls(
             execution=ExecConfig(
-                parallelism=workers, batch_size=batch_size, backend=backend
+                parallelism=workers,
+                batch_size=batch_size,
+                backend=backend,
+                pool=pool,
+                warm_state=warm_state,
             ),
         )
         return cfg.validate()
@@ -240,6 +267,8 @@ class TamerConfig:
         execution = replace(
             self.execution,
             parallelism=workers,
-            batch_size=batch_size if batch_size is not None else self.execution.batch_size,
+            batch_size=(
+                batch_size if batch_size is not None else self.execution.batch_size
+            ),
         )
         return replace(self, execution=execution).validate()

@@ -90,9 +90,14 @@ class StageResult:
     ok: bool
     output: Any = None
     error: Optional[str] = None
-    #: Per-shard wall times (per-batch for streaming stages; empty for
+    #: Per-shard compute times (per-batch for streaming stages; empty for
     #: sequential stages).
     shard_seconds: List[float] = field(default_factory=list)
+    #: Per-shard queue/sync overhead (pool queueing, pickling, IPC) paired
+    #: with :attr:`shard_seconds`; all zeros for inline execution.  Keeping
+    #: the split visible is what makes persistent-pool wins attributable:
+    #: the pool shrinks this column, not the compute one.
+    shard_queue_seconds: List[float] = field(default_factory=list)
 
 
 class CurationPipeline:
@@ -132,7 +137,9 @@ class CurationPipeline:
         """Append a sequential stage; returns ``self`` for chaining."""
         if not name:
             raise TamerError("stage name must be non-empty")
-        self._stages.append(PipelineStage(name=name, func=func, description=description))
+        self._stages.append(
+            PipelineStage(name=name, func=func, description=description)
+        )
         return self
 
     def add_parallel_stage(
@@ -199,12 +206,14 @@ class CurationPipeline:
     ) -> tuple:
         partitions = stage.fan_out(context)
         results = self._executor.map_shards(stage.worker, partitions)
-        shard_seconds = [t.seconds for t in self._executor.last_shard_timings]
+        timings = self._executor.last_shard_timings
+        shard_seconds = [t.seconds for t in timings]
+        shard_queue_seconds = [t.queue_seconds for t in timings]
         if stage.fan_in is not None:
             output = stage.fan_in(context, results)
         else:
             output = results
-        return output, shard_seconds
+        return output, shard_seconds, shard_queue_seconds
 
     def run(
         self,
@@ -225,9 +234,12 @@ class CurationPipeline:
         for stage in self._stages:
             start = time.perf_counter()
             shard_seconds: List[float] = []
+            shard_queue_seconds: List[float] = []
             try:
                 if isinstance(stage, ParallelStage):
-                    output, shard_seconds = self._run_parallel(stage, context)
+                    output, shard_seconds, shard_queue_seconds = self._run_parallel(
+                        stage, context
+                    )
                 elif isinstance(stage, StreamingStage):
                     output, shard_seconds = self._run_streaming(stage, context)
                 else:
@@ -241,6 +253,7 @@ class CurationPipeline:
                         ok=True,
                         output=output,
                         shard_seconds=shard_seconds,
+                        shard_queue_seconds=shard_queue_seconds,
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - reported, optionally re-raised
@@ -253,6 +266,7 @@ class CurationPipeline:
                         ok=False,
                         error=str(exc),
                         shard_seconds=shard_seconds,
+                        shard_queue_seconds=shard_queue_seconds,
                     )
                 )
                 if stop_on_error:
@@ -264,11 +278,22 @@ class CurationPipeline:
         return {result.name: result.seconds for result in self._results}
 
     def shard_timing_summary(self) -> Dict[str, List[float]]:
-        """Stage name → per-shard seconds for the most recent run.
+        """Stage name → per-shard compute seconds for the most recent run.
 
         Sequential stages map to an empty list.
         """
         return {result.name: list(result.shard_seconds) for result in self._results}
+
+    def shard_queue_summary(self) -> Dict[str, List[float]]:
+        """Stage name → per-shard queue/sync seconds for the most recent run.
+
+        The overhead column paired with :meth:`shard_timing_summary`;
+        sequential stages map to an empty list.
+        """
+        return {
+            result.name: list(result.shard_queue_seconds)
+            for result in self._results
+        }
 
     @property
     def total_seconds(self) -> float:

@@ -24,7 +24,7 @@ A typical session (the paper's Section V demo) looks like::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cleaning.rules import RuleEngine
@@ -32,7 +32,7 @@ from ..cleaning.transforms import TransformEngine
 from ..config import TamerConfig
 from ..entity.consolidation import ConsolidatedEntity, EntityConsolidator, MergePolicy
 from ..entity.dedup import DedupModel, LabeledPair
-from ..entity.record import Record, records_from_dicts
+from ..entity.record import records_from_dicts
 from ..errors import TamerError
 from ..exec.executor import ShardedExecutor
 from ..expert.routing import ExpertRouter, schema_match_oracle
@@ -96,10 +96,15 @@ class DataTamer:
         self.config = (config or TamerConfig.default()).validate()
         if parallelism is not None or batch_size is not None:
             self.config = self.config.with_parallelism(
-                parallelism if parallelism is not None else self.config.execution.parallelism,
+                (
+                    parallelism
+                    if parallelism is not None
+                    else self.config.execution.parallelism
+                ),
                 batch_size=batch_size,
             )
         self._executor = ShardedExecutor(self.config.execution)
+        self._retired_executors: List[ShardedExecutor] = []
         self.store = DocumentStore("dt", self.config.storage)
         self.relational = RelationalStore()
         self.catalog = SourceCatalog()
@@ -181,9 +186,28 @@ class DataTamer:
     def set_parallelism(
         self, workers: int, batch_size: Optional[int] = None
     ) -> None:
-        """Reconfigure the execution engine (e.g. to A/B parallel vs serial)."""
+        """Reconfigure the execution engine (e.g. to A/B parallel vs serial).
+
+        A live stream keeps fanning out through the executor it was started
+        with; that executor (and its pool workers) is retired rather than
+        closed, and :meth:`close` shuts it down with everything else.
+        """
         self.config = self.config.with_parallelism(workers, batch_size=batch_size)
+        old = self._executor
+        if self._stream is not None and not self._stream.closed:
+            self._retired_executors.append(old)
+        else:
+            # the old executor may own persistent pool workers — stop them
+            old.close()
         self._executor = ShardedExecutor(self.config.execution)
+
+    def close(self) -> None:
+        """Release held resources: the stream tail and any pool workers."""
+        self.stop_stream()
+        for executor in self._retired_executors:
+            executor.close()
+        self._retired_executors.clear()
+        self._executor.close()
 
     # -- structured ingestion ------------------------------------------------
 

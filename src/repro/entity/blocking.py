@@ -470,7 +470,9 @@ class BlockIndex:
         return added, removed
 
 
-def make_blocker(strategy: str, key_attribute: Optional[str] = None, max_block_size: int = 200):
+def make_blocker(
+    strategy: str, key_attribute: Optional[str] = None, max_block_size: int = 200
+):
     """Factory used by the consolidator to honour ``EntityConfig.blocking_strategy``."""
     if strategy == "token":
         return TokenBlocker(key_attribute=key_attribute, max_block_size=max_block_size)

@@ -254,7 +254,9 @@ def _split_cluster(
         for a, b in pairs
         if a in cluster and b in cluster
     ]
-    internal.sort(key=lambda p: scores.get(p, scores.get((p[1], p[0]), 0.0)), reverse=True)
+    internal.sort(
+        key=lambda p: scores.get(p, scores.get((p[1], p[0]), 0.0)), reverse=True
+    )
     uf = UnionFind(cluster)
     sizes: Dict[str, int] = {member: 1 for member in cluster}
     for a, b in internal:

@@ -112,7 +112,9 @@ class DedupModel:
         if X.shape[0] == 0:
             raise ModelError("cannot fit on an empty training set")
         if len(set(y.tolist())) < 2:
-            raise ModelError("training set needs both duplicate and non-duplicate pairs")
+            raise ModelError(
+                "training set needs both duplicate and non-duplicate pairs"
+            )
         self._classifier = _make_classifier(self._config.classifier, self._seed)
         self._classifier.fit(X, y)
         return self

@@ -14,9 +14,12 @@ once per pair.
 
 from .executor import ShardedExecutor, ShardPayload, ShardTiming
 from .batch import BatchScorer, cached_tokenize, clear_token_cache, token_cache_info
+from .pool import PersistentWorkerPool, PoolTaskTiming
 
 __all__ = [
     "BatchScorer",
+    "PersistentWorkerPool",
+    "PoolTaskTiming",
     "ShardedExecutor",
     "ShardPayload",
     "ShardTiming",

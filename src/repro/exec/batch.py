@@ -16,15 +16,20 @@ tokenizer here, so the *blob → tokens* step is shared even across scorer
 Backend notes: the ``thread``/``serial`` backends share one kernel (records
 are interned up front, so worker threads only read per-record data; the
 string-sim memo takes benign same-value writes under the GIL).  The
-``process`` backend ships each chunk the records it references and rebuilds
-a chunk-local kernel in the worker — results are identical either way
+``process`` backend has two flavours.  With the persistent pool and
+``warm_state`` enabled, records are shipped to the long-lived workers
+*once* through :meth:`~repro.exec.pool.PersistentWorkerPool.sync_records`
+(content deltas only on later calls) and each chunk payload is just pair
+ids — the workers featurize against their warm, long-lived kernels.
+Otherwise each chunk ships the records it references and the worker
+rebuilds a chunk-local kernel.  Results are identical in every flavour
 because the kernel is a pure function of (records, pairs).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache, partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -32,6 +37,7 @@ from ..entity.kernel import ScoringKernel
 from ..entity.similarity import FEATURE_NAMES
 from ..text.tokenizer import tokenize
 from .executor import ShardedExecutor, ShardPayload
+from .pool import warm_featurize
 
 _TOKEN_CACHE_SIZE = 1 << 17
 
@@ -118,6 +124,8 @@ class BatchScorer:
                 compare_attributes=self._compare_attributes,
                 tokenizer=cached_tokenize,
             )
+        #: record ids deleted since the last warm-state sync (streaming)
+        self._pending_discards: Set[str] = set()
 
     @property
     def batch_size(self) -> int:
@@ -129,6 +137,15 @@ class BatchScorer:
         """The scoring kernel holding the interned per-record cache."""
         return self._kernel
 
+    def discard_record(self, record_id: str) -> None:
+        """Forget a deleted record (streaming deletes).
+
+        Drops it from the local kernel immediately and queues it for the
+        next warm-state sync so pool workers forget it too.
+        """
+        self._kernel.discard(record_id)
+        self._pending_discards.add(record_id)
+
     def featurize_pairs(
         self,
         records_by_id: Dict[str, object],
@@ -139,6 +156,33 @@ class BatchScorer:
         if not pairs:
             return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
         chunks = self._executor.chunk(pairs, self._batch_size)
+        if self._executor.uses_persistent_pool and self._executor.warm_state:
+            # warm path: ship record deltas once through the pool's sync
+            # protocol, then send only the pair ids per chunk — the workers'
+            # long-lived kernels do pure columnar scoring
+            pool = self._executor.ensure_pool()
+            wanted = {record_id for pair in pairs for record_id in pair}
+            # a queued delete whose id is referenced again is a re-insert:
+            # the record is alive, so it must never be shipped as a delete
+            self._pending_discards -= wanted
+            deletes = sorted(self._pending_discards)
+            pool.sync_records(
+                {record_id: records_by_id[record_id] for record_id in wanted},
+                deletes=deletes,
+            )
+            restriction = (
+                tuple(self._compare_attributes)
+                if self._compare_attributes is not None
+                else None
+            )
+            worker = partial(warm_featurize, restriction)
+            matrices = self._executor.map_shards(
+                worker, [tuple(chunk) for chunk in chunks], always_fan_out=True
+            )
+            # only a completed fan-out retires the queued deletes — if the
+            # pool died mid-batch they stay queued for the next generation
+            self._pending_discards.difference_update(deletes)
+            return np.vstack(matrices)
         if self._executor.backend == "process":
             # ship each chunk only the records it references so the pickled
             # payload stays bounded by batch_size, not corpus size

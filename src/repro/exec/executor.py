@@ -21,24 +21,38 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from ..config import ExecConfig
 from ..errors import TamerError
 from ..storage.sharding import ShardRouter
+from .pool import PersistentWorkerPool
 
 T = TypeVar("T")
 
 
 @dataclass(frozen=True)
 class ShardTiming:
-    """Wall time and item count for one shard (or chunk) of a fan-out."""
+    """Wall time and item count for one shard (or chunk) of a fan-out.
+
+    ``seconds`` is pure compute time measured inside the worker;
+    ``queue_seconds`` is everything else the parent observed between
+    dispatch and result — pool queueing, payload pickling and IPC (0 for
+    inline execution).  Separating the two makes pool wins attributable:
+    a persistent warm pool shrinks ``queue_seconds``, not ``seconds``.
+    """
 
     shard: int
     seconds: float
     items: int
+    queue_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Compute plus queue/IPC time for this shard."""
+        return self.seconds + self.queue_seconds
 
 
 @dataclass(frozen=True)
@@ -66,6 +80,11 @@ def _timed_call(func: Callable[[Any], Any], index: int, part: Any):
     return ShardTiming(shard=index, seconds=elapsed, items=size), result
 
 
+def _stamp_done(stamps: List[float], index: int, _future) -> None:
+    """Future done-callback recording when a shard's result became ready."""
+    stamps[index] = time.perf_counter()
+
+
 class ShardedExecutor:
     """Partition work deterministically and fan it out to a worker pool."""
 
@@ -76,15 +95,25 @@ class ShardedExecutor:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         backend: Optional[str] = None,
+        pool: Optional[str] = None,
+        warm_state: Optional[bool] = None,
     ):
         base = config or ExecConfig()
-        self._config = ExecConfig(
-            parallelism=parallelism if parallelism is not None else base.parallelism,
-            batch_size=batch_size if batch_size is not None else base.batch_size,
-            backend=backend if backend is not None else base.backend,
-        )
+        overrides = {
+            key: value
+            for key, value in (
+                ("parallelism", parallelism),
+                ("batch_size", batch_size),
+                ("backend", backend),
+                ("pool", pool),
+                ("warm_state", warm_state),
+            )
+            if value is not None
+        }
+        self._config = replace(base, **overrides)
         self._config.validate()
         self._last_timings: List[ShardTiming] = []
+        self._pool: Optional[PersistentWorkerPool] = None
 
     @property
     def config(self) -> ExecConfig:
@@ -121,6 +150,49 @@ class ShardedExecutor:
     def is_parallel(self) -> bool:
         """Whether fan-outs actually use a pool."""
         return self._config.parallelism > 1 and self._config.backend != "serial"
+
+    @property
+    def uses_persistent_pool(self) -> bool:
+        """Whether process fan-outs route through the persistent pool."""
+        return (
+            self._config.backend == "process"
+            and self._config.pool == "persistent"
+            and self._config.parallelism > 1
+        )
+
+    @property
+    def warm_state(self) -> bool:
+        """Whether pair scoring may use the pool's warm-state protocol."""
+        return self._config.warm_state
+
+    @property
+    def pool(self) -> Optional[PersistentWorkerPool]:
+        """The persistent pool, if one has been started (else ``None``)."""
+        return self._pool
+
+    def ensure_pool(self) -> PersistentWorkerPool:
+        """The persistent pool for this executor, created (not started) lazily.
+
+        Worker processes themselves start on the first fan-out/sync, so an
+        executor configured for the persistent pool costs nothing until
+        process-backend work actually runs.
+        """
+        if not self.uses_persistent_pool:
+            raise TamerError(
+                "executor is not configured for the persistent process pool"
+            )
+        if self._pool is None:
+            self._pool = PersistentWorkerPool(
+                workers=self.parallelism,
+                idle_timeout=self._config.pool_idle_timeout,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     @property
     def last_shard_timings(self) -> List[ShardTiming]:
@@ -161,14 +233,31 @@ class ShardedExecutor:
     # -- fan-out -------------------------------------------------------------
 
     def map_shards(
-        self, func: Callable[[List[T]], Any], partitions: Sequence[List[T]]
+        self,
+        func: Callable[[List[T]], Any],
+        partitions: Sequence[List[T]],
+        *,
+        always_fan_out: bool = False,
     ) -> List[Any]:
         """Apply ``func`` to every partition; results ordered by shard index.
 
         Per-shard wall times are recorded in :attr:`last_shard_timings`.
+        With the ``process`` backend and ``pool="persistent"``, shards run
+        on the executor's long-lived :class:`~repro.exec.pool
+        .PersistentWorkerPool` instead of a freshly spawned pool.
+
+        ``always_fan_out`` forces even a single partition through the
+        persistent pool — warm-state featurization needs this, because its
+        workers hold state that only exists in the pool processes (a
+        streaming micro-batch is often exactly one chunk).
         """
         # reset first so a raising worker leaves no stale timings behind
         self._last_timings = []
+        use_pool = self.uses_persistent_pool and self.is_parallel and (
+            len(partitions) > 1 or (always_fan_out and len(partitions) == 1)
+        )
+        if use_pool:
+            return self._map_on_pool(func, partitions)
         calls = [partial(_timed_call, func, index) for index in range(len(partitions))]
         if not self.is_parallel or len(partitions) <= 1:
             timed = [call(part) for call, part in zip(calls, partitions)]
@@ -177,13 +266,47 @@ class ShardedExecutor:
                 ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
             )
             workers = min(self.parallelism, len(partitions))
+            submitted = [0.0] * len(partitions)
+            finished = [0.0] * len(partitions)
             with pool_cls(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(call, part) for call, part in zip(calls, partitions)
-                ]
+                futures = []
+                for index, (call, part) in enumerate(zip(calls, partitions)):
+                    submitted[index] = time.perf_counter()
+                    future = pool.submit(call, part)
+                    future.add_done_callback(partial(_stamp_done, finished, index))
+                    futures.append(future)
                 timed = [future.result() for future in futures]
+            timed = [
+                (
+                    replace(
+                        timing,
+                        queue_seconds=max(
+                            0.0, finished[i] - submitted[i] - timing.seconds
+                        ),
+                    ),
+                    result,
+                )
+                for i, (timing, result) in enumerate(timed)
+            ]
         self._last_timings = [timing for timing, _ in timed]
         return [result for _, result in timed]
+
+    def _map_on_pool(
+        self, func: Callable[[List[T]], Any], partitions: Sequence[List[T]]
+    ) -> List[Any]:
+        """Fan partitions out on the persistent pool (stable task order)."""
+        pool = self.ensure_pool()
+        results, task_timings = pool.run_tasks([(func, part) for part in partitions])
+        self._last_timings = [
+            ShardTiming(
+                shard=index,
+                seconds=timing.compute_seconds,
+                items=len(part) if hasattr(part, "__len__") else 1,
+                queue_seconds=timing.queue_seconds,
+            )
+            for index, (part, timing) in enumerate(zip(partitions, task_timings))
+        ]
+        return results
 
     def map_chunks(
         self,

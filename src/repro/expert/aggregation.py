@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ..errors import ExpertError
 from .tasks import ExpertTask
@@ -45,7 +45,9 @@ class AnswerAggregator:
         total = 0.0
         for answer_record in task.answers:
             answer = answer_record["answer"]
-            weight = float(answer_record.get("confidence", 1.0)) if self.weighted else 1.0
+            weight = (
+                float(answer_record.get("confidence", 1.0)) if self.weighted else 1.0
+            )
             weights[_key(answer)] += weight
             total += weight
         best_key = max(sorted(weights.keys(), key=repr), key=lambda k: weights[k])

@@ -11,7 +11,7 @@ per stage of schema bootstrap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

@@ -46,7 +46,9 @@ class ExpertTask:
         if self.kind not in TASK_KINDS:
             raise ExpertError(f"unknown task kind: {self.kind!r}")
 
-    def record_answer(self, expert_id: str, answer: Any, confidence: float = 1.0) -> None:
+    def record_answer(
+        self, expert_id: str, answer: Any, confidence: float = 1.0
+    ) -> None:
         """Record one expert's answer."""
         self.answers.append(
             {"expert_id": expert_id, "answer": answer, "confidence": confidence}
@@ -115,7 +117,11 @@ class TaskQueue:
 
     def by_status(self, status: TaskStatus) -> List[ExpertTask]:
         """Return all tasks with the given status."""
-        return [self._tasks[tid] for tid in self._order if self._tasks[tid].status == status]
+        return [
+            self._tasks[tid]
+            for tid in self._order
+            if self._tasks[tid].status == status
+        ]
 
     def all_tasks(self) -> List[ExpertTask]:
         """Return every task in creation order."""

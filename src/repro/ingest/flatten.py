@@ -14,7 +14,7 @@ mapping, which the property tests exercise as a round-trip invariant.
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List
 
 from ..errors import IngestError
 

@@ -10,9 +10,8 @@ Figure 1 would show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-from ..errors import IngestError
 from ..storage.document_store import Collection
 from .connectors import Source
 from .flatten import Flattener
@@ -101,4 +100,6 @@ class BatchLoader:
         transform: Optional[callable] = None,
     ) -> List[IngestReport]:
         """Load several sources into the same collection."""
-        return [self.load(source, collection, transform=transform) for source in sources]
+        return [
+            self.load(source, collection, transform=transform) for source in sources
+        ]

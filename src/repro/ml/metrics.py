@@ -13,7 +13,9 @@ from typing import Sequence, Tuple
 import numpy as np
 
 
-def _as_arrays(y_true: Sequence[int], y_pred: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+def _as_arrays(
+    y_true: Sequence[int], y_pred: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
     true = np.asarray(y_true, dtype=int)
     pred = np.asarray(y_pred, dtype=int)
     if true.shape != pred.shape:
@@ -23,7 +25,9 @@ def _as_arrays(y_true: Sequence[int], y_pred: Sequence[int]) -> Tuple[np.ndarray
     return true, pred
 
 
-def confusion_matrix(y_true: Sequence[int], y_pred: Sequence[int]) -> Tuple[int, int, int, int]:
+def confusion_matrix(
+    y_true: Sequence[int], y_pred: Sequence[int]
+) -> Tuple[int, int, int, int]:
     """Return ``(tp, fp, fn, tn)`` for binary labels."""
     true, pred = _as_arrays(y_true, y_pred)
     tp = int(np.sum((true == 1) & (pred == 1)))

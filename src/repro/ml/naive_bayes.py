@@ -47,7 +47,9 @@ class BernoulliNaiveBayes:
         for label in (0, 1):
             mask = y == label
             count = int(np.sum(mask))
-            log_prior[label] = np.log((count + self.alpha) / (n_samples + 2 * self.alpha))
+            log_prior[label] = np.log(
+                (count + self.alpha) / (n_samples + 2 * self.alpha)
+            )
             on_counts = Xb[mask].sum(axis=0) if count else np.zeros(Xb.shape[1])
             prob_on = (on_counts + self.alpha) / (count + 2 * self.alpha)
             feature_log_prob.append(np.log(prob_on))

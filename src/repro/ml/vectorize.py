@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

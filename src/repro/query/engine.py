@@ -140,7 +140,8 @@ class QueryEngine:
         matches = [
             entity
             for entity in self._entities
-            if _normalizer.normalize(str(entity.attributes.get(attribute, ""))) == target
+            if _normalizer.normalize(str(entity.attributes.get(attribute, "")))
+            == target
             and entity.attributes.get(attribute) not in (None, "")
         ]
         return QueryResult(entities=matches)
@@ -153,7 +154,9 @@ class QueryEngine:
             entities=[e for e in self._entities if predicate(e.attributes)]
         )
 
-    def search(self, phrase: str, attributes: Optional[Sequence[str]] = None) -> QueryResult:
+    def search(
+        self, phrase: str, attributes: Optional[Sequence[str]] = None
+    ) -> QueryResult:
         """Keyword search: entities whose text contains every token of ``phrase``.
 
         With a parallel executor the tokenize-heavy predicate fans out over

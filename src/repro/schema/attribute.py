@@ -190,7 +190,9 @@ class Attribute:
             null_count=mine.null_count + other.null_count,
             distinct_count=max(mine.distinct_count, other.distinct_count),
             sample_values=combined_samples,
-            mean_length=weight_mine * mine.mean_length + weight_other * other.mean_length,
+            mean_length=(
+                weight_mine * mine.mean_length + weight_other * other.mean_length
+            ),
             numeric_mean=numeric_mean,
             numeric_std=numeric_std,
             token_set=frozenset(mine.token_set | other.token_set),

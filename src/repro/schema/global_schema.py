@@ -9,8 +9,7 @@ names alias to it, and the merged value profile of everything mapped onto it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SchemaError, UnknownAttribute
 from .attribute import Attribute, AttributeProfile

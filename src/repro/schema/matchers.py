@@ -18,10 +18,9 @@ an ensemble of per-signal matchers.  Four signal families are implemented:
 
 from __future__ import annotations
 
-import math
 import re
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Optional, Set
 
 from ..text.normalize import TextNormalizer
 from ..text.tokenizer import ngrams
@@ -238,7 +237,9 @@ class CompositeMatcher:
     """Weighted combination of the four matcher signals."""
 
     def __init__(self, weights: Optional[Dict[str, float]] = None):
-        self._weights = dict(weights or {"name": 0.45, "value": 0.35, "type": 0.10, "stats": 0.10})
+        self._weights = dict(
+            weights or {"name": 0.45, "value": 0.35, "type": 0.10, "stats": 0.10}
+        )
         total = sum(self._weights.values())
         if total <= 0:
             raise ValueError("matcher weights must sum to a positive value")

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -182,7 +182,9 @@ class DeltaCurator:
         self._scores: Dict[Pair, float] = {}
         self._matched_set: Set[Pair] = set()
         self._clusters = IncrementalClusters()
-        self._merge_cache: Dict[Tuple[str, ...], Tuple[Tuple[int, ...], ConsolidatedEntity]] = {}
+        self._merge_cache: Dict[
+            Tuple[str, ...], Tuple[Tuple[int, ...], ConsolidatedEntity]
+        ] = {}
         self._entities: List[ConsolidatedEntity] = []
         self._dirty = True
         self._last_stats: Optional[RefreshStats] = None
@@ -295,7 +297,8 @@ class DeltaCurator:
                 self._pruned.discard(pair)
 
         for record_id in deleted_ids:
-            self._kernel.discard(record_id)
+            # through the scorer so a warm worker pool forgets the record too
+            self._scorer.discard_record(record_id)
             self._clusters.remove_node(record_id)
         for record in upserts:
             self._clusters.add_node(record.record_id)
@@ -415,7 +418,9 @@ class DeltaCurator:
 
         ordered = sorted(final, key=min)
         entities: List[Optional[ConsolidatedEntity]] = [None] * len(ordered)
-        new_cache: Dict[Tuple[str, ...], Tuple[Tuple[int, ...], ConsolidatedEntity]] = {}
+        new_cache: Dict[
+            Tuple[str, ...], Tuple[Tuple[int, ...], ConsolidatedEntity]
+        ] = {}
         to_merge: List[Tuple[int, Set[str]]] = []
         reused = 0
         for index, cluster in enumerate(ordered):

@@ -8,7 +8,7 @@ fragments from a raw document and the entity mentions the parser found in it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .tokenizer import sentences

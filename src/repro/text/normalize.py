@@ -85,7 +85,9 @@ class TextNormalizer:
         self.remove_urls = remove_urls
         self.remove_punctuation = remove_punctuation
         self.abbreviations = (
-            dict(DEFAULT_ABBREVIATIONS) if abbreviations is None else dict(abbreviations)
+            dict(DEFAULT_ABBREVIATIONS)
+            if abbreviations is None
+            else dict(abbreviations)
         )
 
     def normalize(self, text: str) -> str:

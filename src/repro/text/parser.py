@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ParserError
 from .fragments import Fragment, FragmentExtractor
-from .gazetteer import ENTITY_TYPES, Gazetteer
+from .gazetteer import Gazetteer
 from .normalize import TextNormalizer
 from .tokenizer import word_spans
 
@@ -144,7 +144,9 @@ class DomainParser:
             (m.canonical, m.entity_type, m.char_start, m.char_end) for m in mentions
         ]
         fragments = self._fragments.extract(text, source_id, fragment_specs)
-        return ParsedDocument(source_id=source_id, mentions=mentions, fragments=fragments)
+        return ParsedDocument(
+            source_id=source_id, mentions=mentions, fragments=fragments
+        )
 
     def parse_many(
         self, documents: Iterable[Tuple[str, str]]

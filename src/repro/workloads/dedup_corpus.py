@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..entity.dedup import LabeledPair
 from ..entity.record import Record
@@ -208,7 +207,9 @@ class DedupCorpusGenerator:
             use_hard = float(rng.random()) < 0.5
             first = second = None
             if use_hard:
-                shared = [t for t, members in by_token.items() if len(set(members)) >= 2]
+                shared = [
+                    t for t, members in by_token.items() if len(set(members)) >= 2
+                ]
                 if shared:
                     token = shared[int(rng.integers(0, len(shared)))]
                     candidates = sorted(set(by_token[token]))

@@ -23,7 +23,7 @@ paper's Table VI (Shubert theater, $27 cheapest price, first performance
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from .seeds import make_rng
 
@@ -258,7 +258,9 @@ class FTablesGenerator:
             row = self._add_dirt(rng, row)
         return row
 
-    def _matilda_row(self, archetype: str, mapping: Dict[str, str]) -> Dict[str, object]:
+    def _matilda_row(
+        self, archetype: str, mapping: Dict[str, str]
+    ) -> Dict[str, object]:
         defaults = {
             "show_name": MATILDA_RECORD["show_name"],
             "theater": MATILDA_RECORD["theater"],

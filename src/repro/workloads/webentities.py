@@ -164,7 +164,10 @@ class WebEntitiesGenerator:
         if entity_type == "Product":
             return f"{pick(_ORG_WORDS)} {pick(_PRODUCTS)}", ()
         if entity_type == "Facility":
-            return f"{pick(_PLACES)} {pick(('Arena', 'Stadium', 'Theatre', 'Hall'))}", ()
+            return (
+                f"{pick(_PLACES)} {pick(('Arena', 'Stadium', 'Theatre', 'Hall'))}",
+                (),
+            )
         if entity_type == "MedicalCondition":
             return pick(_CONDITIONS), ()
         if entity_type == "Technology":

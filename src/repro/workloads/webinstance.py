@@ -9,7 +9,7 @@ that the benchmark can check against the generator's ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..text.gazetteer import Gazetteer, broadway_gazetteer

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import DataTamer, TamerConfig
-from repro.config import EntityConfig, SchemaConfig, StorageConfig
+from repro.config import StorageConfig
 from repro.ingest import DictSource
 from repro.storage import DocumentStore
 from repro.text import DomainParser
@@ -13,7 +13,6 @@ from repro.text.gazetteer import broadway_gazetteer
 from repro.workloads import (
     DedupCorpusGenerator,
     FTablesGenerator,
-    WebEntitiesGenerator,
     WebInstanceGenerator,
 )
 

@@ -143,9 +143,12 @@ def test_fig1_compare_mode_entry_point():
         fig1 = _load_module(
             BENCHMARKS_DIR / "bench_fig1_pipeline_scale.py", "bench_fig1_smoke"
         )
-        rows = fig1._compare_consolidation(2, "thread", 64, [12])
+        rows = fig1._compare_consolidation(2, 64, [12])
         assert len(rows) == 1
-        assert rows[0][2] > 0 and rows[0][3] > 0
+        assert rows[0]["sequential_seconds"] > 0
+        assert rows[0]["ephemeral_seconds"] > 0
+        assert rows[0]["persistent_cold_seconds"] > 0
+        assert rows[0]["persistent_warm_seconds"] > 0
     finally:
         sys.path.remove(str(BENCHMARKS_DIR))
         if saved is not None:

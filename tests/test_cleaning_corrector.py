@@ -109,7 +109,9 @@ class TestValueCorrectorUnsupervised:
         corrector = ValueCorrector(threshold=0.5).fit_unsupervised(
             {"price": PRICES, "genre": GENRES}
         )
-        flags = corrector.flag_records([{"price": p} for p in PRICES], columns=["price"])
+        flags = corrector.flag_records(
+            [{"price": p} for p in PRICES], columns=["price"]
+        )
         assert [f.value for f in flags] == ["$9999"]
 
     def test_bootstrap_without_outliers_rejected(self):

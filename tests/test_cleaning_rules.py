@@ -71,7 +71,9 @@ class TestRuleEngine:
 
     def test_add_custom_rule(self):
         engine = RuleEngine(rules=[])
-        engine.add_rule(CleaningRule("upper", lambda v: v.upper() if isinstance(v, str) else v))
+        engine.add_rule(
+            CleaningRule("upper", lambda v: v.upper() if isinstance(v, str) else v)
+        )
         assert engine.clean_value("x", "abc") == "ABC"
 
     def test_rule_restricted_to_attribute(self):

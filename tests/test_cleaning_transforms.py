@@ -50,7 +50,10 @@ class TestConvertCurrency:
             convert_currency(10, "USD", "XYZ")
 
     def test_custom_rates(self):
-        assert convert_currency(2, "ABC", "USD", rates_to_usd={"ABC": 3.0, "USD": 1.0}) == 6.0
+        assert (
+            convert_currency(2, "ABC", "USD", rates_to_usd={"ABC": 3.0, "USD": 1.0})
+            == 6.0
+        )
 
 
 class TestConvertLength:
@@ -111,7 +114,9 @@ class TestFormatPrice:
 class TestTransformEngine:
     def test_builtin_transforms_registered(self):
         engine = TransformEngine()
-        assert {"normalize_date", "eur_to_usd", "format_price_usd"} <= set(engine.registered)
+        assert {"normalize_date", "eur_to_usd", "format_price_usd"} <= set(
+            engine.registered
+        )
 
     def test_bind_and_transform_record(self):
         engine = TransformEngine()

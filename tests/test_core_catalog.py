@@ -22,7 +22,9 @@ class TestSourceCatalog:
     def test_reregistration_accumulates(self):
         catalog = SourceCatalog()
         catalog.register("s1", kind="structured", records_loaded=5, attributes=["a"])
-        catalog.register("s1", kind="structured", records_loaded=7, attributes=["a", "b"])
+        catalog.register(
+            "s1", kind="structured", records_loaded=7, attributes=["a", "b"]
+        )
         entry = catalog.entry("s1")
         assert entry.records_loaded == 12
         assert entry.attributes == ["a", "b"]

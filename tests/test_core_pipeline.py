@@ -62,7 +62,9 @@ class TestCurationPipeline:
         assert set(pipeline.timing_summary()) == {"x", "y"}
 
     def test_chaining_add_stage(self):
-        pipeline = CurationPipeline().add_stage("a", lambda c: 1).add_stage("b", lambda c: 2)
+        pipeline = (
+            CurationPipeline().add_stage("a", lambda c: 1).add_stage("b", lambda c: 2)
+        )
         assert [s.name for s in pipeline.stages] == ["a", "b"]
 
     def test_succeeded_false_before_any_run(self):

@@ -28,7 +28,9 @@ VARIANT_RECORDS = [
 class TestConstruction:
     def test_default_collections_exist(self, tamer):
         names = tamer.store.list_collections()
-        assert {INSTANCE_COLLECTION, ENTITY_COLLECTION, CURATED_COLLECTION} <= set(names)
+        assert {INSTANCE_COLLECTION, ENTITY_COLLECTION, CURATED_COLLECTION} <= set(
+            names
+        )
 
     def test_entity_collection_has_extra_indexes(self, tamer):
         stats = tamer.entity_collection.stats()
@@ -171,7 +173,11 @@ class TestDedupAndQuery:
 
     def test_top_discussed_shows(self, tamer):
         tamer.ingest_text_documents(
-            [("d1", "Matilda was great."), ("d2", "Matilda again."), ("d3", "Wicked too.")]
+            [
+                ("d1", "Matilda was great."),
+                ("d2", "Matilda again."),
+                ("d3", "Wicked too."),
+            ]
         )
         ranking = tamer.top_discussed_shows(k=2)
         assert ranking[0].entity == "Matilda"
@@ -188,7 +194,9 @@ class TestDedupAndQuery:
         self._prepare(tamer, dedup_corpus)
         fused = tamer.fuse_show("Matilda", prefer_structured=True)
         # cheapest price came from a structured source, not the web text
-        assert fused.provenance.get("cheapest_price", "").startswith(("seed", "variant"))
+        assert fused.provenance.get("cheapest_price", "").startswith(
+            ("seed", "variant")
+        )
 
     def test_fuse_unknown_show_is_empty(self, tamer, dedup_corpus):
         self._prepare(tamer, dedup_corpus)

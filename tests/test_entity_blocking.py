@@ -102,7 +102,9 @@ class TestNGramBlocker:
 class TestSortedNeighborhoodBlocker:
     def test_window_pairs_neighbors(self):
         records = _records(["aaa", "aab", "zzz"])
-        result = SortedNeighborhoodBlocker(key_attribute="name", window=2).block(records)
+        result = SortedNeighborhoodBlocker(key_attribute="name", window=2).block(
+            records
+        )
         assert ("r0", "r1") in result.pairs
         assert ("r0", "r2") not in result.pairs
 

@@ -101,5 +101,7 @@ class TestClusterPairs:
     def test_small_clusters_untouched_by_size_guard(self):
         ids = ["a", "b", "c"]
         pairs = [("a", "b")]
-        clusters = cluster_pairs(ids, pairs, scores={("a", "b"): 0.9}, max_cluster_size=5)
+        clusters = cluster_pairs(
+            ids, pairs, scores={("a", "b"): 0.9}, max_cluster_size=5
+        )
         assert {"a", "b"} in clusters

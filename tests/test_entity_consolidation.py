@@ -66,7 +66,9 @@ class TestConsolidation:
         assert matilda.attributes["price"] == 27
         assert set(matilda.source_ids) == {"ftable", "webtext"}
 
-    def test_provenance_lists_contributing_records(self, trained_model, duplicate_records):
+    def test_provenance_lists_contributing_records(
+        self, trained_model, duplicate_records
+    ):
         consolidator = EntityConsolidator(trained_model, key_attribute="name")
         entities = consolidator.consolidate(duplicate_records)
         matilda = next(e for e in entities if "a1" in e.member_record_ids)
@@ -90,7 +92,9 @@ class TestConsolidation:
         with pytest.raises(EntityResolutionError):
             EntityConsolidator(trained_model).consolidate(records)
 
-    def test_no_blocking_strategy_compares_all_pairs(self, trained_model, duplicate_records):
+    def test_no_blocking_strategy_compares_all_pairs(
+        self, trained_model, duplicate_records
+    ):
         consolidator = EntityConsolidator(
             trained_model,
             config=EntityConfig(blocking_strategy="none"),

@@ -46,7 +46,9 @@ class TestPairFeatures:
         assert np.allclose(pair_features(a, b), pair_features(b, a))
 
     def test_shared_attr_ratio_reflects_sparsity(self):
-        structured = _record("a", {"name": "Matilda", "theater": "Shubert", "price": 27})
+        structured = _record(
+            "a", {"name": "Matilda", "theater": "Shubert", "price": 27}
+        )
         sparse = _record("b", {"name": "Matilda"})
         named = dict(zip(FEATURE_NAMES, pair_features(structured, sparse)))
         assert named["shared_attr_ratio"] == pytest.approx(1 / 3)

@@ -1,6 +1,5 @@
 """Tests for the exception hierarchy."""
 
-import pytest
 
 from repro import errors
 
@@ -8,7 +7,11 @@ from repro import errors
 def test_all_errors_derive_from_tamer_error():
     for name in dir(errors):
         obj = getattr(errors, name)
-        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, Exception)
+            and obj is not Exception
+        ):
             assert issubclass(obj, errors.TamerError), name
 
 

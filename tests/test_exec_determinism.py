@@ -93,7 +93,8 @@ def _build_sharded_pipeline(model, records, executor):
     pipeline.add_stage(
         "query",
         lambda ctx: [
-            e.entity_id for e in QueryEngine(ctx["consolidate"], executor=executor).search("show")
+            e.entity_id
+            for e in QueryEngine(ctx["consolidate"], executor=executor).search("show")
         ],
     )
     return pipeline

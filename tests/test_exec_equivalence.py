@@ -206,10 +206,43 @@ class TestConsolidationEquivalence:
         executor = ShardedExecutor(
             ExecConfig(parallelism=2, batch_size=64, backend="process")
         )
-        parallel = EntityConsolidator(
-            model=model, executor=executor
-        ).consolidate(records)
-        assert parallel == sequential
+        try:
+            parallel = EntityConsolidator(
+                model=model, executor=executor
+            ).consolidate(records)
+            assert parallel == sequential
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("pool", ("persistent", "ephemeral"))
+    def test_process_pool_flavours_identical(self, corpus, model, pool):
+        """Pool on/off must not change a single bit of the output.
+
+        The persistent flavour routes every fan-out (blocking, warm-state
+        scoring, cluster merging) through long-lived workers; the ephemeral
+        flavour spawns a pool per fan-out.  Both must equal the sequential
+        path exactly — the deeper lifecycle suite lives in
+        tests/test_exec_pool.py.
+        """
+        records = corpus.records
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        executor = ShardedExecutor(
+            ExecConfig(parallelism=2, batch_size=64, backend="process", pool=pool)
+        )
+        try:
+            parallel = EntityConsolidator(
+                model=model, executor=executor
+            ).consolidate(records)
+            assert parallel == sequential
+            # run again on the same executor: a warm pool must stay identical
+            assert (
+                EntityConsolidator(model=model, executor=executor).consolidate(
+                    records
+                )
+                == sequential
+            )
+        finally:
+            executor.close()
 
 
 class TestFacadeEquivalence:

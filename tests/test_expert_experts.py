@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ExpertError
 from repro.expert.aggregation import AnswerAggregator
 from repro.expert.experts import SimulatedExpert
-from repro.expert.tasks import ExpertTask, TaskQueue
+from repro.expert.tasks import ExpertTask
 
 
 def _task(ground_truth=True, domain="general"):
@@ -101,7 +101,9 @@ class TestAnswerAggregator:
             [("a", True, 0.3), ("b", True, 0.3), ("c", False, 0.99)]
         )
         unweighted = AnswerAggregator(weighted=False).aggregate(
-            self._answered_task([("a", True, 0.3), ("b", True, 0.3), ("c", False, 0.99)])
+            self._answered_task(
+                [("a", True, 0.3), ("b", True, 0.3), ("c", False, 0.99)]
+            )
         )
         weighted = AnswerAggregator(weighted=True).aggregate(task)
         assert unweighted.answer is True

@@ -15,13 +15,17 @@ class TestFullPipeline:
         local_attribute_count = 0
         for source in sources[:9]:
             local_attribute_count += len(source.attribute_names)
-            tamer.ingest_structured_source(DictSource(source.source_id, source.records()))
+            tamer.ingest_structured_source(
+                DictSource(source.source_id, source.records())
+            )
         # Without experts the schema keeps a few uncertain attributes as new,
         # but it must still be far more compact than the union of local schemas.
         assert len(tamer.global_schema) < local_attribute_count / 2
         assert len(tamer.global_schema) <= len(GROUND_TRUTH_GLOBAL_SCHEMA) + 10
 
-    def test_expert_sourcing_tightens_schema_convergence(self, small_config, parser, ftables):
+    def test_expert_sourcing_tightens_schema_convergence(
+        self, small_config, parser, ftables
+    ):
         from repro.expert.experts import SimulatedExpert
         from repro.expert.routing import ExpertRouter
 
@@ -56,7 +60,9 @@ class TestFullPipeline:
         late = [r.mapping.auto_accept_rate for r in reports[-3:]]
         assert sum(late) / 3 >= sum(early) / 3
 
-    def test_text_and_structured_fusion_enriches_result(self, populated_tamer, dedup_corpus):
+    def test_text_and_structured_fusion_enriches_result(
+        self, populated_tamer, dedup_corpus
+    ):
         tamer = populated_tamer
         tamer.train_dedup_model(dedup_corpus.pairs)
         text_views = [
@@ -73,7 +79,10 @@ class TestFullPipeline:
         for _, values in text_views:
             text_attrs.update(k for k, v in values.items() if v not in (None, ""))
         structured_extra = set(fused.attributes) - text_attrs
-        assert "theater" in structured_extra or "performance_schedule" in structured_extra
+        assert (
+            "theater" in structured_extra
+            or "performance_schedule" in structured_extra
+        )
 
     def test_collection_shape_matches_paper_tables(self, populated_tamer):
         stats = populated_tamer.collection_stats()
@@ -110,7 +119,9 @@ class TestDemoScenario:
         ftables = FTablesGenerator(seed=31, n_sources=9)
         tamer.ingest_structured_records("global_seed", ftables.seed_records())
         for source in ftables.generate():
-            tamer.ingest_structured_source(DictSource(source.source_id, source.records()))
+            tamer.ingest_structured_source(
+                DictSource(source.source_id, source.records())
+            )
         corpus = WebInstanceGenerator(seed=32).generate(400)
         tamer.ingest_text_documents(d.as_pair() for d in corpus)
         dedup = DedupCorpusGenerator(seed=33).generate(n_entities=80)

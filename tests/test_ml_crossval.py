@@ -91,8 +91,12 @@ class TestCrossValidate:
 
     def test_deterministic(self):
         X, y = self._data(n=80)
-        r1 = cross_validate(lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4)
-        r2 = cross_validate(lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4)
+        r1 = cross_validate(
+            lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4
+        )
+        r2 = cross_validate(
+            lambda: LogisticRegression(n_epochs=10, seed=0), X, y, n_folds=4
+        )
         assert r1.as_dict() == r2.as_dict()
 
 

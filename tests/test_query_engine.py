@@ -36,7 +36,10 @@ class TestQueryEngine:
         assert len(engine.entities) == 3
 
     def test_find_equal_normalizes(self, engine):
-        assert engine.find_equal("show_name", "MATILDA").first.attributes["theater"] == "Shubert"
+        assert (
+            engine.find_equal("show_name", "MATILDA").first.attributes["theater"]
+            == "Shubert"
+        )
         assert len(engine.find_equal("show_name", "matilda ")) == 1
 
     def test_find_equal_no_match(self, engine):

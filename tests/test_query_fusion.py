@@ -1,6 +1,6 @@
 """Tests for repro.query.fusion."""
 
-from repro.query.fusion import FusionResult, fuse_entity_views
+from repro.query.fusion import fuse_entity_views
 
 
 class TestFuseEntityViews:

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import SchemaError
 from repro.schema.attribute import (
     Attribute,
-    AttributeProfile,
     infer_type,
     profile_values,
 )

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import SchemaConfig
 from repro.errors import SchemaError
-from repro.schema.global_schema import GlobalSchema
 from repro.schema.integrator import SchemaIntegrator
 from repro.schema.mapping import MappingDecision
 
@@ -160,7 +159,9 @@ class TestExpertEscalation:
         report = integrator.integrate_source(
             "variant", [{"THE_SHOW": "Matilda"}], allow_new_attributes=False
         )
-        assert report.mapping_for("THE_SHOW").decision == MappingDecision.EXPERT_REJECTED
+        assert (
+            report.mapping_for("THE_SHOW").decision == MappingDecision.EXPERT_REJECTED
+        )
 
     def test_escalation_disabled_skips_expert(self):
         calls = []

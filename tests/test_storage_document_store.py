@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import StorageConfig
 from repro.errors import (
     CollectionExists,
     CollectionNotFound,
@@ -181,7 +180,14 @@ class TestStats:
     def test_stats_fields_match_paper_tables(self, collection):
         collection.insert_many([{"text": "x" * 100} for _ in range(50)])
         stats = collection.stats().as_dict()
-        for field in ("ns", "count", "numExtents", "nindexes", "lastExtentSize", "totalIndexSize"):
+        for field in (
+            "ns",
+            "count",
+            "numExtents",
+            "nindexes",
+            "lastExtentSize",
+            "totalIndexSize",
+        ):
             assert field in stats
         assert stats["ns"] == "dt.instance"
         assert stats["count"] == 50

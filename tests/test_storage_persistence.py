@@ -29,7 +29,9 @@ def populated_store(storage_config):
 
 
 class TestDumpLoadCollection:
-    def test_roundtrip_counts_and_content(self, populated_store, tmp_path, storage_config):
+    def test_roundtrip_counts_and_content(
+        self, populated_store, tmp_path, storage_config
+    ):
         path = tmp_path / "instance.jsonl"
         written = dump_collection(populated_store.collection("instance"), path)
         assert written == 25
@@ -69,7 +71,9 @@ class TestDumpLoadCollection:
 
 
 class TestDumpLoadStore:
-    def test_roundtrip_preserves_collections_and_indexes(self, populated_store, tmp_path):
+    def test_roundtrip_preserves_collections_and_indexes(
+        self, populated_store, tmp_path
+    ):
         counts = dump_store(populated_store, tmp_path / "dump")
         assert counts == {"instance": 25, "entity": 1}
 

@@ -140,7 +140,10 @@ class TestMutations:
             lambda r: r["name"] == "Matilda", {"price": 30.0}
         )
         assert changed == 1
-        assert shows_table.select(where=lambda r: r["name"] == "Matilda")[0]["price"] == 30.0
+        assert (
+            shows_table.select(where=lambda r: r["name"] == "Matilda")[0]["price"]
+            == 30.0
+        )
 
     def test_update_unknown_column_rejected(self, shows_table):
         with pytest.raises(TableError):

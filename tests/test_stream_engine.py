@@ -17,7 +17,6 @@ from repro.entity.blocking import BlockIndex, TokenBlocker
 from repro.entity.clustering import IncrementalClusters, UnionFind
 from repro.entity.record import Record
 from repro.errors import ConfigError, TamerError
-from repro.storage import DocumentStore
 from repro.stream import (
     Changelog,
     DeltaBatch,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.text.fragments import Fragment, FragmentExtractor
+from repro.text.fragments import FragmentExtractor
 
 
 TEXT = (
@@ -32,7 +32,10 @@ class TestFragmentExtractor:
 
     def test_one_fragment_per_mention(self):
         extractor = FragmentExtractor()
-        mentions = [_mention(TEXT, "Matilda"), _mention(TEXT, "Critics", "Critics", "Person")]
+        mentions = [
+            _mention(TEXT, "Matilda"),
+            _mention(TEXT, "Critics", "Critics", "Person"),
+        ]
         frags = extractor.extract(TEXT, "doc1", mentions)
         assert len(frags) == 2
 

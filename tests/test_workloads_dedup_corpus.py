@@ -40,7 +40,9 @@ class TestDedupCorpusGenerator:
         corpus = DedupCorpusGenerator(seed=3).generate(
             n_entities=30, negatives_per_positive=2.0
         )
-        assert corpus.negative_count == pytest.approx(2 * corpus.positive_count, rel=0.05)
+        assert corpus.negative_count == pytest.approx(
+            2 * corpus.positive_count, rel=0.05
+        )
 
     def test_true_pairs_are_positives(self, dedup_corpus):
         true_pairs = dedup_corpus.true_pairs()

@@ -10,17 +10,26 @@ class TestMakeRng:
     def test_same_seed_same_stream(self):
         a = make_rng(5, "label")
         b = make_rng(5, "label")
-        assert a.integers(0, 1000, size=10).tolist() == b.integers(0, 1000, size=10).tolist()
+        assert (
+            a.integers(0, 1000, size=10).tolist()
+            == b.integers(0, 1000, size=10).tolist()
+        )
 
     def test_different_labels_different_streams(self):
         a = make_rng(5, "webinstance")
         b = make_rng(5, "ftables")
-        assert a.integers(0, 1000, size=10).tolist() != b.integers(0, 1000, size=10).tolist()
+        assert (
+            a.integers(0, 1000, size=10).tolist()
+            != b.integers(0, 1000, size=10).tolist()
+        )
 
     def test_none_seed_defaults_to_zero(self):
         a = make_rng(None, "x")
         b = make_rng(0, "x")
-        assert a.integers(0, 1000, size=5).tolist() == b.integers(0, 1000, size=5).tolist()
+        assert (
+            a.integers(0, 1000, size=5).tolist()
+            == b.integers(0, 1000, size=5).tolist()
+        )
 
 
 class TestWeightedChoice:

@@ -36,7 +36,9 @@ class TestWebEntitiesGenerator:
         total = sum(histogram.values())
         person_share = histogram["Person"] / total
         movie_share = histogram.get("Movie", 0) / total
-        expected_person = TABLE3_TYPE_COUNTS["Person"] / sum(TABLE3_TYPE_COUNTS.values())
+        expected_person = TABLE3_TYPE_COUNTS["Person"] / sum(
+            TABLE3_TYPE_COUNTS.values()
+        )
         assert person_share == pytest.approx(expected_person, abs=0.02)
         assert movie_share < 0.01
         # the ordering of the two dominant types matches the paper
