@@ -8,17 +8,39 @@ the 20 FTABLES sources in sequence through an integrator wired to simulated
 experts and reports, per source, the automatic-acceptance rate, the expert
 escalation rate and the running size of the global schema — the escalation
 series should fall (and the auto-accept series rise) as sources accumulate.
+
+``--compare-incremental`` instead quantifies what the streaming schema
+operator buys: the 20 sources are streamed into a curated collection, then
+per delta size the incremental refresh
+(:class:`repro.stream.delta_schema.DeltaIntegrator` — mergeable profile
+statistics, memoized matcher scores) races a full batch re-integration
+(fresh :class:`repro.schema.integrator.SchemaIntegrator` over every live
+source).  Outputs are asserted bit-identical before any timing is
+reported; results land in ``benchmarks/results/fig2_incremental.json``
+(smoke-suffix rule respected at ``BENCH_SCALE != 1``)::
+
+    PYTHONPATH=src python benchmarks/bench_fig2_schema_bootstrap.py \\
+        --compare-incremental [--min-speedup X]
 """
 
-from conftest import write_report
+import argparse
+import time
 
-from repro import DataTamer, TamerConfig
+from conftest import scaled, scaled_sweep, write_json, write_report
+
+from repro import DataTamer, StreamConfig, TamerConfig
 from repro.config import SchemaConfig
 from repro.expert.experts import SimulatedExpert
 from repro.expert.routing import ExpertRouter
 from repro.ingest import DictSource
+from repro.schema.integrator import SchemaIntegrator
+from repro.stream import schema_snapshot
 from repro.text import DomainParser
 from repro.text.gazetteer import broadway_gazetteer
+from repro.workloads import DedupCorpusGenerator, FTablesGenerator
+
+#: Delta sizes (records appended per refresh) for --compare-incremental.
+DELTA_SIZES = scaled_sweep((2, 8, 32, 128), floor=1)
 
 
 def _bootstrap(ftables_generator):
@@ -82,3 +104,170 @@ def test_fig2_schema_bootstrap_escalation_curve(benchmark, ftables_generator):
     assert series[-1]["schema_size"] == series[len(series) // 2]["schema_size"]
     # experts were actually consulted during the early stage
     assert router.total_tasks_answered > 0
+
+
+# -- incremental vs batch re-integration ------------------------------------
+
+
+def _streamed_tamer():
+    """A DataTamer streaming the FTABLES sources with the schema operator."""
+    config = TamerConfig.small()
+    config.schema = SchemaConfig(
+        accept_threshold=0.75, new_attribute_threshold=0.35
+    )
+    config.stream = StreamConfig(
+        max_batch_size=512, rebuild_threshold=0, schema_integration=True
+    )
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=103).generate(n_entities=60)
+    tamer.train_dedup_model(corpus.pairs)
+    return tamer
+
+
+def _source_rows(source, n_rows):
+    """``n_rows`` records of one FTABLES source (tiled when scaled up)."""
+    records = source.records()
+    return [dict(records[i % len(records)]) for i in range(n_rows)]
+
+
+def _batch_reintegrate(integrator):
+    """A from-scratch batch integration over every live source (timed)."""
+    oracle = SchemaIntegrator(config=integrator.config)
+    for source_id in integrator.source_ids:
+        oracle.integrate_source(source_id, integrator.source_records(source_id))
+    return oracle
+
+
+def _compare_incremental(delta_sizes):
+    """Rows of (delta, docs, sources, attrs, incr_s, batch_s, speedup, …)."""
+    tamer = _streamed_tamer()
+    generator = FTablesGenerator(seed=101, n_sources=20)
+    sources = list(generator.generate())
+    collection = tamer.curated_collection
+    for source in sources:
+        for row in _source_rows(source, scaled(len(source.records()), floor=3)):
+            row["_source"] = source.source_id
+            collection.insert(row)
+    stream = tamer.start_stream(key_attribute="Show")
+    integrator = stream.integrator
+    stream.apply_delta()
+    integrator.refresh()  # bootstrap cascade outside the timed region
+
+    # delta feed: unseen rows appended to the most recent source
+    feed_source = sources[-1]
+    feed = _source_rows(feed_source, sum(delta_sizes) + len(delta_sizes))
+    cursor = 0
+    rows = []
+    for delta in delta_sizes:
+        for row in feed[cursor : cursor + delta]:
+            row = dict(row)
+            row["_source"] = feed_source.source_id
+            collection.insert(row)
+        cursor += delta
+
+        start = time.perf_counter()
+        stream.apply_delta()
+        integrator.refresh()
+        incremental_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        oracle = _batch_reintegrate(integrator)
+        batch_s = time.perf_counter() - start
+
+        incremental = integrator.snapshot()
+        batch = schema_snapshot(oracle.global_schema, oracle.reports)
+        assert incremental == batch, "incremental and batch schema diverged"
+        stats = integrator.last_stats
+        rows.append(
+            {
+                "delta": delta,
+                "documents": integrator.record_count,
+                "sources": len(integrator.source_ids),
+                "global_attributes": len(integrator.global_schema),
+                "incremental_seconds": incremental_s,
+                "batch_seconds": batch_s,
+                "speedup": batch_s / incremental_s
+                if incremental_s > 0
+                else float("inf"),
+                "values_profiled": stats.values_profiled,
+                "pairs_scored": stats.pairs_scored,
+                "pairs_reused": stats.pairs_reused,
+                "outputs_identical": True,
+            }
+        )
+    tamer.close()
+    return rows
+
+
+def _render_incremental(rows):
+    lines = [
+        "Figure 2 (streaming) — incremental schema refresh vs full batch "
+        "re-integration (outputs bit-identical)",
+        f"{'delta':>8}{'docs':>8}{'sources':>9}{'attrs':>7}{'incr_s':>10}"
+        f"{'batch_s':>10}{'speedup':>9}{'scored':>8}{'reused':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['delta']:>8}{row['documents']:>8}{row['sources']:>9}"
+            f"{row['global_attributes']:>7}{row['incremental_seconds']:>10.4f}"
+            f"{row['batch_seconds']:>10.4f}{row['speedup']:>8.1f}x"
+            f"{row['pairs_scored']:>8}{row['pairs_reused']:>8}"
+        )
+    return lines
+
+
+def test_fig2_incremental_compare(benchmark):
+    rows = benchmark.pedantic(
+        _compare_incremental, args=(DELTA_SIZES,), rounds=1, iterations=1
+    )
+    write_report("fig2_incremental", _render_incremental(rows))
+    write_json("fig2_incremental", {"rows": rows})
+    assert len(rows) == len(DELTA_SIZES)
+    # equality is asserted inside _compare_incremental; the >=3x speedup
+    # claim belongs to the full-scale run (and the CI perf-smoke gate)
+    assert all(row["outputs_identical"] for row in rows)
+    assert all(row["incremental_seconds"] > 0 for row in rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compare-incremental",
+        action="store_true",
+        help="run the incremental-vs-batch schema integration sweep",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the incremental path's speedup at the "
+        "smallest delta falls below this factor",
+    )
+    args = parser.parse_args(argv)
+    if not args.compare_incremental:
+        parser.error(
+            "run with --compare-incremental (or via pytest for the suite)"
+        )
+    rows = _compare_incremental(DELTA_SIZES)
+    lines = _render_incremental(rows)
+    headline = rows[0]
+    lines.append(
+        f"smallest delta ({headline['delta']} records): incremental refresh "
+        f"is {headline['speedup']:.1f}x batch re-integration"
+    )
+    write_report("fig2_incremental", lines)
+    write_json(
+        "fig2_incremental",
+        {"rows": rows, "min_speedup_required": args.min_speedup},
+    )
+    if args.min_speedup is not None and headline["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: incremental schema speedup {headline['speedup']:.2f}x "
+            f"below required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

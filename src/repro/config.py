@@ -168,11 +168,24 @@ class StreamConfig:
     back to a full from-scratch rebuild (0 disables the fallback — the
     incremental path is exactly equivalent, so the rebuild is hygiene, not
     correctness).
+
+    ``schema_integration`` adds the incremental schema integrator
+    (:class:`repro.stream.delta_schema.DeltaIntegrator`) as a second
+    operator on the stream's chain, keeping a bottom-up global schema and
+    per-source mappings fresh alongside entity consolidation.
+    ``changelog_path`` enables crash recovery: every recorded change event
+    (plus a bootstrap snapshot of the collection at stream start) is
+    appended to that JSONL file, and
+    :func:`repro.storage.persistence.recover_collection` replays it into an
+    empty collection after a crash — reproducing the live curated state
+    bit-identically.
     """
 
     max_batch_size: int = 256
     flush_interval: float = 0.0
     rebuild_threshold: int = 10_000
+    schema_integration: bool = False
+    changelog_path: Optional[str] = None
 
     def validate(self) -> None:
         if self.max_batch_size < 1:
@@ -181,6 +194,8 @@ class StreamConfig:
             raise ConfigError("flush_interval must be >= 0")
         if self.rebuild_threshold < 0:
             raise ConfigError("rebuild_threshold must be >= 0")
+        if self.changelog_path is not None and not str(self.changelog_path):
+            raise ConfigError("changelog_path must be a non-empty path or None")
 
 
 @dataclass

@@ -186,6 +186,43 @@ class CurationPipeline:
         )
         return self
 
+    def add_operator_stage(
+        self, name: str, stream, description: str = ""
+    ) -> "CurationPipeline":
+        """Append a stage draining a streaming host's operator chain.
+
+        ``stream`` is a :class:`~repro.stream.engine.StreamingTamer`: the
+        stage drains its scheduler and pushes every micro-batch through the
+        whole operator chain (entity curation, schema integration, …) in
+        order, with per-batch wall times in :attr:`StageResult
+        .shard_seconds`.  ``apply_batch`` shares the host's rebuild
+        accounting (and closed-stream check), and the finalizer lets the
+        periodic rebuild fallback fire, exactly like ``apply_delta``.  The
+        stage output is the flat list of
+        :class:`~repro.stream.operators.OperatorReport`\\ s.
+        """
+        if not name:
+            raise TamerError("stage name must be non-empty")
+
+        def source(_context: Dict[str, Any]):
+            return stream.scheduler.drain()
+
+        def apply(_context: Dict[str, Any], batch):
+            return stream.apply_batch(batch)
+
+        def finalize(_context: Dict[str, Any], outputs: List[Any]):
+            stream.maybe_rebuild()
+            return [report for reports in outputs for report in reports]
+
+        return self.add_streaming_stage(
+            name,
+            source=source,
+            apply=apply,
+            finalize=finalize,
+            description=description
+            or "drain pending deltas through the stream's operator chain",
+        )
+
     def _run_streaming(
         self, stage: StreamingStage, context: Dict[str, Any]
     ) -> tuple:

@@ -122,6 +122,7 @@ class DataTamer:
             expert_callable = schema_match_oracle(
                 expert_router, true_mapping=true_schema_mapping
             )
+        self._schema_expert = expert_callable
         self.integrator = SchemaIntegrator(
             global_schema=self.global_schema,
             config=self.config.schema,
@@ -188,18 +189,23 @@ class DataTamer:
     ) -> None:
         """Reconfigure the execution engine (e.g. to A/B parallel vs serial).
 
-        A live stream keeps fanning out through the executor it was started
-        with; that executor (and its pool workers) is retired rather than
-        closed, and :meth:`close` shuts it down with everything else.
+        A live stream's operators are *offered* the new executor through
+        the :meth:`~repro.stream.operators.DeltaOperator.sync_executor`
+        hook; operators whose fan-out state lives in warm pool workers (the
+        entity curator) decline and keep the executor they were born with —
+        that executor is retired rather than closed, and :meth:`close`
+        shuts it down with everything else.
         """
         self.config = self.config.with_parallelism(workers, batch_size=batch_size)
         old = self._executor
+        self._executor = ShardedExecutor(self.config.execution)
         if self._stream is not None and not self._stream.closed:
+            for operator in self._stream.operators:
+                operator.sync_executor(self._executor)
             self._retired_executors.append(old)
         else:
             # the old executor may own persistent pool workers — stop them
             old.close()
-        self._executor = ShardedExecutor(self.config.execution)
 
     def close(self) -> None:
         """Release held resources: the stream tail and any pool workers."""
@@ -450,6 +456,7 @@ class DataTamer:
         self,
         key_attribute: str = "show_name",
         merge_policy: MergePolicy = MergePolicy.MAJORITY,
+        schema_integration: Optional[bool] = None,
     ) -> StreamingTamer:
         """Start incremental curation of the curated collection.
 
@@ -457,6 +464,13 @@ class DataTamer:
         collection's current contents and tails every subsequent write
         through the change-data-capture hook.  Requires a trained dedup
         model.  Restarting replaces (and detaches) any previous stream.
+
+        ``schema_integration`` overrides ``StreamConfig.schema_integration``
+        for this stream: when on, the stream's operator chain also keeps a
+        bottom-up global schema of the streamed sources fresh (the schema
+        view lives on ``stream.integrator`` — it curates the *streamed*
+        collection and never mutates the ingest-time
+        :attr:`DataTamer.global_schema`).
 
         Note the streaming view keys records by their stable document
         ``_id`` (so a record's identity survives writes), where the batch
@@ -466,14 +480,23 @@ class DataTamer:
             raise TamerError("no dedup model; call train_dedup_model first")
         if self._stream is not None:
             self._stream.close()
+        stream_config = self.config.stream
+        if schema_integration is not None:
+            from dataclasses import replace
+
+            stream_config = replace(
+                stream_config, schema_integration=schema_integration
+            )
         self._stream = StreamingTamer(
             self.curated_collection,
             self._dedup_model,
             entity_config=self.config.entity,
-            stream_config=self.config.stream,
+            stream_config=stream_config,
             executor=self._executor,
             key_attribute=self.resolve_attribute(key_attribute),
             merge_policy=merge_policy,
+            schema_config=self.config.schema,
+            schema_expert=self._schema_expert,
         )
         return self._stream
 

@@ -209,6 +209,11 @@ class ScoringKernel:
         self._values = TokenVocabulary()
         self._cache: Dict[str, RecordTokenData] = {}
         self._string_sim_memo: Dict[Tuple[int, int], float] = {}
+        #: pair -> (data_a, data_b, jaccard, cosine, shared, exact, numeric,
+        #: length_ratio): the cheap feature columns the candidate filter
+        #: already computed for surviving pairs, consumed (and identity-
+        #: validated) by the next featurization instead of recomputed
+        self._cheap_stash: Dict[Pair, tuple] = {}
 
     @property
     def compare_attributes(self) -> Optional[List[str]]:
@@ -228,6 +233,50 @@ class ScoringKernel:
     def memo_size(self) -> int:
         """Number of memoized unique string-edit value pairs."""
         return len(self._string_sim_memo)
+
+    @property
+    def cheap_stash_size(self) -> int:
+        """Filter-computed cheap feature rows awaiting featurization."""
+        return len(self._cheap_stash)
+
+    # -- filter → featurization hand-off -------------------------------------
+
+    def stash_cheap_features(
+        self,
+        pair: Pair,
+        data_a: "RecordTokenData",
+        data_b: "RecordTokenData",
+        jaccard: float,
+        cosine: float,
+        shared_ratio: float,
+        exact_fraction: float,
+        numeric: float,
+        length_ratio: float,
+    ) -> None:
+        """Bank the cheap feature columns the candidate filter computed.
+
+        The filter evaluates six of the eight features *exactly* (only the
+        two string-edit features are bounded), so a surviving pair's next
+        featurization can reuse them instead of recomputing.  Entries are
+        keyed by pair id and validated against the interned per-record data
+        objects at use — a record change re-interns and invalidates them.
+        """
+        if len(self._cheap_stash) >= _MEMO_LIMIT:
+            self._cheap_stash.clear()
+        self._cheap_stash[pair] = (
+            data_a,
+            data_b,
+            jaccard,
+            cosine,
+            shared_ratio,
+            exact_fraction,
+            numeric,
+            length_ratio,
+        )
+
+    def clear_cheap_stash(self) -> None:
+        """Drop banked cheap features (fan-out paths featurize elsewhere)."""
+        self._cheap_stash.clear()
 
     # -- interning -----------------------------------------------------------
 
@@ -479,6 +528,28 @@ class ScoringKernel:
         numeric = float(np.mean(numeric_sims)) if numeric_sims else 0.0
         return shared_ratio, exact_fraction, mean_sim, max_sim, numeric
 
+    def _string_similarity_features(
+        self, data_a: RecordTokenData, data_b: RecordTokenData
+    ) -> Tuple[float, float]:
+        """(mean_sim, max_sim) alone — for rows whose cheap features came
+        from the candidate filter's stash.
+
+        ``shared`` is built exactly as :meth:`_attribute_features` builds
+        it, so the similarity list's ``np.mean`` summation order (and
+        therefore every bit of the result) matches the full loop.
+        """
+        shared = data_a.attrs & data_b.attrs
+        string_sims: List[float] = []
+        table_a, table_b = data_a.attr_table, data_b.attr_table
+        for attr in shared:
+            vid_a, len_a, _ = table_a[attr]
+            vid_b, len_b, _ = table_b[attr]
+            if len_a and len_b:
+                string_sims.append(self._string_sim(vid_a, vid_b))
+        mean_sim = float(np.mean(string_sims)) if string_sims else 0.0
+        max_sim = float(np.max(string_sims)) if string_sims else 0.0
+        return mean_sim, max_sim
+
     # -- public featurization --------------------------------------------------
 
     def features_for_record_pairs(
@@ -497,30 +568,74 @@ class ScoringKernel:
         """Feature matrix for record-id pairs (one row per pair, in order)."""
         data_a = [self.intern(records_by_id[a]) for a, _ in pairs]
         data_b = [self.intern(records_by_id[b]) for _, b in pairs]
-        return self._assemble(data_a, data_b)
+        return self._assemble(data_a, data_b, pairs=pairs)
 
     def _assemble(
         self,
         data_a: Sequence[RecordTokenData],
         data_b: Sequence[RecordTokenData],
+        pairs: Optional[Sequence[Pair]] = None,
     ) -> np.ndarray:
         n_pairs = len(data_a)
         out = np.zeros((n_pairs, len(FEATURE_NAMES)), dtype=float)
         if n_pairs == 0:
             return out
-        jaccard, cosine, _, _ = self._token_columns(data_a, data_b)
-        out[:, 0] = jaccard
-        out[:, 1] = cosine
-        out[:, 7] = self._length_ratio_column(data_a, data_b)
-        for row, (da, db) in enumerate(zip(data_a, data_b)):
-            shared, exact, mean_sim, max_sim, numeric = self._attribute_features(
-                da, db
-            )
+
+        # rows whose cheap columns the candidate filter already computed
+        # skip the columnar token/length pass entirely — only the two
+        # string-edit features remain.  Every per-pair value in
+        # _token_columns/_length_ratio_column is independent of which other
+        # pairs share the batch, so the split assembly is bit-identical.
+        stashed: Dict[int, tuple] = {}
+        fresh_rows: List[int] = list(range(n_pairs))
+        if pairs is not None and self._cheap_stash:
+            fresh_rows = []
+            for row, pair in enumerate(pairs):
+                entry = self._cheap_stash.pop(pair, None)
+                if (
+                    entry is not None
+                    and entry[0] is data_a[row]
+                    and entry[1] is data_b[row]
+                ):
+                    stashed[row] = entry
+                else:
+                    fresh_rows.append(row)
+
+        if fresh_rows:
+            sub_a = [data_a[row] for row in fresh_rows]
+            sub_b = [data_b[row] for row in fresh_rows]
+            jaccard, cosine, _, _ = self._token_columns(sub_a, sub_b)
+            length_ratio = self._length_ratio_column(sub_a, sub_b)
+            for slot, row in enumerate(fresh_rows):
+                out[row, 0] = jaccard[slot]
+                out[row, 1] = cosine[slot]
+                out[row, 7] = length_ratio[slot]
+                (
+                    shared,
+                    exact,
+                    mean_sim,
+                    max_sim,
+                    numeric,
+                ) = self._attribute_features(data_a[row], data_b[row])
+                out[row, 2] = shared
+                out[row, 3] = exact
+                out[row, 4] = mean_sim
+                out[row, 5] = max_sim
+                out[row, 6] = numeric
+
+        for row, entry in stashed.items():
+            _, _, jaccard_v, cosine_v, shared, exact, numeric, ratio = entry
+            out[row, 0] = jaccard_v
+            out[row, 1] = cosine_v
             out[row, 2] = shared
             out[row, 3] = exact
+            out[row, 6] = numeric
+            out[row, 7] = ratio
+            mean_sim, max_sim = self._string_similarity_features(
+                data_a[row], data_b[row]
+            )
             out[row, 4] = mean_sim
             out[row, 5] = max_sim
-            out[row, 6] = numeric
         return out
 
 
@@ -822,6 +937,19 @@ class CandidateFilter:
                 pruned.add(pairs[row])
             else:
                 survivors.append(pairs[row])
+                # the six cheap features above are *exact* — bank them so
+                # the survivor's featurization skips recomputing them
+                kernel.stash_cheap_features(
+                    pairs[row],
+                    da,
+                    db,
+                    float(jaccard[slot]),
+                    float(cosine[slot]),
+                    shared,
+                    exact,
+                    numeric,
+                    float(length_ratio[slot]),
+                )
         return survivors, pruned, stats
 
     def as_pair_filter(

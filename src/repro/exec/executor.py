@@ -188,6 +188,33 @@ class ShardedExecutor:
             )
         return self._pool
 
+    def sync_warm_context(self, key: str, version: int, value) -> bool:
+        """Ship a named shared context to the persistent pool workers.
+
+        The warm path for fan-outs whose workers need shared state that is
+        not per-record (e.g. the streaming schema integrator's
+        global-profile table): the value is broadcast once per ``version``
+        through :meth:`~repro.exec.pool.PersistentWorkerPool.sync_context`
+        and workers read it back with :func:`~repro.exec.pool.warm_context`.
+        Returns ``False`` (a no-op) when this executor does not route
+        fan-outs through a warm persistent pool — inline and thread
+        backends share the caller's memory anyway.
+        """
+        if not (self.uses_persistent_pool and self.warm_state):
+            return False
+        self.ensure_pool().sync_context(key, version, value)
+        return True
+
+    def drop_warm_context(self, key: str) -> bool:
+        """Evict a named shared context from the pool (owner teardown).
+
+        A no-op (``False``) when no persistent pool has been started — there
+        is nothing holding the context in that case.
+        """
+        if self._pool is None:
+            return False
+        return self._pool.drop_context(key)
+
     def close(self) -> None:
         """Shut down the persistent pool, if any (idempotent)."""
         if self._pool is not None:

@@ -72,6 +72,11 @@ class _WarmState:
     def __init__(self) -> None:
         self.records: Dict[str, Any] = {}
         self.kernels: Dict[Optional[Tuple[str, ...]], Any] = {}
+        #: named broadcast contexts: key -> (version, value).  The generic
+        #: warm channel for non-record state (e.g. the schema integrator's
+        #: global-profile table) shipped once per version instead of per
+        #: chunk payload.
+        self.contexts: Dict[str, Tuple[int, Any]] = {}
         self.syncs_applied = 0
 
     def kernel_for(self, restriction: Optional[Tuple[str, ...]]):
@@ -132,6 +137,24 @@ def warm_featurize(restriction: Optional[Tuple[str, ...]], chunk: tuple):
         ) from exc
 
 
+def warm_context(key: str):
+    """The calling worker's copy of a named broadcast context.
+
+    Raises (loudly, never silently diverging) when the context was never
+    synced — a task that depends on a context must be dispatched only after
+    :meth:`PersistentWorkerPool.sync_context` shipped it.
+    """
+    state = _WORKER_STATE
+    if state is None:
+        raise TamerError("warm_context must run inside a persistent pool worker")
+    entry = state.contexts.get(key)
+    if entry is None:
+        raise TamerError(
+            f"warm worker is missing context {key!r}; state sync is incomplete"
+        )
+    return entry[1]
+
+
 def warm_state_snapshot(_: Any = None) -> Dict[str, Any]:
     """Introspect the calling worker's warm state (for tests/diagnostics)."""
     state = _WORKER_STATE
@@ -170,6 +193,13 @@ def _worker_main(slot: int, conn) -> None:
         if kind == "sync":
             _, upserts, deletes = message
             _WORKER_STATE.apply(upserts, deletes)
+            continue
+        if kind == "context":
+            _, key, version, value = message
+            _WORKER_STATE.contexts[key] = (version, value)
+            continue
+        if kind == "context-drop":
+            _WORKER_STATE.contexts.pop(message[1], None)
             continue
         # ("call", index, func, arg)
         _, index, func, arg = message
@@ -247,6 +277,7 @@ class PersistentWorkerPool:
         self._worker_box: List[_Worker] = []
         self._workers: Optional[List[_Worker]] = None
         self._warm_records: Dict[str, Any] = {}
+        self._warm_contexts: Dict[str, Tuple[int, Any]] = {}
         self._idle_timer: Optional[threading.Timer] = None
         self._last_used = time.monotonic()
         self._closed = False
@@ -350,6 +381,8 @@ class PersistentWorkerPool:
             worker.connection.send(
                 ("sync", list(self._warm_records.values()), [])
             )
+        for key, (version, value) in self._warm_contexts.items():
+            worker.connection.send(("context", key, version, value))
         return worker
 
     def _ensure_started(self) -> List[_Worker]:
@@ -404,6 +437,7 @@ class PersistentWorkerPool:
             self._cancel_idle_timer()
             self._stop_workers()
             self._warm_records.clear()
+            self._warm_contexts.clear()
             self._closed = True
 
     def __enter__(self) -> "PersistentWorkerPool":
@@ -497,6 +531,62 @@ class PersistentWorkerPool:
             self._last_sync_seconds = time.perf_counter() - start
             self._total_sync_seconds += self._last_sync_seconds
             return self._last_sync_seconds
+
+    def sync_context(self, key: str, version: int, value: Any) -> bool:
+        """Broadcast a named context to every worker, once per version.
+
+        The generic warm channel for non-record shared state (the schema
+        integrator ships its global-profile table through this): a context
+        already at ``version`` is not re-sent, a freshly spawned or
+        respawned worker receives every context before any task (the pipe
+        is FIFO), and a worker that died since the last batch is respawned
+        with the post-sync state.  Returns whether anything was shipped.
+        """
+        with self._lock:
+            self._ensure_started()
+            self._reap_crashed({}, None)
+            known = self._warm_contexts.get(key)
+            if known is not None and known[0] == version:
+                self._touch()
+                return False
+            self._warm_contexts[key] = (version, value)
+            for slot in range(len(self._workers)):
+                try:
+                    self._workers[slot].connection.send(
+                        ("context", key, version, value)
+                    )
+                except (BrokenPipeError, OSError):
+                    # died between the reap above and this send: a respawned
+                    # worker receives the full context set on spawn
+                    self._workers[slot].connection.close()
+                    self._workers[slot] = self._spawn_worker(slot)
+                    self._worker_box[:] = self._workers
+                    self._respawn_count += 1
+            self._sync_count += 1
+            self._touch()
+            return True
+
+    def drop_context(self, key: str) -> bool:
+        """Forget a named context everywhere (owner teardown).
+
+        Streams come and go while the pool lives for the whole session;
+        without eviction every dead owner's context would stay pinned in
+        the parent and be re-shipped to every spawned worker forever.
+        Returns whether the key was known.  Never *starts* workers: a
+        stopped pool just forgets the parent copy (fresh workers only
+        receive what remains in ``_warm_contexts``).
+        """
+        with self._lock:
+            known = self._warm_contexts.pop(key, None) is not None
+            if known and self._workers is not None:
+                for worker in self._workers:
+                    try:
+                        worker.connection.send(("context-drop", key))
+                    except (BrokenPipeError, OSError):
+                        # dead worker: the reaper respawns it later with the
+                        # post-drop context set, which no longer has the key
+                        pass
+            return known
 
     # -- fan-out -----------------------------------------------------------
 

@@ -15,7 +15,14 @@ against it (paper Figures 2 and 3).  This package provides
   global attributes for genuinely novel fields.
 """
 
-from .attribute import Attribute, AttributeProfile, infer_type, profile_values
+from .attribute import (
+    Attribute,
+    AttributeProfile,
+    AttributeProfileBuilder,
+    infer_type,
+    merged_profile,
+    profile_values,
+)
 from .global_schema import GlobalSchema
 from .mapping import AttributeMapping, MappingDecision, SourceMappingReport
 from .matchers import (
@@ -29,12 +36,14 @@ from .matchers import (
     numeric_profile_similarity,
     value_overlap_similarity,
 )
-from .integrator import SchemaIntegrator
+from .integrator import SchemaIntegrator, SourceProfiler
 
 __all__ = [
     "Attribute",
     "AttributeProfile",
+    "AttributeProfileBuilder",
     "infer_type",
+    "merged_profile",
     "profile_values",
     "GlobalSchema",
     "AttributeMapping",
@@ -50,4 +59,5 @@ __all__ = [
     "numeric_profile_similarity",
     "value_overlap_similarity",
     "SchemaIntegrator",
+    "SourceProfiler",
 ]

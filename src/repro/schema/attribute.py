@@ -105,40 +105,152 @@ class AttributeProfile:
         return self.distinct_count / self.non_null_count
 
 
+class AttributeProfileBuilder:
+    """Mergeable sufficient statistics behind :func:`profile_values`.
+
+    The builder consumes values one at a time (in column order — the order
+    matters: numpy's pairwise mean/std, the token cap and the first-seen
+    type ordering are all sequence-dependent) and finalizes to an
+    :class:`AttributeProfile` **bit-identical** to profiling the same value
+    sequence from scratch.  Incremental consumers (the streaming schema
+    integrator, repeat batch integrations of a growing source) append only
+    the *new* values and re-finalize — the per-value Python work
+    (stringification, regexes, tokenization) is never repeated.
+
+    ``finalize(total_count=...)`` lets callers that pad missing values with
+    nulls (a column observed on a subset of records) account for the
+    padding without feeding the ``None``\\ s through one by one.
+    """
+
+    __slots__ = (
+        "_max_samples",
+        "_max_tokens",
+        "_null_count",
+        "_non_null_count",
+        "_type_counts",
+        "_distinct",
+        "_lengths",
+        "_numerics",
+        "_tokens",
+        "_version",
+        "_finalized_at",
+        "_finalized",
+    )
+
+    def __init__(self, max_samples: int = 25, max_tokens: int = 2000):
+        self._max_samples = max_samples
+        self._max_tokens = max_tokens
+        self._null_count = 0
+        self._non_null_count = 0
+        #: type label -> count, in first-seen order (infer_type's tie-break)
+        self._type_counts: Dict[str, int] = {}
+        self._distinct: Set[str] = set()
+        self._lengths: List[int] = []
+        self._numerics: List[float] = []
+        self._tokens: Set[str] = set()
+        self._version = 0
+        self._finalized_at: Optional[Tuple[int, int]] = None
+        self._finalized: Optional[AttributeProfile] = None
+
+    @property
+    def non_null_count(self) -> int:
+        """Non-null values consumed so far."""
+        return self._non_null_count
+
+    @property
+    def value_count(self) -> int:
+        """Total values consumed so far (including explicit nulls)."""
+        return self._non_null_count + self._null_count
+
+    def add_value(self, value: Any) -> None:
+        """Consume one value — exactly :func:`profile_values`' per-value work."""
+        self._version += 1
+        if value is None or value == "":
+            self._null_count += 1
+            return
+        self._non_null_count += 1
+        kind = _type_of(value)
+        self._type_counts[kind] = self._type_counts.get(kind, 0) + 1
+        text = str(value)
+        self._distinct.add(text)
+        self._lengths.append(len(text))
+        numeric = _to_float(value)
+        if numeric is not None:
+            self._numerics.append(numeric)
+        if len(self._tokens) < self._max_tokens:
+            for token in re.findall(r"[a-z0-9]+", text.lower()):
+                self._tokens.add(token)
+
+    def add(self, values: Iterable[Any]) -> "AttributeProfileBuilder":
+        """Consume many values in order; returns ``self`` for chaining."""
+        for value in values:
+            self.add_value(value)
+        return self
+
+    def _inferred_type(self) -> str:
+        if self._non_null_count == 0:
+            return "unknown"
+        best_type, best_count = max(
+            self._type_counts.items(), key=lambda kv: kv[1]
+        )
+        if best_count / self._non_null_count >= 0.6:
+            return best_type
+        return "string"
+
+    def finalize(self, total_count: Optional[int] = None) -> AttributeProfile:
+        """The profile of everything consumed so far.
+
+        ``total_count`` (>= values consumed) pads the null count up to a
+        column observed on ``total_count`` records.  The result is cached:
+        re-finalizing an unchanged builder returns the *same* object, which
+        downstream caches key on.
+        """
+        null_count = self._null_count
+        if total_count is not None:
+            if total_count < self._non_null_count + self._null_count:
+                raise SchemaError(
+                    "total_count is below the number of consumed values"
+                )
+            null_count = total_count - self._non_null_count
+        cache_key = (self._version, null_count)
+        if self._finalized_at == cache_key:
+            return self._finalized
+        if self._non_null_count == 0:
+            profile = AttributeProfile(null_count=null_count)
+        else:
+            profile = AttributeProfile(
+                inferred_type=self._inferred_type(),
+                non_null_count=self._non_null_count,
+                null_count=null_count,
+                distinct_count=len(self._distinct),
+                sample_values=tuple(sorted(self._distinct)[: self._max_samples]),
+                mean_length=float(np.mean(self._lengths)),
+                numeric_mean=(
+                    float(np.mean(self._numerics)) if self._numerics else None
+                ),
+                numeric_std=(
+                    float(np.std(self._numerics)) if self._numerics else None
+                ),
+                token_set=frozenset(self._tokens),
+            )
+        self._finalized_at = cache_key
+        self._finalized = profile
+        return profile
+
+
 def profile_values(
     values: Sequence[Any], max_samples: int = 25, max_tokens: int = 2000
 ) -> AttributeProfile:
-    """Build an :class:`AttributeProfile` from raw values."""
-    non_null = [v for v in values if v is not None and v != ""]
-    null_count = len(values) - len(non_null)
-    if not non_null:
-        return AttributeProfile(null_count=null_count)
-    distinct: Set[str] = set()
-    lengths: List[int] = []
-    numerics: List[float] = []
-    tokens: Set[str] = set()
-    for value in non_null:
-        text = str(value)
-        distinct.add(text)
-        lengths.append(len(text))
-        numeric = _to_float(value)
-        if numeric is not None:
-            numerics.append(numeric)
-        if len(tokens) < max_tokens:
-            for token in re.findall(r"[a-z0-9]+", text.lower()):
-                tokens.add(token)
-    samples = tuple(sorted(distinct)[:max_samples])
-    return AttributeProfile(
-        inferred_type=infer_type(non_null),
-        non_null_count=len(non_null),
-        null_count=null_count,
-        distinct_count=len(distinct),
-        sample_values=samples,
-        mean_length=float(np.mean(lengths)) if lengths else 0.0,
-        numeric_mean=float(np.mean(numerics)) if numerics else None,
-        numeric_std=float(np.std(numerics)) if numerics else None,
-        token_set=frozenset(tokens),
+    """Build an :class:`AttributeProfile` from raw values.
+
+    Implemented on :class:`AttributeProfileBuilder` so the one-shot and the
+    incremental paths share per-value semantics by construction.
+    """
+    builder = AttributeProfileBuilder(
+        max_samples=max_samples, max_tokens=max_tokens
     )
+    builder.add(values)
+    return builder.finalize()
 
 
 @dataclass
@@ -162,46 +274,55 @@ class Attribute:
         global attribute's statistics should reflect all contributing
         sources so later matches see the richer value distribution.
         """
-        mine = self.profile
-        total_non_null = mine.non_null_count + other.non_null_count
-        if total_non_null == 0:
-            self.profile = AttributeProfile(
-                null_count=mine.null_count + other.null_count
-            )
-            return
-        combined_samples = tuple(
-            sorted(set(mine.sample_values) | set(other.sample_values))[:25]
-        )
-        weight_mine = mine.non_null_count / total_non_null
-        weight_other = other.non_null_count / total_non_null
-        numeric_mean = _weighted_optional(
-            mine.numeric_mean, other.numeric_mean, weight_mine, weight_other
-        )
-        numeric_std = _weighted_optional(
-            mine.numeric_std, other.numeric_std, weight_mine, weight_other
-        )
-        self.profile = AttributeProfile(
-            inferred_type=(
-                mine.inferred_type
-                if mine.inferred_type not in ("unknown",)
-                else other.inferred_type
-            ),
-            non_null_count=total_non_null,
-            null_count=mine.null_count + other.null_count,
-            distinct_count=max(mine.distinct_count, other.distinct_count),
-            sample_values=combined_samples,
-            mean_length=(
-                weight_mine * mine.mean_length + weight_other * other.mean_length
-            ),
-            numeric_mean=numeric_mean,
-            numeric_std=numeric_std,
-            token_set=frozenset(mine.token_set | other.token_set),
-        )
+        self.profile = merged_profile(self.profile, other)
 
     def add_alias(self, alias: str) -> None:
         """Record a source attribute name that maps to this global attribute."""
         if alias and alias != self.name:
             self.aliases.add(alias)
+
+
+def merged_profile(
+    mine: AttributeProfile, other: AttributeProfile
+) -> AttributeProfile:
+    """The profile of two profiles' pooled observations.
+
+    A pure function of its operands — the streaming schema integrator
+    memoizes it so re-running an integration cascade reuses the very same
+    profile objects (and therefore every downstream matcher-score cache
+    entry) for unchanged merge chains.
+    """
+    total_non_null = mine.non_null_count + other.non_null_count
+    if total_non_null == 0:
+        return AttributeProfile(null_count=mine.null_count + other.null_count)
+    combined_samples = tuple(
+        sorted(set(mine.sample_values) | set(other.sample_values))[:25]
+    )
+    weight_mine = mine.non_null_count / total_non_null
+    weight_other = other.non_null_count / total_non_null
+    numeric_mean = _weighted_optional(
+        mine.numeric_mean, other.numeric_mean, weight_mine, weight_other
+    )
+    numeric_std = _weighted_optional(
+        mine.numeric_std, other.numeric_std, weight_mine, weight_other
+    )
+    return AttributeProfile(
+        inferred_type=(
+            mine.inferred_type
+            if mine.inferred_type not in ("unknown",)
+            else other.inferred_type
+        ),
+        non_null_count=total_non_null,
+        null_count=mine.null_count + other.null_count,
+        distinct_count=max(mine.distinct_count, other.distinct_count),
+        sample_values=combined_samples,
+        mean_length=(
+            weight_mine * mine.mean_length + weight_other * other.mean_length
+        ),
+        numeric_mean=numeric_mean,
+        numeric_std=numeric_std,
+        token_set=frozenset(mine.token_set | other.token_set),
+    )
 
 
 def _to_float(value: Any) -> Optional[float]:

@@ -11,17 +11,31 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from typing import Callable
+
 from ..errors import SchemaError, UnknownAttribute
-from .attribute import Attribute, AttributeProfile
+from .attribute import Attribute, AttributeProfile, merged_profile
+
+#: Signature of the pluggable profile merge: ``(mine, other) -> merged``.
+ProfileMerger = Callable[[AttributeProfile, AttributeProfile], AttributeProfile]
 
 
 class GlobalSchema:
     """The bottom-up, evolving integrated schema."""
 
-    def __init__(self, name: str = "global"):
+    def __init__(
+        self, name: str = "global", profile_merger: Optional[ProfileMerger] = None
+    ):
         self._name = name
         self._attributes: Dict[str, Attribute] = {}
         self._history: List[Tuple[str, str, str]] = []
+        #: How mapped source profiles fold into global ones.  The default is
+        #: the pure :func:`~repro.schema.attribute.merged_profile`; the
+        #: streaming integrator injects a memoized wrapper so re-running an
+        #: integration cascade reuses identical profile objects.
+        self._profile_merger: ProfileMerger = (
+            profile_merger if profile_merger is not None else merged_profile
+        )
 
     @property
     def name(self) -> str:
@@ -99,7 +113,7 @@ class GlobalSchema:
         attribute = self.attribute(global_name)
         attribute.add_alias(source_attribute)
         if profile is not None:
-            attribute.merge_profile(profile)
+            attribute.profile = self._profile_merger(attribute.profile, profile)
         self._history.append((source_id, "map", f"{source_attribute}->{global_name}"))
         return attribute
 

@@ -19,11 +19,11 @@ has no dependency on the expert-sourcing package.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import SchemaConfig
 from ..errors import SchemaError
-from .attribute import AttributeProfile, profile_values
+from .attribute import AttributeProfile, AttributeProfileBuilder
 from .global_schema import GlobalSchema
 from .mapping import AttributeMapping, MappingDecision, SourceMappingReport
 from .matchers import CompositeMatcher, MatcherScore, canonical_attribute_name
@@ -31,6 +31,71 @@ from .matchers import CompositeMatcher, MatcherScore, canonical_attribute_name
 #: Signature of the expert hook: given the source attribute name, the best
 #: candidate global attribute and its score, return True to confirm the match.
 ExpertOracle = Callable[[str, str, MatcherScore], bool]
+
+
+class SourceProfiler:
+    """Incremental per-attribute profiling of one source's record sequence.
+
+    Holds one :class:`~repro.schema.attribute.AttributeProfileBuilder` per
+    attribute (in first-seen order, like the column dict a from-scratch
+    profile pass builds) and consumes records append-only.  ``profiles()``
+    pads each column's nulls up to the record count, so the output is
+    bit-identical to profiling the full record list from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, AttributeProfileBuilder] = {}
+        self._record_count = 0
+
+    @property
+    def record_count(self) -> int:
+        """Records consumed so far."""
+        return self._record_count
+
+    def add_record(self, record: dict) -> None:
+        """Consume one record's attribute values."""
+        for key, value in record.items():
+            builder = self._builders.get(key)
+            if builder is None:
+                builder = AttributeProfileBuilder()
+                self._builders[key] = builder
+            builder.add_value(value)
+        self._record_count += 1
+
+    def extend(self, records: Iterable[dict]) -> "SourceProfiler":
+        """Consume many records in order; returns ``self`` for chaining."""
+        for record in records:
+            self.add_record(record)
+        return self
+
+    def profiles(self) -> Dict[str, AttributeProfile]:
+        """attribute → profile over everything consumed, first-seen order.
+
+        Unchanged columns re-finalize to the *same* cached profile object,
+        which downstream matcher-score caches key on.
+        """
+        return {
+            key: builder.finalize(total_count=self._record_count)
+            for key, builder in self._builders.items()
+        }
+
+
+class _CachedSourceProfile:
+    """One source's profiler plus the records it has consumed (for reuse)."""
+
+    __slots__ = ("records", "profiler")
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self.profiler = SourceProfiler()
+
+
+#: Total records the per-source profiler cache may pin across all sources.
+#: The cache holds references to caller records so repeat integrations of a
+#: *growing* source profile only the new suffix; beyond this bound the
+#: least-recently-integrated sources are evicted (they simply fall back to
+#: fresh profiling — correctness is unaffected, this is purely a cache).
+_PROFILE_CACHE_MAX_RECORDS = 100_000
 
 
 class SchemaIntegrator:
@@ -48,11 +113,27 @@ class SchemaIntegrator:
         self._matcher = CompositeMatcher(self._config.matcher_weights)
         self._expert = expert
         self._reports: List[SourceMappingReport] = []
+        self._profilers: Dict[str, _CachedSourceProfile] = {}
 
     @property
     def global_schema(self) -> GlobalSchema:
         """The global schema this integrator grows."""
         return self._schema
+
+    @property
+    def config(self) -> SchemaConfig:
+        """The validated schema-integration configuration."""
+        return self._config
+
+    @property
+    def matcher(self) -> CompositeMatcher:
+        """The composite matcher scoring source↔global attribute pairs."""
+        return self._matcher
+
+    @property
+    def expert(self) -> Optional[ExpertOracle]:
+        """The expert escalation hook (``None`` when not configured)."""
+        return self._expert
 
     @property
     def reports(self) -> List[SourceMappingReport]:
@@ -66,16 +147,57 @@ class SchemaIntegrator:
         records: Sequence[dict],
     ) -> Dict[str, AttributeProfile]:
         """Profile every attribute observed across a source's records."""
-        columns: Dict[str, List] = {}
-        for record in records:
-            for key, value in record.items():
-                columns.setdefault(key, []).append(value)
-        total = len(records)
-        profiles: Dict[str, AttributeProfile] = {}
-        for key, values in columns.items():
-            padded = values + [None] * (total - len(values))
-            profiles[key] = profile_values(padded)
-        return profiles
+        return SourceProfiler().extend(records).profiles()
+
+    def _profiles_for(
+        self, source_id: str, records: Sequence[dict]
+    ) -> Dict[str, AttributeProfile]:
+        """Profiles for one integration call, reusing cached statistics.
+
+        A repeat ``integrate_source`` call whose records *extend* the
+        previous call's (the growing-source pattern) profiles only the new
+        records: the cached per-attribute builders absorb the suffix and
+        re-finalize — identical to fresh profiling, without re-running the
+        per-value work.  Anything else (shrunk, reordered or edited
+        records) falls back to a fresh profiler.
+        """
+        records = list(records)
+        cached = self._profilers.pop(source_id, None)
+        if cached is None or not self._extends(cached.records, records):
+            cached = _CachedSourceProfile()
+            new_records = records
+        else:
+            new_records = records[len(cached.records) :]
+        # re-insert at the end: the profiler dict doubles as LRU order
+        self._profilers[source_id] = cached
+        cached.profiler.extend(new_records)
+        cached.records.extend(new_records)
+        self._evict_stale_profilers(keep=source_id)
+        return cached.profiler.profiles()
+
+    def _evict_stale_profilers(self, keep: str) -> None:
+        """Drop least-recently-integrated sources past the record bound."""
+        total = sum(
+            len(cached.records) for cached in self._profilers.values()
+        )
+        for source_id in list(self._profilers):
+            if total <= _PROFILE_CACHE_MAX_RECORDS:
+                break
+            if source_id == keep:
+                continue
+            total -= len(self._profilers.pop(source_id).records)
+
+    @staticmethod
+    def _extends(previous: List[dict], records: List[dict]) -> bool:
+        if len(records) < len(previous):
+            return False
+        # key ORDER matters alongside content: it is the first-seen column
+        # order profiling observes (dict == ignores it), so a reordered
+        # record must defeat the cache even when the dicts compare equal
+        return all(
+            new is old or (new == old and list(new) == list(old))
+            for old, new in zip(previous, records)
+        )
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -87,11 +209,18 @@ class SchemaIntegrator:
         Every attribute of the source becomes a global attribute.  Raises if
         the schema is already populated — use :meth:`integrate_source` then.
         """
+        return self.initialize_from_profiles(
+            source_id, self._profiles_for(source_id, records)
+        )
+
+    def initialize_from_profiles(
+        self, source_id: str, profiles: Dict[str, AttributeProfile]
+    ) -> SourceMappingReport:
+        """:meth:`initialize_from_source` over pre-computed profiles."""
         if len(self._schema) > 0:
             raise SchemaError(
                 "global schema is not empty; use integrate_source instead"
             )
-        profiles = self.profile_source(records)
         report = SourceMappingReport(source_id=source_id)
         for name, profile in profiles.items():
             global_name = self._add_global(source_id, name, profile)
@@ -118,9 +247,26 @@ class SchemaIntegrator:
         If the global schema is empty this falls back to
         :meth:`initialize_from_source` (bottom-up bootstrap).
         """
+        return self.integrate_profiles(
+            source_id,
+            self._profiles_for(source_id, records),
+            allow_new_attributes=allow_new_attributes,
+        )
+
+    def integrate_profiles(
+        self,
+        source_id: str,
+        profiles: Dict[str, AttributeProfile],
+        allow_new_attributes: bool = True,
+    ) -> SourceMappingReport:
+        """:meth:`integrate_source` over pre-computed attribute profiles.
+
+        This is the seam the incremental streaming integrator drives: it
+        maintains per-source profiles itself (re-profiling only changed
+        columns) and replays the cascade through exactly this code path.
+        """
         if len(self._schema) == 0:
-            return self.initialize_from_source(source_id, records)
-        profiles = self.profile_source(records)
+            return self.initialize_from_profiles(source_id, profiles)
         report = SourceMappingReport(source_id=source_id)
         for name, profile in profiles.items():
             mapping = self._map_attribute(
@@ -148,6 +294,17 @@ class SchemaIntegrator:
         return scored
 
     # -- internals ---------------------------------------------------------
+
+    def _consult_expert(
+        self, source_id: str, name: str, candidate: str, score: MatcherScore
+    ) -> bool:
+        """Ask the configured expert about one uncertain match.
+
+        ``source_id`` identifies which source is being integrated — the
+        streaming integrator overrides this to replay recorded escalation
+        answers deterministically when it re-runs a cascade.
+        """
+        return bool(self._expert(name, candidate, score))
 
     def _map_attribute(
         self,
@@ -184,7 +341,9 @@ class SchemaIntegrator:
 
         if best_score.composite >= self._config.new_attribute_threshold:
             if self._config.use_expert_escalation and self._expert is not None:
-                confirmed = bool(self._expert(name, best_name, best_score))
+                confirmed = self._consult_expert(
+                    source_id, name, best_name, best_score
+                )
                 if confirmed:
                     self._schema.record_mapping(best_name, name, source_id, profile)
                     return AttributeMapping(

@@ -11,6 +11,21 @@ Format on disk::
     <directory>/
       manifest.json            # namespace + per-collection index definitions
       <collection>.jsonl       # one document per line
+
+Changelog persistence
+---------------------
+
+The streaming engine can additionally mirror a collection's change-data-
+capture log to an append-only JSONL file
+(``StreamConfig.changelog_path``): :class:`ChangelogWriter` writes a
+bootstrap snapshot of the collection at stream start followed by one line
+per recorded :class:`~repro.stream.changelog.ChangeEvent`, flushing per
+event so a killed process loses at most the in-flight line.  After a
+crash, :func:`recover_collection` replays the file into an empty
+collection — insert/update/delete semantics (including the position moves
+of delete + re-insert) reproduce the live collection bit-identically, and
+re-bootstrapping a stream from it lands on the exact pre-crash curated
+entity and schema state.
 """
 
 from __future__ import annotations
@@ -75,6 +90,134 @@ def load_collection(
             collection.insert(document)
             loaded += 1
     return loaded
+
+
+class ChangelogWriter:
+    """Append-only JSONL mirror of a collection changelog.
+
+    One writer owns one file for the lifetime of one stream session: the
+    file is truncated on open (recovery from a previous session happens
+    *before* a new stream starts), ``write_snapshot`` records the
+    collection's bootstrap state as synthetic inserts (seq 0), and
+    ``append`` mirrors each live event.  Every line is flushed immediately:
+    an ``os._exit``/``SIGKILL`` loses at most the partially-written last
+    line, which :func:`read_changelog` tolerates.
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "w", encoding="utf-8")
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        """The JSONL file this writer appends to."""
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        """Whether the writer has been closed."""
+        return self._closed
+
+    def _write(self, seq: int, op: str, doc_id, document) -> None:
+        if self._closed:
+            return
+        # never sort_keys here: a document's *key order* is semantic state —
+        # it drives first-seen column order in schema integration — and
+        # recovery must reproduce it exactly.  json.dumps preserves dict
+        # insertion order, and the envelope's own order is fixed below.
+        line = json.dumps(
+            {"seq": seq, "op": op, "doc_id": doc_id, "document": document},
+            default=str,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def write_snapshot(self, documents) -> int:
+        """Record the collection's current documents as synthetic inserts."""
+        count = 0
+        for document in documents:
+            self._write(0, "insert", document.get("_id"), document)
+            count += 1
+        return count
+
+    def append(self, event) -> None:
+        """Mirror one live change event (the changelog sink hook)."""
+        self._write(event.seq, event.op, event.doc_id, event.document)
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+
+def read_changelog(path) -> List[dict]:
+    """Read a persisted changelog's entries in order.
+
+    A truncated final line (the event in flight when the process died) is
+    dropped; a malformed line anywhere else raises — that is corruption,
+    not a crash artifact.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such changelog: {path}")
+    entries: List[dict] = []
+    text = path.read_text(encoding="utf-8")
+    lines = text.split("\n")
+    # the writer terminates every complete entry with "\n", so a torn
+    # final write is exactly "the last split element when the file does
+    # not end in a newline" — a malformed line anywhere else (including a
+    # newline-terminated final line) is corruption and must raise
+    torn_lineno = len(lines) if not text.endswith("\n") else None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == torn_lineno:
+                break  # partial trailing write: the crash artifact
+            raise StorageError(
+                f"{path}:{lineno}: invalid changelog line: {exc}"
+            ) from exc
+        if not isinstance(entry, dict) or "op" not in entry:
+            raise StorageError(f"{path}:{lineno}: not a changelog entry")
+        entries.append(entry)
+    return entries
+
+
+def recover_collection(collection: Collection, path) -> int:
+    """Replay a persisted changelog into ``collection``; returns events applied.
+
+    Replays inserts, updates and deletes with the document store's own
+    position semantics (an insert of a known id — a delete + re-insert that
+    coalesced in a snapshot — moves the document to the end; an update
+    replaces in place), so the recovered collection is bit-identical to the
+    live one at the moment of the last flushed event.  Call on an empty (or
+    fresh) collection *before* starting a new stream over it.
+    """
+    applied = 0
+    for entry in read_changelog(path):
+        op = entry["op"]
+        doc_id = entry.get("doc_id")
+        document = entry.get("document")
+        if op == "delete":
+            if doc_id in collection:
+                collection.delete(doc_id)
+        elif op == "insert":
+            if doc_id in collection:
+                collection.delete(doc_id)
+            collection.insert(dict(document))
+        elif op == "update":
+            fields = {k: v for k, v in document.items() if k != "_id"}
+            collection.upsert(doc_id, fields)
+        else:
+            raise StorageError(f"unknown changelog op: {op!r}")
+        applied += 1
+    return applied
 
 
 def _index_manifest(collection: Collection) -> Dict[str, List[str]]:

@@ -47,12 +47,19 @@ class ChangeEvent:
 
 
 class Changelog:
-    """An append-only, in-memory log of collection change events."""
+    """An append-only, in-memory log of collection change events.
 
-    def __init__(self):
+    ``sink`` — when given — receives every recorded event *after* it is
+    appended; this is the hook changelog persistence uses to mirror the log
+    to durable storage (see
+    :class:`repro.storage.persistence.ChangelogWriter`).
+    """
+
+    def __init__(self, sink: Optional[Callable[[ChangeEvent], None]] = None):
         self._events: Deque[ChangeEvent] = deque()
         self._next_seq = 1
         self._pruned_through = 0
+        self._sink = sink
 
     def __len__(self) -> int:
         return len(self._events)
@@ -85,6 +92,8 @@ class Changelog:
         )
         self._next_seq += 1
         self._events.append(event)
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def read_since(

@@ -68,6 +68,8 @@ from ..entity.record import Record
 from ..errors import EntityResolutionError
 from ..exec.batch import BatchScorer
 from .changelog import ChangeEvent
+from .operators import DeltaOperator
+from .scheduler import DeltaBatch
 
 Pair = Tuple[str, str]
 
@@ -114,8 +116,17 @@ class RefreshStats:
         }
 
 
-class DeltaCurator:
-    """Maintain consolidated entities incrementally under change events."""
+class DeltaCurator(DeltaOperator):
+    """Maintain consolidated entities incrementally under change events.
+
+    Implements the :class:`~repro.stream.operators.DeltaOperator` contract
+    (the host feeds it coalesced batches through :meth:`apply`); the
+    historic :meth:`apply_events` entry point remains for direct drivers.
+    ``sync_executor`` keeps the default *decline*: the executor may own
+    warm pool workers holding this curator's interned records.
+    """
+
+    name = "entity"
 
     def __init__(
         self,
@@ -127,6 +138,7 @@ class DeltaCurator:
         executor=None,
         source_id: str = "curated",
     ):
+        super().__init__()
         self._model = model
         self._config = config or EntityConfig()
         self._config.validate()
@@ -244,6 +256,11 @@ class DeltaCurator:
             self._clusters.remove_edge(*pair)
 
     # -- delta application -------------------------------------------------
+
+    def _apply_events(self, batch: DeltaBatch) -> dict:
+        """Operator-protocol entry point: consume one coalesced batch."""
+        self.apply_events(batch.events)
+        return {"records": len(self._records)}
 
     def apply_events(self, events: Iterable[ChangeEvent]) -> None:
         """Apply coalesced change events (at most one per document id).

@@ -1,38 +1,53 @@
-"""The streaming curation facade.
+"""The streaming curation facade — an incremental-operator host.
 
-:class:`StreamingTamer` wires the whole incremental stack together for one
+:class:`StreamingTamer` wires the incremental stack together for one
 collection: a :class:`~repro.stream.changelog.Changelog` tails the
-collection's change hook, a
+collection's change hook (optionally mirrored to an append-only JSONL file
+for crash recovery), a
 :class:`~repro.stream.scheduler.MicroBatchScheduler` drains it into
-bounded delta batches, a
-:class:`~repro.stream.delta_curation.DeltaCurator` keeps the consolidated
-entities fresh, and a watermark-stamped
-:class:`~repro.query.engine.QueryEngine` is rebuilt only when curation has
-advanced past the engine's watermark.
+bounded delta batches, and an **ordered chain of
+:class:`~repro.stream.operators.DeltaOperator`\\ s** consumes every batch:
+
+* :class:`~repro.stream.delta_curation.DeltaCurator` keeps the
+  consolidated entities fresh (always present);
+* :class:`~repro.stream.delta_schema.DeltaIntegrator` keeps the streamed
+  global schema and per-source mappings fresh
+  (``StreamConfig.schema_integration``).
+
+Each operator carries its own watermark; the cached
+:class:`~repro.query.engine.QueryEngine` is stamped with the *entity*
+operator's watermark and rebuilt only when entity curation advanced past
+it — schema-only staleness never invalidates entity queries.
 
 Typical use, through the :class:`~repro.core.tamer.DataTamer` facade::
 
     tamer.train_dedup_model(pairs)
-    stream = tamer.start_stream()          # bootstraps from curated data
+    stream = tamer.start_stream()          # bootstraps every operator
     tamer.curated_collection.insert({...}) # writes flow into the changelog
     entities = tamer.refresh()             # incremental delta curation
+    schema = stream.global_schema()        # incremental schema integration
     engine = stream.query_engine()         # watermark-aware invalidation
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..config import EntityConfig, StreamConfig
+from ..config import EntityConfig, SchemaConfig, StreamConfig
 from ..entity.consolidation import ConsolidatedEntity, MergePolicy
 from ..entity.dedup import DedupModel
 from ..errors import TamerError
 from ..query.engine import QueryEngine
+from ..schema.global_schema import GlobalSchema
+from ..schema.integrator import ExpertOracle
+from ..storage.persistence import ChangelogWriter
 from .changelog import Changelog, tail_collection
 from .delta_curation import DeltaCurator
-from .scheduler import MicroBatchScheduler
+from .delta_schema import DeltaIntegrator
+from .operators import DeltaOperator, OperatorReport
+from .scheduler import DeltaBatch, MicroBatchScheduler
 
 
 @dataclass(frozen=True)
@@ -43,10 +58,13 @@ class DeltaApplyReport:
     raw_events: int
     watermark: int
     rebuilt: bool
+    #: Per-operator reports of the final applied batch (empty when no batch
+    #: was pending), in chain order.
+    operator_reports: Tuple[OperatorReport, ...] = field(default_factory=tuple)
 
 
 class StreamingTamer:
-    """Keep one collection's consolidated-entity view fresh incrementally."""
+    """Host an operator chain keeping one collection's curated views fresh."""
 
     def __init__(
         self,
@@ -60,12 +78,23 @@ class StreamingTamer:
         max_cluster_size: Optional[int] = 50,
         source_id: str = "curated",
         clock: Callable[[], float] = time.monotonic,
+        schema_config: Optional[SchemaConfig] = None,
+        schema_expert: Optional[ExpertOracle] = None,
     ):
         self._collection = collection
         self._executor = executor
         self._stream_config = stream_config or StreamConfig()
         self._stream_config.validate()
-        self._changelog, self._unsubscribe = tail_collection(collection)
+        self._writer: Optional[ChangelogWriter] = None
+        if self._stream_config.changelog_path is not None:
+            self._writer = ChangelogWriter(self._stream_config.changelog_path)
+            self._writer.write_snapshot(collection.scan())
+        changelog = Changelog(
+            sink=self._writer.append if self._writer is not None else None
+        )
+        self._changelog, self._unsubscribe = tail_collection(
+            collection, changelog
+        )
         try:
             self._scheduler = MicroBatchScheduler(
                 self._changelog,
@@ -82,12 +111,26 @@ class StreamingTamer:
                 executor=executor,
                 source_id=source_id,
             )
-            self._curator.bootstrap(collection.scan())
+            self._operators: List[DeltaOperator] = [self._curator]
+            self._integrator: Optional[DeltaIntegrator] = None
+            if self._stream_config.schema_integration:
+                self._integrator = DeltaIntegrator(
+                    config=schema_config,
+                    expert=schema_expert,
+                    executor=executor,
+                    source_id=source_id,
+                )
+                self._operators.append(self._integrator)
+            for operator in self._operators:
+                operator.bootstrap(collection.scan())
+                operator.mark_current(self._scheduler.watermark)
         except BaseException:
-            # never leak the change listener on a failed bootstrap
+            # never leak the change listener (or the writer) on a failed
+            # bootstrap
             self._unsubscribe()
+            if self._writer is not None:
+                self._writer.close()
             raise
-        self._applied_watermark = self._scheduler.watermark
         self._events_since_rebuild = 0
         self._rebuild_count = 0
         self._engine: Optional[QueryEngine] = None
@@ -106,14 +149,39 @@ class StreamingTamer:
         return self._scheduler
 
     @property
+    def operators(self) -> List[DeltaOperator]:
+        """The operator chain, in application order."""
+        return list(self._operators)
+
+    @property
     def curator(self) -> DeltaCurator:
-        """The incremental curation state machine."""
+        """The incremental entity-consolidation operator."""
         return self._curator
 
     @property
+    def integrator(self) -> Optional[DeltaIntegrator]:
+        """The incremental schema-integration operator (``None`` when
+        ``StreamConfig.schema_integration`` is off)."""
+        return self._integrator
+
+    @property
+    def changelog_writer(self) -> Optional[ChangelogWriter]:
+        """The crash-recovery changelog mirror (``None`` when disabled)."""
+        return self._writer
+
+    @property
     def watermark(self) -> int:
-        """Changelog watermark through which curation state is current."""
-        return self._applied_watermark
+        """Changelog watermark through which *every* operator is current."""
+        return min(
+            (operator.watermark for operator in self._operators),
+            default=self._scheduler.watermark,
+        )
+
+    def watermarks(self) -> Dict[str, int]:
+        """Per-operator watermarks, keyed by operator name."""
+        return {
+            operator.name: operator.watermark for operator in self._operators
+        }
 
     @property
     def pending_events(self) -> int:
@@ -133,9 +201,14 @@ class StreamingTamer:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Detach from the collection's change hook (idempotent)."""
+        """Detach from the collection's change hook and release operator
+        state held elsewhere (warm pool contexts); idempotent."""
         if not self._closed:
             self._unsubscribe()
+            for operator in self._operators:
+                operator.close()
+            if self._writer is not None:
+                self._writer.close()
             self._closed = True
 
     def __enter__(self) -> "StreamingTamer":
@@ -150,36 +223,58 @@ class StreamingTamer:
 
     # -- curation ----------------------------------------------------------
 
-    def apply_delta(self) -> DeltaApplyReport:
-        """Drain all pending micro-batches into the curated state.
+    def apply_batch(self, batch: DeltaBatch) -> List[OperatorReport]:
+        """Apply one coalesced batch to every operator, in chain order.
+
+        Counts the batch's raw events toward the rebuild threshold — every
+        driver (``apply_delta``, a pipeline operator stage) shares the same
+        accounting; call :meth:`maybe_rebuild` after a drain to let the
+        fallback fire.
+        """
+        self._ensure_open()
+        reports = [operator.apply(batch) for operator in self._operators]
+        self._events_since_rebuild += batch.raw_event_count
+        return reports
+
+    def _rebuild_all(self) -> None:
+        for operator in self._operators:
+            operator.rebuild(self._collection.scan())
+        self._events_since_rebuild = 0
+        self._rebuild_count += 1
+
+    def maybe_rebuild(self) -> bool:
+        """Fire the periodic full-rebuild fallback if it is due.
 
         When the applied-event count crosses
-        ``StreamConfig.rebuild_threshold``, the incremental state is
-        discarded and rebuilt from the collection (the periodic fallback —
-        the incremental path is exactly equivalent, so this is hygiene
-        against unbounded cache drift, not a correctness valve).
+        ``StreamConfig.rebuild_threshold``, every operator's incremental
+        state is discarded and rebuilt from the collection (the incremental
+        paths are exactly equivalent, so this is hygiene against unbounded
+        cache drift, not a correctness valve).
         """
+        threshold = self._stream_config.rebuild_threshold
+        if threshold and self._events_since_rebuild >= threshold:
+            self._rebuild_all()
+            return True
+        return False
+
+    def apply_delta(self) -> DeltaApplyReport:
+        """Drain all pending micro-batches through the operator chain,
+        then let the periodic rebuild fallback fire (:meth:`maybe_rebuild`)."""
         self._ensure_open()
         batches = 0
         raw_events = 0
+        reports: List[OperatorReport] = []
         for batch in self._scheduler.drain():
-            self._curator.apply_events(batch.events)
+            reports = self.apply_batch(batch)
             batches += 1
             raw_events += batch.raw_event_count
-            self._applied_watermark = batch.high_watermark
-        rebuilt = False
-        self._events_since_rebuild += raw_events
-        threshold = self._stream_config.rebuild_threshold
-        if threshold and self._events_since_rebuild >= threshold:
-            self._curator.rebuild(self._collection.scan())
-            self._events_since_rebuild = 0
-            self._rebuild_count += 1
-            rebuilt = True
+        rebuilt = self.maybe_rebuild()
         return DeltaApplyReport(
             batches=batches,
             raw_events=raw_events,
-            watermark=self._applied_watermark,
+            watermark=self.watermark,
             rebuilt=rebuilt,
+            operator_reports=tuple(reports),
         )
 
     def poll(self) -> Optional[DeltaApplyReport]:
@@ -196,19 +291,36 @@ class StreamingTamer:
         self.apply_delta()
         return self._curator.entities()
 
+    def global_schema(self) -> GlobalSchema:
+        """Apply pending deltas and return the streamed global schema.
+
+        Requires ``StreamConfig.schema_integration``.
+        """
+        integrator = self._require_integrator()
+        self.apply_delta()
+        return integrator.global_schema
+
+    def _require_integrator(self) -> DeltaIntegrator:
+        if self._integrator is None:
+            raise TamerError(
+                "schema integration is not enabled on this stream; set "
+                "StreamConfig.schema_integration"
+            )
+        return self._integrator
+
     def full_rebuild(self) -> List[ConsolidatedEntity]:
         """Force the full-rebuild fallback now and return its entities."""
         self._ensure_open()
         self.apply_delta()
-        self._curator.rebuild(self._collection.scan())
-        self._events_since_rebuild = 0
-        self._rebuild_count += 1
+        self._rebuild_all()
         return self._curator.entities()
 
     def batch_reference(self) -> List[ConsolidatedEntity]:
         """A from-scratch batch consolidation over the current records.
 
-        The equivalence oracle: always bit-identical to :meth:`refresh`.
+        The entity-operator equivalence oracle: always bit-identical to
+        :meth:`refresh`.  (The schema operator exposes its own oracle —
+        ``stream.integrator.batch_reference()``.)
         """
         self.apply_delta()
         return self._curator.batch_reference()
@@ -218,19 +330,19 @@ class StreamingTamer:
     def query_engine(self) -> QueryEngine:
         """A query engine over the current entities.
 
-        The engine is stamped with the applied watermark and cached;
-        further writes advance the changelog, and the next call refreshes
-        curation and swaps the new entity view in.  Holders of the engine
-        can check :meth:`QueryEngine.is_stale` against
-        :attr:`StreamingTamer.watermark` themselves.
+        The engine is stamped with the **entity operator's** watermark and
+        cached; further writes advance the changelog, and the next call
+        refreshes curation and swaps the new entity view in.  Holders of
+        the engine can check :meth:`QueryEngine.is_stale` against
+        :attr:`StreamingTamer.watermark` (or the per-operator
+        :meth:`watermarks`) themselves.
         """
         entities = self.refresh()
+        watermark = self._curator.watermark
         if self._engine is None:
             self._engine = QueryEngine(
-                entities, executor=self._executor, watermark=self._applied_watermark
+                entities, executor=self._executor, watermark=watermark
             )
-        elif self._engine.watermark != self._applied_watermark:
-            self._engine.replace_entities(
-                entities, watermark=self._applied_watermark
-            )
+        elif self._engine.watermark != watermark:
+            self._engine.replace_entities(entities, watermark=watermark)
         return self._engine

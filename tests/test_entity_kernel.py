@@ -536,3 +536,67 @@ class TestTokenVocabulary:
         vocab.intern("aardvark")
         grown = vocab.lex_ranks()
         assert (grown[second] < grown[first]) == (ranks[second] < ranks[first])
+
+
+class TestCheapFeatureStash:
+    """The filter's already-computed cheap columns are threaded through to
+    featurization for survivors — and the rows stay bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        train = DedupCorpusGenerator(seed=103).generate(n_entities=60)
+        return DedupModel(seed=0).fit(train.pairs)
+
+    def test_stash_assisted_rows_are_bit_identical(self, model):
+        corpus = DedupCorpusGenerator(seed=41).generate(
+            n_entities=15, variants_per_entity=3
+        )
+        records = corpus.records
+        by_id = {r.record_id: r for r in records}
+        pairs = _all_pairs(records)
+        candidate_filter = CandidateFilter.from_model(model)
+        assert candidate_filter is not None
+
+        kernel = ScoringKernel()
+        survivors, pruned, _ = candidate_filter.split(kernel, by_id, pairs)
+        assert survivors and pruned  # both paths exercised
+        assert kernel.cheap_stash_size == len(survivors)
+        assisted = kernel.features_for_pairs(by_id, survivors)
+        assert kernel.cheap_stash_size == 0  # consumed
+
+        fresh = ScoringKernel().features_for_pairs(by_id, survivors)
+        assert np.array_equal(assisted, fresh)
+        assert np.array_equal(assisted, _scalar_matrix(by_id, survivors))
+
+    def test_stash_invalidated_when_record_reinterned(self, model):
+        corpus = DedupCorpusGenerator(seed=42).generate(
+            n_entities=8, variants_per_entity=3
+        )
+        records = corpus.records
+        by_id = {r.record_id: r for r in records}
+        pairs = _all_pairs(records)
+        candidate_filter = CandidateFilter.from_model(model)
+        kernel = ScoringKernel()
+        survivors, _, _ = candidate_filter.split(kernel, by_id, pairs)
+        assert survivors
+        # change one record behind the filter's back: its stash entries
+        # must be ignored (identity validation), not served stale
+        victim = survivors[0][0]
+        by_id[victim] = Record.from_dict(
+            victim, "s", {"name": "entirely different content now"}
+        )
+        rows = kernel.features_for_pairs(by_id, survivors)
+        assert np.array_equal(rows, _scalar_matrix(by_id, survivors))
+
+    def test_mixed_stashed_and_fresh_rows_assemble_identically(self, model):
+        records = _random_records(73, n=30)
+        by_id = {r.record_id: r for r in records}
+        pairs = _all_pairs(records)
+        candidate_filter = CandidateFilter.from_model(model)
+        kernel = ScoringKernel()
+        survivors, pruned, _ = candidate_filter.split(kernel, by_id, pairs)
+        # featurize survivors AND pruned pairs together: survivors come from
+        # the stash, pruned rows take the fresh columnar path
+        mixed = sorted(pairs)
+        rows = kernel.features_for_pairs(by_id, mixed)
+        assert np.array_equal(rows, _scalar_matrix(by_id, mixed))

@@ -476,3 +476,106 @@ class TestStreamingWarmPool:
             assert run(executor) == serial
         finally:
             executor.close()
+
+
+def _read_context(key):
+    from repro.exec.pool import warm_context
+
+    return warm_context(key)
+
+
+class TestWarmContexts:
+    """The generic broadcast channel for non-record warm state."""
+
+    def test_context_ships_once_per_version(self):
+        with PersistentWorkerPool(workers=2) as pool:
+            assert pool.sync_context("table", 1, {"a": 1})
+            assert not pool.sync_context("table", 1, {"a": 1})  # same version
+            results, _ = pool.run_tasks(
+                [(_read_context, "table") for _ in range(2)]
+            )
+            assert results == [{"a": 1}, {"a": 1}]
+            assert pool.sync_context("table", 2, {"a": 2})
+            results, _ = pool.run_tasks([(_read_context, "table")])
+            assert results == [{"a": 2}]
+
+    def test_missing_context_raises_loudly(self):
+        with PersistentWorkerPool(workers=1) as pool:
+            with pytest.raises(TamerError):
+                pool.run_tasks([(_read_context, "never-shipped")])
+
+    def test_restarted_workers_receive_every_context(self):
+        with PersistentWorkerPool(workers=2) as pool:
+            pool.sync_context("alpha", 1, "A")
+            pool.sync_context("beta", 7, "B")
+            pool.shutdown()  # idle-style stop; contexts survive in the parent
+            results, _ = pool.run_tasks(
+                [(_read_context, "alpha"), (_read_context, "beta")]
+            )
+            assert results == ["A", "B"]
+
+    def test_crashed_worker_respawns_with_contexts(self):
+        with PersistentWorkerPool(workers=2) as pool:
+            pool.sync_context("table", 3, "warm")
+            pool.run_tasks([(_square, 2)])
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.1)
+            results, _ = pool.run_tasks(
+                [(_read_context, "table") for _ in range(4)]
+            )
+            assert results == ["warm"] * 4
+
+    def test_executor_passthrough_requires_warm_pool(self):
+        serial = ShardedExecutor(ExecConfig(parallelism=1))
+        assert not serial.sync_warm_context("k", 1, "v")
+        threaded = ShardedExecutor(ExecConfig(parallelism=2, backend="thread"))
+        assert not threaded.sync_warm_context("k", 1, "v")
+        pooled = ShardedExecutor(
+            ExecConfig(parallelism=2, backend="process", pool="persistent")
+        )
+        try:
+            assert pooled.sync_warm_context("k", 1, "v")
+        finally:
+            pooled.close()
+
+    def test_drop_context_evicts_everywhere(self):
+        with PersistentWorkerPool(workers=2) as pool:
+            pool.sync_context("doomed", 1, "X")
+            pool.sync_context("kept", 1, "Y")
+            assert pool.drop_context("doomed")
+            assert not pool.drop_context("doomed")  # already gone
+            with pytest.raises(TamerError):
+                pool.run_tasks([(_read_context, "doomed")])
+            results, _ = pool.run_tasks([(_read_context, "kept")])
+            assert results == ["Y"]
+            # respawned workers must not resurrect the dropped key
+            pool.shutdown()
+            with pytest.raises(TamerError):
+                pool.run_tasks([(_read_context, "doomed")])
+
+    def test_stream_close_drops_its_warm_context(self):
+        from repro import DataTamer, StreamConfig, TamerConfig
+
+        config = TamerConfig.small()
+        config.execution = ExecConfig(
+            parallelism=2, backend="process", pool="persistent"
+        )
+        config.stream = StreamConfig(schema_integration=True)
+        tamer = DataTamer(config.validate())
+        corpus = DedupCorpusGenerator(seed=13).generate(
+            n_entities=40, variants_per_entity=2
+        )
+        tamer.train_dedup_model(corpus.pairs)
+        for index, record in enumerate(corpus.records[:24]):
+            tamer.curated_collection.insert(
+                dict(record.as_dict(), _source=("a", "b", "c")[index % 3])
+            )
+        stream = tamer.start_stream()
+        key = stream.integrator._warm_context_key
+        stream.integrator.refresh()  # bootstrap fan-out ships the context
+        pool = tamer.executor.pool
+        shipped = pool is not None and key in pool._warm_contexts
+        tamer.stop_stream()
+        if shipped:
+            assert key not in pool._warm_contexts
+        tamer.close()

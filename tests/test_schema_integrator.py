@@ -190,3 +190,83 @@ class TestCanonicalCollisions:
         assert "patient_id" in integrator.global_schema
         assert len([n for n in integrator.global_schema.attribute_names()
                     if "patient" in n]) == 1
+
+
+class TestIncrementalProfileReuse:
+    """Repeat integrations of a growing source reuse the mergeable profile
+    statistics instead of re-profiling every attribute from scratch — and
+    the reused profiles are identical to fresh profiling."""
+
+    def _records(self, n, start=0):
+        return [
+            {
+                "show_name": f"show {i}",
+                "price": 10 + i,
+                "city": ("boston", "new york", "chicago")[i % 3],
+            }
+            for i in range(start, start + n)
+        ]
+
+    def test_growing_source_profiles_only_new_records(self):
+        integrator = SchemaIntegrator()
+        first = self._records(40)
+        integrator.integrate_source("grow", first)
+        profiler = integrator._profilers["grow"].profiler
+        assert profiler.record_count == 40
+        # the second call extends the first: only 10 new records consumed
+        integrator.integrate_source("grow", first + self._records(10, start=40))
+        assert integrator._profilers["grow"].profiler is profiler
+        assert profiler.record_count == 50
+
+    def test_cached_profiles_identical_to_fresh_profiling(self):
+        integrator = SchemaIntegrator()
+        first = self._records(25)
+        second = self._records(13, start=25)
+        integrator.integrate_source("grow", first)
+        cached = integrator._profiles_for("grow", first + second)
+        fresh = SchemaIntegrator.profile_source(first + second)
+        assert list(cached) == list(fresh)  # first-seen attribute order
+        assert cached == fresh  # bit-identical statistics
+
+    def test_reordered_records_fall_back_to_fresh_profiler(self):
+        integrator = SchemaIntegrator()
+        records = self._records(12)
+        integrator.integrate_source("grow", records)
+        old = integrator._profilers["grow"].profiler
+        reordered = list(reversed(records))
+        cached = integrator._profiles_for("grow", reordered)
+        assert integrator._profilers["grow"].profiler is not old
+        assert cached == SchemaIntegrator.profile_source(reordered)
+
+    def test_shrunk_source_falls_back_to_fresh_profiler(self):
+        integrator = SchemaIntegrator()
+        records = self._records(12)
+        integrator.integrate_source("grow", records)
+        cached = integrator._profiles_for("grow", records[:5])
+        assert cached == SchemaIntegrator.profile_source(records[:5])
+
+    def test_repeat_integration_reports_match_uncached_integrator(self):
+        """End to end: a growing source integrated twice through the cache
+        produces the same reports/schema as an integrator without reuse."""
+        first = self._records(30)
+        grown = first + self._records(12, start=30)
+
+        cached = SchemaIntegrator()
+        cached.integrate_source("grow", first)
+        cached_report = cached.integrate_source("grow", grown)
+
+        fresh = SchemaIntegrator()
+        fresh.integrate_source("grow", first)
+        fresh._profilers.clear()  # defeat the cache: full re-profiling
+        fresh_report = fresh.integrate_source("grow", grown)
+
+        assert [
+            (m.source_attribute, m.global_attribute, m.decision)
+            for m in cached_report.mappings
+        ] == [
+            (m.source_attribute, m.global_attribute, m.decision)
+            for m in fresh_report.mappings
+        ]
+        assert (
+            cached.global_schema.summary() == fresh.global_schema.summary()
+        )

@@ -613,3 +613,55 @@ def test_incremental_clusters_ignore_self_loops():
     assert clusters.edge_count == 0
     clusters.remove_node("x")  # must not raise
     assert len(clusters) == 0
+
+
+# -- operator host ----------------------------------------------------------
+
+
+def test_operator_stage_drains_the_chain():
+    """CurationPipeline.add_operator_stage pushes every micro-batch through
+    the stream's whole operator chain, in order, with per-batch timings."""
+    config = TamerConfig.small()
+    config.stream = StreamConfig(max_batch_size=2, schema_integration=True)
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=40, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    stream = tamer.start_stream()
+    for record in corpus.records[:5]:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="s"))
+
+    pipeline = CurationPipeline()
+    pipeline.add_operator_stage("drain", stream)
+    context = pipeline.run()
+    reports = context["drain"]
+    # 5 events in batches of 2 -> 3 batches x 2 operators
+    assert [r.operator for r in reports] == ["entity", "schema"] * 3
+    assert all(r.watermark > 0 for r in reports)
+    (result,) = pipeline.results
+    assert result.ok and len(result.shard_seconds) == 3
+    assert stream.pending_events == 0
+    assert stream.refresh() == stream.batch_reference()
+    tamer.close()
+
+
+def test_host_exposes_operator_chain_and_watermarks():
+    config = TamerConfig.small()
+    config.stream = StreamConfig(schema_integration=True)
+    tamer = DataTamer(config.validate())
+    corpus = DedupCorpusGenerator(seed=13).generate(
+        n_entities=40, variants_per_entity=2
+    )
+    tamer.train_dedup_model(corpus.pairs)
+    stream = tamer.start_stream()
+    assert [op.name for op in stream.operators] == ["entity", "schema"]
+    assert stream.curator is stream.operators[0]
+    assert stream.integrator is stream.operators[1]
+    assert stream.watermarks() == {"entity": 0, "schema": 0}
+    # schema access on a schema-less stream raises a clear error
+    plain = tamer.start_stream(schema_integration=False)
+    assert plain.integrator is None
+    with pytest.raises(TamerError):
+        plain.global_schema()
+    tamer.close()
