@@ -1,0 +1,315 @@
+"""Closed-loop latency benchmark for the concurrent query-serving tier.
+
+N client threads fire a mixed query workload (equality lookups, keyword
+search, show lookups, top-k rankings, fused records) at a
+:class:`~repro.serve.server.QueryServer` over real sockets while the main
+thread keeps inserting records and driving stream refreshes — the
+snapshot-publish/cache-invalidation path under live update pressure.
+
+Before any timing is reported, every response is replayed through the
+sequential oracle (:func:`~repro.serve.server.evaluate_request` over the
+recorded serve view it was stamped with) and asserted bit-identical — the
+latency numbers are never bought with a wrong or torn answer.
+
+Reported: p50/p95/p99/mean latency overall and split cached vs uncached,
+throughput, cache hit rate, and publish count.  Results land in
+``benchmarks/results/serve_latency.{txt,json}``; sizes honour
+``BENCH_SCALE`` (non-1.0 scales write ``_smoke`` files).
+
+Script mode (the CI serve-perf-smoke gate)::
+
+    BENCH_SCALE=0.25 PYTHONPATH=src python benchmarks/bench_serve.py \\
+        --require-cache-win --min-cache-speedup 1.0
+"""
+
+import argparse
+import json
+import threading
+import time
+
+from conftest import build_tamer, scaled, write_json, write_report
+
+from repro.serve import QueryClient, serve_in_background
+from repro.serve.protocol import QueryRequest
+from repro.serve.server import evaluate_request
+from repro.workloads import DedupCorpusGenerator, WebInstanceGenerator
+
+#: Concurrent closed-loop clients.
+CLIENTS = scaled(8, floor=2)
+#: Requests each client issues back-to-back.
+REQUESTS_PER_CLIENT = scaled(150, floor=24)
+#: Curated records present before serving starts.
+BASE_RECORDS = scaled(400, floor=40)
+#: Records inserted per update round while traffic is in flight.
+UPDATE_CHUNK = scaled(24, floor=4)
+#: Stream refreshes (snapshot publishes) driven during traffic.
+UPDATE_ROUNDS = 5
+#: Web-text fragments behind the top-k rankings.
+WEB_DOCUMENTS = scaled(300, floor=40)
+#: Distinct hot query keys (small on purpose: the cache should earn hits).
+HOT_NAMES = 8
+
+
+def _record_pool(n_needed):
+    n_entities = 100
+    while True:
+        corpus = DedupCorpusGenerator(seed=211).generate(
+            n_entities=n_entities, variants_per_entity=3
+        )
+        if len(corpus.records) >= n_needed:
+            return corpus
+        n_entities *= 2
+
+
+def _serving_stack():
+    """A streaming tamer with text ingested, plus the live update feed."""
+    corpus = _record_pool(BASE_RECORDS + UPDATE_ROUNDS * UPDATE_CHUNK)
+    tamer = build_tamer()
+    tamer.train_dedup_model(corpus.pairs)
+    documents = WebInstanceGenerator(seed=212).generate(WEB_DOCUMENTS)
+    tamer.ingest_text_documents(doc.as_pair() for doc in documents)
+    for record in corpus.records[:BASE_RECORDS]:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="seed"))
+    stream = tamer.start_stream(key_attribute="name")
+    stream.refresh()
+    updates = corpus.records[
+        BASE_RECORDS : BASE_RECORDS + UPDATE_ROUNDS * UPDATE_CHUNK
+    ]
+    names = []
+    for record in corpus.records:
+        name = record.as_dict()["name"]
+        if name not in names:
+            names.append(name)
+        if len(names) == HOT_NAMES:
+            break
+    return tamer, stream, updates, names
+
+
+def _workload(client_idx, names, n_requests):
+    """One client's deterministic rotation over the served operations."""
+    ops = []
+    for i in range(n_requests):
+        name = names[(i + client_idx) % len(names)]
+        ops.append(
+            [
+                ("search", {"phrase": name}),
+                ("find_equal", {"attribute": "name", "value": name}),
+                ("lookup_show", {"show_name": name}),
+                ("search", {"phrase": name, "attributes": ["name"]}),
+                ("fuse", {"show_name": name}),
+                ("top_k", {"k": 10}),
+            ][i % 6]
+        )
+    return ops
+
+
+def _canonical(payload):
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def _assert_oracle_equivalence(logs, views, name_attribute):
+    """Every live response must equal the sequential replay of its view."""
+    oracle = {}
+    checked = 0
+    for client_log in logs:
+        for op, params, response, _latency in client_log:
+            assert response["ok"], (op, params, response)
+            version = response["version"]
+            view = views[version]
+            assert response["watermark"] == view.watermark
+            key = (version, op, _canonical(params))
+            if key not in oracle:
+                oracle[key] = _canonical(
+                    evaluate_request(
+                        view, QueryRequest(op=op, params=params), name_attribute
+                    )
+                )
+            assert _canonical(response["result"]) == oracle[key], (op, params)
+            checked += 1
+    return checked
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    idx = min(len(values) - 1, round(q * (len(values) - 1)))
+    return values[idx]
+
+
+def _latency_stats(latencies_ms):
+    ordered = sorted(latencies_ms)
+    return {
+        "count": len(ordered),
+        "p50_ms": _percentile(ordered, 0.50),
+        "p95_ms": _percentile(ordered, 0.95),
+        "p99_ms": _percentile(ordered, 0.99),
+        "mean_ms": sum(ordered) / len(ordered) if ordered else 0.0,
+    }
+
+
+def _run_closed_loop(n_clients, requests_per_client):
+    tamer, stream, updates, names = _serving_stack()
+    server = tamer.create_server(key_attribute="name")
+    views = {server.view.version: server.view}
+
+    def record_view(_snapshot):
+        view = server.view
+        views[view.version] = view
+
+    unsubscribe = stream.subscribe_snapshots(record_view)
+    start_barrier = threading.Barrier(n_clients + 1)
+    logs = [[] for _ in range(n_clients)]
+    failures = []
+
+    def client_thread(idx):
+        try:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                start_barrier.wait()
+                for op, params in _workload(idx, names, requests_per_client):
+                    begin = time.perf_counter()
+                    response = client.request(op, dict(params))
+                    elapsed_ms = (time.perf_counter() - begin) * 1e3
+                    logs[idx].append((op, params, response, elapsed_ms))
+        except Exception as exc:
+            failures.append((idx, repr(exc)))
+
+    with serve_in_background(server) as handle:
+        threads = [
+            threading.Thread(target=client_thread, args=(i,))
+            for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        run_start = time.perf_counter()
+        for round_ in range(UPDATE_ROUNDS):
+            chunk = updates[round_ * UPDATE_CHUNK : (round_ + 1) * UPDATE_CHUNK]
+            for record in chunk:
+                tamer.curated_collection.insert(
+                    dict(record.as_dict(), _source=f"update{round_}")
+                )
+            stream.query_engine()  # publish: invalidates + re-primes caches
+            time.sleep(0.01)  # spread publishes across the run
+        for thread in threads:
+            thread.join()
+        elapsed_s = time.perf_counter() - run_start
+        cache_stats = server.cache.stats()
+        publishes = len(views)
+    unsubscribe()
+    assert failures == [], failures
+
+    checked = _assert_oracle_equivalence(logs, views, server._name_attribute)
+    flat = [entry for client_log in logs for entry in client_log]
+    assert checked == len(flat) == n_clients * requests_per_client
+
+    cached = [lat for _, _, resp, lat in flat if resp["cached"]]
+    uncached = [lat for op, _, resp, lat in flat if not resp["cached"]]
+    tamer.close()
+    return {
+        "clients": n_clients,
+        "requests": len(flat),
+        "elapsed_seconds": elapsed_s,
+        "throughput_rps": len(flat) / elapsed_s if elapsed_s > 0 else 0.0,
+        "publishes": publishes,
+        "cache_hit_rate": len(cached) / len(flat) if flat else 0.0,
+        "cache": cache_stats,
+        "latency": {
+            "overall": _latency_stats(cached + uncached),
+            "cached": _latency_stats(cached),
+            "uncached": _latency_stats(uncached),
+        },
+    }
+
+
+def _render(stats):
+    lines = [
+        "Serving tier — closed-loop latency under live updates "
+        f"({stats['clients']} clients x "
+        f"{stats['requests'] // stats['clients']} requests, "
+        f"{stats['publishes']} snapshot publishes)",
+        f"throughput: {stats['throughput_rps']:.0f} req/s, cache hit rate "
+        f"{100 * stats['cache_hit_rate']:.1f}%, every response "
+        "bit-identical to the sequential oracle",
+        f"{'path':>10}{'count':>8}{'p50_ms':>10}{'p95_ms':>10}"
+        f"{'p99_ms':>10}{'mean_ms':>10}",
+    ]
+    for path in ("overall", "cached", "uncached"):
+        row = stats["latency"][path]
+        lines.append(
+            f"{path:>10}{row['count']:>8}{row['p50_ms']:>10.3f}"
+            f"{row['p95_ms']:>10.3f}{row['p99_ms']:>10.3f}"
+            f"{row['mean_ms']:>10.3f}"
+        )
+    return lines
+
+
+def _write_results(stats):
+    write_report("serve_latency", _render(stats))
+    write_json("serve_latency", stats)
+
+
+def test_serve_closed_loop_latency(benchmark):
+    stats = benchmark.pedantic(
+        _run_closed_loop,
+        args=(CLIENTS, REQUESTS_PER_CLIENT),
+        rounds=1,
+        iterations=1,
+    )
+    _write_results(stats)
+    assert stats["requests"] == CLIENTS * REQUESTS_PER_CLIENT
+    assert stats["publishes"] > 1
+    # the hot-key workload must actually exercise the cache; the win gate
+    # itself belongs to script mode (the CI serve-perf-smoke job)
+    assert stats["latency"]["cached"]["count"] > 0
+    assert stats["latency"]["uncached"]["count"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--clients", type=int, default=CLIENTS, help="closed-loop clients"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=REQUESTS_PER_CLIENT,
+        help="requests per client",
+    )
+    parser.add_argument(
+        "--require-cache-win",
+        action="store_true",
+        help="fail (exit 1) if cached reads are not faster than uncached "
+        "ones — the CI serve-perf-smoke gate",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=1.0,
+        help="with --require-cache-win: required uncached-p50 / cached-p50 "
+        "factor (default 1.0: merely not slower)",
+    )
+    args = parser.parse_args(argv)
+
+    stats = _run_closed_loop(args.clients, args.requests)
+    lines = _render(stats)
+    cached_p50 = stats["latency"]["cached"]["p50_ms"]
+    uncached_p50 = stats["latency"]["uncached"]["p50_ms"]
+    speedup = uncached_p50 / cached_p50 if cached_p50 > 0 else float("inf")
+    lines.append(f"cached-read speedup at p50: {speedup:.2f}x")
+    stats["cache_speedup_p50"] = speedup
+    write_report("serve_latency", lines)
+    write_json("serve_latency", stats)
+    if args.require_cache_win and speedup < args.min_cache_speedup:
+        print(
+            f"FAIL: cached p50 {cached_p50:.3f}ms is not "
+            f"{args.min_cache_speedup:.2f}x faster than uncached p50 "
+            f"{uncached_p50:.3f}ms"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

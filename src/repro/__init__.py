@@ -18,6 +18,7 @@ from .config import (
     ExecConfig,
     ExpertConfig,
     SchemaConfig,
+    ServeConfig,
     StorageConfig,
     StreamConfig,
     TamerConfig,
@@ -39,6 +40,7 @@ __all__ = [
     "EntityConfig",
     "ExecConfig",
     "ExpertConfig",
+    "ServeConfig",
     "StreamConfig",
     "BatchScorer",
     "ShardedExecutor",

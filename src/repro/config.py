@@ -199,6 +199,44 @@ class StreamConfig:
 
 
 @dataclass
+class ServeConfig:
+    """Settings for the concurrent query-serving tier.
+
+    ``host``/``port`` are the listen address (port 0 binds an ephemeral
+    port, reported by :attr:`repro.serve.server.QueryServer.port` once
+    started).  ``request_workers`` sizes the thread pool query evaluation
+    is handed off to, keeping the asyncio event loop free for I/O.
+    ``cache_size`` bounds the watermark-keyed result cache (0 disables
+    caching entirely); ``refresh_limit`` is how many of the hottest cached
+    queries are re-evaluated in the background when a new snapshot is
+    published (0 disables background refresh — stale entries then refresh
+    lazily on their next miss).  ``max_request_bytes`` bounds one request
+    line on the wire.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    request_workers: int = 4
+    cache_size: int = 1024
+    refresh_limit: int = 32
+    max_request_bytes: int = 1 << 20
+
+    def validate(self) -> None:
+        if not self.host:
+            raise ConfigError("host must be a non-empty address")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError("port must be in [0, 65535]")
+        if self.request_workers < 1:
+            raise ConfigError("request_workers must be >= 1")
+        if self.cache_size < 0:
+            raise ConfigError("cache_size must be >= 0")
+        if self.refresh_limit < 0:
+            raise ConfigError("refresh_limit must be >= 0")
+        if self.max_request_bytes < 1024:
+            raise ConfigError("max_request_bytes must be >= 1024")
+
+
+@dataclass
 class ExpertConfig:
     """Settings for the expert-sourcing subsystem."""
 
@@ -225,6 +263,7 @@ class TamerConfig:
     expert: ExpertConfig = field(default_factory=ExpertConfig)
     execution: ExecConfig = field(default_factory=ExecConfig)
     stream: StreamConfig = field(default_factory=StreamConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
     seed: Optional[int] = 0
 
     def validate(self) -> "TamerConfig":
@@ -235,6 +274,7 @@ class TamerConfig:
         self.expert.validate()
         self.execution.validate()
         self.stream.validate()
+        self.serve.validate()
         return self
 
     def with_seed(self, seed: int) -> "TamerConfig":

@@ -532,6 +532,53 @@ class DataTamer:
         )
         return QueryEngine(entities, executor=self._executor)
 
+    def create_server(
+        self,
+        key_attribute: str = "show_name",
+        merge_policy: MergePolicy = MergePolicy.MAJORITY,
+        serve_config=None,
+    ):
+        """Build a :class:`~repro.serve.server.QueryServer` over this system.
+
+        With an active stream, the server shares the stream's cached query
+        engine: every ``stream.query_engine()`` (or the driver's
+        ``tamer.refresh()`` + ``query_engine()``) publish atomically swaps
+        the snapshot concurrent requests read, and the server's result
+        cache invalidates and re-primes in the background.  Without a
+        stream, the curated collection is batch-consolidated once and
+        served as a static view.
+
+        The server is returned unstarted — run it with
+        :func:`repro.serve.server.serve_in_background` (or ``await
+        server.start()`` inside an event loop).  Request evaluation hands
+        off to this tamer's executor-managed worker threads, so closing
+        the tamer also releases the serving workers.
+        """
+        from ..serve.server import QueryServer
+
+        name_attribute = self.resolve_attribute(key_attribute)
+        stream = self._stream if self._stream and not self._stream.closed else None
+        if stream is not None:
+            engine = stream.query_engine()
+        else:
+            entities = self.consolidate_curated(
+                key_attribute=key_attribute, merge_policy=merge_policy
+            )
+            engine = QueryEngine(entities)
+        prefer = [
+            entry.source_id for entry in self.catalog.entries(kind="structured")
+        ]
+        return QueryServer(
+            engine,
+            config=serve_config or self.config.serve,
+            stream=stream,
+            curated_documents=self.curated_collection.scan,
+            instance_documents=self.instance_collection.scan,
+            name_attribute=name_attribute,
+            prefer_sources=prefer,
+            executor=self._executor,
+        )
+
     def top_discussed_shows(self, k: int = 10) -> List[MentionCount]:
         """The Table IV query: most discussed shows in the text collection."""
         return top_k_discussed(self.instance_collection, k=k, entity_types=("Movie",))

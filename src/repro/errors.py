@@ -124,6 +124,14 @@ class QueryError(TamerError):
     """Raised by the query / fusion engine."""
 
 
+class ServeError(TamerError):
+    """Raised by the concurrent query-serving tier."""
+
+
+class ProtocolError(ServeError):
+    """Raised when a serve-tier request violates the JSON wire protocol."""
+
+
 class UnknownSource(TamerError):
     """Raised when an operation references a source id not in the catalog."""
 

@@ -114,6 +114,7 @@ class ShardedExecutor:
         self._config.validate()
         self._last_timings: List[ShardTiming] = []
         self._pool: Optional[PersistentWorkerPool] = None
+        self._request_pool: Optional[ThreadPoolExecutor] = None
 
     @property
     def config(self) -> ExecConfig:
@@ -215,11 +216,35 @@ class ShardedExecutor:
             return False
         return self._pool.drop_context(key)
 
+    def request_pool(self, max_workers: Optional[int] = None) -> ThreadPoolExecutor:
+        """The long-lived thread pool request serving hands evaluation to.
+
+        The serving tier runs query evaluation here rather than on the
+        asyncio event loop, so slow scans never stall protocol I/O for
+        other clients.  Threads (not processes) are deliberate: server
+        workers read the immutable published snapshot in place — shipping
+        it to another process would copy the very state the atomic pointer
+        swap exists to share.  Created lazily on first call
+        (``max_workers`` defaults to :attr:`parallelism`; later calls
+        reuse the existing pool regardless), shut down by :meth:`close`.
+        """
+        if self._request_pool is None:
+            workers = max_workers if max_workers is not None else self.parallelism
+            if workers < 1:
+                raise TamerError("request_pool max_workers must be >= 1")
+            self._request_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="serve-request"
+            )
+        return self._request_pool
+
     def close(self) -> None:
-        """Shut down the persistent pool, if any (idempotent)."""
+        """Shut down the pools, if any (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._request_pool is not None:
+            self._request_pool.shutdown(wait=True)
+            self._request_pool = None
 
     @property
     def last_shard_timings(self) -> List[ShardTiming]:

@@ -15,9 +15,11 @@ the text-only result had nothing but the fragment (Table V).
 
 from .engine import QueryEngine, QueryResult
 from .fusion import FusionResult, fuse_entity_views
+from .snapshot import EntitySnapshot
 from .topk import MentionCounter, top_k_discussed
 
 __all__ = [
+    "EntitySnapshot",
     "QueryEngine",
     "QueryResult",
     "FusionResult",

@@ -5,6 +5,14 @@ of composite entity records expressed in the global schema.  The query engine
 answers the demo-style questions over them: equality lookups, predicate
 filters, keyword search over text attributes, and the "lookup by show name"
 query used for Tables V and VI.
+
+The engine is safe to read concurrently with streaming invalidation: its
+entity state lives in one immutable :class:`~repro.query.snapshot
+.EntitySnapshot`, every query captures the current snapshot exactly once at
+entry, and :meth:`QueryEngine.replace_entities` publishes a new view with a
+single pointer swap.  A search that is mid-scan when a swap lands finishes
+against the snapshot it started with — never a torn mix of old and new
+entities, never an entity list paired with the wrong watermark.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from ..errors import QueryError
 from ..exec.executor import ShardedExecutor
 from ..text.normalize import TextNormalizer
 from ..text.tokenizer import tokenize
+from .snapshot import EntitySnapshot
 
 _normalizer = TextNormalizer()
 
@@ -83,24 +92,52 @@ class QueryEngine:
         entities: Iterable[ConsolidatedEntity],
         executor: Optional[ShardedExecutor] = None,
         watermark: Optional[int] = None,
+        schema_watermark: Optional[int] = None,
     ):
-        self._entities: List[ConsolidatedEntity] = list(entities)
+        self._snapshot = EntitySnapshot(
+            entities=tuple(entities),
+            watermark=watermark,
+            schema_watermark=schema_watermark,
+        )
         self._executor = executor
-        self._watermark = watermark
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: EntitySnapshot,
+        executor: Optional[ShardedExecutor] = None,
+    ) -> "QueryEngine":
+        """An engine reading a specific published snapshot (shared, not
+        copied) — how server workers evaluate against a pinned view."""
+        engine = cls.__new__(cls)
+        engine._snapshot = snapshot
+        engine._executor = executor
+        return engine
 
     def __len__(self) -> int:
-        return len(self._entities)
+        return len(self._snapshot.entities)
+
+    @property
+    def snapshot(self) -> EntitySnapshot:
+        """The current published entity snapshot (immutable)."""
+        return self._snapshot
 
     @property
     def entities(self) -> List[ConsolidatedEntity]:
         """All entities known to the engine."""
-        return list(self._entities)
+        return list(self._snapshot.entities)
 
     @property
     def watermark(self) -> Optional[int]:
         """Changelog watermark the entity view was built at (``None`` when
         the engine is not derived from a streaming curation run)."""
-        return self._watermark
+        return self._snapshot.watermark
+
+    @property
+    def schema_watermark(self) -> Optional[int]:
+        """Schema-operator watermark published with the entity view
+        (``None`` when schema integration is off)."""
+        return self._snapshot.schema_watermark
 
     def is_stale(self, watermark: Optional[int]) -> bool:
         """Whether the entity view lags the given changelog watermark.
@@ -108,27 +145,49 @@ class QueryEngine:
         An engine without a watermark never reports stale (its entities
         were supplied directly, not derived from a stream).
         """
-        if self._watermark is None or watermark is None:
+        own = self._snapshot.watermark
+        if own is None or watermark is None:
             return False
-        return self._watermark < watermark
+        return own < watermark
 
     def replace_entities(
         self,
         entities: Iterable[ConsolidatedEntity],
         watermark: Optional[int] = None,
-    ) -> None:
-        """Swap in a freshly curated entity view (streaming invalidation)."""
-        self._entities = list(entities)
-        self._watermark = watermark
+        schema_watermark: Optional[int] = None,
+    ) -> EntitySnapshot:
+        """Swap in a freshly curated entity view (streaming invalidation).
+
+        The new view and its watermark pair are built into one immutable
+        snapshot first, then published with a single pointer assignment —
+        concurrent readers see either the complete old view or the
+        complete new one, never entities from one paired with the
+        watermark of the other.
+        """
+        snapshot = self._snapshot.advance(
+            tuple(entities), watermark, schema_watermark
+        )
+        self._snapshot = snapshot
+        return snapshot
 
     def add_entities(self, entities: Iterable[ConsolidatedEntity]) -> None:
-        """Register more entities (e.g. after integrating another source)."""
-        self._entities.extend(entities)
+        """Register more entities (e.g. after integrating another source).
+
+        A hand-extended view no longer corresponds to any changelog
+        position, so the watermark is cleared — ``is_stale`` must not keep
+        vouching for a view the stream did not produce.
+        """
+        snapshot = self._snapshot
+        self._snapshot = snapshot.advance(
+            snapshot.entities + tuple(entities),
+            watermark=None,
+            schema_watermark=snapshot.schema_watermark,
+        )
 
     def all_attributes(self) -> List[str]:
         """Union of attribute names across all entities, sorted."""
         names = set()
-        for entity in self._entities:
+        for entity in self._snapshot.entities:
             names.update(entity.attributes)
         return sorted(names)
 
@@ -139,7 +198,7 @@ class QueryEngine:
         target = _normalizer.normalize(str(value))
         matches = [
             entity
-            for entity in self._entities
+            for entity in self._snapshot.entities
             if _normalizer.normalize(str(entity.attributes.get(attribute, "")))
             == target
             and entity.attributes.get(attribute) not in (None, "")
@@ -151,7 +210,9 @@ class QueryEngine:
     ) -> QueryResult:
         """Entities whose attribute dictionary satisfies ``predicate``."""
         return QueryResult(
-            entities=[e for e in self._entities if predicate(e.attributes)]
+            entities=[
+                e for e in self._snapshot.entities if predicate(e.attributes)
+            ]
         )
 
     def search(
@@ -166,9 +227,12 @@ class QueryEngine:
         wanted = frozenset(tokenize(phrase))
         if not wanted:
             raise QueryError("search phrase has no tokens")
+        # one snapshot capture for the whole scan: the fan-out below indexes
+        # back into the same tuple it partitioned, even if a swap lands
+        entities = self._snapshot.entities
         attribute_list = list(attributes) if attributes is not None else None
         if self._executor is not None and self._executor.fans_out:
-            indexed = list(enumerate(self._entities))
+            indexed = list(enumerate(entities))
             partitions = self._executor.partition(
                 indexed, key=lambda item: item[1].entity_id
             )
@@ -177,11 +241,11 @@ class QueryEngine:
             hit_indices = sorted(
                 index for hits in shard_hits for index in hits
             )
-            matches = [self._entities[index] for index in hit_indices]
+            matches = [entities[index] for index in hit_indices]
         else:
             matches = [
                 entity
-                for entity in self._entities
+                for entity in entities
                 if _entity_matches_search(entity, wanted, attribute_list)
             ]
         return QueryResult(entities=matches)
@@ -193,5 +257,9 @@ class QueryEngine:
         result = self.find_equal(name_attribute, show_name)
         if len(result) > 0:
             return result
+        # a name that tokenizes to nothing (punctuation-only titles) cannot
+        # keyword-match anything — that is an empty result, not a bad query
+        if not tokenize(show_name):
+            return QueryResult()
         # fall back to keyword search over the name attribute only
         return self.search(show_name, attributes=[name_attribute])

@@ -67,9 +67,10 @@ def fuse_entity_views(
 
     result = FusionResult(entity_key=entity_key)
     chosen_rank: Dict[str, int] = {}
+    seen_order: List[str] = []
     for source_id, values in views:
-        if source_id not in result.contributing_sources:
-            result.contributing_sources.append(source_id)
+        if source_id not in seen_order:
+            seen_order.append(source_id)
         for attribute, value in values.items():
             if value in (None, ""):
                 continue
@@ -79,4 +80,11 @@ def fuse_entity_views(
                 result.attributes[attribute] = value
                 result.provenance[attribute] = source_id
                 chosen_rank[attribute] = new_rank
+    # a source "contributes" only if at least one of its values survived
+    # into the fused record — sources whose every value was empty/None (or
+    # lost every conflict) would otherwise be listed as provenance
+    surviving = set(result.provenance.values())
+    result.contributing_sources = [
+        source_id for source_id in seen_order if source_id in surviving
+    ]
     return result

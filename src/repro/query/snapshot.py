@@ -1,0 +1,65 @@
+"""Immutable point-in-time views of the curated entity state.
+
+Concurrent serving needs readers that never observe a half-swapped entity
+list or an entity list paired with the wrong watermark.  The mechanism is a
+single :class:`EntitySnapshot` object: the entity tuple and the watermark
+pair it was curated at travel together in one frozen value, and the
+:class:`~repro.query.engine.QueryEngine` holds exactly one reference to the
+current snapshot.  Publishing a new view is one pointer assignment — atomic
+under the interpreter — so an in-flight query that captured the old
+snapshot keeps a coherent (entities, watermark) pair while later queries
+see the new one.  No locks, and writers never wait for readers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..entity.consolidation import ConsolidatedEntity
+
+
+@dataclass(frozen=True)
+class EntitySnapshot:
+    """One immutable published view of the consolidated entities.
+
+    ``watermark`` is the changelog position the *entity* operator had
+    applied when the view was curated (``None`` for views not derived from
+    a stream — entities handed to the engine directly).
+    ``schema_watermark`` is the schema operator's position at publish time
+    (``None`` when schema integration is off).  ``version`` increments on
+    every publish, so two snapshots are distinguishable even when both
+    carry ``watermark=None``.
+    """
+
+    entities: Tuple[ConsolidatedEntity, ...]
+    watermark: Optional[int] = None
+    schema_watermark: Optional[int] = None
+    version: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    @property
+    def cache_token(self) -> Tuple[int, Optional[int]]:
+        """The identity a result cache should key this snapshot under.
+
+        ``(version, watermark)`` — the version alone suffices for
+        uniqueness; the watermark rides along so cached responses can be
+        audited against the stream position they were computed at.
+        """
+        return (self.version, self.watermark)
+
+    def advance(
+        self,
+        entities: Tuple[ConsolidatedEntity, ...],
+        watermark: Optional[int],
+        schema_watermark: Optional[int],
+    ) -> "EntitySnapshot":
+        """The successor snapshot: new content, incremented version."""
+        return EntitySnapshot(
+            entities=entities,
+            watermark=watermark,
+            schema_watermark=schema_watermark,
+            version=self.version + 1,
+        )

@@ -1,0 +1,56 @@
+"""The concurrent query-serving tier.
+
+The paper's demo is interactive — Tables IV-VI are queries — and this
+package is what lets many clients ask them at once while the streaming
+operator chain keeps curating underneath:
+
+* :class:`~repro.serve.server.QueryServer` — a long-lived asyncio server
+  speaking newline-delimited JSON, evaluating every request against one
+  immutable :class:`~repro.serve.views.ServeView` captured per request
+  (snapshot-isolated reads that never block the writer);
+* :class:`~repro.serve.cache.ResultCache` — results keyed by (normalized
+  request, snapshot token), with background refresh of the hottest entries
+  after each publish;
+* :class:`~repro.serve.client.QueryClient` — a small synchronous client
+  for tests, benchmarks, and driver scripts;
+* :mod:`repro.serve.protocol` — the wire format and request
+  canonicalisation.
+
+Start one through the facade::
+
+    tamer.start_stream()
+    server, handle = tamer.create_server(), None
+    from repro.serve import serve_in_background
+    with serve_in_background(server) as handle:
+        with QueryClient("127.0.0.1", handle.port) as client:
+            client.lookup_show("Matilda")
+"""
+
+from .cache import ResultCache
+from .client import QueryClient
+from .protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    parse_request,
+    request_cache_key,
+)
+from .server import QueryServer, ServerHandle, evaluate_request, serve_in_background
+from .session import ClientSession, SessionRegistry
+from .views import FusionIndex, ServeView
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClientSession",
+    "FusionIndex",
+    "QueryClient",
+    "QueryRequest",
+    "QueryServer",
+    "ResultCache",
+    "ServeView",
+    "ServerHandle",
+    "SessionRegistry",
+    "evaluate_request",
+    "parse_request",
+    "request_cache_key",
+    "serve_in_background",
+]

@@ -1,0 +1,160 @@
+"""The watermark-keyed result cache of the serving tier.
+
+Responses are deterministic functions of ``(normalized request, published
+snapshot)``, so the cache keys each entry by the request's canonical string
+(:func:`~repro.serve.protocol.request_cache_key`) and remembers the
+snapshot token the stored payload was computed at.  A lookup only hits when
+the stored token matches the current one — an entry computed against an
+older snapshot is *stale* and is never served.
+
+Staleness is resolved two ways: lazily (the next request under the new
+token misses, recomputes, and overwrites the entry) and eagerly —
+:meth:`ResultCache.invalidate` hands the server the hottest stale entries
+so it can re-evaluate them in the background right after a publish, turning
+the first post-update request for a popular query back into a hit.
+
+Thread-safe: lookups come from server worker threads while background
+refreshes and invalidation run elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import QueryRequest
+
+
+@dataclass
+class CacheEntry:
+    """One cached response and the snapshot token it was computed at."""
+
+    key: str
+    token: Tuple
+    request: QueryRequest
+    result: Dict[str, Any]
+    watermark: Optional[int]
+    schema_watermark: Optional[int]
+
+
+class ResultCache:
+    """LRU cache of evaluated responses, keyed by (request, snapshot)."""
+
+    def __init__(self, max_entries: int = 1024):
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stale_misses = 0
+        self._refreshes = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all (``max_entries`` > 0)."""
+        return self._max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Optional[str], token: Tuple) -> Optional[CacheEntry]:
+        """The fresh entry for ``key`` at ``token``, or ``None``.
+
+        A stale entry (stored under an older token) counts as a miss and
+        stays put — the caller's recompute will overwrite it, or a
+        background refresh will.
+        """
+        if key is None or not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.token != token:
+                self._misses += 1
+                self._stale_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(
+        self,
+        key: Optional[str],
+        token: Tuple,
+        request: QueryRequest,
+        result: Dict[str, Any],
+        watermark: Optional[int],
+        schema_watermark: Optional[int],
+        *,
+        refresh: bool = False,
+    ) -> None:
+        """Store (or overwrite) the entry for ``key`` at ``token``.
+
+        A background ``refresh`` never *displaces* colder entries: it only
+        overwrites the stale entry it was scheduled for, so a burst of
+        refreshes cannot evict queries that were hotter than the refreshed
+        ones.  If the entry was evicted in the meantime, the refresh result
+        is dropped.
+        """
+        if key is None or not self.enabled:
+            return
+        with self._lock:
+            existing = self._entries.get(key)
+            if refresh and existing is None:
+                return
+            if refresh and existing is not None and existing.token[0] > token[0]:
+                # a slow refresh must not clobber a fresher entry (snapshot
+                # versions are ordered; tokens are (version, watermark))
+                return
+            entry = CacheEntry(
+                key=key,
+                token=token,
+                request=request,
+                result=result,
+                watermark=watermark,
+                schema_watermark=schema_watermark,
+            )
+            # assignment to an existing key keeps its LRU position — a
+            # background refresh is not a client touch
+            self._entries[key] = entry
+            if refresh:
+                self._refreshes += 1
+                return
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, token: Tuple, limit: int) -> List[CacheEntry]:
+        """A new snapshot was published: return entries to refresh eagerly.
+
+        Returns up to ``limit`` of the most-recently-used entries whose
+        stored token no longer matches ``token`` (hottest first).  Entries
+        are left in place — they keep serving nothing (stale lookups miss)
+        until a refresh or a client recompute overwrites them.
+        """
+        if not self.enabled or limit <= 0:
+            return []
+        with self._lock:
+            stale = [
+                entry
+                for entry in reversed(self._entries.values())
+                if entry.token != token
+            ]
+            return stale[:limit]
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``status`` operation and the benchmark."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "stale_misses": self._stale_misses,
+                "refreshes": self._refreshes,
+            }

@@ -1,0 +1,137 @@
+"""A small synchronous client for the query-serving protocol.
+
+Blocking sockets on purpose: client threads in the tests and the
+closed-loop benchmark model independent callers, and a benchmark client
+must not share an event loop with the server it is measuring.  One
+:class:`QueryClient` is one connection (one server-side session); it is not
+thread-safe — give each client thread its own instance.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ServeError
+
+
+class QueryClient:
+    """One connection speaking newline-delimited JSON to a query server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._address = (host, port)
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    def connect(self) -> "QueryClient":
+        """Open the connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "QueryClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw protocol ------------------------------------------------------
+
+    def request(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request and return the raw response object."""
+        if self._file is None:
+            raise ServeError("client is not connected; call connect() first")
+        self._next_id += 1
+        body = {"id": self._next_id, "op": op, "params": params or {}}
+        self._file.write(
+            json.dumps(body, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") not in (None, self._next_id):
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return response
+
+    def result(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request; return its result, raising on error replies."""
+        response = self.request(op, params)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeError(
+                f"{error.get('type', 'ServeError')}: "
+                f"{error.get('message', 'request failed')}"
+            )
+        return response["result"]
+
+    # -- convenience operations --------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness check."""
+        return self.result("ping")
+
+    def status(self) -> Dict[str, Any]:
+        """Server status: watermarks, cache stats, live sessions."""
+        return self.result("status")
+
+    def find_equal(self, attribute: str, value: Any) -> Dict[str, Any]:
+        """Equality lookup over the published snapshot."""
+        return self.result(
+            "find_equal", {"attribute": attribute, "value": value}
+        )
+
+    def search(
+        self, phrase: str, attributes: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """Keyword search over the published snapshot."""
+        params: Dict[str, Any] = {"phrase": phrase}
+        if attributes is not None:
+            params["attributes"] = list(attributes)
+        return self.result("search", params)
+
+    def lookup_show(
+        self, show_name: str, name_attribute: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """The Tables V/VI lookup."""
+        params: Dict[str, Any] = {"show_name": show_name}
+        if name_attribute is not None:
+            params["name_attribute"] = name_attribute
+        return self.result("lookup_show", params)
+
+    def top_k(
+        self, k: int = 10, entity_types: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        """The Table IV ranking."""
+        params: Dict[str, Any] = {"k": k}
+        if entity_types is not None:
+            params["entity_types"] = list(entity_types)
+        return self.result("top_k", params)["ranking"]
+
+    def fuse(self, show_name: str) -> Dict[str, Any]:
+        """The Table VI fused record for one show."""
+        return self.result("fuse", {"show_name": show_name})

@@ -1,0 +1,231 @@
+"""The JSON wire protocol of the query-serving tier.
+
+One request per line, one response per line (newline-delimited JSON, UTF-8).
+A request names an operation and its parameters::
+
+    {"id": 7, "op": "search", "params": {"phrase": "walking dead"}}
+
+and the response echoes the id, stamps the snapshot the answer was computed
+against, and carries the operation's payload::
+
+    {"id": 7, "ok": true, "cached": false, "version": 3, "watermark": 41,
+     "schema_watermark": null, "result": {"count": 1, "entities": [...]}}
+
+Errors (unknown op, bad params, a :class:`~repro.errors.QueryError` raised
+during evaluation) come back as ``{"ok": false, "error": {...}}`` on the
+same line slot — the connection stays usable.
+
+:func:`request_cache_key` canonicalises a request into the string the
+result cache keys it under: two requests that are guaranteed to produce the
+same answer against the same snapshot (a search with re-ordered tokens, a
+lookup differing only in case) share one cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from ..errors import ProtocolError
+from ..text.normalize import TextNormalizer
+from ..text.tokenizer import tokenize
+
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name.  ``ping`` and ``status`` are served on
+#: the event loop; the rest evaluate against the pinned serve view in a
+#: worker thread.
+OPERATIONS = frozenset(
+    {"ping", "status", "find_equal", "search", "lookup_show", "top_k", "fuse"}
+)
+
+#: Operations whose responses are cacheable (deterministic functions of the
+#: published view).  ``ping``/``status`` report live server state.
+CACHEABLE_OPERATIONS = frozenset(
+    {"find_equal", "search", "lookup_show", "top_k", "fuse"}
+)
+
+_normalizer = TextNormalizer()
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One parsed, validated request."""
+
+    op: str
+    params: Dict[str, Any]
+    request_id: Optional[Union[int, str]] = None
+
+
+def parse_request(line: Union[str, bytes]) -> QueryRequest:
+    """Parse one wire line into a :class:`QueryRequest`.
+
+    Raises :class:`~repro.errors.ProtocolError` on malformed JSON, a
+    non-object body, an unknown operation, or non-object params.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = body.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request must carry a string 'op'")
+    if op not in OPERATIONS:
+        raise ProtocolError(f"unknown operation: {op!r}")
+    params = body.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    request_id = body.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("'id' must be a string, an integer, or absent")
+    request = QueryRequest(op=op, params=params, request_id=request_id)
+    _validate_params(request)
+    return request
+
+
+def _require(params: Dict[str, Any], name: str, types, op: str):
+    value = params.get(name)
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            wanted = "/".join(t.__name__ for t in types)
+        else:
+            wanted = types.__name__
+        raise ProtocolError(f"{op!r} requires {name!r} as {wanted}")
+    return value
+
+
+def _optional_str_list(params: Dict[str, Any], name: str, op: str):
+    value = params.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ProtocolError(f"{op!r} {name!r} must be a list of strings")
+    return value
+
+
+def _validate_params(request: QueryRequest) -> None:
+    op, params = request.op, request.params
+    if op == "find_equal":
+        _require(params, "attribute", str, op)
+        if params.get("value") is None:
+            raise ProtocolError("'find_equal' requires 'value'")
+    elif op == "search":
+        _require(params, "phrase", str, op)
+        _optional_str_list(params, "attributes", op)
+    elif op == "lookup_show":
+        _require(params, "show_name", str, op)
+        attribute = params.get("name_attribute")
+        if attribute is not None and not isinstance(attribute, str):
+            raise ProtocolError("'lookup_show' 'name_attribute' must be a string")
+    elif op == "top_k":
+        k = params.get("k", 10)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError("'top_k' 'k' must be a positive integer")
+        _optional_str_list(params, "entity_types", op)
+    elif op == "fuse":
+        _require(params, "show_name", str, op)
+
+
+def request_cache_key(
+    request: QueryRequest, name_attribute: str = "show_name"
+) -> Optional[str]:
+    """The canonical cache key for a request (``None`` if not cacheable).
+
+    Normalisation mirrors evaluation semantics exactly: a search matches on
+    the *set* of its phrase tokens, so the key is the sorted unique token
+    list; equality lookups and show lookups compare normalised *and* answer
+    with payloads that never echo the query, so their keys carry the
+    normalised value.  ``fuse`` echoes the requested spelling back
+    (``entity_key``), so its key stays raw.  ``name_attribute`` is the
+    server's default lookup attribute, folded in so requests that spell it
+    out and requests that rely on the default share an entry.
+    """
+    if request.op not in CACHEABLE_OPERATIONS:
+        return None
+    op, params = request.op, request.params
+    if op == "find_equal":
+        key: Any = (
+            params["attribute"],
+            _normalizer.normalize(str(params["value"])),
+        )
+    elif op == "search":
+        attributes = params.get("attributes")
+        key = (
+            sorted(set(tokenize(params["phrase"]))),
+            sorted(set(attributes)) if attributes is not None else None,
+        )
+    elif op == "lookup_show":
+        key = (
+            params.get("name_attribute", name_attribute),
+            _normalizer.normalize(params["show_name"]),
+        )
+    elif op == "top_k":
+        # the evaluation default is the Table IV Movie filter — fold it in
+        # so explicit and defaulted requests share an entry
+        entity_types = params.get("entity_types", ["Movie"])
+        key = (params.get("k", 10), sorted(set(entity_types)))
+    else:  # fuse
+        # the fused payload echoes the requested spelling as entity_key, so
+        # the key must be spelling-sensitive — normalising here would serve
+        # one request's entity_key to a differently-spelled equivalent
+        key = params["show_name"]
+    return json.dumps([op, key], sort_keys=True, separators=(",", ":"))
+
+
+def entity_payload(entity) -> Dict[str, Any]:
+    """Serialise one consolidated entity for the wire."""
+    return {
+        "entity_id": entity.entity_id,
+        "member_record_ids": [str(rid) for rid in entity.member_record_ids],
+        "source_ids": list(entity.source_ids),
+        "attributes": dict(entity.attributes),
+        "provenance": {
+            name: [str(rid) for rid in rids]
+            for name, rids in entity.provenance.items()
+        },
+        "size": entity.size,
+    }
+
+
+def encode_response(
+    request_id: Optional[Union[int, str]],
+    result: Dict[str, Any],
+    *,
+    cached: bool = False,
+    version: Optional[int] = None,
+    watermark: Optional[int] = None,
+    schema_watermark: Optional[int] = None,
+) -> str:
+    """Encode one success response line (no trailing newline)."""
+    body = {
+        "id": request_id,
+        "ok": True,
+        "cached": cached,
+        "version": version,
+        "watermark": watermark,
+        "schema_watermark": schema_watermark,
+        "result": result,
+    }
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def encode_error(
+    request_id: Optional[Union[int, str]], error: BaseException
+) -> str:
+    """Encode one error response line (no trailing newline)."""
+    body = {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)

@@ -1,0 +1,465 @@
+"""The long-lived asyncio query server.
+
+:class:`QueryServer` exposes the query engine to many concurrent clients
+over the newline-delimited JSON protocol of :mod:`repro.serve.protocol`.
+The design splits responsibilities so readers and the streaming writer
+never contend:
+
+* **Snapshot-isolated reads.**  Every request captures the current
+  :class:`~repro.serve.views.ServeView` pointer exactly once; evaluation
+  runs entirely against that immutable value in a worker thread (the
+  :meth:`~repro.exec.executor.ShardedExecutor.request_pool` hand-off), so
+  the event loop stays free for protocol I/O and a concurrent publish can
+  never tear a response.
+* **Lock-free publishing.**  The streaming side keeps calling
+  ``stream.query_engine()`` as it always did; the server subscribes to the
+  stream's snapshot publishes, captures the fusion/mention state on the
+  writer's thread (consistent by the single-writer rule), and installs the
+  new view with one pointer swap.  Readers never block
+  :meth:`~repro.stream.engine.StreamingTamer.refresh` and vice versa.
+* **Cache with background refresh.**  Fresh results are served straight
+  from the :class:`~repro.serve.cache.ResultCache`; a publish invalidates
+  by token and the hottest stale entries are re-evaluated in the
+  background, so popular queries stay hot across updates.
+
+Use :func:`serve_in_background` to run the server on its own thread (tests,
+benchmarks, the facade's ``DataTamer.create_server`` callers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+
+from ..config import ServeConfig
+from ..errors import ProtocolError, ServeError, TamerError
+from ..query.engine import QueryEngine
+from ..query.snapshot import EntitySnapshot
+from ..query.topk import MentionCounter
+from .cache import ResultCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    encode_error,
+    encode_response,
+    entity_payload,
+    parse_request,
+    request_cache_key,
+)
+from .session import ClientSession, SessionRegistry
+from .views import FusionIndex, ServeView
+
+
+def evaluate_request(
+    view: ServeView, request: QueryRequest, name_attribute: str = "show_name"
+) -> Dict[str, Any]:
+    """Evaluate one request against one pinned view (pure, thread-safe).
+
+    This is the whole query semantics of the serving tier in one place —
+    the concurrency suite's sequential oracle calls it over recorded views
+    to check live responses bit-for-bit.
+    """
+    engine = QueryEngine.from_snapshot(view.snapshot)
+    op, params = request.op, request.params
+    if op == "find_equal":
+        result = engine.find_equal(params["attribute"], params["value"])
+    elif op == "search":
+        result = engine.search(
+            params["phrase"], attributes=params.get("attributes")
+        )
+    elif op == "lookup_show":
+        result = engine.lookup_show(
+            params["show_name"],
+            name_attribute=params.get("name_attribute", name_attribute),
+        )
+    elif op == "top_k":
+        ranking = view.top_k(
+            params.get("k", 10),
+            entity_types=params.get("entity_types", ("Movie",)),
+        )
+        return {
+            "ranking": [
+                {
+                    "entity": row.entity,
+                    "entity_type": row.entity_type,
+                    "mentions": row.mentions,
+                }
+                for row in ranking
+            ]
+        }
+    elif op == "fuse":
+        fused = view.fusion.fuse(params["show_name"])
+        return {
+            "entity_key": fused.entity_key,
+            "attributes": dict(fused.attributes),
+            "provenance": dict(fused.provenance),
+            "contributing_sources": list(fused.contributing_sources),
+            "attribute_count": fused.attribute_count(),
+        }
+    else:  # unreachable after parse_request validation
+        raise ProtocolError(f"operation not evaluable: {op!r}")
+    return {
+        "count": len(result),
+        "entities": [entity_payload(entity) for entity in result],
+    }
+
+
+class QueryServer:
+    """Serve the query engine to concurrent clients over JSON lines."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        config: Optional[ServeConfig] = None,
+        stream=None,
+        curated_documents: Optional[Callable[[], Iterable[dict]]] = None,
+        instance_documents: Optional[Callable[[], Iterable[dict]]] = None,
+        name_attribute: str = "show_name",
+        prefer_sources: Sequence[str] = (),
+        executor=None,
+    ):
+        """``engine`` owns the atomic snapshot pointer requests read.
+
+        ``stream`` (optional) is subscribed to for invalidation; the
+        caller remains responsible for driving its refreshes.
+        ``curated_documents``/``instance_documents`` supply the fusion and
+        top-k capture sources (callables returning document iterables —
+        typically ``collection.scan``).  ``executor`` provides the
+        request-worker hand-off; without one the server owns a private
+        thread pool.
+        """
+        self._config = config or ServeConfig()
+        self._config.validate()
+        self._engine = engine
+        self._stream = stream
+        self._curated_documents = curated_documents
+        self._instance_documents = instance_documents
+        self._name_attribute = name_attribute
+        self._prefer_sources = tuple(prefer_sources)
+        self._cache = ResultCache(self._config.cache_size)
+        self._sessions = SessionRegistry()
+        self._executor = executor
+        self._own_pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._refresh_tasks: set = set()
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self._publishes = 0
+        self._mentions = self._capture_mentions()
+        self._view = self._capture_view(engine.snapshot)
+        if stream is not None:
+            self._unsubscribe = stream.subscribe_snapshots(self._on_publish)
+
+    # -- view capture ------------------------------------------------------
+
+    def _capture_mentions(self) -> MentionCounter:
+        counter = MentionCounter()
+        if self._instance_documents is not None:
+            counter.add_fragments(self._instance_documents())
+        return counter
+
+    def _capture_view(self, snapshot: EntitySnapshot) -> ServeView:
+        documents = (
+            self._curated_documents() if self._curated_documents is not None else ()
+        )
+        fusion = FusionIndex.capture(
+            documents, self._name_attribute, prefer_sources=self._prefer_sources
+        )
+        return ServeView(snapshot=snapshot, fusion=fusion, mentions=self._mentions)
+
+    def refresh_mentions(self) -> None:
+        """Re-capture the text-collection mention counts (after new text
+        ingest — curated-collection publishes refresh everything else)."""
+        self._mentions = self._capture_mentions()
+        self._install_view(self._capture_view(self._view.snapshot))
+
+    def _on_publish(self, snapshot: EntitySnapshot) -> None:
+        """Stream publish hook: runs on the thread that drove the refresh."""
+        self._install_view(self._capture_view(snapshot))
+
+    def _install_view(self, view: ServeView) -> None:
+        self._view = view
+        self._publishes += 1
+        loop = self._loop
+        if loop is not None and not loop.is_closed() and self._cache.enabled:
+            loop.call_soon_threadsafe(self._schedule_cache_refresh, view)
+
+    # -- background cache refresh -----------------------------------------
+
+    def _schedule_cache_refresh(self, view: ServeView) -> None:
+        """On the event loop: re-prime the hottest stale cache entries."""
+        if view is not self._view:
+            return  # superseded before the loop got to it
+        stale = self._cache.invalidate(view.token, self._config.refresh_limit)
+        for entry in stale:
+            task = asyncio.ensure_future(self._refresh_entry(view, entry))
+            self._refresh_tasks.add(task)
+            task.add_done_callback(self._refresh_tasks.discard)
+
+    async def _refresh_entry(self, view: ServeView, entry) -> None:
+        try:
+            result = await self._run_in_worker(
+                evaluate_request, view, entry.request, self._name_attribute
+            )
+        except TamerError:
+            return  # the next client miss will surface the error
+        self._cache.put(
+            entry.key,
+            view.token,
+            entry.request,
+            result,
+            view.watermark,
+            view.schema_watermark,
+            refresh=True,
+        )
+
+    async def _run_in_worker(self, func, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._worker_pool(), func, *args)
+
+    def _worker_pool(self):
+        if self._executor is not None:
+            return self._executor.request_pool(self._config.request_workers)
+        if self._own_pool is None:
+            self._own_pool = ThreadPoolExecutor(
+                max_workers=self._config.request_workers,
+                thread_name_prefix="serve-request",
+            )
+        return self._own_pool
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and begin accepting clients."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self._config.host,
+            port=self._config.port,
+            limit=self._config.max_request_bytes,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def started(self) -> bool:
+        """Whether the listen socket is up."""
+        return self._server is not None
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown` fires, then stop."""
+        if self._shutdown is None:
+            raise ServeError("server is not started")
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask a running server to stop (callable from any thread)."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(shutdown.set)
+
+    async def stop(self) -> None:
+        """Stop accepting, drop the stream subscription, release workers."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        for task in list(self._refresh_tasks):
+            task.cancel()
+        self._refresh_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._own_pool is not None:
+            self._own_pool.shutdown(wait=True)
+            self._own_pool = None
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        session = self._sessions.open(peer=str(peer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # over-long line: the stream is desynced, hang up
+                    oversize = ProtocolError(
+                        "request exceeds max_request_bytes"
+                    )
+                    session.observe_error()
+                    writer.write(encode_error(None, oversize).encode() + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line, session)
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._sessions.close(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, line: bytes, session: ClientSession) -> str:
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            session.observe_error()
+            return encode_error(None, exc)
+        # one atomic capture: everything below reads this view only
+        view = self._view
+        if request.op == "ping":
+            result: Dict[str, Any] = {"pong": True, "protocol": PROTOCOL_VERSION}
+        elif request.op == "status":
+            result = self._status_payload(view)
+        else:
+            key = request_cache_key(request, self._name_attribute)
+            entry = self._cache.get(key, view.token)
+            if entry is not None:
+                session.observe(view.version, view.watermark, cached=True)
+                return encode_response(
+                    request.request_id,
+                    entry.result,
+                    cached=True,
+                    version=view.version,
+                    watermark=view.watermark,
+                    schema_watermark=view.schema_watermark,
+                )
+            try:
+                result = await self._run_in_worker(
+                    evaluate_request, view, request, self._name_attribute
+                )
+            except TamerError as exc:
+                session.observe_error()
+                return encode_error(request.request_id, exc)
+            self._cache.put(
+                key,
+                view.token,
+                request,
+                result,
+                view.watermark,
+                view.schema_watermark,
+            )
+        session.observe(view.version, view.watermark, cached=False)
+        return encode_response(
+            request.request_id,
+            result,
+            cached=False,
+            version=view.version,
+            watermark=view.watermark,
+            schema_watermark=view.schema_watermark,
+        )
+
+    def _status_payload(self, view: ServeView) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "version": view.version,
+            "watermark": view.watermark,
+            "schema_watermark": view.schema_watermark,
+            "entities": len(view.snapshot),
+            "publishes": self._publishes,
+            "cache": self._cache.stats(),
+            "sessions": self._sessions.stats(),
+            "pending_refreshes": len(self._refresh_tasks),
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def view(self) -> ServeView:
+        """The currently published serve view (immutable)."""
+        return self._view
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache (stats, tests)."""
+        return self._cache
+
+    @property
+    def sessions(self) -> SessionRegistry:
+        """The live-session registry."""
+        return self._sessions
+
+    @property
+    def config(self) -> ServeConfig:
+        """The validated serving configuration."""
+        return self._config
+
+
+@dataclass
+class ServerHandle:
+    """A server running on its own thread, stoppable from the caller's."""
+
+    server: QueryServer
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        """The server's bound port."""
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the server down and join its thread."""
+        self.server.request_shutdown()
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():
+            raise ServeError("server thread did not shut down in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_background(server: QueryServer) -> ServerHandle:
+    """Start ``server`` on a dedicated thread with its own event loop.
+
+    Returns once the listen socket is bound (so :attr:`ServerHandle.port`
+    is immediately valid); start-up failures re-raise in the caller.
+    """
+    ready = threading.Event()
+    failure: list = []
+
+    async def main() -> None:
+        try:
+            await server.start()
+        except BaseException as exc:  # surface bind errors to the caller
+            failure.append(exc)
+            ready.set()
+            return
+        ready.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(main()), name="query-server", daemon=True
+    )
+    thread.start()
+    ready.wait()
+    if failure:
+        thread.join()
+        raise failure[0]
+    return ServerHandle(server=server, thread=thread)

@@ -1,0 +1,112 @@
+"""Per-client session state for the serving tier.
+
+Every connection gets a :class:`ClientSession` that counts its traffic and
+enforces the tier's session guarantee: **monotonic reads**.  Snapshot
+publishes only ever move forward, so the snapshot version stamped on a
+client's responses must never decrease over the life of its connection — a
+regression would mean the server handed the client a view older than one it
+already saw (exactly the torn-state class of bug the snapshot swap exists
+to prevent).  :meth:`ClientSession.observe` asserts this on every response.
+
+The :class:`SessionRegistry` tracks live sessions for the ``status``
+operation and aggregates counters across closed ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ServeError
+
+
+@dataclass
+class ClientSession:
+    """One connected client's serving state."""
+
+    session_id: str
+    peer: str = ""
+    requests: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    #: Highest snapshot version stamped on any response sent to this client.
+    last_version: int = -1
+    last_watermark: Optional[int] = None
+
+    def observe(
+        self, version: int, watermark: Optional[int], cached: bool
+    ) -> None:
+        """Record one served response and enforce monotonic reads."""
+        if version < self.last_version:
+            raise ServeError(
+                f"session {self.session_id}: snapshot version regressed "
+                f"{self.last_version} -> {version} (non-monotonic read)"
+            )
+        self.requests += 1
+        if cached:
+            self.cache_hits += 1
+        self.last_version = version
+        self.last_watermark = watermark
+
+    def observe_error(self) -> None:
+        """Record one error response."""
+        self.errors += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """The session's row in the ``status`` payload."""
+        return {
+            "session_id": self.session_id,
+            "peer": self.peer,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "last_version": self.last_version,
+            "last_watermark": self.last_watermark,
+        }
+
+
+@dataclass
+class SessionRegistry:
+    """Live sessions plus lifetime totals (thread-safe)."""
+
+    _sessions: Dict[str, ClientSession] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _opened: int = 0
+    _total_requests: int = 0
+    _total_errors: int = 0
+
+    def open(self, peer: str = "") -> ClientSession:
+        """Register a new connection."""
+        with self._lock:
+            self._opened += 1
+            session = ClientSession(session_id=f"c{self._opened}", peer=peer)
+            self._sessions[session.session_id] = session
+            return session
+
+    def close(self, session: ClientSession) -> None:
+        """Retire a connection, folding its counters into the totals."""
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+            self._total_requests += session.requests
+            self._total_errors += session.errors
+
+    @property
+    def active(self) -> int:
+        """How many sessions are currently connected."""
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, object]:
+        """The registry's section of the ``status`` payload."""
+        with self._lock:
+            live = [s.as_dict() for s in self._sessions.values()]
+            return {
+                "active": len(live),
+                "opened": self._opened,
+                "total_requests": self._total_requests
+                + sum(s["requests"] for s in live),
+                "total_errors": self._total_errors
+                + sum(s["errors"] for s in live),
+                "sessions": live,
+            }

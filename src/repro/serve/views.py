@@ -1,0 +1,110 @@
+"""The immutable unit the server publishes: a :class:`ServeView`.
+
+The entity snapshot alone cannot answer every operation: ``fuse`` needs the
+*per-source* views of a show's curated records (consolidation already
+merged them away) and ``top_k`` needs the text-collection mention counts.
+Bundling all three into one frozen :class:`ServeView` — swapped by a single
+pointer assignment exactly like the snapshot itself — keeps every operation
+coherent with every other: a response stamped with snapshot version ``v``
+was computed entirely from state captured at ``v``, whichever operation it
+ran.
+
+The fusion corpus is captured on the thread that drove the refresh (the
+single writer), so it is consistent with the entity snapshot published in
+the same callback; capture cost is one scan of the curated collection per
+publish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..query.fusion import FusionResult, fuse_entity_views
+from ..query.snapshot import EntitySnapshot
+from ..query.topk import MentionCount, MentionCounter
+from ..text.normalize import TextNormalizer
+
+_normalizer = TextNormalizer()
+
+#: One per-source view of one show: ``(source_id, attribute values)``.
+SourceView = Tuple[str, Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class FusionIndex:
+    """Curated per-source views keyed by normalised show name.
+
+    The serving-tier equivalent of
+    :meth:`~repro.core.tamer.DataTamer.fuse_show`'s collection scan,
+    captured once per publish instead of once per request — and therefore
+    immune to concurrent writers mid-scan.
+    """
+
+    views: Dict[str, Tuple[SourceView, ...]]
+    prefer_sources: Tuple[str, ...] = ()
+
+    @classmethod
+    def capture(
+        cls,
+        documents,
+        name_attribute: str,
+        prefer_sources: Sequence[str] = (),
+    ) -> "FusionIndex":
+        """Build the index from an iterable of curated documents."""
+        views: Dict[str, List[SourceView]] = {}
+        for doc in documents:
+            name = _normalizer.normalize(str(doc.get(name_attribute, "")))
+            if not name:
+                continue
+            source = str(doc.get("_source", "unknown"))
+            values = {
+                k: v for k, v in doc.items() if k not in ("_id", "_source")
+            }
+            views.setdefault(name, []).append((source, values))
+        return cls(
+            views={name: tuple(entries) for name, entries in views.items()},
+            prefer_sources=tuple(prefer_sources),
+        )
+
+    def fuse(self, show_name: str) -> FusionResult:
+        """The fused record for one show (empty when the show is unknown)."""
+        entries = self.views.get(_normalizer.normalize(show_name), ())
+        return fuse_entity_views(
+            show_name, list(entries), prefer_sources=list(self.prefer_sources)
+        )
+
+
+@dataclass(frozen=True)
+class ServeView:
+    """Everything one request evaluates against, swapped atomically."""
+
+    snapshot: EntitySnapshot
+    fusion: FusionIndex
+    mentions: MentionCounter
+
+    @property
+    def token(self) -> Tuple:
+        """The cache/invalidation token of this view."""
+        return self.snapshot.cache_token
+
+    @property
+    def version(self) -> int:
+        """Snapshot version (increments on every publish)."""
+        return self.snapshot.version
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Entity-operator changelog watermark of the snapshot."""
+        return self.snapshot.watermark
+
+    @property
+    def schema_watermark(self) -> Optional[int]:
+        """Schema-operator watermark of the snapshot."""
+        return self.snapshot.schema_watermark
+
+    def top_k(
+        self, k: int, entity_types: Optional[Sequence[str]]
+    ) -> List[MentionCount]:
+        """The Table IV ranking over the captured mention counts."""
+        return self.mentions.top(k, entity_types=entity_types)

@@ -40,6 +40,7 @@ from ..entity.consolidation import ConsolidatedEntity, MergePolicy
 from ..entity.dedup import DedupModel
 from ..errors import TamerError
 from ..query.engine import QueryEngine
+from ..query.snapshot import EntitySnapshot
 from ..schema.global_schema import GlobalSchema
 from ..schema.integrator import ExpertOracle
 from ..storage.persistence import ChangelogWriter
@@ -134,6 +135,7 @@ class StreamingTamer:
         self._events_since_rebuild = 0
         self._rebuild_count = 0
         self._engine: Optional[QueryEngine] = None
+        self._snapshot_listeners: List[Callable[[EntitySnapshot], None]] = []
         self._closed = False
 
     # -- introspection -----------------------------------------------------
@@ -327,22 +329,63 @@ class StreamingTamer:
 
     # -- query -------------------------------------------------------------
 
+    def subscribe_snapshots(
+        self, callback: Callable[[EntitySnapshot], None]
+    ) -> Callable[[], None]:
+        """Register a callback fired after every entity-snapshot publish.
+
+        The serving tier's invalidation hook: whenever :meth:`query_engine`
+        swaps a fresh view into the cached engine, every subscriber
+        receives the newly published immutable
+        :class:`~repro.query.snapshot.EntitySnapshot` (entity tuple plus
+        entity/schema watermark pair).  Callbacks run on the thread that
+        drove the refresh — subscribers needing to react elsewhere (an
+        asyncio server loop) must trampoline themselves.  Returns an
+        unsubscribe callable; unsubscribing twice is a no-op.
+        """
+        self._snapshot_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._snapshot_listeners:
+                self._snapshot_listeners.remove(callback)
+
+        return unsubscribe
+
+    def _publish(self, snapshot: EntitySnapshot) -> None:
+        for listener in list(self._snapshot_listeners):
+            listener(snapshot)
+
     def query_engine(self) -> QueryEngine:
         """A query engine over the current entities.
 
-        The engine is stamped with the **entity operator's** watermark and
-        cached; further writes advance the changelog, and the next call
-        refreshes curation and swaps the new entity view in.  Holders of
-        the engine can check :meth:`QueryEngine.is_stale` against
+        The engine is stamped with the **entity operator's** watermark
+        (plus the schema operator's, when integration is on) and cached;
+        further writes advance the changelog, and the next call refreshes
+        curation and publishes the new entity view with one atomic
+        snapshot swap — concurrent readers of the cached engine never
+        block and never observe a torn view.  Holders of the engine can
+        check :meth:`QueryEngine.is_stale` against
         :attr:`StreamingTamer.watermark` (or the per-operator
         :meth:`watermarks`) themselves.
         """
         entities = self.refresh()
         watermark = self._curator.watermark
+        schema_watermark = (
+            self._integrator.watermark if self._integrator is not None else None
+        )
         if self._engine is None:
             self._engine = QueryEngine(
-                entities, executor=self._executor, watermark=watermark
+                entities,
+                executor=self._executor,
+                watermark=watermark,
+                schema_watermark=schema_watermark,
             )
+            self._publish(self._engine.snapshot)
         elif self._engine.watermark != watermark:
-            self._engine.replace_entities(entities, watermark=watermark)
+            snapshot = self._engine.replace_entities(
+                entities,
+                watermark=watermark,
+                schema_watermark=schema_watermark,
+            )
+            self._publish(snapshot)
         return self._engine

@@ -73,6 +73,37 @@ class TestFuseEntityViews:
         assert result.attribute_count() == 0
         assert result.as_dict() == {}
 
+    def test_source_with_only_empty_values_is_not_contributing(self):
+        # regression: a source whose every value was empty/None used to be
+        # listed in contributing_sources anyway
+        result = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", {"text_feed": None, "theater": ""}),
+                ("ftable:00", {"theater": "Shubert"}),
+            ],
+        )
+        assert result.contributing_sources == ["ftable:00"]
+        assert result.provenance == {"theater": "ftable:00"}
+
+    def test_source_losing_every_conflict_is_not_contributing(self):
+        result = fuse_entity_views(
+            "Matilda",
+            [
+                ("webtext", {"theater": "unknown venue"}),
+                ("ftable:00", {"theater": "Shubert"}),
+            ],
+            prefer_sources=["ftable:00"],
+        )
+        assert result.contributing_sources == ["ftable:00"]
+
+    def test_contributing_sources_keep_view_order(self):
+        result = fuse_entity_views(
+            "x",
+            [("b", {"q": 2}), ("empty", {"z": None}), ("a", {"p": 1})],
+        )
+        assert result.contributing_sources == ["b", "a"]
+
     def test_preference_ranking_among_unlisted_sources(self):
         result = fuse_entity_views(
             "x",

@@ -1,0 +1,137 @@
+"""Tests for repro.serve.cache."""
+
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import QueryRequest, request_cache_key
+
+
+def _request(phrase):
+    return QueryRequest(op="search", params={"phrase": phrase})
+
+
+def _put(cache, phrase, token, result=None, refresh=False):
+    request = _request(phrase)
+    key = request_cache_key(request)
+    cache.put(
+        key,
+        token,
+        request,
+        result if result is not None else {"count": 0, "entities": []},
+        token[1],
+        None,
+        refresh=refresh,
+    )
+    return key
+
+
+class TestResultCache:
+    def test_empty_lookup_is_a_miss(self):
+        cache = ResultCache(4)
+        assert cache.get("k", (1, 1)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_put_then_get_hits_at_same_token(self):
+        cache = ResultCache(4)
+        key = _put(cache, "matilda", (1, 7), result={"count": 1, "entities": []})
+        entry = cache.get(key, (1, 7))
+        assert entry is not None
+        assert entry.result == {"count": 1, "entities": []}
+        assert entry.watermark == 7
+        assert cache.stats()["hits"] == 1
+
+    def test_stale_token_misses_but_entry_stays(self):
+        cache = ResultCache(4)
+        key = _put(cache, "matilda", (1, 7))
+        assert cache.get(key, (2, 9)) is None
+        stats = cache.stats()
+        assert stats["stale_misses"] == 1
+        assert stats["entries"] == 1  # kept for the background refresh
+
+    def test_none_key_is_never_stored_or_served(self):
+        cache = ResultCache(4)
+        cache.put(None, (1, 1), _request("x"), {}, 1, None)
+        assert len(cache) == 0
+        assert cache.get(None, (1, 1)) is None
+
+    def test_lru_evicts_coldest(self):
+        cache = ResultCache(2)
+        key_a = _put(cache, "aardvark", (1, 1))
+        key_b = _put(cache, "badger", (1, 1))
+        cache.get(key_a, (1, 1))  # touch a: b becomes coldest
+        key_c = _put(cache, "cheetah", (1, 1))
+        assert cache.get(key_a, (1, 1)) is not None
+        assert cache.get(key_b, (1, 1)) is None
+        assert cache.get(key_c, (1, 1)) is not None
+
+    def test_invalidate_returns_hottest_stale_first(self):
+        cache = ResultCache(8)
+        key_a = _put(cache, "aardvark", (1, 1))
+        key_b = _put(cache, "badger", (1, 1))
+        _put(cache, "fresh", (2, 2))
+        cache.get(key_a, (1, 1))  # a is now hotter than b
+        stale = cache.invalidate((2, 2), limit=8)
+        assert [entry.key for entry in stale] == [key_a, key_b]
+        assert [entry.key for entry in cache.invalidate((2, 2), limit=1)] == [
+            key_a
+        ]
+
+    def test_invalidate_leaves_entries_in_place(self):
+        cache = ResultCache(8)
+        _put(cache, "aardvark", (1, 1))
+        cache.invalidate((2, 2), limit=8)
+        assert len(cache) == 1
+
+    def test_refresh_overwrites_stale_entry(self):
+        cache = ResultCache(8)
+        key = _put(cache, "matilda", (1, 7))
+        _put(cache, "matilda", (2, 9), result={"count": 5}, refresh=True)
+        entry = cache.get(key, (2, 9))
+        assert entry is not None and entry.result == {"count": 5}
+        assert cache.stats()["refreshes"] == 1
+
+    def test_refresh_of_evicted_entry_is_dropped(self):
+        cache = ResultCache(8)
+        _put(cache, "gone", (2, 2), refresh=True)
+        assert len(cache) == 0
+
+    def test_slow_refresh_never_clobbers_fresher_entry(self):
+        cache = ResultCache(8)
+        key = _put(cache, "matilda", (1, 1))
+        _put(cache, "matilda", (3, 3), result={"count": 3})  # client recompute
+        _put(cache, "matilda", (2, 2), result={"count": 2}, refresh=True)
+        entry = cache.get(key, (3, 3))
+        assert entry is not None and entry.result == {"count": 3}
+
+    def test_refresh_keeps_lru_position(self):
+        cache = ResultCache(2)
+        key_a = _put(cache, "aardvark", (1, 1))
+        key_b = _put(cache, "badger", (1, 1))
+        # refreshing a is not a client touch: a must stay the coldest
+        _put(cache, "aardvark", (2, 2), refresh=True)
+        _put(cache, "cheetah", (2, 2))
+        assert cache.get(key_a, (2, 2)) is None
+        assert cache.get(key_b, (1, 1)) is not None
+
+    def test_refresh_never_evicts(self):
+        cache = ResultCache(1)
+        key = _put(cache, "aardvark", (1, 1))
+        _put(cache, "aardvark", (2, 2), refresh=True)
+        assert len(cache) == 1
+        assert cache.get(key, (2, 2)) is not None
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = ResultCache(0)
+        assert not cache.enabled
+        key = _put(cache, "matilda", (1, 1))
+        assert cache.get(key, (1, 1)) is None
+        assert cache.invalidate((2, 2), limit=8) == []
+
+    def test_stats_shape(self):
+        stats = ResultCache(4).stats()
+        assert set(stats) == {
+            "entries",
+            "max_entries",
+            "hits",
+            "misses",
+            "stale_misses",
+            "refreshes",
+        }

@@ -1,0 +1,172 @@
+"""Concurrency suite: concurrent clients vs. a live streaming tamer.
+
+Client threads fire mixed query traffic at the server while the main
+thread keeps inserting records and driving stream refreshes (publishes).
+Every published :class:`~repro.serve.views.ServeView` is recorded by
+version; afterwards each live response is replayed through the sequential
+oracle (:func:`~repro.serve.server.evaluate_request` over the recorded
+view it was stamped with) and must match bit-for-bit.  This pins the
+tier's whole guarantee: a response is a pure function of one coherent
+(entities, watermark) snapshot — never a torn mix of two.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import DataTamer
+from repro.serve import QueryClient, serve_in_background
+from repro.serve.protocol import QueryRequest
+from repro.serve.server import evaluate_request
+from repro.workloads import DedupCorpusGenerator
+
+N_CLIENTS = 4
+REQUESTS_PER_CLIENT = 30
+PUBLISH_ROUNDS = 6
+
+
+def _canonical(payload):
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+@pytest.fixture
+def stack(small_config):
+    tamer = DataTamer(small_config)
+    corpus = DedupCorpusGenerator(seed=41).generate(n_entities=40)
+    tamer.train_dedup_model(corpus.pairs)
+    seed, updates = corpus.records[:16], corpus.records[16:]
+    for record in seed:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="seed"))
+    stream = tamer.start_stream(key_attribute="name")
+    server = tamer.create_server(key_attribute="name")
+    yield tamer, stream, server, seed, updates
+    tamer.close()
+
+
+def _workload(names):
+    """A deterministic rotation of every operation the tier serves."""
+    ops = []
+    for i in range(REQUESTS_PER_CLIENT):
+        name = names[i % len(names)]
+        ops.append(
+            [
+                ("find_equal", {"attribute": "name", "value": name}),
+                ("search", {"phrase": name}),
+                ("search", {"phrase": name, "attributes": ["name"]}),
+                ("lookup_show", {"show_name": name}),
+                ("top_k", {"k": 5, "entity_types": ["Product", "Company"]}),
+                ("fuse", {"show_name": name}),
+            ][i % 6]
+        )
+    return ops
+
+
+class TestConcurrentServing:
+    def test_mixed_traffic_matches_sequential_oracle(self, stack):
+        tamer, stream, server, seed, updates = stack
+
+        # record every published view by version; subscribing *after* the
+        # server means its _on_publish already installed the matching view
+        views = {server.view.version: server.view}
+
+        def record(_snapshot):
+            view = server.view
+            views[view.version] = view
+
+        unsubscribe = stream.subscribe_snapshots(record)
+        names = [record_.as_dict()["name"] for record_ in seed[:8]]
+        start = threading.Barrier(N_CLIENTS + 1)
+        responses = [[] for _ in range(N_CLIENTS)]
+        errors = []
+
+        def client_thread(idx):
+            try:
+                with QueryClient("127.0.0.1", handle.port) as client:
+                    start.wait()
+                    for op, params in _workload(names):
+                        responses[idx].append(
+                            (op, params, client.request(op, dict(params)))
+                        )
+            except Exception as exc:  # surfaced by the main assertion
+                errors.append((idx, repr(exc)))
+
+        with serve_in_background(server) as handle:
+            threads = [
+                threading.Thread(target=client_thread, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            # the writer: interleave inserts and stream refreshes
+            chunk = max(1, len(updates) // PUBLISH_ROUNDS)
+            for round_ in range(PUBLISH_ROUNDS):
+                for record_ in updates[round_ * chunk : (round_ + 1) * chunk]:
+                    tamer.curated_collection.insert(
+                        dict(record_.as_dict(), _source=f"u{round_}")
+                    )
+                stream.query_engine()
+            for thread in threads:
+                thread.join(timeout=60)
+        unsubscribe()
+
+        assert errors == []
+        assert all(not t.is_alive() for t in threads)
+        assert len(views) > 1, "no publish landed during traffic"
+
+        oracle_cache = {}
+        for idx, client_log in enumerate(responses):
+            assert len(client_log) == REQUESTS_PER_CLIENT
+            last_version = -1
+            for op, params, response in client_log:
+                assert response["ok"], (idx, op, params, response)
+                version = response["version"]
+                # coherent stamp: the version names a recorded view and the
+                # watermark pair is that view's, never a mix
+                assert version in views, (idx, op, version, sorted(views))
+                view = views[version]
+                assert response["watermark"] == view.watermark
+                assert response["schema_watermark"] == view.schema_watermark
+                # monotonic reads per connection
+                assert version >= last_version
+                last_version = version
+                # bit-identical to the sequential oracle replay
+                cache_key = (version, op, _canonical(params))
+                if cache_key not in oracle_cache:
+                    oracle_cache[cache_key] = _canonical(
+                        evaluate_request(
+                            view,
+                            QueryRequest(op=op, params=params),
+                            "name",
+                        )
+                    )
+                assert _canonical(response["result"]) == oracle_cache[cache_key], (
+                    idx,
+                    op,
+                    params,
+                    version,
+                )
+
+    def test_sessions_all_retired_after_traffic(self, stack):
+        tamer, stream, server, seed, updates = stack
+        with serve_in_background(server) as handle:
+            clients = [
+                QueryClient("127.0.0.1", handle.port).connect()
+                for _ in range(3)
+            ]
+            for client in clients:
+                client.ping()
+            assert server.sessions.active == 3
+            for client in clients:
+                client.close()
+            deadline = 200
+            while server.sessions.active and deadline:
+                threading.Event().wait(0.01)
+                deadline -= 1
+        assert server.sessions.active == 0
+        stats = server.sessions.stats()
+        assert stats["opened"] >= 3
+        assert stats["total_requests"] >= 3

@@ -1,0 +1,200 @@
+"""Tests for repro.serve.protocol."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    encode_error,
+    encode_response,
+    parse_request,
+    request_cache_key,
+)
+
+
+class TestParseRequest:
+    def test_parses_a_valid_request(self):
+        request = parse_request(
+            '{"id": 7, "op": "search", "params": {"phrase": "walking dead"}}'
+        )
+        assert request.op == "search"
+        assert request.params == {"phrase": "walking dead"}
+        assert request.request_id == 7
+
+    def test_accepts_bytes(self):
+        request = parse_request(b'{"op": "ping"}')
+        assert request.op == "ping"
+        assert request.request_id is None
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            parse_request(b'{"op": "ping"\xff}')
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            parse_request("{nope")
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(ProtocolError, match="object"):
+            parse_request('["ping"]')
+
+    def test_rejects_missing_or_non_string_op(self):
+        with pytest.raises(ProtocolError, match="op"):
+            parse_request('{"params": {}}')
+        with pytest.raises(ProtocolError, match="op"):
+            parse_request('{"op": 3}')
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            parse_request('{"op": "drop_tables"}')
+
+    def test_rejects_non_object_params(self):
+        with pytest.raises(ProtocolError, match="params"):
+            parse_request('{"op": "ping", "params": [1]}')
+
+    def test_rejects_bad_id_type(self):
+        with pytest.raises(ProtocolError, match="id"):
+            parse_request('{"op": "ping", "id": [1]}')
+
+    def test_find_equal_requires_attribute_and_value(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "find_equal", "params": {"value": "x"}}')
+        with pytest.raises(ProtocolError):
+            parse_request(
+                '{"op": "find_equal", "params": {"attribute": "show_name"}}'
+            )
+
+    def test_search_requires_string_phrase(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "search", "params": {}}')
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "search", "params": {"phrase": 5}}')
+
+    def test_search_attributes_must_be_string_list(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                '{"op": "search", "params": {"phrase": "x", "attributes": [1]}}'
+            )
+
+    def test_lookup_show_validates(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "lookup_show", "params": {}}')
+        with pytest.raises(ProtocolError):
+            parse_request(
+                '{"op": "lookup_show", '
+                '"params": {"show_name": "x", "name_attribute": 1}}'
+            )
+
+    def test_top_k_requires_positive_integer_k(self):
+        for bad in ("0", "-1", "true", '"ten"', "1.5"):
+            with pytest.raises(ProtocolError):
+                parse_request('{"op": "top_k", "params": {"k": %s}}' % bad)
+        assert parse_request('{"op": "top_k", "params": {}}').op == "top_k"
+
+    def test_fuse_requires_show_name(self):
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "fuse", "params": {}}')
+
+
+def _key(op, params):
+    return request_cache_key(QueryRequest(op=op, params=params))
+
+
+class TestRequestCacheKey:
+    def test_live_state_ops_are_not_cacheable(self):
+        assert _key("ping", {}) is None
+        assert _key("status", {}) is None
+
+    def test_search_key_ignores_token_order_case_and_duplicates(self):
+        base = _key("search", {"phrase": "walking dead"})
+        assert _key("search", {"phrase": "DEAD   walking"}) == base
+        assert _key("search", {"phrase": "dead walking dead"}) == base
+        assert _key("search", {"phrase": "walking"}) != base
+
+    def test_search_key_distinguishes_attribute_restriction(self):
+        unrestricted = _key("search", {"phrase": "x"})
+        restricted = _key("search", {"phrase": "x", "attributes": ["a", "b"]})
+        assert restricted != unrestricted
+        assert (
+            _key("search", {"phrase": "x", "attributes": ["b", "a", "a"]})
+            == restricted
+        )
+
+    def test_find_equal_key_normalizes_value(self):
+        assert _key("find_equal", {"attribute": "n", "value": " MATILDA "}) == _key(
+            "find_equal", {"attribute": "n", "value": "matilda"}
+        )
+        assert _key("find_equal", {"attribute": "m", "value": "matilda"}) != _key(
+            "find_equal", {"attribute": "n", "value": "matilda"}
+        )
+
+    def test_lookup_key_folds_default_name_attribute(self):
+        defaulted = _key("lookup_show", {"show_name": "Matilda"})
+        explicit = _key(
+            "lookup_show",
+            {"show_name": "matilda", "name_attribute": "show_name"},
+        )
+        assert defaulted == explicit
+        assert request_cache_key(
+            QueryRequest(op="lookup_show", params={"show_name": "Matilda"}),
+            name_attribute="name",
+        ) != defaulted
+
+    def test_top_k_key_folds_movie_default(self):
+        assert _key("top_k", {}) == _key(
+            "top_k", {"k": 10, "entity_types": ["Movie"]}
+        )
+        assert _key("top_k", {"k": 5}) != _key("top_k", {})
+
+    def test_fuse_key_is_spelling_sensitive(self):
+        # the fused record echoes the requested spelling as entity_key, so
+        # differently-spelled equivalents must not share a cache entry
+        assert _key("fuse", {"show_name": "MATILDA "}) != _key(
+            "fuse", {"show_name": "matilda"}
+        )
+        assert _key("fuse", {"show_name": "Matilda"}) == _key(
+            "fuse", {"show_name": "Matilda"}
+        )
+
+    def test_ops_never_share_keys(self):
+        assert _key("fuse", {"show_name": "x"}) != _key(
+            "lookup_show", {"show_name": "x"}
+        )
+
+
+class TestEncoding:
+    def test_response_round_trips(self):
+        line = encode_response(
+            3,
+            {"count": 0, "entities": []},
+            cached=True,
+            version=4,
+            watermark=17,
+            schema_watermark=None,
+        )
+        body = json.loads(line)
+        assert body == {
+            "id": 3,
+            "ok": True,
+            "cached": True,
+            "version": 4,
+            "watermark": 17,
+            "schema_watermark": None,
+            "result": {"count": 0, "entities": []},
+        }
+        assert "\n" not in line
+
+    def test_error_round_trips(self):
+        body = json.loads(encode_error("r1", ProtocolError("bad params")))
+        assert body["ok"] is False
+        assert body["id"] == "r1"
+        assert body["error"] == {
+            "type": "ProtocolError",
+            "message": "bad params",
+        }
+
+    def test_protocol_version_is_stable(self):
+        assert PROTOCOL_VERSION == 1

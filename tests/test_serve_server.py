@@ -1,0 +1,276 @@
+"""End-to-end tests for the query server over real sockets."""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro import DataTamer
+from repro.config import ServeConfig
+from repro.entity.consolidation import ConsolidatedEntity
+from repro.errors import ServeError
+from repro.query.engine import QueryEngine
+from repro.serve import QueryClient, QueryServer, serve_in_background
+from repro.workloads import DedupCorpusGenerator
+
+CURATED = [
+    {"_id": 1, "_source": "ftable:00", "show_name": "Matilda",
+     "theater": "Shubert", "cheapest_price": "$27"},
+    {"_id": 2, "_source": "webtext", "show_name": "Matilda",
+     "text_feed": "fragment...", "theater": ""},
+    {"_id": 3, "_source": "ftable:00", "show_name": "Wicked",
+     "theater": "Gershwin"},
+]
+
+INSTANCE = [
+    {"entity": "Matilda", "entity_type": "Movie"},
+    {"entity": "Matilda", "entity_type": "Movie"},
+    {"entity": "Wicked", "entity_type": "Movie"},
+]
+
+
+def _entity(eid, attributes):
+    return ConsolidatedEntity(
+        entity_id=eid,
+        member_record_ids=[eid],
+        source_ids=["s"],
+        attributes=attributes,
+    )
+
+
+def _engine():
+    return QueryEngine(
+        [
+            _entity("e1", {"show_name": "Matilda", "theater": "Shubert"}),
+            _entity("e2", {"show_name": "Wicked", "theater": "Gershwin"}),
+        ],
+        watermark=1,
+    )
+
+
+def _server(**config_kwargs):
+    return QueryServer(
+        _engine(),
+        config=ServeConfig(**config_kwargs),
+        curated_documents=lambda: list(CURATED),
+        instance_documents=lambda: list(INSTANCE),
+        prefer_sources=["ftable:00"],
+    )
+
+
+@pytest.fixture
+def handle():
+    with serve_in_background(_server()) as running:
+        yield running
+
+
+def _client(handle):
+    return QueryClient("127.0.0.1", handle.port)
+
+
+class TestServerOperations:
+    def test_ping(self, handle):
+        with _client(handle) as client:
+            assert client.ping() == {"pong": True, "protocol": 1}
+
+    def test_find_equal_stamps_snapshot(self, handle):
+        with _client(handle) as client:
+            response = client.request(
+                "find_equal", {"attribute": "show_name", "value": "MATILDA"}
+            )
+        assert response["ok"] is True
+        assert response["cached"] is False
+        assert (response["version"], response["watermark"]) == (0, 1)
+        assert response["result"]["count"] == 1
+        entity = response["result"]["entities"][0]
+        assert entity["attributes"]["theater"] == "Shubert"
+
+    def test_search_with_attribute_restriction(self, handle):
+        with _client(handle) as client:
+            assert client.search("gershwin")["count"] == 1
+            assert (
+                client.search("gershwin", attributes=["show_name"])["count"]
+                == 0
+            )
+
+    def test_lookup_show_punctuation_only_is_empty_not_an_error(self, handle):
+        # the satellite fix, observed through the wire protocol
+        with _client(handle) as client:
+            assert client.lookup_show("!!!")["count"] == 0
+
+    def test_top_k_uses_captured_mentions(self, handle):
+        with _client(handle) as client:
+            ranking = client.top_k(k=2)
+        assert ranking[0] == {
+            "entity": "Matilda",
+            "entity_type": "Movie",
+            "mentions": 2,
+        }
+
+    def test_fuse_serves_fused_record(self, handle):
+        with _client(handle) as client:
+            fused = client.fuse("matilda")
+        assert fused["attributes"]["theater"] == "Shubert"
+        assert fused["provenance"]["theater"] == "ftable:00"
+        # the empty-valued webtext theater must not list webtext twice
+        assert fused["contributing_sources"] == ["ftable:00", "webtext"]
+
+    def test_status_payload(self, handle):
+        with _client(handle) as client:
+            status = client.status()
+        assert status["protocol"] == 1
+        assert status["entities"] == 2
+        assert status["watermark"] == 1
+        assert status["sessions"]["active"] == 1
+        assert "hits" in status["cache"]
+
+
+class TestServerErrors:
+    def test_query_error_reply_keeps_connection_usable(self, handle):
+        with _client(handle) as client:
+            response = client.request("search", {"phrase": "!!!"})
+            assert response["ok"] is False
+            assert response["error"]["type"] == "QueryError"
+            assert client.ping() == {"pong": True, "protocol": 1}
+
+    def test_unknown_op_reply_keeps_connection_usable(self, handle):
+        with _client(handle) as client:
+            response = client.request("explode", {})
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert client.ping()["pong"] is True
+
+    def test_malformed_json_line(self, handle):
+        with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"{nope\n")
+            stream.flush()
+            body = json.loads(stream.readline())
+            assert body["ok"] is False and body["id"] is None
+
+    def test_oversize_line_hangs_up_but_server_survives(self):
+        with serve_in_background(_server(max_request_bytes=1024)) as running:
+            with _client(running) as client:
+                client.connect()
+                # the server refuses the desynced stream: we either read its
+                # ProtocolError reply or the connection drops mid-flight
+                try:
+                    response = client.request(
+                        "search", {"phrase": "x " * 4096}
+                    )
+                except (ServeError, ConnectionError):
+                    pass
+                else:
+                    assert response["ok"] is False
+                    assert (
+                        "max_request_bytes" in response["error"]["message"]
+                    )
+                with pytest.raises((ServeError, ConnectionError)):
+                    client.ping()
+            # fresh connections keep working
+            with _client(running) as probe:
+                assert probe.ping()["pong"] is True
+
+    def test_blank_lines_are_ignored(self, handle):
+        with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"\n\n" + b'{"op": "ping", "id": 1}\n')
+            stream.flush()
+            assert json.loads(stream.readline())["ok"] is True
+
+
+class TestServerCache:
+    def test_equivalent_requests_share_a_cache_entry(self, handle):
+        with _client(handle) as client:
+            first = client.request("search", {"phrase": "walking matilda"})
+            second = client.request("search", {"phrase": "MATILDA walking"})
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_cache_disabled(self):
+        with serve_in_background(_server(cache_size=0)) as running:
+            with _client(running) as client:
+                client.search("matilda")
+                response = client.request("search", {"phrase": "matilda"})
+        assert response["cached"] is False
+
+    def test_sessions_close_when_clients_disconnect(self, handle):
+        client = _client(handle).connect()
+        client.ping()
+        assert client.status()["sessions"]["active"] == 1
+        client.close()
+        with _client(handle) as probe:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                stats = probe.status()["sessions"]
+                if stats["active"] == 1:  # just the probe itself
+                    break
+                time.sleep(0.01)
+        assert stats["active"] == 1
+        assert stats["opened"] >= 2
+
+
+class TestStreamingInvalidation:
+    @pytest.fixture
+    def stack(self, small_config):
+        tamer = DataTamer(small_config)
+        corpus = DedupCorpusGenerator(seed=29).generate(n_entities=24)
+        tamer.train_dedup_model(corpus.pairs)
+        for record in corpus.records[:12]:
+            tamer.curated_collection.insert(
+                dict(record.as_dict(), _source="seed")
+            )
+        stream = tamer.start_stream(key_attribute="name")
+        server = tamer.create_server(key_attribute="name")
+        extra = [
+            dict(record.as_dict(), _source="late")
+            for record in corpus.records[12:]
+        ]
+        with serve_in_background(server) as handle:
+            yield tamer, stream, server, handle, extra
+        tamer.close()
+
+    def test_publish_swaps_version_and_refreshes_cache(self, stack):
+        tamer, stream, server, handle, extra = stack
+        with _client(handle) as client:
+            first = client.request("search", {"phrase": "the"})
+            assert first["ok"] and first["cached"] is False
+            warm = client.request("search", {"phrase": "the"})
+            assert warm["cached"] is True
+
+            for doc in extra:
+                tamer.curated_collection.insert(doc)
+            stream.query_engine()  # drives the publish
+
+            after = client.request("search", {"phrase": "the"})
+            assert after["version"] > first["version"]
+
+            # the hottest stale entry is re-primed in the background:
+            # soon the same query hits again at the *new* version
+            deadline = time.monotonic() + 10.0
+            cached_again = False
+            while time.monotonic() < deadline:
+                repeat = client.request("search", {"phrase": "the"})
+                if repeat["cached"] and repeat["version"] == after["version"]:
+                    cached_again = True
+                    break
+                time.sleep(0.02)
+            assert cached_again
+            # the stale entry was resolved one of the two ways: eagerly by
+            # the background refresh or lazily by a client recompute
+            stats = server.cache.stats()
+            assert stats["refreshes"] + stats["stale_misses"] >= 1
+
+    def test_responses_stay_coherent_across_publish(self, stack):
+        tamer, stream, server, handle, extra = stack
+        with _client(handle) as client:
+            before = client.status()
+            for doc in extra:
+                tamer.curated_collection.insert(doc)
+            stream.query_engine()
+            after = client.status()
+        assert after["version"] > before["version"]
+        assert after["entities"] >= before["entities"]
+        assert after["publishes"] > before["publishes"]
