@@ -20,15 +20,29 @@ Script mode (the CI serve-perf-smoke gate)::
 
     BENCH_SCALE=0.25 PYTHONPATH=src python benchmarks/bench_serve.py \\
         --require-cache-win --min-cache-speedup 1.0
+
+Observability-overhead mode (the CI obs-overhead-smoke gate) runs the
+closed loop with telemetry disabled and enabled as interleaved pairs
+(best of 3 per mode) and fails if the enabled ceiling drops more than
+``--max-obs-overhead`` below the disabled one.  A dedicated unloaded
+phase also cross-checks the server's own per-op latency histograms
+against independently measured client stopwatch percentiles (they must
+agree within bucket resolution)::
+
+    BENCH_SCALE=0.25 PYTHONPATH=src python benchmarks/bench_serve.py \\
+        --obs-overhead --max-obs-overhead 0.05 --clients 4 --requests 400
 """
 
 import argparse
 import json
 import threading
 import time
+from dataclasses import replace
 
 from conftest import build_tamer, scaled, write_json, write_report
 
+from repro.config import ObsConfig, TamerConfig
+from repro.obs import DEFAULT_LATENCY_BUCKETS
 from repro.serve import QueryClient, serve_in_background
 from repro.serve.protocol import QueryRequest
 from repro.serve.server import evaluate_request
@@ -61,10 +75,13 @@ def _record_pool(n_needed):
         n_entities *= 2
 
 
-def _serving_stack():
+def _serving_stack(obs_enabled=True):
     """A streaming tamer with text ingested, plus the live update feed."""
     corpus = _record_pool(BASE_RECORDS + UPDATE_ROUNDS * UPDATE_CHUNK)
-    tamer = build_tamer()
+    config = replace(
+        TamerConfig.small(), obs=ObsConfig(enabled=obs_enabled)
+    )
+    tamer = build_tamer(config)
     tamer.train_dedup_model(corpus.pairs)
     documents = WebInstanceGenerator(seed=212).generate(WEB_DOCUMENTS)
     tamer.ingest_text_documents(doc.as_pair() for doc in documents)
@@ -149,8 +166,8 @@ def _latency_stats(latencies_ms):
     }
 
 
-def _run_closed_loop(n_clients, requests_per_client):
-    tamer, stream, updates, names = _serving_stack()
+def _run_closed_loop(n_clients, requests_per_client, obs_enabled=True):
+    tamer, stream, updates, names = _serving_stack(obs_enabled=obs_enabled)
     server = tamer.create_server(key_attribute="name")
     views = {server.view.version: server.view}
 
@@ -197,6 +214,20 @@ def _run_closed_loop(n_clients, requests_per_client):
         elapsed_s = time.perf_counter() - run_start
         cache_stats = server.cache.stats()
         publishes = len(views)
+        server_metrics = None
+        ping_rtt_seconds = None
+        if obs_enabled:
+            with QueryClient("127.0.0.1", handle.port) as probe:
+                # calibration pings: the client-side ping RTT minus the
+                # server's own ping histogram isolates the wire + client
+                # overhead a stopwatch sees on top of the server window
+                rtts = []
+                for _ in range(100):
+                    begin = time.perf_counter()
+                    probe.ping()
+                    rtts.append(time.perf_counter() - begin)
+                ping_rtt_seconds = sorted(rtts)[len(rtts) // 2]
+                server_metrics = probe.metrics()["metrics"]
     unsubscribe()
     assert failures == [], failures
 
@@ -206,8 +237,14 @@ def _run_closed_loop(n_clients, requests_per_client):
 
     cached = [lat for _, _, resp, lat in flat if resp["cached"]]
     uncached = [lat for op, _, resp, lat in flat if not resp["cached"]]
+    per_op_seconds = {}
+    for op, _, _, lat_ms in flat:
+        per_op_seconds.setdefault(op, []).append(lat_ms / 1e3)
     tamer.close()
     return {
+        "server_metrics": server_metrics,
+        "per_op_seconds": per_op_seconds,
+        "ping_rtt_seconds": ping_rtt_seconds,
         "clients": n_clients,
         "requests": len(flat),
         "elapsed_seconds": elapsed_s,
@@ -221,6 +258,83 @@ def _run_closed_loop(n_clients, requests_per_client):
             "uncached": _latency_stats(uncached),
         },
     }
+
+
+def _bucket_of(value, buckets=DEFAULT_LATENCY_BUCKETS):
+    for index, bound in enumerate(buckets):
+        if value <= bound:
+            return index
+    return len(buckets)
+
+
+def _check_histogram_agreement(
+    server_metrics, per_op_seconds, ping_rtt_seconds=None
+):
+    """The server's own latency histograms vs the clients' stopwatches.
+
+    For every op with enough samples, the server-side p50 (p95) estimate
+    must land within one (two) histogram bucket(s) of the client-measured
+    percentile.  A client stopwatch measures socket round-trip on top of
+    the server's parse-to-drain window; that fixed overhead — estimated
+    as client ping RTT minus the server's own ping histogram p50 — is
+    subtracted from the client percentiles before comparing, so the check
+    stays meaningful even for sub-RTT operations.  Returns the per-op
+    comparison rows.
+    """
+    series = {
+        row["labels"]["op"]: row
+        for row in server_metrics["serve_request_seconds"]["series"]
+    }
+    rtt_overhead = 0.0
+    if ping_rtt_seconds is not None and "ping" in series:
+        rtt_overhead = max(0.0, ping_rtt_seconds - series["ping"]["p50"])
+    rows = []
+    for op, samples in sorted(per_op_seconds.items()):
+        if op not in series or op == "ping":
+            continue
+        ordered = sorted(samples)
+        histogram = series[op]
+        for q, q_name, min_n, slack in (
+            (0.50, "p50", 30, 1),
+            (0.95, "p95", 40, 2),
+        ):
+            if len(ordered) < min_n:
+                continue
+            client_value = max(
+                0.0,
+                ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+                - rtt_overhead,
+            )
+            server_value = histogram[q_name]
+            drift = abs(
+                _bucket_of(server_value) - _bucket_of(client_value)
+            )
+            rows.append(
+                {
+                    "op": op,
+                    "quantile": q_name,
+                    "samples": len(ordered),
+                    "client_ms": client_value * 1e3,
+                    "server_ms": server_value * 1e3,
+                    "bucket_drift": drift,
+                    "ok": drift <= slack,
+                }
+            )
+            assert drift <= slack, (
+                f"server {q_name} for {op!r} ({server_value * 1e3:.3f}ms) "
+                f"disagrees with client {q_name} "
+                f"({client_value * 1e3:.3f}ms) by {drift} buckets"
+            )
+    return rows
+
+
+def _strip_raw(stats):
+    """Drop bulky per-sample fields before a result lands on disk."""
+    stats = dict(stats)
+    stats.pop("server_metrics", None)
+    stats.pop("per_op_seconds", None)
+    stats.pop("ping_rtt_seconds", None)
+    return stats
 
 
 def _render(stats):
@@ -247,7 +361,7 @@ def _render(stats):
 
 def _write_results(stats):
     write_report("serve_latency", _render(stats))
-    write_json("serve_latency", stats)
+    write_json("serve_latency", _strip_raw(stats))
 
 
 def test_serve_closed_loop_latency(benchmark):
@@ -264,6 +378,137 @@ def test_serve_closed_loop_latency(benchmark):
     # itself belongs to script mode (the CI serve-perf-smoke job)
     assert stats["latency"]["cached"]["count"] > 0
     assert stats["latency"]["uncached"]["count"] > 0
+    # the server accounted every workload request in its own histograms
+    observed = sum(
+        row["count"]
+        for row in stats["server_metrics"]["serve_request_seconds"]["series"]
+    )
+    assert observed >= stats["requests"]
+
+
+def _measure_histogram_agreement(n_per_op=60):
+    """Dedicated unloaded phase for the histogram cross-check.
+
+    One sequential client: every sample in the server's per-op histogram
+    pairs with exactly one client stopwatch sample, so the percentiles
+    describe the same request population.  The loaded closed loop cannot
+    offer that — there, a client stopwatch also measures event-loop
+    queueing that the server's parse-to-drain window rightly excludes.
+    """
+    tamer, stream, _updates, names = _serving_stack(obs_enabled=True)
+    server = tamer.create_server(key_attribute="name")
+    per_op = {}
+    with serve_in_background(server) as handle:
+        with QueryClient("127.0.0.1", handle.port) as client:
+            rtts = []
+            for _ in range(100):
+                begin = time.perf_counter()
+                client.ping()
+                rtts.append(time.perf_counter() - begin)
+            ping_rtt = sorted(rtts)[len(rtts) // 2]
+            for index in range(n_per_op):
+                name = names[index % len(names)]
+                for op, params in (
+                    ("search", {"phrase": name}),
+                    ("find_equal", {"attribute": "name", "value": name}),
+                    ("lookup_show", {"show_name": name}),
+                    ("fuse", {"show_name": name}),
+                    ("top_k", {"k": 10}),
+                ):
+                    begin = time.perf_counter()
+                    response = client.request(op, dict(params))
+                    elapsed = time.perf_counter() - begin
+                    assert response["ok"], (op, params, response)
+                    per_op.setdefault(op, []).append(elapsed)
+            metrics = client.metrics()["metrics"]
+    tamer.close()
+    return _check_histogram_agreement(metrics, per_op, ping_rtt)
+
+
+def _run_obs_overhead(n_clients, requests_per_client, max_overhead):
+    """The CI obs-overhead gate: enabled vs disabled closed loops.
+
+    The two modes run as three adjacent pairs (order flipped each
+    round, after one discarded warm-up run) and the gate scores the
+    *median of the per-pair throughput ratios*.  Pairing cancels slow
+    machine-wide drift — each ratio compares two runs executed back to
+    back — the order flip cancels within-round effects, and the median
+    shrugs off a single scheduler-mangled run, which matters on small
+    CI boxes where one closed loop can lose 30% of its throughput to a
+    noisy neighbour.  Short loops are startup-dominated, so the gate
+    also wants a few hundred requests per client.  A dedicated
+    unloaded phase then cross-checks the server's per-op latency
+    histograms against client stopwatches.
+    """
+    modes = [("disabled", False), ("enabled", True)]
+    _run_closed_loop(n_clients, requests_per_client, obs_enabled=True)
+    best = {}
+    ratios = []
+    for round_index in range(3):
+        ordered = modes if round_index % 2 == 0 else modes[::-1]
+        pair = {}
+        for mode, obs_enabled in ordered:
+            stats = _run_closed_loop(
+                n_clients, requests_per_client, obs_enabled=obs_enabled
+            )
+            pair[mode] = stats["throughput_rps"]
+            if (
+                mode not in best
+                or stats["throughput_rps"] > best[mode]["throughput_rps"]
+            ):
+                best[mode] = stats
+        if pair["disabled"]:
+            ratios.append(pair["enabled"] / pair["disabled"])
+    agreement = _measure_histogram_agreement()
+    disabled_tps = best["disabled"]["throughput_rps"]
+    enabled_tps = best["enabled"]["throughput_rps"]
+    median_ratio = sorted(ratios)[len(ratios) // 2] if ratios else 1.0
+    overhead = max(0.0, 1.0 - median_ratio)
+    lines = [
+        "Serving tier — observability overhead "
+        f"({n_clients} clients x {requests_per_client} requests per run, "
+        "median enabled/disabled ratio over 3 adjacent pairs)",
+        f"telemetry disabled (best): {disabled_tps:.0f} req/s",
+        f"telemetry enabled  (best): {enabled_tps:.0f} req/s",
+        "pair ratios: "
+        + ", ".join(f"{ratio:.3f}" for ratio in ratios),
+        f"overhead: {100 * overhead:.2f}% (budget {100 * max_overhead:.0f}%)",
+        "server histogram vs client stopwatch "
+        f"({len(agreement)} quantile cross-checks, all within bucket "
+        "resolution):",
+    ]
+    for row in agreement:
+        lines.append(
+            f"  {row['op']:>12} {row['quantile']}: "
+            f"server {row['server_ms']:.3f}ms vs client "
+            f"{row['client_ms']:.3f}ms ({row['samples']} samples, "
+            f"{row['bucket_drift']} bucket drift)"
+        )
+    payload = {
+        "clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "throughput_disabled_rps": disabled_tps,
+        "throughput_enabled_rps": enabled_tps,
+        "pair_ratios": ratios,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": max_overhead,
+        "latency_disabled": best["disabled"]["latency"],
+        "latency_enabled": best["enabled"]["latency"],
+        "histogram_agreement": agreement,
+    }
+    write_report("serve_obs_overhead", lines)
+    write_json("serve_obs_overhead", payload)
+    if not agreement:
+        print("FAIL: no op reached the sample floor for the histogram check")
+        return 1
+    if overhead > max_overhead:
+        print(
+            f"FAIL: telemetry overhead {100 * overhead:.2f}% exceeds the "
+            f"{100 * max_overhead:.0f}% budget "
+            f"(median pair ratio {median_ratio:.3f})"
+        )
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -290,7 +535,25 @@ def main(argv=None):
         help="with --require-cache-win: required uncached-p50 / cached-p50 "
         "factor (default 1.0: merely not slower)",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="run the closed loop with telemetry disabled and enabled and "
+        "gate the throughput cost — the CI obs-overhead-smoke gate",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="with --obs-overhead: maximum tolerated fractional throughput "
+        "loss with telemetry enabled (default 0.05)",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        return _run_obs_overhead(
+            args.clients, args.requests, args.max_obs_overhead
+        )
 
     stats = _run_closed_loop(args.clients, args.requests)
     lines = _render(stats)
@@ -300,7 +563,7 @@ def main(argv=None):
     lines.append(f"cached-read speedup at p50: {speedup:.2f}x")
     stats["cache_speedup_p50"] = speedup
     write_report("serve_latency", lines)
-    write_json("serve_latency", stats)
+    write_json("serve_latency", _strip_raw(stats))
     if args.require_cache_win and speedup < args.min_cache_speedup:
         print(
             f"FAIL: cached p50 {cached_p50:.3f}ms is not "

@@ -237,6 +237,44 @@ class ServeConfig:
 
 
 @dataclass
+class ObsConfig:
+    """Settings for the unified observability layer.
+
+    ``enabled`` switches the whole telemetry plane: when off, every layer
+    receives the shared no-op instruments and tracing context managers
+    collapse to near-zero cost (the CI overhead gate holds the enabled
+    path within 5% of disabled throughput, so the default is on).
+    ``tracing`` controls span recording independently of metrics;
+    ``trace_buffer`` bounds how many finished spans the in-memory ring
+    retains for the ``metrics`` op's trace summary.
+    ``trace_sample_every`` thins the highest-rate span site — the serve
+    tier records a ``serve.request`` span for one request in every N
+    (1 = every request); metrics stay exact regardless, only trace
+    volume is sampled.  Low-rate spans (micro-batches, pipeline stages,
+    shard fan-outs) are never sampled.  ``snapshot_path`` enables the
+    periodic JSONL snapshot writer (one registry snapshot appended
+    every ``snapshot_interval_seconds``) for offline analysis.
+    """
+
+    enabled: bool = True
+    tracing: bool = True
+    trace_buffer: int = 1024
+    trace_sample_every: int = 10
+    snapshot_path: Optional[str] = None
+    snapshot_interval_seconds: float = 10.0
+
+    def validate(self) -> None:
+        if self.trace_buffer < 1:
+            raise ConfigError("trace_buffer must be >= 1")
+        if self.trace_sample_every < 1:
+            raise ConfigError("trace_sample_every must be >= 1")
+        if self.snapshot_path is not None and not str(self.snapshot_path):
+            raise ConfigError("snapshot_path must be a non-empty path or None")
+        if self.snapshot_interval_seconds <= 0:
+            raise ConfigError("snapshot_interval_seconds must be positive")
+
+
+@dataclass
 class ExpertConfig:
     """Settings for the expert-sourcing subsystem."""
 
@@ -264,6 +302,7 @@ class TamerConfig:
     execution: ExecConfig = field(default_factory=ExecConfig)
     stream: StreamConfig = field(default_factory=StreamConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     seed: Optional[int] = 0
 
     def validate(self) -> "TamerConfig":
@@ -275,6 +314,7 @@ class TamerConfig:
         self.execution.validate()
         self.stream.validate()
         self.serve.validate()
+        self.obs.validate()
         return self
 
     def with_seed(self, seed: int) -> "TamerConfig":

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..errors import TamerError
 from ..exec.executor import ShardedExecutor
+from ..obs import TelemetryHub, default_hub
 
 StageFunc = Callable[[Dict[str, Any]], Any]
 
@@ -109,12 +110,30 @@ class CurationPipeline:
             List[Union[PipelineStage, ParallelStage, StreamingStage]]
         ] = None,
         executor: Optional[ShardedExecutor] = None,
+        hub: Optional[TelemetryHub] = None,
     ):
         self._stages: List[Union[PipelineStage, ParallelStage, StreamingStage]] = list(
             stages or []
         )
         self._results: List[StageResult] = []
         self._executor = executor if executor is not None else ShardedExecutor()
+        if hub is None:
+            hub = getattr(self._executor, "hub", None) or default_hub()
+        self._hub = hub
+        registry = hub.registry
+        self._m_runs = registry.counter(
+            "pipeline_runs_total", "Completed CurationPipeline.run calls"
+        )
+        self._m_stages = registry.counter(
+            "pipeline_stages_total",
+            "Pipeline stage executions by outcome",
+            labels=("outcome",),
+        )
+        self._m_stage_time = registry.histogram(
+            "pipeline_stage_seconds",
+            "Wall time of one pipeline stage execution",
+            labels=("stage",),
+        )
 
     @property
     def stages(self) -> List[Union[PipelineStage, ParallelStage, StreamingStage]]:
@@ -268,47 +287,65 @@ class CurationPipeline:
         """
         context = context if context is not None else {}
         self._results = []
-        for stage in self._stages:
-            start = time.perf_counter()
-            shard_seconds: List[float] = []
-            shard_queue_seconds: List[float] = []
-            try:
-                if isinstance(stage, ParallelStage):
-                    output, shard_seconds, shard_queue_seconds = self._run_parallel(
-                        stage, context
-                    )
-                elif isinstance(stage, StreamingStage):
-                    output, shard_seconds = self._run_streaming(stage, context)
-                else:
-                    output = stage.func(context)
-                elapsed = time.perf_counter() - start
-                context[stage.name] = output
-                self._results.append(
-                    StageResult(
-                        name=stage.name,
-                        seconds=elapsed,
-                        ok=True,
-                        output=output,
-                        shard_seconds=shard_seconds,
-                        shard_queue_seconds=shard_queue_seconds,
-                    )
+        with self._hub.tracer.span(
+            "pipeline.run", tags={"stages": len(self._stages)}
+        ):
+            for stage in self._stages:
+                start = time.perf_counter()
+                shard_seconds: List[float] = []
+                shard_queue_seconds: List[float] = []
+                span = self._hub.tracer.span(
+                    "pipeline.stage", tags={"stage": stage.name}
                 )
-            except Exception as exc:  # noqa: BLE001 - reported, optionally re-raised
-                elapsed = time.perf_counter() - start
-                context.pop(stage.name, None)
-                self._results.append(
-                    StageResult(
-                        name=stage.name,
-                        seconds=elapsed,
-                        ok=False,
-                        error=str(exc),
-                        shard_seconds=shard_seconds,
-                        shard_queue_seconds=shard_queue_seconds,
+                try:
+                    with span:
+                        if isinstance(stage, ParallelStage):
+                            (
+                                output,
+                                shard_seconds,
+                                shard_queue_seconds,
+                            ) = self._run_parallel(stage, context)
+                        elif isinstance(stage, StreamingStage):
+                            output, shard_seconds = self._run_streaming(
+                                stage, context
+                            )
+                        else:
+                            output = stage.func(context)
+                    elapsed = time.perf_counter() - start
+                    context[stage.name] = output
+                    self._observe_stage(stage.name, elapsed, ok=True)
+                    self._results.append(
+                        StageResult(
+                            name=stage.name,
+                            seconds=elapsed,
+                            ok=True,
+                            output=output,
+                            shard_seconds=shard_seconds,
+                            shard_queue_seconds=shard_queue_seconds,
+                        )
                     )
-                )
-                if stop_on_error:
-                    raise
+                except Exception as exc:  # noqa: BLE001 - reported, optionally re-raised
+                    elapsed = time.perf_counter() - start
+                    context.pop(stage.name, None)
+                    self._observe_stage(stage.name, elapsed, ok=False)
+                    self._results.append(
+                        StageResult(
+                            name=stage.name,
+                            seconds=elapsed,
+                            ok=False,
+                            error=str(exc),
+                            shard_seconds=shard_seconds,
+                            shard_queue_seconds=shard_queue_seconds,
+                        )
+                    )
+                    if stop_on_error:
+                        raise
+            self._m_runs.inc()
         return context
+
+    def _observe_stage(self, name: str, seconds: float, ok: bool) -> None:
+        self._m_stages.labels(outcome="ok" if ok else "error").inc()
+        self._m_stage_time.labels(stage=name).observe(seconds)
 
     def timing_summary(self) -> Dict[str, float]:
         """Stage name → seconds for the most recent run."""

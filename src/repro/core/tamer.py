@@ -39,6 +39,7 @@ from ..expert.routing import ExpertRouter, schema_match_oracle
 from ..ingest.connectors import DictSource, Source
 from ..ingest.flatten import Flattener
 from ..ingest.loader import BatchLoader, IngestReport
+from ..obs import TelemetryHub
 from ..query.engine import QueryEngine
 from ..query.fusion import FusionResult, fuse_entity_views
 from ..query.topk import MentionCount, top_k_discussed
@@ -103,7 +104,8 @@ class DataTamer:
                 ),
                 batch_size=batch_size,
             )
-        self._executor = ShardedExecutor(self.config.execution)
+        self._hub = TelemetryHub.from_config(self.config.obs)
+        self._executor = ShardedExecutor(self.config.execution, hub=self._hub)
         self._retired_executors: List[ShardedExecutor] = []
         self.store = DocumentStore("dt", self.config.storage)
         self.relational = RelationalStore()
@@ -175,6 +177,11 @@ class DataTamer:
         return self._executor
 
     @property
+    def hub(self) -> TelemetryHub:
+        """The telemetry hub every layer of this tamer records into."""
+        return self._hub
+
+    @property
     def parallelism(self) -> int:
         """Configured worker count (1 = sequential)."""
         return self._executor.parallelism
@@ -198,7 +205,7 @@ class DataTamer:
         """
         self.config = self.config.with_parallelism(workers, batch_size=batch_size)
         old = self._executor
-        self._executor = ShardedExecutor(self.config.execution)
+        self._executor = ShardedExecutor(self.config.execution, hub=self._hub)
         if self._stream is not None and not self._stream.closed:
             for operator in self._stream.operators:
                 operator.sync_executor(self._executor)
@@ -208,12 +215,13 @@ class DataTamer:
             old.close()
 
     def close(self) -> None:
-        """Release held resources: the stream tail and any pool workers."""
+        """Release held resources: the stream tail, pool workers, telemetry."""
         self.stop_stream()
         for executor in self._retired_executors:
             executor.close()
         self._retired_executors.clear()
         self._executor.close()
+        self._hub.close()
 
     # -- structured ingestion ------------------------------------------------
 
@@ -573,10 +581,11 @@ class DataTamer:
             config=serve_config or self.config.serve,
             stream=stream,
             curated_documents=self.curated_collection.scan,
-            instance_documents=self.instance_collection.scan,
+            instance_collection=self.instance_collection,
             name_attribute=name_attribute,
             prefer_sources=prefer,
             executor=self._executor,
+            hub=self._hub,
         )
 
     def top_discussed_shows(self, k: int = 10) -> List[MentionCount]:

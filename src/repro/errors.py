@@ -132,6 +132,10 @@ class ProtocolError(ServeError):
     """Raised when a serve-tier request violates the JSON wire protocol."""
 
 
+class ObsError(TamerError):
+    """Raised by the observability layer (metrics registry, tracing)."""
+
+
 class UnknownSource(TamerError):
     """Raised when an operation references a source id not in the catalog."""
 

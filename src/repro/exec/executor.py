@@ -27,6 +27,7 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from ..config import ExecConfig
 from ..errors import TamerError
+from ..obs import TelemetryHub, default_hub
 from ..storage.sharding import ShardRouter
 from .pool import PersistentWorkerPool
 
@@ -97,6 +98,7 @@ class ShardedExecutor:
         backend: Optional[str] = None,
         pool: Optional[str] = None,
         warm_state: Optional[bool] = None,
+        hub: Optional[TelemetryHub] = None,
     ):
         base = config or ExecConfig()
         overrides = {
@@ -115,6 +117,25 @@ class ShardedExecutor:
         self._last_timings: List[ShardTiming] = []
         self._pool: Optional[PersistentWorkerPool] = None
         self._request_pool: Optional[ThreadPoolExecutor] = None
+        self._hub = hub if hub is not None else default_hub()
+        registry = self._hub.registry
+        self._m_fanouts = registry.counter(
+            "exec_fanouts_total",
+            "Shard fan-outs dispatched",
+            labels=("backend",),
+        )
+        self._m_shard_compute = registry.histogram(
+            "exec_shard_compute_seconds", "In-worker compute time per shard"
+        )
+        self._m_shard_queue = registry.histogram(
+            "exec_shard_queue_seconds",
+            "Queue/IPC overhead per shard (0 for inline runs)",
+        )
+
+    @property
+    def hub(self) -> TelemetryHub:
+        """The telemetry hub this executor reports into."""
+        return self._hub
 
     @property
     def config(self) -> ExecConfig:
@@ -186,6 +207,7 @@ class ShardedExecutor:
             self._pool = PersistentWorkerPool(
                 workers=self.parallelism,
                 idle_timeout=self._config.pool_idle_timeout,
+                hub=self._hub,
             )
         return self._pool
 
@@ -305,6 +327,28 @@ class ShardedExecutor:
         """
         # reset first so a raising worker leaves no stale timings behind
         self._last_timings = []
+        label = (
+            self.backend
+            if self.is_parallel and len(partitions) > 1
+            else "inline"
+        )
+        with self._hub.tracer.span(
+            "exec.fan_out",
+            tags={"backend": label, "shards": len(partitions)},
+        ):
+            results = self._dispatch(func, partitions, always_fan_out)
+        self._m_fanouts.labels(backend=label).inc()
+        for timing in self._last_timings:
+            self._m_shard_compute.observe(timing.seconds)
+            self._m_shard_queue.observe(timing.queue_seconds)
+        return results
+
+    def _dispatch(
+        self,
+        func: Callable[[List[T]], Any],
+        partitions: Sequence[List[T]],
+        always_fan_out: bool,
+    ) -> List[Any]:
         use_pool = self.uses_persistent_pool and self.is_parallel and (
             len(partitions) > 1 or (always_fan_out and len(partitions) == 1)
         )

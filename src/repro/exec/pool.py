@@ -47,6 +47,8 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import TamerError
+from ..obs import TelemetryHub, default_hub
+from ..obs.trace import Tracer
 
 #: How long (seconds) the collector waits on worker pipes before checking
 #: for crashed workers.
@@ -177,11 +179,20 @@ def warm_state_snapshot(_: Any = None) -> Dict[str, Any]:
     }
 
 
-def _worker_main(slot: int, conn) -> None:
-    """The worker loop: apply syncs, run calls, report timed results."""
+def _worker_main(slot: int, conn, trace: bool = False) -> None:
+    """The worker loop: apply syncs, run calls, report timed results.
+
+    With ``trace`` on, each call's compute span is recorded by a
+    worker-local tracer and shipped back inside the result message; the
+    parent re-attaches the records under its live fan-out span (span trees
+    cannot share a context var across the process boundary, so
+    ship-and-reattach is the propagation protocol).
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _WORKER_STATE
     _WORKER_STATE = _WarmState()
+    tracer = Tracer(enabled=trace, buffer=16)
+    pid = multiprocessing.current_process().pid
     while True:
         try:
             message = conn.recv()
@@ -205,13 +216,19 @@ def _worker_main(slot: int, conn) -> None:
         _, index, func, arg = message
         start = time.perf_counter()
         try:
-            result = func(arg)
+            with tracer.span(
+                "pool.compute",
+                tags={"slot": slot, "pid": pid, "task_index": index},
+            ):
+                result = func(arg)
         except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+            tracer.export(clear=True)
             _send_error(conn, index, exc)
             continue
         elapsed = time.perf_counter() - start
+        spans = tracer.export(clear=True) if trace else None
         try:
-            conn.send(("result", index, elapsed, result))
+            conn.send(("result", index, elapsed, result, spans))
         except Exception as exc:  # unpicklable result
             _send_error(conn, index, exc)
 
@@ -266,12 +283,45 @@ class PersistentWorkerPool:
         workers: int,
         idle_timeout: float = 0.0,
         poll_interval: float = _POLL_INTERVAL,
+        hub: Optional[TelemetryHub] = None,
     ):
         if workers < 1:
             raise TamerError("pool workers must be >= 1")
         self._n_workers = workers
         self._idle_timeout = float(idle_timeout)
         self._poll_interval = float(poll_interval)
+        self._hub = hub if hub is not None else default_hub()
+        registry = self._hub.registry
+        self._m_starts = registry.counter(
+            "pool_starts_total", "Worker-set (re)starts"
+        )
+        self._m_respawns = registry.counter(
+            "pool_respawns_total", "Individual crashed-worker respawns"
+        )
+        self._m_syncs = registry.counter(
+            "pool_syncs_total", "Warm-state delta/context broadcasts"
+        )
+        self._m_context_ships = registry.counter(
+            "pool_context_ships_total", "Named warm contexts shipped"
+        )
+        self._m_tasks = registry.counter(
+            "pool_tasks_total", "Tasks completed by the pool"
+        )
+        self._m_compute = registry.histogram(
+            "pool_task_compute_seconds", "In-worker compute time per task"
+        )
+        self._m_queue = registry.histogram(
+            "pool_task_queue_seconds", "Queue/IPC overhead per task"
+        )
+        self._m_sync_time = registry.histogram(
+            "pool_sync_seconds", "Wall time per warm-state record sync"
+        )
+        self._m_workers_alive = registry.gauge(
+            "pool_workers_alive", "Live pool worker processes"
+        )
+        self._m_warm_records = registry.gauge(
+            "pool_warm_records", "Records held by the warm-state protocol"
+        )
         self._context = multiprocessing.get_context()
         self._lock = threading.RLock()
         self._worker_box: List[_Worker] = []
@@ -368,7 +418,7 @@ class PersistentWorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(slot, child_conn),
+            args=(slot, child_conn, self._hub.tracer.enabled),
             name=f"repro-pool-worker-{slot}",
             daemon=True,
         )
@@ -394,6 +444,8 @@ class PersistentWorkerPool:
             ]
             self._worker_box[:] = self._workers
             self._start_count += 1
+            self._m_starts.inc()
+            self._m_workers_alive.set(len(self._workers))
         return self._workers
 
     def ensure_started(self) -> None:
@@ -419,6 +471,7 @@ class PersistentWorkerPool:
             worker.connection.close()
         self._workers = None
         self._worker_box[:] = []
+        self._m_workers_alive.set(0)
 
     def shutdown(self) -> None:
         """Stop the workers but keep the warm state.
@@ -526,10 +579,14 @@ class PersistentWorkerPool:
                         self._workers[slot] = self._spawn_worker(slot)
                         self._worker_box[:] = self._workers
                         self._respawn_count += 1
+                        self._m_respawns.inc()
                 self._sync_count += 1
+                self._m_syncs.inc()
             self._touch()
             self._last_sync_seconds = time.perf_counter() - start
             self._total_sync_seconds += self._last_sync_seconds
+            self._m_sync_time.observe(self._last_sync_seconds)
+            self._m_warm_records.set(len(self._warm_records))
             return self._last_sync_seconds
 
     def sync_context(self, key: str, version: int, value: Any) -> bool:
@@ -562,7 +619,10 @@ class PersistentWorkerPool:
                     self._workers[slot] = self._spawn_worker(slot)
                     self._worker_box[:] = self._workers
                     self._respawn_count += 1
+                    self._m_respawns.inc()
             self._sync_count += 1
+            self._m_syncs.inc()
+            self._m_context_ships.inc()
             self._touch()
             return True
 
@@ -646,7 +706,7 @@ class PersistentWorkerPool:
                         raise exc
                     raise TamerError(f"pool worker failed:\n{formatted}")
                 if kind == "result":
-                    _, index, compute_seconds, payload = message
+                    _, index, compute_seconds, payload, spans = message
                     if index in remaining:
                         total = time.perf_counter() - submitted_at[index]
                         results[index] = payload
@@ -656,6 +716,12 @@ class PersistentWorkerPool:
                             worker_slot=slot,
                         )
                         remaining.discard(index)
+                        if spans:
+                            # graft the worker's compute span under the live
+                            # fan-out span; attachment is parent-side and
+                            # keyed by the task result, so a respawned
+                            # worker's spans land under the same parent
+                            self._hub.tracer.attach(spans)
                     if in_flight.get(slot) == index:
                         del in_flight[slot]
 
@@ -687,6 +753,10 @@ class PersistentWorkerPool:
             self._touch()
             completed = [timing for timing in timings if timing is not None]
             self._tasks_completed += len(completed)
+            self._m_tasks.inc(len(completed))
+            for timing in completed:
+                self._m_compute.observe(timing.compute_seconds)
+                self._m_queue.observe(timing.queue_seconds)
             self._total_compute_seconds += sum(
                 timing.compute_seconds for timing in completed
             )
@@ -724,6 +794,7 @@ class PersistentWorkerPool:
             self._workers[slot] = self._spawn_worker(slot)
             self._worker_box[:] = self._workers
             self._respawn_count += 1
+            self._m_respawns.inc()
             if lost is not None and undispatched is not None:
                 undispatched.append(lost)
             respawned.append(slot)

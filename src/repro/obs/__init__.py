@@ -1,0 +1,45 @@
+"""Unified observability layer: metrics, trace spans, and exposition.
+
+One :class:`TelemetryHub` per stack bundles the shared
+:class:`MetricsRegistry` (labeled counters / gauges / fixed-bucket
+histograms with derivable p50/p95/p99) and :class:`Tracer` (span trees
+that cross the persistent-pool process boundary via ship-and-reattach),
+plus optional periodic JSONL snapshots.  The serve protocol's ``metrics``
+op and the Prometheus text renderer expose the same snapshot.  Disabled
+(``ObsConfig(enabled=False)``) the whole plane collapses to shared no-op
+instruments.  See ``docs/observability.md`` for the metric catalog and
+span model.
+"""
+
+from .hub import SnapshotWriter, TelemetryHub, default_hub
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NOOP,
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentFamily,
+    MetricsRegistry,
+    NoopInstrument,
+)
+from .trace import NOOP_SPAN, Span, SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "NOOP",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentFamily",
+    "MetricsRegistry",
+    "NoopInstrument",
+    "SnapshotWriter",
+    "Span",
+    "SpanRecord",
+    "TelemetryHub",
+    "Tracer",
+    "default_hub",
+]

@@ -1,0 +1,538 @@
+"""The metrics registry: labeled counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` is the single metric plane of a whole stack —
+the :class:`~repro.core.tamer.DataTamer` facade creates one (inside a
+:class:`~repro.obs.hub.TelemetryHub`) and threads it through the serve,
+stream, exec, and pipeline layers, so a single snapshot covers every layer
+at once.  Design constraints, in order:
+
+* **Near-zero cost when disabled.**  A disabled registry hands every call
+  site the same shared no-op instrument whose methods do nothing, so hot
+  paths pay one attribute call — no locks, no allocation, no branches at
+  the observation site.
+* **Low overhead when enabled.**  Instruments hold one small lock each
+  (counter increments and histogram observations are a handful of
+  arithmetic ops under it); label resolution is a dict lookup on a tuple,
+  and call sites are expected to resolve labels once and keep the child
+  (e.g. one histogram child per serve op).
+* **Derivable percentiles.**  Histograms use fixed bucket boundaries, so
+  p50/p95/p99 are estimated from cumulative bucket counts (linear
+  interpolation within the crossing bucket) without storing samples.  The
+  estimate always lands in the same bucket as the true sample percentile —
+  "within bucket resolution" by construction.
+
+Exposition: :meth:`MetricsRegistry.snapshot` returns a structured dict (the
+serving tier's ``metrics`` op payload) and
+:meth:`MetricsRegistry.render_prometheus` the standard text format.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ObsError
+
+#: Default latency bucket upper bounds, in seconds.  Exponential 1-2.5-5
+#: decades from 100 microseconds to 10 seconds — the serving tier's cached
+#: reads sit in the lowest buckets, cold pipeline stages in the highest.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default size bucket upper bounds (events per batch, items per shard...).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1,
+    2,
+    5,
+    10,
+    25,
+    50,
+    100,
+    250,
+    500,
+    1000,
+    2500,
+    5000,
+    10000,
+)
+
+
+class NoopInstrument:
+    """The shared do-nothing instrument of a disabled registry.
+
+    It answers every instrument method (``inc``, ``dec``, ``set``,
+    ``observe``, ``labels``) as a no-op returning itself, so call sites
+    never branch on whether observability is on.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **_labels: str) -> "NoopInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+#: The singleton handed out by disabled registries.
+NOOP = NoopInstrument()
+
+
+class Counter:
+    """A monotonically increasing count (one labeled series)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObsError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one labeled series).
+
+    A gauge constructed with a ``callback`` is read-only: its value is
+    computed at snapshot/render time (e.g. "currently active sessions"
+    straight from the registry that owns them).
+    """
+
+    __slots__ = ("_lock", "_value", "_callback")
+
+    def __init__(self, callback: Optional[Callable[[], float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise ObsError("callback gauges are read-only")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise ObsError("callback gauges are read-only")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            try:
+                return float(self._callback())
+            except Exception:  # snapshot must never take the server down
+                return float("nan")
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (one labeled series).
+
+    ``buckets`` are upper bounds in ascending order; an implicit +Inf
+    bucket catches the tail.  Alongside the bucket counts the histogram
+    tracks sum/count/min/max exactly, so means are exact and percentile
+    estimates can be clamped to the observed range.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObsError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ObsError("histogram buckets must be strictly ascending")
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def _bucket_index(self, value: float) -> int:
+        # linear scan: bucket lists are short (<= ~20) and the hot buckets
+        # are the low ones, so this beats bisect's call overhead in practice
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                return index
+        return len(self.buckets)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile from the bucket counts.
+
+        Linear interpolation within the bucket where the cumulative count
+        crosses ``q * count``, clamped to the observed min/max.  Returns
+        0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError("quantile q must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target and bucket_count > 0:
+                    lower = self.buckets[index - 1] if index > 0 else 0.0
+                    upper = (
+                        self.buckets[index]
+                        if index < len(self.buckets)
+                        else self._max
+                    )
+                    # position of the target within this bucket's samples
+                    into = (target - (cumulative - bucket_count)) / bucket_count
+                    estimate = lower + (upper - lower) * max(0.0, min(1.0, into))
+                    return max(self._min, min(self._max, estimate))
+            return self._max
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The series' snapshot payload (cumulative prometheus-style)."""
+        with self._lock:
+            cumulative = 0
+            rows = []
+            for bound, bucket_count in zip(
+                list(self.buckets) + [float("inf")], self._counts
+            ):
+                cumulative += bucket_count
+                rows.append(
+                    {
+                        "le": bound if bound != float("inf") else "+Inf",
+                        "count": cumulative,
+                    }
+                )
+            payload: Dict[str, Any] = {
+                "buckets": rows,
+                "count": self._count,
+                "sum": self._sum,
+            }
+            if self._count:
+                payload["min"] = self._min
+                payload["max"] = self._max
+        for q_name, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            payload[q_name] = self.quantile(q)
+        return payload
+
+
+class InstrumentFamily:
+    """All labeled series of one metric name.
+
+    ``labels(**kv)`` resolves one child series, creating it on first use.
+    A family declared with no label names has exactly one child (the
+    family proxies its instrument methods straight to it), so unlabeled
+    metrics skip the resolution step entirely.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], Any],
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not label_names:
+            self._children[()] = factory()
+
+    def labels(self, **labels: str):
+        """The child series for one label assignment (created on demand)."""
+        if set(labels) != set(self.label_names):
+            raise ObsError(
+                f"metric {self.name!r} takes labels {self.label_names!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._factory())
+        return child
+
+    # -- unlabeled convenience: the family acts as its single child --------
+
+    def _solo(self):
+        if self.label_names:
+            raise ObsError(
+                f"metric {self.name!r} is labeled {self.label_names!r}; "
+                "resolve a child with .labels() first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    def series(self) -> List[Tuple[Dict[str, str], Any]]:
+        """``(labels dict, instrument)`` for every child, label-sorted."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, key)), child) for key, child in items
+        ]
+
+
+class MetricsRegistry:
+    """The named-instrument registry one telemetry plane shares.
+
+    Registration is idempotent: asking for an already-registered name
+    returns the existing family (the kind and label names must match), so
+    several components may declare the same metric — e.g. two servers in
+    one process share ``serve_requests_total``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._families: Dict[str, InstrumentFamily] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this registry records anything at all."""
+        return self._enabled
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Sequence[str],
+        factory: Callable[[], Any],
+    ):
+        if not self._enabled:
+            return NOOP
+        if not name or not name.replace("_", "a").isalnum():
+            raise ObsError(f"invalid metric name: {name!r}")
+        labels = tuple(label_names)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != labels:
+                    raise ObsError(
+                        f"metric {name!r} is already registered as "
+                        f"{family.kind} with labels {family.label_names!r}"
+                    )
+                return family
+            family = InstrumentFamily(name, kind, help_text, labels, factory)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()):
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help_text, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        callback: Optional[Callable[[], float]] = None,
+    ):
+        """Register (or fetch) a gauge family.
+
+        ``callback`` (unlabeled gauges only) makes the gauge compute its
+        value at snapshot time instead of being set by the caller.
+        """
+        if callback is not None and labels:
+            raise ObsError("callback gauges cannot be labeled")
+        return self._register(
+            name, "gauge", help_text, labels, lambda: Gauge(callback=callback)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        """Register (or fetch) a fixed-bucket histogram family."""
+        bounds = tuple(buckets)
+        return self._register(
+            name, "histogram", help_text, labels, lambda: Histogram(bounds)
+        )
+
+    # -- exposition --------------------------------------------------------
+
+    def families(self) -> List[InstrumentFamily]:
+        """Every registered family, name-sorted."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A structured point-in-time dump of every series.
+
+        ``{name: {"type", "help", "series": [{"labels", "value"|histogram
+        payload}]}}`` — the serving tier's ``metrics`` op returns exactly
+        this (plus the trace summary) and the JSONL snapshot writer appends
+        it per interval.
+        """
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            rows = []
+            for label_values, instrument in family.series():
+                if family.kind == "histogram":
+                    row: Dict[str, Any] = instrument.as_dict()
+                else:
+                    row = {"value": instrument.value}
+                row["labels"] = label_values
+                rows.append(row)
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": rows,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for label_values, instrument in family.series():
+                if family.kind == "histogram":
+                    cumulative = 0
+                    with instrument._lock:
+                        counts = list(instrument._counts)
+                        total = instrument._count
+                        total_sum = instrument._sum
+                    bounds = [_format_float(b) for b in instrument.buckets]
+                    bounds.append("+Inf")
+                    for bound, bucket_count in zip(bounds, counts):
+                        cumulative += bucket_count
+                        labels = _render_labels(dict(label_values, le=bound))
+                        lines.append(
+                            f"{family.name}_bucket{labels} {cumulative}"
+                        )
+                    labels = _render_labels(label_values)
+                    lines.append(
+                        f"{family.name}_sum{labels} {_format_float(total_sum)}"
+                    )
+                    lines.append(f"{family.name}_count{labels} {total}")
+                else:
+                    labels = _render_labels(label_values)
+                    lines.append(
+                        f"{family.name}{labels} "
+                        f"{_format_float(instrument.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"

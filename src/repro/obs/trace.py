@@ -1,0 +1,232 @@
+"""Trace spans with context propagation, including across process pools.
+
+A :class:`Tracer` produces :class:`Span` context managers and keeps a
+bounded ring of finished :class:`SpanRecord` dicts.  Within one thread,
+parentage propagates implicitly through a :class:`contextvars.ContextVar`;
+across threads (the serve tier hands evaluation to an executor thread) the
+caller passes ``parent=`` explicitly, because context vars do not follow
+``run_in_executor``.
+
+Across *processes* — the persistent warm-worker pool — spans cannot share
+a context var at all.  The protocol instead is ship-and-reattach: a worker
+records its compute span locally with a throwaway tracer, serializes the
+record (:meth:`Tracer.export`), and ships it back inside the task result
+message; the parent process calls :meth:`Tracer.attach` to graft the
+shipped records under the live fan-out span, rewriting trace ids and root
+parent ids.  Crash-respawn needs no special casing: attachment happens on
+the parent side keyed by the task result, so a respawned worker's spans
+land under the same fan-out span the original attempt belonged to.
+
+Span ids are cheap by design: one ``os.urandom`` prefix per tracer plus a
+process-local counter, not per-span entropy — span creation sits on the
+serve hot path under a 5% total-overhead budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+#: Implicit parent span for same-thread propagation.
+_current_span: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NoopSpan:
+    """The span of a disabled tracer: a do-nothing context manager."""
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
+    name = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def tag(self, **_tags: Any) -> "_NoopSpan":
+        return self
+
+
+#: Shared no-op span handed out by disabled tracers.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed unit of work, used as a context manager.
+
+    Entering records the start time and installs the span as the thread's
+    implicit parent; exiting restores the previous parent and appends the
+    finished record to the tracer's ring.  A plain class (not
+    ``@contextmanager``) to keep per-span overhead at a few attribute
+    writes.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "tags",
+        "start",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        tags: Optional[Dict[str, Any]],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = tags
+        self.start = 0.0
+        self._token = None
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type: object, _exc: object, _tb: object) -> None:
+        elapsed = time.perf_counter() - self.start
+        if self._token is not None:
+            _current_span.reset(self._token)
+        record: SpanRecord = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": elapsed,
+        }
+        if self.tags:
+            record["tags"] = self.tags
+        if exc_type is not None:
+            record["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._tracer._record(record)
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach key/value tags (merged into any constructor tags)."""
+        if self.tags is None:
+            self.tags = {}
+        self.tags.update(tags)
+        return self
+
+
+#: A finished span, as stored in the ring and shipped across processes.
+SpanRecord = Dict[str, Any]
+
+
+class Tracer:
+    """Produces spans and retains a bounded ring of finished records."""
+
+    def __init__(self, enabled: bool = True, buffer: int = 1024):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=max(1, int(buffer)))
+        # one urandom call per tracer; span ids append a cheap counter
+        self._id_prefix = os.urandom(4).hex()
+        self._id_counter = itertools.count(1)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def _next_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._id_counter):x}"
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ):
+        """A new span context manager.
+
+        ``parent`` overrides the implicit (same-thread) current span —
+        required when crossing threads, where context vars don't follow.
+        Passing the no-op span (or a span from a disabled tracer) as
+        ``parent`` starts a fresh trace.
+        """
+        if not self._enabled:
+            return NOOP_SPAN
+        if parent is None:
+            parent = _current_span.get()
+        if parent is not None and isinstance(parent, Span):
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._next_id()
+            parent_id = None
+        return Span(self, name, trace_id, self._next_id(), parent_id, tags)
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span on this thread, if any."""
+        return _current_span.get() if self._enabled else None
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def attach(
+        self, records: List[SpanRecord], parent: Optional[Span] = None
+    ) -> None:
+        """Graft shipped (cross-process) span records under ``parent``.
+
+        Each record's trace id is rewritten to the parent's trace; records
+        whose parent id is not among the shipped batch (the shipped roots)
+        are re-parented onto ``parent``.  With no live parent the records
+        are adopted verbatim as their own trace.
+        """
+        if not self._enabled or not records:
+            return
+        if parent is None:
+            parent = _current_span.get()
+        shipped_ids = {r.get("span_id") for r in records}
+        for record in records:
+            adopted = dict(record)
+            if isinstance(parent, Span):
+                adopted["trace_id"] = parent.trace_id
+                if adopted.get("parent_id") not in shipped_ids:
+                    adopted["parent_id"] = parent.span_id
+            self._record(adopted)
+
+    def export(self, clear: bool = False) -> List[SpanRecord]:
+        """The finished-span ring, oldest first (optionally draining it)."""
+        with self._lock:
+            records = list(self._records)
+            if clear:
+                self._records.clear()
+        return records
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view for the ``metrics`` op: span counts + durations."""
+        by_name: Dict[str, Dict[str, float]] = {}
+        for record in self.export():
+            stats = by_name.setdefault(
+                record["name"], {"count": 0, "total_seconds": 0.0}
+            )
+            stats["count"] += 1
+            stats["total_seconds"] += record["duration"]
+        return {
+            "buffered_spans": len(self._records),
+            "by_name": by_name,
+        }

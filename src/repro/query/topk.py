@@ -37,6 +37,17 @@ class MentionCounter:
         self._counts: Counter = Counter()
         self._types: Dict[str, str] = {}
 
+    def copy(self) -> "MentionCounter":
+        """An independent counter with the same counts (copy-on-write
+        support: a counter referenced by a published immutable view must
+        never be mutated in place)."""
+        clone = MentionCounter(
+            entity_field=self.entity_field, type_field=self.type_field
+        )
+        clone._counts = Counter(self._counts)
+        clone._types = dict(self._types)
+        return clone
+
     def add_fragment(self, fragment: dict) -> None:
         """Count one fragment document's entity mention."""
         entity = fragment.get(self.entity_field)

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import TelemetryHub, default_hub
 from .protocol import QueryRequest
 
 
@@ -42,7 +43,9 @@ class CacheEntry:
 class ResultCache:
     """LRU cache of evaluated responses, keyed by (request, snapshot)."""
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(
+        self, max_entries: int = 1024, hub: Optional[TelemetryHub] = None
+    ):
         self._max_entries = max_entries
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
@@ -50,6 +53,20 @@ class ResultCache:
         self._misses = 0
         self._stale_misses = 0
         self._refreshes = 0
+        registry = (hub if hub is not None else default_hub()).registry
+        self._m_hits = registry.counter(
+            "serve_cache_hits_total", "Result-cache hits"
+        )
+        self._m_misses = registry.counter(
+            "serve_cache_misses_total", "Result-cache misses (incl. stale)"
+        )
+        self._m_stale = registry.counter(
+            "serve_cache_stale_misses_total",
+            "Misses where an entry existed under an older snapshot token",
+        )
+        self._m_refreshes = registry.counter(
+            "serve_cache_refreshes_total", "Background stale-entry refreshes"
+        )
 
     @property
     def enabled(self) -> bool:
@@ -73,13 +90,17 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                self._m_misses.inc()
                 return None
             if entry.token != token:
                 self._misses += 1
                 self._stale_misses += 1
+                self._m_misses.inc()
+                self._m_stale.inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            self._m_hits.inc()
             return entry
 
     def put(
@@ -107,9 +128,15 @@ class ResultCache:
             existing = self._entries.get(key)
             if refresh and existing is None:
                 return
-            if refresh and existing is not None and existing.token[0] > token[0]:
-                # a slow refresh must not clobber a fresher entry (snapshot
-                # versions are ordered; tokens are (version, watermark))
+            if (
+                refresh
+                and existing is not None
+                and existing.token[:2] > token[:2]
+            ):
+                # a slow refresh must not clobber a fresher entry: tokens
+                # are (version, mentions_epoch, watermark) and the leading
+                # pair is monotonic ints, so lexicographic compare is safe
+                # (watermark may be None and never orders)
                 return
             entry = CacheEntry(
                 key=key,
@@ -124,6 +151,7 @@ class ResultCache:
             self._entries[key] = entry
             if refresh:
                 self._refreshes += 1
+                self._m_refreshes.inc()
                 return
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_entries:

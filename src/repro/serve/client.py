@@ -99,6 +99,22 @@ class QueryClient:
         """Server status: watermarks, cache stats, live sessions."""
         return self.result("status")
 
+    def metrics(
+        self, format: Optional[str] = None, traces: bool = False
+    ) -> Dict[str, Any]:
+        """The server's telemetry snapshot (all layers of its hub).
+
+        ``format="prometheus"`` returns ``{"format": ..., "text": ...}``
+        with the text exposition; ``traces=True`` includes the recent
+        finished-span records alongside the aggregate summary.
+        """
+        params: Dict[str, Any] = {}
+        if format is not None:
+            params["format"] = format
+        if traces:
+            params["traces"] = True
+        return self.result("metrics", params)
+
     def find_equal(self, attribute: str, value: Any) -> Dict[str, Any]:
         """Equality lookup over the published snapshot."""
         return self.result(

@@ -33,15 +33,24 @@ from ..text.tokenizer import tokenize
 
 PROTOCOL_VERSION = 1
 
-#: Operations a request may name.  ``ping`` and ``status`` are served on
-#: the event loop; the rest evaluate against the pinned serve view in a
-#: worker thread.
+#: Operations a request may name.  ``ping``, ``status`` and ``metrics``
+#: are served on the event loop; the rest evaluate against the pinned
+#: serve view in a worker thread.
 OPERATIONS = frozenset(
-    {"ping", "status", "find_equal", "search", "lookup_show", "top_k", "fuse"}
+    {
+        "ping",
+        "status",
+        "metrics",
+        "find_equal",
+        "search",
+        "lookup_show",
+        "top_k",
+        "fuse",
+    }
 )
 
 #: Operations whose responses are cacheable (deterministic functions of the
-#: published view).  ``ping``/``status`` report live server state.
+#: published view).  ``ping``/``status``/``metrics`` report live state.
 CACHEABLE_OPERATIONS = frozenset(
     {"find_equal", "search", "lookup_show", "top_k", "fuse"}
 )
@@ -134,6 +143,15 @@ def _validate_params(request: QueryRequest) -> None:
         _optional_str_list(params, "entity_types", op)
     elif op == "fuse":
         _require(params, "show_name", str, op)
+    elif op == "metrics":
+        fmt = params.get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            raise ProtocolError(
+                "'metrics' 'format' must be 'json' or 'prometheus'"
+            )
+        traces = params.get("traces", False)
+        if not isinstance(traces, bool):
+            raise ProtocolError("'metrics' 'traces' must be a boolean")
 
 
 def request_cache_key(

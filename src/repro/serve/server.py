@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..config import ServeConfig
 from ..errors import ProtocolError, ServeError, TamerError
+from ..obs import NOOP_SPAN, TelemetryHub, default_hub
 from ..query.engine import QueryEngine
 from ..query.snapshot import EntitySnapshot
 from ..query.topk import MentionCounter
@@ -118,9 +120,11 @@ class QueryServer:
         stream=None,
         curated_documents: Optional[Callable[[], Iterable[dict]]] = None,
         instance_documents: Optional[Callable[[], Iterable[dict]]] = None,
+        instance_collection=None,
         name_attribute: str = "show_name",
         prefer_sources: Sequence[str] = (),
         executor=None,
+        hub: Optional[TelemetryHub] = None,
     ):
         """``engine`` owns the atomic snapshot pointer requests read.
 
@@ -128,9 +132,14 @@ class QueryServer:
         caller remains responsible for driving its refreshes.
         ``curated_documents``/``instance_documents`` supply the fusion and
         top-k capture sources (callables returning document iterables —
-        typically ``collection.scan``).  ``executor`` provides the
-        request-worker hand-off; without one the server owns a private
-        thread pool.
+        typically ``collection.scan``).  ``instance_collection`` (a
+        :class:`~repro.storage.document_store.Collection`) additionally
+        subscribes the server to the text collection's change hook, so
+        ``top_k`` mention counts refresh automatically on text ingest —
+        no manual :meth:`refresh_mentions` needed.  ``executor`` provides
+        the request-worker hand-off; without one the server owns a private
+        thread pool.  ``hub`` is the telemetry plane (defaults to the
+        executor's, then the process-wide hub).
         """
         self._config = config or ServeConfig()
         self._config.validate()
@@ -140,7 +149,10 @@ class QueryServer:
         self._instance_documents = instance_documents
         self._name_attribute = name_attribute
         self._prefer_sources = tuple(prefer_sources)
-        self._cache = ResultCache(self._config.cache_size)
+        if hub is None:
+            hub = getattr(executor, "hub", None) or default_hub()
+        self._hub = hub
+        self._cache = ResultCache(self._config.cache_size, hub=hub)
         self._sessions = SessionRegistry()
         self._executor = executor
         self._own_pool: Optional[ThreadPoolExecutor] = None
@@ -149,11 +161,59 @@ class QueryServer:
         self._shutdown: Optional[asyncio.Event] = None
         self._refresh_tasks: set = set()
         self._unsubscribe: Optional[Callable[[], None]] = None
+        self._unsubscribe_instances: Optional[Callable[[], None]] = None
         self._publishes = 0
+        self._started_at = time.monotonic()
+        self._requests_by_op: Dict[str, int] = {}
+        registry = hub.registry
+        self._m_requests = registry.counter(
+            "serve_requests_total",
+            "Requests served, by operation and outcome",
+            labels=("op", "outcome"),
+        )
+        self._m_latency = registry.histogram(
+            "serve_request_seconds",
+            "Request service time (parse through write+drain)",
+            labels=("op",),
+        )
+        self._latency_by_op: Dict[str, Any] = {}
+        self._requests_by_op_outcome: Dict[tuple, Any] = {}
+        self._trace_every = max(1, getattr(hub, "trace_sample_every", 1))
+        # primed so the very first request is always traced
+        self._trace_tick = self._trace_every - 1
+        self._m_active_sessions = registry.gauge(
+            "serve_active_sessions", "Currently connected client sessions"
+        )
+        self._m_worker_inflight = registry.gauge(
+            "serve_worker_inflight",
+            "Requests handed off to the worker pool and not yet returned",
+        )
+        self._m_publishes = registry.counter(
+            "serve_publishes_total", "View installs (publishes + refreshes)"
+        )
+        self._m_mentions_refreshed = registry.counter(
+            "mentions_refreshed_total",
+            "Mention-count refreshes folded into the published view",
+        )
+        self._mentions_lock = threading.Lock()
+        self._pending_fragments: List[dict] = []
+        self._mentions_flush_scheduled = False
+        self._mentions_recount = False
+        self._mentions_epoch = 0
         self._mentions = self._capture_mentions()
         self._view = self._capture_view(engine.snapshot)
         if stream is not None:
             self._unsubscribe = stream.subscribe_snapshots(self._on_publish)
+        if instance_collection is not None:
+            if self._instance_documents is None:
+                self._instance_documents = instance_collection.scan
+                self._mentions = self._capture_mentions()
+                self._view = self._capture_view(engine.snapshot)
+            self._unsubscribe_instances = (
+                instance_collection.add_change_listener(
+                    self._on_instance_change
+                )
+            )
 
     # -- view capture ------------------------------------------------------
 
@@ -170,13 +230,80 @@ class QueryServer:
         fusion = FusionIndex.capture(
             documents, self._name_attribute, prefer_sources=self._prefer_sources
         )
-        return ServeView(snapshot=snapshot, fusion=fusion, mentions=self._mentions)
+        return ServeView(
+            snapshot=snapshot,
+            fusion=fusion,
+            mentions=self._mentions,
+            mentions_epoch=self._mentions_epoch,
+        )
 
     def refresh_mentions(self) -> None:
-        """Re-capture the text-collection mention counts (after new text
-        ingest — curated-collection publishes refresh everything else)."""
+        """Re-capture the text-collection mention counts from scratch.
+
+        Kept for callers without a live ``instance_collection`` hook —
+        with one, ingest refreshes mentions automatically.
+        """
         self._mentions = self._capture_mentions()
-        self._install_view(self._capture_view(self._view.snapshot))
+        self._mentions_epoch += 1
+        self._m_mentions_refreshed.inc()
+        self._install_view(
+            replace(
+                self._view,
+                mentions=self._mentions,
+                mentions_epoch=self._mentions_epoch,
+            )
+        )
+
+    def _on_instance_change(
+        self, op: str, doc_id: object, document: Optional[dict]
+    ) -> None:
+        """Text-collection CDC hook: runs on the writer's thread.
+
+        Inserted fragments are buffered and folded into a copy of the
+        current counter in one coalesced flush (copy-on-write: the counter
+        referenced by the published view is never mutated).  Updates and
+        deletes cannot be decremented out of a counter, so they flag a
+        full recount instead.
+        """
+        with self._mentions_lock:
+            if op == "insert" and document is not None:
+                self._pending_fragments.append(document)
+            else:
+                self._mentions_recount = True
+            if self._mentions_flush_scheduled:
+                return
+            self._mentions_flush_scheduled = True
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            # coalesce: a burst of inserts lands in one flush on the loop
+            loop.call_soon_threadsafe(self._flush_mentions)
+        else:
+            self._flush_mentions()
+
+    def _flush_mentions(self) -> None:
+        with self._mentions_lock:
+            pending = self._pending_fragments
+            recount = self._mentions_recount
+            self._pending_fragments = []
+            self._mentions_recount = False
+            self._mentions_flush_scheduled = False
+        if not pending and not recount:
+            return
+        if recount:
+            counter = self._capture_mentions()
+        else:
+            counter = self._mentions.copy()
+            counter.add_fragments(pending)
+        self._mentions = counter
+        self._mentions_epoch += 1
+        self._m_mentions_refreshed.inc()
+        self._install_view(
+            replace(
+                self._view,
+                mentions=counter,
+                mentions_epoch=self._mentions_epoch,
+            )
+        )
 
     def _on_publish(self, snapshot: EntitySnapshot) -> None:
         """Stream publish hook: runs on the thread that drove the refresh."""
@@ -185,6 +312,7 @@ class QueryServer:
     def _install_view(self, view: ServeView) -> None:
         self._view = view
         self._publishes += 1
+        self._m_publishes.inc()
         loop = self._loop
         if loop is not None and not loop.is_closed() and self._cache.enabled:
             loop.call_soon_threadsafe(self._schedule_cache_refresh, view)
@@ -220,7 +348,22 @@ class QueryServer:
 
     async def _run_in_worker(self, func, *args):
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._worker_pool(), func, *args)
+        self._m_worker_inflight.inc()
+        try:
+            return await loop.run_in_executor(self._worker_pool(), func, *args)
+        finally:
+            self._m_worker_inflight.dec()
+
+    def _evaluate_traced(self, view, request, parent_span):
+        """Worker-thread entry: evaluate under a span tied to the request.
+
+        Context vars do not follow ``run_in_executor``, so the request
+        span is passed explicitly and re-established as parent here.
+        """
+        with self._hub.tracer.span(
+            "serve.evaluate", parent=parent_span, tags={"op": request.op}
+        ):
+            return evaluate_request(view, request, self._name_attribute)
 
     def _worker_pool(self):
         if self._executor is not None:
@@ -240,6 +383,7 @@ class QueryServer:
             raise ServeError("server already started")
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        self._started_at = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle_client,
             host=self._config.host,
@@ -277,6 +421,9 @@ class QueryServer:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+        if self._unsubscribe_instances is not None:
+            self._unsubscribe_instances()
+            self._unsubscribe_instances = None
         for task in list(self._refresh_tasks):
             task.cancel()
         self._refresh_tasks.clear()
@@ -293,6 +440,7 @@ class QueryServer:
     async def _handle_client(self, reader, writer) -> None:
         peer = writer.get_extra_info("peername")
         session = self._sessions.open(peer=str(peer))
+        self._m_active_sessions.set(self._sessions.active)
         try:
             while True:
                 try:
@@ -310,51 +458,100 @@ class QueryServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._respond(line, session)
-                writer.write(response.encode("utf-8") + b"\n")
-                await writer.drain()
+                # timed at this level — parse through write+drain — so the
+                # histogram tracks what a client actually experiences
+                start = time.perf_counter()
+                # serve.request is the highest-rate span site in the
+                # stack: record one request in every trace_sample_every
+                # (metrics below stay exact for all of them)
+                self._trace_tick += 1
+                if self._trace_tick >= self._trace_every:
+                    self._trace_tick = 0
+                    span = self._hub.tracer.span("serve.request")
+                else:
+                    span = NOOP_SPAN
+                with span:
+                    response, op, outcome = await self._respond(line, session)
+                    span.tag(op=op, outcome=outcome)
+                    writer.write(response.encode("utf-8") + b"\n")
+                    await writer.drain()
+                self._observe_request(op, outcome, time.perf_counter() - start)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._sessions.close(session)
+            self._m_active_sessions.set(self._sessions.active)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            except asyncio.CancelledError:
+                # loop teardown cancelled the hand-off while the close
+                # completed; the transport is gone, nothing left to await
+                pass
 
-    async def _respond(self, line: bytes, session: ClientSession) -> str:
+    def _observe_request(self, op: str, outcome: str, elapsed: float) -> None:
+        # the event loop is the only writer of these dicts, so the label
+        # children can be cached without a lock
+        histogram = self._latency_by_op.get(op)
+        if histogram is None:
+            histogram = self._m_latency.labels(op=op)
+            self._latency_by_op[op] = histogram
+        histogram.observe(elapsed)
+        counter = self._requests_by_op_outcome.get((op, outcome))
+        if counter is None:
+            counter = self._m_requests.labels(op=op, outcome=outcome)
+            self._requests_by_op_outcome[(op, outcome)] = counter
+        counter.inc()
+        self._requests_by_op[op] = self._requests_by_op.get(op, 0) + 1
+
+    async def _respond(self, line: bytes, session: ClientSession):
+        """Evaluate one request line; returns ``(response, op, outcome)``.
+
+        ``op``/``outcome`` feed the per-op latency histogram and request
+        counter (outcome is ``ok``, ``cached`` or ``error``).
+        """
         try:
             request = parse_request(line)
         except ProtocolError as exc:
             session.observe_error()
-            return encode_error(None, exc)
+            return encode_error(None, exc), "invalid", "error"
         # one atomic capture: everything below reads this view only
         view = self._view
         if request.op == "ping":
             result: Dict[str, Any] = {"pong": True, "protocol": PROTOCOL_VERSION}
         elif request.op == "status":
             result = self._status_payload(view)
+        elif request.op == "metrics":
+            result = self._metrics_payload(request.params)
         else:
             key = request_cache_key(request, self._name_attribute)
             entry = self._cache.get(key, view.token)
             if entry is not None:
                 session.observe(view.version, view.watermark, cached=True)
-                return encode_response(
-                    request.request_id,
-                    entry.result,
-                    cached=True,
-                    version=view.version,
-                    watermark=view.watermark,
-                    schema_watermark=view.schema_watermark,
+                return (
+                    encode_response(
+                        request.request_id,
+                        entry.result,
+                        cached=True,
+                        version=view.version,
+                        watermark=view.watermark,
+                        schema_watermark=view.schema_watermark,
+                    ),
+                    request.op,
+                    "cached",
                 )
             try:
                 result = await self._run_in_worker(
-                    evaluate_request, view, request, self._name_attribute
+                    self._evaluate_traced,
+                    view,
+                    request,
+                    self._hub.tracer.current(),
                 )
             except TamerError as exc:
                 session.observe_error()
-                return encode_error(request.request_id, exc)
+                return encode_error(request.request_id, exc), request.op, "error"
             self._cache.put(
                 key,
                 view.token,
@@ -364,13 +561,17 @@ class QueryServer:
                 view.schema_watermark,
             )
         session.observe(view.version, view.watermark, cached=False)
-        return encode_response(
-            request.request_id,
-            result,
-            cached=False,
-            version=view.version,
-            watermark=view.watermark,
-            schema_watermark=view.schema_watermark,
+        return (
+            encode_response(
+                request.request_id,
+                result,
+                cached=False,
+                version=view.version,
+                watermark=view.watermark,
+                schema_watermark=view.schema_watermark,
+            ),
+            request.op,
+            "ok",
         )
 
     def _status_payload(self, view: ServeView) -> Dict[str, Any]:
@@ -379,12 +580,34 @@ class QueryServer:
             "version": view.version,
             "watermark": view.watermark,
             "schema_watermark": view.schema_watermark,
+            "snapshot": {"version": view.version, "watermark": view.watermark},
+            "mentions_epoch": view.mentions_epoch,
             "entities": len(view.snapshot),
             "publishes": self._publishes,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "requests_by_op": dict(self._requests_by_op),
             "cache": self._cache.stats(),
             "sessions": self._sessions.stats(),
             "pending_refreshes": len(self._refresh_tasks),
         }
+
+    def _metrics_payload(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``metrics`` operation: one coherent snapshot of the hub.
+
+        Every layer wired to this server's hub — serve, stream, exec/pool,
+        pipeline — reports into the same registry, so the snapshot covers
+        the whole stack in one request.
+        """
+        if params.get("format") == "prometheus":
+            return {
+                "format": "prometheus",
+                "text": self._hub.render_prometheus(),
+            }
+        payload = self._hub.snapshot()
+        payload["format"] = "json"
+        if params.get("traces"):
+            payload["spans"] = self._hub.tracer.export()
+        return payload
 
     # -- introspection -----------------------------------------------------
 

@@ -82,11 +82,21 @@ class ServeView:
     snapshot: EntitySnapshot
     fusion: FusionIndex
     mentions: MentionCounter
+    #: Bumped whenever the mention counts are re-captured (text ingest);
+    #: folded into :attr:`token` so cached ``top_k`` results computed
+    #: against older counts go stale even though the entity snapshot —
+    #: and therefore its version/watermark — did not move.
+    mentions_epoch: int = 0
 
     @property
     def token(self) -> Tuple:
-        """The cache/invalidation token of this view."""
-        return self.snapshot.cache_token
+        """The cache/invalidation token of this view.
+
+        ``(version, mentions_epoch, watermark)`` — the first two are
+        monotonic ints, which the cache's refresh guard relies on.
+        """
+        base = self.snapshot.cache_token
+        return (base[0], self.mentions_epoch) + tuple(base[1:])
 
     @property
     def version(self) -> int:

@@ -39,6 +39,7 @@ from ..config import EntityConfig, SchemaConfig, StreamConfig
 from ..entity.consolidation import ConsolidatedEntity, MergePolicy
 from ..entity.dedup import DedupModel
 from ..errors import TamerError
+from ..obs import DEFAULT_SIZE_BUCKETS, TelemetryHub, default_hub
 from ..query.engine import QueryEngine
 from ..query.snapshot import EntitySnapshot
 from ..schema.global_schema import GlobalSchema
@@ -64,6 +65,16 @@ class DeltaApplyReport:
     operator_reports: Tuple[OperatorReport, ...] = field(default_factory=tuple)
 
 
+def _stream_gauge(hub, name: str) -> float:
+    """Read a lag/age gauge off the hub's current stream (0 when gone)."""
+    source = getattr(hub, "_stream_gauge_source", None)
+    if source is None:
+        return 0.0
+    if name == "pending_events":
+        return float(source.pending_events)
+    return float(source.watermark_age_seconds)
+
+
 class StreamingTamer:
     """Host an operator chain keeping one collection's curated views fresh."""
 
@@ -81,9 +92,55 @@ class StreamingTamer:
         clock: Callable[[], float] = time.monotonic,
         schema_config: Optional[SchemaConfig] = None,
         schema_expert: Optional[ExpertOracle] = None,
+        hub: Optional[TelemetryHub] = None,
     ):
         self._collection = collection
         self._executor = executor
+        if hub is None:
+            hub = getattr(executor, "hub", None) or default_hub()
+        self._hub = hub
+        self._clock = clock
+        self._last_advance = clock()
+        registry = hub.registry
+        self._m_batches = registry.counter(
+            "stream_batches_total", "Micro-batches applied"
+        )
+        self._m_events = registry.counter(
+            "stream_events_total", "Raw changelog events applied"
+        )
+        self._m_batch_size = registry.histogram(
+            "stream_batch_size",
+            "Raw events per applied micro-batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_operator_apply = registry.histogram(
+            "stream_operator_apply_seconds",
+            "Apply time per operator per micro-batch",
+            labels=("operator",),
+        )
+        self._m_rebuilds = registry.counter(
+            "stream_rebuilds_total", "Full-rebuild fallback runs"
+        )
+        self._m_publishes = registry.counter(
+            "stream_publishes_total", "Entity-snapshot publishes"
+        )
+        self._m_watermark = registry.gauge(
+            "stream_watermark", "Changelog watermark every operator reached"
+        )
+        # lag/age read live through the hub's current stream: a hub usually
+        # hosts one stream at a time, and re-pointing on construction keeps
+        # the callbacks valid after a stream is closed and replaced
+        hub._stream_gauge_source = self
+        registry.gauge(
+            "stream_pending_events",
+            "Watermark lag: recorded events not yet applied",
+            callback=lambda: _stream_gauge(hub, "pending_events"),
+        )
+        registry.gauge(
+            "stream_watermark_age_seconds",
+            "Seconds since the stream watermark last advanced",
+            callback=lambda: _stream_gauge(hub, "watermark_age_seconds"),
+        )
         self._stream_config = stream_config or StreamConfig()
         self._stream_config.validate()
         self._writer: Optional[ChangelogWriter] = None
@@ -191,6 +248,11 @@ class StreamingTamer:
         return self._scheduler.pending()
 
     @property
+    def watermark_age_seconds(self) -> float:
+        """Seconds since a micro-batch last advanced the watermark."""
+        return max(0.0, self._clock() - self._last_advance)
+
+    @property
     def rebuild_count(self) -> int:
         """How many times the full-rebuild fallback has fired."""
         return self._rebuild_count
@@ -234,15 +296,39 @@ class StreamingTamer:
         fallback fire.
         """
         self._ensure_open()
-        reports = [operator.apply(batch) for operator in self._operators]
+        reports = []
+        with self._hub.tracer.span(
+            "stream.batch",
+            tags={
+                "events": len(batch),
+                "raw_events": batch.raw_event_count,
+                "high_watermark": batch.high_watermark,
+            },
+        ):
+            for operator in self._operators:
+                start = time.perf_counter()
+                with self._hub.tracer.span(
+                    "stream.operator", tags={"operator": operator.name}
+                ):
+                    reports.append(operator.apply(batch))
+                self._m_operator_apply.labels(operator=operator.name).observe(
+                    time.perf_counter() - start
+                )
         self._events_since_rebuild += batch.raw_event_count
+        self._m_batches.inc()
+        self._m_events.inc(batch.raw_event_count)
+        self._m_batch_size.observe(batch.raw_event_count)
+        self._m_watermark.set(self.watermark)
+        self._last_advance = self._clock()
         return reports
 
     def _rebuild_all(self) -> None:
-        for operator in self._operators:
-            operator.rebuild(self._collection.scan())
+        with self._hub.tracer.span("stream.rebuild"):
+            for operator in self._operators:
+                operator.rebuild(self._collection.scan())
         self._events_since_rebuild = 0
         self._rebuild_count += 1
+        self._m_rebuilds.inc()
 
     def maybe_rebuild(self) -> bool:
         """Fire the periodic full-rebuild fallback if it is due.
@@ -352,6 +438,7 @@ class StreamingTamer:
         return unsubscribe
 
     def _publish(self, snapshot: EntitySnapshot) -> None:
+        self._m_publishes.inc()
         for listener in list(self._snapshot_listeners):
             listener(snapshot)
 

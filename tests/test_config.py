@@ -5,6 +5,7 @@ import pytest
 from repro.config import (
     EntityConfig,
     ExpertConfig,
+    ObsConfig,
     SchemaConfig,
     StorageConfig,
     TamerConfig,
@@ -109,6 +110,36 @@ class TestExpertConfig:
     def test_accuracy_bounds(self):
         with pytest.raises(ConfigError):
             ExpertConfig(default_expert_accuracy=1.5).validate()
+
+
+class TestObsConfig:
+    def test_defaults_validate(self):
+        ObsConfig().validate()
+
+    def test_trace_buffer_minimum(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(trace_buffer=0).validate()
+
+    def test_trace_sample_every_minimum(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(trace_sample_every=0).validate()
+        ObsConfig(trace_sample_every=1).validate()
+
+    def test_snapshot_path_must_be_non_empty_or_none(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(snapshot_path="").validate()
+        ObsConfig(snapshot_path="obs/snapshots.jsonl").validate()
+
+    def test_snapshot_interval_positive(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(snapshot_interval_seconds=0.0).validate()
+
+    def test_disabled_hub_from_config_is_inert(self):
+        from repro.obs import TelemetryHub
+
+        hub = TelemetryHub.from_config(ObsConfig(enabled=False))
+        assert hub.registry.counter("c_total").value == 0.0
+        assert not hub.tracer.enabled
 
 
 class TestTamerConfig:

@@ -1,0 +1,340 @@
+"""Integration suite for the observability layer across real components.
+
+Three claims are pinned here:
+
+* **cross-process span trees** — the persistent pool's workers record
+  compute spans locally and ship them back inside task results; the
+  parent grafts them under its live fan-out span, including for tasks
+  re-dispatched after a worker crash (the respawned worker's spans land
+  under the same parent as everyone else's);
+* **one coherent telemetry plane** — a single ``metrics`` request against
+  a live server, while concurrent clients query and the stream publishes,
+  returns a snapshot covering all four layers (serve, stream, exec/pool,
+  pipeline) recorded into one hub;
+* **live top-k** — text ingest into the instance collection refreshes the
+  served mention counts without any manual ``refresh_mentions`` call.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import DataTamer
+from repro.config import ExecConfig
+from repro.core.pipeline import CurationPipeline
+from repro.exec import PersistentWorkerPool, ShardedExecutor
+from repro.obs import TelemetryHub
+from repro.query.engine import QueryEngine
+from repro.serve import QueryClient, QueryServer, serve_in_background
+from repro.storage.document_store import DocumentStore
+from repro.workloads import DedupCorpusGenerator
+
+
+def _square(value):
+    return value * value
+
+
+def _sum_partition(partition):
+    return sum(partition)
+
+
+def _crash_once(arg):
+    """Die abruptly on first execution; succeed on the re-dispatch."""
+    flag_path, value = arg
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf-8"):
+            pass
+        os._exit(13)
+    return value * value
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestPoolSpanShipping:
+    def test_worker_compute_spans_attach_under_live_parent(self):
+        hub = TelemetryHub()
+        with PersistentWorkerPool(workers=2, hub=hub) as pool:
+            with hub.tracer.span("exec.fan_out") as fan_out:
+                results, _ = pool.run_tasks([(_square, n) for n in range(5)])
+        assert results == [0, 1, 4, 9, 16]
+        computes = [
+            r for r in hub.tracer.export() if r["name"] == "pool.compute"
+        ]
+        assert len(computes) == 5
+        for record in computes:
+            assert record["trace_id"] == fan_out.trace_id
+            assert record["parent_id"] == fan_out.span_id
+            assert record["tags"]["pid"] != os.getpid()
+        # every task index shipped exactly one compute span
+        assert sorted(r["tags"]["task_index"] for r in computes) == list(
+            range(5)
+        )
+
+    def test_respawned_worker_spans_attach_to_same_parent(self, tmp_path):
+        hub = TelemetryHub()
+        flag = str(tmp_path / "crashed-once")
+        with PersistentWorkerPool(workers=2, hub=hub) as pool:
+            tasks = [(_square, n) for n in range(6)]
+            tasks[3] = (_crash_once, (flag, 3))
+            with hub.tracer.span("exec.fan_out") as fan_out:
+                results, _ = pool.run_tasks(tasks)
+            assert results == [0, 1, 4, 9, 16, 25]
+            assert pool.respawn_count == 1
+        computes = [
+            r for r in hub.tracer.export() if r["name"] == "pool.compute"
+        ]
+        # the crashed attempt never ships; the re-dispatch does, and it
+        # grafts under the same fan-out span as every other task
+        assert len(computes) == 6
+        assert {r["parent_id"] for r in computes} == {fan_out.span_id}
+        assert {r["trace_id"] for r in computes} == {fan_out.trace_id}
+        respawns = hub.registry.counter("pool_respawns_total")
+        assert respawns.value == 1.0
+
+    def test_executor_fan_out_span_wraps_pool_spans(self):
+        hub = TelemetryHub()
+        executor = ShardedExecutor(
+            ExecConfig(
+                parallelism=2, backend="process", pool="persistent"
+            ),
+            hub=hub,
+        )
+        try:
+            results = executor.map_shards(
+                _sum_partition, [[1, 2], [3, 4], [5, 6]]
+            )
+            assert results == [3, 7, 11]
+        finally:
+            executor.close()
+        records = hub.tracer.export()
+        fan_outs = [r for r in records if r["name"] == "exec.fan_out"]
+        computes = [r for r in records if r["name"] == "pool.compute"]
+        assert len(fan_outs) == 1
+        assert len(computes) == 3
+        assert {r["parent_id"] for r in computes} == {
+            fan_outs[0]["span_id"]
+        }
+
+
+@pytest.fixture
+def stack(small_config):
+    tamer = DataTamer(small_config)
+    corpus = DedupCorpusGenerator(seed=47).generate(n_entities=30)
+    tamer.train_dedup_model(corpus.pairs)
+    for record in corpus.records[:12]:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="seed"))
+    for name in ("Matilda", "Matilda", "Wicked"):
+        tamer.instance_collection.insert(
+            {"entity": name, "entity_type": "Movie"}
+        )
+    stream = tamer.start_stream(key_attribute="name")
+    server = tamer.create_server(key_attribute="name")
+    yield tamer, stream, server, corpus
+    tamer.close()
+
+
+class TestLiveTelemetrySurface:
+    def test_metrics_snapshot_covers_all_layers(self, stack):
+        tamer, stream, server, corpus = stack
+        # land pipeline metrics in the same hub (defaulted from the
+        # executor the pipeline shares with the tamer)
+        pipeline = CurationPipeline(executor=tamer.executor)
+        pipeline.add_stage("noop", lambda context: 1)
+        pipeline.run()
+
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                client.ping()
+                client.search("a")
+                client.top_k(k=2)
+                # a live publish between requests
+                tamer.curated_collection.insert(
+                    dict(corpus.records[12].as_dict(), _source="late")
+                )
+                stream.query_engine()
+                client.search("b")
+
+                payload = client.metrics()
+                metrics = payload["metrics"]
+                # serve layer
+                assert "serve_requests_total" in metrics
+                assert "serve_request_seconds" in metrics
+                assert "serve_cache_misses_total" in metrics
+                # stream layer
+                assert "stream_batches_total" in metrics
+                assert "stream_publishes_total" in metrics
+                assert "stream_watermark" in metrics
+                # exec layer
+                assert "exec_fanouts_total" in metrics
+                # pipeline layer
+                assert "pipeline_stage_seconds" in metrics
+                assert "pipeline_runs_total" in metrics
+                # traces aggregate across the layers too
+                names = set(payload["traces"]["by_name"])
+                assert "serve.request" in names
+                assert "stream.batch" in names
+                assert "pipeline.stage" in names
+
+                requested_ops = {
+                    series["labels"]["op"]
+                    for series in metrics["serve_requests_total"]["series"]
+                }
+                assert {"ping", "search", "top_k"} <= requested_ops
+
+    def test_metrics_prometheus_and_traces_formats(self, stack):
+        _tamer, _stream, server, _corpus = stack
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                client.ping()
+                text_payload = client.metrics(format="prometheus")
+                assert text_payload["format"] == "prometheus"
+                assert (
+                    "# TYPE serve_requests_total counter"
+                    in text_payload["text"]
+                )
+                traced = client.metrics(traces=True)
+                assert any(
+                    record["name"] == "serve.request"
+                    for record in traced["spans"]
+                )
+
+    def test_latency_histogram_agrees_with_request_count(self, stack):
+        _tamer, _stream, server, _corpus = stack
+        n_pings = 20
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                for _ in range(n_pings):
+                    client.ping()
+                metrics = client.metrics()["metrics"]
+        series = metrics["serve_request_seconds"]["series"]
+        ping = [s for s in series if s["labels"]["op"] == "ping"][0]
+        assert ping["count"] == n_pings
+        assert 0.0 < ping["p50"] <= ping["p95"] <= ping["p99"]
+
+    def test_request_spans_are_sampled_but_metrics_stay_exact(self):
+        hub = TelemetryHub(trace_sample_every=3)
+        server = QueryServer(
+            QueryEngine([], watermark=0),
+            curated_documents=lambda: [],
+            hub=hub,
+        )
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                for _ in range(9):
+                    client.ping()
+        spans = [
+            r for r in hub.tracer.export() if r["name"] == "serve.request"
+        ]
+        # requests 1, 4 and 7 are traced (the first is always sampled)
+        assert len(spans) == 3
+        series = hub.registry.histogram(
+            "serve_request_seconds", labels=("op",)
+        ).labels(op="ping")
+        assert series.count == 9
+
+    def test_status_reports_uptime_counts_and_snapshot(self, stack):
+        _tamer, stream, server, _corpus = stack
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                client.ping()
+                client.ping()
+                client.search("x")
+                status = client.status()
+        assert status["uptime_seconds"] >= 0.0
+        assert status["requests_by_op"]["ping"] == 2
+        assert status["requests_by_op"]["search"] == 1
+        assert status["snapshot"]["version"] == server.view.version
+        assert status["snapshot"]["watermark"] == stream.watermark
+        assert status["mentions_epoch"] == 0
+
+
+class TestMentionAutoRefresh:
+    def _server(self, instance_collection):
+        engine = QueryEngine([], watermark=0)
+        return QueryServer(
+            engine,
+            curated_documents=lambda: [],
+            instance_collection=instance_collection,
+        )
+
+    def test_insert_refreshes_topk_without_manual_call(self):
+        store = DocumentStore("dt")
+        collection = store.create_collection("instance")
+        collection.insert({"entity": "Matilda", "entity_type": "Movie"})
+        server = self._server(collection)
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                assert client.top_k(k=3) == [
+                    {
+                        "entity": "Matilda",
+                        "entity_type": "Movie",
+                        "mentions": 1,
+                    }
+                ]
+                for _ in range(3):
+                    collection.insert(
+                        {"entity": "Wicked", "entity_type": "Movie"}
+                    )
+                assert _wait_until(
+                    lambda: client.top_k(k=1)
+                    == [
+                        {
+                            "entity": "Wicked",
+                            "entity_type": "Movie",
+                            "mentions": 3,
+                        }
+                    ]
+                )
+                status = client.status()
+                assert status["mentions_epoch"] >= 1
+                refreshed = client.metrics()["metrics"][
+                    "mentions_refreshed_total"
+                ]
+                assert refreshed["series"][0]["value"] >= 1.0
+
+    def test_delete_triggers_full_recount(self):
+        store = DocumentStore("dt")
+        collection = store.create_collection("instance")
+        doc_ids = [
+            collection.insert({"entity": "Matilda", "entity_type": "Movie"})
+            for _ in range(3)
+        ]
+        server = self._server(collection)
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                assert client.top_k(k=1)[0]["mentions"] == 3
+                # counters cannot decrement incrementally: a delete flips
+                # the recount flag and the flush rebuilds from the source
+                collection.delete(doc_ids[0])
+                assert _wait_until(
+                    lambda: client.top_k(k=1)[0]["mentions"] == 2
+                )
+
+    def test_stale_topk_cache_entries_never_served_after_refresh(self):
+        store = DocumentStore("dt")
+        collection = store.create_collection("instance")
+        collection.insert({"entity": "Matilda", "entity_type": "Movie"})
+        server = self._server(collection)
+        with serve_in_background(server) as handle:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                first = client.request("top_k", {"k": 1})
+                assert first["cached"] is False
+                cached = client.request("top_k", {"k": 1})
+                assert cached["cached"] is True  # same epoch: cache hit
+                collection.insert(
+                    {"entity": "Matilda", "entity_type": "Movie"}
+                )
+                assert _wait_until(
+                    lambda: client.request("top_k", {"k": 1})["result"][
+                        "ranking"
+                    ][0]["mentions"]
+                    == 2
+                )

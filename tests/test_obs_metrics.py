@@ -1,0 +1,242 @@
+"""Unit suite for the metrics half of the observability layer.
+
+The registry's contract: registration is idempotent (same name + same
+shape returns the same family; a conflicting re-registration is an
+error), the disabled path is a shared no-op, and histogram quantile
+estimates always land in the same bucket as the true sample percentile —
+that last property is what lets the serve benchmark cross-check the
+server's own latency histogram against independently measured client
+percentiles.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NOOP,
+    Histogram,
+    MetricsRegistry,
+    TelemetryHub,
+)
+from repro.obs.metrics import NoopInstrument
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ObsError):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        family = MetricsRegistry().counter("ops_total", labels=("op",))
+        family.labels(op="ping").inc()
+        family.labels(op="ping").inc()
+        family.labels(op="status").inc()
+        values = {
+            labels["op"]: instrument.value
+            for labels, instrument in family.series()
+        }
+        assert values == {"ping": 2.0, "status": 1.0}
+
+    def test_wrong_label_names_rejected(self):
+        family = MetricsRegistry().counter("ops_total", labels=("op",))
+        with pytest.raises(ObsError):
+            family.labels(operation="ping")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_gauge_reads_at_observation_time(self):
+        state = {"value": 1.0}
+        gauge = MetricsRegistry().gauge(
+            "lag_seconds", callback=lambda: state["value"]
+        )
+        assert gauge.value == 1.0
+        state["value"] = 7.5
+        assert gauge.value == 7.5
+
+    def test_callback_gauge_exception_reads_nan(self):
+        def broken():
+            raise RuntimeError("source went away")
+
+        gauge = MetricsRegistry().gauge("lag_seconds", callback=broken)
+        assert math.isnan(gauge.value)
+
+    def test_callback_gauge_rejects_set(self):
+        gauge = MetricsRegistry().gauge("lag", callback=lambda: 0.0)
+        with pytest.raises(ObsError):
+            gauge.set(1.0)
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 4.0, 9.0):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 4
+        assert payload["sum"] == pytest.approx(15.0)
+        assert payload["min"] == 0.5
+        assert payload["max"] == 9.0
+
+    def test_buckets_are_cumulative_with_inf(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 4.0):
+            histogram.observe(value)
+        buckets = histogram.as_dict()["buckets"]
+        assert buckets == [
+            {"le": 1.0, "count": 1},
+            {"le": 2.0, "count": 2},
+            {"le": "+Inf", "count": 4},
+        ]
+
+    def test_non_ascending_buckets_rejected(self):
+        with pytest.raises(ObsError):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    @pytest.mark.parametrize("seed", [3, 17, 92])
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_quantile_lands_in_true_sample_bucket(self, seed, q):
+        """The estimate and the true percentile share a bucket.
+
+        This is the oracle the serve benchmark relies on: record every
+        sample on the side, compute the exact percentile from the sorted
+        samples, and require the histogram's interpolated estimate to
+        fall inside the same bucket interval.
+        """
+        rng = random.Random(seed)
+        histogram = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        samples = [rng.lognormvariate(-6.0, 1.5) for _ in range(500)]
+        for sample in samples:
+            histogram.observe(sample)
+        ordered = sorted(samples)
+        true_value = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        estimate = histogram.quantile(q)
+        edges = (0.0,) + DEFAULT_LATENCY_BUCKETS + (math.inf,)
+        for low, high in zip(edges, edges[1:]):
+            if low < true_value <= high:
+                assert low <= estimate <= high
+                break
+
+    def test_quantile_clamped_to_observed_range(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        assert 2.0 <= histogram.quantile(0.99) <= 3.0
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "help", labels=("op",))
+        second = registry.counter("hits_total", "help", labels=("op",))
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ObsError):
+            registry.gauge("thing")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", labels=("op",))
+        with pytest.raises(ObsError):
+            registry.counter("thing_total", labels=("operation",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_disabled_registry_returns_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", labels=("op",))
+        assert counter is NOOP
+        assert isinstance(counter.labels(op="x"), NoopInstrument)
+        counter.inc()
+        counter.labels(op="x").observe(3)
+        assert counter.value == 0.0
+        assert registry.snapshot() == {}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "cache hits").inc(3)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["hits_total"]["type"] == "counter"
+        assert snapshot["hits_total"]["series"][0]["value"] == 3.0
+        histogram = snapshot["lat_seconds"]["series"][0]
+        assert histogram["count"] == 1
+        assert "p95" in histogram
+        json.dumps(snapshot)  # wire-safe
+
+
+class TestPrometheusRender:
+    def test_render_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Cache hits", labels=("op",)).labels(
+            op="search"
+        ).inc(2)
+        registry.gauge("depth", "Queue depth").set(4)
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_prometheus()
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{op="search"} 2' in text
+        assert "depth 4" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("q",)).labels(
+            q='say "hi"\nplease\\now'
+        ).inc()
+        text = registry.render_prometheus()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+
+class TestTelemetryHub:
+    def test_disabled_hub_is_inert(self):
+        hub = TelemetryHub(enabled=False)
+        hub.registry.counter("c_total").inc()
+        with hub.tracer.span("x"):
+            pass
+        snapshot = hub.snapshot()
+        assert snapshot["enabled"] is False
+        assert snapshot["metrics"] == {}
+        assert hub.tracer.export() == []
+
+    def test_snapshot_writer_appends_jsonl(self, tmp_path):
+        path = tmp_path / "obs" / "snapshots.jsonl"
+        hub = TelemetryHub(
+            snapshot_path=str(path), snapshot_interval_seconds=60.0
+        )
+        hub.registry.counter("c_total").inc(2)
+        hub.close()  # forces the final flush
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 1
+        record = json.loads(lines[-1])
+        assert record["metrics"]["c_total"]["series"][0]["value"] == 2.0

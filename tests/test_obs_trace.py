@@ -1,0 +1,181 @@
+"""Unit suite for the tracing half of the observability layer.
+
+The tracer's contract in three parts: implicit same-thread parentage via
+context vars, explicit ``parent=`` hand-off across threads, and
+ship-and-reattach across processes (:meth:`Tracer.attach` grafts a
+worker's locally recorded spans under the live fan-out span).
+"""
+
+import threading
+
+from repro.obs import NOOP_SPAN, Tracer
+from repro.obs.trace import _NoopSpan
+
+
+class TestSpanBasics:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", tags={"k": 1}):
+            pass
+        (record,) = tracer.export()
+        assert record["name"] == "work"
+        assert record["parent_id"] is None
+        assert record["tags"] == {"k": 1}
+        assert record["duration"] >= 0.0
+
+    def test_nested_spans_share_trace_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        inner_rec, outer_rec = tracer.export()
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["trace_id"] == outer_rec["trace_id"]
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+
+    def test_sibling_spans_restore_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.export()
+        assert a["parent_id"] == parent.span_id
+        assert b["parent_id"] == parent.span_id
+
+    def test_error_is_captured(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fail"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (record,) = tracer.export()
+        assert record["error"] == "ValueError"
+
+    def test_post_hoc_tag_merges(self):
+        tracer = Tracer()
+        span = tracer.span("req", tags={"op": "?"})
+        with span:
+            span.tag(op="search", outcome="ok")
+        (record,) = tracer.export()
+        assert record["tags"] == {"op": "search", "outcome": "ok"}
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("x")
+        assert isinstance(span, _NoopSpan)
+        with span:
+            span.tag(anything="goes")
+            assert tracer.current() is None
+        assert tracer.export() == []
+        tracer.attach([{"span_id": "a", "name": "n"}])
+        assert tracer.export() == []
+
+    def test_noop_parent_starts_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("root", parent=NOOP_SPAN):
+            pass
+        (record,) = tracer.export()
+        assert record["parent_id"] is None
+
+
+class TestCrossThread:
+    def test_context_does_not_leak_across_threads(self):
+        tracer = Tracer()
+        seen = []
+
+        def worker():
+            seen.append(tracer.current())
+
+        with tracer.span("outer"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+
+            def worker():
+                with tracer.span("inner", parent=outer):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        inner_rec = tracer.export()[0]
+        assert inner_rec["trace_id"] == outer.trace_id
+        assert inner_rec["parent_id"] == outer.span_id
+
+
+class TestAttach:
+    def _shipped(self):
+        """Spans recorded by a worker-side throwaway tracer."""
+        worker_tracer = Tracer()
+        with worker_tracer.span("pool.compute", tags={"slot": 0}):
+            with worker_tracer.span("pool.compute.step"):
+                pass
+        return worker_tracer.export(clear=True)
+
+    def test_attach_grafts_roots_under_parent(self):
+        shipped = self._shipped()
+        tracer = Tracer()
+        with tracer.span("exec.fan_out") as fan_out:
+            tracer.attach(shipped)
+        by_name = {r["name"]: r for r in tracer.export()}
+        root = by_name["pool.compute"]
+        child = by_name["pool.compute.step"]
+        assert root["trace_id"] == fan_out.trace_id
+        assert root["parent_id"] == fan_out.span_id
+        # the internal edge survives the graft, on the new trace
+        assert child["trace_id"] == fan_out.trace_id
+        assert child["parent_id"] == root["span_id"]
+
+    def test_attach_with_explicit_parent(self):
+        shipped = self._shipped()
+        tracer = Tracer()
+        with tracer.span("exec.fan_out") as fan_out:
+            pass
+        tracer.attach(shipped, parent=fan_out)
+        root = [r for r in tracer.export() if r["name"] == "pool.compute"][0]
+        assert root["parent_id"] == fan_out.span_id
+
+    def test_attach_without_parent_adopts_verbatim(self):
+        shipped = self._shipped()
+        original_trace = shipped[0]["trace_id"]
+        tracer = Tracer()
+        tracer.attach(shipped)
+        adopted = tracer.export()
+        assert {r["trace_id"] for r in adopted} == {original_trace}
+
+
+class TestRingAndSummary:
+    def test_buffer_bounds_retention(self):
+        tracer = Tracer(buffer=3)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [r["name"] for r in tracer.export()]
+        assert names == ["s7", "s8", "s9"]
+
+    def test_export_clear_drains(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert len(tracer.export(clear=True)) == 1
+        assert tracer.export() == []
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        summary = tracer.summary()
+        assert summary["buffered_spans"] == 3
+        assert summary["by_name"]["op"]["count"] == 3
+        assert summary["by_name"]["op"]["total_seconds"] >= 0.0
