@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from .errors import ConfigError
+from .fault import FaultPlan
 
 
 @dataclass
@@ -133,6 +134,14 @@ class ExecConfig:
     chunk payload.  ``pool_idle_timeout`` stops idle persistent workers
     after that many seconds (0 keeps them until the executor is closed);
     restarting re-syncs the warm state automatically.
+
+    ``dispatch_deadline`` bounds how long one dispatched shard may sit on a
+    persistent worker before the worker is presumed hung, killed, respawned,
+    and the shard re-dispatched (0 disables the watchdog — a crashed worker
+    is still detected via its broken pipe either way).  ``fault_plan`` arms
+    the deterministic fault-injection harness on the pool's fault points
+    (see :mod:`repro.fault`); None defers to the ``REPRO_FAULT_PLAN``
+    environment variable, so production default is "off".
     """
 
     parallelism: int = 1
@@ -141,6 +150,8 @@ class ExecConfig:
     pool: str = "persistent"
     warm_state: bool = True
     pool_idle_timeout: float = 300.0
+    dispatch_deadline: float = 0.0
+    fault_plan: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         if self.parallelism < 1:
@@ -153,6 +164,10 @@ class ExecConfig:
             raise ConfigError(f"unknown exec pool flavour: {self.pool!r}")
         if self.pool_idle_timeout < 0:
             raise ConfigError("pool_idle_timeout must be >= 0")
+        if self.dispatch_deadline < 0:
+            raise ConfigError("dispatch_deadline must be >= 0")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
 
 
 @dataclass
@@ -179,6 +194,12 @@ class StreamConfig:
     :func:`repro.storage.persistence.recover_collection` replays it into an
     empty collection after a crash — reproducing the live curated state
     bit-identically.
+
+    ``compact_on_rebuild`` truncates the changelog whenever the engine runs
+    a full rebuild: the replayed history is atomically replaced by a fresh
+    bootstrap snapshot of the collection, so recovery cost stops growing
+    with stream lifetime.  ``fault_plan`` arms fault injection on the
+    stream's fault points (``changelog.write``, ``scheduler.drain``).
     """
 
     max_batch_size: int = 256
@@ -186,6 +207,8 @@ class StreamConfig:
     rebuild_threshold: int = 10_000
     schema_integration: bool = False
     changelog_path: Optional[str] = None
+    compact_on_rebuild: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         if self.max_batch_size < 1:
@@ -196,6 +219,8 @@ class StreamConfig:
             raise ConfigError("rebuild_threshold must be >= 0")
         if self.changelog_path is not None and not str(self.changelog_path):
             raise ConfigError("changelog_path must be a non-empty path or None")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
 
 
 @dataclass
@@ -212,6 +237,21 @@ class ServeConfig:
     published (0 disables background refresh — stale entries then refresh
     lazily on their next miss).  ``max_request_bytes`` bounds one request
     line on the wire.
+
+    Resilience knobs: ``max_inflight`` bounds how many requests may occupy
+    evaluation workers at once — beyond it the server *sheds* instead of
+    queueing, replying with an ``Overloaded`` error carrying
+    ``retry_after_seconds`` as a backoff hint (0 disables admission
+    control).  ``request_deadline`` bounds one evaluation's wall time; a
+    miss answers ``DeadlineExceeded`` instead of holding the connection
+    (0 disables).  ``degraded_after_seconds`` enables degraded reads: when
+    the published snapshot is older than this *and* stream events are
+    pending, cacheable queries may be answered from stale cache entries
+    stamped with their original watermark and flagged ``degraded: true``
+    (0 disables — never serve stale).  ``drain_timeout`` is how long
+    :meth:`~repro.serve.server.QueryServer.stop` waits for in-flight
+    requests to finish before force-closing connections.  ``fault_plan``
+    arms injection on ``serve.socket_read`` / ``serve.evaluate``.
     """
 
     host: str = "127.0.0.1"
@@ -220,6 +260,12 @@ class ServeConfig:
     cache_size: int = 1024
     refresh_limit: int = 32
     max_request_bytes: int = 1 << 20
+    max_inflight: int = 0
+    request_deadline: float = 0.0
+    retry_after_seconds: float = 0.05
+    degraded_after_seconds: float = 0.0
+    drain_timeout: float = 5.0
+    fault_plan: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         if not self.host:
@@ -234,6 +280,18 @@ class ServeConfig:
             raise ConfigError("refresh_limit must be >= 0")
         if self.max_request_bytes < 1024:
             raise ConfigError("max_request_bytes must be >= 1024")
+        if self.max_inflight < 0:
+            raise ConfigError("max_inflight must be >= 0")
+        if self.request_deadline < 0:
+            raise ConfigError("request_deadline must be >= 0")
+        if self.retry_after_seconds <= 0:
+            raise ConfigError("retry_after_seconds must be positive")
+        if self.degraded_after_seconds < 0:
+            raise ConfigError("degraded_after_seconds must be >= 0")
+        if self.drain_timeout < 0:
+            raise ConfigError("drain_timeout must be >= 0")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
 
 
 @dataclass
@@ -254,6 +312,13 @@ class ObsConfig:
     shard fan-outs) are never sampled.  ``snapshot_path`` enables the
     periodic JSONL snapshot writer (one registry snapshot appended
     every ``snapshot_interval_seconds``) for offline analysis.
+
+    Alert thresholds feed the in-process rule evaluator surfaced through
+    the serve ``status`` op: ``alert_watermark_age_seconds`` fires when the
+    published snapshot's watermark age exceeds it, and
+    ``alert_respawn_rate_per_minute`` when pool worker respawns (crash or
+    hung-kill) within the sliding ``alert_window_seconds`` exceed that
+    per-minute rate.  Setting either threshold to 0 disables that rule.
     """
 
     enabled: bool = True
@@ -262,6 +327,9 @@ class ObsConfig:
     trace_sample_every: int = 10
     snapshot_path: Optional[str] = None
     snapshot_interval_seconds: float = 10.0
+    alert_watermark_age_seconds: float = 300.0
+    alert_respawn_rate_per_minute: float = 30.0
+    alert_window_seconds: float = 60.0
 
     def validate(self) -> None:
         if self.trace_buffer < 1:
@@ -272,6 +340,12 @@ class ObsConfig:
             raise ConfigError("snapshot_path must be a non-empty path or None")
         if self.snapshot_interval_seconds <= 0:
             raise ConfigError("snapshot_interval_seconds must be positive")
+        if self.alert_watermark_age_seconds < 0:
+            raise ConfigError("alert_watermark_age_seconds must be >= 0")
+        if self.alert_respawn_rate_per_minute < 0:
+            raise ConfigError("alert_respawn_rate_per_minute must be >= 0")
+        if self.alert_window_seconds <= 0:
+            raise ConfigError("alert_window_seconds must be positive")
 
 
 @dataclass

@@ -132,6 +132,35 @@ class ProtocolError(ServeError):
     """Raised when a serve-tier request violates the JSON wire protocol."""
 
 
+class Overloaded(ServeError):
+    """Raised (or encoded on the wire) when admission control sheds load.
+
+    ``retry_after`` is the server's backoff hint in seconds; clients with
+    retry budget honour it before re-sending.
+    """
+
+    def __init__(self, message: str = "server overloaded", retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServeError):
+    """Raised when a request misses its server-side evaluation deadline."""
+
+
+class InjectedFault(TamerError):
+    """Raised by the fault-injection harness at an armed fault point.
+
+    Only ever raised when a :class:`repro.fault.FaultPlan` is active; the
+    resilience policies under test must either recover from it or surface
+    it as the subsystem's own error type.
+    """
+
+    def __init__(self, point: str, message: str = ""):
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
 class ObsError(TamerError):
     """Raised by the observability layer (metrics registry, tracing)."""
 

@@ -27,6 +27,7 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from ..config import ExecConfig
 from ..errors import TamerError
+from ..fault import resolve_plan
 from ..obs import TelemetryHub, default_hub
 from ..storage.sharding import ShardRouter
 from .pool import PersistentWorkerPool
@@ -208,6 +209,8 @@ class ShardedExecutor:
                 workers=self.parallelism,
                 idle_timeout=self._config.pool_idle_timeout,
                 hub=self._hub,
+                dispatch_deadline=self._config.dispatch_deadline,
+                fault_plan=resolve_plan(self._config.fault_plan),
             )
         return self._pool
 

@@ -46,7 +46,8 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import TamerError
+from ..errors import InjectedFault, TamerError
+from ..fault import FaultPlan, injector_for
 from ..obs import TelemetryHub, default_hub
 from ..obs.trace import Tracer
 
@@ -179,7 +180,9 @@ def warm_state_snapshot(_: Any = None) -> Dict[str, Any]:
     }
 
 
-def _worker_main(slot: int, conn, trace: bool = False) -> None:
+def _worker_main(
+    slot: int, conn, trace: bool = False, fault_plan: Optional[FaultPlan] = None
+) -> None:
     """The worker loop: apply syncs, run calls, report timed results.
 
     With ``trace`` on, each call's compute span is recorded by a
@@ -187,10 +190,17 @@ def _worker_main(slot: int, conn, trace: bool = False) -> None:
     parent re-attaches the records under its live fan-out span (span trees
     cannot share a context var across the process boundary, so
     ship-and-reattach is the propagation protocol).
+
+    ``fault_plan`` arms the worker-side fault points.  They fire keyed by
+    ``(task index, attempt)``, so a respawned worker makes exactly the same
+    injection decisions its predecessor would have — except where a rule
+    keys on the attempt number, which is how "hang once, succeed on
+    re-dispatch" schedules are written.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _WORKER_STATE
     _WORKER_STATE = _WarmState()
+    faults = injector_for(fault_plan)
     tracer = Tracer(enabled=trace, buffer=16)
     pid = multiprocessing.current_process().pid
     while True:
@@ -212,10 +222,12 @@ def _worker_main(slot: int, conn, trace: bool = False) -> None:
         if kind == "context-drop":
             _WORKER_STATE.contexts.pop(message[1], None)
             continue
-        # ("call", index, func, arg)
-        _, index, func, arg = message
+        # ("call", index, func, arg, attempt)
+        _, index, func, arg, attempt = message
         start = time.perf_counter()
         try:
+            faults.fire("pool.worker_hang", key=(index, attempt))
+            faults.fire("pool.worker_compute", key=(index, attempt))
             with tracer.span(
                 "pool.compute",
                 tags={"slot": slot, "pid": pid, "task_index": index},
@@ -284,12 +296,19 @@ class PersistentWorkerPool:
         idle_timeout: float = 0.0,
         poll_interval: float = _POLL_INTERVAL,
         hub: Optional[TelemetryHub] = None,
+        dispatch_deadline: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise TamerError("pool workers must be >= 1")
+        if dispatch_deadline < 0:
+            raise TamerError("dispatch_deadline must be >= 0")
         self._n_workers = workers
         self._idle_timeout = float(idle_timeout)
         self._poll_interval = float(poll_interval)
+        self._dispatch_deadline = float(dispatch_deadline)
+        self._fault_plan = fault_plan
+        self._faults = injector_for(fault_plan)
         self._hub = hub if hub is not None else default_hub()
         registry = self._hub.registry
         self._m_starts = registry.counter(
@@ -297,6 +316,10 @@ class PersistentWorkerPool:
         )
         self._m_respawns = registry.counter(
             "pool_respawns_total", "Individual crashed-worker respawns"
+        )
+        self._m_hung_respawns = registry.counter(
+            "pool_hung_respawns_total",
+            "Workers killed and respawned after missing the dispatch deadline",
         )
         self._m_syncs = registry.counter(
             "pool_syncs_total", "Warm-state delta/context broadcasts"
@@ -333,6 +356,7 @@ class PersistentWorkerPool:
         self._closed = False
         self._start_count = 0
         self._respawn_count = 0
+        self._hung_respawn_count = 0
         self._sync_count = 0
         self._last_sync_seconds = 0.0
         self._total_sync_seconds = 0.0
@@ -369,6 +393,21 @@ class PersistentWorkerPool:
     def respawn_count(self) -> int:
         """How many individual crashed workers have been respawned."""
         return self._respawn_count
+
+    @property
+    def hung_respawn_count(self) -> int:
+        """How many workers were killed for missing the dispatch deadline.
+
+        A hung-kill also increments :attr:`respawn_count` once the reaper
+        respawns the worker; this counter isolates the deadline watchdog's
+        contribution.
+        """
+        return self._hung_respawn_count
+
+    @property
+    def dispatch_deadline(self) -> float:
+        """Seconds one dispatched task may run before its worker is killed."""
+        return self._dispatch_deadline
 
     @property
     def sync_count(self) -> int:
@@ -418,7 +457,7 @@ class PersistentWorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(slot, child_conn, self._hub.tracer.enabled),
+            args=(slot, child_conn, self._hub.tracer.enabled, self._fault_plan),
             name=f"repro-pool-worker-{slot}",
             daemon=True,
         )
@@ -690,12 +729,29 @@ class PersistentWorkerPool:
                     self._stop_workers()
                     raise TamerError(
                         f"pool task {index} failed {_MAX_TASK_ATTEMPTS} times "
-                        "on crashed workers; giving up"
+                        "on crashed or hung workers; giving up"
                     )
                 func, arg = tasks[index]
                 submitted_at[index] = time.perf_counter()
                 in_flight[slot] = index
-                self._workers[slot].connection.send(("call", index, func, arg))
+                try:
+                    self._faults.fire(
+                        "pool.pipe_send", key=(index, attempts[index])
+                    )
+                    self._workers[slot].connection.send(
+                        ("call", index, func, arg, attempts[index])
+                    )
+                except (BrokenPipeError, OSError, InjectedFault):
+                    # the pipe failed (or an injected fault stood in for it):
+                    # the peer is unreachable, so treat the worker as dead —
+                    # kill it and requeue; the reaper respawns it and the
+                    # task is re-dispatched on a fresh pipe
+                    in_flight.pop(slot, None)
+                    undispatched.append(index)
+                    try:
+                        self._workers[slot].process.kill()
+                    except Exception:
+                        pass
 
             def handle(slot: int, message) -> None:
                 kind = message[0]
@@ -729,6 +785,9 @@ class PersistentWorkerPool:
                 feed(slot)
 
             while remaining:
+                needs_reap = (
+                    self._kill_overdue(in_flight, submitted_at, undispatched) > 0
+                )
                 slot_by_connection = {
                     worker.connection: worker.slot for worker in self._workers
                 }
@@ -741,12 +800,13 @@ class PersistentWorkerPool:
                     try:
                         message = connection.recv()
                     except (EOFError, OSError):
-                        continue  # the reaper below sees the dead process
+                        needs_reap = True  # dead pipe: reap promptly below
+                        continue
                     progressed = True
                     handle(slot, message)
                     if slot not in in_flight:
                         feed(slot)
-                if not progressed:
+                if needs_reap or not progressed:
                     respawned = self._reap_crashed(in_flight, handle, undispatched)
                     for slot in respawned:
                         feed(slot)
@@ -764,6 +824,41 @@ class PersistentWorkerPool:
                 timing.queue_seconds for timing in completed
             )
             return results, completed
+
+    def _kill_overdue(
+        self,
+        in_flight: Dict[int, int],
+        submitted_at: Dict[int, float],
+        undispatched: List[int],
+    ) -> int:
+        """Kill workers whose dispatched task missed the deadline.
+
+        A *hung* worker never reports back and never breaks its pipe, so
+        the crash reaper alone would wait forever.  The watchdog SIGKILLs
+        any worker whose in-flight task has been out longer than
+        ``dispatch_deadline`` and requeues the task immediately (taking it
+        out of ``in_flight`` so a slow exit cannot be killed twice); the
+        reaper then respawns the slot, and :data:`_MAX_TASK_ATTEMPTS`
+        still bounds a task that hangs every worker it touches.  Returns
+        how many workers were killed.
+        """
+        if self._dispatch_deadline <= 0 or not in_flight:
+            return 0
+        now = time.perf_counter()
+        killed = 0
+        for slot, index in list(in_flight.items()):
+            if now - submitted_at[index] <= self._dispatch_deadline:
+                continue
+            del in_flight[slot]
+            undispatched.append(index)
+            try:
+                self._workers[slot].process.kill()
+            except Exception:
+                pass
+            killed += 1
+            self._hung_respawn_count += 1
+            self._m_hung_respawns.inc()
+        return killed
 
     def _reap_crashed(
         self,

@@ -1,0 +1,25 @@
+"""Deterministic fault-injection harness (see :mod:`repro.fault.injector`)."""
+
+from .injector import (
+    ACTIONS,
+    ENV_VAR,
+    KNOWN_POINTS,
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    injector_for,
+    resolve_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "KNOWN_POINTS",
+    "NO_FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "injector_for",
+    "resolve_plan",
+]

@@ -1,0 +1,308 @@
+"""Deterministic, seedable fault injection.
+
+The harness has three pieces:
+
+* **Fault points** — named call sites threaded through the hot paths
+  (``pool.pipe_send``, ``pool.worker_compute``, ``pool.worker_hang``,
+  ``changelog.write``, ``serve.socket_read``, ``serve.evaluate``,
+  ``scheduler.drain``).  Each site calls :meth:`FaultInjector.fire` with an
+  optional *key* identifying the unit of work (task index + attempt, record
+  id, ...).  When no plan is armed the call is a dictionary miss on the
+  shared :data:`NO_FAULTS` singleton — effectively free.
+
+* **A plan** — :class:`FaultPlan` is a seed plus an ordered tuple of
+  :class:`FaultRule`.  A rule matches either an exact set of keys, a
+  pseudo-random probability draw, or a hit-counter window, and performs one
+  action: ``error`` (raise :class:`~repro.errors.InjectedFault`), ``crash``
+  (``os._exit``), ``hang`` / ``delay`` (sleep), or ``torn`` (returned to the
+  site, which interprets it — e.g. a partial changelog line).
+
+* **Determinism** — probability draws never touch the global RNG.  Each
+  draw hashes ``(seed, rule index, point, key)`` with blake2b, so the same
+  plan against the same workload fires at the same units of work on every
+  run, in every process.  Worker-side sites pass explicit keys (task index
+  and attempt number) so a respawned worker makes the *same* decisions its
+  predecessor did — except for attempt-keyed rules, which is exactly how a
+  "hangs once, succeeds on retry" schedule is expressed.
+
+Plans serialize to JSON (CI uploads the failure schedule as an artifact)
+and can be armed without code through the ``REPRO_FAULT_PLAN`` environment
+variable (inline JSON, or ``@/path/to/plan.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError, InjectedFault
+
+ACTIONS = frozenset({"error", "crash", "hang", "delay", "torn"})
+
+KNOWN_POINTS = frozenset(
+    {
+        "pool.pipe_send",
+        "pool.worker_compute",
+        "pool.worker_hang",
+        "changelog.write",
+        "serve.socket_read",
+        "serve.evaluate",
+        "scheduler.drain",
+    }
+)
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+_DEFAULT_HANG_SECONDS = 60.0
+
+
+def _canon_key(key: Any) -> str:
+    """A stable string form of a fire key (tuples and lists collapse)."""
+    return json.dumps(key, sort_keys=True, default=str)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: where, what, and when it fires.
+
+    Exactly one matching mode applies: ``keys`` (fire on those exact fire
+    keys), ``p`` (seeded pseudo-random draw per fire key), or neither —
+    a hit-counter window (fire from the ``start``-th call at this point
+    onward).  ``times`` caps total fires per injector instance in every
+    mode; ``seconds`` parameterizes ``hang``/``delay`` sleeps.
+    """
+
+    point: str
+    action: str
+    seconds: float = 0.0
+    p: Optional[float] = None
+    keys: Optional[Tuple[Any, ...]] = None
+    start: int = 0
+    times: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(f"unknown fault action: {self.action!r}")
+        if self.point not in KNOWN_POINTS:
+            raise ConfigError(
+                f"unknown fault point: {self.point!r} "
+                f"(known: {', '.join(sorted(KNOWN_POINTS))})"
+            )
+        if self.seconds < 0:
+            raise ConfigError("fault rule seconds must be >= 0")
+        if self.p is not None and not 0.0 <= self.p <= 1.0:
+            raise ConfigError("fault rule p must be in [0, 1]")
+        if self.p is not None and self.keys is not None:
+            raise ConfigError("fault rule cannot combine p and keys")
+        if self.start < 0:
+            raise ConfigError("fault rule start must be >= 0")
+        if self.times is not None and self.times < 1:
+            raise ConfigError("fault rule times must be >= 1 or None")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"point": self.point, "action": self.action}
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        if self.p is not None:
+            payload["p"] = self.p
+        if self.keys is not None:
+            payload["keys"] = [list(k) if isinstance(k, tuple) else k for k in self.keys]
+        if self.start:
+            payload["start"] = self.start
+        if self.times is not None:
+            payload["times"] = self.times
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        keys = payload.get("keys")
+        if keys is not None:
+            keys = tuple(tuple(k) if isinstance(k, list) else k for k in keys)
+        rule = cls(
+            point=payload["point"],
+            action=payload["action"],
+            seconds=float(payload.get("seconds", 0.0)),
+            p=payload.get("p"),
+            keys=keys,
+            start=int(payload.get("start", 0)),
+            times=payload.get("times"),
+        )
+        rule.validate()
+        return rule
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of faults, armed via config or environment."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+
+    def validate(self) -> None:
+        for rule in self.rules:
+            rule.validate()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault plan JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        rules = tuple(FaultRule.from_dict(r) for r in payload.get("rules", ()))
+        return cls(seed=int(payload.get("seed", 0)), rules=rules)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan armed via ``REPRO_FAULT_PLAN``, or None."""
+        raw = os.environ.get(ENV_VAR)
+        if not raw:
+            return None
+        if raw.startswith("@"):
+            with open(raw[1:], "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        return cls.from_json(raw)
+
+
+class _NoFaults:
+    """The disabled injector: ``fire`` is a constant no-op."""
+
+    __slots__ = ()
+    active = False
+
+    def fire(self, point: str, key: Any = None) -> None:
+        return None
+
+    @property
+    def history(self) -> List[Dict[str, Any]]:
+        return []
+
+    def fired(self, point: Optional[str] = None) -> int:
+        return 0
+
+
+NO_FAULTS = _NoFaults()
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at fault points, recording every fire.
+
+    One injector instance holds the mutable counters (per-point hit counts,
+    per-rule fire counts) and a history of what fired where — the chaos
+    suite dumps the history alongside the plan when an invariant breaks.
+    Not thread-safe by design: counter races only perturb *which* faults
+    fire, never correctness of the system under test, and the deterministic
+    schedules used in CI key off explicit fire keys, not counters.
+    """
+
+    active = True
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self._by_point: Dict[str, List[Tuple[int, FaultRule, Optional[set]]]] = {}
+        for index, rule in enumerate(plan.rules):
+            key_set = None
+            if rule.keys is not None:
+                key_set = {_canon_key(k) for k in rule.keys}
+            self._by_point.setdefault(rule.point, []).append((index, rule, key_set))
+        self._hits: Dict[str, int] = {}
+        self._fires: Dict[int, int] = {}
+        self._history: List[Dict[str, Any]] = []
+
+    @property
+    def history(self) -> List[Dict[str, Any]]:
+        return list(self._history)
+
+    def fired(self, point: Optional[str] = None) -> int:
+        """How many faults fired (optionally at one point)."""
+        if point is None:
+            return sum(self._fires.values())
+        return sum(
+            self._fires.get(index, 0)
+            for index, _, _ in self._by_point.get(point, ())
+        )
+
+    def _draw(self, rule_index: int, point: str, key: Any) -> float:
+        digest = hashlib.blake2b(
+            f"{self.plan.seed}:{rule_index}:{point}:{_canon_key(key)}".encode(),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") / float(1 << 64)
+
+    def fire(self, point: str, key: Any = None) -> Optional[FaultRule]:
+        """Evaluate rules at ``point``; act on the first match.
+
+        Returns the matched rule for site-interpreted actions (``torn``),
+        None when nothing fires.  ``error`` raises, ``crash`` exits the
+        process, ``hang``/``delay`` sleep then return None.
+        """
+        rules = self._by_point.get(point)
+        if not rules:
+            return None
+        hit = self._hits.get(point, 0)
+        self._hits[point] = hit + 1
+        for index, rule, key_set in rules:
+            if rule.times is not None and self._fires.get(index, 0) >= rule.times:
+                continue
+            effective = key if key is not None else hit
+            if key_set is not None:
+                if _canon_key(effective) not in key_set:
+                    continue
+            elif rule.p is not None:
+                if self._draw(index, point, effective) >= rule.p:
+                    continue
+            elif hit < rule.start:
+                continue
+            self._fires[index] = self._fires.get(index, 0) + 1
+            self._history.append(
+                {"point": point, "action": rule.action, "key": effective, "rule": index}
+            )
+            return self._act(point, rule)
+        return None
+
+    @staticmethod
+    def _act(point: str, rule: FaultRule) -> Optional[FaultRule]:
+        if rule.action == "delay":
+            time.sleep(rule.seconds)
+            return None
+        if rule.action == "hang":
+            time.sleep(rule.seconds or _DEFAULT_HANG_SECONDS)
+            return None
+        if rule.action == "error":
+            raise InjectedFault(point)
+        if rule.action == "crash":
+            os._exit(13)
+        return rule  # "torn": the site decides what a torn write means
+
+    def schedule_dump(self) -> Dict[str, Any]:
+        """Plan + fire history, for the CI failure-schedule artifact."""
+        return {
+            "plan": json.loads(self.plan.to_json()),
+            "history": self.history,
+        }
+
+
+def resolve_plan(config_plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """The effective plan: explicit config wins, else the environment."""
+    if config_plan is not None:
+        return config_plan
+    return FaultPlan.from_env()
+
+
+def injector_for(plan: Optional[FaultPlan]):
+    """An armed :class:`FaultInjector`, or the no-op singleton."""
+    if plan is None or not plan.rules:
+        return NO_FAULTS
+    return FaultInjector(plan)

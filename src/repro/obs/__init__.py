@@ -11,6 +11,7 @@ instruments.  See ``docs/observability.md`` for the metric catalog and
 span model.
 """
 
+from .alerts import AlertManager, RateRule, ThresholdRule, standard_rules
 from .hub import SnapshotWriter, TelemetryHub, default_hub
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -30,16 +31,20 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "NOOP",
     "NOOP_SPAN",
+    "AlertManager",
     "Counter",
     "Gauge",
     "Histogram",
     "InstrumentFamily",
     "MetricsRegistry",
     "NoopInstrument",
+    "RateRule",
     "SnapshotWriter",
     "Span",
     "SpanRecord",
     "TelemetryHub",
+    "ThresholdRule",
     "Tracer",
     "default_hub",
+    "standard_rules",
 ]

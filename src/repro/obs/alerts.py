@@ -1,0 +1,210 @@
+"""Alert-style threshold rules over the metrics registry.
+
+An :class:`AlertManager` holds a small set of rules and evaluates them on
+demand — there is no background thread; the serving tier's ``status``
+operation is the natural poll point, so every status response carries the
+currently firing alerts and an external watcher gets alerting for free.
+
+Two rule shapes cover the standing failure modes of the stack:
+
+* :class:`ThresholdRule` — a gauge crossed a line.  ``stream_watermark_age
+  _seconds`` past the configured bound means the pipeline stopped
+  advancing: wedged scheduler, dead writer, or overload.
+* :class:`RateRule` — counters are climbing too fast.  A worker respawn
+  rate above the bound means the pool is crash-looping (or the dispatch
+  deadline is killing healthy workers), either of which needs a human.
+
+Rules read families straight out of the registry by name
+(:meth:`~repro.obs.metrics.MetricsRegistry.find`) at evaluation time, so
+they never *create* metrics and never race component start-up: a layer
+that has not registered its metric yet simply cannot fire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+
+
+def _family_total(registry: MetricsRegistry, name: str) -> Optional[float]:
+    """Sum every series of a family (``None`` if never registered/empty)."""
+    family = registry.find(name)
+    if family is None:
+        return None
+    values = [instrument.value for _, instrument in family.series()]
+    finite = [v for v in values if v == v]  # drop NaN from failed callbacks
+    if not finite:
+        return None
+    return sum(finite)
+
+
+def _family_max(registry: MetricsRegistry, name: str) -> Optional[float]:
+    """Max over every series of a family (``None`` if absent/empty)."""
+    family = registry.find(name)
+    if family is None:
+        return None
+    values = [instrument.value for _, instrument in family.series()]
+    finite = [v for v in values if v == v]
+    if not finite:
+        return None
+    return max(finite)
+
+
+class ThresholdRule:
+    """Fire while a gauge (max over its series) is at or past a bound."""
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        threshold: float,
+        description: str = "",
+    ):
+        self.name = name
+        self.metric = metric
+        self.threshold = float(threshold)
+        self.description = description
+
+    def evaluate(
+        self, registry: MetricsRegistry, now: float
+    ) -> Optional[Dict[str, Any]]:
+        if self.threshold <= 0:
+            return None  # a non-positive bound disables the rule
+        value = _family_max(registry, self.metric)
+        if value is None or value < self.threshold:
+            return None
+        return {
+            "rule": self.name,
+            "kind": "threshold",
+            "metric": self.metric,
+            "value": value,
+            "threshold": self.threshold,
+            "description": self.description,
+        }
+
+
+class RateRule:
+    """Fire while a set of counters climbs faster than a per-minute bound.
+
+    The rule keeps a sliding window of ``(time, total)`` observations taken
+    at evaluation time and fires on the increase across the window scaled
+    to per-minute.  One evaluation alone never fires (a rate needs two
+    points), so poll ``status`` at least twice within the window to arm it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metrics: Sequence[str],
+        per_minute: float,
+        window_seconds: float = 60.0,
+        description: str = "",
+    ):
+        self.name = name
+        self.metrics = tuple(metrics)
+        self.per_minute = float(per_minute)
+        self.window_seconds = float(window_seconds)
+        self.description = description
+        self._samples: "deque[Tuple[float, float]]" = deque()
+        self._lock = threading.Lock()
+
+    def evaluate(
+        self, registry: MetricsRegistry, now: float
+    ) -> Optional[Dict[str, Any]]:
+        if self.per_minute <= 0:
+            return None
+        totals = [_family_total(registry, name) for name in self.metrics]
+        known = [t for t in totals if t is not None]
+        if not known:
+            return None
+        total = sum(known)
+        with self._lock:
+            self._samples.append((now, total))
+            while (
+                len(self._samples) > 2
+                and now - self._samples[0][0] > self.window_seconds
+            ):
+                self._samples.popleft()
+            oldest_time, oldest_total = self._samples[0]
+        elapsed = now - oldest_time
+        if elapsed <= 0:
+            return None
+        rate = (total - oldest_total) / elapsed * 60.0
+        if rate < self.per_minute:
+            return None
+        return {
+            "rule": self.name,
+            "kind": "rate",
+            "metrics": list(self.metrics),
+            "value": rate,
+            "threshold": self.per_minute,
+            "window_seconds": self.window_seconds,
+            "description": self.description,
+        }
+
+
+class AlertManager:
+    """Evaluate a rule set against one registry on demand."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        rules: Sequence[Any] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._registry = registry
+        self._rules: List[Any] = list(rules)
+        self._clock = clock
+
+    def add(self, rule: Any) -> "AlertManager":
+        """Append one rule (chainable)."""
+        self._rules.append(rule)
+        return self
+
+    @property
+    def rules(self) -> Tuple[Any, ...]:
+        return tuple(self._rules)
+
+    def evaluate(self) -> List[Dict[str, Any]]:
+        """Every currently firing alert, rule-name-sorted."""
+        now = self._clock()
+        firing = []
+        for rule in self._rules:
+            alert = rule.evaluate(self._registry, now)
+            if alert is not None:
+                firing.append(alert)
+        firing.sort(key=lambda alert: alert["rule"])
+        return firing
+
+
+def standard_rules(
+    watermark_age_seconds: float = 300.0,
+    respawn_rate_per_minute: float = 30.0,
+    window_seconds: float = 60.0,
+) -> List[Any]:
+    """The stack's standing rule set (see :class:`~repro.config.ObsConfig`)."""
+    return [
+        ThresholdRule(
+            "stream_watermark_stale",
+            "stream_watermark_age_seconds",
+            watermark_age_seconds,
+            description=(
+                "the stream watermark has not advanced within the bound — "
+                "the pipeline is wedged or drowning"
+            ),
+        ),
+        RateRule(
+            "pool_respawn_storm",
+            ("pool_respawns_total", "pool_hung_respawns_total"),
+            respawn_rate_per_minute,
+            window_seconds=window_seconds,
+            description=(
+                "workers are being respawned faster than the bound — "
+                "crash loop, or the dispatch deadline is too tight"
+            ),
+        ),
+    ]

@@ -20,6 +20,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from .alerts import AlertManager, standard_rules
 from .metrics import MetricsRegistry
 from .trace import Tracer
 
@@ -38,6 +39,9 @@ class TelemetryHub:
         trace_sample_every: int = 10,
         snapshot_path: Optional[str] = None,
         snapshot_interval_seconds: float = 10.0,
+        alert_watermark_age_seconds: float = 300.0,
+        alert_respawn_rate_per_minute: float = 30.0,
+        alert_window_seconds: float = 60.0,
     ):
         self.enabled = bool(enabled)
         # applied only at the highest-rate span site (serve requests);
@@ -46,6 +50,14 @@ class TelemetryHub:
         self.registry = MetricsRegistry(enabled=self.enabled)
         self.tracer = Tracer(
             enabled=self.enabled and bool(tracing), buffer=trace_buffer
+        )
+        self.alerts = AlertManager(
+            self.registry,
+            rules=standard_rules(
+                watermark_age_seconds=alert_watermark_age_seconds,
+                respawn_rate_per_minute=alert_respawn_rate_per_minute,
+                window_seconds=alert_window_seconds,
+            ),
         )
         self._writer: Optional[SnapshotWriter] = None
         if self.enabled and snapshot_path:
@@ -66,6 +78,9 @@ class TelemetryHub:
             trace_sample_every=config.trace_sample_every,
             snapshot_path=config.snapshot_path,
             snapshot_interval_seconds=config.snapshot_interval_seconds,
+            alert_watermark_age_seconds=config.alert_watermark_age_seconds,
+            alert_respawn_rate_per_minute=config.alert_respawn_rate_per_minute,
+            alert_window_seconds=config.alert_window_seconds,
         )
 
     def snapshot(self) -> Dict[str, Any]:

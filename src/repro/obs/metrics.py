@@ -446,6 +446,16 @@ class MetricsRegistry:
             name, "histogram", help_text, labels, lambda: Histogram(bounds)
         )
 
+    def find(self, name: str) -> Optional[InstrumentFamily]:
+        """The registered family called ``name``, or ``None``.
+
+        Read-only lookup for consumers that must not *create* the metric —
+        the alert rules read whatever the instrumented layers registered,
+        and a metric that was never registered simply cannot fire.
+        """
+        with self._lock:
+            return self._families.get(name)
+
     # -- exposition --------------------------------------------------------
 
     def families(self) -> List[InstrumentFamily]:

@@ -103,6 +103,20 @@ class ResultCache:
             self._m_hits.inc()
             return entry
 
+    def peek(self, key: Optional[str]) -> Optional[CacheEntry]:
+        """The entry under ``key`` regardless of snapshot token.
+
+        The degraded-read accessor: when the published snapshot has gone
+        stale past the server's threshold, a stale entry (stamped with the
+        watermark it was computed at) is better than a slow or shed
+        response.  No hit/miss counters move and the LRU order is not
+        touched — degraded traffic must not distort cache heat.
+        """
+        if key is None or not self.enabled:
+            return None
+        with self._lock:
+            return self._entries.get(key)
+
     def put(
         self,
         key: Optional[str],

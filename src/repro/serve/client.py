@@ -5,12 +5,27 @@ closed-loop benchmark model independent callers, and a benchmark client
 must not share an event loop with the server it is measuring.  One
 :class:`QueryClient` is one connection (one server-side session); it is not
 thread-safe — give each client thread its own instance.
+
+Resilience
+----------
+
+Transport failures (a restarted server, a reset connection, a torn read)
+never leak raw ``ConnectionError``/``BrokenPipeError`` out of
+:meth:`request` — they surface as :class:`~repro.errors.ServeError` with
+the original exception chained.  With ``retries > 0`` the client instead
+reconnects and re-sends under exponential backoff with jitter; every
+protocol operation is a read against an immutable snapshot, so re-sending
+is always safe.  Load-shed replies (``Overloaded``) honour the server's
+``retry_after`` hint.  Note that a reconnect opens a *new* server-side
+session, so the monotonic-read guarantee restarts with it.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ServeError
@@ -19,31 +34,89 @@ from ..errors import ServeError
 class QueryClient:
     """One connection speaking newline-delimited JSON to a query server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter_seed: Optional[int] = None,
+    ):
+        """``retries`` is the number of *re-sends* after the first attempt.
+
+        Backoff before retry ``n`` is ``backoff_base * 2**(n-1)`` capped at
+        ``backoff_max``, scaled by a jitter factor in ``[0.5, 1.0)`` — a
+        herd of clients shed at once must not re-arrive at once.  Pass
+        ``jitter_seed`` to make the schedule reproducible in tests.
+        """
+        if retries < 0:
+            raise ServeError("retries must be >= 0")
         self._address = (host, port)
         self._timeout = timeout
+        self._retries = retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._rng = random.Random(jitter_seed)
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
+        self._ever_connected = False
+        self._reconnects = 0
+        self._retries_used = 0
 
     def connect(self) -> "QueryClient":
         """Open the connection (idempotent)."""
         if self._sock is None:
-            self._sock = socket.create_connection(
+            sock = socket.create_connection(
                 self._address, timeout=self._timeout
             )
-            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._file = self._sock.makefile("rwb")
+            if sock.getsockname() == sock.getpeername():
+                # TCP simultaneous open: reconnecting to a freed ephemeral
+                # port on localhost can land on *ourselves* — an established
+                # socket with no server behind it that echoes our writes.
+                # Treat it as the refusal it morally is.
+                sock.close()
+                raise ConnectionRefusedError(
+                    f"self-connection to {self._address}"
+                )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            self._ever_connected = True
         return self
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
-        if self._file is not None:
-            self._file.close()
-            self._file = None
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+        """Close the connection (idempotent, never raises on a dead peer).
+
+        Closing the buffered file flushes it, and a flush against a
+        server that already went away raises ``BrokenPipeError`` — a
+        close must absorb that, not propagate it.
+        """
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @property
+    def reconnects(self) -> int:
+        """Connections re-opened after a transport failure."""
+        return self._reconnects
+
+    @property
+    def retries_used(self) -> int:
+        """Re-sends performed (transport failures + load sheds)."""
+        return self._retries_used
 
     def __enter__(self) -> "QueryClient":
         return self.connect()
@@ -53,28 +126,80 @@ class QueryClient:
 
     # -- raw protocol ------------------------------------------------------
 
-    def request(
-        self, op: str, params: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        """Send one request and return the raw response object."""
-        if self._file is None:
-            raise ServeError("client is not connected; call connect() first")
-        self._next_id += 1
-        body = {"id": self._next_id, "op": op, "params": params or {}}
-        self._file.write(
-            json.dumps(body, separators=(",", ":")).encode("utf-8") + b"\n"
-        )
+    def _backoff_delay(self, retry: int) -> float:
+        delay = min(self._backoff_max, self._backoff_base * 2 ** (retry - 1))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _exchange(self, payload: bytes) -> Dict[str, Any]:
+        self._file.write(payload)
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise ServeError("server closed the connection")
-        response = json.loads(line)
-        if response.get("id") not in (None, self._next_id):
-            raise ServeError(
-                f"response id {response.get('id')!r} does not match "
-                f"request id {self._next_id}"
+            # a clean EOF mid-conversation is a transport failure too (the
+            # server restarted or drained us); classify with the rest
+            raise ConnectionResetError("server closed the connection")
+        return json.loads(line)
+
+    def request(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request and return the raw response object.
+
+        Retries transport failures and load-shed replies up to the
+        configured budget; out of budget, raises :class:`ServeError` with
+        the underlying cause chained.
+        """
+        if not self._ever_connected:
+            raise ServeError("client is not connected; call connect() first")
+        self._next_id += 1
+        payload = (
+            json.dumps(
+                {"id": self._next_id, "op": op, "params": params or {}},
+                separators=(",", ":"),
+            ).encode("utf-8")
+            + b"\n"
+        )
+        attempts = self._retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                if self._sock is None:
+                    self.connect()
+                    self._reconnects += 1
+                response = self._exchange(payload)
+            except (OSError, EOFError) as exc:
+                self.close()
+                if attempt >= attempts:
+                    raise ServeError(
+                        f"request failed after {attempt} attempt(s): {exc}"
+                    ) from exc
+                self._retries_used += 1
+                time.sleep(self._backoff_delay(attempt))
+                continue
+            error = (
+                response.get("error") if not response.get("ok") else None
             )
-        return response
+            if (
+                error is not None
+                and error.get("type") == "Overloaded"
+                and attempt < attempts
+            ):
+                # shed: the server is protecting its latency; come back
+                # after its hint (or our backoff, whichever is longer)
+                self._retries_used += 1
+                time.sleep(
+                    max(
+                        float(error.get("retry_after", 0.0)),
+                        self._backoff_delay(attempt),
+                    )
+                )
+                continue
+            if response.get("id") not in (None, self._next_id):
+                raise ServeError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {self._next_id}"
+                )
+            return response
+        raise ServeError(f"request failed after {attempts} attempt(s)")
 
     def result(
         self, op: str, params: Optional[Dict[str, Any]] = None

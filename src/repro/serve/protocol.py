@@ -223,8 +223,16 @@ def encode_response(
     version: Optional[int] = None,
     watermark: Optional[int] = None,
     schema_watermark: Optional[int] = None,
+    degraded: bool = False,
 ) -> str:
-    """Encode one success response line (no trailing newline)."""
+    """Encode one success response line (no trailing newline).
+
+    ``degraded`` marks a response served from a stale cache entry while the
+    published snapshot was older than the server's degraded-read threshold;
+    the version/watermark stamps then describe the *entry's* snapshot, not
+    the current one.  The key is only present when true, so the normal-path
+    wire format is unchanged.
+    """
     body = {
         "id": request_id,
         "ok": True,
@@ -234,16 +242,26 @@ def encode_response(
         "schema_watermark": schema_watermark,
         "result": result,
     }
+    if degraded:
+        body["degraded"] = True
     return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
 
 
 def encode_error(
-    request_id: Optional[Union[int, str]], error: BaseException
+    request_id: Optional[Union[int, str]],
+    error: BaseException,
+    retry_after: Optional[float] = None,
 ) -> str:
-    """Encode one error response line (no trailing newline)."""
-    body = {
-        "id": request_id,
-        "ok": False,
-        "error": {"type": type(error).__name__, "message": str(error)},
+    """Encode one error response line (no trailing newline).
+
+    ``retry_after`` (seconds) is attached to load-shed replies so clients
+    with retry budget know how long to back off before re-sending.
+    """
+    payload: Dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
     }
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    body = {"id": request_id, "ok": False, "error": payload}
     return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)

@@ -29,14 +29,23 @@ benchmarks, the facade's ``DataTamer.create_server`` callers).
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..config import ServeConfig
-from ..errors import ProtocolError, ServeError, TamerError
+from ..errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    Overloaded,
+    ProtocolError,
+    ServeError,
+    TamerError,
+)
+from ..fault import injector_for, resolve_plan
 from ..obs import NOOP_SPAN, TelemetryHub, default_hub
 from ..query.engine import QueryEngine
 from ..query.snapshot import EntitySnapshot
@@ -159,6 +168,16 @@ class QueryServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._drain: Optional[asyncio.Event] = None
+        self._handler_tasks: set = set()
+        self._faults = injector_for(resolve_plan(self._config.fault_plan))
+        # loop-confined admission counter: requests currently occupying a
+        # worker slot (background refreshes included — they hold slots too)
+        self._worker_busy = 0
+        self._last_publish = time.monotonic()
+        self._sheds = 0
+        self._deadline_misses = 0
+        self._degraded_served = 0
         self._refresh_tasks: set = set()
         self._unsubscribe: Optional[Callable[[], None]] = None
         self._unsubscribe_instances: Optional[Callable[[], None]] = None
@@ -190,6 +209,18 @@ class QueryServer:
         )
         self._m_publishes = registry.counter(
             "serve_publishes_total", "View installs (publishes + refreshes)"
+        )
+        self._m_shed = registry.counter(
+            "serve_shed_total",
+            "Requests rejected by admission control (max_inflight)",
+        )
+        self._m_deadline = registry.counter(
+            "serve_deadline_exceeded_total",
+            "Requests abandoned past request_deadline",
+        )
+        self._m_degraded = registry.counter(
+            "serve_degraded_total",
+            "Stale cache entries served in degraded-read mode",
         )
         self._m_mentions_refreshed = registry.counter(
             "mentions_refreshed_total",
@@ -312,6 +343,7 @@ class QueryServer:
     def _install_view(self, view: ServeView) -> None:
         self._view = view
         self._publishes += 1
+        self._last_publish = time.monotonic()
         self._m_publishes.inc()
         loop = self._loop
         if loop is not None and not loop.is_closed() and self._cache.enabled:
@@ -348,11 +380,28 @@ class QueryServer:
 
     async def _run_in_worker(self, func, *args):
         loop = asyncio.get_running_loop()
+        pool = self._worker_pool()
         self._m_worker_inflight.inc()
-        try:
-            return await loop.run_in_executor(self._worker_pool(), func, *args)
-        finally:
-            self._m_worker_inflight.dec()
+        self._worker_busy += 1
+
+        def call():
+            # release from the worker thread's completion, not the await:
+            # a deadline cancellation abandons the await while the thread
+            # keeps computing, and admission control must keep counting
+            # that thread as busy until it actually finishes
+            try:
+                return func(*args)
+            finally:
+                try:
+                    loop.call_soon_threadsafe(self._release_worker_slot)
+                except RuntimeError:
+                    pass  # loop already closed during shutdown
+
+        return await loop.run_in_executor(pool, call)
+
+    def _release_worker_slot(self) -> None:
+        self._worker_busy -= 1
+        self._m_worker_inflight.dec()
 
     def _evaluate_traced(self, view, request, parent_span):
         """Worker-thread entry: evaluate under a span tied to the request.
@@ -363,7 +412,24 @@ class QueryServer:
         with self._hub.tracer.span(
             "serve.evaluate", parent=parent_span, tags={"op": request.op}
         ):
+            self._faults.fire("serve.evaluate")
             return evaluate_request(view, request, self._name_attribute)
+
+    def _degraded_active(self) -> bool:
+        """Whether the published snapshot is stale past the threshold.
+
+        Degraded-read mode needs two signals together: events are pending
+        behind the watermark (the world has moved on) *and* no publish has
+        landed within ``degraded_after_seconds`` (the pipeline is wedged or
+        drowning).  Age alone is not staleness — an idle stream with no
+        writes is simply quiet.
+        """
+        threshold = self._config.degraded_after_seconds
+        if threshold <= 0 or self._stream is None:
+            return False
+        if self._stream.pending_events <= 0:
+            return False
+        return (time.monotonic() - self._last_publish) >= threshold
 
     def _worker_pool(self):
         if self._executor is not None:
@@ -383,6 +449,7 @@ class QueryServer:
             raise ServeError("server already started")
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        self._drain = asyncio.Event()
         self._started_at = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle_client,
@@ -417,7 +484,29 @@ class QueryServer:
             loop.call_soon_threadsafe(shutdown.set)
 
     async def stop(self) -> None:
-        """Stop accepting, drop the stream subscription, release workers."""
+        """Drain in-flight requests, then stop accepting and release workers.
+
+        Graceful order: close the listen socket (no new connections), raise
+        the drain flag (each connection finishes the request it is serving,
+        then hangs up with a clean FIN), wait up to ``drain_timeout`` for
+        handlers to unwind, and only then cancel stragglers and tear the
+        rest down.  A concurrent well-behaved client sees complete
+        responses followed by EOF — never a connection reset.
+        """
+        if self._server is not None:
+            self._server.close()
+        if self._drain is not None:
+            self._drain.set()
+        handlers = [task for task in self._handler_tasks if not task.done()]
+        if handlers:
+            _, pending = await asyncio.wait(
+                handlers, timeout=self._config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._handler_tasks.clear()
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
@@ -428,7 +517,6 @@ class QueryServer:
             task.cancel()
         self._refresh_tasks.clear()
         if self._server is not None:
-            self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self._own_pool is not None:
@@ -438,13 +526,36 @@ class QueryServer:
     # -- request handling --------------------------------------------------
 
     async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
         peer = writer.get_extra_info("peername")
         session = self._sessions.open(peer=str(peer))
         self._m_active_sessions.set(self._sessions.active)
+        drain = self._drain
         try:
             while True:
+                # a drain raised between requests ends the connection with
+                # a clean FIN; one raised *during* a read races below and
+                # the request that wins the race is still answered in full
+                if drain is not None and drain.is_set():
+                    break
+                read = asyncio.ensure_future(reader.readline())
+                if drain is not None:
+                    waiter = asyncio.ensure_future(drain.wait())
+                    done, _ = await asyncio.wait(
+                        {read, waiter}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    waiter.cancel()
+                    if read not in done:
+                        read.cancel()
+                        try:
+                            await read
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                        break
                 try:
-                    line = await reader.readline()
+                    line = await read
                 except (ValueError, asyncio.LimitOverrunError):
                     # over-long line: the stream is desynced, hang up
                     oversize = ProtocolError(
@@ -458,6 +569,13 @@ class QueryServer:
                     break
                 if not line.strip():
                     continue
+                try:
+                    # a fired fault stands in for the peer's network dying
+                    # mid-request: abort sends RST, clients must reconnect
+                    self._faults.fire("serve.socket_read")
+                except InjectedFault:
+                    writer.transport.abort()
+                    break
                 # timed at this level — parse through write+drain — so the
                 # histogram tracks what a client actually experiences
                 start = time.perf_counter()
@@ -479,6 +597,8 @@ class QueryServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            if task is not None:
+                self._handler_tasks.discard(task)
             self._sessions.close(session)
             self._m_active_sessions.set(self._sessions.active)
             writer.close()
@@ -510,7 +630,8 @@ class QueryServer:
         """Evaluate one request line; returns ``(response, op, outcome)``.
 
         ``op``/``outcome`` feed the per-op latency histogram and request
-        counter (outcome is ``ok``, ``cached`` or ``error``).
+        counter (outcome is ``ok``, ``cached``, ``degraded``, ``shed``,
+        ``deadline`` or ``error``).
         """
         try:
             request = parse_request(line)
@@ -542,12 +663,81 @@ class QueryServer:
                     request.op,
                     "cached",
                 )
+            if self._degraded_active():
+                # snapshot publishing has stalled past the degraded-read
+                # threshold: an older cached answer beats queueing behind a
+                # wedged pipeline.  Serve it only if it cannot violate this
+                # connection's monotonic-read guarantee.
+                stale = self._cache.peek(key)
+                if stale is not None and stale.token[0] >= session.last_version:
+                    self._degraded_served += 1
+                    self._m_degraded.inc()
+                    session.observe(
+                        stale.token[0], stale.watermark, cached=True
+                    )
+                    return (
+                        encode_response(
+                            request.request_id,
+                            stale.result,
+                            cached=True,
+                            version=stale.token[0],
+                            watermark=stale.watermark,
+                            schema_watermark=stale.schema_watermark,
+                            degraded=True,
+                        ),
+                        request.op,
+                        "degraded",
+                    )
+            if (
+                self._config.max_inflight > 0
+                and self._worker_busy >= self._config.max_inflight
+            ):
+                # admission control: shedding at the door keeps latency
+                # bounded for admitted requests instead of letting every
+                # client time out behind an unbounded worker queue
+                self._sheds += 1
+                self._m_shed.inc()
+                session.observe_error()
+                overload = Overloaded(
+                    retry_after=self._config.retry_after_seconds
+                )
+                return (
+                    encode_error(
+                        request.request_id,
+                        overload,
+                        retry_after=overload.retry_after,
+                    ),
+                    request.op,
+                    "shed",
+                )
             try:
-                result = await self._run_in_worker(
+                evaluation = self._run_in_worker(
                     self._evaluate_traced,
                     view,
                     request,
                     self._hub.tracer.current(),
+                )
+                if self._config.request_deadline > 0:
+                    result = await asyncio.wait_for(
+                        evaluation, self._config.request_deadline
+                    )
+                else:
+                    result = await evaluation
+            except asyncio.TimeoutError:
+                # the worker thread keeps computing (threads cannot be
+                # preempted) but the client gets its answer-by-deadline
+                # contract honoured; the slot frees when the thread finishes
+                self._deadline_misses += 1
+                self._m_deadline.inc()
+                session.observe_error()
+                missed = DeadlineExceeded(
+                    "evaluation exceeded request_deadline="
+                    f"{self._config.request_deadline}s"
+                )
+                return (
+                    encode_error(request.request_id, missed),
+                    request.op,
+                    "deadline",
                 )
             except TamerError as exc:
                 session.observe_error()
@@ -589,7 +779,23 @@ class QueryServer:
             "cache": self._cache.stats(),
             "sessions": self._sessions.stats(),
             "pending_refreshes": len(self._refresh_tasks),
+            "degraded": self._degraded_active(),
+            "resilience": {
+                "shed": self._sheds,
+                "deadline_misses": self._deadline_misses,
+                "degraded_served": self._degraded_served,
+                "inflight": self._worker_busy,
+                "max_inflight": self._config.max_inflight,
+            },
+            "alerts": self._alert_payload(),
         }
+
+    def _alert_payload(self) -> List[Dict[str, Any]]:
+        """Firing alert rules, if the hub carries an alert manager."""
+        alerts = getattr(self._hub, "alerts", None)
+        if alerts is None:
+            return []
+        return alerts.evaluate()
 
     def _metrics_payload(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """The ``metrics`` operation: one coherent snapshot of the hub.
@@ -638,6 +844,7 @@ class ServerHandle:
 
     server: QueryServer
     thread: threading.Thread
+    _previous_sigterm: Any = field(default=None, repr=False)
 
     @property
     def port(self) -> int:
@@ -646,6 +853,9 @@ class ServerHandle:
 
     def stop(self, timeout: float = 10.0) -> None:
         """Shut the server down and join its thread."""
+        if self._previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, self._previous_sigterm)
+            self._previous_sigterm = None
         self.server.request_shutdown()
         self.thread.join(timeout=timeout)
         if self.thread.is_alive():
@@ -658,12 +868,21 @@ class ServerHandle:
         self.stop()
 
 
-def serve_in_background(server: QueryServer) -> ServerHandle:
+def serve_in_background(
+    server: QueryServer, handle_sigterm: bool = False
+) -> ServerHandle:
     """Start ``server`` on a dedicated thread with its own event loop.
 
     Returns once the listen socket is bound (so :attr:`ServerHandle.port`
     is immediately valid); start-up failures re-raise in the caller.
+
+    ``handle_sigterm`` installs a SIGTERM handler (main thread only —
+    a Python restriction) that triggers the same graceful drain as
+    :meth:`QueryServer.stop`: in-flight requests complete before sockets
+    close.  :meth:`ServerHandle.stop` restores the previous handler.
     """
+    if handle_sigterm and threading.current_thread() is not threading.main_thread():
+        raise ServeError("handle_sigterm requires the main thread")
     ready = threading.Event()
     failure: list = []
 
@@ -685,4 +904,12 @@ def serve_in_background(server: QueryServer) -> ServerHandle:
     if failure:
         thread.join()
         raise failure[0]
-    return ServerHandle(server=server, thread=thread)
+    handle = ServerHandle(server=server, thread=thread)
+    if handle_sigterm:
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: server.request_shutdown()
+        )
+        handle._previous_sigterm = (
+            previous if previous is not None else signal.SIG_DFL
+        )
+    return handle

@@ -31,11 +31,13 @@ entity and schema state.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..config import StorageConfig
-from ..errors import StorageError
+from ..errors import InjectedFault, StorageError
+from ..fault import NO_FAULTS
 from .document_store import Collection, DocumentStore
 
 MANIFEST_NAME = "manifest.json"
@@ -104,11 +106,13 @@ class ChangelogWriter:
     line, which :func:`read_changelog` tolerates.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, faults=None):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self._path, "w", encoding="utf-8")
         self._closed = False
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._snapshot_rewrites = 0
 
     @property
     def path(self) -> Path:
@@ -131,6 +135,18 @@ class ChangelogWriter:
             {"seq": seq, "op": op, "doc_id": doc_id, "document": document},
             default=str,
         )
+        action = self._faults.fire("changelog.write", key=(op, doc_id))
+        if action is not None and action.action == "torn":
+            # simulate dying mid-write: half the line hits the disk with no
+            # terminating newline, then nothing this writer does persists —
+            # exactly the artifact read_changelog must tolerate at the tail
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            self._handle.close()
+            self._closed = True
+            raise InjectedFault(
+                "changelog.write", f"torn write injected for {op} {doc_id!r}"
+            )
         self._handle.write(line + "\n")
         self._handle.flush()
 
@@ -145,6 +161,53 @@ class ChangelogWriter:
     def append(self, event) -> None:
         """Mirror one live change event (the changelog sink hook)."""
         self._write(event.seq, event.op, event.doc_id, event.document)
+
+    @property
+    def snapshot_rewrites(self) -> int:
+        """How many times the log has been compacted to a fresh snapshot."""
+        return self._snapshot_rewrites
+
+    def rewrite_snapshot(self, documents) -> int:
+        """Atomically replace the log with a fresh bootstrap snapshot.
+
+        Called when the stream engine runs a full rebuild: every event in
+        the log so far is already reflected in ``documents``, so the
+        replayed history is dead weight — recovery cost would otherwise
+        grow with stream lifetime.  The snapshot is written to a sibling
+        temp file and swapped in with ``os.replace``, so a crash at any
+        point leaves either the complete old log or the complete new one,
+        never a half-truncated file.  Returns the snapshot's document
+        count.
+        """
+        if self._closed:
+            return 0
+        documents = list(documents)
+        tmp_path = self._path.with_name(self._path.name + ".compact")
+        tmp = open(tmp_path, "w", encoding="utf-8")
+        try:
+            for document in documents:
+                # same envelope as write_snapshot: synthetic seq-0 inserts
+                tmp.write(
+                    json.dumps(
+                        {
+                            "seq": 0,
+                            "op": "insert",
+                            "doc_id": document.get("_id"),
+                            "document": document,
+                        },
+                        default=str,
+                    )
+                    + "\n"
+                )
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        finally:
+            tmp.close()
+        self._handle.close()
+        os.replace(tmp_path, self._path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._snapshot_rewrites += 1
+        return len(documents)
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""

@@ -39,6 +39,7 @@ from ..config import EntityConfig, SchemaConfig, StreamConfig
 from ..entity.consolidation import ConsolidatedEntity, MergePolicy
 from ..entity.dedup import DedupModel
 from ..errors import TamerError
+from ..fault import injector_for, resolve_plan
 from ..obs import DEFAULT_SIZE_BUCKETS, TelemetryHub, default_hub
 from ..query.engine import QueryEngine
 from ..query.snapshot import EntitySnapshot
@@ -121,6 +122,10 @@ class StreamingTamer:
         self._m_rebuilds = registry.counter(
             "stream_rebuilds_total", "Full-rebuild fallback runs"
         )
+        self._m_compactions = registry.counter(
+            "stream_compactions_total",
+            "Changelog snapshot-rewrite compactions",
+        )
         self._m_publishes = registry.counter(
             "stream_publishes_total", "Entity-snapshot publishes"
         )
@@ -143,9 +148,12 @@ class StreamingTamer:
         )
         self._stream_config = stream_config or StreamConfig()
         self._stream_config.validate()
+        self._faults = injector_for(resolve_plan(self._stream_config.fault_plan))
         self._writer: Optional[ChangelogWriter] = None
         if self._stream_config.changelog_path is not None:
-            self._writer = ChangelogWriter(self._stream_config.changelog_path)
+            self._writer = ChangelogWriter(
+                self._stream_config.changelog_path, faults=self._faults
+            )
             self._writer.write_snapshot(collection.scan())
         changelog = Changelog(
             sink=self._writer.append if self._writer is not None else None
@@ -159,6 +167,7 @@ class StreamingTamer:
                 config=self._stream_config,
                 executor=executor,
                 clock=clock,
+                faults=self._faults,
             )
             self._curator = DeltaCurator(
                 model,
@@ -329,6 +338,33 @@ class StreamingTamer:
         self._events_since_rebuild = 0
         self._rebuild_count += 1
         self._m_rebuilds.inc()
+        if self._stream_config.compact_on_rebuild:
+            self.compact_changelog()
+
+    def compact_changelog(self) -> int:
+        """Snapshot + truncate the persisted changelog (recovery stays exact).
+
+        Every event written so far is already reflected in the collection,
+        so the log's replayed history is replaced by one bootstrap snapshot
+        of the current documents (atomic rename — a crash mid-compaction
+        leaves a complete log either way).  Replaying the compacted log
+        reproduces the collection bit-identically, now at a cost bounded by
+        collection size instead of stream lifetime.  Returns the snapshot
+        document count (0 when changelog persistence is off or the writer
+        is closed).
+        """
+        if self._writer is None:
+            return 0
+        before = self._writer.snapshot_rewrites
+        count = self._writer.rewrite_snapshot(self._collection.scan())
+        if self._writer.snapshot_rewrites > before:
+            self._m_compactions.inc()
+        return count
+
+    @property
+    def compaction_count(self) -> int:
+        """How many times the persisted changelog has been compacted."""
+        return self._writer.snapshot_rewrites if self._writer else 0
 
     def maybe_rebuild(self) -> bool:
         """Fire the periodic full-rebuild fallback if it is due.

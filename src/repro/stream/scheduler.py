@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..config import StreamConfig
+from ..fault import NO_FAULTS
 from .changelog import ChangeEvent, Changelog
 
 #: Fan coalescing out only when a drain is at least this many raw events.
@@ -120,12 +121,14 @@ class MicroBatchScheduler:
         config: Optional[StreamConfig] = None,
         executor=None,
         clock: Callable[[], float] = time.monotonic,
+        faults=None,
     ):
         self._changelog = changelog
         self._config = config or StreamConfig()
         self._config.validate()
         self._executor = executor
         self._clock = clock
+        self._faults = faults if faults is not None else NO_FAULTS
         self._watermark = changelog.watermark
         self._pending_since: Optional[float] = None
 
@@ -176,6 +179,9 @@ class MicroBatchScheduler:
         )
         if not raw:
             return None
+        # fired only when events are pending: an injected error here leaves
+        # the batch unconsumed, exercising at-least-once redelivery
+        self._faults.fire("scheduler.drain", key=raw[-1].seq)
         return DeltaBatch(
             events=tuple(coalesce_events(raw, executor=self._executor)),
             low_watermark=raw[0].seq,

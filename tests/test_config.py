@@ -141,6 +141,19 @@ class TestObsConfig:
         assert hub.registry.counter("c_total").value == 0.0
         assert not hub.tracer.enabled
 
+    def test_alert_knobs_validate(self):
+        ObsConfig(
+            alert_watermark_age_seconds=0.0,  # 0 disables the rule
+            alert_respawn_rate_per_minute=10.0,
+            alert_window_seconds=30.0,
+        ).validate()
+        with pytest.raises(ConfigError):
+            ObsConfig(alert_watermark_age_seconds=-1.0).validate()
+        with pytest.raises(ConfigError):
+            ObsConfig(alert_respawn_rate_per_minute=-1.0).validate()
+        with pytest.raises(ConfigError):
+            ObsConfig(alert_window_seconds=0.0).validate()
+
 
 class TestTamerConfig:
     def test_default_factory_validates(self):

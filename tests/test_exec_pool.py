@@ -579,3 +579,85 @@ class TestWarmContexts:
         if shipped:
             assert key not in pool._warm_contexts
         tamer.close()
+
+
+class TestDispatchDeadline:
+    """The hung-worker watchdog: kill, respawn, re-dispatch, count."""
+
+    def test_hung_worker_is_killed_and_task_redispatched(self):
+        from repro.fault import FaultPlan, FaultRule
+
+        # task 0 hangs for 30s on its first attempt only; the watchdog must
+        # kill that worker well before the sleep ends and the retry succeed
+        plan = FaultPlan(
+            seed=3,
+            rules=(
+                FaultRule(
+                    "pool.worker_hang", "hang", seconds=30.0, keys=((0, 1),)
+                ),
+            ),
+        )
+        with PersistentWorkerPool(
+            workers=2, dispatch_deadline=0.4, fault_plan=plan
+        ) as pool:
+            start = time.perf_counter()
+            results, _ = pool.run_tasks([(_square, n) for n in range(6)])
+            elapsed = time.perf_counter() - start
+            assert results == [n * n for n in range(6)]
+            assert pool.hung_respawn_count == 1
+            assert elapsed < 10.0  # nowhere near the 30s hang
+
+    def test_pipe_send_fault_respawns_and_recovers(self):
+        from repro.fault import FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            seed=3,
+            rules=(
+                FaultRule(
+                    "pool.pipe_send", "error", keys=((2, 1),), times=1
+                ),
+            ),
+        )
+        with PersistentWorkerPool(workers=2, fault_plan=plan) as pool:
+            results, _ = pool.run_tasks([(_square, n) for n in range(6)])
+            assert results == [n * n for n in range(6)]
+            assert pool.respawn_count >= 1
+
+    def test_worker_compute_crash_respawns_and_recovers(self):
+        from repro.fault import FaultPlan, FaultRule
+
+        # first attempt of task 1 dies with os._exit inside the worker; the
+        # respawned worker's second attempt has a different key and runs
+        plan = FaultPlan(
+            seed=3,
+            rules=(
+                FaultRule(
+                    "pool.worker_compute", "crash", keys=((1, 1),), times=1
+                ),
+            ),
+        )
+        with PersistentWorkerPool(workers=2, fault_plan=plan) as pool:
+            results, _ = pool.run_tasks([(_square, n) for n in range(6)])
+            assert results == [n * n for n in range(6)]
+            assert pool.respawn_count == 1
+
+    def test_deadline_knob_validates(self):
+        ExecConfig(dispatch_deadline=0.5).validate()
+        with pytest.raises(ConfigError):
+            ExecConfig(dispatch_deadline=-0.1).validate()
+        with pytest.raises(TamerError):
+            PersistentWorkerPool(workers=1, dispatch_deadline=-1.0)
+
+    def test_deadline_threads_through_executor(self):
+        executor = ShardedExecutor(
+            ExecConfig(
+                parallelism=2,
+                backend="process",
+                pool="persistent",
+                dispatch_deadline=1.5,
+            )
+        )
+        try:
+            assert executor.ensure_pool().dispatch_deadline == 1.5
+        finally:
+            executor.close()

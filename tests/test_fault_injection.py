@@ -1,0 +1,196 @@
+"""Unit tests for the deterministic fault-injection core."""
+
+import json
+import time
+
+import pytest
+
+from repro.config import ExecConfig, ServeConfig, StreamConfig
+from repro.errors import ConfigError, InjectedFault
+from repro.fault import (
+    ENV_VAR,
+    KNOWN_POINTS,
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    injector_for,
+    resolve_plan,
+)
+
+
+def _plan(*rules, seed=7):
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+class TestPlanValidation:
+    def test_valid_plan_round_trips_json(self):
+        plan = _plan(
+            FaultRule("pool.worker_hang", "hang", seconds=0.5, keys=((3, 1),)),
+            FaultRule("serve.evaluate", "error", p=0.25),
+            FaultRule("changelog.write", "torn", start=4, times=1),
+        )
+        plan.validate()
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        again.validate()
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigError):
+            _plan(FaultRule("no.such.point", "error")).validate()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigError):
+            _plan(FaultRule("serve.evaluate", "explode")).validate()
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            _plan(FaultRule("serve.evaluate", "error", p=1.5)).validate()
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ConfigError):
+            _plan(FaultRule("serve.evaluate", "error", start=-1)).validate()
+        with pytest.raises(ConfigError):
+            _plan(FaultRule("serve.evaluate", "error", times=0)).validate()
+
+    def test_known_points_cover_every_layer(self):
+        layers = {point.split(".")[0] for point in KNOWN_POINTS}
+        assert {"pool", "changelog", "scheduler", "serve"} <= layers
+
+
+class TestInjectorSemantics:
+    def test_no_faults_is_inert_and_shared(self):
+        assert injector_for(None) is NO_FAULTS
+        assert injector_for(FaultPlan()) is NO_FAULTS
+        assert NO_FAULTS.active is False
+        assert NO_FAULTS.fire("pool.worker_hang", key=(0, 1)) is None
+        assert NO_FAULTS.fired() == 0
+
+    def test_keyed_rule_fires_exactly_once_per_key(self):
+        plan = _plan(
+            FaultRule("serve.evaluate", "error", keys=((2, 1),), times=1)
+        )
+        inj = FaultInjector(plan)
+        inj.fire("serve.evaluate", key=(1, 1))  # different key: no fire
+        with pytest.raises(InjectedFault):
+            inj.fire("serve.evaluate", key=(2, 1))
+        inj.fire("serve.evaluate", key=(2, 1))  # times=1 budget spent
+        assert inj.fired() == 1
+
+    def test_probability_draws_are_deterministic_per_key(self):
+        plan = _plan(FaultRule("serve.evaluate", "error", p=0.5), seed=13)
+        keys = [(i, 1) for i in range(40)]
+
+        def fired_set(injector):
+            fired = set()
+            for key in keys:
+                try:
+                    injector.fire("serve.evaluate", key=key)
+                except InjectedFault:
+                    fired.add(key)
+            return fired
+
+        first = fired_set(FaultInjector(plan))
+        second = fired_set(FaultInjector(plan))
+        assert first == second
+        assert 0 < len(first) < len(keys)  # p=0.5 over 40 keys: both sides hit
+
+    def test_different_seeds_give_different_schedules(self):
+        keys = [(i, 1) for i in range(40)]
+
+        def fired_set(seed):
+            inj = FaultInjector(
+                _plan(FaultRule("serve.evaluate", "error", p=0.5), seed=seed)
+            )
+            fired = set()
+            for key in keys:
+                try:
+                    inj.fire("serve.evaluate", key=key)
+                except InjectedFault:
+                    fired.add(key)
+            return fired
+
+        assert fired_set(1) != fired_set(2)
+
+    def test_counter_window_rule(self):
+        plan = _plan(FaultRule("scheduler.drain", "error", start=2, times=2))
+        inj = FaultInjector(plan)
+        inj.fire("scheduler.drain")  # hit 0
+        inj.fire("scheduler.drain")  # hit 1
+        with pytest.raises(InjectedFault):
+            inj.fire("scheduler.drain")  # hit 2: window opens
+        with pytest.raises(InjectedFault):
+            inj.fire("scheduler.drain")
+        inj.fire("scheduler.drain")  # times=2 exhausted
+        assert inj.fired() == 2
+
+    def test_delay_action_sleeps(self):
+        plan = _plan(FaultRule("serve.evaluate", "delay", seconds=0.05, times=1))
+        inj = FaultInjector(plan)
+        start = time.perf_counter()
+        inj.fire("serve.evaluate")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_torn_action_returns_rule_for_caller_handling(self):
+        plan = _plan(FaultRule("changelog.write", "torn", times=1))
+        inj = FaultInjector(plan)
+        action = inj.fire("changelog.write", key=("insert", 1))
+        assert action is not None and action.action == "torn"
+        assert inj.fire("changelog.write", key=("insert", 2)) is None
+
+    def test_history_records_fires(self):
+        plan = _plan(FaultRule("serve.evaluate", "error", times=1))
+        inj = FaultInjector(plan)
+        with pytest.raises(InjectedFault):
+            inj.fire("serve.evaluate", key=(9, 1))
+        dump = inj.schedule_dump()
+        assert len(dump["history"]) == 1
+        assert dump["history"][0]["point"] == "serve.evaluate"
+        assert dump["plan"]["seed"] == 7
+
+
+class TestEnvActivation:
+    def test_resolve_plan_prefers_config(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        plan = _plan(FaultRule("serve.evaluate", "error"))
+        assert resolve_plan(plan) is plan
+        assert resolve_plan(None) is None
+
+    def test_resolve_plan_reads_env_inline_json(self, monkeypatch):
+        plan = _plan(FaultRule("serve.evaluate", "error", p=0.1))
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        assert resolve_plan(None) == plan
+
+    def test_resolve_plan_reads_env_file(self, tmp_path, monkeypatch):
+        plan = _plan(FaultRule("pool.worker_hang", "hang", seconds=1.0))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        monkeypatch.setenv(ENV_VAR, f"@{path}")
+        assert resolve_plan(None) == plan
+
+    def test_malformed_env_plan_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ConfigError):
+            resolve_plan(None)
+
+
+class TestConfigThreading:
+    def test_exec_config_validates_plan(self):
+        plan = _plan(FaultRule("pool.worker_hang", "hang", seconds=0.1))
+        ExecConfig(fault_plan=plan).validate()
+        bad = _plan(FaultRule("bogus.point", "error"))
+        with pytest.raises(ConfigError):
+            ExecConfig(fault_plan=bad).validate()
+
+    def test_stream_and_serve_configs_validate_plan(self):
+        bad = _plan(FaultRule("serve.evaluate", "explode"))
+        with pytest.raises(ConfigError):
+            StreamConfig(fault_plan=bad).validate()
+        with pytest.raises(ConfigError):
+            ServeConfig(fault_plan=bad).validate()
+
+    def test_plan_json_is_plain_data(self):
+        plan = _plan(FaultRule("serve.evaluate", "error", keys=((1, 2),)))
+        decoded = json.loads(plan.to_json())
+        assert decoded["seed"] == 7
+        assert decoded["rules"][0]["point"] == "serve.evaluate"

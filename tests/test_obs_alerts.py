@@ -1,0 +1,146 @@
+"""Alert threshold rules over the metrics registry.
+
+Unit-level: :class:`ThresholdRule` (gauge crossed a line),
+:class:`RateRule` (counters climbing too fast over a sliding window), and
+:class:`AlertManager` composition.  End-to-end coverage — ``alerts`` in
+the serve ``status`` payload — lives in the serving tests; here a fake
+clock makes the rate windows exact.
+"""
+
+from repro.config import ObsConfig
+from repro.obs import (
+    AlertManager,
+    MetricsRegistry,
+    RateRule,
+    TelemetryHub,
+    ThresholdRule,
+    standard_rules,
+)
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestThresholdRule:
+    def test_fires_at_or_past_the_bound(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("stream_watermark_age_seconds", "age")
+        rule = ThresholdRule("stale", "stream_watermark_age_seconds", 300.0)
+        gauge.set(299.9)
+        assert rule.evaluate(registry, 0.0) is None
+        gauge.set(300.0)
+        alert = rule.evaluate(registry, 0.0)
+        assert alert["rule"] == "stale"
+        assert alert["kind"] == "threshold"
+        assert alert["value"] == 300.0
+        assert alert["threshold"] == 300.0
+
+    def test_unregistered_metric_never_fires(self):
+        rule = ThresholdRule("stale", "no_such_metric", 1.0)
+        assert rule.evaluate(MetricsRegistry(), 0.0) is None
+
+    def test_non_positive_threshold_disables(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").set(1e9)
+        assert ThresholdRule("x", "g", 0.0).evaluate(registry, 0.0) is None
+        assert ThresholdRule("x", "g", -1.0).evaluate(registry, 0.0) is None
+
+    def test_max_over_labeled_series(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g", "g", labels=("shard",))
+        family.labels(shard="0").set(5.0)
+        family.labels(shard="1").set(50.0)
+        alert = ThresholdRule("x", "g", 10.0).evaluate(registry, 0.0)
+        assert alert["value"] == 50.0
+
+
+class TestRateRule:
+    def test_single_sample_never_fires(self):
+        registry = MetricsRegistry()
+        registry.counter("pool_respawns_total", "r").inc(1000)
+        rule = RateRule("storm", ("pool_respawns_total",), per_minute=1.0)
+        assert rule.evaluate(registry, 0.0) is None
+
+    def test_fires_on_fast_climb_and_clears_on_slow(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pool_respawns_total", "r")
+        rule = RateRule(
+            "storm", ("pool_respawns_total",), per_minute=30.0,
+            window_seconds=60.0,
+        )
+        assert rule.evaluate(registry, 0.0) is None  # first sample arms it
+        counter.inc(10)  # 10 respawns in 10s = 60/min: past the bound
+        alert = rule.evaluate(registry, 10.0)
+        assert alert["kind"] == "rate"
+        assert alert["value"] == 60.0
+        # no further respawns: the rate decays below the bound
+        assert rule.evaluate(registry, 50.0) is None
+
+    def test_sums_multiple_counter_families(self):
+        registry = MetricsRegistry()
+        crashed = registry.counter("pool_respawns_total", "r")
+        hung = registry.counter("pool_hung_respawns_total", "h")
+        rule = RateRule(
+            "storm",
+            ("pool_respawns_total", "pool_hung_respawns_total"),
+            per_minute=30.0,
+        )
+        rule.evaluate(registry, 0.0)
+        crashed.inc(3)
+        hung.inc(3)  # 6 combined in 10s = 36/min
+        assert rule.evaluate(registry, 10.0)["value"] == 36.0
+
+    def test_window_slides_old_samples_out(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "c")
+        rule = RateRule("x", ("c",), per_minute=30.0, window_seconds=60.0)
+        rule.evaluate(registry, 0.0)
+        counter.inc(100)
+        rule.evaluate(registry, 30.0)  # fires, and is a window sample
+        # 200s later the burst is ancient history; rate since the oldest
+        # *retained* sample is ~0
+        assert rule.evaluate(registry, 230.0) is None
+
+    def test_unregistered_metrics_never_fire(self):
+        rule = RateRule("x", ("nope",), per_minute=1.0)
+        registry = MetricsRegistry()
+        assert rule.evaluate(registry, 0.0) is None
+        assert rule.evaluate(registry, 10.0) is None
+
+
+class TestAlertManager:
+    def test_evaluate_returns_firing_rules_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge", "b").set(10.0)
+        registry.gauge("a_gauge", "a").set(10.0)
+        clock = _Clock()
+        manager = AlertManager(registry, clock=clock)
+        manager.add(ThresholdRule("zeta", "b_gauge", 5.0)).add(
+            ThresholdRule("alpha", "a_gauge", 5.0)
+        )
+        assert [a["rule"] for a in manager.evaluate()] == ["alpha", "zeta"]
+        assert len(manager.rules) == 2
+
+    def test_standard_rules_cover_the_standing_failure_modes(self):
+        names = {rule.name for rule in standard_rules()}
+        assert names == {"stream_watermark_stale", "pool_respawn_storm"}
+
+    def test_hub_wires_rules_from_obs_config(self):
+        hub = TelemetryHub.from_config(
+            ObsConfig(alert_watermark_age_seconds=7.0)
+        )
+        thresholds = [
+            rule
+            for rule in hub.alerts.rules
+            if isinstance(rule, ThresholdRule)
+        ]
+        assert thresholds and thresholds[0].threshold == 7.0
+        hub.registry.gauge("stream_watermark_age_seconds", "age").set(8.0)
+        assert [a["rule"] for a in hub.alerts.evaluate()] == [
+            "stream_watermark_stale"
+        ]

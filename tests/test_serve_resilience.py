@@ -1,0 +1,351 @@
+"""Resilience policies of the serving tier, end to end over real sockets.
+
+Covers admission control (load shedding with ``retry_after``), per-request
+deadlines, degraded stale-cache reads, graceful drain on stop and SIGTERM,
+and the client's reconnect/retry/backoff behaviour — including the
+regression where a killed server leaked raw ``ConnectionError`` out of
+:class:`QueryClient`.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.config import ServeConfig
+from repro.entity.consolidation import ConsolidatedEntity
+from repro.errors import ConfigError, ServeError
+from repro.fault import FaultPlan, FaultRule
+from repro.obs import TelemetryHub
+from repro.query.engine import QueryEngine
+from repro.serve import QueryClient, QueryServer, serve_in_background
+
+CURATED = [
+    {"_id": 1, "_source": "ftable:00", "show_name": "Matilda",
+     "theater": "Shubert", "cheapest_price": "$27"},
+    {"_id": 2, "_source": "ftable:00", "show_name": "Wicked",
+     "theater": "Gershwin"},
+]
+
+
+def _engine():
+    return QueryEngine(
+        [
+            ConsolidatedEntity(
+                entity_id="e1",
+                member_record_ids=["e1"],
+                source_ids=["s"],
+                attributes={"show_name": "Matilda", "theater": "Shubert"},
+            ),
+            ConsolidatedEntity(
+                entity_id="e2",
+                member_record_ids=["e2"],
+                source_ids=["s"],
+                attributes={"show_name": "Wicked", "theater": "Gershwin"},
+            ),
+        ],
+        watermark=1,
+    )
+
+
+class _StubStream:
+    """Just enough stream surface for the degraded-read predicate."""
+
+    def __init__(self, pending=0):
+        self.pending_events = pending
+
+    def subscribe_snapshots(self, callback):
+        return lambda: None
+
+
+def _server(stream=None, hub=None, **config_kwargs):
+    return QueryServer(
+        _engine(),
+        config=ServeConfig(**config_kwargs),
+        stream=stream,
+        curated_documents=lambda: list(CURATED),
+        hub=hub,
+    )
+
+
+def _delay_plan(seconds, times=None):
+    return FaultPlan(
+        seed=5,
+        rules=(
+            FaultRule("serve.evaluate", "delay", seconds=seconds, times=times),
+        ),
+    )
+
+
+class TestConfigKnobs:
+    def test_resilience_knobs_validate(self):
+        ServeConfig(
+            max_inflight=2,
+            request_deadline=0.5,
+            retry_after_seconds=0.1,
+            degraded_after_seconds=1.0,
+            drain_timeout=2.0,
+        ).validate()
+        for bad in (
+            {"max_inflight": -1},
+            {"request_deadline": -0.1},
+            {"retry_after_seconds": 0.0},
+            {"degraded_after_seconds": -1.0},
+            {"drain_timeout": -1.0},
+        ):
+            with pytest.raises(ConfigError):
+                ServeConfig(**bad).validate()
+
+
+class TestClientResilience:
+    def test_killed_server_surfaces_serve_error_not_connection_error(self):
+        # the regression: a dead server must not leak raw socket errors
+        handle = serve_in_background(_server())
+        client = QueryClient("127.0.0.1", handle.port).connect()
+        assert client.ping() == {"pong": True, "protocol": 1}
+        handle.stop()
+        with pytest.raises(ServeError):
+            for _ in range(3):  # first send may land in a dying buffer
+                client.request("ping")
+        client.close()
+        client.close()  # idempotent, even against a dead peer
+
+    def test_close_is_idempotent_without_connect(self):
+        client = QueryClient("127.0.0.1", 1)
+        client.close()
+        client.close()
+        with pytest.raises(ServeError, match="not connected"):
+            client.request("ping")
+
+    def test_client_reconnects_to_restarted_server(self):
+        first = serve_in_background(_server())
+        port = first.port
+        client = QueryClient(
+            "127.0.0.1", port, retries=4, backoff_base=0.02, jitter_seed=11
+        ).connect()
+        assert client.ping()["pong"] is True
+        first.stop()
+        second = serve_in_background(_server(port=port))
+        try:
+            assert client.ping()["pong"] is True
+            assert client.reconnects >= 1
+            assert client.retries_used >= 1
+        finally:
+            client.close()
+            second.stop()
+
+    def test_retry_budget_exhaustion_chains_the_cause(self):
+        handle = serve_in_background(_server())
+        client = QueryClient(
+            "127.0.0.1", handle.port, retries=1, backoff_base=0.01
+        ).connect()
+        # one served request first: a connection still sitting un-accepted
+        # in the listen backlog when the server stops gets no FIN at all
+        assert client.ping()["pong"] is True
+        handle.stop()
+        with pytest.raises(ServeError, match="after 2 attempt"):
+            for _ in range(3):
+                client.request("ping")
+        client.close()
+
+
+class TestAdmissionControl:
+    def test_overload_is_shed_with_retry_after(self):
+        hub = TelemetryHub()
+        server = _server(
+            hub=hub,
+            max_inflight=1,
+            retry_after_seconds=0.07,
+            cache_size=0,  # force every request through the workers
+            fault_plan=_delay_plan(0.4, times=1),
+        )
+        handle = serve_in_background(server)
+        slow = QueryClient("127.0.0.1", handle.port).connect()
+        fast = QueryClient("127.0.0.1", handle.port).connect()
+        try:
+            done = []
+            worker = threading.Thread(
+                target=lambda: done.append(slow.search("matilda"))
+            )
+            worker.start()
+            time.sleep(0.1)  # the slow evaluation now owns the only slot
+            response = fast.request("search", {"phrase": "wicked"})
+            worker.join()
+            assert response["ok"] is False
+            assert response["error"]["type"] == "Overloaded"
+            assert response["error"]["retry_after"] == 0.07
+            assert done and done[0]["count"] == 1
+            status = fast.status()
+            assert status["resilience"]["shed"] == 1
+        finally:
+            slow.close()
+            fast.close()
+            handle.stop()
+
+    def test_client_retries_through_a_shed(self):
+        server = _server(
+            max_inflight=1,
+            retry_after_seconds=0.05,
+            cache_size=0,
+            fault_plan=_delay_plan(0.3, times=1),
+        )
+        handle = serve_in_background(server)
+        slow = QueryClient("127.0.0.1", handle.port).connect()
+        patient = QueryClient(
+            "127.0.0.1", handle.port, retries=8, backoff_base=0.05,
+            jitter_seed=3,
+        ).connect()
+        try:
+            worker = threading.Thread(target=lambda: slow.search("matilda"))
+            worker.start()
+            time.sleep(0.1)
+            result = patient.search("wicked")  # shed, backs off, then lands
+            worker.join()
+            assert result["count"] == 1
+            assert patient.retries_used >= 1
+        finally:
+            slow.close()
+            patient.close()
+            handle.stop()
+
+
+class TestRequestDeadline:
+    def test_slow_evaluation_is_cut_off(self):
+        hub = TelemetryHub()
+        server = _server(
+            hub=hub,
+            request_deadline=0.1,
+            cache_size=0,
+            fault_plan=_delay_plan(0.6, times=1),
+        )
+        handle = serve_in_background(server)
+        try:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                start = time.perf_counter()
+                response = client.request("search", {"phrase": "matilda"})
+                elapsed = time.perf_counter() - start
+                assert response["ok"] is False
+                assert response["error"]["type"] == "DeadlineExceeded"
+                assert elapsed < 0.5  # answered by deadline, not by evaluate
+                # the next (fault-free) request works and is fast
+                assert client.search("matilda")["count"] == 1
+                assert client.status()["resilience"]["deadline_misses"] == 1
+        finally:
+            handle.stop()
+
+
+class TestDegradedReads:
+    def test_stale_entry_served_flagged_when_publishing_stalls(self):
+        # refresh_limit=0: the background refresh would re-prime the stale
+        # entry to fresh and race the degraded read out of existence
+        server = _server(
+            stream=_StubStream(pending=5),
+            degraded_after_seconds=0.05,
+            refresh_limit=0,
+        )
+        handle = serve_in_background(server)
+        try:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                fresh = client.request("search", {"phrase": "matilda"})
+                assert fresh["ok"] is True and "degraded" not in fresh
+                # a mention refresh rotates the view token, so the cached
+                # entry goes stale; then backdate the last publish so the
+                # degraded predicate sees a wedged pipeline
+                server.refresh_mentions()
+                server._last_publish = time.monotonic() - 60.0
+                stale = client.request("search", {"phrase": "matilda"})
+                assert stale["ok"] is True
+                assert stale["degraded"] is True
+                assert stale["cached"] is True
+                assert stale["result"] == fresh["result"]
+                status = client.status()
+                assert status["degraded"] is True
+                assert status["resilience"]["degraded_served"] >= 1
+        finally:
+            handle.stop()
+
+    def test_no_degraded_flag_while_publishing_is_healthy(self):
+        server = _server(
+            stream=_StubStream(pending=5), degraded_after_seconds=30.0
+        )
+        handle = serve_in_background(server)
+        try:
+            with QueryClient("127.0.0.1", handle.port) as client:
+                server.refresh_mentions()
+                response = client.request("search", {"phrase": "matilda"})
+                assert response["ok"] is True
+                assert "degraded" not in response
+                assert client.status()["degraded"] is False
+        finally:
+            handle.stop()
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_completes_before_sockets_close(self):
+        server = _server(fault_plan=_delay_plan(0.3, times=1))
+        handle = serve_in_background(server)
+        client = QueryClient("127.0.0.1", handle.port).connect()
+        try:
+            responses = []
+            worker = threading.Thread(
+                target=lambda: responses.append(client.search("matilda"))
+            )
+            worker.start()
+            time.sleep(0.1)  # the slow request is now in flight
+            handle.stop()  # drain: the response must still arrive intact
+            worker.join(timeout=5.0)
+            assert responses and responses[0]["count"] == 1
+        finally:
+            client.close()
+
+    def test_concurrent_client_never_sees_a_reset(self):
+        server = _server()
+        handle = serve_in_background(server)
+        client = QueryClient("127.0.0.1", handle.port).connect()
+        failures = []
+        stop_seen = threading.Event()
+
+        def hammer():
+            try:
+                while not stop_seen.is_set():
+                    client.ping()
+            except ServeError:
+                pass  # clean EOF maps here; that is the graceful outcome
+            except Exception as exc:  # raw resets are the bug
+                failures.append(exc)
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        time.sleep(0.15)
+        handle.stop()
+        stop_seen.set()
+        worker.join(timeout=5.0)
+        client.close()
+        assert failures == []
+
+    def test_sigterm_triggers_graceful_drain(self):
+        server = _server()
+        handle = serve_in_background(server, handle_sigterm=True)
+        with QueryClient("127.0.0.1", handle.port) as client:
+            assert client.ping()["pong"] is True
+        os.kill(os.getpid(), signal.SIGTERM)
+        handle.thread.join(timeout=5.0)
+        assert not handle.thread.is_alive()
+        handle.stop()  # restores the previous SIGTERM disposition
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+    def test_handle_sigterm_outside_main_thread_is_rejected(self):
+        caught = []
+
+        def run():
+            try:
+                serve_in_background(_server(), handle_sigterm=True)
+            except ServeError as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        assert caught

@@ -31,15 +31,17 @@ from repro.workloads import DedupCorpusGenerator
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _build_tamer(changelog_path=None) -> DataTamer:
+def _build_tamer(changelog_path=None, **stream_kwargs) -> DataTamer:
     config = TamerConfig.small()
     config.entity = EntityConfig(blocking_strategy="token")
-    config.stream = StreamConfig(
+    options = dict(
         max_batch_size=7,
         rebuild_threshold=0,
         schema_integration=True,
         changelog_path=str(changelog_path) if changelog_path else None,
     )
+    options.update(stream_kwargs)
+    config.stream = StreamConfig(**options)
     tamer = DataTamer(config.validate())
     corpus = DedupCorpusGenerator(seed=13).generate(
         n_entities=50, variants_per_entity=2
@@ -252,6 +254,82 @@ def test_recovery_preserves_document_key_order(document_store, tmp_path):
         target = document_store.create_collection(f"dst_{log_path.stem}")
         recover_collection(target, log_path)
         assert list(target.get("k")) == expected_keys
+
+
+# -- changelog compaction ---------------------------------------------------
+
+
+def test_rebuild_compacts_changelog_and_recovery_stays_exact(tmp_path):
+    """A full rebuild snapshots + truncates the log: recovery cost is then
+    bounded by collection size, and replaying the compacted log (plus any
+    events appended after it) still reproduces the state bit-identically."""
+    path = tmp_path / "cdc.jsonl"
+    tamer = _build_tamer(changelog_path=path, rebuild_threshold=10)
+    rng = random.Random(3)
+    _drive_writes(tamer, rng, steps=12)
+    stream = tamer.start_stream()
+    _drive_writes(tamer, rng, steps=30)
+    stream.refresh()  # drains, crosses the threshold, rebuilds, compacts
+    assert stream.compaction_count >= 1
+    live = {doc["_id"] for doc in tamer.curated_collection.scan()}
+    entries = read_changelog(path)
+    # the log is now one bootstrap snapshot of the live documents — the
+    # 40+ events of replayed history are gone
+    assert len(entries) == len(live)
+    assert all(e["seq"] == 0 and e["op"] == "insert" for e in entries)
+
+    # events appended after compaction replay on top of the snapshot
+    _drive_writes(tamer, rng, steps=4)
+    expected = _canonical(_state(stream))
+    assert len(read_changelog(path)) > len(live)
+
+    recovered = _build_tamer(changelog_path=None)
+    recover_collection(recovered.curated_collection, path)
+    stream2 = recovered.start_stream()
+    assert _canonical(_state(stream2)) == expected
+
+
+def test_compact_on_rebuild_can_be_disabled(tmp_path):
+    path = tmp_path / "cdc.jsonl"
+    tamer = _build_tamer(
+        changelog_path=path, rebuild_threshold=10, compact_on_rebuild=False
+    )
+    rng = random.Random(3)
+    stream = tamer.start_stream()
+    _drive_writes(tamer, rng, steps=30)
+    stream.refresh()
+    assert stream.rebuild_count >= 1
+    assert stream.compaction_count == 0
+    entries = read_changelog(path)
+    live = [doc["_id"] for doc in tamer.curated_collection.scan()]
+    assert len(entries) > len(live)  # full history retained
+
+
+def test_explicit_compaction_is_crash_atomic(document_store, tmp_path):
+    """``rewrite_snapshot`` swaps via a temp file + rename; afterwards the
+    log replays to the same collection and keeps accepting appends."""
+    source = document_store.create_collection("src")
+    path = tmp_path / "log.jsonl"
+    writer = ChangelogWriter(path)
+    from repro.stream.changelog import Changelog
+
+    tail_collection(source, changelog=Changelog(sink=writer.append))
+    for i in range(6):
+        source.insert({"_id": f"r{i}", "v": i})
+    source.delete("r3")
+    source.update("r1", {"v": 10})
+    assert len(read_changelog(path)) == 8
+
+    count = writer.rewrite_snapshot(source.scan())
+    assert count == 5
+    assert writer.snapshot_rewrites == 1
+    assert not path.with_name(path.name + ".compact").exists()
+    assert len(read_changelog(path)) == 5
+
+    source.insert({"_id": "after", "v": 99})  # appends continue post-swap
+    target = document_store.create_collection("dst")
+    recover_collection(target, path)
+    assert list(target.scan()) == list(source.scan())
 
 
 def test_kill_and_recover_with_non_alphabetical_keys(tmp_path):
