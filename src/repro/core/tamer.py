@@ -563,6 +563,7 @@ class DataTamer:
         the tamer also releases the serving workers.
         """
         from ..serve.server import QueryServer
+        from ..sql import SqlMetadata
 
         name_attribute = self.resolve_attribute(key_attribute)
         stream = self._stream if self._stream and not self._stream.closed else None
@@ -586,6 +587,9 @@ class DataTamer:
             prefer_sources=prefer,
             executor=self._executor,
             hub=self._hub,
+            # re-captured on the writer thread at every publish so the sql
+            # op's catalog/schema/instance tables track this tamer's state
+            sql_metadata=lambda: SqlMetadata.from_tamer(self),
         )
 
     def top_discussed_shows(self, k: int = 10) -> List[MentionCount]:

@@ -124,6 +124,10 @@ class QueryError(TamerError):
     """Raised by the query / fusion engine."""
 
 
+class SqlError(QueryError):
+    """Raised by the SQL frontend: lex, parse, bind or execution failures."""
+
+
 class ServeError(TamerError):
     """Raised by the concurrent query-serving tier."""
 

@@ -250,6 +250,36 @@ class QueryEngine:
             ]
         return QueryResult(entities=matches)
 
+    def sql(self, query: str, metadata=None, hub=None):
+        """Run one SQL ``SELECT`` against the current snapshot.
+
+        ``query`` is parsed, planned against the virtual-table catalog of
+        :mod:`repro.sql` and executed entirely against one pinned
+        :class:`~repro.query.snapshot.EntitySnapshot` — a concurrent
+        :meth:`replace_entities` cannot tear a result.  ``metadata`` (a
+        :class:`~repro.sql.SqlMetadata`) populates the catalog/schema/
+        instance virtual tables; without it only the entity-derived tables
+        have rows.  Returns a :class:`~repro.sql.SqlResult`.
+
+        The per-snapshot :class:`~repro.sql.SqlContext` (virtual tables,
+        pushdown indexes) is memoised, so repeated queries against the
+        same snapshot reuse the same indexes.
+        """
+        # lazy import: repro.sql imports the storage layer, which must not
+        # become a hard dependency of every engine import
+        from ..sql import SqlContext, run_sql
+
+        snapshot = self._snapshot
+        cached = getattr(self, "_sql_cache", None)
+        if (
+            cached is None
+            or cached[0] is not snapshot
+            or cached[1] is not metadata
+        ):
+            cached = (snapshot, metadata, SqlContext(snapshot, metadata=metadata))
+            self._sql_cache = cached
+        return run_sql(cached[2], query, hub=hub)
+
     def lookup_show(
         self, show_name: str, name_attribute: str = "show_name"
     ) -> QueryResult:

@@ -27,21 +27,30 @@ Start one through the facade::
 """
 
 from .cache import ResultCache
-from .client import QueryClient
+from .client import OpEnvelope, QueryClient
+from .ops import DEFAULT_REGISTRY, EvalContext, evaluate_request
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     QueryRequest,
     parse_request,
     request_cache_key,
 )
-from .server import QueryServer, ServerHandle, evaluate_request, serve_in_background
+from .registry import OpRegistry, OpSpec
+from .server import QueryServer, ServerHandle, serve_in_background
 from .session import ClientSession, SessionRegistry
 from .views import FusionIndex, ServeView
 
 __all__ = [
+    "DEFAULT_REGISTRY",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "ClientSession",
+    "EvalContext",
     "FusionIndex",
+    "OpEnvelope",
+    "OpRegistry",
+    "OpSpec",
     "QueryClient",
     "QueryRequest",
     "QueryServer",

@@ -26,9 +26,73 @@ import json
 import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ServeError
+from .ops import DEFAULT_REGISTRY
+from .registry import OpRegistry
+
+
+@dataclass(frozen=True)
+class OpEnvelope:
+    """One operation's reply, with its snapshot stamps made explicit.
+
+    The uniform result of :meth:`QueryClient.call` and every generated
+    ``client.ops.<name>()`` method: the payload plus the coherence metadata
+    (which snapshot answered, whether the cache or degraded-read path
+    served it) that the bare convenience methods throw away.
+    """
+
+    op: str
+    result: Any
+    version: Optional[int] = None
+    watermark: Optional[int] = None
+    schema_watermark: Optional[int] = None
+    cached: bool = False
+    degraded: bool = False
+
+    @classmethod
+    def from_response(cls, op: str, response: Dict[str, Any]) -> "OpEnvelope":
+        return cls(
+            op=op,
+            result=response.get("result"),
+            version=response.get("version"),
+            watermark=response.get("watermark"),
+            schema_watermark=response.get("schema_watermark"),
+            cached=bool(response.get("cached", False)),
+            degraded=bool(response.get("degraded", False)),
+        )
+
+
+class _OpNamespace:
+    """One generated method per registered operation.
+
+    ``client.ops.search(phrase="walking dead")`` resolves ``search`` in the
+    client's registry and issues the call — new operations registered
+    server- and client-side need no hand-written convenience method.
+    Every generated method returns an :class:`OpEnvelope`.
+    """
+
+    def __init__(self, client: "QueryClient", registry: OpRegistry):
+        self._client = client
+        self._registry = registry
+
+    def __getattr__(self, name: str):
+        spec = self._registry.find(name)
+        if spec is None:
+            raise AttributeError(f"no registered operation {name!r}")
+
+        def method(**params: Any) -> OpEnvelope:
+            return self._client.call(name, params)
+
+        method.__name__ = spec.name
+        method.__qualname__ = f"QueryClient.ops.{spec.name}"
+        method.__doc__ = spec.summary or None
+        return method
+
+    def __dir__(self):
+        return sorted(set(object.__dir__(self)) | set(self._registry.names()))
 
 
 class QueryClient:
@@ -43,6 +107,7 @@ class QueryClient:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         jitter_seed: Optional[int] = None,
+        registry: Optional[OpRegistry] = None,
     ):
         """``retries`` is the number of *re-sends* after the first attempt.
 
@@ -65,6 +130,9 @@ class QueryClient:
         self._ever_connected = False
         self._reconnects = 0
         self._retries_used = 0
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        #: Generated per-op methods: ``client.ops.search(phrase=...)``.
+        self.ops = _OpNamespace(self, self._registry)
 
     def connect(self) -> "QueryClient":
         """Open the connection (idempotent)."""
@@ -141,23 +209,33 @@ class QueryClient:
         return json.loads(line)
 
     def request(
-        self, op: str, params: Optional[Dict[str, Any]] = None
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        version: int = 1,
     ) -> Dict[str, Any]:
         """Send one request and return the raw response object.
 
         Retries transport failures and load-shed replies up to the
         configured budget; out of budget, raises :class:`ServeError` with
         the underlying cause chained.
+
+        ``version`` is the protocol version to negotiate.  Version 1 is
+        the default and omits the field entirely, so the wire bytes of a
+        v1 request are identical to what the pre-registry client sent.
         """
         if not self._ever_connected:
             raise ServeError("client is not connected; call connect() first")
         self._next_id += 1
+        body: Dict[str, Any] = {
+            "id": self._next_id,
+            "op": op,
+            "params": params or {},
+        }
+        if version != 1:
+            body["version"] = version
         payload = (
-            json.dumps(
-                {"id": self._next_id, "op": op, "params": params or {}},
-                separators=(",", ":"),
-            ).encode("utf-8")
-            + b"\n"
+            json.dumps(body, separators=(",", ":")).encode("utf-8") + b"\n"
         )
         attempts = self._retries + 1
         for attempt in range(1, attempts + 1):
@@ -202,10 +280,13 @@ class QueryClient:
         raise ServeError(f"request failed after {attempts} attempt(s)")
 
     def result(
-        self, op: str, params: Optional[Dict[str, Any]] = None
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        version: int = 1,
     ) -> Dict[str, Any]:
         """Send one request; return its result, raising on error replies."""
-        response = self.request(op, params)
+        response = self.request(op, params, version=version)
         if not response.get("ok"):
             error = response.get("error", {})
             raise ServeError(
@@ -214,15 +295,47 @@ class QueryClient:
             )
         return response["result"]
 
-    # -- convenience operations --------------------------------------------
+    def call(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        version: Optional[int] = None,
+    ) -> OpEnvelope:
+        """Issue one registered operation; return its :class:`OpEnvelope`.
+
+        The registry supplies two things the raw :meth:`request` cannot:
+        the negotiated version defaults to the op's ``since`` (so calling
+        ``sql`` negotiates v2 while v1 ops keep their v1 wire bytes), and
+        the op's ``validate`` hook runs locally first, so malformed
+        parameters fail fast without a round trip.
+        """
+        params = params or {}
+        spec = self._registry.find(op)
+        if spec is not None:
+            if version is None:
+                version = spec.since
+            if spec.validate is not None:
+                spec.validate(params)
+        elif version is None:
+            version = 1
+        response = self.request(op, params, version=version)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeError(
+                f"{error.get('type', 'ServeError')}: "
+                f"{error.get('message', 'request failed')}"
+            )
+        return OpEnvelope.from_response(op, response)
+
+    # -- convenience operations (aliases over the generated ops) -----------
 
     def ping(self) -> Dict[str, Any]:
         """Round-trip liveness check."""
-        return self.result("ping")
+        return self.call("ping").result
 
     def status(self) -> Dict[str, Any]:
         """Server status: watermarks, cache stats, live sessions."""
-        return self.result("status")
+        return self.call("status").result
 
     def metrics(
         self, format: Optional[str] = None, traces: bool = False
@@ -238,13 +351,13 @@ class QueryClient:
             params["format"] = format
         if traces:
             params["traces"] = True
-        return self.result("metrics", params)
+        return self.call("metrics", params).result
 
     def find_equal(self, attribute: str, value: Any) -> Dict[str, Any]:
         """Equality lookup over the published snapshot."""
-        return self.result(
+        return self.call(
             "find_equal", {"attribute": attribute, "value": value}
-        )
+        ).result
 
     def search(
         self, phrase: str, attributes: Optional[Sequence[str]] = None
@@ -253,7 +366,7 @@ class QueryClient:
         params: Dict[str, Any] = {"phrase": phrase}
         if attributes is not None:
             params["attributes"] = list(attributes)
-        return self.result("search", params)
+        return self.call("search", params).result
 
     def lookup_show(
         self, show_name: str, name_attribute: Optional[str] = None
@@ -262,7 +375,7 @@ class QueryClient:
         params: Dict[str, Any] = {"show_name": show_name}
         if name_attribute is not None:
             params["name_attribute"] = name_attribute
-        return self.result("lookup_show", params)
+        return self.call("lookup_show", params).result
 
     def top_k(
         self, k: int = 10, entity_types: Optional[Sequence[str]] = None
@@ -271,8 +384,17 @@ class QueryClient:
         params: Dict[str, Any] = {"k": k}
         if entity_types is not None:
             params["entity_types"] = list(entity_types)
-        return self.result("top_k", params)["ranking"]
+        return self.call("top_k", params).result["ranking"]
 
     def fuse(self, show_name: str) -> Dict[str, Any]:
         """The Table VI fused record for one show."""
-        return self.result("fuse", {"show_name": show_name})
+        return self.call("fuse", {"show_name": show_name}).result
+
+    def sql(self, query: str) -> Dict[str, Any]:
+        """Run one SQL ``SELECT`` on the server (negotiates protocol v2).
+
+        Returns the payload dict: ``columns``, ``rows``, ``stats``,
+        ``explain`` (for ``EXPLAIN`` queries) and ``canonical`` (the
+        canonical rendering the server keyed its cache under).
+        """
+        return self.call("sql", {"query": query}).result

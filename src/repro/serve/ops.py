@@ -1,0 +1,348 @@
+"""The built-in operations of the serving tier, as one registry table.
+
+Each operation's three facets — parameter validation, cache-key
+canonicalisation, snapshot-pinned evaluation — used to live in separate
+``if op ==`` chains across :mod:`repro.serve.protocol` and
+:mod:`repro.serve.server`.  Here they are fused into one
+:class:`~repro.serve.registry.OpSpec` per operation, registered in
+:data:`DEFAULT_REGISTRY`.  Adding an operation is now a single
+``OpSpec(...)`` entry; validation, caching and dispatch all follow from it.
+
+:func:`evaluate_request` is the registry-driven successor of the old
+server-module evaluator and remains the sequential oracle of the
+concurrency suite: pure, thread-safe, a function of ``(view, request)``
+only.
+
+Cache-key canonicalisation mirrors evaluation semantics exactly: a search
+matches on the *set* of its phrase tokens, so the key is the sorted unique
+token list; equality lookups and show lookups compare normalised *and*
+answer with payloads that never echo the query, so their keys carry the
+normalised value.  ``fuse`` echoes the requested spelling back
+(``entity_key``), so its key stays raw.  ``sql`` keys on the canonical
+rendering of the parsed statement, so two spellings of the same query
+(case, whitespace, ``<>`` vs ``!=``) share one cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, SqlError
+from ..query.engine import QueryEngine
+from ..sql import parse_sql, run_sql
+from ..text.normalize import TextNormalizer
+from ..text.tokenizer import tokenize
+from .registry import OpRegistry, OpSpec
+
+_normalizer = TextNormalizer()
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Server-side knobs an evaluator may consult (never view state)."""
+
+    name_attribute: str = "show_name"
+    hub: Optional[Any] = None
+
+
+# -- shared validators -----------------------------------------------------
+
+
+def _require(params: Dict[str, Any], name: str, types, op: str):
+    value = params.get(name)
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            wanted = "/".join(t.__name__ for t in types)
+        else:
+            wanted = types.__name__
+        raise ProtocolError(f"{op!r} requires {name!r} as {wanted}")
+    return value
+
+
+def _optional_str_list(params: Dict[str, Any], name: str, op: str):
+    value = params.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ProtocolError(f"{op!r} {name!r} must be a list of strings")
+    return value
+
+
+def _validate_find_equal(params: Dict[str, Any]) -> None:
+    _require(params, "attribute", str, "find_equal")
+    if params.get("value") is None:
+        raise ProtocolError("'find_equal' requires 'value'")
+
+
+def _validate_search(params: Dict[str, Any]) -> None:
+    _require(params, "phrase", str, "search")
+    _optional_str_list(params, "attributes", "search")
+
+
+def _validate_lookup_show(params: Dict[str, Any]) -> None:
+    _require(params, "show_name", str, "lookup_show")
+    attribute = params.get("name_attribute")
+    if attribute is not None and not isinstance(attribute, str):
+        raise ProtocolError("'lookup_show' 'name_attribute' must be a string")
+
+
+def _validate_top_k(params: Dict[str, Any]) -> None:
+    k = params.get("k", 10)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError("'top_k' 'k' must be a positive integer")
+    _optional_str_list(params, "entity_types", "top_k")
+
+
+def _validate_fuse(params: Dict[str, Any]) -> None:
+    _require(params, "show_name", str, "fuse")
+
+
+def _validate_metrics(params: Dict[str, Any]) -> None:
+    fmt = params.get("format", "json")
+    if fmt not in ("json", "prometheus"):
+        raise ProtocolError("'metrics' 'format' must be 'json' or 'prometheus'")
+    traces = params.get("traces", False)
+    if not isinstance(traces, bool):
+        raise ProtocolError("'metrics' 'traces' must be a boolean")
+
+
+def _validate_sql(params: Dict[str, Any]) -> None:
+    query = _require(params, "query", str, "sql")
+    try:
+        parse_sql(query)
+    except SqlError as exc:
+        raise ProtocolError(f"'sql' query is invalid: {exc}") from exc
+
+
+# -- cache-key canonicalisers ----------------------------------------------
+
+
+def _key_find_equal(request, name_attribute: str):
+    params = request.params
+    return (params["attribute"], _normalizer.normalize(str(params["value"])))
+
+
+def _key_search(request, name_attribute: str):
+    params = request.params
+    attributes = params.get("attributes")
+    return (
+        sorted(set(tokenize(params["phrase"]))),
+        sorted(set(attributes)) if attributes is not None else None,
+    )
+
+
+def _key_lookup_show(request, name_attribute: str):
+    params = request.params
+    return (
+        params.get("name_attribute", name_attribute),
+        _normalizer.normalize(params["show_name"]),
+    )
+
+
+def _key_top_k(request, name_attribute: str):
+    # the evaluation default is the Table IV Movie filter — fold it in
+    # so explicit and defaulted requests share an entry
+    params = request.params
+    entity_types = params.get("entity_types", ["Movie"])
+    return (params.get("k", 10), sorted(set(entity_types)))
+
+
+def _key_fuse(request, name_attribute: str):
+    # the fused payload echoes the requested spelling as entity_key, so
+    # the key must be spelling-sensitive — normalising here would serve
+    # one request's entity_key to a differently-spelled equivalent
+    return request.params["show_name"]
+
+
+def _key_sql(request, name_attribute: str):
+    # validation already proved the query parses; the canonical rendering
+    # strips case/whitespace/operator-spelling differences
+    return parse_sql(request.params["query"]).render()
+
+
+# -- evaluators ------------------------------------------------------------
+
+
+def entity_payload(entity) -> Dict[str, Any]:
+    """Serialise one consolidated entity for the wire."""
+    return {
+        "entity_id": entity.entity_id,
+        "member_record_ids": [str(rid) for rid in entity.member_record_ids],
+        "source_ids": list(entity.source_ids),
+        "attributes": dict(entity.attributes),
+        "provenance": {
+            name: [str(rid) for rid in rids]
+            for name, rids in entity.provenance.items()
+        },
+        "size": entity.size,
+    }
+
+
+def _entities_result(result) -> Dict[str, Any]:
+    return {
+        "count": len(result),
+        "entities": [entity_payload(entity) for entity in result],
+    }
+
+
+def _eval_find_equal(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    engine = QueryEngine.from_snapshot(view.snapshot)
+    params = request.params
+    return _entities_result(
+        engine.find_equal(params["attribute"], params["value"])
+    )
+
+
+def _eval_search(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    engine = QueryEngine.from_snapshot(view.snapshot)
+    params = request.params
+    return _entities_result(
+        engine.search(params["phrase"], attributes=params.get("attributes"))
+    )
+
+
+def _eval_lookup_show(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    engine = QueryEngine.from_snapshot(view.snapshot)
+    params = request.params
+    return _entities_result(
+        engine.lookup_show(
+            params["show_name"],
+            name_attribute=params.get("name_attribute", ctx.name_attribute),
+        )
+    )
+
+
+def _eval_top_k(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    params = request.params
+    ranking = view.top_k(
+        params.get("k", 10),
+        entity_types=params.get("entity_types", ("Movie",)),
+    )
+    return {
+        "ranking": [
+            {
+                "entity": row.entity,
+                "entity_type": row.entity_type,
+                "mentions": row.mentions,
+            }
+            for row in ranking
+        ]
+    }
+
+
+def _eval_fuse(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    fused = view.fusion.fuse(request.params["show_name"])
+    return {
+        "entity_key": fused.entity_key,
+        "attributes": dict(fused.attributes),
+        "provenance": dict(fused.provenance),
+        "contributing_sources": list(fused.contributing_sources),
+        "attribute_count": fused.attribute_count(),
+    }
+
+
+def _eval_sql(view, request, ctx: EvalContext) -> Dict[str, Any]:
+    result = run_sql(view.sql_context(), request.params["query"], hub=ctx.hub)
+    return result.as_payload()
+
+
+# -- the registry ----------------------------------------------------------
+
+#: The built-in operation table.  ``ping``/``status``/``metrics`` are live
+#: (no ``evaluate`` — the server answers them from loop state); everything
+#: else is a pure function of the pinned view and caches by canonical key.
+DEFAULT_REGISTRY = OpRegistry(
+    (
+        OpSpec(name="ping", summary="round-trip liveness check"),
+        OpSpec(name="status", summary="server status and watermarks"),
+        OpSpec(
+            name="metrics",
+            summary="telemetry snapshot of the server's hub",
+            validate=_validate_metrics,
+        ),
+        OpSpec(
+            name="find_equal",
+            summary="equality lookup over the published snapshot",
+            validate=_validate_find_equal,
+            cache_key=_key_find_equal,
+            evaluate=_eval_find_equal,
+        ),
+        OpSpec(
+            name="search",
+            summary="keyword search over the published snapshot",
+            validate=_validate_search,
+            cache_key=_key_search,
+            evaluate=_eval_search,
+        ),
+        OpSpec(
+            name="lookup_show",
+            summary="the Tables V/VI show lookup",
+            validate=_validate_lookup_show,
+            cache_key=_key_lookup_show,
+            evaluate=_eval_lookup_show,
+        ),
+        OpSpec(
+            name="top_k",
+            summary="the Table IV mention ranking",
+            validate=_validate_top_k,
+            cache_key=_key_top_k,
+            evaluate=_eval_top_k,
+        ),
+        OpSpec(
+            name="fuse",
+            summary="the Table VI fused record for one show",
+            validate=_validate_fuse,
+            cache_key=_key_fuse,
+            evaluate=_eval_fuse,
+        ),
+        OpSpec(
+            name="sql",
+            since=2,
+            summary="SQL SELECT over the virtual curated-store catalog",
+            validate=_validate_sql,
+            cache_key=_key_sql,
+            evaluate=_eval_sql,
+        ),
+    )
+)
+
+
+def request_cache_key(
+    request, name_attribute: str = "show_name", registry: Optional[OpRegistry] = None
+) -> Optional[str]:
+    """The canonical cache key for a request (``None`` if not cacheable)."""
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+    spec = reg.find(request.op)
+    if spec is None or spec.cache_key is None:
+        return None
+    key = spec.cache_key(request, name_attribute)
+    return json.dumps(
+        [request.op, key], sort_keys=True, separators=(",", ":")
+    )
+
+
+def evaluate_request(
+    view,
+    request,
+    name_attribute: str = "show_name",
+    hub: Optional[Any] = None,
+    registry: Optional[OpRegistry] = None,
+) -> Dict[str, Any]:
+    """Evaluate one request against one pinned view (pure, thread-safe).
+
+    This is the whole query semantics of the serving tier in one place —
+    the concurrency suite's sequential oracle calls it over recorded views
+    to check live responses bit-for-bit.  Live operations
+    (``ping``/``status``/``metrics``) are not evaluable here: they answer
+    from server loop state, not from a view.
+    """
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+    spec = reg.get(request.op)
+    if spec.evaluate is None:
+        raise ProtocolError(f"operation not evaluable: {request.op!r}")
+    ctx = EvalContext(name_attribute=name_attribute, hub=hub)
+    return spec.evaluate(view, request, ctx)

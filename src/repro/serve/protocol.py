@@ -15,10 +15,19 @@ Errors (unknown op, bad params, a :class:`~repro.errors.QueryError` raised
 during evaluation) come back as ``{"ok": false, "error": {...}}`` on the
 same line slot — the connection stays usable.
 
-:func:`request_cache_key` canonicalises a request into the string the
-result cache keys it under: two requests that are guaranteed to produce the
-same answer against the same snapshot (a search with re-ordered tokens, a
-lookup differing only in case) share one cache entry.
+Versioning
+----------
+
+The current protocol is **version 2**; a request opts in by carrying
+``"version": 2``.  A request without a ``version`` field negotiates
+version 1 and is answered bit-identically to the pre-registry protocol —
+same validation, same cache keys, same response bytes.  Version-2-only
+operations (``sql``) are rejected for version-1 requests at parse time.
+
+Operation semantics — validation, cache-key canonicalisation, evaluation —
+are not defined here: they live in the op registry
+(:data:`repro.serve.ops.DEFAULT_REGISTRY`).  This module is only the wire
+format: framing, version negotiation, response encoding.
 """
 
 from __future__ import annotations
@@ -28,34 +37,26 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from ..errors import ProtocolError
-from ..text.normalize import TextNormalizer
-from ..text.tokenizer import tokenize
-
-PROTOCOL_VERSION = 1
-
-#: Operations a request may name.  ``ping``, ``status`` and ``metrics``
-#: are served on the event loop; the rest evaluate against the pinned
-#: serve view in a worker thread.
-OPERATIONS = frozenset(
-    {
-        "ping",
-        "status",
-        "metrics",
-        "find_equal",
-        "search",
-        "lookup_show",
-        "top_k",
-        "fuse",
-    }
+from .ops import (
+    DEFAULT_REGISTRY,
+    entity_payload,
+    request_cache_key as _registry_cache_key,
 )
+from .registry import OpRegistry, OpSpec  # noqa: F401  (compat re-export)
+
+#: The newest protocol version this build speaks.
+PROTOCOL_VERSION = 2
+
+#: Every version this build still answers.  Version 1 is the pre-registry
+#: protocol; its requests and responses are bit-identical to the old build.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+
+#: Operations a request may name (any version; derived from the registry).
+OPERATIONS = frozenset(DEFAULT_REGISTRY.names())
 
 #: Operations whose responses are cacheable (deterministic functions of the
 #: published view).  ``ping``/``status``/``metrics`` report live state.
-CACHEABLE_OPERATIONS = frozenset(
-    {"find_equal", "search", "lookup_show", "top_k", "fuse"}
-)
-
-_normalizer = TextNormalizer()
+CACHEABLE_OPERATIONS = DEFAULT_REGISTRY.cacheable_names()
 
 
 @dataclass(frozen=True)
@@ -65,14 +66,21 @@ class QueryRequest:
     op: str
     params: Dict[str, Any]
     request_id: Optional[Union[int, str]] = None
+    #: The protocol version the request negotiated (absent field → 1).
+    version: int = 1
 
 
-def parse_request(line: Union[str, bytes]) -> QueryRequest:
+def parse_request(
+    line: Union[str, bytes], registry: Optional[OpRegistry] = None
+) -> QueryRequest:
     """Parse one wire line into a :class:`QueryRequest`.
 
     Raises :class:`~repro.errors.ProtocolError` on malformed JSON, a
-    non-object body, an unknown operation, or non-object params.
+    non-object body, an unknown operation, an unsupported version, an
+    operation newer than the negotiated version, or invalid params (each
+    op's ``validate`` hook from the registry).
     """
+    reg = registry if registry is not None else DEFAULT_REGISTRY
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
@@ -84,135 +92,46 @@ def parse_request(line: Union[str, bytes]) -> QueryRequest:
         raise ProtocolError(f"request is not valid JSON: {exc}") from exc
     if not isinstance(body, dict):
         raise ProtocolError("request must be a JSON object")
+    version = body.get("version", 1)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("'version' must be an integer or absent")
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolError(
+            f"unsupported protocol version: {version} "
+            f"(supported: {list(SUPPORTED_PROTOCOL_VERSIONS)})"
+        )
     op = body.get("op")
     if not isinstance(op, str):
         raise ProtocolError("request must carry a string 'op'")
-    if op not in OPERATIONS:
-        raise ProtocolError(f"unknown operation: {op!r}")
+    spec = reg.check_version(op, version)
     params = body.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be a JSON object")
     request_id = body.get("id")
     if request_id is not None and not isinstance(request_id, (int, str)):
         raise ProtocolError("'id' must be a string, an integer, or absent")
-    request = QueryRequest(op=op, params=params, request_id=request_id)
-    _validate_params(request)
-    return request
-
-
-def _require(params: Dict[str, Any], name: str, types, op: str):
-    value = params.get(name)
-    if not isinstance(value, types):
-        if isinstance(types, tuple):
-            wanted = "/".join(t.__name__ for t in types)
-        else:
-            wanted = types.__name__
-        raise ProtocolError(f"{op!r} requires {name!r} as {wanted}")
-    return value
-
-
-def _optional_str_list(params: Dict[str, Any], name: str, op: str):
-    value = params.get(name)
-    if value is None:
-        return None
-    if not isinstance(value, list) or not all(
-        isinstance(item, str) for item in value
-    ):
-        raise ProtocolError(f"{op!r} {name!r} must be a list of strings")
-    return value
-
-
-def _validate_params(request: QueryRequest) -> None:
-    op, params = request.op, request.params
-    if op == "find_equal":
-        _require(params, "attribute", str, op)
-        if params.get("value") is None:
-            raise ProtocolError("'find_equal' requires 'value'")
-    elif op == "search":
-        _require(params, "phrase", str, op)
-        _optional_str_list(params, "attributes", op)
-    elif op == "lookup_show":
-        _require(params, "show_name", str, op)
-        attribute = params.get("name_attribute")
-        if attribute is not None and not isinstance(attribute, str):
-            raise ProtocolError("'lookup_show' 'name_attribute' must be a string")
-    elif op == "top_k":
-        k = params.get("k", 10)
-        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
-            raise ProtocolError("'top_k' 'k' must be a positive integer")
-        _optional_str_list(params, "entity_types", op)
-    elif op == "fuse":
-        _require(params, "show_name", str, op)
-    elif op == "metrics":
-        fmt = params.get("format", "json")
-        if fmt not in ("json", "prometheus"):
-            raise ProtocolError(
-                "'metrics' 'format' must be 'json' or 'prometheus'"
-            )
-        traces = params.get("traces", False)
-        if not isinstance(traces, bool):
-            raise ProtocolError("'metrics' 'traces' must be a boolean")
+    if spec.validate is not None:
+        spec.validate(params)
+    return QueryRequest(
+        op=op, params=params, request_id=request_id, version=version
+    )
 
 
 def request_cache_key(
-    request: QueryRequest, name_attribute: str = "show_name"
+    request: QueryRequest,
+    name_attribute: str = "show_name",
+    registry: Optional["OpRegistry"] = None,
 ) -> Optional[str]:
     """The canonical cache key for a request (``None`` if not cacheable).
 
-    Normalisation mirrors evaluation semantics exactly: a search matches on
-    the *set* of its phrase tokens, so the key is the sorted unique token
-    list; equality lookups and show lookups compare normalised *and* answer
-    with payloads that never echo the query, so their keys carry the
-    normalised value.  ``fuse`` echoes the requested spelling back
-    (``entity_key``), so its key stays raw.  ``name_attribute`` is the
-    server's default lookup attribute, folded in so requests that spell it
-    out and requests that rely on the default share an entry.
+    Delegates to the registered op's ``cache_key`` hook — see
+    :mod:`repro.serve.ops` for the per-operation canonicalisation rules.
+    ``name_attribute`` is the server's default lookup attribute, folded in
+    so requests that spell it out and requests that rely on the default
+    share an entry.  ``registry`` overrides the op table (defaults to the
+    built-in registry).
     """
-    if request.op not in CACHEABLE_OPERATIONS:
-        return None
-    op, params = request.op, request.params
-    if op == "find_equal":
-        key: Any = (
-            params["attribute"],
-            _normalizer.normalize(str(params["value"])),
-        )
-    elif op == "search":
-        attributes = params.get("attributes")
-        key = (
-            sorted(set(tokenize(params["phrase"]))),
-            sorted(set(attributes)) if attributes is not None else None,
-        )
-    elif op == "lookup_show":
-        key = (
-            params.get("name_attribute", name_attribute),
-            _normalizer.normalize(params["show_name"]),
-        )
-    elif op == "top_k":
-        # the evaluation default is the Table IV Movie filter — fold it in
-        # so explicit and defaulted requests share an entry
-        entity_types = params.get("entity_types", ["Movie"])
-        key = (params.get("k", 10), sorted(set(entity_types)))
-    else:  # fuse
-        # the fused payload echoes the requested spelling as entity_key, so
-        # the key must be spelling-sensitive — normalising here would serve
-        # one request's entity_key to a differently-spelled equivalent
-        key = params["show_name"]
-    return json.dumps([op, key], sort_keys=True, separators=(",", ":"))
-
-
-def entity_payload(entity) -> Dict[str, Any]:
-    """Serialise one consolidated entity for the wire."""
-    return {
-        "entity_id": entity.entity_id,
-        "member_record_ids": [str(rid) for rid in entity.member_record_ids],
-        "source_ids": list(entity.source_ids),
-        "attributes": dict(entity.attributes),
-        "provenance": {
-            name: [str(rid) for rid in rids]
-            for name, rids in entity.provenance.items()
-        },
-        "size": entity.size,
-    }
+    return _registry_cache_key(request, name_attribute, registry=registry)
 
 
 def encode_response(
@@ -265,3 +184,20 @@ def encode_error(
         payload["retry_after"] = retry_after
     body = {"id": request_id, "ok": False, "error": payload}
     return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "OPERATIONS",
+    "CACHEABLE_OPERATIONS",
+    "QueryRequest",
+    "parse_request",
+    "request_cache_key",
+    "entity_payload",
+    "encode_response",
+    "encode_error",
+    "OpRegistry",
+    "OpSpec",
+    "DEFAULT_REGISTRY",
+]

@@ -1,0 +1,123 @@
+"""The versioned operation registry of the serving tier.
+
+Before this existed, adding a serve operation meant editing two parallel
+``if op ==`` chains (parameter validation in :mod:`repro.serve.protocol`,
+dispatch in :mod:`repro.serve.server`) plus the cache-key canonicaliser —
+three places that could silently drift.  An :class:`OpSpec` folds all three
+facets of one operation into a single table entry:
+
+* ``validate(params)`` — raise :class:`~repro.errors.ProtocolError` on bad
+  parameters (runs at parse time, before any evaluation);
+* ``cache_key(request, name_attribute)`` — the canonical identity the
+  result cache keys responses under, or ``None`` when the op is live;
+* ``evaluate(view, request, ctx)`` — the pure snapshot-pinned evaluator,
+  or ``None`` for live ops (``ping``/``status``/``metrics``) the server
+  answers from loop state.
+
+``since`` is the protocol version that introduced the op: a request
+negotiating version 1 cannot name a version-2 op, which is how the v2
+``sql`` operation coexists with bit-identical v1 behaviour.
+
+This module is deliberately generic — it knows nothing about the concrete
+operations (those live in :mod:`repro.serve.ops`) and imports nothing from
+the rest of the serve package, so protocol, server and client can all build
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+#: Validate callback: ``(params) -> None``, raising ProtocolError.
+Validator = Callable[[Dict[str, Any]], None]
+#: Cache-key callback: ``(request, name_attribute) -> key object``.
+CacheKeyFn = Callable[[Any, str], Any]
+#: Evaluator callback: ``(view, request, ctx) -> result dict``.
+Evaluator = Callable[[Any, Any, Any], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Everything the serving tier knows about one operation."""
+
+    name: str
+    #: Protocol version that introduced this op.
+    since: int = 1
+    summary: str = ""
+    validate: Optional[Validator] = None
+    cache_key: Optional[CacheKeyFn] = None
+    #: ``None`` marks a live op: answered on the event loop from server
+    #: state, never cached, never handed to a worker thread.
+    evaluate: Optional[Evaluator] = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether responses are deterministic functions of the view."""
+        return self.cache_key is not None
+
+    @property
+    def live(self) -> bool:
+        """Whether the server answers this op from loop state."""
+        return self.evaluate is None
+
+
+class OpRegistry:
+    """An ordered, versioned table of :class:`OpSpec` entries."""
+
+    def __init__(self, specs: Tuple[OpSpec, ...] = ()):
+        self._specs: Dict[str, OpSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: OpSpec) -> OpSpec:
+        """Add one operation; duplicate names are an error."""
+        if spec.name in self._specs:
+            raise ProtocolError(f"operation already registered: {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> OpSpec:
+        """The spec for ``name``; raises :class:`ProtocolError` if unknown."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ProtocolError(f"unknown operation: {name!r}")
+        return spec
+
+    def find(self, name: str) -> Optional[OpSpec]:
+        """The spec for ``name``, or ``None``."""
+        return self._specs.get(name)
+
+    def check_version(self, name: str, version: int) -> OpSpec:
+        """The spec for ``name`` if the negotiated ``version`` may call it."""
+        spec = self.get(name)
+        if version < spec.since:
+            raise ProtocolError(
+                f"operation {name!r} requires protocol version >= {spec.since}"
+            )
+        return spec
+
+    def names(self, version: Optional[int] = None) -> List[str]:
+        """Registered op names (optionally only those ``version`` may call),
+        in registration order."""
+        return [
+            spec.name
+            for spec in self._specs.values()
+            if version is None or spec.since <= version
+        ]
+
+    def specs(self) -> List[OpSpec]:
+        """Every registered spec, in registration order."""
+        return list(self._specs.values())
+
+    def cacheable_names(self) -> frozenset:
+        """Names of ops whose responses the result cache may hold."""
+        return frozenset(s.name for s in self._specs.values() if s.cacheable)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)

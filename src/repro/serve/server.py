@@ -51,71 +51,19 @@ from ..query.engine import QueryEngine
 from ..query.snapshot import EntitySnapshot
 from ..query.topk import MentionCounter
 from .cache import ResultCache
+from .ops import DEFAULT_REGISTRY, evaluate_request  # noqa: F401  (oracle re-export)
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     QueryRequest,
     encode_error,
     encode_response,
-    entity_payload,
     parse_request,
     request_cache_key,
 )
+from .registry import OpRegistry
 from .session import ClientSession, SessionRegistry
 from .views import FusionIndex, ServeView
-
-
-def evaluate_request(
-    view: ServeView, request: QueryRequest, name_attribute: str = "show_name"
-) -> Dict[str, Any]:
-    """Evaluate one request against one pinned view (pure, thread-safe).
-
-    This is the whole query semantics of the serving tier in one place —
-    the concurrency suite's sequential oracle calls it over recorded views
-    to check live responses bit-for-bit.
-    """
-    engine = QueryEngine.from_snapshot(view.snapshot)
-    op, params = request.op, request.params
-    if op == "find_equal":
-        result = engine.find_equal(params["attribute"], params["value"])
-    elif op == "search":
-        result = engine.search(
-            params["phrase"], attributes=params.get("attributes")
-        )
-    elif op == "lookup_show":
-        result = engine.lookup_show(
-            params["show_name"],
-            name_attribute=params.get("name_attribute", name_attribute),
-        )
-    elif op == "top_k":
-        ranking = view.top_k(
-            params.get("k", 10),
-            entity_types=params.get("entity_types", ("Movie",)),
-        )
-        return {
-            "ranking": [
-                {
-                    "entity": row.entity,
-                    "entity_type": row.entity_type,
-                    "mentions": row.mentions,
-                }
-                for row in ranking
-            ]
-        }
-    elif op == "fuse":
-        fused = view.fusion.fuse(params["show_name"])
-        return {
-            "entity_key": fused.entity_key,
-            "attributes": dict(fused.attributes),
-            "provenance": dict(fused.provenance),
-            "contributing_sources": list(fused.contributing_sources),
-            "attribute_count": fused.attribute_count(),
-        }
-    else:  # unreachable after parse_request validation
-        raise ProtocolError(f"operation not evaluable: {op!r}")
-    return {
-        "count": len(result),
-        "entities": [entity_payload(entity) for entity in result],
-    }
 
 
 class QueryServer:
@@ -134,6 +82,8 @@ class QueryServer:
         prefer_sources: Sequence[str] = (),
         executor=None,
         hub: Optional[TelemetryHub] = None,
+        sql_metadata: Optional[Callable[[], Any]] = None,
+        registry: Optional[OpRegistry] = None,
     ):
         """``engine`` owns the atomic snapshot pointer requests read.
 
@@ -148,7 +98,12 @@ class QueryServer:
         no manual :meth:`refresh_mentions` needed.  ``executor`` provides
         the request-worker hand-off; without one the server owns a private
         thread pool.  ``hub`` is the telemetry plane (defaults to the
-        executor's, then the process-wide hub).
+        executor's, then the process-wide hub).  ``sql_metadata`` is a
+        callable returning a :class:`~repro.sql.SqlMetadata` — invoked on
+        the writer thread at every publish, like the fusion capture, so
+        the ``sql`` operation's catalog tables stay consistent with the
+        snapshot.  ``registry`` overrides the operation table (defaults to
+        :data:`~repro.serve.ops.DEFAULT_REGISTRY`).
         """
         self._config = config or ServeConfig()
         self._config.validate()
@@ -158,6 +113,15 @@ class QueryServer:
         self._instance_documents = instance_documents
         self._name_attribute = name_attribute
         self._prefer_sources = tuple(prefer_sources)
+        self._sql_metadata = sql_metadata
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._live_handlers: Dict[
+            str, Callable[[ServeView, QueryRequest], Dict[str, Any]]
+        ] = {
+            "ping": self._ping_payload,
+            "status": self._status_for,
+            "metrics": self._metrics_for,
+        }
         if hub is None:
             hub = getattr(executor, "hub", None) or default_hub()
         self._hub = hub
@@ -184,13 +148,13 @@ class QueryServer:
         self._publishes = 0
         self._started_at = time.monotonic()
         self._requests_by_op: Dict[str, int] = {}
-        registry = hub.registry
-        self._m_requests = registry.counter(
+        metrics_registry = hub.registry
+        self._m_requests = metrics_registry.counter(
             "serve_requests_total",
             "Requests served, by operation and outcome",
             labels=("op", "outcome"),
         )
-        self._m_latency = registry.histogram(
+        self._m_latency = metrics_registry.histogram(
             "serve_request_seconds",
             "Request service time (parse through write+drain)",
             labels=("op",),
@@ -200,29 +164,29 @@ class QueryServer:
         self._trace_every = max(1, getattr(hub, "trace_sample_every", 1))
         # primed so the very first request is always traced
         self._trace_tick = self._trace_every - 1
-        self._m_active_sessions = registry.gauge(
+        self._m_active_sessions = metrics_registry.gauge(
             "serve_active_sessions", "Currently connected client sessions"
         )
-        self._m_worker_inflight = registry.gauge(
+        self._m_worker_inflight = metrics_registry.gauge(
             "serve_worker_inflight",
             "Requests handed off to the worker pool and not yet returned",
         )
-        self._m_publishes = registry.counter(
+        self._m_publishes = metrics_registry.counter(
             "serve_publishes_total", "View installs (publishes + refreshes)"
         )
-        self._m_shed = registry.counter(
+        self._m_shed = metrics_registry.counter(
             "serve_shed_total",
             "Requests rejected by admission control (max_inflight)",
         )
-        self._m_deadline = registry.counter(
+        self._m_deadline = metrics_registry.counter(
             "serve_deadline_exceeded_total",
             "Requests abandoned past request_deadline",
         )
-        self._m_degraded = registry.counter(
+        self._m_degraded = metrics_registry.counter(
             "serve_degraded_total",
             "Stale cache entries served in degraded-read mode",
         )
-        self._m_mentions_refreshed = registry.counter(
+        self._m_mentions_refreshed = metrics_registry.counter(
             "mentions_refreshed_total",
             "Mention-count refreshes folded into the published view",
         )
@@ -261,11 +225,17 @@ class QueryServer:
         fusion = FusionIndex.capture(
             documents, self._name_attribute, prefer_sources=self._prefer_sources
         )
+        # like the fusion corpus, the SQL catalog metadata is captured on
+        # the writer's thread so it is consistent with the snapshot
+        sql_metadata = (
+            self._sql_metadata() if self._sql_metadata is not None else None
+        )
         return ServeView(
             snapshot=snapshot,
             fusion=fusion,
             mentions=self._mentions,
             mentions_epoch=self._mentions_epoch,
+            sql_metadata=sql_metadata,
         )
 
     def refresh_mentions(self) -> None:
@@ -364,7 +334,12 @@ class QueryServer:
     async def _refresh_entry(self, view: ServeView, entry) -> None:
         try:
             result = await self._run_in_worker(
-                evaluate_request, view, entry.request, self._name_attribute
+                evaluate_request,
+                view,
+                entry.request,
+                self._name_attribute,
+                self._hub,
+                self._registry,
             )
         except TamerError:
             return  # the next client miss will surface the error
@@ -413,7 +388,13 @@ class QueryServer:
             "serve.evaluate", parent=parent_span, tags={"op": request.op}
         ):
             self._faults.fire("serve.evaluate")
-            return evaluate_request(view, request, self._name_attribute)
+            return evaluate_request(
+                view,
+                request,
+                self._name_attribute,
+                hub=self._hub,
+                registry=self._registry,
+            )
 
     def _degraded_active(self) -> bool:
         """Whether the published snapshot is stale past the threshold.
@@ -634,20 +615,19 @@ class QueryServer:
         ``deadline`` or ``error``).
         """
         try:
-            request = parse_request(line)
+            request = parse_request(line, self._registry)
         except ProtocolError as exc:
             session.observe_error()
             return encode_error(None, exc), "invalid", "error"
         # one atomic capture: everything below reads this view only
         view = self._view
-        if request.op == "ping":
-            result: Dict[str, Any] = {"pong": True, "protocol": PROTOCOL_VERSION}
-        elif request.op == "status":
-            result = self._status_payload(view)
-        elif request.op == "metrics":
-            result = self._metrics_payload(request.params)
+        live = self._live_handlers.get(request.op)
+        if live is not None:
+            result: Dict[str, Any] = live(view, request)
         else:
-            key = request_cache_key(request, self._name_attribute)
+            key = request_cache_key(
+                request, self._name_attribute, registry=self._registry
+            )
             entry = self._cache.get(key, view.token)
             if entry is not None:
                 session.observe(view.version, view.watermark, cached=True)
@@ -764,9 +744,29 @@ class QueryServer:
             "ok",
         )
 
-    def _status_payload(self, view: ServeView) -> Dict[str, Any]:
-        return {
-            "protocol": PROTOCOL_VERSION,
+    def _ping_payload(
+        self, view: ServeView, request: QueryRequest
+    ) -> Dict[str, Any]:
+        # stamped with the *negotiated* version, not the newest one this
+        # build speaks, so v1 responses stay bit-identical to the
+        # pre-registry protocol
+        return {"pong": True, "protocol": request.version}
+
+    def _status_for(
+        self, view: ServeView, request: QueryRequest
+    ) -> Dict[str, Any]:
+        return self._status_payload(view, version=request.version)
+
+    def _metrics_for(
+        self, view: ServeView, request: QueryRequest
+    ) -> Dict[str, Any]:
+        return self._metrics_payload(request.params)
+
+    def _status_payload(
+        self, view: ServeView, version: int = 1
+    ) -> Dict[str, Any]:
+        payload = {
+            "protocol": version,
             "version": view.version,
             "watermark": view.watermark,
             "schema_watermark": view.schema_watermark,
@@ -789,6 +789,12 @@ class QueryServer:
             },
             "alerts": self._alert_payload(),
         }
+        if version >= 2:
+            # v2-only keys, appended so the v1 status body stays
+            # byte-for-byte what the old build produced
+            payload["supported_protocols"] = list(SUPPORTED_PROTOCOL_VERSIONS)
+            payload["ops"] = self._registry.names(version)
+        return payload
 
     def _alert_payload(self) -> List[Dict[str, Any]]:
         """Firing alert rules, if the hub carries an alert manager."""

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..query.fusion import FusionResult, fuse_entity_views
 from ..query.snapshot import EntitySnapshot
 from ..query.topk import MentionCount, MentionCounter
+from ..sql import SqlContext, SqlMetadata
 from ..text.normalize import TextNormalizer
 
 _normalizer = TextNormalizer()
@@ -87,6 +88,11 @@ class ServeView:
     #: against older counts go stale even though the entity snapshot —
     #: and therefore its version/watermark — did not move.
     mentions_epoch: int = 0
+    #: Catalog/schema/instance metadata for the ``sql`` operation, captured
+    #: on the writer thread at publish time (like the fusion corpus) so SQL
+    #: answers are consistent with the snapshot they are stamped with.
+    #: ``None`` serves the entity-derived virtual tables only.
+    sql_metadata: Optional[SqlMetadata] = None
 
     @property
     def token(self) -> Tuple:
@@ -118,3 +124,18 @@ class ServeView:
     ) -> List[MentionCount]:
         """The Table IV ranking over the captured mention counts."""
         return self.mentions.top(k, entity_types=entity_types)
+
+    def sql_context(self) -> SqlContext:
+        """The lazily-built SQL context pinned to this view.
+
+        Memoised on first use so the per-view virtual tables and pushdown
+        indexes are built once and shared by every SQL request against this
+        publish.  A concurrent first call may build twice — both results
+        are equivalent (pure functions of the frozen view), so last-write-
+        wins is safe.
+        """
+        context = getattr(self, "_sql_context", None)
+        if context is None:
+            context = SqlContext(self.snapshot, metadata=self.sql_metadata)
+            object.__setattr__(self, "_sql_context", context)
+        return context

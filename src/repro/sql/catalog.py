@@ -1,0 +1,525 @@
+"""The virtual-table catalog the SQL frontend queries.
+
+A :class:`SqlContext` pins one immutable :class:`~repro.query.snapshot
+.EntitySnapshot` plus one :class:`SqlMetadata` capture and exposes the
+seven virtual tables as typed :class:`~repro.storage.relational.Table`
+instances:
+
+========================  ====================================================
+``entities``              one row per consolidated entity; base columns plus
+                          one column per (global-schema) attribute observed
+``clusters``              one row per entity *member record* (the dedup
+                          clustering, exploded)
+``instances``             the WEBINSTANCE fragments (text mentions)
+``sources``               the source catalog
+``mappings``              every schema-integration attribute decision
+``global_attributes``     the global schema with value-profile statistics
+``curation_status``       a single row describing the pinned snapshot
+========================  ====================================================
+
+Everything is materialised lazily and cached: the first query touching a
+table builds it (and the first equality/range pushdown on a column builds
+its :class:`~repro.storage.index.HashIndex` / sorted-column cache), later
+queries against the same context reuse them.  A context is safe to share
+across serving threads — builds are guarded by a lock and the snapshot and
+metadata underneath never change.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SqlError
+from ..query.snapshot import EntitySnapshot
+from ..storage.index import HashIndex
+from ..storage.relational import Column, Row, Table
+from .ordering import sort_key
+
+#: The virtual tables every context serves, name-sorted.
+VIRTUAL_TABLES = (
+    "clusters",
+    "curation_status",
+    "entities",
+    "global_attributes",
+    "instances",
+    "mappings",
+    "sources",
+)
+
+#: Base columns of ``entities`` — attribute columns never shadow these.
+_ENTITY_BASE_COLUMNS = ("entity_id", "size", "source_count", "sources")
+
+
+@dataclass(frozen=True)
+class SqlMetadata:
+    """Rows for the metadata-backed virtual tables, captured at one instant.
+
+    Serve-tier determinism depends on this being a *capture*: the writer
+    thread snapshots source/mapping/schema/instance state at publish time
+    (exactly like the fusion index), so replaying a request against the
+    same :class:`~repro.serve.views.ServeView` sees identical tables even
+    while new sources are being ingested.
+    """
+
+    sources: Tuple[Row, ...] = ()
+    mappings: Tuple[Row, ...] = ()
+    global_attributes: Tuple[Row, ...] = ()
+    instances: Tuple[Row, ...] = ()
+    #: ``(source attribute, global attribute)`` pairs — the rename map the
+    #: planner uses to resolve a source-local spelling to the curated
+    #: (global) column, name-sorted for determinism.
+    aliases: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def empty(cls) -> "SqlMetadata":
+        """A capture with no ingest context (engine built from raw entities)."""
+        return cls()
+
+    @classmethod
+    def from_tamer(cls, tamer: Any) -> "SqlMetadata":
+        """Capture metadata rows from a live :class:`~repro.core.tamer.DataTamer`.
+
+        Duck-typed (``catalog`` / ``integrator`` / ``global_schema`` /
+        ``instance_collection``) so the sql package never imports the core
+        facade.
+        """
+        source_rows = tuple(
+            {
+                "source_id": entry.source_id,
+                "kind": entry.kind,
+                "description": entry.description,
+                "collection": entry.collection,
+                "records_loaded": int(entry.records_loaded),
+                "attribute_count": len(entry.attributes),
+                "sequence": int(entry.sequence),
+            }
+            for entry in tamer.catalog.entries()
+        )
+        mapping_rows: List[Row] = []
+        for report in tamer.integrator.reports:
+            for mapping in report.mappings:
+                score = mapping.score
+                mapping_rows.append(
+                    {
+                        "source_id": report.source_id,
+                        "source_attribute": mapping.source_attribute,
+                        "global_attribute": mapping.global_attribute,
+                        "decision": mapping.decision.value,
+                        "score": (
+                            float(score.composite) if score is not None else None
+                        ),
+                        "expert_consulted": bool(mapping.expert_consulted),
+                        "is_mapped": bool(mapping.is_mapped),
+                    }
+                )
+        attribute_rows = tuple(
+            {
+                "name": attribute.name,
+                "inferred_type": attribute.profile.inferred_type,
+                "source_of_origin": attribute.source_of_origin,
+                "alias_count": len(attribute.aliases),
+                "non_null_count": int(attribute.profile.non_null_count),
+                "null_count": int(attribute.profile.null_count),
+                "distinct_count": int(attribute.profile.distinct_count),
+            }
+            for attribute in tamer.global_schema.attributes()
+        )
+        instance_rows = tuple(
+            instance_rows_from_documents(tamer.instance_collection.scan())
+        )
+        aliases: Dict[str, str] = {}
+        for report in tamer.integrator.reports:
+            for source_attr, global_attr in sorted(report.translation().items()):
+                if source_attr != global_attr:
+                    aliases.setdefault(source_attr, global_attr)
+        for attribute in tamer.global_schema.attributes():
+            for alias in sorted(attribute.aliases):
+                if alias != attribute.name:
+                    aliases.setdefault(alias, attribute.name)
+        return cls(
+            sources=source_rows,
+            mappings=tuple(mapping_rows),
+            global_attributes=attribute_rows,
+            instances=instance_rows,
+            aliases=tuple(sorted(aliases.items())),
+        )
+
+    def alias_map(self) -> Dict[str, str]:
+        """source attribute → global attribute, as a dict."""
+        return dict(self.aliases)
+
+
+def instance_rows_from_documents(documents) -> List[Row]:
+    """Shape raw WEBINSTANCE fragment documents into ``instances`` rows."""
+    rows: List[Row] = []
+    for doc in documents:
+        rows.append(
+            {
+                "instance_id": str(doc.get("_id", "")),
+                "document_id": _string_or_none(doc.get("source_id")),
+                "source_id": _string_or_none(doc.get("_source")),
+                "entity": _string_or_none(doc.get("entity")),
+                "entity_type": _string_or_none(doc.get("entity_type")),
+                "char_start": _int_or_none(doc.get("char_start")),
+                "char_end": _int_or_none(doc.get("char_end")),
+                "text_feed": _string_or_none(doc.get("text_feed")),
+            }
+        )
+    return rows
+
+
+class SqlContext:
+    """One pinned (snapshot, metadata) pair with lazily built tables/indexes."""
+
+    def __init__(
+        self,
+        snapshot: EntitySnapshot,
+        metadata: Optional[SqlMetadata] = None,
+    ):
+        self.snapshot = snapshot
+        self.metadata = metadata if metadata is not None else SqlMetadata.empty()
+        self._lock = threading.Lock()
+        self._tables: Dict[str, Table] = {}
+        self._rows: Dict[str, List[Row]] = {}
+        self._eq_indexes: Dict[Tuple[str, str], HashIndex] = {}
+        self._sorted_columns: Dict[Tuple[str, str], Tuple[List, List[int]]] = {}
+
+    # -- table access ------------------------------------------------------
+
+    def table_names(self) -> Tuple[str, ...]:
+        """Every servable virtual table, name-sorted."""
+        return VIRTUAL_TABLES
+
+    def table(self, name: str) -> Table:
+        """The materialised :class:`Table` for one virtual table."""
+        if name not in VIRTUAL_TABLES:
+            known = ", ".join(VIRTUAL_TABLES)
+            raise SqlError(f"unknown table {name!r} (known tables: {known})")
+        with self._lock:
+            table = self._tables.get(name)
+            if table is None:
+                table = _BUILDERS[name](self)
+                self._tables[name] = table
+            return table
+
+    def rows(self, name: str) -> List[Row]:
+        """The table's rows, materialised once and shared (do not mutate)."""
+        table = self.table(name)
+        with self._lock:
+            rows = self._rows.get(name)
+            if rows is None:
+                rows = table.select()
+                self._rows[name] = rows
+            return rows
+
+    def resolve_column(self, table_name: str, column: str) -> Optional[str]:
+        """Resolve ``column`` to a physical column of ``table_name``.
+
+        Physical names win; otherwise the metadata alias map (source
+        attribute → global attribute, the integrator's mappings) is
+        consulted, so ``WHERE title = ...`` finds the curated
+        ``show_name`` column it was mapped onto.  ``None`` if neither
+        resolves.
+        """
+        table = self.table(table_name)
+        if table.has_column(column):
+            return column
+        target = self.metadata.alias_map().get(column)
+        if target is not None and table.has_column(target):
+            return target
+        return None
+
+    # -- pushdown structures ----------------------------------------------
+
+    def equality_index(self, table_name: str, column: str) -> HashIndex:
+        """The lazily built per-(table, column) equality index.
+
+        Indexes row *positions* into :meth:`rows`; lookups follow the same
+        Python-equality semantics as the WHERE evaluator, so the indexed
+        path is bit-identical to the scan path.
+        """
+        rows = self.rows(table_name)
+        key = (table_name, column)
+        with self._lock:
+            index = self._eq_indexes.get(key)
+            if index is None:
+                index = HashIndex(column)
+                for position, row in enumerate(rows):
+                    index.add(position, row)
+                self._eq_indexes[key] = index
+            return index
+
+    def sorted_column(
+        self, table_name: str, column: str
+    ) -> Tuple[List, List[int]]:
+        """``(sort keys, row positions)`` for range pushdown via bisect.
+
+        Only non-null values participate (SQL comparisons never match
+        NULL); keys come from :func:`repro.sql.ordering.sort_key`, so the
+        bisect path orders values exactly like ORDER BY does.
+        """
+        rows = self.rows(table_name)
+        key = (table_name, column)
+        with self._lock:
+            cached = self._sorted_columns.get(key)
+            if cached is None:
+                pairs = sorted(
+                    (sort_key(row.get(column)), position)
+                    for position, row in enumerate(rows)
+                    if row.get(column) is not None
+                )
+                cached = ([pair[0] for pair in pairs], [pair[1] for pair in pairs])
+                self._sorted_columns[key] = cached
+            return cached
+
+    def range_positions(
+        self,
+        table_name: str,
+        column: str,
+        op: str,
+        value: Any,
+    ) -> List[int]:
+        """Row positions satisfying ``column <op> value`` via the sorted column.
+
+        Only same-type-class rows can satisfy a range comparison (mixed
+        classes never compare true at execution either — the evaluator
+        treats cross-class ``<`` as no-match), so the bisect window is
+        clipped to the value's class.
+        """
+        keys, positions = self.sorted_column(table_name, column)
+        probe = sort_key(value)
+        # a 2-tuple prefix sorts before every 3-tuple key sharing it, so
+        # these two probes bracket exactly the value's type class
+        lo = bisect_left(keys, (probe[0], probe[1]))
+        hi = bisect_left(keys, (probe[0], probe[1] + 1))
+        if op == "<":
+            cut = bisect_left(keys, probe, lo, hi)
+            window = positions[lo:cut]
+        elif op == "<=":
+            cut = bisect_right(keys, probe, lo, hi)
+            window = positions[lo:cut]
+        elif op == ">":
+            cut = bisect_right(keys, probe, lo, hi)
+            window = positions[cut:hi]
+        elif op == ">=":
+            cut = bisect_left(keys, probe, lo, hi)
+            window = positions[cut:hi]
+        else:  # pragma: no cover - planner only pushes range operators
+            raise SqlError(f"not a range operator: {op!r}")
+        return sorted(window)
+
+
+# -- table builders --------------------------------------------------------
+
+
+def _build_entities(context: SqlContext) -> Table:
+    entities = context.snapshot.entities
+    attribute_names = sorted(
+        {
+            name
+            for entity in entities
+            for name in entity.attributes
+            if name not in _ENTITY_BASE_COLUMNS
+        }
+    )
+    columns = [
+        Column("entity_id", "string", nullable=False),
+        Column("size", "integer"),
+        Column("source_count", "integer"),
+        Column("sources", "string"),
+    ]
+    for name in attribute_names:
+        values = [entity.attributes.get(name) for entity in entities]
+        columns.append(Column(name, _infer_column_type(values)))
+    table = Table("entities", columns)
+    for entity in entities:
+        row: Row = {
+            "entity_id": str(entity.entity_id),
+            "size": int(entity.size),
+            "source_count": len(set(entity.source_ids)),
+            "sources": ",".join(sorted(set(entity.source_ids))),
+        }
+        for name in attribute_names:
+            row[name] = entity.attributes.get(name)
+        table.insert(row)
+    return table
+
+
+def _build_clusters(context: SqlContext) -> Table:
+    table = Table(
+        "clusters",
+        [
+            Column("entity_id", "string", nullable=False),
+            Column("record_id", "string", nullable=False),
+            Column("member_index", "integer", nullable=False),
+            Column("cluster_size", "integer", nullable=False),
+        ],
+    )
+    for entity in context.snapshot.entities:
+        for index, record_id in enumerate(entity.member_record_ids):
+            table.insert(
+                {
+                    "entity_id": str(entity.entity_id),
+                    "record_id": str(record_id),
+                    "member_index": index,
+                    "cluster_size": entity.size,
+                }
+            )
+    return table
+
+
+def _build_curation_status(context: SqlContext) -> Table:
+    snapshot = context.snapshot
+    table = Table(
+        "curation_status",
+        [
+            Column("version", "integer", nullable=False),
+            Column("watermark", "integer"),
+            Column("schema_watermark", "integer"),
+            Column("entity_count", "integer", nullable=False),
+            Column("source_count", "integer", nullable=False),
+            Column("instance_count", "integer", nullable=False),
+            Column("mapping_count", "integer", nullable=False),
+        ],
+    )
+    table.insert(
+        {
+            "version": snapshot.version,
+            "watermark": snapshot.watermark,
+            "schema_watermark": snapshot.schema_watermark,
+            "entity_count": len(snapshot.entities),
+            "source_count": len(context.metadata.sources),
+            "instance_count": len(context.metadata.instances),
+            "mapping_count": len(context.metadata.mappings),
+        }
+    )
+    return table
+
+
+def _build_sources(context: SqlContext) -> Table:
+    table = Table(
+        "sources",
+        [
+            Column("source_id", "string", nullable=False),
+            Column("kind", "string"),
+            Column("description", "string"),
+            Column("collection", "string"),
+            Column("records_loaded", "integer"),
+            Column("attribute_count", "integer"),
+            Column("sequence", "integer"),
+        ],
+    )
+    table.insert_many(context.metadata.sources)
+    return table
+
+
+def _build_mappings(context: SqlContext) -> Table:
+    table = Table(
+        "mappings",
+        [
+            Column("source_id", "string", nullable=False),
+            Column("source_attribute", "string", nullable=False),
+            Column("global_attribute", "string"),
+            Column("decision", "string"),
+            Column("score", "float"),
+            Column("expert_consulted", "boolean"),
+            Column("is_mapped", "boolean"),
+        ],
+    )
+    table.insert_many(context.metadata.mappings)
+    return table
+
+
+def _build_global_attributes(context: SqlContext) -> Table:
+    table = Table(
+        "global_attributes",
+        [
+            Column("name", "string", nullable=False),
+            Column("inferred_type", "string"),
+            Column("source_of_origin", "string"),
+            Column("alias_count", "integer"),
+            Column("non_null_count", "integer"),
+            Column("null_count", "integer"),
+            Column("distinct_count", "integer"),
+        ],
+    )
+    table.insert_many(context.metadata.global_attributes)
+    return table
+
+
+def _build_instances(context: SqlContext) -> Table:
+    table = Table(
+        "instances",
+        [
+            Column("instance_id", "string", nullable=False),
+            Column("document_id", "string"),
+            Column("source_id", "string"),
+            Column("entity", "string"),
+            Column("entity_type", "string"),
+            Column("char_start", "integer"),
+            Column("char_end", "integer"),
+            Column("text_feed", "string"),
+        ],
+    )
+    table.insert_many(context.metadata.instances)
+    return table
+
+
+_BUILDERS = {
+    "clusters": _build_clusters,
+    "curation_status": _build_curation_status,
+    "entities": _build_entities,
+    "global_attributes": _build_global_attributes,
+    "instances": _build_instances,
+    "mappings": _build_mappings,
+    "sources": _build_sources,
+}
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _infer_column_type(values: Sequence[Any]) -> str:
+    """The narrowest landing-zone column type that stores every value."""
+    seen = {
+        (
+            "boolean"
+            if isinstance(v, bool)
+            else "integer"
+            if isinstance(v, int)
+            else "float"
+            if isinstance(v, float)
+            else "string"
+            if isinstance(v, str)
+            else "other"
+        )
+        for v in values
+        if v is not None
+    }
+    if not seen:
+        return "unknown"
+    if seen == {"boolean"}:
+        return "boolean"
+    if seen == {"integer"}:
+        return "integer"
+    if seen <= {"integer", "float"}:
+        return "float"
+    if seen == {"string"}:
+        return "string"
+    return "unknown"
+
+
+def _string_or_none(value: Any) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+def _int_or_none(value: Any) -> Optional[int]:
+    if value is None or isinstance(value, bool):
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,431 @@
+"""The plan evaluator.
+
+:func:`run_sql` parses, plans and executes one statement against a
+:class:`~repro.sql.catalog.SqlContext`, returning a :class:`SqlResult`
+(columns + row tuples + :class:`SqlStats`).  ``EXPLAIN`` statements return
+the plan's stable text rendering instead of executing.
+
+Evaluation semantics are deliberately two-valued and deterministic:
+
+* ``=`` / ``!=`` are Python equality over non-null values — the same
+  relation the equality indexes and hash joins use, so the indexed path is
+  bit-identical to the scan path;
+* range comparisons match only when both sides are non-null and share a
+  type class, ordered by :func:`repro.sql.ordering.sort_key`;
+* any comparison against NULL is false (``IS [NOT] NULL`` is the null
+  test), and ``NOT`` is plain boolean negation;
+* GROUP BY / DISTINCT bucket by Python equality with the first-seen value
+  as the group's representative; ORDER BY is a stable sort under the
+  shared total order, NULLs last ascending.
+
+Every query increments pushdown/scan counters on the telemetry hub, so
+"did the index path actually serve this WHERE clause" is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import SqlError
+from ..obs import TelemetryHub, default_hub
+from .catalog import SqlContext
+from .nodes import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Star,
+)
+from .ordering import group_key, sort_key
+from .parser import parse_sql
+from .planner import BoundColumn, QueryPlan, ScanPlan, plan_statement
+
+
+@dataclass
+class SqlStats:
+    """Execution counters for one query (mirrored onto the obs hub)."""
+
+    #: WHERE conjuncts served by an equality index or sorted-column bisect.
+    pushdowns: int = 0
+    #: Rows fetched and predicate-evaluated across all scans.
+    rows_scanned: int = 0
+    #: Rows never fetched thanks to pushdown (table size - candidates).
+    rows_pruned: int = 0
+    #: Rows produced before projection-stage operators.
+    rows_joined: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "pushdowns": self.pushdowns,
+            "rows_scanned": self.rows_scanned,
+            "rows_pruned": self.rows_pruned,
+            "rows_joined": self.rows_joined,
+        }
+
+
+@dataclass(frozen=True)
+class SqlResult:
+    """One executed (or explained) query."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Any, ...], ...]
+    stats: SqlStats
+    explain: Optional[Tuple[str, ...]] = None
+    canonical: str = ""
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The JSON-friendly shape the serve tier returns."""
+        return {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "stats": self.stats.as_dict(),
+            "explain": list(self.explain) if self.explain is not None else None,
+            "canonical": self.canonical,
+        }
+
+
+def run_sql(
+    context: SqlContext,
+    query: str,
+    hub: Optional[TelemetryHub] = None,
+) -> SqlResult:
+    """Parse, plan and execute ``query`` against ``context``."""
+    statement = parse_sql(query)
+    plan = plan_statement(statement, context)
+    canonical = statement.render()
+    if plan.explain:
+        lines = tuple(plan.explain_lines())
+        return SqlResult(
+            columns=("plan",),
+            rows=tuple((line,) for line in lines),
+            stats=SqlStats(),
+            explain=lines,
+            canonical=canonical,
+        )
+    executor = _Executor(plan, context)
+    columns, rows = executor.run()
+    _record_stats(executor.stats, hub)
+    return SqlResult(
+        columns=columns,
+        rows=rows,
+        stats=executor.stats,
+        canonical=canonical,
+    )
+
+
+def _record_stats(stats: SqlStats, hub: Optional[TelemetryHub]) -> None:
+    registry = (hub or default_hub()).registry
+    registry.counter("sql_queries_total", "SQL statements executed").inc()
+    registry.counter(
+        "sql_pushdown_conjuncts_total",
+        "WHERE conjuncts served by an index instead of a scan",
+    ).inc(stats.pushdowns)
+    registry.counter(
+        "sql_rows_scanned_total", "rows fetched by SQL scans"
+    ).inc(stats.rows_scanned)
+    registry.counter(
+        "sql_rows_pruned_total", "rows skipped by SQL index pushdown"
+    ).inc(stats.rows_pruned)
+
+
+#: An execution row: binding name → that table's row dict.
+_ExecRow = Dict[str, Dict[str, Any]]
+
+
+class _Executor:
+    def __init__(self, plan: QueryPlan, context: SqlContext):
+        self._plan = plan
+        self._context = context
+        self._resolution = plan.resolution_map()
+        self.stats = SqlStats()
+
+    def run(self) -> Tuple[Tuple[str, ...], Tuple[Tuple[Any, ...], ...]]:
+        plan = self._plan
+        rows = [
+            {plan.base.binding: row} for row in self._scan(plan.base)
+        ]
+        for step in plan.joins:
+            rows = self._join(rows, step)
+        if plan.residual:
+            rows = [
+                row
+                for row in rows
+                if all(_is_true(self._eval(expr, row)) for expr in plan.residual)
+            ]
+        self.stats.rows_joined = len(rows)
+        if plan.aggregate:
+            output = self._aggregate(rows)
+        else:
+            output = [
+                tuple(self._eval(item.expr, row) for item in plan.items)
+                for row in rows
+            ]
+        names = tuple(item.name for item in plan.items)
+        if plan.distinct:
+            output = _distinct_rows(output)
+        output = self._sort(output, names, rows if not plan.aggregate else None)
+        if plan.limit is not None:
+            output = output[: plan.limit]
+        return names, tuple(output)
+
+    # -- scans -------------------------------------------------------------
+
+    def _scan(self, scan: ScanPlan) -> List[Dict[str, Any]]:
+        """Fetch one table's rows, serving pushed conjuncts from indexes."""
+        all_rows = self._context.rows(scan.table)
+        positions: Optional[set] = None
+        pushed = False
+        for column, value in scan.eq:
+            self.stats.pushdowns += 1
+            pushed = True
+            if value is None:
+                matches: set = set()  # `col = NULL` never matches
+            else:
+                matches = set(
+                    self._context.equality_index(scan.table, column).lookup(value)
+                )
+            positions = matches if positions is None else (positions & matches)
+        for column, op, value in scan.ranges:
+            self.stats.pushdowns += 1
+            pushed = True
+            if value is None:
+                matches = set()
+            else:
+                matches = set(
+                    self._context.range_positions(scan.table, column, op, value)
+                )
+            positions = matches if positions is None else (positions & matches)
+        if pushed:
+            candidates = [all_rows[i] for i in sorted(positions or ())]
+            self.stats.rows_pruned += len(all_rows) - len(candidates)
+        else:
+            candidates = all_rows
+        self.stats.rows_scanned += len(candidates)
+        if not scan.residual:
+            return list(candidates)
+        return [
+            row
+            for row in candidates
+            if all(
+                _is_true(self._eval(expr, {scan.binding: row}))
+                for expr in scan.residual
+            )
+        ]
+
+    def _join(self, rows: List[_ExecRow], step) -> List[_ExecRow]:
+        """Hash-join existing rows against one scan, preserving input order."""
+        right_rows = self._scan(step.scan)
+        buckets: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in right_rows:
+            value = row.get(step.right.column)
+            if value is None:
+                continue  # NULL join keys never match
+            buckets.setdefault(group_key(value), []).append(row)
+        joined: List[_ExecRow] = []
+        for row in rows:
+            value = row[step.left.binding].get(step.left.column)
+            if value is None:
+                continue
+            for match in buckets.get(group_key(value), ()):
+                merged = dict(row)
+                merged[step.scan.binding] = match
+                joined.append(merged)
+        return joined
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, expr: Expr, row: _ExecRow) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            bound = self._resolution[expr]
+            table_row = row.get(bound.binding)
+            return None if table_row is None else table_row.get(bound.column)
+        if isinstance(expr, Comparison):
+            return _compare(
+                expr.op, self._eval(expr.left, row), self._eval(expr.right, row)
+            )
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.expr, row)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, InList):
+            value = self._eval(expr.expr, row)
+            if value is None:
+                return False
+            contained = any(value == candidate for candidate in expr.values)
+            return (not contained) if expr.negated else contained
+        if isinstance(expr, Not):
+            return not _is_true(self._eval(expr.expr, row))
+        if isinstance(expr, And):
+            return all(_is_true(self._eval(term, row)) for term in expr.terms)
+        if isinstance(expr, Or):
+            return any(_is_true(self._eval(term, row)) for term in expr.terms)
+        raise SqlError(f"cannot evaluate expression: {expr!r}")
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _aggregate(self, rows: List[_ExecRow]) -> List[Tuple[Any, ...]]:
+        plan = self._plan
+        groups: Dict[Tuple, Dict[str, Any]] = {}
+        order: List[Tuple] = []
+        for row in rows:
+            key = tuple(
+                group_key(row[col.binding].get(col.column))
+                for col in plan.group_by
+            )
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = {"rows": [], "representative": row}
+                groups[key] = bucket
+                order.append(key)
+            bucket["rows"].append(row)
+        if not plan.group_by and not order:
+            # global aggregate over an empty input still yields one row
+            groups[()] = {"rows": [], "representative": None}
+            order.append(())
+        output: List[Tuple[Any, ...]] = []
+        for key in order:
+            bucket = groups[key]
+            values: List[Any] = []
+            for item in plan.items:
+                if isinstance(item.expr, FuncCall):
+                    values.append(
+                        self._aggregate_value(item.expr, bucket["rows"])
+                    )
+                elif isinstance(item.expr, Literal):
+                    values.append(item.expr.value)
+                else:
+                    representative = bucket["representative"]
+                    values.append(
+                        None
+                        if representative is None
+                        else self._eval(item.expr, representative)
+                    )
+            output.append(tuple(values))
+        return output
+
+    def _aggregate_value(self, call: FuncCall, rows: List[_ExecRow]) -> Any:
+        name = call.name
+        if isinstance(call.arg, Star):
+            if name != "count":
+                raise SqlError(f"{name.upper()}(*) is not supported")
+            return len(rows)
+        values = [self._eval(call.arg, row) for row in rows]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            seen: Dict[Any, None] = {}
+            for value in values:
+                seen.setdefault(group_key(value), None)
+            if name == "count":
+                return len(seen)
+            raise SqlError("DISTINCT is only supported inside COUNT")
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name in ("sum", "avg"):
+            for value in values:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise SqlError(
+                        f"{name.upper()} requires numeric values, "
+                        f"got {value!r}"
+                    )
+            total = sum(values)
+            return total if name == "sum" else total / len(values)
+        if name == "min":
+            return min(values, key=sort_key)
+        if name == "max":
+            return max(values, key=sort_key)
+        raise SqlError(f"unknown aggregate {name!r}")  # pragma: no cover
+
+    # -- ordering ------------------------------------------------------------
+
+    def _sort(
+        self,
+        output: List[Tuple[Any, ...]],
+        names: Tuple[str, ...],
+        input_rows: Optional[List[_ExecRow]],
+    ) -> List[Tuple[Any, ...]]:
+        plan = self._plan
+        if not plan.order_by:
+            return output
+        if any(spec.kind == "input" for spec in plan.order_by):
+            if input_rows is None or len(input_rows) != len(output):
+                # distinct collapsed rows away from under an input-row sort
+                raise SqlError(
+                    "ORDER BY must name output columns in this query"
+                )
+            paired = list(zip(output, input_rows))
+            for spec in reversed(plan.order_by):
+                if spec.kind == "output":
+                    index = names.index(spec.output)
+                    paired.sort(
+                        key=lambda pair: sort_key(pair[0][index]),
+                        reverse=spec.descending,
+                    )
+                else:
+                    column = spec.column
+                    paired.sort(
+                        key=lambda pair: sort_key(
+                            pair[1][column.binding].get(column.column)
+                        ),
+                        reverse=spec.descending,
+                    )
+            return [pair[0] for pair in paired]
+        ordered = list(output)
+        for spec in reversed(plan.order_by):
+            index = names.index(spec.output)
+            ordered.sort(
+                key=lambda row: sort_key(row[index]), reverse=spec.descending
+            )
+        return ordered
+
+
+# -- pure helpers -----------------------------------------------------------
+
+
+def _is_true(value: Any) -> bool:
+    return bool(value)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    left_key = sort_key(left)
+    right_key = sort_key(right)
+    if left_key[1] != right_key[1]:
+        return False  # cross-class ranges never match
+    if op == "<":
+        return left_key < right_key
+    if op == "<=":
+        return left_key <= right_key
+    if op == ">":
+        return left_key > right_key
+    if op == ">=":
+        return left_key >= right_key
+    raise SqlError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def _distinct_rows(
+    rows: List[Tuple[Any, ...]]
+) -> List[Tuple[Any, ...]]:
+    seen: Dict[Tuple, None] = {}
+    output: List[Tuple[Any, ...]] = []
+    for row in rows:
+        key = tuple(group_key(value) for value in row)
+        if key in seen:
+            continue
+        seen[key] = None
+        output.append(row)
+    return output

@@ -1,0 +1,124 @@
+"""The hand-rolled SQL lexer.
+
+One pass over the query text producing a flat token list the
+recursive-descent parser consumes.  Kept deliberately small: identifiers
+(bare or ``"quoted"``), single-quoted strings with ``''`` escaping, integer
+and float literals, the comparison/punctuation operators, and ``--``
+line comments.  Keywords are *not* distinguished here — the parser decides
+contextually, so ``select`` is a fine column name when quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SqlError
+
+#: Token kinds.
+IDENT = "ident"  # bare identifier (lower-cased for keyword checks)
+QIDENT = "qident"  # "quoted" identifier (case preserved, never a keyword)
+STRING = "string"
+NUMBER = "number"
+OP = "op"  # operators and punctuation
+EOF = "eof"
+
+_PUNCT = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: kind, value, and source position (for errors)."""
+
+    kind: str
+    value: object
+    pos: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Whether this is a bare identifier spelling one of ``words``."""
+        return self.kind == IDENT and self.value in words
+
+
+def tokenize_sql(text: str) -> List[Token]:
+    """Lex ``text`` into tokens; raises :class:`SqlError` on bad input."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _lex_string(text, i)
+            tokens.append(Token(STRING, value, i))
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise SqlError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(QIDENT, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            value, i = _lex_number(text, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(IDENT, text[start:i].lower(), start))
+            continue
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                # <> is the ISO spelling of != — one canonical token
+                value = "!=" if punct == "<>" else punct
+                tokens.append(Token(OP, value, i))
+                i += len(punct)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _lex_string(text: str, start: int):
+    """Lex a single-quoted string starting at ``start``; '' escapes a quote."""
+    parts: List[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if text[i : i + 2] == "''":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlError(f"unterminated string literal at position {start}")
+
+
+def _lex_number(text: str, start: int):
+    """Lex an integer or float literal starting at ``start``."""
+    i, n = start, len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # a trailing dot followed by non-digit belongs to punctuation
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    try:
+        return (float(raw) if seen_dot else int(raw)), i
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise SqlError(f"bad numeric literal {raw!r} at {start}") from exc

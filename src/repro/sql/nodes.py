@@ -1,0 +1,256 @@
+"""AST node types produced by the SQL parser.
+
+Every node renders back to a *canonical* SQL spelling via :meth:`render` —
+single spaces, upper-case keywords, minimal parentheses determined by the
+tree shape rather than the input text.  Two queries that parse to the same
+tree render identically, which is what lets the serve tier's cache key a
+``sql`` request by its canonical form instead of its raw text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+#: Aggregate function names the parser accepts (``COUNT(*)`` included).
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+#: Comparison operators, canonical spellings.
+COMPARISON_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def render_literal(value: Any) -> str:
+    """Canonical SQL spelling of a literal value."""
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A string/number/boolean/NULL literal."""
+
+    value: Any
+
+    def render(self) -> str:
+        return render_literal(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    def render(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` (or ``alias.*``) in a select list or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+    def render(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """An aggregate call: ``COUNT(*)``, ``SUM(col)``, ``COUNT(DISTINCT col)``."""
+
+    name: str
+    arg: Expr = field(default_factory=Star)
+    distinct: bool = False
+
+    def render(self) -> str:
+        inner = self.arg.render()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left <op> right`` with ``op`` one of :data:`COMPARISON_OPERATORS`."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def render(self) -> str:
+        return f"{self.left.render()} {self.op} {self.right.render()}"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def render(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.expr.render()} {suffix}"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    expr: Expr
+    values: Tuple[Any, ...] = ()
+    negated: bool = False
+
+    def render(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(render_literal(v) for v in self.values)
+        return f"{self.expr.render()} {keyword} ({inner})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """``NOT expr``."""
+
+    expr: Expr
+
+    def render(self) -> str:
+        inner = self.expr.render()
+        if isinstance(self.expr, (And, Or)):
+            inner = f"({inner})"
+        return f"NOT {inner}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of two or more terms (flattened at parse time)."""
+
+    terms: Tuple[Expr, ...]
+
+    def render(self) -> str:
+        parts = []
+        for term in self.terms:
+            rendered = term.render()
+            if isinstance(term, Or):
+                rendered = f"({rendered})"
+            parts.append(rendered)
+        return " AND ".join(parts)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of two or more terms (flattened at parse time)."""
+
+    terms: Tuple[Expr, ...]
+
+    def render(self) -> str:
+        return " OR ".join(term.render() for term in self.terms)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional ``AS`` alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def render(self) -> str:
+        rendered = self.expr.render()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in FROM/JOIN with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name columns qualify against (alias wins)."""
+        return self.alias or self.name
+
+    def render(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """``JOIN table ON left = right`` (inner, equality only)."""
+
+    table: TableRef
+    left: ColumnRef
+    right: ColumnRef
+
+    def render(self) -> str:
+        return (
+            f"JOIN {self.table.render()} "
+            f"ON {self.left.render()} = {self.right.render()}"
+        )
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an expression plus direction."""
+
+    expr: Expr
+    descending: bool = False
+
+    def render(self) -> str:
+        return f"{self.expr.render()} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One parsed SELECT (the only statement form the frontend speaks)."""
+
+    items: Tuple[SelectItem, ...]
+    source: TableRef
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[ColumnRef, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    explain: bool = False
+
+    def render(self) -> str:
+        """The canonical spelling (drives the serve-tier cache key)."""
+        parts = ["EXPLAIN"] if self.explain else []
+        parts.append("SELECT")
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.render() for item in self.items))
+        parts.append("FROM")
+        parts.append(self.source.render())
+        for join in self.joins:
+            parts.append(join.render())
+        if self.where is not None:
+            parts.append("WHERE")
+            parts.append(self.where.render())
+        if self.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(col.render() for col in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY")
+            parts.append(", ".join(item.render() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)

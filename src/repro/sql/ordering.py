@@ -1,0 +1,60 @@
+"""The total value ordering shared by SQL and the relational landing zone.
+
+SQL ``ORDER BY``, ``GROUP BY`` and ``DISTINCT`` need a *total, deterministic*
+order over whatever values a column actually holds — including ``None`` and
+mixed types, which Python's ``<`` refuses to compare.  :func:`sort_key`
+defines that order once; :meth:`repro.storage.relational.Table.select`,
+:meth:`~repro.storage.relational.Table.distinct` and the SQL executor all
+sort through it, so every surface agrees.
+
+The order, ascending:
+
+1. non-null values before ``None`` (``None`` sorts last ascending, first
+   descending — matching the landing zone's historical ``order_by``);
+2. within non-null values, by type class: numbers (``bool`` counts as its
+   numeric value), then strings, then everything else;
+3. within a class, the natural order (numeric, lexicographic, or ``repr``
+   for the catch-all class).  Ties (``1`` vs ``True`` vs ``1.0``) keep
+   their input order — sorts through this key are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Type-class ranks: numbers < strings < everything else.
+_NUMBER, _STRING, _OTHER = 0, 1, 2
+
+
+def sort_key(value: Any) -> Tuple:
+    """A total-order sort key: ``(is_null, type_class, comparable)``."""
+    if value is None:
+        return (1, 0, 0)
+    if isinstance(value, bool):
+        # bool is an int subclass; order it with the numbers by value
+        return (0, _NUMBER, int(value))
+    if isinstance(value, (int, float)):
+        return (0, _NUMBER, value)
+    if isinstance(value, str):
+        return (0, _STRING, value)
+    return (0, _OTHER, repr(value))
+
+
+def row_key(values) -> Tuple:
+    """The tuple of :func:`sort_key` over several values (multi-column)."""
+    return tuple(sort_key(value) for value in values)
+
+
+def group_key(value: Any) -> Any:
+    """A hashable identity for GROUP BY / DISTINCT bucketing.
+
+    Python equality is the grouping equality — the same relation ``WHERE``
+    and join probes use — so ``1``, ``1.0`` and ``True`` land in one group
+    and the group's *representative* value is the first one seen in input
+    order (deterministic).  Unhashable values group by ``repr``.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return ("__repr__", repr(value))
+    return value

@@ -1,0 +1,358 @@
+"""The recursive-descent SQL parser.
+
+Consumes the lexer's token stream and produces a
+:class:`~repro.sql.nodes.SelectStatement`.  The accepted grammar::
+
+    statement  := [EXPLAIN] SELECT [DISTINCT] items
+                  FROM table [[INNER] JOIN table ON col = col]*
+                  [WHERE expr] [GROUP BY cols] [ORDER BY keys] [LIMIT n] [;]
+    items      := item ("," item)*           item := * | t.* | expr [AS name]
+    expr       := or          or   := and ("OR" and)*
+    and        := not ("AND" not)*           not  := "NOT" not | pred
+    pred       := "(" expr ")"
+                | prim ["=" | "!=" | "<" | "<=" | ">" | ">=" prim]
+                | prim "IS" ["NOT"] "NULL"
+                | prim ["NOT"] "IN" "(" literal ("," literal)* ")"
+    prim       := literal | aggregate "(" ["DISTINCT"] (expr | "*") ")"
+                | name ["." name]
+
+Errors carry the offending token's position.  The parser is pure — no
+catalog knowledge; binding happens in :mod:`repro.sql.planner`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import SqlError
+from .lexer import EOF, IDENT, NUMBER, OP, QIDENT, STRING, Token, tokenize_sql
+from .nodes import (
+    AGGREGATE_FUNCTIONS,
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+
+#: Bare identifiers that can never be implicit aliases or column names.
+RESERVED = frozenset(
+    {
+        "select", "distinct", "from", "join", "inner", "on", "where",
+        "group", "order", "by", "limit", "as", "and", "or", "not", "in",
+        "is", "null", "true", "false", "asc", "desc", "explain",
+    }
+)
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse one SQL statement; raises :class:`SqlError` on bad input."""
+    return _Parser(tokenize_sql(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlError:
+        token = self._peek()
+        where = "end of input" if token.kind == EOF else f"position {token.pos}"
+        return SqlError(f"{message} at {where}")
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._peek().is_keyword(*words):
+            self._next()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        token = self._peek()
+        if token.kind == OP and token.value in ops:
+            self._next()
+            return str(token.value)
+        return None
+
+    def _expect_op(self, op: str) -> None:
+        if self._accept_op(op) is None:
+            raise self._error(f"expected {op!r}")
+
+    def _expect_name(self, what: str) -> str:
+        token = self._peek()
+        if token.kind == QIDENT:
+            self._next()
+            return str(token.value)
+        if token.kind == IDENT and token.value not in RESERVED:
+            self._next()
+            return str(token.value)
+        raise self._error(f"expected {what}")
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        explain = self._accept_keyword("explain")
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = self._parse_select_items()
+        self._expect_keyword("from")
+        source = self._parse_table_ref()
+        joins: List[Join] = []
+        while True:
+            if self._accept_keyword("inner"):
+                self._expect_keyword("join")
+            elif not self._accept_keyword("join"):
+                break
+            joins.append(self._parse_join_tail())
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expr()
+        group_by: Tuple[ColumnRef, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._parse_column_list())
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = tuple(self._parse_order_list())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._peek()
+            if token.kind != NUMBER or not isinstance(token.value, int):
+                raise self._error("LIMIT expects an integer")
+            if token.value < 0:
+                raise self._error("LIMIT must be >= 0")
+            limit = int(self._next().value)
+        self._accept_op(";")
+        if self._peek().kind != EOF:
+            raise self._error("unexpected trailing input")
+        return SelectStatement(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            explain=explain,
+        )
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._accept_op("*"):
+            return SelectItem(expr=Star())
+        # qualified star: ident . *
+        token = self._peek()
+        if (
+            token.kind in (IDENT, QIDENT)
+            and token.value not in RESERVED
+            and self._tokens[self._pos + 1].kind == OP
+            and self._tokens[self._pos + 1].value == "."
+            and self._tokens[self._pos + 2].kind == OP
+            and self._tokens[self._pos + 2].value == "*"
+        ):
+            self._next()
+            self._next()
+            self._next()
+            return SelectItem(expr=Star(table=str(token.value)))
+        expr = self._parse_primary()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_name("alias after AS")
+        else:
+            ahead = self._peek()
+            if ahead.kind == QIDENT or (
+                ahead.kind == IDENT and ahead.value not in RESERVED
+            ):
+                alias = self._expect_name("alias")
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_name("table name")
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_name("alias after AS")
+        else:
+            ahead = self._peek()
+            if ahead.kind == QIDENT or (
+                ahead.kind == IDENT and ahead.value not in RESERVED
+            ):
+                alias = self._expect_name("alias")
+        return TableRef(name=name, alias=alias)
+
+    def _parse_join_tail(self) -> Join:
+        table = self._parse_table_ref()
+        self._expect_keyword("on")
+        left = self._parse_column_ref()
+        self._expect_op("=")
+        right = self._parse_column_ref()
+        return Join(table=table, left=left, right=right)
+
+    def _parse_column_list(self) -> List[ColumnRef]:
+        cols = [self._parse_column_ref()]
+        while self._accept_op(","):
+            cols.append(self._parse_column_ref())
+        return cols
+
+    def _parse_order_list(self) -> List[OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept_op(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_primary()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect_name("column name")
+        if self._accept_op("."):
+            return ColumnRef(name=self._expect_name("column name"), table=first)
+        return ColumnRef(name=first)
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        terms = [self._parse_and()]
+        while self._accept_keyword("or"):
+            terms.append(self._parse_and())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(terms=tuple(_flatten(terms, Or)))
+
+    def _parse_and(self) -> Expr:
+        terms = [self._parse_not()]
+        while self._accept_keyword("and"):
+            terms.append(self._parse_not())
+        if len(terms) == 1:
+            return terms[0]
+        return And(terms=tuple(_flatten(terms, And)))
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return Not(expr=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        if self._accept_op("("):
+            inner = self._parse_expr()
+            self._expect_op(")")
+            return inner
+        left = self._parse_primary()
+        op = self._accept_op("=", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            return Comparison(op=op, left=left, right=self._parse_primary())
+        if self._accept_keyword("is"):
+            negated = self._accept_keyword("not")
+            if not self._accept_keyword("null"):
+                raise self._error("expected NULL after IS")
+            return IsNull(expr=left, negated=negated)
+        negated = self._accept_keyword("not")
+        if self._accept_keyword("in"):
+            self._expect_op("(")
+            values = [self._parse_literal_value()]
+            while self._accept_op(","):
+                values.append(self._parse_literal_value())
+            self._expect_op(")")
+            return InList(expr=left, values=tuple(values), negated=negated)
+        if negated:
+            raise self._error("expected IN after NOT")
+        return left
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind in (STRING, NUMBER):
+            self._next()
+            return Literal(value=token.value)
+        if token.is_keyword("null"):
+            self._next()
+            return Literal(value=None)
+        if token.is_keyword("true"):
+            self._next()
+            return Literal(value=True)
+        if token.is_keyword("false"):
+            self._next()
+            return Literal(value=False)
+        if token.is_keyword(*AGGREGATE_FUNCTIONS):
+            ahead = self._tokens[self._pos + 1]
+            if ahead.kind == OP and ahead.value == "(":
+                return self._parse_aggregate()
+        if token.kind == QIDENT or (
+            token.kind == IDENT and token.value not in RESERVED
+        ):
+            return self._parse_column_ref()
+        raise self._error("expected an expression")
+
+    def _parse_aggregate(self) -> FuncCall:
+        name = str(self._next().value)
+        self._expect_op("(")
+        distinct = self._accept_keyword("distinct")
+        if self._accept_op("*"):
+            if distinct:
+                raise self._error("DISTINCT * is not supported")
+            arg: Expr = Star()
+        else:
+            arg = self._parse_column_ref()
+        self._expect_op(")")
+        return FuncCall(name=name, arg=arg, distinct=distinct)
+
+    def _parse_literal_value(self):
+        token = self._peek()
+        if token.kind in (STRING, NUMBER):
+            return self._next().value
+        if token.is_keyword("null"):
+            self._next()
+            return None
+        if token.is_keyword("true"):
+            self._next()
+            return True
+        if token.is_keyword("false"):
+            self._next()
+            return False
+        raise self._error("expected a literal")
+
+
+def _flatten(terms, node_type):
+    """Flatten nested And(And(...)) / Or(Or(...)) into one term tuple."""
+    flat = []
+    for term in terms:
+        if isinstance(term, node_type):
+            flat.extend(term.terms)
+        else:
+            flat.append(term)
+    return flat

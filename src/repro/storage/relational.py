@@ -141,19 +141,23 @@ class Table:
     def update_where(
         self, predicate: Callable[[Row], bool], changes: Row
     ) -> int:
-        """Apply ``changes`` to rows matching ``predicate``; returns count."""
-        for key in changes:
+        """Apply ``changes`` to rows matching ``predicate``; returns count.
+
+        Every change is re-validated against the column types *before* any
+        row is touched, so a bad value can never leave a matched row
+        half-updated — the update is all-or-nothing.
+        """
+        for key, value in changes.items():
             if key not in self._columns:
                 raise TableError(f"table {self._name!r} has no column {key!r}")
+            if not self._columns[key].accepts(value):
+                raise TableError(
+                    f"value {value!r} not valid for column {key!r}"
+                )
         updated = 0
         for row in self._rows:
             if predicate(row):
-                for key, value in changes.items():
-                    if not self._columns[key].accepts(value):
-                        raise TableError(
-                            f"value {value!r} not valid for column {key!r}"
-                        )
-                    row[key] = value
+                row.update(changes)
                 updated += 1
         return updated
 
@@ -179,9 +183,12 @@ class Table:
 
         rows = [dict(row) for row in self._rows if where is None or where(row)]
         if order_by is not None:
+            # total order over mixed-type and null values (the SQL layer's
+            # sort key); lazy import — repro.sql builds on this module
+            from ..sql.ordering import sort_key
+
             rows.sort(
-                key=lambda r: (r.get(order_by) is None, r.get(order_by)),
-                reverse=descending,
+                key=lambda r: sort_key(r.get(order_by)), reverse=descending
             )
         if limit is not None:
             rows = rows[:limit]
@@ -200,26 +207,62 @@ class Table:
             return len(self._rows)
         return sum(1 for row in self._rows if where(row))
 
-    def distinct(self, column: str) -> List[Any]:
-        """Return distinct non-null values of ``column`` in first-seen order."""
+    def distinct(
+        self,
+        column: str,
+        ordered: bool = False,
+        include_null: bool = False,
+    ) -> List[Any]:
+        """Return distinct values of ``column``.
+
+        Defaults match the historical contract: non-null values in
+        first-seen order.  ``ordered=True`` sorts the result with the SQL
+        layer's total order instead (numbers before strings, nulls last),
+        making the output independent of insertion order.
+        ``include_null=True`` keeps a null entry when any row holds one.
+
+        Values are bucketed by equality the way SQL ``DISTINCT`` buckets
+        them — unhashable values (lists, dicts) deduplicate by structure
+        instead of raising, and mixed-type columns (``1`` next to ``"1"``)
+        never crash the membership probe.
+        """
         if column not in self._columns:
             raise TableError(f"table {self._name!r} has no column {column!r}")
-        seen: Dict[Any, None] = {}
+        from ..sql.ordering import group_key, sort_key
+
+        seen: Dict[Any, Any] = {}
         for row in self._rows:
             value = row.get(column)
-            if value is not None and value not in seen:
-                seen[value] = None
-        return list(seen)
+            if value is None and not include_null:
+                continue
+            seen.setdefault(group_key(value), value)
+        values = list(seen.values())
+        if ordered:
+            values.sort(key=sort_key)
+        return values
 
     def aggregate(
-        self, column: str, func: Callable[[List[Any]], Any]
+        self,
+        column: str,
+        func: Callable[[List[Any]], Any],
+        ordered: bool = False,
     ) -> Any:
-        """Apply ``func`` to all non-null values of ``column``."""
+        """Apply ``func`` to all non-null values of ``column``.
+
+        Values arrive in row order by default; ``ordered=True`` sorts them
+        first (the SQL layer's total order), so order-sensitive aggregates
+        — medians, "first"/"last", joins into a display string — are
+        deterministic regardless of how rows were inserted.
+        """
         values = [
             row[column]
             for row in self._rows
             if column in row and row[column] is not None
         ]
+        if ordered:
+            from ..sql.ordering import sort_key
+
+            values.sort(key=sort_key)
         return func(values)
 
     def __len__(self) -> int:

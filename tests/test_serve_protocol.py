@@ -197,4 +197,11 @@ class TestEncoding:
         }
 
     def test_protocol_version_is_stable(self):
-        assert PROTOCOL_VERSION == 1
+        assert PROTOCOL_VERSION == 2
+
+    def test_version_1_stays_supported(self):
+        # the v1 compat shim: requests without a version field negotiate 1
+        from repro.serve.protocol import SUPPORTED_PROTOCOL_VERSIONS
+
+        assert 1 in SUPPORTED_PROTOCOL_VERSIONS
+        assert PROTOCOL_VERSION in SUPPORTED_PROTOCOL_VERSIONS

@@ -1,0 +1,403 @@
+"""The ``sql`` serve op, the op registry as an extension surface, and the
+protocol v1 compatibility goldens.
+
+Three layers of the redesign are pinned here:
+
+* ``sql`` over real sockets — results, watermark-keyed caching by canonical
+  form, v2 negotiation (and v1 rejection), counters on the server's hub;
+* one-entry extension: registering a single :class:`OpSpec` gives a new
+  operation validation, caching, dispatch, and a generated client method
+  with no other code;
+* recorded v1 request/response pairs (``tests/data/serve_v1_golden.jsonl``)
+  replayed byte-for-byte — the v2 server must answer v1 traffic with the
+  exact bytes the v1 server produced.
+"""
+
+import json
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import DataTamer
+from repro.config import ServeConfig
+from repro.entity.consolidation import ConsolidatedEntity
+from repro.errors import ProtocolError, ServeError
+from repro.query.engine import QueryEngine
+from repro.serve import (
+    OpRegistry,
+    OpSpec,
+    QueryClient,
+    QueryServer,
+    evaluate_request,
+    serve_in_background,
+)
+from repro.serve.ops import DEFAULT_REGISTRY
+from repro.serve.protocol import QueryRequest, parse_request
+from repro.workloads import DedupCorpusGenerator
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "serve_v1_golden.jsonl"
+
+CURATED = [
+    {"_id": 1, "_source": "ftable:00", "show_name": "Matilda",
+     "theater": "Shubert", "cheapest_price": "$27"},
+    {"_id": 2, "_source": "webtext", "show_name": "Matilda",
+     "text_feed": "fragment...", "theater": ""},
+    {"_id": 3, "_source": "ftable:00", "show_name": "Wicked",
+     "theater": "Gershwin"},
+]
+
+INSTANCE = [
+    {"entity": "Matilda", "entity_type": "Movie"},
+    {"entity": "Matilda", "entity_type": "Movie"},
+    {"entity": "Wicked", "entity_type": "Movie"},
+]
+
+
+def _entity(eid, attributes):
+    return ConsolidatedEntity(
+        entity_id=eid,
+        member_record_ids=[eid],
+        source_ids=["s"],
+        attributes=attributes,
+    )
+
+
+def _engine():
+    return QueryEngine(
+        [
+            _entity("e1", {"show_name": "Matilda", "theater": "Shubert",
+                           "year": 1996}),
+            _entity("e2", {"show_name": "Wicked", "theater": "Gershwin",
+                           "year": 2003}),
+        ],
+        watermark=1,
+    )
+
+
+def _server(**kwargs):
+    return QueryServer(
+        _engine(),
+        config=ServeConfig(),
+        curated_documents=lambda: list(CURATED),
+        instance_documents=lambda: list(INSTANCE),
+        prefer_sources=["ftable:00"],
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def handle():
+    with serve_in_background(_server()) as running:
+        yield running
+
+
+def _client(handle, **kwargs):
+    return QueryClient("127.0.0.1", handle.port, **kwargs)
+
+
+class TestSqlOverTheWire:
+    def test_sql_select_with_pushdown(self, handle):
+        with _client(handle) as client:
+            payload = client.sql(
+                "SELECT show_name FROM entities WHERE theater = 'Shubert'"
+            )
+        assert payload["columns"] == ["show_name"]
+        assert payload["rows"] == [["Matilda"]]
+        assert payload["stats"]["pushdowns"] == 1
+        assert payload["canonical"] == (
+            "SELECT show_name FROM entities WHERE theater = 'Shubert'"
+        )
+
+    def test_respelled_query_hits_the_same_cache_entry(self, handle):
+        with _client(handle) as client:
+            first = client.call(
+                "sql",
+                {"query": "SELECT show_name FROM entities WHERE year = 2003"},
+            )
+            second = client.call(
+                "sql",
+                {"query": "select  show_name from entities where year=2003"},
+            )
+        assert first.cached is False
+        assert second.cached is True
+        assert first.result == second.result
+        assert first.version == second.version
+
+    def test_sql_response_stamps_snapshot(self, handle):
+        with _client(handle) as client:
+            envelope = client.call(
+                "sql", {"query": "SELECT COUNT(*) FROM entities"}
+            )
+        assert envelope.result["rows"] == [[2]]
+        assert (envelope.version, envelope.watermark) == (0, 1)
+
+    def test_explain_over_the_wire(self, handle):
+        with _client(handle) as client:
+            payload = client.sql(
+                "EXPLAIN SELECT show_name FROM entities WHERE year = 1996"
+            )
+        assert payload["explain"] == [
+            "Project[show_name]",
+            "  Scan[entities; eq: year = 1996]",
+        ]
+
+    def test_sql_requires_protocol_v2(self, handle):
+        with _client(handle) as client:
+            response = client.request(
+                "sql", {"query": "SELECT * FROM entities"}, version=1
+            )
+        assert response["ok"] is False
+        assert "requires protocol version >= 2" in response["error"]["message"]
+
+    def test_invalid_sql_is_a_protocol_error(self, handle):
+        with _client(handle) as client:
+            with pytest.raises(ServeError, match="query is invalid"):
+                client.sql("DELETE FROM entities")
+
+    def test_curation_status_reflects_the_served_view(self, handle):
+        with _client(handle) as client:
+            payload = client.sql(
+                "SELECT version, watermark, entity_count FROM curation_status"
+            )
+        assert payload["rows"] == [[0, 1, 2]]
+
+    def test_status_v2_lists_ops_v1_does_not(self, handle):
+        with _client(handle) as client:
+            v1 = client.result("status")
+            v2 = client.call("status", version=2).result
+        assert "ops" not in v1 and v1["protocol"] == 1
+        assert v2["protocol"] == 2
+        assert "sql" in v2["ops"]
+        assert v2["supported_protocols"] == [1, 2]
+
+    def test_sql_counters_on_the_server_hub(self, handle):
+        with _client(handle) as client:
+            client.sql("SELECT show_name FROM entities WHERE year = 1996")
+            metrics = client.metrics()["metrics"]
+        assert metrics["sql_queries_total"]["series"][0]["value"] >= 1
+        assert (
+            metrics["sql_pushdown_conjuncts_total"]["series"][0]["value"] >= 1
+        )
+
+
+# -- registry as the extension surface --------------------------------------
+
+
+def _eval_echo(view, request, ctx):
+    return {
+        "echo": request.params.get("value"),
+        "entities": len(view.snapshot),
+    }
+
+
+def _validate_echo(params):
+    if not isinstance(params.get("value"), str):
+        raise ProtocolError("'echo' requires 'value' as str")
+
+
+ECHO_SPEC = OpSpec(
+    name="echo",
+    summary="test-only echo over the pinned view",
+    validate=_validate_echo,
+    cache_key=lambda request, name_attribute: request.params["value"],
+    evaluate=_eval_echo,
+)
+
+
+class TestRegistryExtension:
+    def test_one_spec_extends_validation_dispatch_caching_and_client(self):
+        registry = OpRegistry(tuple(DEFAULT_REGISTRY.specs()) + (ECHO_SPEC,))
+        server = _server(registry=registry)
+        with serve_in_background(server) as handle:
+            with _client(handle, registry=registry) as client:
+                # generated client method, no hand-written alias
+                first = client.ops.echo(value="hello")
+                second = client.ops.echo(value="hello")
+                assert first.result == {"echo": "hello", "entities": 2}
+                assert first.cached is False
+                assert second.cached is True
+                # the registry's validator runs client-side too
+                with pytest.raises(ProtocolError, match="'echo' requires"):
+                    client.ops.echo(value=7)
+
+    def test_default_registry_still_rejects_the_custom_op(self, handle):
+        with _client(handle) as client:
+            response = client.request("echo", {"value": "x"})
+        assert response["ok"] is False
+        assert "unknown operation" in response["error"]["message"]
+
+    def test_parse_request_honours_the_custom_registry(self):
+        registry = OpRegistry(tuple(DEFAULT_REGISTRY.specs()) + (ECHO_SPEC,))
+        line = '{"op": "echo", "params": {"value": "x"}}'
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            parse_request(line)
+        assert parse_request(line, registry).op == "echo"
+
+
+# -- concurrent publishes vs. the sequential oracle --------------------------
+
+N_CLIENTS = 3
+REQUESTS_PER_CLIENT = 18
+PUBLISH_ROUNDS = 4
+
+
+def _canonical(payload):
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def _sql_workload(names):
+    queries = []
+    for i in range(REQUESTS_PER_CLIENT):
+        name = names[i % len(names)].replace("'", "''")
+        queries.append(
+            [
+                f"SELECT entity_id, name FROM entities WHERE name = '{name}'",
+                "SELECT COUNT(*) AS n FROM entities",
+                "SELECT name FROM entities ORDER BY name LIMIT 5",
+                "SELECT version, watermark, entity_count FROM curation_status",
+                f"EXPLAIN SELECT name FROM entities WHERE name = '{name}'",
+                "SELECT size, COUNT(*) AS n FROM entities "
+                "GROUP BY size ORDER BY n DESC, size",
+            ][i % 6]
+        )
+    return queries
+
+
+@pytest.fixture
+def stack(small_config):
+    tamer = DataTamer(small_config)
+    corpus = DedupCorpusGenerator(seed=43).generate(n_entities=32)
+    tamer.train_dedup_model(corpus.pairs)
+    seed, updates = corpus.records[:12], corpus.records[12:]
+    for record in seed:
+        tamer.curated_collection.insert(dict(record.as_dict(), _source="seed"))
+    stream = tamer.start_stream(key_attribute="name")
+    server = tamer.create_server(key_attribute="name")
+    yield tamer, stream, server, seed, updates
+    tamer.close()
+
+
+class TestConcurrentSqlServing:
+    def test_sql_under_publishes_matches_sequential_oracle(self, stack):
+        tamer, stream, server, seed, updates = stack
+        views = {server.view.version: server.view}
+
+        def record(_snapshot):
+            view = server.view
+            views[view.version] = view
+
+        unsubscribe = stream.subscribe_snapshots(record)
+        names = [record_.as_dict()["name"] for record_ in seed[:6]]
+        start = threading.Barrier(N_CLIENTS + 1)
+        responses = [[] for _ in range(N_CLIENTS)]
+        errors = []
+
+        def client_thread(idx):
+            try:
+                with QueryClient("127.0.0.1", handle.port) as client:
+                    start.wait()
+                    for query in _sql_workload(names):
+                        responses[idx].append(
+                            (
+                                query,
+                                client.request(
+                                    "sql", {"query": query}, version=2
+                                ),
+                            )
+                        )
+            except Exception as exc:  # surfaced by the main assertion
+                errors.append((idx, repr(exc)))
+
+        with serve_in_background(server) as handle:
+            threads = [
+                threading.Thread(target=client_thread, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            chunk = max(1, len(updates) // PUBLISH_ROUNDS)
+            for round_ in range(PUBLISH_ROUNDS):
+                for record_ in updates[round_ * chunk : (round_ + 1) * chunk]:
+                    tamer.curated_collection.insert(
+                        dict(record_.as_dict(), _source=f"u{round_}")
+                    )
+                stream.query_engine()
+            for thread in threads:
+                thread.join(timeout=60)
+        unsubscribe()
+
+        assert errors == []
+        assert all(not t.is_alive() for t in threads)
+        assert len(views) > 1, "no publish landed during traffic"
+
+        oracle_cache = {}
+        for idx, client_log in enumerate(responses):
+            assert len(client_log) == REQUESTS_PER_CLIENT
+            last_version = -1
+            for query, response in client_log:
+                assert response["ok"], (idx, query, response)
+                version = response["version"]
+                assert version in views, (idx, query, version, sorted(views))
+                view = views[version]
+                assert response["watermark"] == view.watermark
+                assert version >= last_version
+                last_version = version
+                cache_key = (version, query)
+                if cache_key not in oracle_cache:
+                    oracle_cache[cache_key] = _canonical(
+                        evaluate_request(
+                            view,
+                            QueryRequest(
+                                op="sql", params={"query": query}, version=2
+                            ),
+                            "name",
+                        )
+                    )
+                assert (
+                    _canonical(response["result"]) == oracle_cache[cache_key]
+                ), (idx, query, version)
+
+        # pushdown observable end-to-end: the equality workload must have
+        # been served by indexes, not scans alone
+        registry = server._hub.registry
+        assert registry.counter("sql_queries_total").value > 0
+        assert registry.counter("sql_pushdown_conjuncts_total").value > 0
+
+
+# -- v1 golden pairs ---------------------------------------------------------
+
+
+class TestV1Goldens:
+    def test_recorded_v1_traffic_replays_byte_for_byte(self, handle):
+        pairs = [
+            json.loads(line)
+            for line in GOLDEN_PATH.read_text().splitlines()
+            if line.strip()
+        ]
+        assert pairs, "golden fixture is empty"
+        with socket.create_connection(
+            ("127.0.0.1", handle.port), timeout=30
+        ) as sock:
+            stream = sock.makefile("rwb")
+            for pair in pairs:
+                stream.write(pair["request"].encode("utf-8") + b"\n")
+                stream.flush()
+                line = stream.readline().decode("utf-8").rstrip("\n")
+                assert line == pair["response"], pair["request"]
+
+    def test_goldens_cover_every_v1_operation_shape(self):
+        ops = {
+            json.loads(json.loads(line)["request"]).get("op")
+            for line in GOLDEN_PATH.read_text().splitlines()
+            if line.strip()
+        }
+        # every snapshot-pinned v1 op, the live ping, and two error shapes
+        assert {
+            "ping", "find_equal", "search", "lookup_show", "top_k", "fuse",
+            "sql", "drop_tables",
+        } <= ops

@@ -1,0 +1,231 @@
+"""Tests for repro.sql.lexer and repro.sql.parser."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import parse_sql, tokenize_sql
+from repro.sql.lexer import EOF, IDENT, NUMBER, OP, QIDENT, STRING
+from repro.sql.nodes import (
+    And,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    Star,
+)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize_sql("SELECT name, 42, 3.5, 'it''s' FROM t")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            IDENT, IDENT, OP, NUMBER, OP, NUMBER, OP, STRING, IDENT, IDENT,
+            EOF,
+        ]
+
+    def test_keywords_lowercased(self):
+        tokens = tokenize_sql("SeLeCt NAME")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "name"
+
+    def test_quoted_identifier_preserves_case(self):
+        token = tokenize_sql('"Show Name"')[0]
+        assert token.kind == QIDENT
+        assert token.value == "Show Name"
+
+    def test_string_escape_doubles_quote(self):
+        assert tokenize_sql("'it''s'")[0].value == "it's"
+
+    def test_numbers_int_and_float(self):
+        tokens = tokenize_sql("7 7.25")
+        assert tokens[0].value == 7 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 7.25
+
+    def test_diamond_normalised_to_bang_equals(self):
+        ops = [t.value for t in tokenize_sql("a <> b") if t.kind == OP]
+        assert ops == ["!="]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize_sql("SELECT -- the works\n1")
+        assert [t.kind for t in tokens] == [IDENT, NUMBER, EOF]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlError):
+            tokenize_sql("'oops")
+
+    def test_stray_character_raises(self):
+        with pytest.raises(SqlError):
+            tokenize_sql("SELECT @")
+
+
+class TestParserShapes:
+    def test_minimal_select_star(self):
+        stmt = parse_sql("SELECT * FROM entities")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.source.name == "entities"
+        assert stmt.where is None and stmt.limit is None
+
+    def test_qualified_star_and_alias(self):
+        stmt = parse_sql("SELECT e.* FROM entities e")
+        assert stmt.items[0].expr == Star(table="e")
+        assert stmt.source.binding == "e"
+
+    def test_item_aliases_explicit_and_implicit(self):
+        stmt = parse_sql("SELECT name AS n, year y FROM entities")
+        assert stmt.items[0].alias == "n"
+        assert stmt.items[1].alias == "y"
+
+    def test_join_clause(self):
+        stmt = parse_sql(
+            "SELECT * FROM entities e JOIN clusters c ON e.entity_id = c.entity_id"
+        )
+        assert len(stmt.joins) == 1
+        join = stmt.joins[0]
+        assert join.table.binding == "c"
+        assert join.left == ColumnRef(name="entity_id", table="e")
+
+    def test_inner_join_spelling(self):
+        stmt = parse_sql(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x"
+        )
+        assert len(stmt.joins) == 1
+
+    def test_where_precedence_not_binds_tightest(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE NOT a = 1 AND b = 2 OR c = 3"
+        )
+        assert isinstance(stmt.where, Or)
+        left, right = stmt.where.terms
+        assert isinstance(left, And)
+        assert isinstance(left.terms[0], Not)
+        assert isinstance(right, Comparison)
+
+    def test_parentheses_override_precedence(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.terms[1], Or)
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        first, second = stmt.where.terms
+        assert isinstance(first, IsNull) and not first.negated
+        assert isinstance(second, IsNull) and second.negated
+
+    def test_in_list_and_not_in(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE a IN (1, 'x', NULL) AND b NOT IN (TRUE)"
+        )
+        first, second = stmt.where.terms
+        assert isinstance(first, InList)
+        assert first.values == (1, "x", None)
+        assert second.negated
+
+    def test_group_order_limit(self):
+        stmt = parse_sql(
+            "SELECT year, COUNT(*) AS n FROM entities "
+            "GROUP BY year ORDER BY n DESC, year LIMIT 5"
+        )
+        assert stmt.group_by == (ColumnRef(name="year"),)
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 5
+
+    def test_aggregates_parse(self):
+        stmt = parse_sql(
+            "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(b), MIN(b), MAX(b) FROM t"
+        )
+        calls = [item.expr for item in stmt.items]
+        assert all(isinstance(c, FuncCall) for c in calls)
+        assert calls[1].distinct is True
+
+    def test_explain_flag(self):
+        assert parse_sql("EXPLAIN SELECT * FROM t").explain is True
+
+    def test_boolean_and_null_literals(self):
+        stmt = parse_sql("SELECT TRUE, FALSE, NULL FROM t")
+        assert [item.expr for item in stmt.items] == [
+            Literal(value=True), Literal(value=False), Literal(value=None)
+        ]
+
+    def test_trailing_semicolon_accepted(self):
+        parse_sql("SELECT * FROM t;")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",                                # no items
+            "SELECT * FROM",                         # no table
+            "SELECT * FROM t WHERE",                 # no predicate
+            "SELECT * FROM t LIMIT -1",              # negative limit
+            "SELECT * FROM t LIMIT 1.5",             # non-integer limit
+            "SELECT * FROM t GROUP year",            # missing BY
+            "SELECT * FROM t ORDER year",            # missing BY
+            "SELECT * FROM t extra garbage here = ", # trailing input
+            "UPDATE t SET a = 1",                    # not a SELECT
+            "SELECT a FROM t WHERE a NOT 5",         # NOT without IN
+            "SELECT a FROM t WHERE a IS 5",          # IS without NULL
+            "SELECT COUNT(DISTINCT *) FROM t",       # DISTINCT *
+            "SELECT a FROM t JOIN u ON a < b",       # non-equality join
+            "SELECT select FROM t",                  # reserved as column
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SqlError):
+            parse_sql(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlError, match="position"):
+            parse_sql("SELECT a FROM t WHERE = 5")
+
+
+class TestCanonicalRender:
+    @pytest.mark.parametrize(
+        "spelled, canonical",
+        [
+            (
+                "select   name from entities where year=2010",
+                "SELECT name FROM entities WHERE year = 2010",
+            ),
+            (
+                "SELECT name FROM entities WHERE year <> 2010",
+                "SELECT name FROM entities WHERE year != 2010",
+            ),
+            (
+                "select count(*) n, year from entities group by year order by n desc",
+                "SELECT COUNT(*) AS n, year FROM entities "
+                "GROUP BY year ORDER BY n DESC",
+            ),
+            (
+                "select distinct e.name from entities as e limit 3;",
+                "SELECT DISTINCT e.name FROM entities AS e LIMIT 3",
+            ),
+            (
+                "select * from a join b on a.x = b.x where a.y is not null",
+                "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y IS NOT NULL",
+            ),
+        ],
+    )
+    def test_round_trip(self, spelled, canonical):
+        assert parse_sql(spelled).render() == canonical
+
+    def test_render_is_reparseable_fixpoint(self):
+        queries = [
+            "select a, 'it''s' from t where a in (1,2) or not b = true",
+            "explain select count(distinct a) from t "
+            "group by b order by b desc limit 2",
+        ]
+        for query in queries:
+            rendered = parse_sql(query).render()
+            assert parse_sql(rendered).render() == rendered
+
+    def test_two_spellings_share_one_canonical_form(self):
+        a = parse_sql("SELECT name,year FROM entities WHERE year>=2000")
+        b = parse_sql("select  name , year from entities where year >= 2000")
+        assert a.render() == b.render()

@@ -207,3 +207,104 @@ class TestRelationalStore:
         )
         assert store.list_tables() == ["a", "b"]
         assert store.total_rows() == 3
+
+
+class TestDistinctAndAggregateOrdering:
+    def test_distinct_ordered_sorts_values(self, shows_table):
+        shows_table.insert({"name": "Annie", "price": 30.0})
+        assert shows_table.distinct("name", ordered=True) == [
+            "Annie", "Matilda", "Once", "Wicked",
+        ]
+
+    def test_distinct_include_null_keeps_one_null(self, shows_table):
+        shows_table.insert({"name": "Annie"})  # price defaults to None
+        shows_table.insert({"name": "Cats"})
+        values = shows_table.distinct("price", include_null=True)
+        assert values.count(None) == 1
+        assert set(values) == {27.0, 89.0, 45.5, None}
+
+    def test_distinct_ordered_puts_null_last(self, shows_table):
+        shows_table.insert({"name": "Annie"})
+        values = shows_table.distinct("price", ordered=True, include_null=True)
+        assert values == [27.0, 45.5, 89.0, None]
+
+    def test_distinct_survives_unhashable_values(self):
+        table = Table("t", [Column("tags", "unknown")])
+        table.insert_many(
+            [{"tags": ["a", "b"]}, {"tags": ["a", "b"]}, {"tags": ["c"]}]
+        )
+        assert table.distinct("tags") == [["a", "b"], ["c"]]
+
+    def test_distinct_mixed_types_do_not_collide_or_crash(self):
+        table = Table("t", [Column("v", "unknown")])
+        table.insert_many([{"v": 1}, {"v": "1"}, {"v": 1}, {"v": [1]}])
+        assert table.distinct("v") == [1, "1", [1]]
+
+    def test_aggregate_ordered_is_insertion_independent(self):
+        def first(values):
+            return values[0] if values else None
+
+        a = Table("a", [Column("v", "integer")])
+        a.insert_many([{"v": 3}, {"v": 1}, {"v": 2}])
+        b = Table("b", [Column("v", "integer")])
+        b.insert_many([{"v": 2}, {"v": 3}, {"v": 1}])
+        assert a.aggregate("v", first, ordered=True) == 1
+        assert a.aggregate("v", first, ordered=True) == b.aggregate(
+            "v", first, ordered=True
+        )
+        # default stays row-order for backwards compatibility
+        assert a.aggregate("v", first) == 3
+
+
+class TestRelationalEdgeCases:
+    def test_update_where_is_all_or_nothing(self, shows_table):
+        # the bad boolean arrives *after* a valid price in the changes
+        # dict; re-validation must reject before any row is half-updated
+        before = shows_table.select()
+        with pytest.raises(TableError):
+            shows_table.update_where(
+                lambda r: r["open"], {"price": 1.0, "open": "yes"}
+            )
+        assert shows_table.select() == before
+
+    def test_update_where_rejects_bad_type_even_with_no_matches(
+        self, shows_table
+    ):
+        with pytest.raises(TableError):
+            shows_table.update_where(lambda r: False, {"seats": "many"})
+
+    def test_add_column_on_populated_table_roundtrips(self, shows_table):
+        shows_table.add_column(Column("genre", "string"))
+        # existing rows backfill to None, new inserts carry the column
+        assert [r["genre"] for r in shows_table.select()] == [None] * 3
+        shows_table.insert({"name": "Annie", "genre": "musical"})
+        rows = shows_table.select(
+            where=lambda r: r["genre"] is not None, columns=["name", "genre"]
+        )
+        assert rows == [{"name": "Annie", "genre": "musical"}]
+        # the new column participates in typed validation immediately
+        with pytest.raises(TableError):
+            shows_table.insert({"name": "Cats", "genre": 7})
+
+    def test_select_projection_order_limit_combined(self, shows_table):
+        # ordering happens on the full row, then projection drops the
+        # order key: the limit must apply to the ordered sequence
+        rows = shows_table.select(
+            columns=["name"], order_by="price", descending=True, limit=2
+        )
+        assert rows == [{"name": "Wicked"}, {"name": "Once"}]
+
+    def test_select_order_by_mixed_types_does_not_crash(self):
+        table = Table("t", [Column("v", "unknown"), Column("tag", "string")])
+        table.insert_many(
+            [
+                {"v": "b", "tag": "s1"},
+                {"v": 2, "tag": "n1"},
+                {"v": None, "tag": "null"},
+                {"v": "a", "tag": "s2"},
+                {"v": 1, "tag": "n2"},
+            ]
+        )
+        ordered = [r["tag"] for r in table.select(order_by="v")]
+        # numbers before strings, nulls last — the SQL total order
+        assert ordered == ["n2", "n1", "s2", "s1", "null"]
