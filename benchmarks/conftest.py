@@ -119,6 +119,39 @@ def write_json(name: str, payload: dict) -> Path:
     return path
 
 
+def pytest_addoption(parser):
+    """Record/replay knobs for the string-pair workload benchmarks.
+
+    ``--record-pairs PATH`` makes the stredit comparison write the memo-miss
+    value-pair workload it extracted to a JSONL file;
+    ``--replay-pairs PATH`` makes it benchmark a previously recorded
+    workload instead of extracting one from the synthetic corpus.  See
+    ``benchmarks/pair_workload.py`` for the format.
+    """
+    parser.addoption(
+        "--record-pairs",
+        default=None,
+        metavar="PATH",
+        help="write the extracted string-pair workload to this JSONL file",
+    )
+    parser.addoption(
+        "--replay-pairs",
+        default=None,
+        metavar="PATH",
+        help="benchmark a recorded string-pair workload instead of the "
+        "synthetic corpus",
+    )
+
+
+@pytest.fixture(scope="session")
+def pair_workload_options(request):
+    """(record_path, replay_path) from --record-pairs/--replay-pairs."""
+    return (
+        request.config.getoption("--record-pairs"),
+        request.config.getoption("--replay-pairs"),
+    )
+
+
 @pytest.fixture(scope="session")
 def ftables_generator() -> FTablesGenerator:
     """The 20-source FTABLES generator used across benchmarks."""

@@ -1,0 +1,78 @@
+"""Record/replay for string-pair workloads (JSONL).
+
+The stredit comparison (``--compare-stredit`` in
+``bench_fig1_pipeline_scale.py``) times the batch string-edit engine against
+the scalar oracle over the *memo-miss value-pair workload* — the exact
+unique value pairs the scoring kernel's prefill gathers for a corpus.  This
+module lets that workload be captured once and replayed later, so a
+regression can be chased on the very pair distribution that exposed it (or a
+production-shaped workload can be benchmarked without shipping the corpus
+generator that produced it).
+
+Format: one JSON object per line.  The first line is a metadata header
+(``{"kind": "pair_workload", "version": 1, ...}``); every following line is
+a pair (``{"a": "...", "b": "..."}``).  Strings are stored as JSON strings,
+so any unicode value the kernel can intern round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_KIND = "pair_workload"
+_VERSION = 1
+
+
+def record_workload(
+    path,
+    pairs: Sequence[Tuple[str, str]],
+    meta: Optional[Dict] = None,
+):
+    """Write a pair workload to ``path`` (JSONL: header line, then pairs)."""
+    path = Path(path)
+    header = {"kind": _KIND, "version": _VERSION, "pairs": len(pairs)}
+    if meta:
+        header.update(meta)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for a, b in pairs:
+            handle.write(json.dumps({"a": a, "b": b}, sort_keys=True) + "\n")
+    return path
+
+
+def load_workload(path) -> Tuple[Dict, List[Tuple[str, str]]]:
+    """Read a pair workload, returning ``(header, pairs)``.
+
+    Raises ``ValueError`` on a missing/foreign header or a truncated file
+    (fewer pair lines than the header promised) — replaying half a workload
+    would silently benchmark a different distribution.
+    """
+    path = Path(path)
+    pairs: List[Tuple[str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty workload file")
+        header = json.loads(first)
+        if header.get("kind") != _KIND:
+            raise ValueError(
+                f"{path}: not a pair workload (kind={header.get('kind')!r})"
+            )
+        if header.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported workload version {header.get('version')!r}"
+            )
+        for line in handle:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            pairs.append((row["a"], row["b"]))
+    expected = header.get("pairs")
+    if expected is not None and expected != len(pairs):
+        raise ValueError(
+            f"{path}: truncated workload "
+            f"({len(pairs)} pairs, header promised {expected})"
+        )
+    return header, pairs

@@ -51,12 +51,70 @@ def _shard_sort_keys(blocker, part):
     return [(index, blocker._sort_key(record)) for index, record in part]
 
 
-def _fan_out_indexed(executor, worker, records):
-    """Fan ``worker`` out over shard partitions of (index, record) items.
+#: Versioned warm-context key carrying the ordered record-id scope of one
+#: blocking run to the persistent pool workers.
+_BLOCK_SCOPE_CONTEXT = "blocking:scope"
 
-    Returns the per-record results reassembled in original input order, so
-    downstream block assembly sees exactly the sequential iteration order.
+
+def _fan_out_warm(executor, blocker, kind, records):
+    """Warm-pool key extraction: fan-outs ship shard ids, not records.
+
+    The persistent workers already mirror the record corpus through the
+    warm-state delta protocol, so instead of pickling ``(index, record)``
+    partitions into every dispatch, this path syncs the record *deltas*
+    once, broadcasts the ordered id scope as a versioned context, and sends
+    each worker nothing but its shard index.  Workers re-derive their
+    partition with the same ``ShardRouter`` hash
+    :meth:`~repro.exec.executor.ShardedExecutor.partition` uses, so the
+    merged result is exactly what the cold path produces.
+
+    Returns ``None`` when the scope contains duplicate record ids — the
+    workers' record store is keyed by id, so aliased records must take the
+    cold partition-shipping path.
     """
+    from ..exec.pool import warm_block_keys
+    from ..storage.sharding import _stable_hash
+
+    ids = tuple(record.record_id for record in records)
+    by_id = {record.record_id: record for record in records}
+    if len(by_id) != len(ids):
+        return None
+    pool = executor.ensure_pool()
+    pool.sync_records(by_id)
+    executor.sync_warm_context(_BLOCK_SCOPE_CONTEXT, _stable_hash(ids), ids)
+    num_shards = max(1, executor.parallelism)
+    worker = partial(
+        warm_block_keys, blocker, kind, _BLOCK_SCOPE_CONTEXT, num_shards
+    )
+    shard_results = executor.map_shards(
+        worker, list(range(num_shards)), always_fan_out=True
+    )
+    merged = [entry for result in shard_results for entry in result]
+    merged.sort(key=lambda entry: entry[0])
+    return merged
+
+
+def _fan_out_indexed(executor, blocker, kind, records):
+    """Fan key extraction out over shards, in original input order.
+
+    ``kind`` is ``"keys"`` (blocking keys per record) or ``"sort"``
+    (sorted-neighborhood sort keys).  Warm persistent-pool executors take
+    :func:`_fan_out_warm`; everything else partitions ``(index, record)``
+    items and ships them.  Returns the per-record results reassembled in
+    original input order, so downstream block assembly sees exactly the
+    sequential iteration order.
+    """
+    if (
+        executor.uses_persistent_pool
+        and executor.warm_state
+        and len(records) > 1
+    ):
+        merged = _fan_out_warm(executor, blocker, kind, records)
+        if merged is not None:
+            return merged
+    worker = partial(
+        _shard_record_keys if kind == "keys" else _shard_sort_keys, blocker
+    )
     indexed = list(enumerate(records))
     partitions = executor.partition(indexed, key=lambda item: item[1].record_id)
     shard_results = executor.map_shards(worker, partitions)
@@ -181,9 +239,7 @@ class _BaseBlocker:
         callable) prunes emitted pairs centrally, after block assembly.
         """
         if executor is not None and executor.fans_out:
-            keyed = _fan_out_indexed(
-                executor, partial(_shard_record_keys, self), records
-            )
+            keyed = _fan_out_indexed(executor, self, "keys", records)
         else:
             # stream one record at a time: no point holding every key list
             # in memory on the sequential path
@@ -305,9 +361,7 @@ class SortedNeighborhoodBlocker:
         :meth:`_BaseBlocker.block`.
         """
         if executor is not None and executor.fans_out:
-            keyed = _fan_out_indexed(
-                executor, partial(_shard_sort_keys, self), records
-            )
+            keyed = _fan_out_indexed(executor, self, "sort", records)
             order = sorted(keyed, key=lambda entry: (entry[1], entry[0]))
             ordered = [records[index] for index, _ in order]
         else:
@@ -383,9 +437,7 @@ class BlockIndex:
             and self._executor.fans_out
             and len(records) > 1
         ):
-            keyed = _fan_out_indexed(
-                self._executor, partial(_shard_record_keys, self._blocker), records
-            )
+            keyed = _fan_out_indexed(self._executor, self._blocker, "keys", records)
             return [tuple(sorted(set(keys))) for _, _, keys in keyed]
         return [
             tuple(sorted(set(self._blocker.keys_for(record))))

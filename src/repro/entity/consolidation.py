@@ -295,10 +295,7 @@ class EntityConsolidator:
             records, pair_filter=pair_filter, kernel=kernel
         )
         candidate_list = sorted(blocking.pairs)
-        scores = self._score_pairs(by_id, candidate_list, kernel=kernel)
-        matched = [
-            pair for pair, prob in scores.items() if prob >= self._model.threshold
-        ]
+        scores, matched = self._score_and_match(by_id, candidate_list, kernel=kernel)
         clusters = cluster_pairs(
             list(by_id.keys()),
             matched,
@@ -322,27 +319,38 @@ class EntityConsolidator:
 
     # -- scoring -----------------------------------------------------------
 
-    def _score_pairs(
+    def _score_and_match(
         self,
         by_id: Dict[str, Record],
         candidate_list: Sequence[Tuple[str, str]],
         kernel: Optional[ScoringKernel] = None,
-    ) -> Dict[Tuple[str, str], float]:
-        """Score candidates, batched (and possibly parallel) when configured.
+    ) -> Tuple[Dict[Tuple[str, str], float], List[Tuple[str, str]]]:
+        """Score candidates and split out the matched pairs, in pair order.
 
-        The batched path reassembles the full feature matrix before the
-        classifier runs, so its probabilities are exactly the sequential
-        ones.  The shared ``kernel`` carries interned record data from the
+        The batched path fans chunks out through the executor; for linear
+        models the chunk workers also apply the match decision, so the
+        matched list comes back from the workers rather than being
+        re-derived here.  Either way the probabilities — and therefore the
+        matched set — are exactly the sequential scorer's, because every
+        flavour scores with the same fixed-order linear arithmetic.  The
+        shared ``kernel`` carries interned record data from the
         blocking/filtering phases into scoring.
         """
+        threshold = self._model.threshold
         if self._executor is None or not self._executor.fans_out:
-            return self._model.score_pairs(by_id, candidate_list, kernel=kernel)
+            scores = self._model.score_pairs(by_id, candidate_list, kernel=kernel)
+            matched = [
+                pair for pair, prob in scores.items() if prob >= threshold
+            ]
+            return scores, matched
         # Imported here, not at module level: exec.batch depends on
         # entity.similarity, so a module-level import would be circular.
         from ..exec.batch import BatchScorer
 
         scorer = BatchScorer(self._model, executor=self._executor, kernel=kernel)
-        return scorer.score_pairs(by_id, candidate_list)
+        scores, decided = scorer.score_and_decide(by_id, candidate_list)
+        matched = [pair for pair in scores if pair in decided]
+        return scores, matched
 
     # -- merging -----------------------------------------------------------
 

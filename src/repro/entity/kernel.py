@@ -72,13 +72,15 @@ from ..schema.matchers import jaro_winkler, levenshtein_ratio
 from ..text.tokenizer import tokenize
 from .record import Record
 from .similarity import FEATURE_NAMES, _to_float
+from .stredit import batch_string_sim
 
 Pair = Tuple[str, str]
 
 #: Safety margin (in log-odds) under the decision boundary required before a
 #: pair is pruned.  Covers the few-ulp difference between the kernel's
-#: feature-by-feature bound accumulation and the classifier's BLAS dot
-#: product; many orders of magnitude larger than any float64 rounding slop.
+#: feature-by-feature bound accumulation and the classifier's fixed-order
+#: linear score (:func:`repro.ml.linear.linear_scores`); many orders of
+#: magnitude larger than any float64 rounding slop.
 _PRUNE_MARGIN = 1e-9
 
 #: Bound on the string-sim memo before it is dropped and restarted (keeps a
@@ -200,15 +202,26 @@ class ScoringKernel:
         self,
         compare_attributes: Optional[Sequence[str]] = None,
         tokenizer: Callable[[str], List[str]] = tokenize,
+        use_stredit: bool = True,
     ):
         self._compare_attributes = (
             list(compare_attributes) if compare_attributes is not None else None
         )
         self._tokenizer = tokenizer
+        self._use_stredit = bool(use_stredit)
         self.vocabulary = TokenVocabulary()
         self._values = TokenVocabulary()
         self._cache: Dict[str, RecordTokenData] = {}
-        self._string_sim_memo: Dict[Tuple[int, int], float] = {}
+        #: Two-generation string-sim memo: lookups hit the new generation
+        #: first, then the old one (promoting on hit).  When the new
+        #: generation reaches ``_memo_limit`` it *becomes* the old one
+        #: instead of being cleared, so hot value pairs survive eviction —
+        #: a flat ``clear()`` caused a recompute storm on the next batch.
+        self._memo_limit = _MEMO_LIMIT
+        self._string_sim_new: Dict[Tuple[int, int], float] = {}
+        self._string_sim_old: Dict[Tuple[int, int], float] = {}
+        self._memo_hits = 0
+        self._memo_misses = 0
         #: pair -> (data_a, data_b, jaccard, cosine, shared, exact, numeric,
         #: length_ratio): the cheap feature columns the candidate filter
         #: already computed for surviving pairs, consumed (and identity-
@@ -232,7 +245,22 @@ class ScoringKernel:
     @property
     def memo_size(self) -> int:
         """Number of memoized unique string-edit value pairs."""
-        return len(self._string_sim_memo)
+        return len(self._string_sim_new) + len(self._string_sim_old)
+
+    @property
+    def memo_hits(self) -> int:
+        """String-sim memo lookups answered from either generation."""
+        return self._memo_hits
+
+    @property
+    def memo_misses(self) -> int:
+        """String-sim memo lookups that had to compute the similarity."""
+        return self._memo_misses
+
+    @property
+    def uses_stredit(self) -> bool:
+        """Whether memo misses are batch-computed by the stredit engine."""
+        return self._use_stredit
 
     @property
     def cheap_stash_size(self) -> int:
@@ -365,27 +393,90 @@ class ScoringKernel:
 
     # -- string-edit memo ----------------------------------------------------
 
+    def _memo_lookup(self, key: Tuple[int, int]) -> Optional[float]:
+        """Memoized similarity for a value-id pair, or None.
+
+        Checks the new generation, then the old one; an old-generation hit
+        is promoted so another rotation cannot evict a still-hot pair.
+        """
+        cached = self._string_sim_new.get(key)
+        if cached is None:
+            cached = self._string_sim_old.pop(key, None)
+            if cached is not None:
+                self._memo_insert(key, cached)
+        if cached is None:
+            self._memo_misses += 1
+        else:
+            self._memo_hits += 1
+        return cached
+
+    def _memo_insert(self, key: Tuple[int, int], value: float) -> None:
+        """Insert into the new generation, rotating generations at the limit."""
+        if len(self._string_sim_new) >= self._memo_limit:
+            self._string_sim_old = self._string_sim_new
+            self._string_sim_new = {}
+        self._string_sim_new[key] = value
+
     def _string_sim(self, vid_a: int, vid_b: int) -> float:
         """``max(levenshtein_ratio, jaro_winkler)`` memoized per value pair.
 
         Equal ids short-circuit to 1.0 — exactly what both string measures
-        return for equal strings, so the shortcut is bit-identical.
+        return for equal strings, so the shortcut is bit-identical.  Batch
+        featurization prefills the memo through the stredit engine
+        (:meth:`_prefill_string_sims`), so this scalar fallback only runs
+        for lookups outside a prefetched batch.
         """
         if vid_a == vid_b:
             return 1.0
         key = (vid_a, vid_b)
-        memo = self._string_sim_memo
-        cached = memo.get(key)
+        cached = self._memo_lookup(key)
         if cached is None:
             value_a = self._values.string(vid_a)
             value_b = self._values.string(vid_b)
             cached = max(
                 levenshtein_ratio(value_a, value_b), jaro_winkler(value_a, value_b)
             )
-            if len(memo) >= _MEMO_LIMIT:
-                memo.clear()
-            memo[key] = cached
+            self._memo_insert(key, cached)
         return cached
+
+    def _prefill_string_sims(
+        self,
+        data_a: Sequence["RecordTokenData"],
+        data_b: Sequence["RecordTokenData"],
+    ) -> None:
+        """Batch-compute the memo-miss set of unique value pairs.
+
+        Walks the same shared-attribute loops row assembly is about to run,
+        collects every value-id pair the memo cannot answer, and computes
+        them in one :func:`repro.entity.stredit.batch_string_sim` call —
+        trimmed, banded, bit-parallel and vectorized instead of one scalar
+        DP per pair.  The engine's floats are bit-identical to the scalar
+        oracle, so rows assembled from the prefilled memo are unchanged.
+        """
+        wanted: Dict[Tuple[int, int], Tuple[str, str]] = {}
+        for row_a, row_b in zip(data_a, data_b):
+            shared = row_a.attrs & row_b.attrs
+            if not shared:
+                continue
+            table_a, table_b = row_a.attr_table, row_b.attr_table
+            for attr in shared:
+                vid_a, len_a, _ = table_a[attr]
+                vid_b, len_b, _ = table_b[attr]
+                if not len_a or not len_b or vid_a == vid_b:
+                    continue
+                key = (vid_a, vid_b)
+                if key in wanted or self._memo_lookup(key) is not None:
+                    continue
+                wanted[key] = (
+                    self._values.string(vid_a),
+                    self._values.string(vid_b),
+                )
+        if not wanted:
+            return
+        keys = list(wanted)
+        similarities = batch_string_sim([wanted[key] for key in keys])
+        for key, similarity in zip(keys, similarities):
+            self._memo_insert(key, similarity)
 
     # -- columnar token features ---------------------------------------------
 
@@ -580,6 +671,8 @@ class ScoringKernel:
         out = np.zeros((n_pairs, len(FEATURE_NAMES)), dtype=float)
         if n_pairs == 0:
             return out
+        if self._use_stredit:
+            self._prefill_string_sims(data_a, data_b)
 
         # rows whose cheap columns the candidate filter already computed
         # skip the columnar token/length pass entirely — only the two

@@ -1,0 +1,462 @@
+"""Batch string-edit similarity engine.
+
+The dedup kernel's per-attribute string similarity is
+``max(levenshtein_ratio(a, b), jaro_winkler(a, b))`` over normalized values
+(:mod:`repro.schema.matchers`).  The scalar reference runs a full
+``len(a) x len(b)`` dynamic program plus a greedy Jaro match per pair — the
+last pure-Python hot path after the columnar token kernel.  This module
+computes the same floats for a whole batch of value pairs at once:
+
+* **trim** — a shared prefix/suffix never changes the edit distance, so it
+  is stripped before any DP runs (the ratio still normalizes by the
+  *original* longest length);
+* **Myers** — values whose trimmed shorter side fits in a machine word
+  (<= 64 chars) get the bit-parallel Myers/Hyyro row, O(longer) instead of
+  O(shorter x longer);
+* **banded Levenshtein** — longer values run an Ukkonen band whose cutoff
+  comes from the already-computed Jaro-Winkler score: once the distance
+  provably exceeds the band, the Jaro-Winkler score has won the ``max`` and
+  the exact distance is irrelevant;
+* **vectorized Jaro-Winkler** — pairs are grouped by exact length class and
+  evaluated over padded codepoint matrices, so the greedy match loop runs
+  once per (position, window) slot for the whole group instead of once per
+  pair;
+* **dominance short-circuit** — cheap upper bounds decide which metric
+  cannot win the ``max`` and skip it entirely.  The Levenshtein bound
+  ``1.0 - d_min / longest`` is evaluated through the exact float expression
+  the scalar path uses, so it needs no epsilon; the Jaro-Winkler bound
+  ``0.4 + 0.6 * (2 + shortest/longest) / 3`` is inflated by a few ulp
+  (:data:`_JW_UB_SAFETY`) because its float evaluation may round below the
+  true bound.
+
+**Bit-identity contract:** every float returned here is bit-for-bit the
+value ``max(levenshtein_ratio(a, b), jaro_winkler(a, b))`` would produce.
+The scalar functions in :mod:`repro.schema.matchers` remain the oracle —
+``tests/test_entity_stredit.py`` drives a hypothesis corpus (empty, unicode,
+long, prefix-heavy strings) through both paths and compares raw bits, and
+the ``--compare-stredit`` benchmark gate asserts equality on real
+consolidation workloads.  The arithmetic below therefore replicates the
+oracle's *operation order* exactly: same division associativity, same
+``max`` tie semantics, same int -> float conversions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..schema.matchers import jaro_winkler
+
+__all__ = [
+    "banded_levenshtein",
+    "batch_jaro_winkler",
+    "batch_string_sim",
+    "myers_distance",
+    "string_sim",
+    "trim_common_affixes",
+]
+
+# Pattern length limit for the bit-parallel Myers row (one machine word).
+_MYERS_MAX = 64
+# Vectorized Jaro-Winkler pays off only once a length bucket holds a few
+# pairs; smaller buckets fall back to the scalar oracle (trivially
+# bit-identical).
+_VEC_MIN_GROUP = 8
+# Pairs are bucketed by the padded length class max(len(a), len(b)) rounds
+# up to; the greedy match loop costs O(bucket_cap * window) vector ops per
+# bucket, so the caps grow geometrically and very long values (rare in
+# attribute data) go scalar.
+_VEC_BUCKETS = (8, 16, 32, 64, 128)
+_VEC_MAX_LEN = _VEC_BUCKETS[-1]
+# Sentinels for padded positions past the end of each string.  They differ
+# per side so padding never matches padding, and real codepoints are >= 0
+# so padding never matches text.
+_PAD_A = -1
+_PAD_B = -2
+# The Jaro-Winkler upper bound is evaluated in ~5 float ops (~5 ulp of
+# relative error), and the computed jw itself carries a few more; 1e-13
+# covers both with two orders of magnitude to spare.  Inflating the bound
+# only ever costs an unnecessary Jaro-Winkler evaluation — never a wrong
+# answer.
+_JW_UB_SAFETY = 1.0 + 1e-13
+
+
+def trim_common_affixes(a: str, b: str) -> Tuple[str, str]:
+    """Strip the shared prefix and suffix of ``a`` and ``b``.
+
+    Levenshtein distance is invariant under removing a common prefix or
+    suffix (an optimal alignment can always match them), so the DP only has
+    to look at the differing core.  The suffix scan is bounded so it never
+    overlaps characters already consumed by the prefix.
+    """
+    la, lb = len(a), len(b)
+    lim = la if la < lb else lb
+    p = 0
+    while p < lim and a[p] == b[p]:
+        p += 1
+    s = 0
+    while s < lim - p and a[la - 1 - s] == b[lb - 1 - s]:
+        s += 1
+    return a[p : la - s], b[p : lb - s]
+
+
+def myers_distance(pattern: str, text: str) -> int:
+    """Bit-parallel Levenshtein distance (Myers 1999 / Hyyro formulation).
+
+    ``pattern`` must be at most :data:`_MYERS_MAX` characters; ``text`` may
+    be any length.  The whole DP column lives in one integer as two bit
+    vectors of vertical deltas, so each text character costs a handful of
+    word operations instead of a Python-level inner loop.
+    """
+    m = len(pattern)
+    if m == 0:
+        return len(text)
+    if m > _MYERS_MAX:
+        raise ValueError(f"myers_distance pattern longer than {_MYERS_MAX}: {m}")
+    peq: Dict[str, int] = {}
+    bit = 1
+    for ch in pattern:
+        peq[ch] = peq.get(ch, 0) | bit
+        bit <<= 1
+    mask = (1 << m) - 1
+    high = 1 << (m - 1)
+    pv = mask
+    mv = 0
+    score = m
+    for ch in text:
+        eq = peq.get(ch, 0)
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & mask)
+        mh = pv & xh
+        if ph & high:
+            score += 1
+        elif mh & high:
+            score -= 1
+        ph = ((ph << 1) | 1) & mask
+        mh = (mh << 1) & mask
+        pv = mh | (~(xv | ph) & mask)
+        mv = ph & xv
+    return score
+
+
+def banded_levenshtein(a: str, b: str, cutoff: int) -> int:
+    """Exact Levenshtein distance if it is <= ``cutoff``, else ``cutoff + 1``.
+
+    Classic Ukkonen band: a DP cell ``(i, j)`` with ``|i - j| > cutoff``
+    already costs more than ``cutoff``, so only the diagonal band is
+    evaluated and a row whose minimum exceeds the cutoff aborts early.
+    Values clamped at ``cutoff + 1`` can never flow back under the cutoff
+    (every DP transition is non-decreasing), so any result <= ``cutoff`` is
+    exact.
+    """
+    if cutoff < 0:
+        return 0 if a == b else cutoff + 1
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    overflow = cutoff + 1
+    if lb - la > cutoff:
+        return overflow
+    if la == 0:
+        return lb if lb <= cutoff else overflow
+    previous = [j if j <= cutoff else overflow for j in range(lb + 1)]
+    for i in range(1, la + 1):
+        current = [overflow] * (lb + 1)
+        if i <= cutoff:
+            current[0] = i
+        ca = a[i - 1]
+        lo = i - cutoff
+        if lo < 1:
+            lo = 1
+        hi = i + cutoff
+        if hi > lb:
+            hi = lb
+        best = current[0]
+        for j in range(lo, hi + 1):
+            value = previous[j - 1] + (0 if ca == b[j - 1] else 1)
+            delete_cost = previous[j] + 1
+            if delete_cost < value:
+                value = delete_cost
+            insert_cost = current[j - 1] + 1
+            if insert_cost < value:
+                value = insert_cost
+            if value > overflow:
+                value = overflow
+            current[j] = value
+            if value < best:
+                best = value
+        if best > cutoff:
+            return overflow
+        previous = current
+    distance = previous[lb]
+    return distance if distance <= cutoff else overflow
+
+
+def _codepoint_row(value: str, out: np.ndarray) -> None:
+    """Fill ``out`` with the codepoints of ``value`` (len(out) == len(value))."""
+    try:
+        out[:] = np.frombuffer(value.encode("utf-32-le"), dtype="<u4")
+    except UnicodeEncodeError:
+        # Lone surrogates cannot round-trip through UTF-32; take the slow path.
+        for col, ch in enumerate(value):
+            out[col] = ord(ch)
+
+
+def _jaro_winkler_bucket(values: Sequence[Tuple[str, str]]) -> np.ndarray:
+    """Vectorized Jaro-Winkler for one padded length bucket.
+
+    Pairs of *different* lengths share the bucket: each side is padded with
+    a per-side sentinel to the bucket's max length, which makes the string
+    bounds implicit (padding can never match), while the per-pair match
+    window survives as a mask on ``|i - j|``.  The algorithm replicates the
+    scalar one loop-for-loop across the group axis: the greedy
+    first-available match, the rank-ordered transposition walk, and the
+    exact float expressions ``(m/la + m/lb + (m-t)/m) / 3`` followed by
+    ``jaro + (prefix * 0.1) * (1.0 - jaro)``.
+    """
+    n = len(values)
+    len_a = np.fromiter((len(a) for a, _ in values), dtype=np.int64, count=n)
+    len_b = np.fromiter((len(b) for _, b in values), dtype=np.int64, count=n)
+    width_a = int(len_a.max())
+    width_b = int(len_b.max())
+    # Fortran order keeps the column slices the greedy loop reads contiguous.
+    codes_a = np.full((n, width_a), _PAD_A, dtype=np.int64, order="F")
+    codes_b = np.full((n, width_b), _PAD_B, dtype=np.int64, order="F")
+    for row, (a, b) in enumerate(values):
+        if a:
+            _codepoint_row(a, codes_a[row, : len(a)])
+        if b:
+            _codepoint_row(b, codes_b[row, : len(b)])
+
+    windows = np.maximum(len_a, len_b) // 2 - 1
+    np.maximum(windows, 0, out=windows)
+    window_max = int(windows.max())
+    # window_ok[d] marks the rows whose match window admits |i - j| == d.
+    window_ok = [windows >= d for d in range(window_max + 1)]
+    a_matched = np.zeros((n, width_a), dtype=bool, order="F")
+    b_available = np.ones((n, width_b), dtype=bool, order="F")
+    for i in range(width_a):
+        lo = i - window_max
+        if lo < 0:
+            lo = 0
+        hi = i + window_max + 1
+        if hi > width_b:
+            hi = width_b
+        if lo >= hi:
+            continue
+        searching = np.ones(n, dtype=bool)
+        column = codes_a[:, i]
+        for j in range(lo, hi):
+            hit = codes_b[:, j] == column
+            hit &= window_ok[j - i if j >= i else i - j]
+            hit &= b_available[:, j]
+            hit &= searching
+            if hit.any():
+                b_available[:, j] ^= hit
+                searching ^= hit
+                if not searching.any():
+                    break
+        np.logical_not(searching, out=a_matched[:, i])
+
+    matches = a_matched.sum(axis=1)
+    matches_f = matches.astype(float)
+    max_matches = int(matches.max()) if n else 0
+    if max_matches:
+        # Scatter the matched codepoints into rank order on both sides; the
+        # k-th matched char of a lines up with the k-th matched char of b,
+        # exactly like the scalar transposition walk.  Unused tail slots
+        # hold the same sentinel on both sides and contribute nothing.
+        b_matched = ~b_available
+        ordered_a = np.full((n, max_matches), -1, dtype=np.int64)
+        ordered_b = np.full((n, max_matches), -1, dtype=np.int64)
+        ranks = a_matched.cumsum(axis=1) - 1
+        rows, cols = np.nonzero(a_matched)
+        ordered_a[rows, ranks[rows, cols]] = codes_a[rows, cols]
+        ranks = b_matched.cumsum(axis=1) - 1
+        rows, cols = np.nonzero(b_matched)
+        ordered_b[rows, ranks[rows, cols]] = codes_b[rows, cols]
+        transpositions_f = ((ordered_a != ordered_b).sum(axis=1) // 2).astype(float)
+    else:
+        transpositions_f = np.zeros(n)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaro = (
+            matches_f / len_a
+            + matches_f / len_b
+            + (matches_f - transpositions_f) / matches_f
+        ) / 3.0
+    jaro[matches == 0] = 0.0
+
+    prefix_limit = min(4, width_a, width_b)
+    if prefix_limit:
+        # Sentinel padding breaks the run at min(len_a, len_b), exactly
+        # where the scalar zip() stops.
+        leading = (codes_a[:, :prefix_limit] == codes_b[:, :prefix_limit]).astype(
+            np.int64
+        )
+        prefix_f = leading.cumprod(axis=1).sum(axis=1).astype(float)
+    else:
+        prefix_f = np.zeros(n)
+    return jaro + (prefix_f * 0.1) * (1.0 - jaro)
+
+
+def batch_jaro_winkler(pairs: Sequence[Tuple[str, str]]) -> List[float]:
+    """Jaro-Winkler for a batch of pairs, bit-identical to the scalar oracle.
+
+    Pairs are bucketed by the length class ``max(len(a), len(b))`` rounds up
+    to, so each bucket shares one padded codepoint matrix; tiny buckets and
+    very long values fall back to the scalar function (which *is* the
+    oracle, so equality is trivial there).
+    """
+    out: List[float] = [0.0] * len(pairs)
+    buckets: Dict[int, List[int]] = {}
+    for idx, (a, b) in enumerate(pairs):
+        if a == b:
+            out[idx] = 1.0
+            continue
+        la, lb = len(a), len(b)
+        if not la or not lb:
+            out[idx] = 0.0
+            continue
+        longest = la if la >= lb else lb
+        if longest > _VEC_MAX_LEN:
+            out[idx] = jaro_winkler(a, b)
+            continue
+        for cap in _VEC_BUCKETS:
+            if longest <= cap:
+                buckets.setdefault(cap, []).append(idx)
+                break
+    for members in buckets.values():
+        if len(members) < _VEC_MIN_GROUP:
+            for idx in members:
+                a, b = pairs[idx]
+                out[idx] = jaro_winkler(a, b)
+            continue
+        scores = _jaro_winkler_bucket([pairs[idx] for idx in members])
+        for idx, score in zip(members, scores):
+            out[idx] = float(score)
+    return out
+
+
+def _levenshtein_cutoff(jw: float, longest: int) -> int:
+    """Largest k with ``1.0 - k / longest > jw`` (evaluated in float).
+
+    Distances beyond this cutoff produce a ratio that cannot beat the
+    already-computed Jaro-Winkler score, so the banded DP may stop there.
+    The condition is the exact float expression ``levenshtein_ratio`` uses,
+    which makes the threshold sound by construction — no epsilon needed.
+    """
+    k = int(longest * (1.0 - jw)) + 2
+    if k > longest:
+        k = longest
+    while k < longest and (1.0 - (k + 1) / longest) > jw:
+        k += 1
+    while k > 0 and not ((1.0 - k / longest) > jw):
+        k -= 1
+    return k
+
+
+def batch_string_sim(pairs: Sequence[Tuple[str, str]]) -> List[float]:
+    """``max(levenshtein_ratio, jaro_winkler)`` for a batch of string pairs.
+
+    Bit-identical to calling the two scalar functions per pair and taking
+    ``max`` (first argument wins ties, matching Python's ``max``).
+    """
+    out: List[float] = [0.0] * len(pairs)
+    jw_indices: List[int] = []
+    jw_inputs: List[Tuple[str, str]] = []
+    # Per deferred pair: ("max", exact_ratio) when the distance is already
+    # known, or ("lev", longest, d_min, trimmed_a, trimmed_b) when the
+    # banded DP should run only if Jaro-Winkler leaves it a chance.
+    plans: List[Tuple] = []
+    for idx, (a, b) in enumerate(pairs):
+        if a == b:
+            out[idx] = 1.0
+            continue
+        la, lb = len(a), len(b)
+        if not la or not lb:
+            out[idx] = 0.0
+            continue
+        longest = la if la >= lb else lb
+        shortest = la + lb - longest
+        trimmed_a, trimmed_b = trim_common_affixes(a, b)
+        lta, ltb = len(trimmed_a), len(trimmed_b)
+        trimmed_short = lta if lta <= ltb else ltb
+        if trimmed_short <= _MYERS_MAX:
+            if trimmed_short == 0:
+                # One side is a pure affix of the other: the distance is the
+                # leftover length, no DP needed.
+                distance = lta if lta >= ltb else ltb
+            elif lta <= ltb:
+                distance = myers_distance(trimmed_a, trimmed_b)
+            else:
+                distance = myers_distance(trimmed_b, trimmed_a)
+            ratio = 1.0 - distance / longest
+            jw_upper = (
+                0.4 + 0.6 * (2.0 + shortest / longest) / 3.0
+            ) * _JW_UB_SAFETY
+            if ratio >= jw_upper:
+                # The edit ratio meets or beats anything Jaro-Winkler could
+                # possibly score; the max is decided.
+                out[idx] = ratio
+            else:
+                jw_indices.append(idx)
+                jw_inputs.append((a, b))
+                plans.append(("max", ratio))
+        else:
+            d_min = longest - shortest
+            if d_min < 1:
+                d_min = 1
+            jw_indices.append(idx)
+            jw_inputs.append((a, b))
+            plans.append(("lev", longest, d_min, trimmed_a, trimmed_b))
+
+    if not jw_indices:
+        return out
+    jw_scores = batch_jaro_winkler(jw_inputs)
+    for idx, jw_score, plan in zip(jw_indices, jw_scores, plans):
+        if plan[0] == "max":
+            ratio = plan[1]
+            out[idx] = jw_score if jw_score > ratio else ratio
+            continue
+        _, longest, d_min, trimmed_a, trimmed_b = plan
+        lev_upper = 1.0 - d_min / longest
+        if lev_upper <= jw_score:
+            # Even the minimum possible distance cannot beat Jaro-Winkler.
+            out[idx] = jw_score
+            continue
+        cutoff = _levenshtein_cutoff(jw_score, longest)
+        distance = banded_levenshtein(trimmed_a, trimmed_b, cutoff)
+        if distance <= cutoff:
+            out[idx] = 1.0 - distance / longest
+        else:
+            out[idx] = jw_score
+    return out
+
+
+def string_sim(a: str, b: str) -> float:
+    """Single-pair convenience wrapper over :func:`batch_string_sim`."""
+    return batch_string_sim([(a, b)])[0]
+
+
+def _self_check(samples: Optional[Sequence[Tuple[str, str]]] = None) -> None:
+    """Cheap import-time-free sanity hook used by benchmarks and tests."""
+    from ..schema.matchers import levenshtein_ratio
+
+    probes = samples or [
+        ("", ""),
+        ("", "abc"),
+        ("kitten", "sitting"),
+        ("prefix common tail", "prefix uncommon tail"),
+    ]
+    got = batch_string_sim(list(probes))
+    for (a, b), value in zip(probes, got):
+        expected = max(levenshtein_ratio(a, b), jaro_winkler(a, b))
+        if value != expected:
+            raise AssertionError(
+                f"stredit mismatch for {(a, b)!r}: {value!r} != {expected!r}"
+            )

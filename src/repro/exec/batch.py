@@ -35,9 +35,10 @@ import numpy as np
 
 from ..entity.kernel import ScoringKernel
 from ..entity.similarity import FEATURE_NAMES
+from ..ml.linear import linear_proba
 from ..text.tokenizer import tokenize
 from .executor import ShardedExecutor, ShardPayload
-from .pool import warm_featurize
+from .pool import warm_featurize, warm_score
 
 _TOKEN_CACHE_SIZE = 1 << 17
 
@@ -85,6 +86,32 @@ def _featurize_fresh_kernel(compare_attributes, payload):
         compare_attributes=compare_attributes, tokenizer=cached_tokenize
     )
     return kernel.features_for_pairs(records_by_id, list(chunk))
+
+
+def _score_shared_kernel(kernel, weights, bias, threshold, payload):
+    """(probabilities, decisions) for one chunk against the shared kernel.
+
+    In-worker classifier assembly for the thread/serial backends: the chunk
+    is featurized *and* pushed through the linear decision inside the
+    worker, so the parent only merges per-pair floats and booleans.
+    :func:`~repro.ml.linear.linear_proba` scores every row through the same
+    fixed-order float operations whatever the chunk size, which keeps the
+    probabilities bit-identical to classifying the full matrix at once.
+    """
+    features = _featurize_shared_kernel(kernel, payload)
+    probabilities = linear_proba(features, np.asarray(weights, dtype=float), bias)
+    return probabilities, probabilities >= threshold
+
+
+def _score_fresh_kernel(compare_attributes, weights, bias, threshold, payload):
+    """(probabilities, decisions) for one chunk via a worker-local kernel.
+
+    The ephemeral-process twin of :func:`_score_shared_kernel`: ships back
+    one float and one bool per pair instead of a full feature row.
+    """
+    features = _featurize_fresh_kernel(compare_attributes, payload)
+    probabilities = linear_proba(features, np.asarray(weights, dtype=float), bias)
+    return probabilities, probabilities >= threshold
 
 
 class BatchScorer:
@@ -146,15 +173,22 @@ class BatchScorer:
         self._kernel.discard(record_id)
         self._pending_discards.add(record_id)
 
-    def featurize_pairs(
+    def _map_chunks(
         self,
         records_by_id: Dict[str, object],
-        candidate_pairs: Sequence[Tuple[str, str]],
-    ) -> np.ndarray:
-        """Feature matrix for ``candidate_pairs``, one row per pair in order."""
-        pairs = list(candidate_pairs)
-        if not pairs:
-            return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
+        pairs: List[Tuple[str, str]],
+        warm_worker,
+        fresh_worker,
+        shared_worker,
+    ) -> List[object]:
+        """Fan one chunked pair workload out, returning per-chunk results.
+
+        The three worker factories receive the flavour-specific state
+        (warm-kernel restriction / compare-attribute list / the shared
+        kernel) and must return a picklable callable; which one runs is
+        decided by the executor's backend exactly as before, so every
+        flavour sees the same chunk boundaries and record payload policy.
+        """
         chunks = self._executor.chunk(pairs, self._batch_size)
         if self._executor.uses_persistent_pool and self._executor.warm_state:
             # warm path: ship record deltas once through the pool's sync
@@ -178,14 +212,14 @@ class BatchScorer:
                 if self._compare_attributes is not None
                 else None
             )
-            worker = partial(warm_featurize, restriction)
-            matrices = self._executor.map_shards(
+            worker = warm_worker(restriction)
+            results = self._executor.map_shards(
                 worker, [tuple(chunk) for chunk in chunks], always_fan_out=True
             )
             # only a completed fan-out retires the queued deletes — if the
             # pool died mid-batch they stay queued for the next generation
             self._pending_discards.difference_update(deletes)
-            return np.vstack(matrices)
+            return results
         if self._executor.backend == "process":
             # ship each chunk only the records it references so the pickled
             # payload stays bounded by batch_size, not corpus size (chunk
@@ -203,7 +237,7 @@ class BatchScorer:
                         items=tuple(chunk),
                     )
                 )
-            worker = partial(_featurize_fresh_kernel, self._compare_attributes)
+            worker = fresh_worker(self._compare_attributes)
         else:
             # threads/serial share the kernel — intern every referenced
             # record up front so worker threads never mutate shared state
@@ -213,9 +247,86 @@ class BatchScorer:
                 ShardPayload(context=records_by_id, items=tuple(chunk))
                 for chunk in chunks
             ]
-            worker = partial(_featurize_shared_kernel, self._kernel)
-        matrices = self._executor.map_shards(worker, payloads)
+            worker = shared_worker(self._kernel)
+        return self._executor.map_shards(worker, payloads)
+
+    def featurize_pairs(
+        self,
+        records_by_id: Dict[str, object],
+        candidate_pairs: Sequence[Tuple[str, str]],
+    ) -> np.ndarray:
+        """Feature matrix for ``candidate_pairs``, one row per pair in order."""
+        pairs = list(candidate_pairs)
+        if not pairs:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=float)
+        matrices = self._map_chunks(
+            records_by_id,
+            pairs,
+            warm_worker=lambda restriction: partial(warm_featurize, restriction),
+            fresh_worker=lambda attrs: partial(_featurize_fresh_kernel, attrs),
+            shared_worker=lambda kernel: partial(_featurize_shared_kernel, kernel),
+        )
         return np.vstack(matrices)
+
+    def score_and_decide(
+        self,
+        records_by_id: Dict[str, object],
+        candidate_pairs: Sequence[Tuple[str, str]],
+    ) -> Tuple[Dict[Tuple[str, str], float], Set[Tuple[str, str]]]:
+        """(pair → probability, set of pairs decided duplicates).
+
+        With a fitted linear model and a fanning-out executor, the feature
+        matrix never reaches the parent: each chunk worker assembles its
+        rows *and* applies the linear decision, shipping back one float and
+        one bool per pair.  :func:`~repro.ml.linear.linear_proba` makes the
+        chunked probabilities bit-identical to
+        :meth:`DedupModel.score_pairs` on the full matrix, and the shipped
+        decisions are exactly ``probability >= threshold`` under the same
+        floats.  Models without a linear decision (naive Bayes, unfitted)
+        fall back to featurize-then-classify in the parent.
+        """
+        pairs = list(candidate_pairs)
+        if not pairs:
+            return {}, set()
+        decision = getattr(self._model, "linear_decision", None)
+        decision = decision() if callable(decision) else None
+        threshold = self._model.threshold
+        if decision is None or not self._executor.fans_out:
+            features = self.featurize_pairs(records_by_id, pairs)
+            probabilities = self._model.predict_proba_features(features)
+            scores = {
+                pair: float(prob) for pair, prob in zip(pairs, probabilities)
+            }
+            matches = {pair for pair, prob in scores.items() if prob >= threshold}
+            return scores, matches
+        weights, bias, _ = decision
+        # plain floats pickle exactly; the workers rebuild the array
+        shipped_weights = tuple(float(weight) for weight in weights)
+        shipped_bias = float(bias)
+        results = self._map_chunks(
+            records_by_id,
+            pairs,
+            warm_worker=lambda restriction: partial(
+                warm_score, restriction, shipped_weights, shipped_bias, threshold
+            ),
+            fresh_worker=lambda attrs: partial(
+                _score_fresh_kernel, attrs, shipped_weights, shipped_bias, threshold
+            ),
+            shared_worker=lambda kernel: partial(
+                _score_shared_kernel, kernel, shipped_weights, shipped_bias, threshold
+            ),
+        )
+        scores: Dict[Tuple[str, str], float] = {}
+        matches: Set[Tuple[str, str]] = set()
+        cursor = 0
+        for probabilities, decisions in results:
+            for prob, decided in zip(probabilities, decisions):
+                pair = pairs[cursor]
+                scores[pair] = float(prob)
+                if decided:
+                    matches.add(pair)
+                cursor += 1
+        return scores, matches
 
     def score_pairs(
         self,
@@ -224,15 +335,9 @@ class BatchScorer:
     ) -> Dict[Tuple[str, str], float]:
         """Pair → duplicate probability, identical to the sequential scorer.
 
-        Featurization happens per chunk (possibly in parallel); the
-        classifier then sees the reassembled full matrix in one call, so the
-        probabilities match :meth:`DedupModel.score_pairs` bit for bit.
+        Chunk workers featurize — and, for linear models on fan-out
+        executors, classify — their pairs; the reassembled probabilities
+        match :meth:`DedupModel.score_pairs` bit for bit either way.
         """
-        pairs = list(candidate_pairs)
-        if not pairs:
-            return {}
-        X = self.featurize_pairs(records_by_id, pairs)
-        probabilities = self._model.predict_proba_features(X)
-        return {
-            pair: float(prob) for pair, prob in zip(pairs, probabilities)
-        }
+        scores, _ = self.score_and_decide(records_by_id, candidate_pairs)
+        return scores

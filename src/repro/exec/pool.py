@@ -140,6 +140,90 @@ def warm_featurize(restriction: Optional[Tuple[str, ...]], chunk: tuple):
         ) from exc
 
 
+def warm_score(
+    restriction: Optional[Tuple[str, ...]],
+    weights: Tuple[float, ...],
+    bias: float,
+    threshold: float,
+    chunk: tuple,
+):
+    """Featurize *and classify* one chunk of candidate pairs in the worker.
+
+    Extends :func:`warm_featurize` with the linear decision: the feature
+    matrix is assembled against the warm kernel and scored through
+    :func:`repro.ml.linear.linear_proba` right here, so the result shipped
+    back over the pipe is one float and one bool per pair instead of a full
+    feature row.  ``linear_proba`` evaluates every row through the same
+    fixed-order float operations whatever the chunk size, so the
+    probabilities are bit-identical to the parent scoring the full matrix.
+    """
+    import numpy as np
+
+    from ..ml.linear import linear_proba
+
+    state = _WORKER_STATE
+    if state is None:
+        raise TamerError("warm_score must run inside a persistent pool worker")
+    kernel = state.kernel_for(restriction)
+    try:
+        features = kernel.features_for_pairs(state.records, list(chunk))
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise TamerError(
+            f"warm worker is missing record {exc!s}; state sync is incomplete"
+        ) from exc
+    probabilities = linear_proba(features, np.asarray(weights, dtype=float), bias)
+    return probabilities, probabilities >= threshold
+
+
+def warm_block_keys(
+    blocker: Any,
+    kind: str,
+    scope_key: str,
+    num_shards: int,
+    shard_index: int,
+):
+    """Extract blocking keys for one shard from the worker's mirrored records.
+
+    The fan-out payload is just ``shard_index``: the records were shipped
+    by the warm-state protocol and the scope (the ordered record ids of
+    this blocking run) by a versioned context broadcast.  Membership is
+    derived here with the same :class:`~repro.storage.sharding.ShardRouter`
+    hash the parent's ``ShardedExecutor.partition`` uses, preserving scope
+    order, so the shard's work list is exactly the partition the parent
+    would otherwise have pickled and shipped.
+
+    ``kind`` selects the extraction: ``"keys"`` returns ``(index,
+    record_id, [blocking keys])`` entries, ``"sort"`` returns ``(index,
+    sort_key)`` entries for sorted-neighborhood ordering.
+    """
+    from ..storage.sharding import ShardRouter
+
+    state = _WORKER_STATE
+    if state is None:
+        raise TamerError(
+            "warm_block_keys must run inside a persistent pool worker"
+        )
+    scope_ids = warm_context(scope_key)
+    router = ShardRouter(num_shards)
+    results = []
+    for index, record_id in enumerate(scope_ids):
+        if router.shard_for(record_id) != shard_index:
+            continue
+        record = state.records.get(record_id)
+        if record is None:
+            raise TamerError(
+                f"warm worker is missing record {record_id!r}; "
+                "state sync is incomplete"
+            )
+        if kind == "keys":
+            results.append((index, record_id, list(blocker.keys_for(record))))
+        elif kind == "sort":
+            results.append((index, blocker._sort_key(record)))
+        else:  # pragma: no cover - defensive
+            raise TamerError(f"unknown warm blocking kind: {kind!r}")
+    return results
+
+
 def warm_context(key: str):
     """The calling worker's copy of a named broadcast context.
 
@@ -358,6 +442,7 @@ class PersistentWorkerPool:
         self._respawn_count = 0
         self._hung_respawn_count = 0
         self._sync_count = 0
+        self._records_shipped = 0
         self._last_sync_seconds = 0.0
         self._total_sync_seconds = 0.0
         self._total_queue_seconds = 0.0
@@ -413,6 +498,16 @@ class PersistentWorkerPool:
     def sync_count(self) -> int:
         """How many delta sync messages have been broadcast."""
         return self._sync_count
+
+    @property
+    def records_shipped(self) -> int:
+        """Total record payloads broadcast by the warm-state delta protocol.
+
+        Fan-out equivalence tests assert this stays flat across warm reruns:
+        once the workers mirror the corpus, dispatches ship shard ids and
+        pair ids only, never records.
+        """
+        return self._records_shipped
 
     @property
     def warm_record_count(self) -> int:
@@ -605,6 +700,7 @@ class PersistentWorkerPool:
                 and self._warm_records.pop(record_id, None) is not None
             ]
             if upserts or removed:
+                self._records_shipped += len(upserts)
                 for slot in range(len(self._workers)):
                     try:
                         self._workers[slot].connection.send(

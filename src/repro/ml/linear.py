@@ -26,6 +26,46 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
+def linear_scores(X: np.ndarray, weights: np.ndarray, bias: float) -> np.ndarray:
+    """``X @ weights + bias`` with a row-count-independent summation order.
+
+    ``X @ w`` is free to pick a different reduction order per matrix shape
+    (BLAS kernels block by size), so the same feature row can score to a
+    different last ulp depending on how many rows share the batch.  That
+    breaks the bit-identical contract the moment scoring is chunked across
+    pool workers.  Fixed-order column accumulation — ``x0*w0 + x1*w1 + …``,
+    one column at a time — evaluates every row through exactly the same
+    float operations regardless of batch size, so chunked and full-matrix
+    scoring agree bit for bit.  The feature count is small (8), so this
+    costs nothing measurable next to the matmul.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    weights = np.asarray(weights, dtype=float)
+    if X.shape[1] != weights.shape[0]:
+        raise ModelError(
+            f"feature dimension mismatch: model has {weights.shape[0]}, "
+            f"input has {X.shape[1]}"
+        )
+    if weights.shape[0] == 0:
+        return np.full(X.shape[0], float(bias))
+    acc = X[:, 0] * weights[0]
+    for j in range(1, weights.shape[0]):
+        acc = acc + X[:, j] * weights[j]
+    return acc + float(bias)
+
+
+def linear_proba(X: np.ndarray, weights: np.ndarray, bias: float) -> np.ndarray:
+    """Logistic probabilities over :func:`linear_scores`.
+
+    ``np.exp`` is value-deterministic (same input float -> same output
+    float, whatever the array shape or stride), so these probabilities are
+    as batch-size-independent as the scores are.
+    """
+    return _sigmoid(linear_scores(X, weights, bias))
+
+
 class LogisticRegression:
     """Binary logistic regression.
 
@@ -119,18 +159,15 @@ class LogisticRegression:
         return self
 
     def predict_proba(self, X: Sequence) -> np.ndarray:
-        """Return P(label == 1) for each row of ``X``."""
+        """Return P(label == 1) for each row of ``X``.
+
+        Evaluated through :func:`linear_proba`, so the probability of a row
+        does not depend on how many rows share the batch — chunked scoring
+        in pool workers reproduces these floats exactly.
+        """
         if self._weights is None:
             raise NotFittedError("LogisticRegression")
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        if X.shape[1] != self._weights.shape[0]:
-            raise ModelError(
-                f"feature dimension mismatch: model has {self._weights.shape[0]}, "
-                f"input has {X.shape[1]}"
-            )
-        return _sigmoid(X @ self._weights + self._bias)
+        return linear_proba(X, self._weights, self._bias)
 
     def predict(self, X: Sequence, threshold: float = 0.5) -> np.ndarray:
         """Return 0/1 predictions at the given probability threshold."""
@@ -140,7 +177,4 @@ class LogisticRegression:
         """Return the raw linear scores (log-odds) for each row of ``X``."""
         if self._weights is None:
             raise NotFittedError("LogisticRegression")
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        return X @ self._weights + self._bias
+        return linear_scores(X, self._weights, self._bias)

@@ -14,6 +14,14 @@ an ensemble of per-signal matchers.  Four signal families are implemented:
 
 :class:`CompositeMatcher` combines the signals with configurable weights (the
 ``matcher_weights`` knob in :class:`repro.config.SchemaConfig`).
+
+The scalar string measures here — :func:`levenshtein_distance` /
+:func:`levenshtein_ratio` and :func:`jaro_winkler` — double as the
+*bit-identity oracle* for the batch string-edit engine in
+:mod:`repro.entity.stredit`: every float the engine produces must equal, bit
+for bit, ``max(levenshtein_ratio(a, b), jaro_winkler(a, b))`` as computed by
+these reference implementations.  Keep any change to their arithmetic (order
+of operations, normalization, tie-breaking) in lockstep with that module.
 """
 
 from __future__ import annotations

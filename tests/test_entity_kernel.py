@@ -600,3 +600,57 @@ class TestCheapFeatureStash:
         mixed = sorted(pairs)
         rows = kernel.features_for_pairs(by_id, mixed)
         assert np.array_equal(rows, _scalar_matrix(by_id, mixed))
+
+
+class TestStringSimMemoRotation:
+    """The string-sim memo rotates generations instead of clearing.
+
+    Regression: the memo used to be wiped outright when it hit the size
+    limit, so a steady-state workload alternated between a full cache and an
+    empty one — every wipe triggered a recompute storm whose hit rate
+    dropped to exactly zero until the memo refilled.  The two-generation
+    scheme demotes the full generation instead, so recently used keys stay
+    findable (and get promoted back) across the boundary.
+    """
+
+    def test_keys_survive_the_rotation_boundary(self):
+        kernel = ScoringKernel()
+        kernel._memo_limit = 8
+        for index in range(8):
+            kernel._memo_insert((index, index + 1000), float(index))
+        # crossing the limit rotates; with the old clear() this lost every key
+        kernel._memo_insert((99, 1099), 0.5)
+        assert kernel._memo_lookup((3, 1003)) == 3.0
+        assert kernel.memo_hits == 1
+        # the promoted key is back in the live generation, not just the old one
+        assert (3, 1003) in kernel._string_sim_new
+
+    def test_memo_stays_bounded_across_many_rotations(self):
+        kernel = ScoringKernel()
+        kernel._memo_limit = 16
+        for index in range(500):
+            kernel._memo_insert((index, index + 10_000), 0.0)
+        assert kernel.memo_size <= 2 * kernel._memo_limit
+
+    def test_hit_rate_stays_positive_across_rotation(self):
+        # every record shares the "name" attribute with a distinct value, so
+        # all 45 pairs produce distinct memo keys — more than the limit
+        # (forcing a rotation mid-workload) but fewer than two generations
+        # hold, the steady state the rotation scheme is built for
+        records = [
+            Record.from_dict(f"r{i}", "s", {"name": f"entity number {i} inc"})
+            for i in range(10)
+        ]
+        by_id = {r.record_id: r for r in records}
+        pairs = _all_pairs(records)
+        kernel = ScoringKernel()
+        kernel._memo_limit = 30
+        first = kernel.features_for_pairs(by_id, pairs)
+        assert kernel.memo_misses > kernel._memo_limit  # rotation happened
+        hits_before = kernel.memo_hits
+        second = kernel.features_for_pairs(by_id, pairs)
+        # repeated keys keep hitting even though the memo rotated mid-stream;
+        # the old clear()-at-limit behaviour threw the whole working set away
+        assert kernel.memo_hits > hits_before
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, _scalar_matrix(by_id, pairs))

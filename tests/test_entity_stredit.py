@@ -1,0 +1,231 @@
+"""Bit-identity corpus for the batch string-edit engine.
+
+:mod:`repro.entity.stredit` promises that every similarity it produces is
+bit-for-bit the scalar oracle's
+``max(levenshtein_ratio(a, b), jaro_winkler(a, b))`` from
+:mod:`repro.schema.matchers` — no tolerances, ever, because the scoring
+kernel's memo mixes engine-computed and scalar-computed entries freely.
+These tests enforce that with hypothesis-generated pairs across the regimes
+the engine switches between (empty, trimmed-to-nothing, Myers bit-parallel,
+banded DP, vectorized Jaro-Winkler buckets, scalar fallbacks), plus exact
+component oracles for each building block.
+"""
+
+import random
+import string
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entity.stredit import (
+    _VEC_MAX_LEN,
+    _VEC_MIN_GROUP,
+    banded_levenshtein,
+    batch_jaro_winkler,
+    batch_string_sim,
+    myers_distance,
+    string_sim,
+    trim_common_affixes,
+)
+from repro.schema.matchers import (
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_ratio,
+)
+
+
+def _bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def _oracle(a: str, b: str) -> float:
+    return max(levenshtein_ratio(a, b), jaro_winkler(a, b))
+
+
+# Alphabets chosen to hit every engine regime: tiny alphabets force dense
+# matches and transpositions, unicode exercises the codepoint path, and the
+# shared-prefix strategy stresses trimming plus the Winkler prefix bonus.
+_SMALL = st.text(alphabet="ab", max_size=12)
+_ASCII = st.text(alphabet=string.ascii_lowercase + " .,'-", max_size=40)
+_UNICODE = st.text(max_size=24)
+_LONG = st.text(alphabet=string.ascii_lowercase + " ", min_size=50, max_size=180)
+
+
+@st.composite
+def _prefix_heavy(draw):
+    prefix = draw(st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=30))
+    suffix = draw(st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=30))
+    a = draw(st.text(alphabet=string.ascii_lowercase + "0123456789", max_size=12))
+    b = draw(st.text(alphabet=string.ascii_lowercase + "0123456789", max_size=12))
+    return prefix + a + suffix, prefix + b + suffix
+
+
+class TestSinglePairBitIdentity:
+    @settings(max_examples=300, deadline=None)
+    @given(_SMALL, _SMALL)
+    def test_small_alphabet(self, a, b):
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+    @settings(max_examples=300, deadline=None)
+    @given(_ASCII, _ASCII)
+    def test_ascii(self, a, b):
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+    @settings(max_examples=200, deadline=None)
+    @given(_UNICODE, _UNICODE)
+    def test_unicode(self, a, b):
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(_LONG, _LONG)
+    def test_long_strings(self, a, b):
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+    @settings(max_examples=200, deadline=None)
+    @given(_prefix_heavy())
+    def test_prefix_heavy(self, pair):
+        a, b = pair
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+    @pytest.mark.parametrize(
+        ("a", "b"),
+        [
+            ("", ""),
+            ("", "x"),
+            ("x", ""),
+            ("same", "same"),
+            ("a", "b"),
+            ("ab", "ba"),
+            ("martha", "marhta"),
+            ("dixon", "dicksonx"),
+            ("jellyfish", "smellyfish"),
+            ("x" * 64, "x" * 63 + "y"),
+            ("x" * 65, "y" * 65),
+            ("\ud800", "𐏿"),  # lone surrogates: utf-32 fallback
+            ("café", "cafe"),
+            ("Ābc", "abc"),
+        ],
+    )
+    def test_edge_cases(self, a, b):
+        assert _bits(string_sim(a, b)) == _bits(_oracle(a, b))
+
+
+class TestBatchBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.one_of(_SMALL, _ASCII, _UNICODE), st.one_of(_SMALL, _ASCII)),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    def test_batches_match_oracle_pairwise(self, pairs):
+        got = batch_string_sim(pairs)
+        assert len(got) == len(pairs)
+        for (a, b), value in zip(pairs, got):
+            assert _bits(value) == _bits(_oracle(a, b))
+
+    def test_batch_order_and_duplicates(self):
+        # the same value pair repeated must yield the same bits each time,
+        # and results must line up positionally with the input
+        pairs = [("alpha", "alphq"), ("beta", "betta"), ("alpha", "alphq")] * 7
+        got = batch_string_sim(pairs)
+        for (a, b), value in zip(pairs, got):
+            assert _bits(value) == _bits(_oracle(a, b))
+        assert _bits(got[0]) == _bits(got[2])
+
+    def test_large_homogeneous_batch_forces_vector_path(self):
+        # >= _VEC_MIN_GROUP same-bucket pairs run through the vectorized
+        # Jaro-Winkler kernel; the floats must still be the scalar oracle's
+        rng = random.Random(5)
+        names = [
+            "".join(rng.choice(string.ascii_lowercase + " ") for _ in range(12))
+            for _ in range(4 * _VEC_MIN_GROUP)
+        ]
+        pairs = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+        got = batch_string_sim(pairs)
+        for (a, b), value in zip(pairs, got):
+            assert _bits(value) == _bits(_oracle(a, b))
+
+
+class TestVectorJaroWinkler:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abcde é", min_size=1, max_size=14),
+                st.text(alphabet="abcde é", min_size=1, max_size=14),
+            ),
+            min_size=_VEC_MIN_GROUP,
+            max_size=3 * _VEC_MIN_GROUP,
+        )
+    )
+    def test_bucketed_jw_matches_scalar(self, pairs):
+        got = batch_jaro_winkler(pairs)
+        for (a, b), value in zip(pairs, got):
+            assert _bits(value) == _bits(jaro_winkler(a, b))
+
+    def test_over_length_pairs_fall_back_to_scalar(self):
+        long_pair = ("q" * (_VEC_MAX_LEN + 5), "q" * (_VEC_MAX_LEN + 3) + "zz")
+        pairs = [long_pair] * (_VEC_MIN_GROUP + 1)
+        got = batch_jaro_winkler(pairs)
+        for value in got:
+            assert _bits(value) == _bits(jaro_winkler(*long_pair))
+
+
+class TestComponentOracles:
+    @settings(max_examples=200, deadline=None)
+    @given(_ASCII, _ASCII)
+    def test_myers_equals_levenshtein(self, a, b):
+        # myers_distance requires a non-empty pattern of <= 64 chars; the
+        # engine guarantees that by construction, so mirror it here
+        if 0 < len(a) <= 64:
+            assert myers_distance(a, b) == levenshtein_distance(a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_ASCII, _ASCII, st.integers(min_value=-1, max_value=50))
+    def test_banded_cutoff_semantics(self, a, b, cutoff):
+        true_distance = levenshtein_distance(a, b)
+        got = banded_levenshtein(a, b, cutoff)
+        if true_distance <= cutoff:
+            assert got == true_distance
+        else:
+            assert got == cutoff + 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.one_of(_ASCII, _UNICODE), st.one_of(_ASCII, _UNICODE))
+    def test_trim_preserves_distance(self, a, b):
+        trimmed_a, trimmed_b = trim_common_affixes(a, b)
+        assert levenshtein_distance(trimmed_a, trimmed_b) == levenshtein_distance(a, b)
+        # trimming never invents characters
+        assert len(trimmed_a) <= len(a) and len(trimmed_b) <= len(b)
+
+
+class TestKernelMemoIntegration:
+    def test_prefilled_memo_matches_scalar_kernel(self):
+        # same kernel workload with the engine on and off: identical bits
+        from repro.entity.kernel import ScoringKernel
+        from repro.entity.record import Record
+
+        rng = random.Random(17)
+        records = [
+            Record.from_dict(
+                f"r{i}",
+                "s",
+                {
+                    "name": "".join(
+                        rng.choice(string.ascii_lowercase + " ") for _ in range(14)
+                    ),
+                    "city": rng.choice(["springfield", "spring field", "shelbyville"]),
+                },
+            )
+            for i in range(24)
+        ]
+        by_id = {r.record_id: r for r in records}
+        ids = sorted(by_id)
+        pairs = [(a, b) for i, a in enumerate(ids) for b in ids[i + 1 :]]
+        fast = ScoringKernel().features_for_pairs(by_id, pairs)
+        slow = ScoringKernel(use_stredit=False).features_for_pairs(by_id, pairs)
+        assert fast.tobytes() == slow.tobytes()

@@ -245,6 +245,150 @@ class TestConsolidationEquivalence:
             executor.close()
 
 
+class TestWarmShardBlocking:
+    """Blocking-key extraction in warm workers ships shard ids, not records.
+
+    After the first warm sync mirrors the record set into the pool, repeat
+    blocking runs over the same records must ship *zero* record payloads —
+    fan-outs carry only shard indices and the workers derive their partition
+    from mirrored state.  And of course the keys must be bit-identical to
+    the sequential extraction.
+    """
+
+    def _warm_executor(self):
+        return ShardedExecutor(
+            ExecConfig(
+                parallelism=2,
+                batch_size=64,
+                backend="process",
+                pool="persistent",
+                warm_state=True,
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "make_blocker",
+        [
+            lambda: TokenBlocker(max_block_size=40),
+            lambda: NGramBlocker(key_attribute="show_name", n=3, max_block_size=40),
+            lambda: SortedNeighborhoodBlocker(key_attribute="show_name", window=4),
+        ],
+        ids=["token", "ngram", "sorted-neighborhood"],
+    )
+    def test_warm_blocking_identical_and_ships_no_records_when_warm(
+        self, make_blocker
+    ):
+        records = random_records(3)
+        blocker = make_blocker()
+        sequential = blocker.block(records)
+        executor = self._warm_executor()
+        try:
+            first = blocker.block(records, executor=executor)
+            assert first.pairs == sequential.pairs
+            assert first.blocks == sequential.blocks
+
+            pool = executor.ensure_pool()
+            shipped_after_warm = pool.records_shipped
+            tasks_after_warm = pool.tasks_completed
+            second = blocker.block(records, executor=executor)
+            assert second.pairs == sequential.pairs
+            assert second.blocks == sequential.blocks
+            # the rerun fanned out (tasks ran) but shipped no record payloads
+            assert pool.tasks_completed > tasks_after_warm
+            assert pool.records_shipped == shipped_after_warm
+        finally:
+            executor.close()
+
+    def test_warm_scope_shared_across_blockers(self):
+        """A second blocker over the same records reuses the mirrored state."""
+        records = random_records(4)
+        executor = self._warm_executor()
+        try:
+            token = TokenBlocker(max_block_size=40)
+            sorted_b = SortedNeighborhoodBlocker(key_attribute="show_name", window=4)
+            token_parallel = token.block(records, executor=executor)
+            pool = executor.ensure_pool()
+            shipped = pool.records_shipped
+            sorted_parallel = sorted_b.block(records, executor=executor)
+            assert pool.records_shipped == shipped
+            assert token_parallel.pairs == token.block(records).pairs
+            assert sorted_parallel.pairs == sorted_b.block(records).pairs
+        finally:
+            executor.close()
+
+
+class TestInWorkerAssembly:
+    """Chunk workers featurize *and* classify; parents get scores + decisions.
+
+    The shipped probabilities must be bit-identical to
+    :meth:`DedupModel.score_pairs` on every backend and worker count, and
+    the shipped decisions must be exactly ``probability >= threshold`` under
+    those same floats — the consolidator trusts them without re-deriving.
+    """
+
+    def _candidates(self, corpus):
+        records = corpus.records
+        by_id = {r.record_id: r for r in records}
+        return by_id, sorted(TokenBlocker(max_block_size=60).block(records).pairs)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_thread_backend_scores_and_decisions(self, corpus, model, workers):
+        by_id, candidates = self._candidates(corpus)
+        sequential = model.score_pairs(by_id, candidates)
+        scorer = BatchScorer(model, executor=executor_for(workers))
+        scores, decided = scorer.score_and_decide(by_id, candidates)
+        assert scores == sequential
+        assert decided == {
+            pair for pair, prob in sequential.items() if prob >= model.threshold
+        }
+
+    @pytest.mark.parametrize("pool", ("persistent", "ephemeral"))
+    def test_process_backends_scores_and_decisions(self, corpus, model, pool):
+        by_id, candidates = self._candidates(corpus)
+        sequential = model.score_pairs(by_id, candidates)
+        executor = ShardedExecutor(
+            ExecConfig(parallelism=2, batch_size=64, backend="process", pool=pool)
+        )
+        try:
+            scorer = BatchScorer(model, executor=executor)
+            scores, decided = scorer.score_and_decide(by_id, candidates)
+            assert scores == sequential
+            assert decided == {
+                pair for pair, prob in sequential.items() if prob >= model.threshold
+            }
+            # a second pass over a warm pool must not drift
+            scores2, decided2 = scorer.score_and_decide(by_id, candidates)
+            assert scores2 == sequential and decided2 == decided
+        finally:
+            executor.close()
+
+    def test_non_linear_model_falls_back_to_parent_classification(self, corpus):
+        from repro.config import EntityConfig
+
+        bayes = DedupModel(config=EntityConfig(classifier="naive_bayes"), seed=0)
+        bayes.fit(corpus.pairs)
+        assert bayes.linear_decision() is None
+        by_id, candidates = self._candidates(corpus)
+        sequential = bayes.score_pairs(by_id, candidates)
+        scorer = BatchScorer(bayes, executor=executor_for(4))
+        scores, decided = scorer.score_and_decide(by_id, candidates)
+        assert scores == sequential
+        assert decided == {
+            pair for pair, prob in sequential.items() if prob >= bayes.threshold
+        }
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_consolidation_entities_identical_with_in_worker_decisions(
+        self, corpus, model, workers
+    ):
+        records = corpus.records
+        sequential = EntityConsolidator(model=model).consolidate(records)
+        parallel = EntityConsolidator(
+            model=model, executor=executor_for(workers)
+        ).consolidate(records)
+        assert parallel == sequential
+
+
 class TestFacadeEquivalence:
     def test_datatamer_parallel_knobs_do_not_change_results(self, model):
         """The facade's parallelism knob must not change consolidation."""
